@@ -1,0 +1,196 @@
+//! Criterion benchmarks: one per paper table/figure scenario, at reduced
+//! scale so each iteration stays in the tens-of-milliseconds range. These
+//! double as performance regressions for the simulator and as smoke tests
+//! that every figure's scenario still assembles and runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Shared reduced settings: these scenarios take tens of milliseconds per
+/// iteration, so a small sample keeps `cargo bench` practical.
+fn tuned() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+use flexpass::config::FlexPassConfig;
+use flexpass::profiles::{
+    dctcp_profile, flexpass_profile, homa_mix_profile, naive_profile, ProfileParams,
+};
+use flexpass::schemes::{Deployment, Scheme, SchemeFactory};
+use flexpass::FlexPassFactory;
+use flexpass_experiments::fig1::TagFactory;
+use flexpass_experiments::fig8::run_incast;
+use flexpass_experiments::runner::{run_window, star_topo, RunScale};
+use flexpass_experiments::sweep::{run_point, SweepSpec};
+use flexpass_metrics::Recorder;
+use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simnet::packet::FlowSpec;
+use flexpass_simnet::sim::TransportFactory;
+use flexpass_transport::dctcp::DctcpFactory;
+use flexpass_transport::expresspass::{EpConfig, ExpressPassFactory};
+use flexpass_transport::homa::HomaConfig;
+
+fn long_flow(id: u64, src: usize, dst: usize, tag: u32) -> FlowSpec {
+    FlowSpec {
+        id,
+        src,
+        dst,
+        size: 500_000_000,
+        start: Time::ZERO,
+        tag,
+        fg: false,
+    }
+}
+
+/// A short (10 ms) coexistence window on the testbed star.
+fn window_bench(
+    factory: Box<dyn TransportFactory>,
+    profile: &flexpass_simnet::switch::SwitchProfile,
+    flows: Vec<FlowSpec>,
+) {
+    let topo = star_topo(3, profile);
+    let rec = run_window(
+        topo,
+        factory,
+        Recorder::new().with_throughput(TimeDelta::millis(1)),
+        &flows,
+        Time::from_millis(10),
+    );
+    assert!(rec.throughput_gbps(0).len() + rec.throughput_gbps(1).len() > 0);
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let params = ProfileParams::testbed(Rate::from_gbps(10));
+    c.bench_function("fig1a_ep_starves_dctcp_10ms", |b| {
+        b.iter(|| {
+            window_bench(
+                Box::new(TagFactory::dctcp_vs_ep(EpConfig::default())),
+                &naive_profile(&params),
+                vec![long_flow(1, 0, 2, 0), long_flow(2, 1, 2, 1)],
+            )
+        })
+    });
+    c.bench_function("fig1b_homa_vs_dctcp_10ms", |b| {
+        let homa = HomaConfig {
+            unsched_prio: 0,
+            sched_prio: 0,
+            ..HomaConfig::default()
+        };
+        b.iter(|| {
+            let topo = star_topo(9, &homa_mix_profile(&params));
+            let mut flows = Vec::new();
+            for i in 0..4u64 {
+                flows.push(long_flow(i, i as usize, 8, 0));
+                flows.push(long_flow(4 + i, 4 + i as usize, 8, 1));
+            }
+            let rec = run_window(
+                topo,
+                Box::new(TagFactory::dctcp_vs_homa(homa)),
+                Recorder::new().with_throughput(TimeDelta::millis(1)),
+                &flows,
+                Time::from_millis(10),
+            );
+            assert!(!rec.throughput_gbps(1).is_empty());
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let params = ProfileParams::testbed(Rate::from_gbps(10));
+    c.bench_function("fig7a_subflow_split_10ms", |b| {
+        b.iter(|| {
+            let profile = flexpass_profile(&params);
+            let factory = SchemeFactory::new(
+                Scheme::FlexPass,
+                Deployment::full(3),
+                FlexPassConfig::new(0.5),
+                0.5,
+            );
+            window_bench(Box::new(factory), &profile, vec![long_flow(1, 0, 2, 1)])
+        })
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let params = ProfileParams::testbed(Rate::from_gbps(10));
+    let mut g = c.benchmark_group("fig8_incast_24_flows");
+    g.bench_function("dctcp", |b| {
+        b.iter(|| {
+            run_incast(
+                &dctcp_profile(&params),
+                Box::new(DctcpFactory::new()),
+                24,
+                0,
+            )
+        })
+    });
+    g.bench_function("expresspass", |b| {
+        b.iter(|| {
+            run_incast(
+                &naive_profile(&params),
+                Box::new(ExpressPassFactory::new()),
+                24,
+                0,
+            )
+        })
+    });
+    g.bench_function("flexpass", |b| {
+        b.iter(|| {
+            run_incast(
+                &flexpass_profile(&params),
+                Box::new(FlexPassFactory::new(FlexPassConfig::new(0.5))),
+                24,
+                0,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let params = ProfileParams::testbed(Rate::from_gbps(10));
+    c.bench_function("fig9b_fp_vs_dctcp_10ms", |b| {
+        b.iter(|| {
+            let profile = flexpass_profile(&params);
+            let factory = SchemeFactory::new(
+                Scheme::FlexPass,
+                Deployment::from_hosts(vec![false, true, true]),
+                FlexPassConfig::new(0.5),
+                0.5,
+            );
+            window_bench(
+                Box::new(factory),
+                &profile,
+                vec![long_flow(1, 0, 2, 0), long_flow(2, 1, 2, 1)],
+            )
+        })
+    });
+}
+
+/// One sweep point per scheme at a tiny scale backs Figures 10-18 (the
+/// same engine with different parameters regenerates all of them).
+fn bench_sweep_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_sweep_point_smoke");
+    g.sample_size(10);
+    for scheme in Scheme::ALL {
+        g.bench_function(scheme.label(), |b| {
+            b.iter(|| {
+                let mut spec = SweepSpec::fig10(RunScale::Smoke);
+                spec.n_flows = Some(60);
+                let p = run_point(scheme, 0.5, &spec);
+                assert_eq!(p.flows, 60);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = tuned();
+    targets = bench_fig1, bench_fig7, bench_fig8, bench_fig9, bench_sweep_point
+}
+criterion_main!(figures);

@@ -1,0 +1,138 @@
+//! Microbenchmarks of the simulation substrate itself: event calendar
+//! throughput, port scheduling, and a packed end-to-end packets/second
+//! figure. These guard against performance regressions that would make the
+//! paper-scale sweeps impractical.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn tuned() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+use flexpass_simcore::event::EventQueue;
+use flexpass_simcore::rng::SimRng;
+use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simnet::consts::DATA_WIRE;
+use flexpass_simnet::packet::{DataInfo, Packet, Payload, Subflow, TrafficClass};
+use flexpass_simnet::port::{Decision, Port, PortConfig, QueueSched};
+use flexpass_simnet::queue::QueueConfig;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("schedule_pop_100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::new(1);
+            for i in 0..100_000u64 {
+                q.schedule(Time::from_nanos(rng.next_below(1 << 30)), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        })
+    });
+    g.finish();
+}
+
+fn data_pkt(flow: u64) -> Packet {
+    Packet::new(
+        flow,
+        0,
+        1,
+        DATA_WIRE,
+        TrafficClass::NewData,
+        Payload::Data(DataInfo {
+            flow_seq: 0,
+            sub_seq: 0,
+            sub: Subflow::Only,
+            payload: 1460,
+            retx: false,
+        }),
+    )
+}
+
+fn bench_dwrr_port(c: &mut Criterion) {
+    let cfg = PortConfig {
+        rate: Rate::from_gbps(40),
+        queues: vec![
+            (
+                QueueConfig::plain().with_ecn(65_000),
+                QueueSched::weighted(1, 0.5),
+            ),
+            (
+                QueueConfig::plain().with_ecn(100_000),
+                QueueSched::weighted(1, 0.5),
+            ),
+        ],
+    };
+    let mut g = c.benchmark_group("port_scheduler");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("dwrr_enqueue_dequeue_10k", |b| {
+        b.iter(|| {
+            let mut port = Port::new(&cfg);
+            let mut served = 0u32;
+            for i in 0..5_000u64 {
+                port.enqueue(0, data_pkt(i)).unwrap();
+                port.enqueue(1, data_pkt(i)).unwrap();
+            }
+            while let Decision::Send(_) = port.next_packet(Time::ZERO) {
+                served += 1;
+            }
+            assert_eq!(served, 10_000);
+            served
+        })
+    });
+    g.finish();
+}
+
+fn bench_end_to_end_packets(c: &mut Criterion) {
+    use flexpass::config::FlexPassConfig;
+    use flexpass::profiles::{flexpass_profile, host_variant, ProfileParams};
+    use flexpass::FlexPassFactory;
+    use flexpass_simnet::packet::FlowSpec;
+    use flexpass_simnet::sim::{NullObserver, Sim};
+    use flexpass_simnet::topology::Topology;
+
+    let mut g = c.benchmark_group("end_to_end");
+    // One 2 MB FlexPass flow = ~1370 data packets plus acks and credits.
+    g.throughput(Throughput::Elements(1370));
+    g.bench_function("flexpass_2mb_flow", |b| {
+        b.iter(|| {
+            let params = ProfileParams::testbed(Rate::from_gbps(10));
+            let profile = flexpass_profile(&params);
+            let host = host_variant(&profile);
+            let topo = Topology::star(3, params.rate, TimeDelta::micros(5), &profile, &host);
+            let mut sim = Sim::new(
+                topo,
+                Box::new(FlexPassFactory::new(FlexPassConfig::new(0.5))),
+                NullObserver,
+            );
+            sim.schedule_flow(FlowSpec {
+                id: 1,
+                src: 0,
+                dst: 2,
+                size: 2_000_000,
+                start: Time::ZERO,
+                tag: 0,
+                fg: false,
+            });
+            sim.run_to_completion(TimeDelta::millis(2));
+            sim.events_processed()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = substrate;
+    config = tuned();
+    targets = bench_event_queue, bench_dwrr_port, bench_end_to_end_packets
+}
+criterion_main!(substrate);

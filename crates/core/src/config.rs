@@ -1,0 +1,151 @@
+//! FlexPass protocol configuration.
+
+use flexpass_simcore::time::TimeDelta;
+use flexpass_simnet::packet::TrafficClass;
+use flexpass_transport::expresspass::EpConfig;
+
+/// How the proactive sub-flow's credits are allocated (§4.3
+/// "Extensibility of FlexPass": the credit allocation algorithm is
+/// pluggable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CreditPolicy {
+    /// ExpressPass feedback control: probe for the highest credit rate
+    /// whose loss at the shaped credit queues stays under a target
+    /// (the paper's default — works in oversubscribed cores).
+    EpFeedback,
+    /// pHost-style fixed-rate tokens: pace credits at the guaranteed rate
+    /// without a feedback loop. Suits non-blocking fabrics where the only
+    /// contention is at the edge; simpler but wasteful in the core.
+    FixedRate,
+}
+
+/// How the reactive sub-flow allocates packets from the shared send buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplitPolicy {
+    /// FlexPass: both sub-flows pull the lowest pending packet at
+    /// transmission time (MPTCP-style shared buffer, §4.2).
+    Shared,
+    /// RC3-style: the reactive ("recursive low priority") loop transmits
+    /// from the *end* of the flow while the proactive loop transmits from
+    /// the beginning (§4.3 "Alternative flow splitting schemes").
+    Rc3Tail,
+}
+
+/// All FlexPass knobs with the paper's defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct FlexPassConfig {
+    /// Queue weight `w_q` reserved for FlexPass (Q1); also scales the credit
+    /// allocation rate (§4.1).
+    pub wq: f64,
+    /// Reactive sub-flow initial window, in packets.
+    pub init_cwnd: f64,
+    /// Reactive DCTCP gain `g`.
+    pub g: f64,
+    /// Reactive maximum window, in packets.
+    pub max_cwnd: f64,
+    /// Sender RTO floor.
+    pub min_rto: TimeDelta,
+    /// Credit feedback-loop knobs (`max_rate_frac` is overwritten by `wq`).
+    pub ep: EpConfig,
+    /// Enable "proactive retransmission" of unacked reactive packets
+    /// (§4.2 optimizing for tail latency). Disable for ablations.
+    pub proactive_retx: bool,
+    /// Let the reactive sub-flow transmit during the first RTT, before any
+    /// credit arrives (Aeolus-style pre-credit transmission).
+    pub reactive_first_rtt: bool,
+    /// Traffic class of reactive data. `NewData` shares Q1 with proactive
+    /// data (FlexPass); `Legacy` sends it to Q2 (the rejected "alternative
+    /// queueing scheme" of Figure 5b).
+    pub reactive_class: TrafficClass,
+    /// Packet allocation policy for the reactive sub-flow.
+    pub split: SplitPolicy,
+    /// Credit allocation algorithm for the proactive sub-flow.
+    pub credit_policy: CreditPolicy,
+    /// Receiver linger before teardown.
+    pub linger: TimeDelta,
+}
+
+impl FlexPassConfig {
+    /// The paper's configuration for a given queue weight `w_q`.
+    pub fn new(wq: f64) -> Self {
+        assert!(wq > 0.0 && wq < 1.0, "w_q must be in (0, 1)");
+        let ep = EpConfig {
+            max_rate_frac: wq,
+            ..EpConfig::default()
+        };
+        FlexPassConfig {
+            wq,
+            init_cwnd: 10.0,
+            g: 1.0 / 16.0,
+            max_cwnd: 4096.0,
+            min_rto: TimeDelta::millis(4),
+            ep,
+            proactive_retx: true,
+            reactive_first_rtt: true,
+            reactive_class: TrafficClass::NewData,
+            split: SplitPolicy::Shared,
+            credit_policy: CreditPolicy::EpFeedback,
+            linger: TimeDelta::millis(16),
+        }
+    }
+
+    /// The Figure 5(a) comparison variant: RC3-style tail allocation.
+    pub fn rc3_splitting(wq: f64) -> Self {
+        FlexPassConfig {
+            split: SplitPolicy::Rc3Tail,
+            ..Self::new(wq)
+        }
+    }
+
+    /// The Figure 5(b) comparison variant: reactive sub-flow in the legacy
+    /// queue (Q2) instead of sharing Q1.
+    pub fn alternative_queueing(wq: f64) -> Self {
+        FlexPassConfig {
+            reactive_class: TrafficClass::Legacy,
+            ..Self::new(wq)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = FlexPassConfig::new(0.5);
+        assert_eq!(c.wq, 0.5);
+        assert_eq!(c.ep.max_rate_frac, 0.5);
+        assert!(c.proactive_retx);
+        assert!(c.reactive_first_rtt);
+        assert_eq!(c.split, SplitPolicy::Shared);
+        assert_eq!(c.reactive_class, TrafficClass::NewData);
+        assert_eq!(c.min_rto, TimeDelta::millis(4));
+    }
+
+    #[test]
+    fn credit_policy_default_is_feedback() {
+        assert_eq!(
+            FlexPassConfig::new(0.5).credit_policy,
+            CreditPolicy::EpFeedback
+        );
+    }
+
+    #[test]
+    fn variants() {
+        assert_eq!(
+            FlexPassConfig::rc3_splitting(0.5).split,
+            SplitPolicy::Rc3Tail
+        );
+        assert_eq!(
+            FlexPassConfig::alternative_queueing(0.5).reactive_class,
+            TrafficClass::Legacy
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "w_q must be in")]
+    fn rejects_bad_wq() {
+        FlexPassConfig::new(1.0);
+    }
+}

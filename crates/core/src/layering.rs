@@ -1,0 +1,363 @@
+//! The Layering (LY) comparison scheme [Wei 2019, "ExpressPass+"]:
+//! ExpressPass credits gated by a DCTCP-adjusted window.
+//!
+//! A data packet is sent only when a credit arrives *and* the window allows
+//! it; the window reacts to ECN marks on the (shared) data queue. This
+//! mitigates starvation of legacy traffic but, as §6.2 shows, the window
+//! needlessly throttles transmission even when no legacy traffic competes.
+
+use flexpass_simcore::time::{Time, TimeDelta};
+use flexpass_simnet::consts::{data_wire_bytes, packets_for, payload_of_packet, CTRL_WIRE};
+use flexpass_simnet::endpoint::{AppEvent, Endpoint, EndpointCtx, TxStats};
+use flexpass_simnet::packet::{AckInfo, CreditInfo, DataInfo, FlowSpec, Packet, Payload, Subflow};
+use flexpass_simnet::sim::{timer_kind, timer_token, NetEnv};
+use flexpass_transport::common::{DctcpWindow, PktState, RttEstimator};
+use flexpass_transport::expresspass::EpConfig;
+
+/// Timer kind: sender retransmission backstop.
+const TK_RTO: u16 = 13;
+
+/// The Layering sender: ExpressPass clocking + DCTCP window limit.
+pub struct LySender {
+    spec: FlowSpec,
+    cfg: EpConfig,
+    n: u32,
+    states: Vec<PktState>,
+    win: DctcpWindow,
+    inflight: u32,
+    snd_una: u32,
+    next_pending: u32,
+    acked: u32,
+    dupacks: u32,
+    rtt: RttEstimator,
+    last_progress: Time,
+    rto_outstanding: bool,
+    rto_backoff: u32,
+    /// Packets currently marked `Lost`.
+    lost: std::collections::BTreeSet<u32>,
+    stats: TxStats,
+    done: bool,
+}
+
+impl LySender {
+    /// Creates a sender for `spec`.
+    pub fn new(spec: FlowSpec, cfg: EpConfig, _env: &NetEnv) -> Self {
+        let n = packets_for(spec.size);
+        LySender {
+            spec,
+            cfg,
+            n,
+            states: vec![PktState::Pending; n as usize],
+            win: DctcpWindow::new(10.0, 1.0 / 16.0, 4096.0),
+            inflight: 0,
+            snd_una: 0,
+            next_pending: 0,
+            acked: 0,
+            dupacks: 0,
+            rtt: RttEstimator::new(cfg.min_rto),
+            last_progress: Time::ZERO,
+            rto_outstanding: false,
+            rto_backoff: 0,
+            lost: std::collections::BTreeSet::new(),
+            stats: TxStats::default(),
+            done: false,
+        }
+    }
+
+    /// Current window (introspection).
+    pub fn cwnd(&self) -> f64 {
+        self.win.cwnd()
+    }
+
+    fn rto(&self) -> TimeDelta {
+        self.rtt.rto() * (1u64 << self.rto_backoff.min(8))
+    }
+
+    fn arm_rto(&mut self, ctx: &mut EndpointCtx) {
+        if !self.rto_outstanding {
+            self.rto_outstanding = true;
+            ctx.set_timer(ctx.now + self.rto(), timer_token(self.spec.id, TK_RTO));
+        }
+    }
+
+    fn send_request(&mut self, ctx: &mut EndpointCtx) {
+        ctx.send(Packet::new(
+            self.spec.id,
+            self.spec.src,
+            self.spec.dst,
+            CTRL_WIRE,
+            self.cfg.ctrl_class,
+            Payload::CreditReq { pkts: self.n },
+        ));
+        self.arm_rto(ctx);
+    }
+
+    fn pick(&mut self) -> Option<u32> {
+        if let Some(&s) = self.lost.iter().next() {
+            return Some(s);
+        }
+        while self.next_pending < self.n
+            && self.states[self.next_pending as usize] != PktState::Pending
+        {
+            self.next_pending += 1;
+        }
+        if self.next_pending < self.n {
+            let s = self.next_pending;
+            self.next_pending += 1;
+            return Some(s);
+        }
+        None
+    }
+
+    fn on_credit(&mut self, credit: CreditInfo, ctx: &mut EndpointCtx) {
+        self.stats.credits_received += 1;
+        if self.done {
+            self.stats.credits_wasted += 1;
+            return;
+        }
+        // The layering gate: credits beyond the DCTCP window are wasted.
+        if self.inflight >= self.win.cwnd_pkts() {
+            self.stats.credits_wasted += 1;
+            return;
+        }
+        match self.pick() {
+            Some(seq) => {
+                let retx = self.states[seq as usize] == PktState::Lost;
+                self.lost.remove(&seq);
+                self.states[seq as usize] = PktState::Sent;
+                self.inflight += 1;
+                let pay = payload_of_packet(self.spec.size, seq);
+                self.stats.data_pkts += 1;
+                self.stats.data_bytes += pay;
+                if retx {
+                    self.stats.retx_pkts += 1;
+                    self.stats.redundant_bytes += pay;
+                }
+                ctx.send(
+                    Packet::new(
+                        self.spec.id,
+                        self.spec.src,
+                        self.spec.dst,
+                        data_wire_bytes(pay),
+                        self.cfg.data_class,
+                        Payload::Data(DataInfo {
+                            flow_seq: seq,
+                            sub_seq: credit.idx,
+                            sub: Subflow::Only,
+                            payload: pay as u32,
+                            retx,
+                        }),
+                    )
+                    .ecn(),
+                );
+                self.arm_rto(ctx);
+            }
+            None => self.stats.credits_wasted += 1,
+        }
+    }
+
+    fn on_ack(&mut self, ack: &AckInfo, ctx: &mut EndpointCtx) {
+        let prev_una = self.snd_una;
+        let mut newly = 0u64;
+        let mark = |states: &mut Vec<PktState>, seq: u32, acked: &mut u32, inflight: &mut u32| {
+            let st = &mut states[seq as usize];
+            if *st == PktState::Acked {
+                return 0u64;
+            }
+            if st.in_flight() {
+                *inflight -= 1;
+            }
+            *st = PktState::Acked;
+            *acked += 1;
+            1
+        };
+        while self.snd_una < ack.cum.min(self.n) {
+            let got = mark(
+                &mut self.states,
+                self.snd_una,
+                &mut self.acked,
+                &mut self.inflight,
+            );
+            if got > 0 {
+                self.lost.remove(&self.snd_una);
+            }
+            newly += got;
+            self.snd_una += 1;
+        }
+        for r in 0..ack.sack_n as usize {
+            let (lo, hi) = ack.sack[r];
+            for s in lo..hi.min(self.n) {
+                let got = mark(&mut self.states, s, &mut self.acked, &mut self.inflight);
+                if got > 0 {
+                    self.lost.remove(&s);
+                }
+                newly += got;
+            }
+        }
+        if newly > 0 {
+            self.last_progress = ctx.now;
+            self.rto_backoff = 0;
+            self.dupacks = 0;
+            self.win
+                .on_ack(newly, ack.acked_flow_seq, ack.ece, self.next_pending);
+        } else if ack.cum == prev_una && ack.cum < self.n {
+            self.dupacks += 1;
+            if self.dupacks == 3 {
+                self.dupacks = 0;
+                if self.states[self.snd_una as usize] == PktState::Sent {
+                    self.states[self.snd_una as usize] = PktState::Lost;
+                    self.lost.insert(self.snd_una);
+                    self.inflight -= 1;
+                }
+                self.win.on_loss(ack.cum, self.next_pending);
+            }
+        }
+        if self.acked >= self.n && !self.done {
+            self.done = true;
+            ctx.emit(AppEvent::SenderDone {
+                flow: self.spec.id,
+                stats: self.stats,
+            });
+        }
+    }
+}
+
+impl Endpoint for LySender {
+    fn activate(&mut self, ctx: &mut EndpointCtx) {
+        self.last_progress = ctx.now;
+        self.send_request(ctx);
+    }
+
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) {
+        match pkt.payload {
+            Payload::Credit(c) => self.on_credit(c, ctx),
+            Payload::Ack(a) => self.on_ack(&a, ctx),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+        if timer_kind(token) != TK_RTO {
+            return;
+        }
+        self.rto_outstanding = false;
+        if self.done {
+            return;
+        }
+        let deadline = self.last_progress + self.rto();
+        if ctx.now < deadline {
+            self.rto_outstanding = true;
+            ctx.set_timer(deadline, timer_token(self.spec.id, TK_RTO));
+            return;
+        }
+        self.rto_backoff += 1;
+        let mut any_lost = false;
+        for s in self.snd_una..self.next_pending.min(self.n) {
+            if self.states[s as usize] == PktState::Sent {
+                self.states[s as usize] = PktState::Lost;
+                self.lost.insert(s);
+                self.inflight -= 1;
+                any_lost = true;
+            }
+        }
+        if any_lost {
+            self.stats.timeouts += 1;
+        }
+        self.win.on_timeout(self.next_pending);
+        self.last_progress = ctx.now;
+        self.send_request(ctx);
+    }
+
+    fn finished(&self) -> bool {
+        self.done && !self.rto_outstanding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexpass_simcore::time::Rate;
+    use flexpass_simnet::packet::TrafficClass;
+
+    fn env() -> NetEnv {
+        NetEnv {
+            host_rate: Rate::from_gbps(10),
+            base_rtt: TimeDelta::micros(20),
+            n_hosts: 2,
+        }
+    }
+
+    fn spec(size: u64) -> FlowSpec {
+        FlowSpec {
+            id: 3,
+            src: 0,
+            dst: 1,
+            size,
+            start: Time::ZERO,
+            tag: 0,
+            fg: false,
+        }
+    }
+
+    fn credit(idx: u32) -> Packet {
+        Packet::new(
+            3,
+            1,
+            0,
+            CTRL_WIRE,
+            TrafficClass::Credit,
+            Payload::Credit(CreditInfo { idx }),
+        )
+    }
+
+    #[test]
+    fn window_gates_credits() {
+        let mut s = LySender::new(spec(100 * 1460), EpConfig::default(), &env());
+        let mut tx = Vec::new();
+        let mut tm = Vec::new();
+        let mut app = Vec::new();
+        {
+            let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx, &mut tm, &mut app);
+            s.activate(&mut ctx);
+            // Initial window is 10: the 11th credit is wasted.
+            for i in 0..12 {
+                s.on_packet(&credit(i), &mut ctx);
+            }
+        }
+        assert_eq!(s.stats.data_pkts, 10);
+        assert_eq!(s.stats.credits_wasted, 2);
+        let data = tx.iter().filter(|p| p.is_data()).count();
+        assert_eq!(data, 10);
+        // LY data must be ECN-capable (the window needs marks).
+        assert!(tx.iter().filter(|p| p.is_data()).all(|p| p.ecn_capable));
+    }
+
+    #[test]
+    fn acks_open_window_for_more_credits() {
+        let mut s = LySender::new(spec(100 * 1460), EpConfig::default(), &env());
+        let mut tx = Vec::new();
+        let mut tm = Vec::new();
+        let mut app = Vec::new();
+        let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx, &mut tm, &mut app);
+        s.activate(&mut ctx);
+        for i in 0..10 {
+            s.on_packet(&credit(i), &mut ctx);
+        }
+        assert_eq!(s.inflight, 10);
+        let ack = AckInfo {
+            sub: Subflow::Only,
+            cum: 5,
+            sack: [(0, 0); 3],
+            sack_n: 0,
+            ece: false,
+            acked_flow_seq: 4,
+        };
+        s.on_packet(
+            &Packet::new(3, 1, 0, CTRL_WIRE, TrafficClass::NewCtrl, Payload::Ack(ack)),
+            &mut ctx,
+        );
+        assert_eq!(s.inflight, 5);
+        s.on_packet(&credit(10), &mut ctx);
+        assert_eq!(s.stats.data_pkts, 11);
+    }
+}

@@ -1,0 +1,384 @@
+//! The FlexPass receiver: reassembly across both sub-flows, per-sub-flow
+//! acknowledgment, and the ExpressPass credit loop scaled to `w_q`.
+
+use flexpass_simcore::time::TimeDelta;
+use flexpass_simnet::consts::{packets_for, CTRL_WIRE};
+use flexpass_simnet::endpoint::{AppEvent, Endpoint, EndpointCtx, RxStats};
+use flexpass_simnet::packet::{
+    AckInfo, CreditInfo, DataInfo, FlowSpec, Packet, Payload, Subflow, TrafficClass,
+};
+use flexpass_simnet::sim::{timer_kind, timer_token, NetEnv};
+use flexpass_transport::common::{AckBuilder, Reassembly};
+use flexpass_transport::expresspass::CreditEngine;
+
+use crate::config::{CreditPolicy, FlexPassConfig};
+
+/// Timer kind: credit pacing tick.
+const TK_CREDIT: u16 = 10;
+/// Timer kind: credit feedback update.
+const TK_FEEDBACK: u16 = 11;
+/// Timer kind: linger teardown.
+const TK_LINGER: u16 = 12;
+
+/// The FlexPass receiver endpoint.
+pub struct FlexPassReceiver {
+    spec: FlowSpec,
+    cfg: FlexPassConfig,
+    reasm: Reassembly,
+    /// ACK scoreboard of the reactive sub-flow (rseq space).
+    racks: AckBuilder,
+    /// ACK scoreboard of the proactive sub-flow (pseq space).
+    packs: AckBuilder,
+    engine: CreditEngine,
+    credit_idx: u32,
+    crediting: bool,
+    credit_chain_live: bool,
+    update_period: TimeDelta,
+    completed: bool,
+    torn_down: bool,
+    /// Total credits sent (introspection).
+    pub credits_sent: u64,
+}
+
+impl FlexPassReceiver {
+    /// Creates a receiver for `spec`. The credit engine's maximum rate is
+    /// the host line rate scaled by `cfg.wq` (§4.1: credits are allocated
+    /// against the minimum guaranteed bandwidth only).
+    pub fn new(spec: FlowSpec, cfg: FlexPassConfig, env: &NetEnv) -> Self {
+        let n = packets_for(spec.size);
+        let reasm = Reassembly::new(spec.size, n);
+        let mut ep = cfg.ep;
+        if cfg.credit_policy == CreditPolicy::FixedRate {
+            // pHost-style: pace at the guaranteed rate from the start and
+            // never adapt (the feedback timer is disabled in `on_timer`).
+            ep.init_rate_frac = 1.0;
+        }
+        let engine = CreditEngine::new(ep, env, spec.id);
+        FlexPassReceiver {
+            spec,
+            cfg,
+            reasm,
+            racks: AckBuilder::new(n),
+            packs: AckBuilder::new(n),
+            engine,
+            credit_idx: 0,
+            crediting: false,
+            credit_chain_live: false,
+            update_period: env.base_rtt.max(TimeDelta::micros(20)),
+            completed: false,
+            torn_down: false,
+            credits_sent: 0,
+        }
+    }
+
+    /// Unique packets received so far (introspection).
+    pub fn received(&self) -> u32 {
+        self.reasm.received_count()
+    }
+
+    fn ctrl(&self, payload: Payload) -> Packet {
+        Packet::new(
+            self.spec.id,
+            self.spec.dst,
+            self.spec.src,
+            CTRL_WIRE,
+            TrafficClass::NewCtrl,
+            payload,
+        )
+    }
+
+    fn start_crediting(&mut self, ctx: &mut EndpointCtx) {
+        if self.crediting || self.completed {
+            return;
+        }
+        self.crediting = true;
+        if !self.credit_chain_live {
+            self.credit_chain_live = true;
+            ctx.set_timer(ctx.now, timer_token(self.spec.id, TK_CREDIT));
+            ctx.set_timer(
+                ctx.now + self.update_period,
+                timer_token(self.spec.id, TK_FEEDBACK),
+            );
+        }
+    }
+
+    fn send_credit(&mut self, ctx: &mut EndpointCtx) {
+        let idx = self.credit_idx;
+        self.credit_idx += 1;
+        self.credits_sent += 1;
+        self.engine.credits_sent_period += 1;
+        ctx.send(Packet::new(
+            self.spec.id,
+            self.spec.dst,
+            self.spec.src,
+            CTRL_WIRE,
+            TrafficClass::Credit,
+            Payload::Credit(CreditInfo { idx }),
+        ));
+    }
+
+    fn on_data(&mut self, pkt: &Packet, d: DataInfo, ctx: &mut EndpointCtx) {
+        // Reassemble on the per-flow sequence; duplicates (e.g. a reactive
+        // original racing its proactive retransmission) are discarded here.
+        self.reasm.on_packet(d.flow_seq);
+
+        // Acknowledge on the sub-flow the copy actually arrived on.
+        let info: AckInfo = match d.sub {
+            Subflow::Reactive => {
+                self.racks.on_packet(d.sub_seq);
+                self.racks
+                    .build(Subflow::Reactive, pkt.ecn_ce, d.flow_seq, d.sub_seq)
+            }
+            Subflow::Proactive | Subflow::Only => {
+                self.engine.data_rcvd_period += 1;
+                self.packs.on_packet(d.sub_seq);
+                self.packs
+                    .build(Subflow::Proactive, pkt.ecn_ce, d.flow_seq, d.sub_seq)
+            }
+        };
+        ctx.send(self.ctrl(Payload::Ack(info)));
+
+        if self.reasm.complete() && !self.completed {
+            self.completed = true;
+            self.crediting = false;
+            ctx.emit(AppEvent::FlowCompleted {
+                flow: self.spec.id,
+                stats: RxStats {
+                    pkts_received: self.reasm.received_count() as u64 + self.reasm.duplicates(),
+                    dup_pkts: self.reasm.duplicates(),
+                    reorder_peak_bytes: self.reasm.reorder_peak(),
+                },
+            });
+            ctx.set_timer(
+                ctx.now + self.cfg.linger,
+                timer_token(self.spec.id, TK_LINGER),
+            );
+        }
+    }
+}
+
+impl Endpoint for FlexPassReceiver {
+    fn activate(&mut self, _ctx: &mut EndpointCtx) {}
+
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) {
+        match pkt.payload {
+            Payload::CreditReq { .. } => self.start_crediting(ctx),
+            Payload::CreditStop => self.crediting = false,
+            Payload::Data(d) => self.on_data(pkt, d, ctx),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+        match timer_kind(token) {
+            TK_CREDIT => {
+                if self.crediting && !self.completed {
+                    self.send_credit(ctx);
+                    ctx.set_timer(
+                        ctx.now + self.engine.credit_interval(),
+                        timer_token(self.spec.id, TK_CREDIT),
+                    );
+                } else {
+                    self.credit_chain_live = false;
+                }
+            }
+            TK_FEEDBACK
+                if self.crediting
+                    && !self.completed
+                    && self.cfg.credit_policy == CreditPolicy::EpFeedback =>
+            {
+                self.engine.feedback_update();
+                ctx.set_timer(
+                    ctx.now + self.update_period,
+                    timer_token(self.spec.id, TK_FEEDBACK),
+                );
+            }
+            TK_LINGER => self.torn_down = true,
+            _ => {}
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.torn_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexpass_simcore::time::{Rate, Time};
+    use flexpass_simnet::consts::data_wire_bytes;
+
+    fn env() -> NetEnv {
+        NetEnv {
+            host_rate: Rate::from_gbps(10),
+            base_rtt: TimeDelta::micros(20),
+            n_hosts: 2,
+        }
+    }
+
+    fn spec(size: u64) -> FlowSpec {
+        FlowSpec {
+            id: 7,
+            src: 0,
+            dst: 1,
+            size,
+            start: Time::ZERO,
+            tag: 0,
+            fg: false,
+        }
+    }
+
+    #[derive(Default)]
+    struct H {
+        tx: Vec<Packet>,
+        tm: Vec<(Time, u64)>,
+        app: Vec<AppEvent>,
+    }
+
+    impl H {
+        fn with<R>(&mut self, now: Time, f: impl FnOnce(&mut EndpointCtx) -> R) -> R {
+            let mut ctx = EndpointCtx::new(now, &mut self.tx, &mut self.tm, &mut self.app);
+            f(&mut ctx)
+        }
+    }
+
+    fn data(flow_seq: u32, sub: Subflow, sub_seq: u32, ce: bool) -> Packet {
+        let mut p = Packet::new(
+            7,
+            0,
+            1,
+            data_wire_bytes(1460),
+            TrafficClass::NewData,
+            Payload::Data(DataInfo {
+                flow_seq,
+                sub_seq,
+                sub,
+                payload: 1460,
+                retx: false,
+            }),
+        );
+        p.ecn_ce = ce;
+        p
+    }
+
+    fn req() -> Packet {
+        Packet::new(
+            7,
+            0,
+            1,
+            CTRL_WIRE,
+            TrafficClass::NewCtrl,
+            Payload::CreditReq { pkts: 4 },
+        )
+    }
+
+    #[test]
+    fn credit_request_starts_pacing() {
+        let mut r = FlexPassReceiver::new(spec(4 * 1460), FlexPassConfig::new(0.5), &env());
+        let mut h = H::default();
+        h.with(Time::ZERO, |ctx| r.on_packet(&req(), ctx));
+        // Pacing + feedback timers armed.
+        assert_eq!(h.tm.len(), 2);
+        // Fire the pacing timer: a credit goes out.
+        let (at, tok) = h.tm[0];
+        h.with(at, |ctx| r.on_timer(tok, ctx));
+        let credits =
+            h.tx.iter()
+                .filter(|p| matches!(p.payload, Payload::Credit(_)))
+                .count();
+        assert_eq!(credits, 1);
+        assert_eq!(h.tx[0].class, TrafficClass::Credit);
+        assert_eq!(r.credits_sent, 1);
+    }
+
+    #[test]
+    fn acks_ride_correct_subflow_and_echo_ce() {
+        let mut r = FlexPassReceiver::new(spec(4 * 1460), FlexPassConfig::new(0.5), &env());
+        let mut h = H::default();
+        h.with(Time::ZERO, |ctx| {
+            r.on_packet(&data(0, Subflow::Reactive, 0, true), ctx)
+        });
+        h.with(Time::ZERO, |ctx| {
+            r.on_packet(&data(1, Subflow::Proactive, 0, false), ctx)
+        });
+        assert_eq!(h.tx.len(), 2);
+        match h.tx[0].payload {
+            Payload::Ack(a) => {
+                assert_eq!(a.sub, Subflow::Reactive);
+                assert!(a.ece);
+                assert_eq!(a.cum, 1);
+            }
+            _ => panic!("expected reactive ack"),
+        }
+        match h.tx[1].payload {
+            Payload::Ack(a) => {
+                assert_eq!(a.sub, Subflow::Proactive);
+                assert!(!a.ece);
+                assert_eq!(a.cum, 1);
+            }
+            _ => panic!("expected proactive ack"),
+        }
+    }
+
+    #[test]
+    fn duplicate_copies_discarded_in_reassembly() {
+        let mut r = FlexPassReceiver::new(spec(2 * 1460), FlexPassConfig::new(0.5), &env());
+        let mut h = H::default();
+        // Packet 0 arrives reactive, then again as a proactive retx.
+        h.with(Time::ZERO, |ctx| {
+            r.on_packet(&data(0, Subflow::Reactive, 0, false), ctx)
+        });
+        h.with(Time::ZERO, |ctx| {
+            r.on_packet(&data(0, Subflow::Proactive, 0, false), ctx)
+        });
+        h.with(Time::ZERO, |ctx| {
+            r.on_packet(&data(1, Subflow::Proactive, 1, false), ctx)
+        });
+        assert!(r.reasm_complete_for_test());
+        let done: Vec<_> = h
+            .app
+            .iter()
+            .filter_map(|e| match e {
+                AppEvent::FlowCompleted { stats, .. } => Some(*stats),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].dup_pkts, 1);
+        assert_eq!(done[0].pkts_received, 3);
+    }
+
+    #[test]
+    fn completion_stops_crediting() {
+        let mut r = FlexPassReceiver::new(spec(1460), FlexPassConfig::new(0.5), &env());
+        let mut h = H::default();
+        h.with(Time::ZERO, |ctx| r.on_packet(&req(), ctx));
+        h.with(Time::ZERO, |ctx| {
+            r.on_packet(&data(0, Subflow::Reactive, 0, false), ctx)
+        });
+        assert!(!r.crediting);
+        // The pacing timer fires once more and dies without sending.
+        let before =
+            h.tx.iter()
+                .filter(|p| matches!(p.payload, Payload::Credit(_)))
+                .count();
+        let (at, tok) = h.tm[0];
+        h.with(at, |ctx| r.on_timer(tok, ctx));
+        let after =
+            h.tx.iter()
+                .filter(|p| matches!(p.payload, Payload::Credit(_)))
+                .count();
+        assert_eq!(before, after);
+        // Linger tears down.
+        let linger_tok = timer_token(7, TK_LINGER);
+        h.with(Time::from_millis(20), |ctx| r.on_timer(linger_tok, ctx));
+        assert!(r.finished());
+    }
+
+    impl FlexPassReceiver {
+        fn reasm_complete_for_test(&self) -> bool {
+            self.reasm.complete()
+        }
+    }
+}

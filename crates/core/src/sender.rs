@@ -1,0 +1,897 @@
+//! The FlexPass sender: the Figure-4 per-packet state machine over a shared
+//! send buffer, with a credit-clocked proactive sub-flow and a
+//! DCTCP-windowed reactive sub-flow.
+
+use flexpass_simcore::time::{Time, TimeDelta};
+use flexpass_simnet::consts::{data_wire_bytes, packets_for, payload_of_packet, CTRL_WIRE};
+use flexpass_simnet::endpoint::{AppEvent, Endpoint, EndpointCtx, TxStats};
+use flexpass_simnet::packet::{
+    AckInfo, CreditInfo, DataInfo, FlowSpec, Packet, Payload, Subflow, TrafficClass,
+};
+use flexpass_simnet::sim::{timer_kind, timer_token, NetEnv};
+use flexpass_transport::common::{DctcpWindow, PktState, RttEstimator};
+
+use crate::config::{FlexPassConfig, SplitPolicy};
+
+/// Timer kind: sender retransmission / credit re-request backstop.
+const TK_RTO: u16 = 9;
+/// Timer kind: reactive sub-flow stall (tail-loss) detector.
+const TK_R_RTO: u16 = 14;
+
+/// Per-sub-flow sequence bookkeeping: maps sub-flow sequence numbers to the
+/// flow-level packets they carried and tracks which are still outstanding.
+#[derive(Debug, Default)]
+struct SubflowTx {
+    /// `sub_seq -> flow_seq`.
+    map: Vec<u32>,
+    /// Slot closed: acknowledged, deemed lost, or superseded.
+    closed: Vec<bool>,
+    /// All slots below this index are closed (scan frontier).
+    clean: u32,
+    /// Open (in-flight) slots.
+    inflight: u32,
+    /// Highest slot acknowledged (cumulative or selective).
+    high_acked: u32,
+}
+
+impl SubflowTx {
+    fn assign(&mut self, flow_seq: u32) -> u32 {
+        let sub_seq = self.map.len() as u32;
+        self.map.push(flow_seq);
+        self.closed.push(false);
+        self.inflight += 1;
+        sub_seq
+    }
+
+    fn next_seq(&self) -> u32 {
+        self.map.len() as u32
+    }
+
+    fn close(&mut self, sub_seq: u32) -> bool {
+        let i = sub_seq as usize;
+        if i >= self.closed.len() || self.closed[i] {
+            return false;
+        }
+        self.closed[i] = true;
+        self.inflight -= 1;
+        while (self.clean as usize) < self.closed.len() && self.closed[self.clean as usize] {
+            self.clean += 1;
+        }
+        true
+    }
+
+    /// Open slots strictly below `below` that are presumed lost because at
+    /// least `dup_thresh` later slots were acknowledged.
+    fn sweep_lost(&mut self, dup_thresh: u32) -> Vec<u32> {
+        let mut lost = Vec::new();
+        if self.high_acked < dup_thresh {
+            return lost;
+        }
+        let limit = self.high_acked.saturating_sub(dup_thresh - 1);
+        let mut s = self.clean;
+        while s < limit.min(self.map.len() as u32) {
+            if !self.closed[s as usize] {
+                lost.push(s);
+            }
+            s += 1;
+        }
+        lost
+    }
+}
+
+/// The FlexPass sender endpoint.
+pub struct FlexPassSender {
+    spec: FlowSpec,
+    cfg: FlexPassConfig,
+    n: u32,
+    /// Figure-4 per-packet states, indexed by `flow_seq`.
+    states: Vec<PktState>,
+    /// Last reactive sub-seq each packet was assigned, if any.
+    rseq_of: Vec<Option<u32>>,
+    /// Last proactive sub-seq each packet was assigned, if any.
+    pseq_of: Vec<Option<u32>>,
+    reactive: SubflowTx,
+    proactive: SubflowTx,
+    rwin: DctcpWindow,
+    /// Frontier for head allocation (lowest possibly-pending `flow_seq`).
+    head: u32,
+    /// Frontier for RC3-style tail allocation.
+    tail: i64,
+    acked: u32,
+    rtt: RttEstimator,
+    last_progress: Time,
+    rto_outstanding: bool,
+    rto_backoff: u32,
+    /// Last instant a reactive ACK closed outstanding slots.
+    r_last_progress: Time,
+    r_rto_outstanding: bool,
+    requested_credits: bool,
+    /// Packets currently in state `Lost` (sorted for O(log n) min lookup).
+    lost: std::collections::BTreeSet<u32>,
+    /// Packets currently in state `SentReactive` (proactive-retx candidates).
+    sent_reactive: std::collections::BTreeSet<u32>,
+    stats: TxStats,
+    done: bool,
+}
+
+impl FlexPassSender {
+    /// Creates a sender for `spec`.
+    pub fn new(spec: FlowSpec, cfg: FlexPassConfig, _env: &NetEnv) -> Self {
+        let n = packets_for(spec.size);
+        FlexPassSender {
+            spec,
+            cfg,
+            n,
+            states: vec![PktState::Pending; n as usize],
+            rseq_of: vec![None; n as usize],
+            pseq_of: vec![None; n as usize],
+            reactive: SubflowTx::default(),
+            proactive: SubflowTx::default(),
+            rwin: DctcpWindow::new(cfg.init_cwnd, cfg.g, cfg.max_cwnd),
+            head: 0,
+            tail: n as i64 - 1,
+            acked: 0,
+            rtt: RttEstimator::new(cfg.min_rto),
+            last_progress: Time::ZERO,
+            rto_outstanding: false,
+            rto_backoff: 0,
+            r_last_progress: Time::ZERO,
+            r_rto_outstanding: false,
+            requested_credits: false,
+            lost: std::collections::BTreeSet::new(),
+            sent_reactive: std::collections::BTreeSet::new(),
+            stats: TxStats::default(),
+            done: false,
+        }
+    }
+
+    /// Transmission statistics so far.
+    pub fn stats(&self) -> TxStats {
+        self.stats
+    }
+
+    /// Reactive congestion window (introspection).
+    pub fn reactive_cwnd(&self) -> f64 {
+        self.rwin.cwnd()
+    }
+
+    fn rto(&self) -> TimeDelta {
+        self.rtt.rto() * (1u64 << self.rto_backoff.min(8))
+    }
+
+    fn arm_rto(&mut self, ctx: &mut EndpointCtx) {
+        if !self.rto_outstanding {
+            self.rto_outstanding = true;
+            ctx.set_timer(ctx.now + self.rto(), timer_token(self.spec.id, TK_RTO));
+        }
+    }
+
+    fn arm_reactive_rto(&mut self, ctx: &mut EndpointCtx) {
+        if !self.r_rto_outstanding {
+            self.r_rto_outstanding = true;
+            ctx.set_timer(
+                ctx.now + self.rtt.rto(),
+                timer_token(self.spec.id, TK_R_RTO),
+            );
+        }
+    }
+
+    fn send_request(&mut self, ctx: &mut EndpointCtx) {
+        self.requested_credits = true;
+        ctx.send(Packet::new(
+            self.spec.id,
+            self.spec.src,
+            self.spec.dst,
+            CTRL_WIRE,
+            TrafficClass::NewCtrl,
+            Payload::CreditReq { pkts: self.n },
+        ));
+        self.arm_rto(ctx);
+    }
+
+    /// Lowest `Pending` packet from the head, advancing the frontier.
+    fn next_head_pending(&mut self) -> Option<u32> {
+        while self.head < self.n && self.states[self.head as usize] != PktState::Pending {
+            self.head += 1;
+        }
+        (self.head < self.n).then_some(self.head)
+    }
+
+    /// Highest `Pending` packet from the tail (RC3 variant).
+    fn next_tail_pending(&mut self) -> Option<u32> {
+        while self.tail >= 0 && self.states[self.tail as usize] != PktState::Pending {
+            self.tail -= 1;
+        }
+        (self.tail >= 0).then_some(self.tail as u32)
+    }
+
+    fn first_lost(&self) -> Option<u32> {
+        self.lost.iter().next().copied()
+    }
+
+    /// First packet still marked `SentReactive` (candidate for proactive
+    /// retransmission).
+    fn first_sent_reactive(&self) -> Option<u32> {
+        self.sent_reactive.iter().next().copied()
+    }
+
+    fn data_packet(&self, flow_seq: u32, sub: Subflow, sub_seq: u32, retx: bool) -> Packet {
+        let pay = payload_of_packet(self.spec.size, flow_seq);
+        let p = Packet::new(
+            self.spec.id,
+            self.spec.src,
+            self.spec.dst,
+            data_wire_bytes(pay),
+            if sub == Subflow::Reactive {
+                self.cfg.reactive_class
+            } else {
+                TrafficClass::NewData
+            },
+            Payload::Data(DataInfo {
+                flow_seq,
+                sub_seq,
+                sub,
+                payload: pay as u32,
+                retx,
+            }),
+        );
+        if sub == Subflow::Reactive {
+            // Reactive packets are red (selectively droppable) and
+            // ECN-capable so DCTCP-style marking throttles them early.
+            p.red().ecn()
+        } else {
+            p
+        }
+    }
+
+    /// Sends `flow_seq` on the reactive sub-flow.
+    fn send_reactive(&mut self, flow_seq: u32, ctx: &mut EndpointCtx) {
+        debug_assert_eq!(self.states[flow_seq as usize], PktState::Pending);
+        let sub_seq = self.reactive.assign(flow_seq);
+        self.rseq_of[flow_seq as usize] = Some(sub_seq);
+        self.states[flow_seq as usize] = PktState::SentReactive;
+        self.sent_reactive.insert(flow_seq);
+        let pay = payload_of_packet(self.spec.size, flow_seq);
+        self.stats.data_pkts += 1;
+        self.stats.data_bytes += pay;
+        ctx.send(self.data_packet(flow_seq, Subflow::Reactive, sub_seq, false));
+        self.arm_rto(ctx);
+        self.arm_reactive_rto(ctx);
+    }
+
+    /// Pumps the reactive window: new data only (the reactive sub-flow is
+    /// never used for retransmission, §4.2).
+    fn pump_reactive(&mut self, ctx: &mut EndpointCtx) {
+        let cwnd = self.rwin.cwnd_pkts();
+        while self.reactive.inflight < cwnd {
+            let seq = match self.cfg.split {
+                SplitPolicy::Shared => self.next_head_pending(),
+                SplitPolicy::Rc3Tail => self.next_tail_pending(),
+            };
+            match seq {
+                Some(s) => self.send_reactive(s, ctx),
+                None => break,
+            }
+        }
+    }
+
+    /// Handles a credit: transmit on the proactive sub-flow in the paper's
+    /// priority order — Lost, then Pending, then Sent-as-reactive.
+    fn on_credit(&mut self, _credit: CreditInfo, ctx: &mut EndpointCtx) {
+        self.stats.credits_received += 1;
+        if self.done {
+            self.stats.credits_wasted += 1;
+            ctx.send(Packet::new(
+                self.spec.id,
+                self.spec.src,
+                self.spec.dst,
+                CTRL_WIRE,
+                TrafficClass::NewCtrl,
+                Payload::CreditStop,
+            ));
+            return;
+        }
+        enum Kind {
+            LossRecovery,
+            NewData,
+            ProactiveRetx,
+        }
+        let (flow_seq, kind) = if let Some(s) = self.first_lost() {
+            (s, Kind::LossRecovery)
+        } else if let Some(s) = self.next_head_pending() {
+            (s, Kind::NewData)
+        } else if self.cfg.proactive_retx {
+            match self.first_sent_reactive() {
+                Some(s) => (s, Kind::ProactiveRetx),
+                None => {
+                    self.stats.credits_wasted += 1;
+                    return;
+                }
+            }
+        } else {
+            self.stats.credits_wasted += 1;
+            return;
+        };
+
+        let pay = payload_of_packet(self.spec.size, flow_seq);
+        let retx = !matches!(kind, Kind::NewData);
+        match kind {
+            Kind::LossRecovery => {
+                self.stats.retx_pkts += 1;
+                self.stats.redundant_bytes += pay;
+            }
+            Kind::ProactiveRetx => {
+                self.stats.proactive_retx_pkts += 1;
+                self.stats.redundant_bytes += pay;
+            }
+            Kind::NewData => {}
+        }
+        let sub_seq = self.proactive.assign(flow_seq);
+        self.pseq_of[flow_seq as usize] = Some(sub_seq);
+        self.lost.remove(&flow_seq);
+        self.sent_reactive.remove(&flow_seq);
+        self.states[flow_seq as usize] = PktState::SentProactive;
+        self.stats.data_pkts += 1;
+        self.stats.data_bytes += pay;
+        ctx.send(self.data_packet(flow_seq, Subflow::Proactive, sub_seq, retx));
+        self.arm_rto(ctx);
+    }
+
+    /// Marks `flow_seq` acknowledged, closing any open sub-flow slots that
+    /// carried it.
+    fn ack_flow_seq(&mut self, flow_seq: u32) {
+        if self.states[flow_seq as usize] == PktState::Acked {
+            return;
+        }
+        self.states[flow_seq as usize] = PktState::Acked;
+        self.lost.remove(&flow_seq);
+        self.sent_reactive.remove(&flow_seq);
+        self.acked += 1;
+        if let Some(r) = self.rseq_of[flow_seq as usize] {
+            self.reactive.close(r);
+        }
+        if let Some(p) = self.pseq_of[flow_seq as usize] {
+            self.proactive.close(p);
+        }
+    }
+
+    /// Applies an ACK to one sub-flow's bookkeeping; returns newly closed
+    /// slots that were acknowledged (not merely swept).
+    fn apply_subflow_ack(sub: &mut SubflowTx, ack: &AckInfo) -> Vec<u32> {
+        let mut newly = Vec::new();
+        let upper = ack.cum.min(sub.next_seq());
+        let mut s = sub.clean;
+        while s < upper {
+            if sub.close(s) {
+                newly.push(s);
+            }
+            s += 1;
+        }
+        for r in 0..ack.sack_n as usize {
+            let (lo, hi) = ack.sack[r];
+            for s in lo..hi.min(sub.next_seq()) {
+                if sub.close(s) {
+                    newly.push(s);
+                }
+            }
+            if hi > 0 {
+                sub.high_acked = sub.high_acked.max(hi - 1);
+            }
+        }
+        if ack.cum > 0 {
+            sub.high_acked = sub.high_acked.max(ack.cum - 1);
+        }
+        newly
+    }
+
+    fn on_reactive_ack(&mut self, ack: &AckInfo, ctx: &mut EndpointCtx) {
+        let newly = Self::apply_subflow_ack(&mut self.reactive, ack);
+        let n_new = newly.len() as u64;
+        for sub_seq in newly {
+            let flow_seq = self.reactive.map[sub_seq as usize];
+            self.ack_flow_seq(flow_seq);
+        }
+        // SACK-based loss detection: open slots with >= 3 acked above.
+        let lost = self.reactive.sweep_lost(3);
+        let had_loss = !lost.is_empty();
+        for sub_seq in lost {
+            self.reactive.close(sub_seq);
+            let flow_seq = self.reactive.map[sub_seq as usize];
+            if self.states[flow_seq as usize] == PktState::SentReactive {
+                // Recovery happens on the proactive sub-flow (§4.2).
+                self.states[flow_seq as usize] = PktState::Lost;
+                self.sent_reactive.remove(&flow_seq);
+                self.lost.insert(flow_seq);
+            }
+        }
+        if n_new > 0 {
+            self.last_progress = ctx.now;
+            self.r_last_progress = ctx.now;
+            self.rto_backoff = 0;
+            self.rwin.on_ack(
+                n_new,
+                self.reactive.high_acked,
+                ack.ece,
+                self.reactive.next_seq(),
+            );
+        } else if ack.ece {
+            // Window update from a duplicate ACK still carries the mark.
+            self.rwin
+                .on_ack(0, self.reactive.high_acked, true, self.reactive.next_seq());
+        }
+        if had_loss {
+            self.rwin
+                .on_loss(self.reactive.high_acked, self.reactive.next_seq());
+        }
+        self.check_done(ctx);
+        if !self.done {
+            self.pump_reactive(ctx);
+        }
+    }
+
+    fn on_proactive_ack(&mut self, ack: &AckInfo, ctx: &mut EndpointCtx) {
+        let newly = Self::apply_subflow_ack(&mut self.proactive, ack);
+        if !newly.is_empty() {
+            self.last_progress = ctx.now;
+            self.rto_backoff = 0;
+        }
+        for sub_seq in newly {
+            let flow_seq = self.proactive.map[sub_seq as usize];
+            self.ack_flow_seq(flow_seq);
+        }
+        // Proactive losses are non-congestive (e.g. failures) but must be
+        // recovered with the highest priority (§4.3).
+        for sub_seq in self.proactive.sweep_lost(3) {
+            self.proactive.close(sub_seq);
+            let flow_seq = self.proactive.map[sub_seq as usize];
+            if self.states[flow_seq as usize] == PktState::SentProactive {
+                self.states[flow_seq as usize] = PktState::Lost;
+                self.lost.insert(flow_seq);
+            }
+        }
+        self.check_done(ctx);
+    }
+
+    fn check_done(&mut self, ctx: &mut EndpointCtx) {
+        if self.acked >= self.n && !self.done {
+            self.done = true;
+            ctx.emit(AppEvent::SenderDone {
+                flow: self.spec.id,
+                stats: self.stats,
+            });
+        }
+    }
+
+    /// Reactive tail-loss handling: if the reactive sub-flow made no
+    /// progress for a full RTO while slots are outstanding, the tail of its
+    /// window was dropped with no later ACKs to reveal it. Close every open
+    /// slot (recovery rides the proactive sub-flow, §4.2) and restart the
+    /// window conservatively.
+    fn on_reactive_rto(&mut self, ctx: &mut EndpointCtx) {
+        self.r_rto_outstanding = false;
+        if self.done || self.reactive.inflight == 0 {
+            return;
+        }
+        let deadline = self.r_last_progress + self.rtt.rto();
+        if ctx.now < deadline {
+            self.r_rto_outstanding = true;
+            ctx.set_timer(deadline, timer_token(self.spec.id, TK_R_RTO));
+            return;
+        }
+        let mut s = self.reactive.clean;
+        while (s as usize) < self.reactive.map.len() {
+            if !self.reactive.closed[s as usize] {
+                self.reactive.close(s);
+                let flow_seq = self.reactive.map[s as usize];
+                if self.states[flow_seq as usize] == PktState::SentReactive {
+                    self.states[flow_seq as usize] = PktState::Lost;
+                    self.sent_reactive.remove(&flow_seq);
+                    self.lost.insert(flow_seq);
+                }
+            }
+            s += 1;
+        }
+        self.rwin.on_timeout(self.reactive.next_seq());
+        self.r_last_progress = ctx.now;
+        self.pump_reactive(ctx);
+    }
+
+    fn on_rto(&mut self, ctx: &mut EndpointCtx) {
+        self.rto_outstanding = false;
+        if self.done {
+            return;
+        }
+        let deadline = self.last_progress + self.rto();
+        if ctx.now < deadline {
+            self.rto_outstanding = true;
+            ctx.set_timer(deadline, timer_token(self.spec.id, TK_RTO));
+            return;
+        }
+        // Full stall: presume all in-flight packets lost, re-request
+        // credits, and restart the reactive window from one packet. Only
+        // count a timeout when data was actually outstanding.
+        self.rto_backoff += 1;
+        let mut any_lost = false;
+        for s in 0..self.n as usize {
+            if self.states[s].in_flight() {
+                any_lost = true;
+                if let Some(r) = self.rseq_of[s] {
+                    self.reactive.close(r);
+                }
+                if let Some(p) = self.pseq_of[s] {
+                    self.proactive.close(p);
+                }
+                self.states[s] = PktState::Lost;
+                self.sent_reactive.remove(&(s as u32));
+                self.lost.insert(s as u32);
+            }
+        }
+        if any_lost {
+            self.stats.timeouts += 1;
+        }
+        self.rwin.on_timeout(self.reactive.next_seq());
+        self.last_progress = ctx.now;
+        self.send_request(ctx);
+    }
+}
+
+impl Endpoint for FlexPassSender {
+    fn activate(&mut self, ctx: &mut EndpointCtx) {
+        self.last_progress = ctx.now;
+        self.send_request(ctx);
+        if self.cfg.reactive_first_rtt {
+            // Unlike the proactive sub-flow (which waits one RTT for
+            // credits), the reactive sub-flow may transmit immediately.
+            self.pump_reactive(ctx);
+        }
+    }
+
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) {
+        match pkt.payload {
+            Payload::Credit(c) => self.on_credit(c, ctx),
+            Payload::Ack(a) => match a.sub {
+                Subflow::Reactive => self.on_reactive_ack(&a, ctx),
+                Subflow::Proactive => self.on_proactive_ack(&a, ctx),
+                Subflow::Only => {}
+            },
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+        match timer_kind(token) {
+            TK_RTO => self.on_rto(ctx),
+            TK_R_RTO => self.on_reactive_rto(ctx),
+            _ => {}
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.done && !self.rto_outstanding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexpass_simcore::time::Rate;
+    use flexpass_simnet::packet::Color;
+
+    fn env() -> NetEnv {
+        NetEnv {
+            host_rate: Rate::from_gbps(10),
+            base_rtt: TimeDelta::micros(20),
+            n_hosts: 2,
+        }
+    }
+
+    fn spec(size: u64) -> FlowSpec {
+        FlowSpec {
+            id: 5,
+            src: 0,
+            dst: 1,
+            size,
+            start: Time::ZERO,
+            tag: 0,
+            fg: false,
+        }
+    }
+
+    /// Test harness holding the ctx output buffers between calls.
+    #[derive(Default)]
+    struct H {
+        tx: Vec<Packet>,
+        tm: Vec<(Time, u64)>,
+        app: Vec<AppEvent>,
+    }
+
+    impl H {
+        fn with<R>(&mut self, now: Time, f: impl FnOnce(&mut EndpointCtx) -> R) -> R {
+            let mut ctx = EndpointCtx::new(now, &mut self.tx, &mut self.tm, &mut self.app);
+            f(&mut ctx)
+        }
+        fn data_sent(&self) -> Vec<DataInfo> {
+            self.tx
+                .iter()
+                .filter_map(|p| match p.payload {
+                    Payload::Data(d) => Some(d),
+                    _ => None,
+                })
+                .collect()
+        }
+    }
+
+    fn credit(idx: u32) -> Packet {
+        Packet::new(
+            5,
+            1,
+            0,
+            CTRL_WIRE,
+            TrafficClass::Credit,
+            Payload::Credit(CreditInfo { idx }),
+        )
+    }
+
+    fn ack(sub: Subflow, cum: u32, ece: bool) -> Packet {
+        Packet::new(
+            5,
+            1,
+            0,
+            CTRL_WIRE,
+            TrafficClass::NewCtrl,
+            Payload::Ack(AckInfo {
+                sub,
+                cum,
+                sack: [(0, 0); 3],
+                sack_n: 0,
+                ece,
+                acked_flow_seq: cum.saturating_sub(1),
+            }),
+        )
+    }
+
+    fn sack_ack(sub: Subflow, cum: u32, lo: u32, hi: u32) -> Packet {
+        Packet::new(
+            5,
+            1,
+            0,
+            CTRL_WIRE,
+            TrafficClass::NewCtrl,
+            Payload::Ack(AckInfo {
+                sub,
+                cum,
+                sack: [(lo, hi), (0, 0), (0, 0)],
+                sack_n: 1,
+                ece: false,
+                acked_flow_seq: hi.saturating_sub(1),
+            }),
+        )
+    }
+
+    #[test]
+    fn first_rtt_reactive_burst_and_credit_request() {
+        let mut s = FlexPassSender::new(spec(100 * 1460), FlexPassConfig::new(0.5), &env());
+        let mut h = H::default();
+        h.with(Time::ZERO, |ctx| s.activate(ctx));
+        // One CreditReq + init_cwnd (10) reactive packets.
+        assert_eq!(h.tx.len(), 11);
+        assert!(matches!(h.tx[0].payload, Payload::CreditReq { pkts: 100 }));
+        for p in &h.tx[1..] {
+            match p.payload {
+                Payload::Data(d) => {
+                    assert_eq!(d.sub, Subflow::Reactive);
+                    assert!(p.ecn_capable);
+                    assert_eq!(p.color, Color::Red);
+                }
+                _ => panic!("expected reactive data"),
+            }
+        }
+        assert_eq!(s.reactive.inflight, 10);
+    }
+
+    #[test]
+    fn credit_sends_pending_then_proactive_retx() {
+        let cfg = FlexPassConfig::new(0.5);
+        let mut s = FlexPassSender::new(spec(3 * 1460), cfg, &env());
+        let mut h = H::default();
+        h.with(Time::ZERO, |ctx| s.activate(ctx));
+        // All 3 packets went reactive (cwnd 10 > 3). A credit now has no
+        // Lost/Pending left: proactive retransmission of packet 0.
+        let before = h.tx.len();
+        h.with(Time::ZERO, |ctx| s.on_packet(&credit(0), ctx));
+        assert_eq!(h.tx.len(), before + 1);
+        match h.tx.last().unwrap().payload {
+            Payload::Data(d) => {
+                assert_eq!(d.sub, Subflow::Proactive);
+                assert_eq!(d.flow_seq, 0);
+                assert!(d.retx);
+            }
+            _ => panic!("expected proactive data"),
+        }
+        assert_eq!(s.stats().proactive_retx_pkts, 1);
+        assert_eq!(s.states[0], PktState::SentProactive);
+    }
+
+    #[test]
+    fn proactive_retx_disabled_wastes_credit() {
+        let mut cfg = FlexPassConfig::new(0.5);
+        cfg.proactive_retx = false;
+        let mut s = FlexPassSender::new(spec(3 * 1460), cfg, &env());
+        let mut h = H::default();
+        h.with(Time::ZERO, |ctx| s.activate(ctx));
+        h.with(Time::ZERO, |ctx| s.on_packet(&credit(0), ctx));
+        assert_eq!(s.stats().credits_wasted, 1);
+    }
+
+    #[test]
+    fn lost_has_highest_credit_priority() {
+        let mut s = FlexPassSender::new(spec(50 * 1460), FlexPassConfig::new(0.5), &env());
+        let mut h = H::default();
+        h.with(Time::ZERO, |ctx| s.activate(ctx));
+        // Reactive sent 0..10. SACK far above rseq 2 implies it was lost.
+        h.with(Time::ZERO, |ctx| {
+            s.on_packet(&sack_ack(Subflow::Reactive, 2, 5, 9), ctx)
+        });
+        assert_eq!(s.states[2], PktState::Lost);
+        // Next credit must carry packet 2 (loss recovery beats new data).
+        let before = h.tx.len();
+        h.with(Time::ZERO, |ctx| s.on_packet(&credit(0), ctx));
+        match h.tx[before..]
+            .iter()
+            .find(|p| p.is_data())
+            .expect("data sent")
+            .payload
+        {
+            Payload::Data(d) => {
+                assert_eq!(d.flow_seq, 2);
+                assert_eq!(d.sub, Subflow::Proactive);
+                assert!(d.retx);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn reactive_never_retransmits() {
+        let mut s = FlexPassSender::new(spec(30 * 1460), FlexPassConfig::new(0.5), &env());
+        let mut h = H::default();
+        h.with(Time::ZERO, |ctx| s.activate(ctx));
+        // Loss detected on rseq 0 via sacks above; window opens on 7 acks.
+        h.with(Time::ZERO, |ctx| {
+            s.on_packet(&sack_ack(Subflow::Reactive, 0, 1, 8), ctx)
+        });
+        assert_eq!(s.states[0], PktState::Lost);
+        for d in h.data_sent() {
+            if d.sub == Subflow::Reactive {
+                assert!(!d.retx, "reactive retransmission is forbidden");
+            }
+        }
+        // And the lost packet never reappears with a reactive header.
+        let reactive0 = h
+            .data_sent()
+            .iter()
+            .filter(|d| d.sub == Subflow::Reactive && d.flow_seq == 0)
+            .count();
+        assert_eq!(reactive0, 1);
+    }
+
+    #[test]
+    fn proactive_ack_clears_stale_reactive_slot() {
+        let mut s = FlexPassSender::new(spec(3 * 1460), FlexPassConfig::new(0.5), &env());
+        let mut h = H::default();
+        h.with(Time::ZERO, |ctx| s.activate(ctx));
+        assert_eq!(s.reactive.inflight, 3);
+        // Credit triggers proactive retx of packet 0; its proactive ACK must
+        // release the reactive slot so the window is not pinned.
+        h.with(Time::ZERO, |ctx| s.on_packet(&credit(0), ctx));
+        h.with(Time::ZERO, |ctx| {
+            s.on_packet(&ack(Subflow::Proactive, 1, false), ctx)
+        });
+        assert_eq!(s.states[0], PktState::Acked);
+        assert_eq!(s.reactive.inflight, 2);
+    }
+
+    #[test]
+    fn completes_via_mixed_acks() {
+        let mut s = FlexPassSender::new(spec(4 * 1460), FlexPassConfig::new(0.5), &env());
+        let mut h = H::default();
+        h.with(Time::ZERO, |ctx| s.activate(ctx));
+        h.with(Time::ZERO, |ctx| {
+            s.on_packet(&ack(Subflow::Reactive, 4, false), ctx)
+        });
+        assert!(s.done);
+        assert_eq!(h.app.len(), 1);
+        match h.app[0] {
+            AppEvent::SenderDone { stats, .. } => {
+                assert_eq!(stats.data_pkts, 4);
+                assert_eq!(stats.timeouts, 0);
+            }
+            _ => panic!("expected SenderDone"),
+        }
+    }
+
+    #[test]
+    fn ece_shrinks_reactive_window() {
+        let mut s = FlexPassSender::new(spec(500 * 1460), FlexPassConfig::new(0.5), &env());
+        let mut h = H::default();
+        h.with(Time::ZERO, |ctx| s.activate(ctx));
+        // Ack everything outstanding with marks, repeatedly; the window must
+        // stay bounded rather than doubling away.
+        let mut cum = 0;
+        for _ in 0..12 {
+            let upto = s.reactive.next_seq();
+            while cum < upto {
+                cum += 1;
+                h.with(Time::ZERO, |ctx| {
+                    s.on_packet(&ack(Subflow::Reactive, cum, true), ctx)
+                });
+            }
+        }
+        assert!(
+            s.reactive_cwnd() < 64.0,
+            "cwnd {} should be suppressed by marks",
+            s.reactive_cwnd()
+        );
+    }
+
+    #[test]
+    fn rc3_tail_allocation() {
+        let cfg = FlexPassConfig::rc3_splitting(0.5);
+        let mut s = FlexPassSender::new(spec(100 * 1460), cfg, &env());
+        let mut h = H::default();
+        h.with(Time::ZERO, |ctx| s.activate(ctx));
+        // Reactive packets come from the end of the flow.
+        let reactive_seqs: Vec<u32> = h
+            .data_sent()
+            .iter()
+            .filter(|d| d.sub == Subflow::Reactive)
+            .map(|d| d.flow_seq)
+            .collect();
+        assert_eq!(reactive_seqs, (90..100).rev().collect::<Vec<_>>());
+        // Credits pull from the head.
+        h.with(Time::ZERO, |ctx| s.on_packet(&credit(0), ctx));
+        match h.tx.last().unwrap().payload {
+            Payload::Data(d) => {
+                assert_eq!(d.flow_seq, 0);
+                assert_eq!(d.sub, Subflow::Proactive);
+            }
+            _ => panic!("expected proactive head packet"),
+        }
+    }
+
+    #[test]
+    fn rto_marks_all_inflight_lost_and_rerequests() {
+        let mut s = FlexPassSender::new(spec(20 * 1460), FlexPassConfig::new(0.5), &env());
+        let mut h = H::default();
+        h.with(Time::ZERO, |ctx| s.activate(ctx));
+        // Fire the timer well past the deadline.
+        h.with(Time::from_millis(100), |ctx| {
+            s.on_timer(timer_token(5, TK_RTO), ctx)
+        });
+        assert_eq!(s.stats().timeouts, 1);
+        assert!(s.states.iter().take(10).all(|st| *st == PktState::Lost));
+        assert_eq!(s.reactive.inflight, 0);
+        // A second CreditReq went out.
+        let reqs =
+            h.tx.iter()
+                .filter(|p| matches!(p.payload, Payload::CreditReq { .. }))
+                .count();
+        assert_eq!(reqs, 2);
+    }
+
+    #[test]
+    fn subflow_tx_sweep_lost() {
+        let mut t = SubflowTx::default();
+        for fs in 0..10 {
+            t.assign(fs);
+        }
+        // Slots 5..9 acked: slots 0..4 have >= 3 acks above once high_acked
+        // reaches 8, so everything below 6 is sweepable.
+        for s in 5..10 {
+            t.close(s);
+        }
+        t.high_acked = 9;
+        let lost = t.sweep_lost(3);
+        assert_eq!(lost, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Ablation study of FlexPass's design choices (DESIGN.md calls these out;
+//! the paper motivates each in §4.2–4.3 but does not isolate them):
+//!
+//! * **proactive retransmission** (the Lost → Pending → Sent-as-reactive
+//!   credit priority) — without it, reactive tail losses wait for timers;
+//! * **first-RTT reactive transmission** — without it, FlexPass waits a
+//!   full RTT for credits like plain ExpressPass;
+//! * **credit allocation policy** — ExpressPass feedback vs pHost-style
+//!   fixed-rate tokens (§4.3 extensibility).
+
+use flexpass::config::{CreditPolicy, FlexPassConfig};
+use flexpass::profiles::ProfileParams;
+use flexpass::schemes::{Deployment, Scheme, SchemeFactory, TAG_UPGRADED};
+use flexpass_metrics::Recorder;
+use flexpass_simcore::rng::SimRng;
+use flexpass_simcore::time::TimeDelta;
+use flexpass_simnet::topology::Topology;
+use flexpass_workload::FlowSizeCdf;
+
+use crate::csvout::{f, Csv};
+use crate::runner::{run_flows, RunScale, ScenarioResult};
+use crate::sweep::{build_flows, SweepSpec};
+
+/// One ablation variant.
+struct Variant {
+    name: &'static str,
+    cfg: FlexPassConfig,
+}
+
+fn variants() -> Vec<Variant> {
+    let base = FlexPassConfig::new(0.5);
+    vec![
+        Variant {
+            name: "full",
+            cfg: base,
+        },
+        Variant {
+            name: "no_proactive_retx",
+            cfg: FlexPassConfig {
+                proactive_retx: false,
+                ..base
+            },
+        },
+        Variant {
+            name: "no_first_rtt",
+            cfg: FlexPassConfig {
+                reactive_first_rtt: false,
+                ..base
+            },
+        },
+        Variant {
+            name: "fixed_rate_credits",
+            cfg: FlexPassConfig {
+                credit_policy: CreditPolicy::FixedRate,
+                ..base
+            },
+        },
+    ]
+}
+
+/// Runs one FlexPass variant at `ratio` deployment; returns
+/// `(p99 small upgraded, avg upgraded, timeouts, redundancy)`.
+fn run_variant(cfg: FlexPassConfig, ratio: f64, scale: RunScale) -> (f64, f64, u64, f64) {
+    let spec = SweepSpec {
+        schemes: vec![Scheme::FlexPass],
+        ratios: vec![ratio],
+        cdf: FlowSizeCdf::web_search(),
+        load: 0.5,
+        mixed: false,
+        scale,
+        seed: 61,
+        wq: 0.5,
+        sel_drop: 150_000,
+        n_flows: if scale == RunScale::Default {
+            Some(600)
+        } else {
+            None
+        },
+        seeds: 1,
+    };
+    let clos = scale.clos();
+    let n_hosts = clos.n_hosts();
+    let rack_of: Vec<usize> = (0..n_hosts).map(|h| h / clos.hosts_per_tor).collect();
+    let mut rng = SimRng::new(13);
+    let deployment = Deployment::by_rack_ratio(&rack_of, ratio, &mut rng);
+    let flows = build_flows(&spec, &deployment, n_hosts);
+    let frac = deployment.upgraded_byte_fraction(&flows);
+    let params = ProfileParams::simulation(clos.link_rate);
+    let profile = Scheme::FlexPass.profile(&params, frac);
+    let host = flexpass::profiles::host_variant(&profile);
+    let topo = Topology::clos(clos, &profile, &host);
+    let factory = SchemeFactory::new(Scheme::FlexPass, deployment, cfg, frac);
+    let rec = run_flows(
+        topo,
+        Box::new(factory),
+        Recorder::new(),
+        &flows,
+        None,
+        TimeDelta::millis(20),
+    );
+    (
+        rec.p99_small(Some(TAG_UPGRADED)),
+        rec.avg_fct(Some(TAG_UPGRADED)),
+        rec.total_timeouts(),
+        rec.redundancy_fraction(),
+    )
+}
+
+/// The ablation table: each design choice toggled off, at 50 % and 100 %
+/// deployment.
+pub fn ablation(scale: RunScale) -> ScenarioResult {
+    let mut csv = Csv::new(&[
+        "variant",
+        "deploy_ratio",
+        "p99_small_upgraded_ms",
+        "avg_upgraded_ms",
+        "timeouts",
+        "redundancy_frac",
+    ]);
+    for v in variants() {
+        for &ratio in &[0.5, 1.0] {
+            eprintln!("  ablation: {} ratio={ratio}", v.name);
+            let (p99, avg, timeouts, red) = run_variant(v.cfg, ratio, scale);
+            csv.row(&[
+                v.name.into(),
+                format!("{ratio:.2}"),
+                f(p99 * 1e3),
+                f(avg * 1e3),
+                timeouts.to_string(),
+                f(red),
+            ]);
+        }
+    }
+    ScenarioResult::new("ablation_design_choices", csv)
+}

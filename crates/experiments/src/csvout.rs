@@ -1,0 +1,99 @@
+//! A minimal CSV writer (hand-rolled to keep the dependency set small).
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// An in-memory CSV table.
+#[derive(Clone, Debug)]
+pub struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Creates a table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        Csv {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: appends a row of displayable values.
+    pub fn push<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table to `dir/name.csv`, creating `dir` if needed.
+    pub fn write(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut f = fs::File::create(dir.join(format!("{name}.csv")))?;
+        f.write_all(self.render().as_bytes())
+    }
+}
+
+/// Formats a float with 4 significant decimals for CSV cells.
+pub fn f(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_csv() {
+        let mut c = Csv::new(&["a", "b"]);
+        c.push(&[1, 2]);
+        c.row(&["x".into(), "y".into()]);
+        assert_eq!(c.render(), "a,b\n1,2\nx,y\n");
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_wrong_width() {
+        let mut c = Csv::new(&["a", "b"]);
+        c.push(&[1]);
+    }
+
+    #[test]
+    fn writes_file() {
+        let dir = std::env::temp_dir().join("flexpass_csv_test");
+        let mut c = Csv::new(&["x"]);
+        c.push(&[42]);
+        c.write(&dir, "t").unwrap();
+        let s = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(s, "x\n42\n");
+    }
+}

@@ -1,0 +1,162 @@
+//! Figure 1: the motivation experiment. ExpressPass (a) and Homa (b)
+//! competing with DCTCP for a shared 10 Gbps link without co-existence
+//! measures — the legacy flows starve.
+
+use flexpass::profiles::{homa_mix_profile, naive_profile, ProfileParams};
+use flexpass_metrics::Recorder;
+use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simnet::endpoint::Endpoint;
+use flexpass_simnet::packet::FlowSpec;
+use flexpass_simnet::sim::{NetEnv, TransportFactory};
+use flexpass_transport::dctcp::{DctcpConfig, DctcpReceiver, DctcpSender};
+use flexpass_transport::expresspass::{EpConfig, EpReceiver, EpSender};
+use flexpass_transport::homa::{HomaConfig, HomaReceiver, HomaSender};
+
+use crate::csvout::{f, Csv};
+use crate::runner::{run_window, star_topo, ScenarioResult};
+
+/// Dispatches each flow to one of two transports by its tag
+/// (0 = legacy DCTCP, 1 = the new transport).
+pub struct TagFactory {
+    legacy: DctcpConfig,
+    upgraded: UpgradedKind,
+}
+
+enum UpgradedKind {
+    Ep(EpConfig),
+    Homa(HomaConfig),
+}
+
+impl TagFactory {
+    /// Legacy DCTCP vs plain ExpressPass.
+    pub fn dctcp_vs_ep(ep: EpConfig) -> Self {
+        TagFactory {
+            legacy: DctcpConfig::default(),
+            upgraded: UpgradedKind::Ep(ep),
+        }
+    }
+
+    /// Legacy DCTCP vs Homa-lite.
+    pub fn dctcp_vs_homa(h: HomaConfig) -> Self {
+        TagFactory {
+            legacy: DctcpConfig::default(),
+            upgraded: UpgradedKind::Homa(h),
+        }
+    }
+}
+
+impl TransportFactory for TagFactory {
+    fn sender(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
+        if flow.tag == 0 {
+            return Box::new(DctcpSender::new(flow.clone(), self.legacy, env));
+        }
+        match &self.upgraded {
+            UpgradedKind::Ep(c) => Box::new(EpSender::new(flow.clone(), *c, env)),
+            UpgradedKind::Homa(c) => Box::new(HomaSender::new(flow.clone(), *c, env)),
+        }
+    }
+    fn receiver(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
+        if flow.tag == 0 {
+            return Box::new(DctcpReceiver::new(flow.clone(), self.legacy, env));
+        }
+        match &self.upgraded {
+            UpgradedKind::Ep(c) => Box::new(EpReceiver::new(flow.clone(), *c, env)),
+            UpgradedKind::Homa(c) => Box::new(HomaReceiver::new(flow.clone(), *c, env)),
+        }
+    }
+}
+
+/// A long flow (effectively infinite within the measured window).
+fn long_flow(id: u64, src: usize, dst: usize, tag: u32) -> FlowSpec {
+    FlowSpec {
+        id,
+        src,
+        dst,
+        size: 500_000_000,
+        start: Time::ZERO,
+        tag,
+        fg: false,
+    }
+}
+
+fn series_csv(rec: &Recorder, window_ms: u64, labels: [&str; 2]) -> Csv {
+    let mut csv = Csv::new(&["time_ms", labels[0], labels[1]]);
+    let a = rec.throughput_gbps(0);
+    let b = rec.throughput_gbps(1);
+    for t in 0..window_ms as usize {
+        csv.row(&[
+            t.to_string(),
+            f(a.get(t).copied().unwrap_or(0.0)),
+            f(b.get(t).copied().unwrap_or(0.0)),
+        ]);
+    }
+    csv
+}
+
+/// Figure 1(a): 1 ExpressPass vs 1 DCTCP long flow into one 10 G receiver,
+/// naive (shared-queue, full-credit-rate) configuration.
+pub fn fig1a() -> ScenarioResult {
+    let params = ProfileParams::testbed(Rate::from_gbps(10));
+    let profile = naive_profile(&params);
+    let topo = star_topo(3, &profile);
+    let factory = TagFactory::dctcp_vs_ep(EpConfig::default());
+    let flows = vec![long_flow(1, 0, 2, 0), long_flow(2, 1, 2, 1)];
+    let rec = run_window(
+        topo,
+        Box::new(factory),
+        Recorder::new().with_throughput(TimeDelta::millis(1)),
+        &flows,
+        Time::from_millis(120),
+    );
+    ScenarioResult::new(
+        "fig1a_ep_vs_dctcp",
+        series_csv(&rec, 120, ["dctcp_gbps", "expresspass_gbps"]),
+    )
+}
+
+/// Figure 1(b): 16 Homa + 16 DCTCP flows sharing a 10 G link; DCTCP mapped
+/// to the highest-priority queue (paper footnote 3).
+pub fn fig1b() -> ScenarioResult {
+    let params = ProfileParams::testbed(Rate::from_gbps(10));
+    let profile = homa_mix_profile(&params);
+    let topo = star_topo(33, &profile);
+    // DCTCP rides the highest-priority queue (footnote 3); Homa's
+    // high-priority traffic (unscheduled bursts and its currently granted
+    // messages) shares that queue, so the aggregate standing queue of 16
+    // granted flows — one RTT of data each — sits in front of DCTCP's ECN
+    // marking threshold and collapses its window.
+    let homa = HomaConfig {
+        unsched_prio: 0,
+        sched_prio: 0,
+        ..HomaConfig::default()
+    };
+    let factory = TagFactory::dctcp_vs_homa(homa);
+    let mut flows = Vec::new();
+    for i in 0..16u64 {
+        flows.push(long_flow(i, i as usize, 32, 0)); // DCTCP
+        flows.push(long_flow(16 + i, 16 + i as usize, 32, 1)); // Homa
+    }
+    let rec = run_window(
+        topo,
+        Box::new(factory),
+        Recorder::new().with_throughput(TimeDelta::millis(1)),
+        &flows,
+        Time::from_millis(120),
+    );
+    ScenarioResult::new(
+        "fig1b_homa_vs_dctcp",
+        series_csv(&rec, 120, ["dctcp_gbps", "homa_gbps"]),
+    )
+}
+
+/// Mean throughput of each series over the second half of the window
+/// (steady state), in Gbps — used by tests and EXPERIMENTS.md.
+pub fn steady_share(rec: &Recorder, tag: u32, window_ms: usize) -> f64 {
+    let tp = rec.throughput_gbps(tag);
+    let lo = window_ms / 2;
+    let hi = window_ms.min(tp.len());
+    if lo >= hi {
+        return 0.0;
+    }
+    tp[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+}

@@ -1,0 +1,52 @@
+//! Figure 17: the selective-dropping threshold trade-off at full
+//! deployment — a lower threshold improves small-flow tail FCT (tighter
+//! queue bound) but degrades overall average FCT (more reactive drops).
+
+use flexpass::schemes::Scheme;
+use flexpass_workload::FlowSizeCdf;
+
+use crate::csvout::{f, Csv};
+use crate::runner::{RunScale, ScenarioResult};
+use crate::sweep::{run_point, SweepSpec};
+
+/// Runs the threshold sweep at 100 % deployment.
+pub fn fig17(scale: RunScale) -> ScenarioResult {
+    let thresholds: &[u64] = &[50_000, 100_000, 150_000, 200_000];
+    let mut rows = Vec::new();
+    for &thr in thresholds {
+        let spec = SweepSpec {
+            schemes: vec![Scheme::FlexPass],
+            ratios: vec![1.0],
+            cdf: FlowSizeCdf::web_search(),
+            load: 0.5,
+            mixed: false,
+            scale,
+            seed: 21,
+            wq: 0.5,
+            sel_drop: thr,
+            n_flows: None,
+            seeds: 1,
+        };
+        eprintln!("  fig17: threshold {} kB", thr / 1000);
+        let p = run_point(Scheme::FlexPass, 1.0, &spec);
+        rows.push((thr, p.p99_small[0], p.avg[0]));
+    }
+    // Degradation of overall average FCT relative to the most permissive
+    // threshold (largest), as the paper plots it.
+    let baseline_avg = rows.last().map(|r| r.2).unwrap_or(1.0);
+    let mut csv = Csv::new(&[
+        "sel_drop_kb",
+        "p99_small_ms",
+        "avg_fct_ms",
+        "avg_fct_degradation",
+    ]);
+    for (thr, p99, avg) in rows {
+        csv.row(&[
+            (thr / 1000).to_string(),
+            f(p99 * 1e3),
+            f(avg * 1e3),
+            f(avg / baseline_avg - 1.0),
+        ]);
+    }
+    ScenarioResult::new("fig17_seldrop_threshold", csv)
+}

@@ -1,0 +1,50 @@
+//! Figure 18: the queue-weight (w_q) trade-off — smaller w_q shields
+//! legacy flows during the rollout; larger w_q improves FlexPass's tail
+//! FCT at full deployment.
+
+use flexpass::schemes::Scheme;
+use flexpass_workload::FlowSizeCdf;
+
+use crate::csvout::{f, Csv};
+use crate::runner::{RunScale, ScenarioResult};
+use crate::sweep::{run_point, SweepSpec};
+
+/// Runs the w_q sweep.
+pub fn fig18(scale: RunScale) -> ScenarioResult {
+    let weights = [0.4, 0.45, 0.5, 0.55, 0.6];
+    // Mid-rollout ratios used to find the worst legacy degradation.
+    let mid_ratios = [0.5];
+    let mut csv = Csv::new(&["wq", "legacy_p99_max_degradation", "p99_small_full_ms"]);
+    for &wq in &weights {
+        let spec = |ratio: f64| SweepSpec {
+            schemes: vec![Scheme::FlexPass],
+            ratios: vec![ratio],
+            cdf: FlowSizeCdf::web_search(),
+            load: 0.5,
+            mixed: false,
+            scale,
+            seed: 31,
+            wq,
+            sel_drop: 150_000,
+            n_flows: if scale == RunScale::Default {
+                Some(600)
+            } else {
+                None
+            },
+            seeds: 1,
+        };
+        eprintln!("  fig18: wq {wq}");
+        // Baseline: all-DCTCP under the same switch configuration.
+        let base = run_point(Scheme::FlexPass, 0.0, &spec(0.0)).p99_small[1];
+        let mut worst = 0.0f64;
+        for &r in &mid_ratios {
+            let p = run_point(Scheme::FlexPass, r, &spec(r));
+            if base > 0.0 && p.p99_small[1] > 0.0 {
+                worst = worst.max(p.p99_small[1] / base - 1.0);
+            }
+        }
+        let full = run_point(Scheme::FlexPass, 1.0, &spec(1.0));
+        csv.row(&[format!("{wq:.2}"), f(worst), f(full.p99_small[0] * 1e3)]);
+    }
+    ScenarioResult::new("fig18_wq_tradeoff", csv)
+}

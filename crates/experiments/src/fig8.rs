@@ -1,0 +1,93 @@
+//! Figure 8: incast tail FCT. An 8-to-1 incast of 64 kB responses with an
+//! increasing number of flows; DCTCP eventually times out while
+//! ExpressPass and FlexPass stay timeout-free.
+
+use flexpass::config::FlexPassConfig;
+use flexpass::profiles::{dctcp_profile, flexpass_profile, naive_profile, ProfileParams};
+use flexpass::FlexPassFactory;
+use flexpass_metrics::Recorder;
+use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simnet::sim::TransportFactory;
+use flexpass_simnet::switch::SwitchProfile;
+use flexpass_transport::dctcp::DctcpFactory;
+use flexpass_transport::expresspass::ExpressPassFactory;
+use flexpass_workload::incast;
+
+use crate::csvout::{f, Csv};
+use crate::runner::{run_flows, star_topo, ScenarioResult};
+
+/// One incast run: `n_flows` of 64 kB spread over 8 senders to host 8.
+/// Returns `(max FCT seconds, sender timeouts)`.
+pub fn run_incast(
+    profile: &SwitchProfile,
+    factory: Box<dyn TransportFactory>,
+    n_flows: usize,
+    seed_offset: u64,
+) -> (f64, u64) {
+    let topo = star_topo(9, profile);
+    let senders: Vec<usize> = (0..n_flows).map(|i| i % 8).collect();
+    let flows = incast(&senders, 8, 64_000, Time::from_micros(10 + seed_offset), 0);
+    let rec = run_flows(
+        topo,
+        factory,
+        Recorder::new(),
+        &flows,
+        None,
+        TimeDelta::millis(20),
+    );
+    (rec.fct_stats(|_| true).max, rec.total_timeouts())
+}
+
+/// The full Figure-8 curve for the three transports.
+pub fn fig8() -> ScenarioResult {
+    let params = ProfileParams::testbed(Rate::from_gbps(10));
+    let mut csv = Csv::new(&["transport", "n_flows", "max_fct_ms", "timeouts"]);
+    for n in [8usize, 16, 24, 32, 40, 48, 56, 64, 72, 80, 88, 96] {
+        eprintln!("  fig8: n={n}");
+        // Average the longest FCT over two runs, like the paper.
+        let run2 = |mk: &dyn Fn() -> (Box<dyn TransportFactory>, SwitchProfile)| {
+            let mut fct = 0.0;
+            let mut timeouts = 0;
+            for r in 0..2 {
+                let (factory, profile) = mk();
+                let (m, t) = run_incast(&profile, factory, n, r * 3);
+                fct += m / 2.0;
+                timeouts += t;
+            }
+            (fct, timeouts)
+        };
+        let (fct, to) = run2(&|| {
+            (
+                Box::new(DctcpFactory::new()) as Box<dyn TransportFactory>,
+                dctcp_profile(&params),
+            )
+        });
+        csv.row(&["dctcp".into(), n.to_string(), f(fct * 1e3), to.to_string()]);
+        let (fct, to) = run2(&|| {
+            (
+                Box::new(ExpressPassFactory::new()) as Box<dyn TransportFactory>,
+                naive_profile(&params),
+            )
+        });
+        csv.row(&[
+            "expresspass".into(),
+            n.to_string(),
+            f(fct * 1e3),
+            to.to_string(),
+        ]);
+        let (fct, to) = run2(&|| {
+            (
+                Box::new(FlexPassFactory::new(FlexPassConfig::new(0.5)))
+                    as Box<dyn TransportFactory>,
+                flexpass_profile(&params),
+            )
+        });
+        csv.row(&[
+            "flexpass".into(),
+            n.to_string(),
+            f(fct * 1e3),
+            to.to_string(),
+        ]);
+    }
+    ScenarioResult::new("fig8_incast", csv)
+}

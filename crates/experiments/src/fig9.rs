@@ -1,0 +1,113 @@
+//! Figure 9: coexistence with legacy traffic on the testbed topology.
+//! (a) ExpressPass starves a competing DCTCP flow under the naive rollout;
+//! (b) FlexPass and DCTCP share the link evenly;
+//! (c) starvation time — the fraction of time a transport held < 20 % of
+//! the link.
+
+use flexpass::config::FlexPassConfig;
+use flexpass::profiles::{flexpass_profile, naive_profile, ProfileParams};
+use flexpass::schemes::{Deployment, Scheme, SchemeFactory};
+use flexpass_metrics::Recorder;
+use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simnet::packet::FlowSpec;
+
+use crate::csvout::{f, Csv};
+use crate::fig1::TagFactory;
+use crate::runner::{run_window, star_topo, ScenarioResult};
+use flexpass_transport::expresspass::EpConfig;
+
+const WINDOW_MS: u64 = 90;
+
+fn long_flow(id: u64, src: usize, dst: usize, tag: u32) -> FlowSpec {
+    FlowSpec {
+        id,
+        src,
+        dst,
+        size: 500_000_000,
+        start: Time::ZERO,
+        tag,
+        fg: false,
+    }
+}
+
+/// Runs ExpressPass vs DCTCP (naive rollout).
+pub fn run_ep_vs_dctcp() -> Recorder {
+    let params = ProfileParams::testbed(Rate::from_gbps(10));
+    let profile = naive_profile(&params);
+    let topo = star_topo(3, &profile);
+    let factory = TagFactory::dctcp_vs_ep(EpConfig::default());
+    run_window(
+        topo,
+        Box::new(factory),
+        Recorder::new().with_throughput(TimeDelta::millis(1)),
+        &[long_flow(1, 0, 2, 0), long_flow(2, 1, 2, 1)],
+        Time::from_millis(WINDOW_MS),
+    )
+}
+
+/// Runs FlexPass vs DCTCP (FlexPass switch configuration, w_q = 0.5).
+pub fn run_fp_vs_dctcp() -> Recorder {
+    let params = ProfileParams::testbed(Rate::from_gbps(10));
+    let profile = flexpass_profile(&params);
+    let topo = star_topo(3, &profile);
+    // Hosts 1 and 2 upgraded: flow 2 runs FlexPass, flow 1 stays DCTCP.
+    let deployment = Deployment::from_hosts(vec![false, true, true]);
+    let factory = SchemeFactory::new(Scheme::FlexPass, deployment, FlexPassConfig::new(0.5), 0.5);
+    run_window(
+        topo,
+        Box::new(factory),
+        Recorder::new().with_throughput(TimeDelta::millis(1)),
+        &[long_flow(1, 0, 2, 0), long_flow(2, 1, 2, 1)],
+        Time::from_millis(WINDOW_MS),
+    )
+}
+
+/// Starvation fraction of a tag over the steady window (threshold 20 % of
+/// the 10 G link, skipping the first 5 ms of ramp-up).
+pub fn starvation(rec: &Recorder, tag: u32) -> f64 {
+    rec.starvation_fraction(
+        tag,
+        10.0,
+        0.2,
+        Time::from_millis(5),
+        Time::from_millis(WINDOW_MS),
+    )
+}
+
+/// The full Figure 9: two throughput time series plus the starvation bar.
+pub fn fig9() -> Vec<ScenarioResult> {
+    let ep = run_ep_vs_dctcp();
+    let fp = run_fp_vs_dctcp();
+
+    let series = |rec: &Recorder, new_label: &str| {
+        let mut csv = Csv::new(&["time_ms", "dctcp_gbps", new_label]);
+        let a = rec.throughput_gbps(0);
+        let b = rec.throughput_gbps(1);
+        for t in 0..WINDOW_MS as usize {
+            csv.row(&[
+                t.to_string(),
+                f(a.get(t).copied().unwrap_or(0.0)),
+                f(b.get(t).copied().unwrap_or(0.0)),
+            ]);
+        }
+        csv
+    };
+
+    let mut bars = Csv::new(&["scheme", "dctcp_starved_frac", "new_starved_frac"]);
+    bars.row(&[
+        "expresspass".into(),
+        f(starvation(&ep, 0)),
+        f(starvation(&ep, 1)),
+    ]);
+    bars.row(&[
+        "flexpass".into(),
+        f(starvation(&fp, 0)),
+        f(starvation(&fp, 1)),
+    ]);
+
+    vec![
+        ScenarioResult::new("fig9a_ep_vs_dctcp", series(&ep, "expresspass_gbps")),
+        ScenarioResult::new("fig9b_fp_vs_dctcp", series(&fp, "flexpass_gbps")),
+        ScenarioResult::new("fig9c_starvation", bars),
+    ]
+}

@@ -1,0 +1,37 @@
+//! Experiment harness reproducing every table and figure of the FlexPass
+//! paper (EuroSys '23).
+//!
+//! Each scenario module builds the exact topology, switch configuration,
+//! workload and schemes of one paper figure, runs the simulator, and
+//! returns rows matching the figure's series. The `flexpass-experiments`
+//! binary writes them as CSV; `EXPERIMENTS.md` records paper-vs-measured.
+//!
+//! | Module | Paper figure | What it reproduces |
+//! |--------|--------------|--------------------|
+//! | [`fig1`] | Fig. 1 (a, b) | ExpressPass / Homa starving DCTCP on a shared 10 G link |
+//! | [`fig5`] | Fig. 5 (a, b) | RC3-style splitting and alternative queueing comparisons |
+//! | [`fig7`] | Fig. 7 (a–c) | per-sub-flow throughput on the testbed topology |
+//! | [`fig8`] | Fig. 8 | incast tail FCT vs number of flows |
+//! | [`fig9`] | Fig. 9 (a–c) | coexistence throughput + starvation time |
+//! | [`sweep`] | Figs. 10–16 | deployment-ratio sweeps (schemes × ratios × workloads × loads) |
+//! | [`fig17`] | Fig. 17 | selective-dropping threshold trade-off |
+//! | [`fig18`] | Fig. 18 | queue weight (w_q) trade-off |
+//! | [`queue_study`] | §6.2 text | bounded-queue occupancy and redundancy fraction |
+//! | [`ablation`] | (extension) | design-choice ablations: proactive retx, first-RTT reactive, credit policy |
+
+pub mod ablation;
+pub mod csvout;
+pub mod custom;
+pub mod fig1;
+pub mod fig17;
+pub mod fig18;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod plot;
+pub mod queue_study;
+pub mod runner;
+pub mod sweep;
+
+pub use runner::{RunScale, ScenarioResult};

@@ -1,0 +1,147 @@
+//! `flexpass-experiments` — regenerates every table and figure of the
+//! FlexPass paper as CSV files.
+//!
+//! Usage:
+//!
+//! ```text
+//! flexpass-experiments --fig all            [--out results] [--scale default]
+//! flexpass-experiments --fig fig10          # one figure
+//! ```
+//!
+//! Figures: fig1a fig1b fig5a fig5b fig7 fig8 fig9 fig10 fig11 fig14
+//! fig15 fig17 fig18 queue ablation  (fig10 also produces the per-type
+//! data of figs 12–13; fig15 covers fig16's average-FCT series; ablation
+//! is this reproduction's design-choice study). `--fig custom --trace F`
+//! replays a user flow trace (`src,dst,size_bytes,start_us`).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use flexpass_experiments::custom::{run_trace_file, CustomSpec};
+use flexpass_experiments::runner::RunScale;
+use flexpass_experiments::{
+    ablation, fig1, fig17, fig18, fig5, fig7, fig8, fig9, queue_study, sweep,
+};
+
+fn main() {
+    let mut fig = String::from("all");
+    let mut out = PathBuf::from("results");
+    let mut scale = RunScale::Default;
+    let mut trace: Option<PathBuf> = None;
+    let mut plot = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" => {
+                fig = args[i + 1].clone();
+                i += 2;
+            }
+            "--out" => {
+                out = PathBuf::from(&args[i + 1]);
+                i += 2;
+            }
+            "--plot" => {
+                plot = true;
+                i += 1;
+            }
+            "--trace" => {
+                trace = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--scale" => {
+                scale = RunScale::parse(&args[i + 1]).unwrap_or_else(|| {
+                    eprintln!("unknown scale {} (smoke|default|full)", args[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: flexpass-experiments [--fig NAME|all] [--out DIR] [--scale smoke|default|full]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let all = fig == "all";
+    // `--fig none --plot` renders charts from existing CSVs only.
+    let want = |name: &str| all || fig == name;
+    let mut ran = 0;
+
+    let emit = |results: Vec<flexpass_experiments::ScenarioResult>| {
+        for r in results {
+            r.csv.write(&out, &r.name).expect("write CSV");
+            println!(
+                "wrote {}/{}.csv ({} rows)",
+                out.display(),
+                r.name,
+                r.csv.len()
+            );
+        }
+    };
+
+    macro_rules! run {
+        ($name:expr, $body:expr) => {
+            if want($name) {
+                let t = Instant::now();
+                eprintln!("== {} ==", $name);
+                emit($body);
+                eprintln!("== {} done in {:.1?} ==", $name, t.elapsed());
+                ran += 1;
+            }
+        };
+    }
+
+    run!("fig1a", vec![fig1::fig1a()]);
+    run!("fig1b", vec![fig1::fig1b()]);
+    run!("fig5a", vec![fig5::fig5a(scale)]);
+    run!("fig5b", vec![fig5::fig5b(scale)]);
+    run!("fig7", vec![fig7::fig7a(), fig7::fig7b(), fig7::fig7c()]);
+    run!("fig8", vec![fig8::fig8()]);
+    run!("fig9", fig9::fig9());
+    run!("fig10", sweep::fig10_or_11(scale, false));
+    run!("fig11", sweep::fig10_or_11(scale, true));
+    run!("fig14", vec![sweep::fig14(scale)]);
+    run!("fig15", vec![sweep::fig15_16(scale)]);
+    run!("fig17", vec![fig17::fig17(scale)]);
+    run!("fig18", vec![fig18::fig18(scale)]);
+    run!("queue", vec![queue_study::queue_study(scale)]);
+    run!("ablation", vec![ablation::ablation(scale)]);
+    if fig == "custom" {
+        let path = trace.unwrap_or_else(|| {
+            eprintln!("--fig custom requires --trace FILE (src,dst,size_bytes,start_us)");
+            std::process::exit(2);
+        });
+        let spec = CustomSpec {
+            scale,
+            ..CustomSpec::default()
+        };
+        let (rec, result) = run_trace_file(&path, &spec).unwrap_or_else(|e| {
+            eprintln!("trace replay failed: {e}");
+            std::process::exit(2);
+        });
+        eprintln!(
+            "replayed {} flows: avg {:.3} ms, p99(<100kB) {:.3} ms",
+            rec.completed(),
+            rec.avg_fct(None) * 1e3,
+            rec.p99_small(None) * 1e3
+        );
+        emit(vec![result]);
+        ran += 1;
+    }
+
+    if plot {
+        match flexpass_experiments::plot::plot_results(&out) {
+            Ok(n) => println!("rendered {n} SVG charts into {}", out.display()),
+            Err(e) => eprintln!("plotting failed: {e}"),
+        }
+        ran += 1;
+    }
+
+    if ran == 0 {
+        eprintln!("no figure matched '{fig}'");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Shared scenario plumbing: scale presets and simulation helpers.
+
+use flexpass_metrics::Recorder;
+use flexpass_simcore::time::{Time, TimeDelta};
+use flexpass_simnet::packet::FlowSpec;
+use flexpass_simnet::sim::{Sim, TransportFactory};
+use flexpass_simnet::switch::SwitchProfile;
+use flexpass_simnet::topology::{ClosParams, Topology};
+
+use crate::csvout::Csv;
+
+/// How large to run a scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunScale {
+    /// Seconds-per-point scale for CI / benches: small Clos, few flows.
+    Smoke,
+    /// The default: paper topology, reduced flow counts.
+    Default,
+    /// Paper-scale flow counts (hours of CPU, like the ns-2 artifact).
+    Full,
+}
+
+impl RunScale {
+    /// Background flow count per sweep point.
+    pub fn flows(&self) -> usize {
+        match self {
+            RunScale::Smoke => 300,
+            RunScale::Default => 1_000,
+            RunScale::Full => 20_000,
+        }
+    }
+
+    /// Clos fabric to simulate.
+    pub fn clos(&self) -> ClosParams {
+        match self {
+            RunScale::Smoke => ClosParams::small(),
+            _ => ClosParams::default(),
+        }
+    }
+
+    /// Parses `smoke`/`default`/`full`.
+    pub fn parse(s: &str) -> Option<RunScale> {
+        match s {
+            "smoke" => Some(RunScale::Smoke),
+            "default" => Some(RunScale::Default),
+            "full" => Some(RunScale::Full),
+            _ => None,
+        }
+    }
+}
+
+/// A named CSV produced by one scenario.
+pub struct ScenarioResult {
+    /// Output file stem (e.g. `fig10_p99_small`).
+    pub name: String,
+    /// The table.
+    pub csv: Csv,
+}
+
+impl ScenarioResult {
+    /// Creates a result.
+    pub fn new(name: impl Into<String>, csv: Csv) -> Self {
+        ScenarioResult {
+            name: name.into(),
+            csv,
+        }
+    }
+}
+
+/// Builds a simulator over `topo`, schedules `flows`, runs to completion
+/// (with `grace` drain), and returns the recorder.
+pub fn run_flows(
+    topo: Topology,
+    factory: Box<dyn TransportFactory>,
+    recorder: Recorder,
+    flows: &[FlowSpec],
+    sampling: Option<TimeDelta>,
+    grace: TimeDelta,
+) -> Recorder {
+    let mut sim = Sim::new(topo, factory, recorder);
+    if let Some(every) = sampling {
+        sim.enable_sampling(every);
+    }
+    for f in flows {
+        sim.schedule_flow(f.clone());
+    }
+    sim.run_to_completion(grace);
+    sim.observer
+}
+
+/// Like [`run_flows`] but stops at a wall-clock deadline of virtual time
+/// (for long-running-flow microbenchmarks that measure throughput over a
+/// window rather than completion).
+pub fn run_window(
+    topo: Topology,
+    factory: Box<dyn TransportFactory>,
+    recorder: Recorder,
+    flows: &[FlowSpec],
+    until: Time,
+) -> Recorder {
+    let mut sim = Sim::new(topo, factory, recorder);
+    for f in flows {
+        sim.schedule_flow(f.clone());
+    }
+    sim.run_until(until);
+    sim.observer
+}
+
+/// Star testbed topology helper (§6.1: hosts behind one switch). Host NICs
+/// use the unshaped variant of the switch profile (credit shaping is a
+/// switch-port function; see `flexpass::profiles::host_variant`).
+pub fn star_topo(n_hosts: usize, profile: &SwitchProfile) -> Topology {
+    let rate = profile.port.rate;
+    let host = flexpass::profiles::host_variant(profile);
+    Topology::star(n_hosts, rate, TimeDelta::micros(5), profile, &host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_presets() {
+        assert_eq!(RunScale::parse("smoke"), Some(RunScale::Smoke));
+        assert_eq!(RunScale::parse("full"), Some(RunScale::Full));
+        assert_eq!(RunScale::parse("x"), None);
+        assert!(RunScale::Smoke.flows() < RunScale::Default.flows());
+        assert_eq!(RunScale::Smoke.clos().n_hosts(), 48);
+        assert_eq!(RunScale::Default.clos().n_hosts(), 192);
+    }
+}

@@ -1,0 +1,405 @@
+//! The deployment-ratio sweep engine behind Figures 10–16: a scheme is
+//! rolled out rack by rack from 0 % to 100 % and FCT statistics are
+//! collected per flow type (legacy vs upgraded).
+
+use flexpass::config::FlexPassConfig;
+use flexpass::profiles::ProfileParams;
+use flexpass::schemes::{Deployment, Scheme, SchemeFactory, TAG_LEGACY, TAG_UPGRADED};
+use flexpass_metrics::Recorder;
+use flexpass_simcore::rng::SimRng;
+use flexpass_simcore::time::TimeDelta;
+use flexpass_simnet::packet::FlowSpec;
+use flexpass_simnet::topology::Topology;
+use flexpass_workload::FlowSizeCdf;
+use flexpass_workload::{background, foreground_incast, BackgroundParams, ForegroundParams};
+
+use crate::csvout::{f, Csv};
+use crate::runner::{run_flows, RunScale, ScenarioResult};
+
+/// What to sweep.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Schemes to compare.
+    pub schemes: Vec<Scheme>,
+    /// Deployment ratios (fraction of upgraded racks).
+    pub ratios: Vec<f64>,
+    /// Background flow-size distribution.
+    pub cdf: FlowSizeCdf,
+    /// Target core load.
+    pub load: f64,
+    /// Add 10 % foreground incast traffic (Figure 11).
+    pub mixed: bool,
+    /// Scale preset.
+    pub scale: RunScale,
+    /// RNG seed.
+    pub seed: u64,
+    /// Queue weight w_q (paper default 0.5).
+    pub wq: f64,
+    /// Selective-dropping threshold, bytes (paper default 150 kB).
+    pub sel_drop: u64,
+    /// Overrides the scale preset's background flow count (benches).
+    pub n_flows: Option<usize>,
+    /// Number of independent seeds to average each point over (tail
+    /// percentiles at reduced flow counts are noisy order statistics).
+    pub seeds: u32,
+}
+
+impl SweepSpec {
+    /// The Figure-10 configuration: all four schemes, web search at 50 %
+    /// core load, background traffic only.
+    pub fn fig10(scale: RunScale) -> Self {
+        SweepSpec {
+            schemes: Scheme::ALL.to_vec(),
+            ratios: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            cdf: FlowSizeCdf::web_search(),
+            load: 0.5,
+            mixed: false,
+            scale,
+            seed: 1,
+            wq: 0.5,
+            sel_drop: 150_000,
+            n_flows: None,
+            seeds: 1,
+        }
+    }
+}
+
+/// Results of one (scheme, ratio) point.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Scheme label.
+    pub scheme: &'static str,
+    /// Deployment ratio.
+    pub ratio: f64,
+    /// p99 FCT of small flows (< 100 kB), all / legacy / upgraded, seconds.
+    pub p99_small: [f64; 3],
+    /// Average FCT over all sizes, all / legacy / upgraded, seconds.
+    pub avg: [f64; 3],
+    /// Std dev of small-flow FCT, all / legacy / upgraded, seconds.
+    pub stddev_small: [f64; 3],
+    /// Mean reorder-buffer peak over upgraded flows, bytes.
+    pub reorder_mean: f64,
+    /// Sender timeouts.
+    pub timeouts: u64,
+    /// Redundant bytes / sent bytes.
+    pub redundancy: f64,
+    /// Flows completed.
+    pub flows: usize,
+}
+
+/// Generates the workload for one sweep point and tags flows by deployment.
+pub fn build_flows(spec: &SweepSpec, deployment: &Deployment, n_hosts: usize) -> Vec<FlowSpec> {
+    // The heavy data-mining tail is truncated to keep reduced-scale runs
+    // bounded (see DESIGN.md); full scale keeps 100 MB flows.
+    let cap = match spec.scale {
+        RunScale::Smoke => 10_000_000.0,
+        RunScale::Default => 30_000_000.0,
+        RunScale::Full => 100_000_000.0,
+    };
+    let cdf = spec.cdf.truncate(cap);
+    let p = BackgroundParams {
+        n_hosts,
+        host_rate: spec.scale.clos().link_rate,
+        oversub: 3.0,
+        load: spec.load,
+        n_flows: spec.n_flows.unwrap_or_else(|| spec.scale.flows()),
+        seed: spec.seed,
+        first_id: 0,
+    };
+    let mut flows = background(&cdf, &p);
+    if spec.mixed {
+        // Foreground = 10 % of total volume; per paper each event has every
+        // other host send four 8 kB flows (fanout shrinks with smoke scale).
+        let bg_bytes: u64 = flows.iter().map(|fl| fl.size).sum();
+        let span = flows.last().map_or(1.0, |fl| fl.start.as_secs_f64());
+        let fg_bps = bg_bytes as f64 * 8.0 / span / 9.0;
+        let fanout = (n_hosts - 1).min(47);
+        let event_bytes = (fanout * 4) as f64 * 8_000.0;
+        let n_events = ((fg_bps / 8.0 * span) / event_bytes).ceil() as usize;
+        let fg = foreground_incast(&ForegroundParams {
+            n_hosts,
+            fanout,
+            flows_per_sender: 4,
+            resp_bytes: 8_000,
+            volume_bps: fg_bps,
+            n_events: n_events.max(1),
+            seed: spec.seed ^ 0xF0F0,
+            first_id: flows.len() as u64,
+        });
+        flows.extend(fg);
+    }
+    for fl in &mut flows {
+        fl.tag = deployment.tag_for(fl);
+    }
+    flows
+}
+
+/// Runs one (scheme, ratio) point, averaging over `spec.seeds` seeds.
+pub fn run_point(scheme: Scheme, ratio: f64, spec: &SweepSpec) -> SweepPoint {
+    let n = spec.seeds.max(1);
+    let mut acc: Option<SweepPoint> = None;
+    for k in 0..n {
+        let mut s = spec.clone();
+        s.seed = spec.seed.wrapping_add(k as u64 * 7919);
+        let p = run_point_once(scheme, ratio, &s);
+        acc = Some(match acc {
+            None => p,
+            Some(mut a) => {
+                for i in 0..3 {
+                    a.p99_small[i] += p.p99_small[i];
+                    a.avg[i] += p.avg[i];
+                    a.stddev_small[i] += p.stddev_small[i];
+                }
+                a.reorder_mean += p.reorder_mean;
+                a.timeouts += p.timeouts;
+                a.redundancy += p.redundancy;
+                a.flows += p.flows;
+                a
+            }
+        });
+    }
+    let mut p = acc.expect("at least one seed");
+    let nf = n as f64;
+    for i in 0..3 {
+        p.p99_small[i] /= nf;
+        p.avg[i] /= nf;
+        p.stddev_small[i] /= nf;
+    }
+    p.reorder_mean /= nf;
+    p.redundancy /= nf;
+    p
+}
+
+fn run_point_once(scheme: Scheme, ratio: f64, spec: &SweepSpec) -> SweepPoint {
+    let clos = spec.scale.clos();
+    let n_hosts = clos.n_hosts();
+    let rack_of: Vec<usize> = (0..n_hosts).map(|h| h / clos.hosts_per_tor).collect();
+    let mut rng = SimRng::new(spec.seed.wrapping_mul(0x9E37).wrapping_add(7));
+    let deployment = Deployment::by_rack_ratio(&rack_of, ratio, &mut rng);
+    let flows = build_flows(spec, &deployment, n_hosts);
+    let frac = deployment.upgraded_byte_fraction(&flows);
+
+    let mut params = ProfileParams::simulation(clos.link_rate);
+    params.wq = spec.wq;
+    params.fp_red = spec.sel_drop;
+    let profile = scheme.profile(&params, frac);
+    let host = flexpass::profiles::host_variant(&profile);
+    let topo = Topology::clos(clos, &profile, &host);
+
+    let fp_cfg = FlexPassConfig::new(spec.wq);
+    let factory = SchemeFactory::new(scheme, deployment, fp_cfg, frac);
+    let rec = run_flows(
+        topo,
+        Box::new(factory),
+        Recorder::new(),
+        &flows,
+        None,
+        TimeDelta::millis(20),
+    );
+    point_from_recorder(scheme, ratio, &rec)
+}
+
+fn point_from_recorder(scheme: Scheme, ratio: f64, rec: &Recorder) -> SweepPoint {
+    let tags = [None, Some(TAG_LEGACY), Some(TAG_UPGRADED)];
+    let mut p99_small = [0.0; 3];
+    let mut avg = [0.0; 3];
+    let mut stddev_small = [0.0; 3];
+    for (i, t) in tags.iter().enumerate() {
+        p99_small[i] = rec.p99_small(*t);
+        avg[i] = rec.avg_fct(*t);
+        stddev_small[i] = rec.stddev_small(*t);
+    }
+    let upgraded: Vec<&flexpass_metrics::FlowRecord> =
+        rec.flows.iter().filter(|r| r.tag == TAG_UPGRADED).collect();
+    let reorder_mean = if upgraded.is_empty() {
+        0.0
+    } else {
+        upgraded.iter().map(|r| r.reorder_peak as f64).sum::<f64>() / upgraded.len() as f64
+    };
+    SweepPoint {
+        scheme: scheme.label(),
+        ratio,
+        p99_small,
+        avg,
+        stddev_small,
+        reorder_mean,
+        timeouts: rec.total_timeouts(),
+        redundancy: rec.redundancy_fraction(),
+        flows: rec.completed(),
+    }
+}
+
+/// Runs the full sweep.
+pub fn run_sweep(spec: &SweepSpec) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &scheme in &spec.schemes {
+        for &ratio in &spec.ratios {
+            eprintln!("  sweep: scheme={} ratio={ratio}", scheme.label());
+            out.push(run_point(scheme, ratio, spec));
+        }
+    }
+    out
+}
+
+/// Renders sweep points as the CSVs behind Figures 10–13 (or 11 with
+/// mixed traffic): one wide table carrying every series.
+pub fn to_csv(points: &[SweepPoint]) -> Csv {
+    let mut csv = Csv::new(&[
+        "scheme",
+        "deploy_ratio",
+        "p99_small_all_ms",
+        "p99_small_legacy_ms",
+        "p99_small_upgraded_ms",
+        "avg_all_ms",
+        "avg_legacy_ms",
+        "avg_upgraded_ms",
+        "stddev_small_all_ms",
+        "stddev_small_legacy_ms",
+        "stddev_small_upgraded_ms",
+        "reorder_mean_kb",
+        "timeouts",
+        "redundancy_frac",
+        "flows",
+    ]);
+    for p in points {
+        csv.row(&[
+            p.scheme.to_string(),
+            format!("{:.2}", p.ratio),
+            f(p.p99_small[0] * 1e3),
+            f(p.p99_small[1] * 1e3),
+            f(p.p99_small[2] * 1e3),
+            f(p.avg[0] * 1e3),
+            f(p.avg[1] * 1e3),
+            f(p.avg[2] * 1e3),
+            f(p.stddev_small[0] * 1e3),
+            f(p.stddev_small[1] * 1e3),
+            f(p.stddev_small[2] * 1e3),
+            f(p.reorder_mean / 1e3),
+            p.timeouts.to_string(),
+            f(p.redundancy),
+            p.flows.to_string(),
+        ]);
+    }
+    csv
+}
+
+/// Reshapes sweep points into the per-scheme, per-flow-type series of
+/// Figure 12 (p99) or Figure 13 (stddev).
+pub fn by_type_csv(points: &[SweepPoint], stddev: bool) -> Csv {
+    let metric = if stddev { "stddev_small" } else { "p99_small" };
+    let mut csv = Csv::new(&[
+        "scheme",
+        "deploy_ratio",
+        &format!("{metric}_legacy_ms"),
+        &format!("{metric}_upgraded_ms"),
+    ]);
+    for p in points {
+        let v = if stddev {
+            &p.stddev_small
+        } else {
+            &p.p99_small
+        };
+        csv.row(&[
+            p.scheme.to_string(),
+            format!("{:.2}", p.ratio),
+            f(v[1] * 1e3),
+            f(v[2] * 1e3),
+        ]);
+    }
+    csv
+}
+
+/// Figure 10 (background only) or Figure 11 (mixed), plus the Figure 12/13
+/// per-type reshapes when running the background-only sweep.
+pub fn fig10_or_11(scale: RunScale, mixed: bool) -> Vec<ScenarioResult> {
+    let mut spec = SweepSpec::fig10(scale);
+    spec.mixed = mixed;
+    let points = run_sweep(&spec);
+    if mixed {
+        vec![ScenarioResult::new("fig11_sweep", to_csv(&points))]
+    } else {
+        vec![
+            ScenarioResult::new("fig10_sweep", to_csv(&points)),
+            ScenarioResult::new("fig12_p99_by_type", by_type_csv(&points, false)),
+            ScenarioResult::new("fig13_stddev_by_type", by_type_csv(&points, true)),
+        ]
+    }
+}
+
+/// Figure 14: p99 small-flow FCT vs deployment under loads 10/40/70 % for
+/// naive ExpressPass vs FlexPass.
+pub fn fig14(scale: RunScale) -> ScenarioResult {
+    let mut csv = Csv::new(&[
+        "scheme",
+        "load",
+        "deploy_ratio",
+        "p99_small_all_ms",
+        "p99_small_legacy_ms",
+        "p99_small_upgraded_ms",
+    ]);
+    for &load in &[0.1, 0.4, 0.7] {
+        let mut spec = SweepSpec::fig10(scale);
+        spec.load = load;
+        spec.schemes = vec![Scheme::Naive, Scheme::FlexPass];
+        spec.ratios = vec![0.0, 0.5, 1.0];
+        if scale == RunScale::Default {
+            spec.n_flows = Some(600);
+        }
+        for p in run_sweep(&spec) {
+            csv.row(&[
+                p.scheme.to_string(),
+                format!("{load:.1}"),
+                format!("{:.2}", p.ratio),
+                f(p.p99_small[0] * 1e3),
+                f(p.p99_small[1] * 1e3),
+                f(p.p99_small[2] * 1e3),
+            ]);
+        }
+    }
+    ScenarioResult::new("fig14_load_sweep", csv)
+}
+
+/// Figures 15/16: the sweep over all four realistic workloads.
+pub fn fig15_16(scale: RunScale) -> ScenarioResult {
+    let mut csv = Csv::new(&[
+        "workload",
+        "scheme",
+        "deploy_ratio",
+        "p99_small_all_ms",
+        "avg_all_ms",
+        "p99_gain_vs_0",
+    ]);
+    for cdf in FlowSizeCdf::all() {
+        let mut spec = SweepSpec::fig10(scale);
+        spec.cdf = cdf.clone();
+        spec.ratios = vec![0.0, 0.5, 1.0];
+        if scale == RunScale::Default {
+            spec.n_flows = Some(600);
+        }
+        let points = run_sweep(&spec);
+        // Gain relative to the 0 % (all-DCTCP) point of the same scheme.
+        for &scheme in &spec.schemes {
+            let base = points
+                .iter()
+                .find(|p| p.scheme == scheme.label() && p.ratio == 0.0)
+                .map(|p| p.p99_small[0])
+                .unwrap_or(0.0);
+            for p in points.iter().filter(|p| p.scheme == scheme.label()) {
+                let gain = if base > 0.0 {
+                    1.0 - p.p99_small[0] / base
+                } else {
+                    0.0
+                };
+                csv.row(&[
+                    cdf.name().to_string(),
+                    p.scheme.to_string(),
+                    format!("{:.2}", p.ratio),
+                    f(p.p99_small[0] * 1e3),
+                    f(p.avg[0] * 1e3),
+                    f(gain),
+                ]);
+            }
+        }
+    }
+    ScenarioResult::new("fig15_16_workloads", csv)
+}

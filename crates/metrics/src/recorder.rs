@@ -1,0 +1,434 @@
+//! The measurement recorder.
+
+use std::collections::HashMap;
+
+use flexpass_simcore::stats::{bytes_to_gbps, Percentiles, TimeSeries};
+use flexpass_simcore::time::{Time, TimeDelta};
+use flexpass_simnet::endpoint::{AppEvent, TxStats};
+use flexpass_simnet::packet::{FlowSpec, Packet, Payload, Subflow};
+use flexpass_simnet::queue::DropReason;
+use flexpass_simnet::sim::{NetObserver, NodeId};
+use flexpass_simnet::switch::QueueSample;
+
+/// One completed flow.
+#[derive(Clone, Debug)]
+pub struct FlowRecord {
+    /// Flow id.
+    pub flow: u64,
+    /// Application bytes.
+    pub size: u64,
+    /// Flow completion time in seconds (start to last byte delivered).
+    pub fct: f64,
+    /// Scheme tag (0 = legacy, 1 = upgraded by convention).
+    pub tag: u32,
+    /// Foreground (incast) flow.
+    pub fg: bool,
+    /// Peak out-of-order reassembly buffer at the receiver, bytes.
+    pub reorder_peak: u64,
+    /// Duplicate packets discarded at the receiver.
+    pub dup_pkts: u64,
+}
+
+/// Key of a throughput time series: `(flow tag, sub-flow)`.
+pub type SeriesKey = (u32, Subflow);
+
+/// Derived FCT statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FctStats {
+    /// Number of flows.
+    pub count: usize,
+    /// Mean FCT, seconds.
+    pub avg: f64,
+    /// Median FCT, seconds.
+    pub p50: f64,
+    /// 99th percentile FCT, seconds.
+    pub p99: f64,
+    /// Maximum FCT, seconds.
+    pub max: f64,
+    /// Population standard deviation, seconds.
+    pub stddev: f64,
+}
+
+/// A [`NetObserver`] recording everything the paper's figures need.
+pub struct Recorder {
+    specs: HashMap<u64, (FlowSpec, Time)>,
+    /// Completed flows.
+    pub flows: Vec<FlowRecord>,
+    /// Sender stats summed per tag.
+    pub tx_by_tag: HashMap<u32, TxStats>,
+    /// Drops by reason.
+    pub drops: HashMap<DropReason, u64>,
+    /// Dropped red (reactive) packets at switches.
+    pub red_drops: u64,
+    throughput_bin: Option<TimeDelta>,
+    series: HashMap<SeriesKey, TimeSeries>,
+    /// Queue index to collect occupancy stats for (e.g. 1 = Q1).
+    queue_watch: Option<usize>,
+    /// Q-watch: total bytes samples.
+    pub q_bytes: Percentiles,
+    /// Q-watch: samples from moments the queue was non-empty (the paper's
+    /// occupancy numbers describe busy bottleneck ports, not the idle
+    /// fabric average).
+    pub q_busy_bytes: Percentiles,
+    /// Q-watch: red bytes samples.
+    pub q_red_bytes: Percentiles,
+    /// Q-watch: max bytes ever sampled.
+    pub q_peak: u64,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A recorder with FCT + drop accounting only.
+    pub fn new() -> Self {
+        Recorder {
+            specs: HashMap::new(),
+            flows: Vec::new(),
+            tx_by_tag: HashMap::new(),
+            drops: HashMap::new(),
+            red_drops: 0,
+            throughput_bin: None,
+            series: HashMap::new(),
+            queue_watch: None,
+            q_bytes: Percentiles::new(),
+            q_busy_bytes: Percentiles::new(),
+            q_red_bytes: Percentiles::new(),
+            q_peak: 0,
+        }
+    }
+
+    /// Enables per-(tag, sub-flow) throughput time series with `bin` width.
+    pub fn with_throughput(mut self, bin: TimeDelta) -> Self {
+        self.throughput_bin = Some(bin);
+        self
+    }
+
+    /// Enables occupancy statistics for switch queue index `q` (requires
+    /// `Sim::enable_sampling`).
+    pub fn with_queue_watch(mut self, q: usize) -> Self {
+        self.queue_watch = Some(q);
+        self
+    }
+
+    /// FCT statistics over flows matching `filt`.
+    pub fn fct_stats(&self, filt: impl Fn(&FlowRecord) -> bool) -> FctStats {
+        let mut p = Percentiles::new();
+        for r in self.flows.iter().filter(|r| filt(r)) {
+            p.push(r.fct);
+        }
+        FctStats {
+            count: p.count(),
+            avg: p.mean(),
+            p50: p.p50(),
+            p99: p.p99(),
+            max: p.max(),
+            stddev: p.stddev(),
+        }
+    }
+
+    /// The paper's headline tail metric: p99 FCT of flows under 100 kB.
+    pub fn p99_small(&self, tag: Option<u32>) -> f64 {
+        self.fct_stats(|r| r.size < 100_000 && tag.is_none_or(|t| r.tag == t))
+            .p99
+    }
+
+    /// Overall average FCT (all sizes), optionally by tag.
+    pub fn avg_fct(&self, tag: Option<u32>) -> f64 {
+        self.fct_stats(|r| tag.is_none_or(|t| r.tag == t)).avg
+    }
+
+    /// Standard deviation of small-flow FCTs by tag (Figure 13).
+    pub fn stddev_small(&self, tag: Option<u32>) -> f64 {
+        self.fct_stats(|r| r.size < 100_000 && tag.is_none_or(|t| r.tag == t))
+            .stddev
+    }
+
+    /// A throughput series, if recorded.
+    pub fn series(&self, key: SeriesKey) -> Option<&TimeSeries> {
+        self.series.get(&key)
+    }
+
+    /// All recorded series keys.
+    pub fn series_keys(&self) -> Vec<SeriesKey> {
+        let mut k: Vec<SeriesKey> = self.series.keys().copied().collect();
+        k.sort_by_key(|(t, s)| (*t, *s as u8));
+        k
+    }
+
+    /// Aggregate throughput in Gbps per bin for a tag (summing sub-flows).
+    pub fn throughput_gbps(&self, tag: u32) -> Vec<f64> {
+        let bin = match self.throughput_bin {
+            Some(b) => b,
+            None => return Vec::new(),
+        };
+        let mut out: Vec<f64> = Vec::new();
+        for ((t, _), s) in &self.series {
+            if *t != tag {
+                continue;
+            }
+            for (i, &v) in s.bins().iter().enumerate() {
+                if i >= out.len() {
+                    out.resize(i + 1, 0.0);
+                }
+                out[i] += bytes_to_gbps(v, bin);
+            }
+        }
+        out
+    }
+
+    /// Fraction of bins in `[from, to)` where the tag's aggregate
+    /// throughput is below `frac` of `capacity_gbps` — the paper's
+    /// starvation-time metric (Figure 9c: threshold 20 %).
+    pub fn starvation_fraction(
+        &self,
+        tag: u32,
+        capacity_gbps: f64,
+        frac: f64,
+        from: Time,
+        to: Time,
+    ) -> f64 {
+        let bin = match self.throughput_bin {
+            Some(b) => b,
+            None => return 0.0,
+        };
+        let tp = self.throughput_gbps(tag);
+        let w = bin.as_nanos();
+        let lo = (from.as_nanos() / w) as usize;
+        let hi = (to.as_nanos().div_ceil(w) as usize).min(tp.len());
+        if lo >= hi {
+            return 0.0;
+        }
+        let below = tp[lo..hi]
+            .iter()
+            .filter(|&&v| v < frac * capacity_gbps)
+            .count();
+        below as f64 / (hi - lo) as f64
+    }
+
+    /// Total sender timeouts across tags.
+    pub fn total_timeouts(&self) -> u64 {
+        self.tx_by_tag.values().map(|s| s.timeouts).sum()
+    }
+
+    /// Proactive-retransmission volume as a fraction of all data bytes
+    /// (§4.2: "only 0.7 % of redundant retransmission in traffic volume").
+    pub fn redundancy_fraction(&self) -> f64 {
+        let sent: u64 = self.tx_by_tag.values().map(|s| s.data_bytes).sum();
+        let red: u64 = self.tx_by_tag.values().map(|s| s.redundant_bytes).sum();
+        if sent == 0 {
+            0.0
+        } else {
+            red as f64 / sent as f64
+        }
+    }
+
+    /// Number of flows recorded.
+    pub fn completed(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+impl NetObserver for Recorder {
+    fn on_flow_start(&mut self, spec: &FlowSpec, now: Time) {
+        self.specs.insert(spec.id, (spec.clone(), now));
+    }
+
+    fn on_app_event(&mut self, ev: &AppEvent, now: Time) {
+        match ev {
+            AppEvent::FlowCompleted { flow, stats } => {
+                if let Some((spec, start)) = self.specs.get(flow) {
+                    self.flows.push(FlowRecord {
+                        flow: *flow,
+                        size: spec.size,
+                        fct: now.saturating_since(*start).as_secs_f64(),
+                        tag: spec.tag,
+                        fg: spec.fg,
+                        reorder_peak: stats.reorder_peak_bytes,
+                        dup_pkts: stats.dup_pkts,
+                    });
+                }
+            }
+            AppEvent::SenderDone { flow, stats } => {
+                let tag = self.specs.get(flow).map_or(0, |(s, _)| s.tag);
+                let agg = self.tx_by_tag.entry(tag).or_default();
+                agg.data_pkts += stats.data_pkts;
+                agg.data_bytes += stats.data_bytes;
+                agg.retx_pkts += stats.retx_pkts;
+                agg.proactive_retx_pkts += stats.proactive_retx_pkts;
+                agg.redundant_bytes += stats.redundant_bytes;
+                agg.timeouts += stats.timeouts;
+                agg.credits_received += stats.credits_received;
+                agg.credits_wasted += stats.credits_wasted;
+            }
+        }
+    }
+
+    fn on_delivered(&mut self, pkt: &Packet, now: Time) {
+        if let Some(bin) = self.throughput_bin {
+            if let Payload::Data(d) = pkt.payload {
+                let tag = self.specs.get(&pkt.flow).map_or(0, |(s, _)| s.tag);
+                self.series
+                    .entry((tag, d.sub))
+                    .or_insert_with(|| TimeSeries::new(bin))
+                    .add(now, d.payload as f64);
+            }
+        }
+    }
+
+    fn on_drop(&mut self, pkt: &Packet, reason: DropReason, _node: NodeId, _now: Time) {
+        *self.drops.entry(reason).or_insert(0) += 1;
+        if reason == DropReason::SelectiveRed && pkt.is_data() {
+            self.red_drops += 1;
+        }
+    }
+
+    fn on_queue_sample(&mut self, _node: NodeId, _port: usize, s: &QueueSample, _now: Time) {
+        if let Some(q) = self.queue_watch {
+            if q < s.bytes.len() {
+                self.q_bytes.push(s.bytes[q] as f64);
+                if s.bytes[q] > 0 {
+                    self.q_busy_bytes.push(s.bytes[q] as f64);
+                }
+                self.q_red_bytes.push(s.red_bytes[q] as f64);
+                self.q_peak = self.q_peak.max(s.bytes[q]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexpass_simnet::endpoint::RxStats;
+
+    fn spec(id: u64, size: u64, tag: u32) -> FlowSpec {
+        FlowSpec {
+            id,
+            src: 0,
+            dst: 1,
+            size,
+            start: Time::ZERO,
+            tag,
+            fg: false,
+        }
+    }
+
+    fn complete(r: &mut Recorder, id: u64, size: u64, tag: u32, fct_us: u64) {
+        r.on_flow_start(&spec(id, size, tag), Time::ZERO);
+        r.on_app_event(
+            &AppEvent::FlowCompleted {
+                flow: id,
+                stats: RxStats::default(),
+            },
+            Time::from_micros(fct_us),
+        );
+    }
+
+    #[test]
+    fn fct_stats_by_size_and_tag() {
+        let mut r = Recorder::new();
+        complete(&mut r, 1, 50_000, 0, 100);
+        complete(&mut r, 2, 50_000, 1, 200);
+        complete(&mut r, 3, 5_000_000, 0, 10_000);
+        assert_eq!(r.completed(), 3);
+        let small = r.fct_stats(|f| f.size < 100_000);
+        assert_eq!(small.count, 2);
+        assert!((small.avg - 150e-6).abs() < 1e-12);
+        assert!((r.p99_small(Some(1)) - 200e-6).abs() < 1e-12);
+        assert!((r.avg_fct(None) - (100.0 + 200.0 + 10_000.0) / 3.0 * 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tx_stats_aggregate_by_tag() {
+        let mut r = Recorder::new();
+        r.on_flow_start(&spec(1, 1000, 1), Time::ZERO);
+        let stats = TxStats {
+            data_pkts: 10,
+            data_bytes: 10_000,
+            redundant_bytes: 500,
+            timeouts: 1,
+            ..TxStats::default()
+        };
+        r.on_app_event(&AppEvent::SenderDone { flow: 1, stats }, Time::ZERO);
+        r.on_app_event(&AppEvent::SenderDone { flow: 1, stats }, Time::ZERO);
+        assert_eq!(r.tx_by_tag[&1].data_pkts, 20);
+        assert_eq!(r.total_timeouts(), 2);
+        assert!((r.redundancy_fraction() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_series_and_starvation() {
+        use flexpass_simnet::consts::data_wire_bytes;
+        use flexpass_simnet::packet::{DataInfo, Payload, TrafficClass};
+
+        let mut r = Recorder::new().with_throughput(TimeDelta::millis(1));
+        r.on_flow_start(&spec(1, 1_000_000, 1), Time::ZERO);
+        let pkt = Packet::new(
+            1,
+            0,
+            1,
+            data_wire_bytes(1460),
+            TrafficClass::NewData,
+            Payload::Data(DataInfo {
+                flow_seq: 0,
+                sub_seq: 0,
+                sub: Subflow::Proactive,
+                payload: 1460,
+                retx: false,
+            }),
+        );
+        // 1 Gbps in bin 0: 1 ms * 1 Gbps / 8 = 125 kB.
+        for _ in 0..86 {
+            r.on_delivered(&pkt, Time::from_micros(500));
+        }
+        let tp = r.throughput_gbps(1);
+        assert!((tp[0] - 1.0).abs() < 0.02, "tp {tp:?}");
+        // Starvation below 20 % of 10 Gbps: 1 Gbps < 2 Gbps -> 100 %.
+        let f = r.starvation_fraction(1, 10.0, 0.2, Time::ZERO, Time::from_millis(1));
+        assert_eq!(f, 1.0);
+        // And not starved against a 1 Gbps capacity at 20 %.
+        let f = r.starvation_fraction(1, 1.0, 0.2, Time::ZERO, Time::from_millis(1));
+        assert_eq!(f, 0.0);
+        assert_eq!(r.series_keys(), vec![(1, Subflow::Proactive)]);
+    }
+
+    #[test]
+    fn queue_watch_percentiles() {
+        let mut r = Recorder::new().with_queue_watch(1);
+        for i in 0..100u64 {
+            let s = QueueSample {
+                bytes: vec![0, i * 1000, 0],
+                red_bytes: vec![0, i * 400, 0],
+            };
+            r.on_queue_sample(0, 0, &s, Time::from_micros(i));
+        }
+        assert_eq!(r.q_peak, 99_000);
+        assert!((r.q_bytes.quantile(0.9) - 89_000.0).abs() < 1e-9);
+        assert!(r.q_red_bytes.mean() > 0.0);
+        // Busy samples exclude the single zero-occupancy sample.
+        assert_eq!(r.q_busy_bytes.count(), 99);
+    }
+
+    #[test]
+    fn drops_accounted_by_reason() {
+        use flexpass_simnet::consts::CTRL_WIRE;
+        use flexpass_simnet::packet::{CreditInfo, Payload, TrafficClass};
+        let mut r = Recorder::new();
+        let credit = Packet::new(
+            1,
+            0,
+            1,
+            CTRL_WIRE,
+            TrafficClass::Credit,
+            Payload::Credit(CreditInfo { idx: 0 }),
+        );
+        r.on_drop(&credit, DropReason::QueueCap, 0, Time::ZERO);
+        r.on_drop(&credit, DropReason::QueueCap, 0, Time::ZERO);
+        assert_eq!(r.drops[&DropReason::QueueCap], 2);
+        assert_eq!(r.red_drops, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Deterministic event calendar.
+//!
+//! Events are ordered by `(time, sequence)` where the sequence number is the
+//! global insertion order. This makes the simulation fully deterministic:
+//! two events scheduled for the same instant fire in the order they were
+//! scheduled, independent of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// A pending entry in the calendar.
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-calendar of timestamped events.
+///
+/// # Examples
+///
+/// ```
+/// use flexpass_simcore::event::EventQueue;
+/// use flexpass_simcore::time::Time;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::from_nanos(5), 'b');
+/// q.schedule(Time::from_nanos(5), 'c');
+/// q.schedule(Time::from_nanos(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    popped: u64,
+    last_time: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            popped: 0,
+            last_time: Time::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute instant `time`.
+    ///
+    /// Scheduling in the past (before the last popped event) is a logic error
+    /// in the caller and panics in debug builds; in release builds the event
+    /// fires "now" at the head of the queue, preserving monotonic pops.
+    pub fn schedule(&mut self, time: Time, payload: E) {
+        debug_assert!(
+            time >= self.last_time,
+            "scheduled event at {time:?} before current time {:?}",
+            self.last_time
+        );
+        let time = time.max(self.last_time);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let entry = self.heap.pop()?;
+        self.popped += 1;
+        self.last_time = entry.time;
+        Some((entry.time, entry.payload))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far (a cheap progress metric).
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Timestamp of the most recently popped event (the current virtual time).
+    pub fn now(&self) -> Time {
+        self.last_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimeDelta;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_nanos(30), 3);
+        q.schedule(Time::from_nanos(10), 1);
+        q.schedule(Time::from_nanos(20), 2);
+        assert_eq!(q.pop().unwrap(), (Time::from_nanos(10), 1));
+        assert_eq!(q.pop().unwrap(), (Time::from_nanos(20), 2));
+        assert_eq!(q.pop().unwrap(), (Time::from_nanos(30), 3));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Time::from_nanos(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_nanos(10), "a");
+        let (t, _) = q.pop().unwrap();
+        q.schedule(t + TimeDelta::nanos(5), "b");
+        q.schedule(t + TimeDelta::nanos(1), "c");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.popped(), 3);
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Time::ZERO);
+        q.schedule(Time::from_micros(3), ());
+        q.pop();
+        assert_eq!(q.now(), Time::from_micros(3));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Time::ZERO, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.peek_time().is_none());
+    }
+}

@@ -1,0 +1,35 @@
+//! Discrete-event simulation core used by the FlexPass reproduction.
+//!
+//! This crate provides the substrate every other crate builds on:
+//!
+//! * [`time`] — fixed-point virtual time ([`Time`], [`TimeDelta`]) in
+//!   nanoseconds, byte/rate arithmetic ([`Rate`]) for serialization delays.
+//! * [`event`] — a deterministic event calendar ([`EventQueue`]) ordered by
+//!   `(time, insertion sequence)` so equal-time events fire FIFO.
+//! * [`rng`] — seeded deterministic randomness and a symmetric flow hash for
+//!   ECMP path selection.
+//! * [`stats`] — online mean/variance, exact percentiles, time-binned series.
+//!
+//! # Examples
+//!
+//! ```
+//! use flexpass_simcore::event::EventQueue;
+//! use flexpass_simcore::time::{Time, TimeDelta};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(Time::ZERO + TimeDelta::micros(2), "second");
+//! q.schedule(Time::ZERO + TimeDelta::micros(1), "first");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "first");
+//! assert_eq!(t, Time::from_nanos(1_000));
+//! ```
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use stats::{OnlineStats, Percentiles, TimeSeries};
+pub use time::{Rate, Time, TimeDelta};

@@ -1,0 +1,372 @@
+//! Statistics kernels shared by the metrics and experiment crates.
+
+use crate::time::{Time, TimeDelta};
+
+/// Online mean / variance / min / max accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use flexpass_simcore::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(v);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.stddev(), 2.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        self.m2 += other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64;
+        self.mean = mean;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact percentiles over a retained sample set.
+///
+/// Samples are kept and sorted on demand; experiments here record at most a
+/// few hundred thousand flows, so exactness is affordable and avoids sketch
+/// error in tail metrics (the paper's headline numbers are 99th percentiles).
+#[derive(Clone, Debug, Default)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Percentiles {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) using nearest-rank on the sorted
+    /// samples. Returns 0 when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.samples[rank - 1]
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Median.
+    pub fn p50(&mut self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Maximum sample (0 when empty).
+    pub fn max(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        *self.samples.last().expect("non-empty")
+    }
+
+    /// Population standard deviation (0 when empty).
+    pub fn stddev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n as f64;
+        var.sqrt()
+    }
+}
+
+/// A fixed-bin time series accumulating a value per bin (e.g. bytes per ms).
+///
+/// Used for throughput-vs-time plots (Figures 1, 7, 9) and starvation-time
+/// accounting (Figure 9c).
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    bin: TimeDelta,
+    bins: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn new(bin: TimeDelta) -> Self {
+        assert!(bin > TimeDelta::ZERO, "zero bin width");
+        TimeSeries {
+            bin,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Adds `value` to the bin containing instant `t`.
+    pub fn add(&mut self, t: Time, value: f64) {
+        let idx = (t.as_nanos() / self.bin.as_nanos()) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0.0);
+        }
+        self.bins[idx] += value;
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> TimeDelta {
+        self.bin
+    }
+
+    /// All bins in time order (possibly empty trailing bins are absent).
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Iterates `(bin start time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Time, f64)> + '_ {
+        let w = self.bin.as_nanos();
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (Time::from_nanos(i as u64 * w), v))
+    }
+
+    /// Fraction of bins in `[from, to)` whose value is below `threshold`.
+    /// Returns 0 if the window contains no bins.
+    pub fn fraction_below(&self, threshold: f64, from: Time, to: Time) -> f64 {
+        let w = self.bin.as_nanos();
+        let lo = (from.as_nanos() / w) as usize;
+        let hi = to.as_nanos().div_ceil(w) as usize;
+        let hi = hi.min(self.bins.len());
+        if lo >= hi {
+            return 0.0;
+        }
+        let below = self.bins[lo..hi].iter().filter(|&&v| v < threshold).count();
+        below as f64 / (hi - lo) as f64
+    }
+}
+
+/// Converts bytes accumulated in a bin to the average rate in Gbps.
+pub fn bytes_to_gbps(bytes: f64, bin: TimeDelta) -> f64 {
+    bytes * 8.0 / bin.as_secs_f64() / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        s.push(1.0);
+        s.push(3.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.variance(), 1.0);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_pooled() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for (i, &x) in data.iter().enumerate() {
+            whole.push(x);
+            if i % 2 == 0 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), whole.count());
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut p = Percentiles::new();
+        for i in 1..=100 {
+            p.push(i as f64);
+        }
+        assert_eq!(p.quantile(0.99), 99.0);
+        assert_eq!(p.quantile(1.0), 100.0);
+        assert_eq!(p.quantile(0.0), 1.0);
+        assert_eq!(p.p50(), 50.0);
+        assert_eq!(p.mean(), 50.5);
+        assert_eq!(p.max(), 100.0);
+    }
+
+    #[test]
+    fn percentiles_empty_is_zero() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.p99(), 0.0);
+        assert_eq!(p.mean(), 0.0);
+        assert_eq!(p.stddev(), 0.0);
+    }
+
+    #[test]
+    fn timeseries_bins_and_fraction() {
+        let mut ts = TimeSeries::new(TimeDelta::millis(1));
+        ts.add(Time::from_micros(100), 5.0);
+        ts.add(Time::from_micros(900), 5.0);
+        ts.add(Time::from_micros(1500), 2.0);
+        assert_eq!(ts.bins(), &[10.0, 2.0]);
+        let f = ts.fraction_below(5.0, Time::ZERO, Time::from_millis(2));
+        assert_eq!(f, 0.5);
+    }
+
+    #[test]
+    fn timeseries_iter_times() {
+        let mut ts = TimeSeries::new(TimeDelta::millis(2));
+        ts.add(Time::from_millis(3), 1.0);
+        let pts: Vec<_> = ts.iter().collect();
+        assert_eq!(pts[1], (Time::from_millis(2), 1.0));
+    }
+
+    #[test]
+    fn bytes_to_gbps_conversion() {
+        // 1.25 MB in 1 ms = 10 Gbps.
+        assert!((bytes_to_gbps(1_250_000.0, TimeDelta::millis(1)) - 10.0).abs() < 1e-9);
+    }
+}

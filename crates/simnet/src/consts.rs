@@ -1,0 +1,80 @@
+//! Wire-format constants shared by all transports.
+//!
+//! Sizes are *on-wire* Ethernet bytes (frame + preamble + inter-frame gap),
+//! used both for serialization time and buffer occupancy. The paper's
+//! thresholds are quoted in kB of queue length; the ~2.5 % framing overhead
+//! relative to IP bytes is irrelevant at the granularity of its results.
+
+/// Maximum application payload carried by one data packet (bytes).
+pub const MTU_PAYLOAD: u64 = 1_460;
+
+/// On-wire size of a full data packet: 1460 B payload + TCP/IP-like + FlexPass
+/// headers + Ethernet framing, preamble and IFG.
+pub const DATA_WIRE: u32 = 1_538;
+
+/// On-wire size of the headers of a data packet (used for runt last packets).
+pub const DATA_HEADER_WIRE: u32 = DATA_WIRE - MTU_PAYLOAD as u32;
+
+/// On-wire size of a control packet (credit, ACK, grant, request): a minimum
+/// 64 B Ethernet frame plus preamble and IFG.
+pub const CTRL_WIRE: u32 = 84;
+
+/// Fraction of link capacity the ExpressPass credit queue must be limited to
+/// so that the triggered data packets exactly fill the link:
+/// `CTRL_WIRE / (CTRL_WIRE + DATA_WIRE)`.
+pub const CREDIT_RATE_FULL_FRACTION: f64 = CTRL_WIRE as f64 / (CTRL_WIRE as f64 + DATA_WIRE as f64);
+
+/// On-wire size of a data packet carrying `payload` bytes.
+pub fn data_wire_bytes(payload: u64) -> u32 {
+    debug_assert!(payload > 0 && payload <= MTU_PAYLOAD);
+    (DATA_HEADER_WIRE as u64 + payload).max(CTRL_WIRE as u64) as u32
+}
+
+/// Number of data packets needed to carry `size` bytes of application data.
+pub fn packets_for(size: u64) -> u32 {
+    size.div_ceil(MTU_PAYLOAD).max(1) as u32
+}
+
+/// Payload carried by packet index `i` (0-based) of a `size`-byte flow.
+pub fn payload_of_packet(size: u64, i: u32) -> u64 {
+    let n = packets_for(size);
+    debug_assert!(i < n);
+    if i + 1 < n {
+        MTU_PAYLOAD
+    } else {
+        size - MTU_PAYLOAD * (n as u64 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credit_fraction_is_about_5_percent() {
+        assert!((CREDIT_RATE_FULL_FRACTION - 0.0518).abs() < 0.001);
+    }
+
+    #[test]
+    fn packets_for_sizes() {
+        assert_eq!(packets_for(1), 1);
+        assert_eq!(packets_for(1460), 1);
+        assert_eq!(packets_for(1461), 2);
+        assert_eq!(packets_for(64_000), 44);
+    }
+
+    #[test]
+    fn payload_partition_conserves_bytes() {
+        for size in [1u64, 100, 1460, 1461, 2920, 64_000, 1_000_000] {
+            let n = packets_for(size);
+            let total: u64 = (0..n).map(|i| payload_of_packet(size, i)).sum();
+            assert_eq!(total, size, "size {size}");
+        }
+    }
+
+    #[test]
+    fn wire_bytes_bounds() {
+        assert_eq!(data_wire_bytes(MTU_PAYLOAD), DATA_WIRE);
+        assert!(data_wire_bytes(1) >= CTRL_WIRE);
+    }
+}

@@ -1,0 +1,188 @@
+//! The transport endpoint abstraction.
+//!
+//! A transport protocol is implemented as two [`Endpoint`]s per flow — one at
+//! the sender, one at the receiver — reacting to packet arrivals and timers.
+//! Endpoints never touch the network directly; they emit packets, timer
+//! requests and application events through an [`EndpointCtx`], which the host
+//! drains into the simulator.
+
+use flexpass_simcore::time::Time;
+
+use crate::packet::{FlowId, Packet};
+
+/// Sender-side transmission statistics, reported on [`AppEvent::SenderDone`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxStats {
+    /// Data packets transmitted (including retransmissions).
+    pub data_pkts: u64,
+    /// Application bytes transmitted (including redundant bytes).
+    pub data_bytes: u64,
+    /// Loss-recovery retransmissions (state was `Lost`).
+    pub retx_pkts: u64,
+    /// FlexPass "proactive retransmissions" of unacked reactive packets.
+    pub proactive_retx_pkts: u64,
+    /// Redundant application bytes (received more than once at the peer is
+    /// tracked receiver-side; this counts bytes *sent* more than once).
+    pub redundant_bytes: u64,
+    /// Retransmission timeouts that fired.
+    pub timeouts: u64,
+    /// Credit packets received (proactive transports).
+    pub credits_received: u64,
+    /// Credits that arrived with nothing useful to send (wasted credits).
+    pub credits_wasted: u64,
+}
+
+/// Receiver-side statistics, reported on [`AppEvent::FlowCompleted`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RxStats {
+    /// Data packets received (including duplicates).
+    pub pkts_received: u64,
+    /// Duplicate data packets discarded during reassembly.
+    pub dup_pkts: u64,
+    /// Peak bytes buffered out-of-order awaiting reassembly.
+    pub reorder_peak_bytes: u64,
+}
+
+/// Events endpoints raise towards the application / metrics layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppEvent {
+    /// All application bytes of the flow were delivered in order.
+    FlowCompleted {
+        /// The completed flow.
+        flow: FlowId,
+        /// Receiver-side statistics.
+        stats: RxStats,
+    },
+    /// The sender saw every byte acknowledged.
+    SenderDone {
+        /// The finished flow.
+        flow: FlowId,
+        /// Sender-side statistics.
+        stats: TxStats,
+    },
+}
+
+/// Output channel endpoints write into during a callback.
+pub struct EndpointCtx<'a> {
+    /// Current virtual time.
+    pub now: Time,
+    tx: &'a mut Vec<Packet>,
+    timers: &'a mut Vec<(Time, u64)>,
+    app: &'a mut Vec<AppEvent>,
+}
+
+impl<'a> EndpointCtx<'a> {
+    /// Builds a context around the host's scratch buffers.
+    pub fn new(
+        now: Time,
+        tx: &'a mut Vec<Packet>,
+        timers: &'a mut Vec<(Time, u64)>,
+        app: &'a mut Vec<AppEvent>,
+    ) -> Self {
+        EndpointCtx {
+            now,
+            tx,
+            timers,
+            app,
+        }
+    }
+
+    /// Transmits a packet through the host NIC.
+    pub fn send(&mut self, pkt: Packet) {
+        self.tx.push(pkt);
+    }
+
+    /// Requests a timer callback at absolute time `at` with an opaque token.
+    ///
+    /// Timers are not cancellable; endpoints must treat stale tokens as
+    /// no-ops (the usual "timer generation counter" pattern).
+    pub fn set_timer(&mut self, at: Time, token: u64) {
+        self.timers.push((at, token));
+    }
+
+    /// Raises an application event.
+    pub fn emit(&mut self, ev: AppEvent) {
+        self.app.push(ev);
+    }
+}
+
+/// One half (sender or receiver) of a transport protocol instance.
+pub trait Endpoint {
+    /// Called once when the flow starts (sender) or is registered (receiver).
+    fn activate(&mut self, ctx: &mut EndpointCtx);
+
+    /// Called for every packet addressed to this flow at this host.
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx);
+
+    /// Called when a previously requested timer fires.
+    fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx);
+
+    /// True once the endpoint has no further work; the host then drops it.
+    fn finished(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::CTRL_WIRE;
+    use crate::packet::{Payload, TrafficClass};
+
+    struct Echo {
+        done: bool,
+    }
+
+    impl Endpoint for Echo {
+        fn activate(&mut self, ctx: &mut EndpointCtx) {
+            ctx.set_timer(ctx.now + flexpass_simcore::time::TimeDelta::micros(1), 7);
+        }
+        fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) {
+            ctx.send(Packet::new(
+                pkt.flow,
+                pkt.dst,
+                pkt.src,
+                CTRL_WIRE,
+                TrafficClass::NewCtrl,
+                Payload::CreditStop,
+            ));
+        }
+        fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+            assert_eq!(token, 7);
+            self.done = true;
+            ctx.emit(AppEvent::SenderDone {
+                flow: 1,
+                stats: TxStats::default(),
+            });
+        }
+        fn finished(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn ctx_collects_outputs() {
+        let mut tx = Vec::new();
+        let mut timers = Vec::new();
+        let mut app = Vec::new();
+        let mut ep = Echo { done: false };
+        {
+            let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx, &mut timers, &mut app);
+            ep.activate(&mut ctx);
+            let pkt = Packet::new(
+                1,
+                0,
+                1,
+                CTRL_WIRE,
+                TrafficClass::NewCtrl,
+                Payload::CreditStop,
+            );
+            ep.on_packet(&pkt, &mut ctx);
+            ep.on_timer(7, &mut ctx);
+        }
+        assert_eq!(timers.len(), 1);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx[0].src, 1);
+        assert_eq!(tx[0].dst, 0);
+        assert_eq!(app.len(), 1);
+        assert!(ep.finished());
+    }
+}

@@ -1,0 +1,259 @@
+//! End hosts.
+//!
+//! A host owns one NIC egress [`Port`] — configured exactly like an edge
+//! switch port (§5, footnote 6: "NIC is essentially a special type of edge
+//! switch") — and a table of live transport [`Endpoint`]s keyed by flow.
+
+use std::collections::HashMap;
+
+use flexpass_simcore::time::Time;
+
+use crate::endpoint::{AppEvent, Endpoint, EndpointCtx};
+use crate::packet::{FlowId, HostId, Packet};
+use crate::port::Port;
+use crate::queue::DropReason;
+use crate::switch::{ClassMap, SwitchProfile};
+
+/// Per-host counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostCounters {
+    /// Packets that arrived for a flow this host no longer (or never) knew.
+    pub stray_rx: u64,
+    /// Packets dropped at the NIC egress, by any reason.
+    pub nic_drops: u64,
+    /// Data bytes received by endpoints on this host.
+    pub rx_data_bytes: u64,
+}
+
+/// An end host: NIC port + transport endpoints.
+pub struct Host {
+    /// This host's index in the topology host list.
+    pub host_id: HostId,
+    /// NIC egress port towards the ToR (or single switch).
+    pub nic: Port,
+    class_map: ClassMap,
+    flows: HashMap<FlowId, Box<dyn Endpoint>>,
+    counters: HostCounters,
+}
+
+impl Host {
+    /// Creates a host whose NIC is configured from `profile` (queue set and
+    /// class map identical to edge switches; shared-buffer admission is not
+    /// applied at hosts).
+    pub fn new(host_id: HostId, profile: &SwitchProfile) -> Self {
+        Host {
+            host_id,
+            nic: Port::new(&profile.port),
+            class_map: profile.class_map,
+            flows: HashMap::new(),
+            counters: HostCounters::default(),
+        }
+    }
+
+    /// Counters snapshot.
+    pub fn counters(&self) -> HostCounters {
+        self.counters
+    }
+
+    /// Number of live endpoints.
+    pub fn live_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Registers an endpoint for `flow` and runs its `activate` callback.
+    pub fn register(&mut self, flow: FlowId, mut ep: Box<dyn Endpoint>, ctx: &mut EndpointCtx) {
+        ep.activate(ctx);
+        if !ep.finished() {
+            self.flows.insert(flow, ep);
+        }
+    }
+
+    /// Delivers an arriving packet to the owning endpoint. Returns `false`
+    /// if no endpoint claimed it (stray late packet — dropped).
+    pub fn deliver(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) -> bool {
+        if pkt.is_data() {
+            self.counters.rx_data_bytes += pkt.payload_bytes();
+        }
+        match self.flows.get_mut(&pkt.flow) {
+            Some(ep) => {
+                ep.on_packet(pkt, ctx);
+                if ep.finished() {
+                    self.flows.remove(&pkt.flow);
+                }
+                true
+            }
+            None => {
+                self.counters.stray_rx += 1;
+                false
+            }
+        }
+    }
+
+    /// Fires a timer for `flow`; stale timers for departed flows are no-ops.
+    pub fn fire_timer(&mut self, flow: FlowId, token: u64, ctx: &mut EndpointCtx) {
+        if let Some(ep) = self.flows.get_mut(&flow) {
+            ep.on_timer(token, ctx);
+            if ep.finished() {
+                self.flows.remove(&flow);
+            }
+        }
+    }
+
+    /// Offers `pkt` to the NIC egress queue chosen by the host's class map.
+    /// Returns the queue index on success.
+    pub fn nic_enqueue(&mut self, pkt: Packet) -> Result<usize, (DropReason, Packet)> {
+        let qidx = self.class_map.queue_for(&pkt);
+        match self.nic.enqueue(qidx, pkt) {
+            Ok(()) => Ok(qidx),
+            Err(r) => {
+                self.counters.nic_drops += 1;
+                Err((r, pkt))
+            }
+        }
+    }
+}
+
+/// Scratch buffers a host callback writes into; owned by the simulator and
+/// reused across events to avoid per-packet allocation.
+#[derive(Default)]
+pub struct Scratch {
+    /// Packets to transmit.
+    pub tx: Vec<Packet>,
+    /// Timer requests `(at, token)`.
+    pub timers: Vec<(Time, u64)>,
+    /// Application events.
+    pub app: Vec<AppEvent>,
+}
+
+impl Scratch {
+    /// Empties all buffers.
+    pub fn clear(&mut self) {
+        self.tx.clear();
+        self.timers.clear();
+        self.app.clear();
+    }
+
+    /// Builds an [`EndpointCtx`] over these buffers.
+    pub fn ctx(&mut self, now: Time) -> EndpointCtx<'_> {
+        EndpointCtx::new(now, &mut self.tx, &mut self.timers, &mut self.app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::CTRL_WIRE;
+    use crate::packet::{Payload, TrafficClass};
+    use crate::port::{PortConfig, QueueSched};
+    use crate::queue::QueueConfig;
+    use flexpass_simcore::time::Rate;
+
+    fn profile() -> SwitchProfile {
+        SwitchProfile {
+            port: PortConfig {
+                rate: Rate::from_gbps(10),
+                queues: vec![
+                    (QueueConfig::capped(1_000), QueueSched::strict(0)),
+                    (QueueConfig::plain(), QueueSched::weighted(1, 0.5)),
+                    (QueueConfig::plain(), QueueSched::weighted(1, 0.5)),
+                ],
+            },
+            class_map: ClassMap::Split {
+                credit: 0,
+                new_data: 1,
+                new_ctrl: 1,
+                legacy: 2,
+            },
+            shared_buffer: None,
+        }
+    }
+
+    struct CountEp {
+        got: u32,
+        done_after: u32,
+    }
+
+    impl Endpoint for CountEp {
+        fn activate(&mut self, _ctx: &mut EndpointCtx) {}
+        fn on_packet(&mut self, _pkt: &Packet, _ctx: &mut EndpointCtx) {
+            self.got += 1;
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
+        fn finished(&self) -> bool {
+            self.got >= self.done_after
+        }
+    }
+
+    fn ctrl_pkt(flow: FlowId) -> Packet {
+        Packet::new(
+            flow,
+            1,
+            0,
+            CTRL_WIRE,
+            TrafficClass::NewCtrl,
+            Payload::CreditStop,
+        )
+    }
+
+    #[test]
+    fn delivery_and_cleanup() {
+        let mut h = Host::new(0, &profile());
+        let mut scratch = Scratch::default();
+        h.register(
+            7,
+            Box::new(CountEp {
+                got: 0,
+                done_after: 2,
+            }),
+            &mut scratch.ctx(Time::ZERO),
+        );
+        assert_eq!(h.live_flows(), 1);
+        assert!(h.deliver(&ctrl_pkt(7), &mut scratch.ctx(Time::ZERO)));
+        assert_eq!(h.live_flows(), 1);
+        assert!(h.deliver(&ctrl_pkt(7), &mut scratch.ctx(Time::ZERO)));
+        // Endpoint reached its target and was dropped.
+        assert_eq!(h.live_flows(), 0);
+        // Late packet counts as stray.
+        assert!(!h.deliver(&ctrl_pkt(7), &mut scratch.ctx(Time::ZERO)));
+        assert_eq!(h.counters().stray_rx, 1);
+    }
+
+    #[test]
+    fn immediately_finished_endpoint_not_registered() {
+        let mut h = Host::new(0, &profile());
+        let mut scratch = Scratch::default();
+        h.register(
+            9,
+            Box::new(CountEp {
+                got: 0,
+                done_after: 0,
+            }),
+            &mut scratch.ctx(Time::ZERO),
+        );
+        assert_eq!(h.live_flows(), 0);
+    }
+
+    #[test]
+    fn nic_classifies_by_class_map() {
+        let mut h = Host::new(0, &profile());
+        let qi = h.nic_enqueue(ctrl_pkt(1)).unwrap();
+        assert_eq!(qi, 1);
+        let legacy = Packet::new(
+            2,
+            0,
+            1,
+            CTRL_WIRE,
+            TrafficClass::Legacy,
+            Payload::CreditStop,
+        );
+        assert_eq!(h.nic_enqueue(legacy).unwrap(), 2);
+    }
+
+    #[test]
+    fn stale_timer_is_noop() {
+        let mut h = Host::new(0, &profile());
+        let mut scratch = Scratch::default();
+        // No flow 3 registered; must not panic.
+        h.fire_timer(3, 1, &mut scratch.ctx(Time::ZERO));
+    }
+}

@@ -1,0 +1,322 @@
+//! A byte-accounted FIFO queue with ECN marking and per-color accounting.
+//!
+//! One [`PacketQueue`] corresponds to one egress queue (Q0/Q1/Q2 in the
+//! paper). The queue implements the two switch mechanisms FlexPass relies on
+//! (§4.1):
+//!
+//! * **ECN marking**: arriving ECN-capable packets are CE-marked when the
+//!   instantaneous queue length exceeds the marking threshold (DCTCP-style
+//!   step marking, the standard RED configuration for DCTCP).
+//! * **Selective dropping**: the queue tracks how many queued bytes are
+//!   *red* (reactive sub-flow packets); an arriving red packet is dropped
+//!   when admitting it would push the red byte count past the selective-drop
+//!   threshold. Green packets are only subject to the overall buffer limits.
+//!
+//! Buffer admission against the switch-level shared buffer happens in
+//! [`crate::switch`]; this module only enforces the queue's own static cap
+//! (used for the tiny credit-queue buffer).
+
+use std::collections::VecDeque;
+
+use crate::packet::{Color, Packet};
+
+/// Why a packet was dropped at enqueue time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// The queue's static byte cap was exceeded (e.g. credit queue < 1 kB).
+    QueueCap,
+    /// The switch shared buffer / dynamic threshold rejected the packet.
+    Buffer,
+    /// Selective dropping: red bytes would exceed the red threshold.
+    SelectiveRed,
+}
+
+/// Static configuration of one egress queue.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueConfig {
+    /// Static byte cap; `u64::MAX` means "no static cap" (shared buffer
+    /// governs admission instead).
+    pub cap_bytes: u64,
+    /// ECN/RED step-marking threshold in bytes; `None` disables marking.
+    pub ecn_threshold: Option<u64>,
+    /// Selective-drop threshold for red bytes; `None` disables selective
+    /// dropping.
+    pub red_threshold: Option<u64>,
+}
+
+impl QueueConfig {
+    /// A plain FIFO with no marking or dropping policies.
+    pub fn plain() -> Self {
+        QueueConfig {
+            cap_bytes: u64::MAX,
+            ecn_threshold: None,
+            red_threshold: None,
+        }
+    }
+
+    /// A queue with a static byte cap (credit queues).
+    pub fn capped(cap_bytes: u64) -> Self {
+        QueueConfig {
+            cap_bytes,
+            ecn_threshold: None,
+            red_threshold: None,
+        }
+    }
+
+    /// Adds an ECN step-marking threshold.
+    pub fn with_ecn(mut self, bytes: u64) -> Self {
+        self.ecn_threshold = Some(bytes);
+        self
+    }
+
+    /// Adds a selective-drop (red) threshold.
+    pub fn with_red_threshold(mut self, bytes: u64) -> Self {
+        self.red_threshold = Some(bytes);
+        self
+    }
+}
+
+/// Counters exported by each queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueCounters {
+    /// Packets admitted.
+    pub enqueued: u64,
+    /// Packets CE-marked on admission.
+    pub ecn_marked: u64,
+    /// Packets dropped by the static cap.
+    pub dropped_cap: u64,
+    /// Packets dropped by selective (red) dropping.
+    pub dropped_red: u64,
+    /// Bytes dropped by selective (red) dropping.
+    pub dropped_red_bytes: u64,
+}
+
+/// A FIFO egress queue.
+#[derive(Debug)]
+pub struct PacketQueue {
+    cfg: QueueConfig,
+    fifo: VecDeque<Packet>,
+    bytes: u64,
+    red_bytes: u64,
+    counters: QueueCounters,
+}
+
+/// Result of offering a packet to the queue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Enqueue {
+    /// Admitted (possibly CE-marked inside).
+    Admitted,
+    /// Dropped for the given reason.
+    Dropped(DropReason),
+}
+
+impl PacketQueue {
+    /// Creates an empty queue with the given configuration.
+    pub fn new(cfg: QueueConfig) -> Self {
+        PacketQueue {
+            cfg,
+            fifo: VecDeque::new(),
+            bytes: 0,
+            red_bytes: 0,
+            counters: QueueCounters::default(),
+        }
+    }
+
+    /// The queue's configuration.
+    pub fn config(&self) -> &QueueConfig {
+        &self.cfg
+    }
+
+    /// Queued bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Queued red bytes.
+    pub fn red_bytes(&self) -> u64 {
+        self.red_bytes
+    }
+
+    /// Queued packets.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// Counters snapshot.
+    pub fn counters(&self) -> QueueCounters {
+        self.counters
+    }
+
+    /// Wire size of the head packet, if any.
+    pub fn head_bytes(&self) -> Option<u32> {
+        self.fifo.front().map(|p| p.wire)
+    }
+
+    /// Offers `pkt` to the queue, applying the queue's own policies:
+    /// static cap, selective red dropping, and ECN marking.
+    ///
+    /// Shared-buffer admission must be checked by the caller *before* this
+    /// (the switch knows the buffer state; the queue does not).
+    pub fn offer(&mut self, mut pkt: Packet) -> Enqueue {
+        let size = pkt.wire as u64;
+        if self.bytes + size > self.cfg.cap_bytes {
+            self.counters.dropped_cap += 1;
+            return Enqueue::Dropped(DropReason::QueueCap);
+        }
+        if pkt.color == Color::Red {
+            if let Some(red_thr) = self.cfg.red_threshold {
+                if self.red_bytes + size > red_thr {
+                    self.counters.dropped_red += 1;
+                    self.counters.dropped_red_bytes += size;
+                    return Enqueue::Dropped(DropReason::SelectiveRed);
+                }
+            }
+        }
+        if let Some(ecn_thr) = self.cfg.ecn_threshold {
+            if pkt.ecn_capable && self.bytes > ecn_thr {
+                pkt.ecn_ce = true;
+                self.counters.ecn_marked += 1;
+            }
+        }
+        if pkt.color == Color::Red {
+            self.red_bytes += size;
+        }
+        self.bytes += size;
+        self.counters.enqueued += 1;
+        self.fifo.push_back(pkt);
+        Enqueue::Admitted
+    }
+
+    /// Removes and returns the head packet.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        let pkt = self.fifo.pop_front()?;
+        let size = pkt.wire as u64;
+        self.bytes -= size;
+        if pkt.color == Color::Red {
+            self.red_bytes -= size;
+        }
+        Some(pkt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::CTRL_WIRE;
+    use crate::packet::{CreditInfo, DataInfo, Payload, Subflow, TrafficClass};
+
+    fn mk(wire: u32, red: bool, ecn: bool) -> Packet {
+        let p = Packet::new(
+            1,
+            0,
+            1,
+            wire,
+            TrafficClass::NewData,
+            Payload::Data(DataInfo {
+                flow_seq: 0,
+                sub_seq: 0,
+                sub: Subflow::Reactive,
+                payload: 1000,
+                retx: false,
+            }),
+        );
+        let p = if red { p.red() } else { p };
+        if ecn {
+            p.ecn()
+        } else {
+            p
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_byte_accounting() {
+        let mut q = PacketQueue::new(QueueConfig::plain());
+        q.offer(mk(100, false, false));
+        q.offer(mk(200, true, false));
+        assert_eq!(q.bytes(), 300);
+        assert_eq!(q.red_bytes(), 200);
+        assert_eq!(q.head_bytes(), Some(100));
+        assert_eq!(q.dequeue().unwrap().wire, 100);
+        assert_eq!(q.bytes(), 200);
+        assert_eq!(q.dequeue().unwrap().wire, 200);
+        assert_eq!(q.bytes(), 0);
+        assert_eq!(q.red_bytes(), 0);
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn static_cap_drops() {
+        let mut q = PacketQueue::new(QueueConfig::capped(1_000));
+        for _ in 0..11 {
+            q.offer(mk(CTRL_WIRE, false, false));
+        }
+        // 11 * 84 = 924 fits; a 12th would exceed 1000.
+        assert_eq!(q.len(), 11);
+        assert_eq!(
+            q.offer(mk(CTRL_WIRE, false, false)),
+            Enqueue::Dropped(DropReason::QueueCap)
+        );
+        assert_eq!(q.counters().dropped_cap, 1);
+    }
+
+    #[test]
+    fn selective_drop_hits_only_red() {
+        let mut q = PacketQueue::new(QueueConfig::plain().with_red_threshold(500));
+        assert_eq!(q.offer(mk(400, true, false)), Enqueue::Admitted);
+        // Red bytes would reach 800 > 500 -> dropped.
+        assert_eq!(
+            q.offer(mk(400, true, false)),
+            Enqueue::Dropped(DropReason::SelectiveRed)
+        );
+        // Green packets are unaffected.
+        assert_eq!(q.offer(mk(400, false, false)), Enqueue::Admitted);
+        assert_eq!(q.counters().dropped_red, 1);
+        assert_eq!(q.counters().dropped_red_bytes, 400);
+        assert_eq!(q.bytes(), 800);
+        assert_eq!(q.red_bytes(), 400);
+    }
+
+    #[test]
+    fn ecn_marks_above_threshold_only_capable_packets() {
+        let mut q = PacketQueue::new(QueueConfig::plain().with_ecn(500));
+        q.offer(mk(600, false, true));
+        // Queue was empty (0 <= 500) at arrival: no mark.
+        assert_eq!(q.counters().ecn_marked, 0);
+        q.offer(mk(100, false, true));
+        // Queue length 600 > 500: marked.
+        assert_eq!(q.counters().ecn_marked, 1);
+        // Non-capable packet above threshold: not marked.
+        q.offer(mk(100, false, false));
+        assert_eq!(q.counters().ecn_marked, 1);
+        let a = q.dequeue().unwrap();
+        let b = q.dequeue().unwrap();
+        let c = q.dequeue().unwrap();
+        assert!(!a.ecn_ce && b.ecn_ce && !c.ecn_ce);
+    }
+
+    #[test]
+    fn credit_queue_profile() {
+        // The paper's Q0: < 1 kB buffer so excess credits are dropped.
+        let mut q = PacketQueue::new(QueueConfig::capped(1_000));
+        let mut admitted = 0;
+        for _ in 0..100 {
+            if q.offer(Packet::new(
+                9,
+                0,
+                1,
+                CTRL_WIRE,
+                TrafficClass::Credit,
+                Payload::Credit(CreditInfo { idx: 0 }),
+            )) == Enqueue::Admitted
+            {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 11);
+    }
+}

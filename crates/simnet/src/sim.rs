@@ -1,0 +1,894 @@
+//! The event-driven simulation driver.
+//!
+//! [`Sim`] owns the wired topology, the event calendar, and the transport
+//! factory. Its inner loop dispatches four event kinds: packet arrivals,
+//! port service opportunities, endpoint timers, and flow starts. All
+//! behaviour is deterministic given the topology, factory, and workload.
+
+use flexpass_simcore::event::EventQueue;
+use flexpass_simcore::rng::SimRng;
+use flexpass_simcore::time::{Rate, Time, TimeDelta};
+
+use crate::endpoint::{AppEvent, Endpoint};
+use crate::host::{Host, Scratch};
+use crate::packet::{FlowId, FlowSpec, Packet};
+use crate::port::{Decision, Port};
+use crate::queue::DropReason;
+use crate::switch::{QueueSample, Switch};
+use crate::topology::Topology;
+
+/// Index into the simulator's node table.
+pub type NodeId = usize;
+
+/// A network element.
+pub enum Node {
+    /// A switch.
+    Switch(Switch),
+    /// An end host.
+    Host(Host),
+}
+
+impl Node {
+    /// Egress port `idx` of this node (hosts expose their NIC as port 0).
+    pub fn port_mut(&mut self, idx: usize) -> &mut Port {
+        match self {
+            Node::Switch(s) => &mut s.ports[idx],
+            Node::Host(h) => {
+                debug_assert_eq!(idx, 0);
+                &mut h.nic
+            }
+        }
+    }
+
+    /// Immutable port access.
+    pub fn port(&self, idx: usize) -> &Port {
+        match self {
+            Node::Switch(s) => &s.ports[idx],
+            Node::Host(h) => {
+                debug_assert_eq!(idx, 0);
+                &h.nic
+            }
+        }
+    }
+}
+
+/// Static facts transports may consult when a flow is created.
+#[derive(Clone, Copy, Debug)]
+pub struct NetEnv {
+    /// Host access link rate.
+    pub host_rate: Rate,
+    /// Worst-case propagation-only RTT in the fabric.
+    pub base_rtt: TimeDelta,
+    /// Number of hosts.
+    pub n_hosts: usize,
+}
+
+/// Hook points for measurement. All methods have empty defaults; recorders
+/// implement what they need.
+pub trait NetObserver {
+    /// A flow was started (its spec is now known to the metrics layer).
+    fn on_flow_start(&mut self, _spec: &FlowSpec, _now: Time) {}
+    /// An endpoint raised an application event.
+    fn on_app_event(&mut self, _ev: &AppEvent, _now: Time) {}
+    /// A data packet reached its destination host.
+    fn on_delivered(&mut self, _pkt: &Packet, _now: Time) {}
+    /// A packet was dropped.
+    fn on_drop(&mut self, _pkt: &Packet, _reason: DropReason, _node: NodeId, _now: Time) {}
+    /// Periodic queue occupancy sample of one switch port.
+    fn on_queue_sample(&mut self, _node: NodeId, _port: usize, _sample: &QueueSample, _now: Time) {}
+}
+
+/// An observer that records nothing.
+pub struct NullObserver;
+
+impl NetObserver for NullObserver {}
+
+/// Creates the two endpoint halves of each flow. Scheme layers (oWF, Naïve,
+/// FlexPass, ...) implement this to mix transports across hosts.
+pub trait TransportFactory {
+    /// Builds the sender endpoint.
+    fn sender(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint>;
+    /// Builds the receiver endpoint.
+    fn receiver(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint>;
+}
+
+/// Simulation events.
+#[derive(Debug)]
+pub enum Event {
+    /// A packet finishes propagating to `node`.
+    Arrive {
+        /// Receiving node.
+        node: NodeId,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// Egress port `port` of `node` may transmit.
+    PortReady {
+        /// Node owning the port.
+        node: NodeId,
+        /// Port index.
+        port: usize,
+    },
+    /// An endpoint timer fires.
+    Timer {
+        /// Host node.
+        host: NodeId,
+        /// Flow owning the timer.
+        flow: FlowId,
+        /// Opaque token the endpoint registered.
+        token: u64,
+    },
+    /// A scheduled flow begins.
+    FlowStart {
+        /// Index into the flow table.
+        idx: usize,
+    },
+    /// Periodic queue sampling tick.
+    Sample,
+}
+
+/// The simulator.
+pub struct Sim<O: NetObserver> {
+    events: EventQueue<Event>,
+    /// All nodes (public for post-run counter inspection).
+    pub nodes: Vec<Node>,
+    /// Node id of each host.
+    pub hosts: Vec<NodeId>,
+    /// Rack of each host.
+    pub rack_of: Vec<usize>,
+    flows: Vec<FlowSpec>,
+    factory: Box<dyn TransportFactory>,
+    env: NetEnv,
+    /// The measurement observer.
+    pub observer: O,
+    scratch: Scratch,
+    completed: usize,
+    started: usize,
+    sample_every: Option<TimeDelta>,
+    /// Non-congestion loss injection: `(probability, rng)`.
+    loss: Option<(f64, SimRng)>,
+    /// Packets dropped by loss injection.
+    injected_losses: u64,
+}
+
+impl<O: NetObserver> Sim<O> {
+    /// Builds a simulator over a wired topology.
+    pub fn new(topo: Topology, factory: Box<dyn TransportFactory>, observer: O) -> Self {
+        let env = NetEnv {
+            host_rate: topo.host_rate,
+            base_rtt: topo.base_rtt,
+            n_hosts: topo.hosts.len(),
+        };
+        Sim {
+            events: EventQueue::new(),
+            nodes: topo.nodes,
+            hosts: topo.hosts,
+            rack_of: topo.rack_of,
+            flows: Vec::new(),
+            factory,
+            env,
+            observer,
+            scratch: Scratch::default(),
+            completed: 0,
+            started: 0,
+            sample_every: None,
+            loss: None,
+            injected_losses: 0,
+        }
+    }
+
+    /// Enables random non-congestion packet loss (§4.3 "Handling proactive
+    /// data packet losses": e.g. switch failures or link corruption). Every
+    /// packet arriving at a *switch* is dropped with probability `p`,
+    /// independently, from a deterministic seeded stream. Transports must
+    /// recover; proactive sub-flows use their highest-priority
+    /// retransmission path.
+    pub fn inject_loss(&mut self, p: f64, seed: u64) {
+        assert!((0.0..1.0).contains(&p), "loss probability out of range");
+        self.loss = Some((p, SimRng::new(seed ^ 0x10_55)));
+    }
+
+    /// Packets dropped by the loss injector so far.
+    pub fn injected_losses(&self) -> u64 {
+        self.injected_losses
+    }
+
+    /// Environment facts handed to transports.
+    pub fn env(&self) -> NetEnv {
+        self.env
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.events.now()
+    }
+
+    /// Total events processed (progress metric).
+    pub fn events_processed(&self) -> u64 {
+        self.events.popped()
+    }
+
+    /// Number of flows that have completed (receiver side).
+    pub fn flows_completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Number of flows scheduled.
+    pub fn flows_scheduled(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Number of flows whose endpoints have been created so far.
+    pub fn flows_started(&self) -> usize {
+        self.started
+    }
+
+    /// Enables periodic queue sampling with the given interval.
+    pub fn enable_sampling(&mut self, every: TimeDelta) {
+        if self.sample_every.is_none() {
+            self.events.schedule(self.now() + every, Event::Sample);
+        }
+        self.sample_every = Some(every);
+    }
+
+    /// Schedules a flow for simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if source and destination hosts coincide or are out of range.
+    pub fn schedule_flow(&mut self, spec: FlowSpec) {
+        assert!(spec.src != spec.dst, "flow to self");
+        assert!(spec.src < self.hosts.len() && spec.dst < self.hosts.len());
+        let idx = self.flows.len();
+        self.events.schedule(spec.start, Event::FlowStart { idx });
+        self.flows.push(spec);
+    }
+
+    /// Runs until the calendar empties or virtual time would pass `deadline`.
+    pub fn run_until(&mut self, deadline: Time) {
+        while let Some(t) = self.events.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (now, ev) = self.events.pop().expect("peeked");
+            self.dispatch(now, ev);
+        }
+    }
+
+    /// Runs until every scheduled flow has completed (receiver side), then
+    /// keeps draining for `grace` so senders can finish their own cleanup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calendar empties before all flows complete (lost
+    /// packets with no retransmission path — a transport bug).
+    pub fn run_to_completion(&mut self, grace: TimeDelta) {
+        while self.completed < self.flows.len() {
+            match self.events.pop() {
+                Some((now, ev)) => self.dispatch(now, ev),
+                None => panic!(
+                    "event queue drained with {}/{} flows incomplete",
+                    self.completed,
+                    self.flows.len()
+                ),
+            }
+        }
+        let deadline = self.now() + grace;
+        self.run_until(deadline);
+    }
+
+    fn dispatch(&mut self, now: Time, ev: Event) {
+        match ev {
+            Event::Arrive { node, pkt } => self.arrive(now, node, pkt),
+            Event::PortReady { node, port } => self.port_ready(now, node, port),
+            Event::Timer { host, flow, token } => {
+                self.scratch.clear();
+                if let Node::Host(h) = &mut self.nodes[host] {
+                    let mut ctx = self.scratch.ctx(now);
+                    h.fire_timer(flow, token, &mut ctx);
+                } else {
+                    unreachable!("timer on a switch");
+                }
+                self.flush(now, host);
+            }
+            Event::FlowStart { idx } => self.flow_start(now, idx),
+            Event::Sample => {
+                let switch_ids: Vec<NodeId> = (0..self.nodes.len())
+                    .filter(|&n| matches!(self.nodes[n], Node::Switch(_)))
+                    .collect();
+                for n in switch_ids {
+                    if let Node::Switch(sw) = &self.nodes[n] {
+                        for p in 0..sw.ports.len() {
+                            let sample = sw.sample_port(p);
+                            self.observer.on_queue_sample(n, p, &sample, now);
+                        }
+                    }
+                }
+                if let Some(every) = self.sample_every {
+                    if self.completed < self.flows.len() {
+                        self.events.schedule(now + every, Event::Sample);
+                    }
+                }
+            }
+        }
+    }
+
+    fn arrive(&mut self, now: Time, node: NodeId, pkt: Packet) {
+        if let Some((p, rng)) = &mut self.loss {
+            if matches!(self.nodes[node], Node::Switch(_)) && rng.chance(*p) {
+                self.injected_losses += 1;
+                return;
+            }
+        }
+        match &mut self.nodes[node] {
+            Node::Switch(sw) => {
+                let res = sw.receive(pkt);
+                match res {
+                    Ok(port_idx) => {
+                        if self.nodes[node].port(port_idx).busy_until.is_none() {
+                            self.events.schedule(
+                                now,
+                                Event::PortReady {
+                                    node,
+                                    port: port_idx,
+                                },
+                            );
+                        }
+                    }
+                    Err((reason, pkt)) => self.observer.on_drop(&pkt, reason, node, now),
+                }
+            }
+            Node::Host(h) => {
+                debug_assert_eq!(h.host_id, pkt.dst, "misrouted packet");
+                if pkt.is_data() {
+                    self.observer.on_delivered(&pkt, now);
+                }
+                self.scratch.clear();
+                {
+                    let mut ctx = self.scratch.ctx(now);
+                    h.deliver(&pkt, &mut ctx);
+                }
+                self.flush(now, node);
+            }
+        }
+    }
+
+    fn port_ready(&mut self, now: Time, node: NodeId, port: usize) {
+        let p = self.nodes[node].port_mut(port);
+        // Clear any wake bookkeeping that is now in the past. This must
+        // happen even on the early busy-return below: a shaper wake that
+        // fires while the port is mid-transmission would otherwise leave
+        // `pending_wake` stale forever, suppressing all future WaitUntil
+        // scheduling — with a full shaped queue (arrivals dropped, so no
+        // enqueue kicks either) the port would deadlock.
+        if let Some(w) = p.pending_wake {
+            if w <= now {
+                p.pending_wake = None;
+            }
+        }
+        if let Some(t) = p.busy_until {
+            if t > now {
+                return; // Still serializing; the end-of-tx event will come.
+            }
+        }
+        p.busy_until = None;
+        match p.next_packet(now) {
+            Decision::Send(pkt) => {
+                let ser = p.serialize(pkt.wire);
+                let peer = p.peer;
+                let prop = p.prop;
+                p.busy_until = Some(now + ser);
+                self.events
+                    .schedule(now + ser, Event::PortReady { node, port });
+                self.events
+                    .schedule(now + ser + prop, Event::Arrive { node: peer, pkt });
+            }
+            Decision::WaitUntil(t) => {
+                if p.pending_wake.is_none_or(|w| t < w) {
+                    p.pending_wake = Some(t);
+                    self.events.schedule(t, Event::PortReady { node, port });
+                }
+            }
+            Decision::Idle => {}
+        }
+    }
+
+    fn flow_start(&mut self, now: Time, idx: usize) {
+        let spec = self.flows[idx].clone();
+        self.started += 1;
+        self.observer.on_flow_start(&spec, now);
+
+        // Receiver first so the sender's first packet finds it.
+        let receiver = self.factory.receiver(&spec, &self.env);
+        self.register_endpoint(now, spec.dst, spec.id, receiver);
+        let sender = self.factory.sender(&spec, &self.env);
+        self.register_endpoint(now, spec.src, spec.id, sender);
+    }
+
+    fn register_endpoint(
+        &mut self,
+        now: Time,
+        host_id: usize,
+        flow: FlowId,
+        ep: Box<dyn Endpoint>,
+    ) {
+        let node = self.hosts[host_id];
+        self.scratch.clear();
+        if let Node::Host(h) = &mut self.nodes[node] {
+            let mut ctx = self.scratch.ctx(now);
+            h.register(flow, ep, &mut ctx);
+        } else {
+            unreachable!("host id maps to a non-host node");
+        }
+        self.flush(now, node);
+    }
+
+    /// Drains the scratch buffers after a host callback: transmit packets
+    /// through the NIC, schedule timers, surface app events.
+    fn flush(&mut self, now: Time, node: NodeId) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for pkt in scratch.tx.drain(..) {
+            let res = match &mut self.nodes[node] {
+                Node::Host(h) => h.nic_enqueue(pkt),
+                Node::Switch(_) => unreachable!("flush on a switch"),
+            };
+            match res {
+                Ok(_q) => {
+                    if self.nodes[node].port(0).busy_until.is_none() {
+                        self.events
+                            .schedule(now, Event::PortReady { node, port: 0 });
+                    }
+                }
+                Err((reason, pkt)) => self.observer.on_drop(&pkt, reason, node, now),
+            }
+        }
+        for (at, token) in scratch.timers.drain(..) {
+            // Find the flow this timer belongs to: tokens are namespaced by
+            // the endpoint, so the host embeds the flow id in the high bits.
+            let flow = token >> 16;
+            self.events.schedule(
+                at.max(now),
+                Event::Timer {
+                    host: node,
+                    flow,
+                    token,
+                },
+            );
+        }
+        for ev in scratch.app.drain(..) {
+            if matches!(ev, AppEvent::FlowCompleted { .. }) {
+                self.completed += 1;
+            }
+            self.observer.on_app_event(&ev, now);
+        }
+        self.scratch = scratch;
+    }
+}
+
+/// Builds a timer token namespaced by flow id: the simulator routes the
+/// timer back to the owning endpoint via the high bits.
+///
+/// # Examples
+///
+/// ```
+/// use flexpass_simnet::sim::timer_token;
+///
+/// let t = timer_token(42, 3);
+/// assert_eq!(t >> 16, 42);
+/// assert_eq!(t & 0xFFFF, 3);
+/// ```
+pub fn timer_token(flow: FlowId, kind: u16) -> u64 {
+    (flow << 16) | kind as u64
+}
+
+/// Extracts the endpoint-local kind from a timer token.
+pub fn timer_kind(token: u64) -> u16 {
+    (token & 0xFFFF) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::{data_wire_bytes, packets_for, payload_of_packet, CTRL_WIRE};
+    use crate::endpoint::{EndpointCtx, RxStats, TxStats};
+    use crate::packet::{DataInfo, Payload, Subflow, TrafficClass};
+    use crate::port::{PortConfig, QueueSched};
+    use crate::queue::QueueConfig;
+    use crate::switch::ClassMap;
+    use crate::switch::SwitchProfile;
+    use crate::topology::ClosParams;
+
+    fn profile(rate: Rate) -> SwitchProfile {
+        SwitchProfile {
+            port: PortConfig {
+                rate,
+                queues: vec![(QueueConfig::plain(), QueueSched::strict(0))],
+            },
+            class_map: ClassMap::Single,
+            shared_buffer: None,
+        }
+    }
+
+    /// A trivially simple transport: the sender blasts every packet at once
+    /// (no congestion control); the receiver counts bytes and completes.
+    struct BlastSender {
+        spec: FlowSpec,
+        sent: bool,
+    }
+
+    impl Endpoint for BlastSender {
+        fn activate(&mut self, ctx: &mut EndpointCtx) {
+            let n = packets_for(self.spec.size);
+            for i in 0..n {
+                let pay = payload_of_packet(self.spec.size, i);
+                ctx.send(Packet::new(
+                    self.spec.id,
+                    self.spec.src,
+                    self.spec.dst,
+                    data_wire_bytes(pay),
+                    TrafficClass::Legacy,
+                    Payload::Data(DataInfo {
+                        flow_seq: i,
+                        sub_seq: i,
+                        sub: Subflow::Only,
+                        payload: pay as u32,
+                        retx: false,
+                    }),
+                ));
+            }
+            self.sent = true;
+            ctx.emit(AppEvent::SenderDone {
+                flow: self.spec.id,
+                stats: TxStats::default(),
+            });
+        }
+        fn on_packet(&mut self, _pkt: &Packet, _ctx: &mut EndpointCtx) {}
+        fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
+        fn finished(&self) -> bool {
+            self.sent
+        }
+    }
+
+    struct CountReceiver {
+        spec: FlowSpec,
+        got: u64,
+        done: bool,
+    }
+
+    impl Endpoint for CountReceiver {
+        fn activate(&mut self, _ctx: &mut EndpointCtx) {}
+        fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) {
+            self.got += pkt.payload_bytes();
+            if self.got >= self.spec.size && !self.done {
+                self.done = true;
+                ctx.emit(AppEvent::FlowCompleted {
+                    flow: self.spec.id,
+                    stats: RxStats::default(),
+                });
+            }
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut EndpointCtx) {}
+        fn finished(&self) -> bool {
+            self.done
+        }
+    }
+
+    struct BlastFactory;
+
+    impl TransportFactory for BlastFactory {
+        fn sender(&mut self, flow: &FlowSpec, _env: &NetEnv) -> Box<dyn Endpoint> {
+            Box::new(BlastSender {
+                spec: flow.clone(),
+                sent: false,
+            })
+        }
+        fn receiver(&mut self, flow: &FlowSpec, _env: &NetEnv) -> Box<dyn Endpoint> {
+            Box::new(CountReceiver {
+                spec: flow.clone(),
+                got: 0,
+                done: false,
+            })
+        }
+    }
+
+    struct FctObserver {
+        start: Time,
+        done_at: Option<Time>,
+    }
+
+    impl NetObserver for FctObserver {
+        fn on_flow_start(&mut self, _spec: &FlowSpec, now: Time) {
+            self.start = now;
+        }
+        fn on_app_event(&mut self, ev: &AppEvent, now: Time) {
+            if matches!(ev, AppEvent::FlowCompleted { .. }) {
+                self.done_at = Some(now);
+            }
+        }
+    }
+
+    fn flow(id: u64, src: usize, dst: usize, size: u64, start: Time) -> FlowSpec {
+        FlowSpec {
+            id,
+            src,
+            dst,
+            size,
+            start,
+            tag: 0,
+            fg: false,
+        }
+    }
+
+    #[test]
+    fn single_flow_fct_matches_hand_calculation() {
+        let p = profile(Rate::from_gbps(10));
+        let topo = Topology::star(2, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+        let mut sim = Sim::new(
+            topo,
+            Box::new(BlastFactory),
+            FctObserver {
+                start: Time::ZERO,
+                done_at: None,
+            },
+        );
+        // 10 packets of 1460 B = 14,600 B.
+        sim.schedule_flow(flow(1, 0, 1, 14_600, Time::from_micros(100)));
+        sim.run_to_completion(TimeDelta::millis(1));
+        // Hand calculation: 10 packets of 1538 B at 10 Gbps serialize in
+        // 1230.4 ns each. Host NIC pipeline + switch: last packet leaves NIC
+        // at 100us + 10*1230.4ns, arrives switch +5us +1230.4ns (store and
+        // forward), leaves switch immediately after, arrives host +5us.
+        let done = sim.observer.done_at.expect("flow completed");
+        let expect_ns = 100_000.0 + 10.0 * 1230.4 + 5_000.0 + 1230.4 + 5_000.0;
+        let got = done.as_nanos() as f64;
+        assert!(
+            (got - expect_ns).abs() < 10.0,
+            "FCT {got} ns vs expected {expect_ns} ns"
+        );
+    }
+
+    #[test]
+    fn flows_complete_across_clos() {
+        let p = profile(Rate::from_gbps(40));
+        let topo = Topology::clos(ClosParams::small(), &p, &p);
+        let n = topo.hosts.len();
+        let mut sim = Sim::new(topo, Box::new(BlastFactory), NullObserver);
+        for i in 0..20u64 {
+            let src = (i as usize * 7) % n;
+            let dst = (src + 1 + (i as usize * 13) % (n - 1)) % n;
+            sim.schedule_flow(flow(i, src, dst, 50_000 + i * 1000, Time::from_micros(i)));
+        }
+        sim.run_to_completion(TimeDelta::millis(1));
+        assert_eq!(sim.flows_completed(), 20);
+    }
+
+    #[test]
+    fn drops_reported_when_buffer_overflows() {
+        // Tiny switch queues force drops with a blast sender.
+        let mut p = profile(Rate::from_gbps(10));
+        p.port.queues[0].0 = QueueConfig::capped(20_000);
+        let host_p = profile(Rate::from_gbps(10));
+        let topo = Topology::star(3, Rate::from_gbps(10), TimeDelta::micros(5), &p, &host_p);
+
+        struct DropCount {
+            drops: u64,
+        }
+        impl NetObserver for DropCount {
+            fn on_drop(&mut self, _p: &Packet, _r: DropReason, _n: NodeId, _now: Time) {
+                self.drops += 1;
+            }
+        }
+
+        let mut sim = Sim::new(topo, Box::new(BlastFactory), DropCount { drops: 0 });
+        // Two senders to one receiver at the same instant: the 10 Gbps
+        // access link to host 2 must overflow the 20 kB queue.
+        sim.schedule_flow(flow(1, 0, 2, 1_000_000, Time::ZERO));
+        sim.schedule_flow(flow(2, 1, 2, 1_000_000, Time::ZERO));
+        sim.run_until(Time::from_millis(50));
+        assert!(sim.observer.drops > 0, "expected buffer drops");
+    }
+
+    #[test]
+    fn timer_roundtrip() {
+        struct TimerEp {
+            fired: bool,
+            flow: FlowId,
+        }
+        impl Endpoint for TimerEp {
+            fn activate(&mut self, ctx: &mut EndpointCtx) {
+                ctx.set_timer(ctx.now + TimeDelta::micros(50), timer_token(self.flow, 1));
+            }
+            fn on_packet(&mut self, _pkt: &Packet, _ctx: &mut EndpointCtx) {}
+            fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+                assert_eq!(timer_kind(token), 1);
+                self.fired = true;
+                ctx.emit(AppEvent::FlowCompleted {
+                    flow: self.flow,
+                    stats: RxStats::default(),
+                });
+            }
+            fn finished(&self) -> bool {
+                self.fired
+            }
+        }
+        struct TimerFactory;
+        impl TransportFactory for TimerFactory {
+            fn sender(&mut self, flow: &FlowSpec, _env: &NetEnv) -> Box<dyn Endpoint> {
+                Box::new(TimerEp {
+                    fired: false,
+                    flow: flow.id,
+                })
+            }
+            fn receiver(&mut self, flow: &FlowSpec, _env: &NetEnv) -> Box<dyn Endpoint> {
+                Box::new(TimerEp {
+                    fired: false,
+                    flow: flow.id,
+                })
+            }
+        }
+        let p = profile(Rate::from_gbps(10));
+        let topo = Topology::star(2, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+        let mut sim = Sim::new(topo, Box::new(TimerFactory), NullObserver);
+        sim.schedule_flow(flow(3, 0, 1, 100, Time::from_micros(10)));
+        sim.run_until(Time::from_millis(1));
+        assert_eq!(sim.flows_completed(), 2); // Both halves emitted.
+        assert_eq!(sim.now(), Time::from_micros(60));
+    }
+
+    #[test]
+    fn sampling_emits_queue_samples() {
+        struct SampleCount {
+            n: u64,
+        }
+        impl NetObserver for SampleCount {
+            fn on_queue_sample(
+                &mut self,
+                _node: NodeId,
+                _port: usize,
+                _s: &QueueSample,
+                _now: Time,
+            ) {
+                self.n += 1;
+            }
+        }
+        let p = profile(Rate::from_gbps(10));
+        let topo = Topology::star(2, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+        let mut sim = Sim::new(topo, Box::new(BlastFactory), SampleCount { n: 0 });
+        sim.enable_sampling(TimeDelta::micros(100));
+        sim.schedule_flow(flow(1, 0, 1, 1_000_000, Time::ZERO));
+        sim.run_to_completion(TimeDelta::ZERO);
+        // 1 MB at 10 Gbps takes ~822 us; expect ~8 ticks x 2 ports.
+        assert!(sim.observer.n >= 10, "samples {}", sim.observer.n);
+    }
+
+    #[test]
+    fn control_packet_sizes_obeyed() {
+        let wire = CTRL_WIRE;
+        assert!(wire < 100, "control packets must fit a minimum frame");
+    }
+
+    /// Regression test: a shaper wake that fires while the port is busy
+    /// must not leave stale `pending_wake` bookkeeping behind. With the
+    /// bug, a shaped queue whose arrivals are dropped (full cap) would
+    /// never be served again and its packets never delivered.
+    #[test]
+    fn shaped_queue_drains_after_wake_lands_mid_transmission() {
+        use crate::packet::CreditInfo;
+        use crate::port::QueueSched;
+
+        struct Burst {
+            flow: FlowId,
+            sent_data: bool,
+        }
+        impl Endpoint for Burst {
+            fn activate(&mut self, ctx: &mut EndpointCtx) {
+                // Five credits into the shaped Q0: the first drains the
+                // token burst; the rest must wait for refills.
+                for i in 0..5 {
+                    ctx.send(Packet::new(
+                        self.flow,
+                        0,
+                        1,
+                        CTRL_WIRE,
+                        TrafficClass::Credit,
+                        Payload::Credit(CreditInfo { idx: i }),
+                    ));
+                }
+                // A large data packet lands while the shaper wake is
+                // pending; its serialization swallows the wake event.
+                ctx.set_timer(ctx.now + TimeDelta::micros(100), timer_token(self.flow, 1));
+            }
+            fn on_packet(&mut self, _p: &Packet, _ctx: &mut EndpointCtx) {}
+            fn on_timer(&mut self, _t: u64, ctx: &mut EndpointCtx) {
+                self.sent_data = true;
+                ctx.send(Packet::new(
+                    self.flow,
+                    0,
+                    1,
+                    1538,
+                    TrafficClass::Legacy,
+                    Payload::CreditStop,
+                ));
+            }
+            fn finished(&self) -> bool {
+                false
+            }
+        }
+
+        struct Count {
+            credits: u32,
+        }
+        impl Endpoint for Count {
+            fn activate(&mut self, _ctx: &mut EndpointCtx) {}
+            fn on_packet(&mut self, p: &Packet, _ctx: &mut EndpointCtx) {
+                if matches!(p.payload, Payload::Credit(_)) {
+                    self.credits += 1;
+                }
+            }
+            fn on_timer(&mut self, _t: u64, _ctx: &mut EndpointCtx) {}
+            fn finished(&self) -> bool {
+                false
+            }
+        }
+
+        struct F;
+        impl TransportFactory for F {
+            fn sender(&mut self, flow: &FlowSpec, _env: &NetEnv) -> Box<dyn Endpoint> {
+                Box::new(Burst {
+                    flow: flow.id,
+                    sent_data: false,
+                })
+            }
+            fn receiver(&mut self, _flow: &FlowSpec, _env: &NetEnv) -> Box<dyn Endpoint> {
+                Box::new(Count { credits: 0 })
+            }
+        }
+
+        // Slow 10 Mbps line so the data packet serializes for 1.23 ms;
+        // credit shaper at 1 Mbps with an 84 B burst.
+        let sw = SwitchProfile {
+            port: PortConfig {
+                rate: Rate::from_mbps(10),
+                queues: vec![
+                    (
+                        QueueConfig::capped(1_000),
+                        QueueSched::strict(0).shaped(Rate::from_mbps(1), CTRL_WIRE as u64),
+                    ),
+                    (QueueConfig::plain(), QueueSched::strict(1)),
+                ],
+            },
+            class_map: ClassMap::Split {
+                credit: 0,
+                new_data: 1,
+                new_ctrl: 1,
+                legacy: 1,
+            },
+            shared_buffer: None,
+        };
+        let topo = Topology::star(2, Rate::from_mbps(10), TimeDelta::micros(5), &sw, &sw);
+        let mut sim = Sim::new(topo, Box::new(F), NullObserver);
+        sim.schedule_flow(FlowSpec {
+            id: 1,
+            src: 0,
+            dst: 1,
+            size: 100,
+            start: Time::ZERO,
+            tag: 0,
+            fg: false,
+        });
+        sim.run_until(Time::from_millis(50));
+        // All five credits must eventually reach host 1 despite the wake
+        // being swallowed by the data transmission.
+        if let Node::Host(h) = &sim.nodes[sim.hosts[1]] {
+            // Count endpoint holds the tally; verify no backlog remains.
+            assert!(!h.nic.has_backlog());
+        }
+        let backlog: u64 = (0..sim.nodes.len())
+            .map(|n| match &sim.nodes[n] {
+                Node::Switch(s) => s.ports.iter().map(|p| p.backlog_bytes()).sum(),
+                Node::Host(h) => h.nic.backlog_bytes(),
+            })
+            .sum();
+        assert_eq!(backlog, 0, "shaped queue wedged with {backlog} bytes");
+    }
+}

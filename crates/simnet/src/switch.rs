@@ -1,0 +1,411 @@
+//! Output-queued switch with shared-buffer dynamic thresholds, per-class
+//! queue mapping, and ECMP routing.
+
+use crate::packet::{Packet, TrafficClass};
+use crate::port::{Port, PortConfig};
+use crate::queue::DropReason;
+
+/// How packets map to egress queues (the DSCP → queue configuration an
+/// operator would install).
+#[derive(Clone, Copy, Debug)]
+pub enum ClassMap {
+    /// Everything shares queue 0 (plain FIFO switch).
+    Single,
+    /// Explicit per-class queue indices. Classes may share an index (the
+    /// Naïve scheme maps `NewData` and `Legacy` to the same queue).
+    Split {
+        /// Queue for [`TrafficClass::Credit`].
+        credit: usize,
+        /// Queue for [`TrafficClass::NewData`].
+        new_data: usize,
+        /// Queue for [`TrafficClass::NewCtrl`].
+        new_ctrl: usize,
+        /// Queue for [`TrafficClass::Legacy`].
+        legacy: usize,
+    },
+    /// Homa-style: data packets choose `base + pkt.prio`; control packets
+    /// and legacy traffic get fixed queues.
+    ByPrio {
+        /// First data queue index; packet priority is added to it.
+        base: usize,
+        /// Number of priority queues.
+        n: usize,
+        /// Queue for control packets (grants, ACKs).
+        ctrl: usize,
+        /// Queue for legacy traffic.
+        legacy: usize,
+    },
+}
+
+impl ClassMap {
+    /// Egress queue index for `pkt`.
+    pub fn queue_for(&self, pkt: &Packet) -> usize {
+        match *self {
+            ClassMap::Single => 0,
+            ClassMap::Split {
+                credit,
+                new_data,
+                new_ctrl,
+                legacy,
+            } => match pkt.class {
+                TrafficClass::Credit => credit,
+                TrafficClass::NewData => new_data,
+                TrafficClass::NewCtrl => new_ctrl,
+                TrafficClass::Legacy => legacy,
+            },
+            ClassMap::ByPrio {
+                base,
+                n,
+                ctrl,
+                legacy,
+            } => match pkt.class {
+                TrafficClass::Legacy => legacy,
+                TrafficClass::NewCtrl | TrafficClass::Credit => ctrl,
+                TrafficClass::NewData => base + (pkt.prio as usize).min(n - 1),
+            },
+        }
+    }
+}
+
+/// Configuration shared by every port of a switch (and by host NICs, which
+/// the paper configures identically to edge switches).
+#[derive(Clone, Debug)]
+pub struct SwitchProfile {
+    /// Per-port queue set and scheduling.
+    pub port: PortConfig,
+    /// DSCP → queue mapping.
+    pub class_map: ClassMap,
+    /// Shared buffer `(total bytes, dynamic threshold alpha)`; `None`
+    /// disables shared-buffer admission (host NICs).
+    pub shared_buffer: Option<(u64, f64)>,
+}
+
+/// Per-switch drop counters, by reason.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SwitchCounters {
+    /// Drops due to the shared buffer / dynamic threshold.
+    pub dropped_buffer: u64,
+    /// Drops due to a queue's static cap (credit queue overflow).
+    pub dropped_cap: u64,
+    /// Selective (red) drops.
+    pub dropped_red: u64,
+    /// Packets forwarded.
+    pub forwarded: u64,
+}
+
+/// A point-in-time view of one port's queue occupancy.
+#[derive(Clone, Debug)]
+pub struct QueueSample {
+    /// Bytes per queue.
+    pub bytes: Vec<u64>,
+    /// Red bytes per queue.
+    pub red_bytes: Vec<u64>,
+}
+
+/// An output-queued switch.
+#[derive(Debug)]
+pub struct Switch {
+    /// Topology tier (ToR = 0, Agg = 1, Core = 2); selects the ECMP hash
+    /// slice so both flow directions make aligned choices.
+    pub tier: u8,
+    /// Egress ports.
+    pub ports: Vec<Port>,
+    /// ECMP candidates: `routes[dst_host]` lists egress port indices on
+    /// shortest paths towards that host.
+    pub routes: Vec<Vec<u16>>,
+    class_map: ClassMap,
+    shared_buffer: Option<(u64, f64)>,
+    counters: SwitchCounters,
+}
+
+impl Switch {
+    /// Creates a switch with `nports` identical ports from `profile`.
+    pub fn new(profile: &SwitchProfile, nports: usize, tier: u8) -> Self {
+        Switch {
+            tier,
+            ports: (0..nports).map(|_| Port::new(&profile.port)).collect(),
+            routes: Vec::new(),
+            class_map: profile.class_map,
+            shared_buffer: profile.shared_buffer,
+            counters: SwitchCounters::default(),
+        }
+    }
+
+    /// Drop / forward counters.
+    pub fn counters(&self) -> SwitchCounters {
+        self.counters
+    }
+
+    /// The class map in use.
+    pub fn class_map(&self) -> ClassMap {
+        self.class_map
+    }
+
+    /// Selects the egress port for `pkt` by ECMP over the shortest-path
+    /// candidates, using the tier-specific slice of the symmetric flow hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no route exists to the packet's destination.
+    pub fn route(&self, pkt: &Packet) -> usize {
+        let cands = &self.routes[pkt.dst];
+        assert!(!cands.is_empty(), "no route to host {}", pkt.dst);
+        if cands.len() == 1 {
+            return cands[0] as usize;
+        }
+        let h = pkt.path_hash >> (16 * self.tier as u64);
+        cands[(h % cands.len() as u64) as usize] as usize
+    }
+
+    /// Bytes currently admitted against the shared buffer (dynamically
+    /// thresholded queues only; statically capped queues are exempt).
+    pub fn shared_used(&self) -> u64 {
+        self.ports
+            .iter()
+            .map(|p| {
+                (0..p.num_queues())
+                    .filter(|&qi| p.queue(qi).config().cap_bytes == u64::MAX)
+                    .map(|qi| p.queue(qi).bytes())
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Attempts to enqueue `pkt` at the routed egress port. Returns the port
+    /// index on success so the caller can kick the port's service loop.
+    pub fn receive(&mut self, pkt: Packet) -> Result<usize, (DropReason, Packet)> {
+        let port_idx = self.route(&pkt);
+        let qidx = self.class_map.queue_for(&pkt);
+        let size = pkt.wire as u64;
+
+        // Dynamic shared-buffer admission (statically capped queues such as
+        // the credit queue manage their own tiny buffer instead).
+        if self.ports[port_idx].queue(qidx).config().cap_bytes == u64::MAX {
+            if let Some((total, alpha)) = self.shared_buffer {
+                let used = self.shared_used();
+                let free = total.saturating_sub(used);
+                let threshold = (alpha * free as f64) as u64;
+                let qbytes = self.ports[port_idx].queue(qidx).bytes();
+                if used + size > total || qbytes + size > threshold {
+                    self.counters.dropped_buffer += 1;
+                    return Err((DropReason::Buffer, pkt));
+                }
+            }
+        }
+
+        match self.ports[port_idx].enqueue(qidx, pkt) {
+            Ok(()) => {
+                self.counters.forwarded += 1;
+                Ok(port_idx)
+            }
+            Err(r) => {
+                match r {
+                    DropReason::QueueCap => self.counters.dropped_cap += 1,
+                    DropReason::SelectiveRed => self.counters.dropped_red += 1,
+                    DropReason::Buffer => self.counters.dropped_buffer += 1,
+                }
+                Err((r, pkt))
+            }
+        }
+    }
+
+    /// Snapshot of one port's queues.
+    pub fn sample_port(&self, port_idx: usize) -> QueueSample {
+        let p = &self.ports[port_idx];
+        QueueSample {
+            bytes: (0..p.num_queues()).map(|q| p.queue(q).bytes()).collect(),
+            red_bytes: (0..p.num_queues())
+                .map(|q| p.queue(q).red_bytes())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::{CTRL_WIRE, DATA_WIRE};
+    use crate::packet::{CreditInfo, DataInfo, Payload, Subflow};
+    use crate::port::QueueSched;
+    use crate::queue::QueueConfig;
+    use flexpass_simcore::time::Rate;
+
+    fn flexpass_profile() -> SwitchProfile {
+        SwitchProfile {
+            port: PortConfig {
+                rate: Rate::from_gbps(10),
+                queues: vec![
+                    (
+                        QueueConfig::capped(1_000),
+                        QueueSched::strict(0).shaped(Rate::from_mbps(273), 2 * CTRL_WIRE as u64),
+                    ),
+                    (
+                        QueueConfig::plain()
+                            .with_ecn(65_000)
+                            .with_red_threshold(150_000),
+                        QueueSched::weighted(1, 0.5),
+                    ),
+                    (
+                        QueueConfig::plain().with_ecn(100_000),
+                        QueueSched::weighted(1, 0.5),
+                    ),
+                ],
+            },
+            class_map: ClassMap::Split {
+                credit: 0,
+                new_data: 1,
+                new_ctrl: 1,
+                legacy: 2,
+            },
+            shared_buffer: Some((4_500_000, 0.25)),
+        }
+    }
+
+    fn data_to(dst: usize, class: TrafficClass, red: bool) -> Packet {
+        let p = Packet::new(
+            5,
+            0,
+            dst,
+            DATA_WIRE,
+            class,
+            Payload::Data(DataInfo {
+                flow_seq: 0,
+                sub_seq: 0,
+                sub: Subflow::Reactive,
+                payload: 1460,
+                retx: false,
+            }),
+        );
+        if red {
+            p.red()
+        } else {
+            p
+        }
+    }
+
+    fn wired_switch() -> Switch {
+        let mut sw = Switch::new(&flexpass_profile(), 2, 0);
+        // Hosts 0 and 1 behind ports 0 and 1.
+        sw.routes = vec![vec![0], vec![1]];
+        sw
+    }
+
+    #[test]
+    fn class_map_split() {
+        let sw = wired_switch();
+        let credit = Packet::new(
+            5,
+            1,
+            0,
+            CTRL_WIRE,
+            TrafficClass::Credit,
+            Payload::Credit(CreditInfo { idx: 0 }),
+        );
+        assert_eq!(sw.class_map().queue_for(&credit), 0);
+        assert_eq!(
+            sw.class_map()
+                .queue_for(&data_to(1, TrafficClass::NewData, false)),
+            1
+        );
+        assert_eq!(
+            sw.class_map()
+                .queue_for(&data_to(1, TrafficClass::Legacy, false)),
+            2
+        );
+    }
+
+    #[test]
+    fn class_map_by_prio() {
+        let cm = ClassMap::ByPrio {
+            base: 1,
+            n: 8,
+            ctrl: 0,
+            legacy: 1,
+        };
+        let p = data_to(1, TrafficClass::NewData, false).with_prio(3);
+        assert_eq!(cm.queue_for(&p), 4);
+        // Legacy maps to the highest-priority data queue (paper footnote 3).
+        assert_eq!(cm.queue_for(&data_to(1, TrafficClass::Legacy, false)), 1);
+        // Priorities beyond the range clamp.
+        let p = data_to(1, TrafficClass::NewData, false).with_prio(200);
+        assert_eq!(cm.queue_for(&p), 8);
+    }
+
+    #[test]
+    fn routes_and_forwards() {
+        let mut sw = wired_switch();
+        let port = sw
+            .receive(data_to(1, TrafficClass::NewData, false))
+            .unwrap();
+        assert_eq!(port, 1);
+        assert_eq!(sw.counters().forwarded, 1);
+        assert_eq!(sw.ports[1].backlog_bytes(), DATA_WIRE as u64);
+    }
+
+    #[test]
+    fn selective_red_drop_at_switch() {
+        let mut sw = wired_switch();
+        // 150 kB red threshold: 97 full packets fit, the 98th red is dropped.
+        let mut admitted = 0;
+        for _ in 0..120 {
+            if sw.receive(data_to(1, TrafficClass::NewData, true)).is_ok() {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 150_000 / DATA_WIRE as u64);
+        assert!(sw.counters().dropped_red > 0);
+        // Green packets still admitted past the red threshold.
+        assert!(sw.receive(data_to(1, TrafficClass::NewData, false)).is_ok());
+    }
+
+    #[test]
+    fn dynamic_threshold_limits_queue() {
+        // Alpha = 0.25, total 4.5 MB: an empty switch admits one queue up to
+        // threshold alpha/(1+alpha) * total = 0.9 MB.
+        let mut sw = wired_switch();
+        let mut admitted_bytes = 0u64;
+        for _ in 0..2000 {
+            match sw.receive(data_to(1, TrafficClass::Legacy, false)) {
+                Ok(_) => admitted_bytes += DATA_WIRE as u64,
+                Err((r, _)) => {
+                    assert_eq!(r, DropReason::Buffer);
+                    break;
+                }
+            }
+        }
+        let expected = (0.25f64 / 1.25 * 4_500_000.0) as u64;
+        assert!(
+            (admitted_bytes as i64 - expected as i64).unsigned_abs() < 5 * DATA_WIRE as u64,
+            "admitted {admitted_bytes}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn credit_queue_exempt_from_shared_buffer() {
+        let mut sw = wired_switch();
+        // Fill legacy queue to its dynamic limit.
+        while sw.receive(data_to(1, TrafficClass::Legacy, false)).is_ok() {}
+        // Credits still admitted (own tiny buffer).
+        let credit = Packet::new(
+            5,
+            0,
+            1,
+            CTRL_WIRE,
+            TrafficClass::Credit,
+            Payload::Credit(CreditInfo { idx: 0 }),
+        );
+        assert!(sw.receive(credit).is_ok());
+    }
+
+    #[test]
+    fn sample_reports_occupancy() {
+        let mut sw = wired_switch();
+        sw.receive(data_to(1, TrafficClass::NewData, true)).unwrap();
+        sw.receive(data_to(1, TrafficClass::Legacy, false)).unwrap();
+        let s = sw.sample_port(1);
+        assert_eq!(s.bytes[1], DATA_WIRE as u64);
+        assert_eq!(s.red_bytes[1], DATA_WIRE as u64);
+        assert_eq!(s.bytes[2], DATA_WIRE as u64);
+        assert_eq!(s.red_bytes[2], 0);
+    }
+}

@@ -1,0 +1,496 @@
+//! Topology builders: star ("testbed"), dumbbell, and the paper's 3-tier
+//! Clos fabric.
+//!
+//! All builders produce a [`Topology`]: pre-wired nodes with shortest-path
+//! ECMP routing tables installed. Port creation order is deterministic
+//! (neighbors in ascending id order) which, combined with the symmetric flow
+//! hash, guarantees that a flow's forward data path and reverse credit/ACK
+//! path traverse the same links — the property ExpressPass credit shaping
+//! depends on.
+
+use flexpass_simcore::time::{Rate, TimeDelta};
+
+use crate::host::Host;
+use crate::sim::{Node, NodeId};
+use crate::switch::{Switch, SwitchProfile};
+
+/// A wired network ready to simulate.
+pub struct Topology {
+    /// All nodes; switches and hosts interleaved.
+    pub nodes: Vec<Node>,
+    /// Node id of each host, indexed by host id.
+    pub hosts: Vec<NodeId>,
+    /// Rack (ToR index) of each host; used for per-rack gradual deployment.
+    pub rack_of: Vec<usize>,
+    /// Host access link rate.
+    pub host_rate: Rate,
+    /// Worst-case propagation-only round-trip time between two hosts.
+    pub base_rtt: TimeDelta,
+}
+
+/// Parameters of the paper's 3-tier Clos (§6.2 defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct ClosParams {
+    /// Core switches (paper: 8).
+    pub n_core: usize,
+    /// Aggregation switches (paper: 16).
+    pub n_agg: usize,
+    /// ToR switches (paper: 32).
+    pub n_tor: usize,
+    /// Hosts per ToR (paper: 6; 3:1 oversubscription with 2 uplinks).
+    pub hosts_per_tor: usize,
+    /// Aggregation switches per pod (paper: 2).
+    pub aggs_per_pod: usize,
+    /// Uniform link rate (paper: 40 Gbps).
+    pub link_rate: Rate,
+    /// Host–ToR propagation delay (includes host processing delay).
+    pub host_prop: TimeDelta,
+    /// Fabric link propagation delay.
+    pub fabric_prop: TimeDelta,
+}
+
+impl Default for ClosParams {
+    fn default() -> Self {
+        // 6 hops host-to-host across the core; 2*(3+2+2+2+2+3) = 28 us RTT,
+        // matching the paper's quoted base RTT.
+        ClosParams {
+            n_core: 8,
+            n_agg: 16,
+            n_tor: 32,
+            hosts_per_tor: 6,
+            aggs_per_pod: 2,
+            link_rate: Rate::from_gbps(40),
+            host_prop: TimeDelta::micros(3),
+            fabric_prop: TimeDelta::micros(2),
+        }
+    }
+}
+
+impl ClosParams {
+    /// Total host count.
+    pub fn n_hosts(&self) -> usize {
+        self.n_tor * self.hosts_per_tor
+    }
+
+    /// A proportionally shrunk fabric for quick tests and benches
+    /// (2 core / 4 agg / 8 ToR / `hosts_per_tor * 8` hosts).
+    pub fn small() -> Self {
+        ClosParams {
+            n_core: 2,
+            n_agg: 4,
+            n_tor: 8,
+            hosts_per_tor: 6,
+            aggs_per_pod: 2,
+            ..ClosParams::default()
+        }
+    }
+}
+
+/// Intermediate graph description used by all builders.
+struct Graph {
+    /// For each node: `(neighbor, propagation delay)` in port order.
+    adj: Vec<Vec<(usize, TimeDelta)>>,
+    /// `Some(host_id)` for host nodes, `None` for switches.
+    host_of: Vec<Option<usize>>,
+    /// Switch tier for hash slicing (ToR = 0, Agg = 1, Core = 2).
+    tier: Vec<u8>,
+}
+
+impl Graph {
+    fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            host_of: vec![None; n],
+            tier: vec![0; n],
+        }
+    }
+
+    fn link(&mut self, a: usize, b: usize, prop: TimeDelta) {
+        self.adj[a].push((b, prop));
+        self.adj[b].push((a, prop));
+    }
+
+    /// Materializes nodes, wires ports, and installs routing tables.
+    fn build(
+        self,
+        n_hosts: usize,
+        rack_of: Vec<usize>,
+        host_rate: Rate,
+        sw_profile: &SwitchProfile,
+        host_profile: &SwitchProfile,
+    ) -> Topology {
+        let n = self.adj.len();
+        let mut nodes: Vec<Node> = Vec::with_capacity(n);
+        let mut hosts = vec![usize::MAX; n_hosts];
+        for (id, maybe_host) in self.host_of.iter().enumerate() {
+            match maybe_host {
+                Some(h) => {
+                    assert_eq!(self.adj[id].len(), 1, "hosts have exactly one port");
+                    nodes.push(Node::Host(Host::new(*h, host_profile)));
+                    hosts[*h] = id;
+                }
+                None => {
+                    nodes.push(Node::Switch(Switch::new(
+                        sw_profile,
+                        self.adj[id].len(),
+                        self.tier[id],
+                    )));
+                }
+            }
+        }
+        assert!(hosts.iter().all(|&x| x != usize::MAX));
+
+        // Wire ports to peers.
+        for (id, nbrs) in self.adj.iter().enumerate() {
+            for (pi, &(peer, prop)) in nbrs.iter().enumerate() {
+                let port = match &mut nodes[id] {
+                    Node::Switch(s) => &mut s.ports[pi],
+                    Node::Host(h) => &mut h.nic,
+                };
+                port.peer = peer;
+                port.prop = prop;
+            }
+        }
+
+        // Shortest-path ECMP tables: BFS from each host over the graph.
+        let mut max_prop = TimeDelta::ZERO;
+        for h in 0..n_hosts {
+            let dst = hosts[h];
+            let mut dist = vec![u32::MAX; n];
+            let mut prop_to = vec![TimeDelta::ZERO; n];
+            let mut queue = std::collections::VecDeque::new();
+            dist[dst] = 0;
+            queue.push_back(dst);
+            while let Some(u) = queue.pop_front() {
+                for &(v, prop) in &self.adj[u] {
+                    if dist[v] == u32::MAX {
+                        dist[v] = dist[u] + 1;
+                        prop_to[v] = prop_to[u] + prop;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for (id, node) in nodes.iter_mut().enumerate() {
+                if let Node::Switch(sw) = node {
+                    if sw.routes.len() <= h {
+                        sw.routes.resize(n_hosts, Vec::new());
+                    }
+                    if dist[id] == u32::MAX {
+                        continue;
+                    }
+                    let cands: Vec<u16> = self.adj[id]
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &(v, _))| dist[v] + 1 == dist[id])
+                        .map(|(pi, _)| pi as u16)
+                        .collect();
+                    sw.routes[h] = cands;
+                }
+            }
+            for other in 0..n_hosts {
+                if other != h {
+                    max_prop = max_prop.max(prop_to[hosts[other]]);
+                }
+            }
+        }
+
+        Topology {
+            nodes,
+            hosts,
+            rack_of,
+            host_rate,
+            base_rtt: max_prop * 2,
+        }
+    }
+}
+
+impl Topology {
+    /// `n_hosts` hosts hanging off one switch at `rate` ("testbed" star;
+    /// also used for the dumbbell-style 2-to-1 microbenchmarks).
+    pub fn star(
+        n_hosts: usize,
+        rate: Rate,
+        host_prop: TimeDelta,
+        sw_profile: &SwitchProfile,
+        host_profile: &SwitchProfile,
+    ) -> Topology {
+        assert!(n_hosts >= 2);
+        let mut g = Graph::new(n_hosts + 1);
+        // Node 0 is the switch; hosts follow.
+        for h in 0..n_hosts {
+            g.host_of[1 + h] = Some(h);
+            g.link(0, 1 + h, host_prop);
+        }
+        g.build(n_hosts, vec![0; n_hosts], rate, sw_profile, host_profile)
+    }
+
+    /// Classic dumbbell: `n_left` hosts on switch L, `n_right` on switch R,
+    /// joined by a single bottleneck link at the same rate.
+    pub fn dumbbell(
+        n_left: usize,
+        n_right: usize,
+        rate: Rate,
+        host_prop: TimeDelta,
+        bottleneck_prop: TimeDelta,
+        sw_profile: &SwitchProfile,
+        host_profile: &SwitchProfile,
+    ) -> Topology {
+        let n_hosts = n_left + n_right;
+        let mut g = Graph::new(n_hosts + 2);
+        // Nodes 0 and 1 are the switches.
+        g.link(0, 1, bottleneck_prop);
+        let mut rack_of = Vec::with_capacity(n_hosts);
+        for h in 0..n_hosts {
+            let sw = if h < n_left { 0 } else { 1 };
+            g.host_of[2 + h] = Some(h);
+            g.link(sw, 2 + h, host_prop);
+            rack_of.push(sw);
+        }
+        g.build(n_hosts, rack_of, rate, sw_profile, host_profile)
+    }
+
+    /// The paper's 3-tier Clos fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are not divisible into pods/core groups.
+    pub fn clos(
+        p: ClosParams,
+        sw_profile: &SwitchProfile,
+        host_profile: &SwitchProfile,
+    ) -> Topology {
+        assert!(
+            p.n_agg.is_multiple_of(p.aggs_per_pod),
+            "aggs must divide into pods"
+        );
+        let pods = p.n_agg / p.aggs_per_pod;
+        assert!(p.n_tor.is_multiple_of(pods), "tors must divide into pods");
+        let tors_per_pod = p.n_tor / pods;
+        assert!(
+            p.n_core.is_multiple_of(p.aggs_per_pod),
+            "cores must divide into agg groups"
+        );
+        let cores_per_agg = p.n_core / p.aggs_per_pod;
+        let n_hosts = p.n_hosts();
+
+        // Node layout: [cores][aggs][tors][hosts].
+        let core_base = 0;
+        let agg_base = core_base + p.n_core;
+        let tor_base = agg_base + p.n_agg;
+        let host_base = tor_base + p.n_tor;
+        let mut g = Graph::new(host_base + n_hosts);
+        for c in 0..p.n_core {
+            g.tier[core_base + c] = 2;
+        }
+        for a in 0..p.n_agg {
+            g.tier[agg_base + a] = 1;
+        }
+        for t in 0..p.n_tor {
+            g.tier[tor_base + t] = 0;
+        }
+
+        // Hosts to ToRs (port order: hosts first, then uplinks — ascending).
+        let mut rack_of = Vec::with_capacity(n_hosts);
+        for t in 0..p.n_tor {
+            for s in 0..p.hosts_per_tor {
+                let h = t * p.hosts_per_tor + s;
+                g.host_of[host_base + h] = Some(h);
+                g.link(tor_base + t, host_base + h, p.host_prop);
+                rack_of.push(t);
+            }
+        }
+        // ToRs to both aggs in their pod, ascending agg order.
+        for t in 0..p.n_tor {
+            let pod = t / tors_per_pod;
+            for j in 0..p.aggs_per_pod {
+                let a = pod * p.aggs_per_pod + j;
+                g.link(tor_base + t, agg_base + a, p.fabric_prop);
+            }
+        }
+        // Aggs to their core group, ascending core order.
+        for a in 0..p.n_agg {
+            let j = a % p.aggs_per_pod;
+            for k in 0..cores_per_agg {
+                let c = j * cores_per_agg + k;
+                g.link(agg_base + a, core_base + c, p.fabric_prop);
+            }
+        }
+
+        g.build(n_hosts, rack_of, p.link_rate, sw_profile, host_profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, Payload, TrafficClass};
+    use crate::port::{PortConfig, QueueSched};
+    use crate::queue::QueueConfig;
+    use crate::switch::ClassMap;
+
+    fn profile() -> SwitchProfile {
+        SwitchProfile {
+            port: PortConfig {
+                rate: Rate::from_gbps(40),
+                queues: vec![(QueueConfig::plain(), QueueSched::strict(0))],
+            },
+            class_map: ClassMap::Single,
+            shared_buffer: None,
+        }
+    }
+
+    fn pkt(flow: u64, src: usize, dst: usize) -> Packet {
+        Packet::new(
+            flow,
+            src,
+            dst,
+            1538,
+            TrafficClass::Legacy,
+            Payload::CreditStop,
+        )
+    }
+
+    #[test]
+    fn star_wiring() {
+        let t = Topology::star(
+            9,
+            Rate::from_gbps(10),
+            TimeDelta::micros(5),
+            &profile(),
+            &profile(),
+        );
+        assert_eq!(t.nodes.len(), 10);
+        assert_eq!(t.hosts.len(), 9);
+        assert_eq!(t.base_rtt, TimeDelta::micros(20));
+        match &t.nodes[0] {
+            Node::Switch(s) => {
+                assert_eq!(s.ports.len(), 9);
+                assert_eq!(s.routes.len(), 9);
+                for h in 0..9 {
+                    assert_eq!(s.routes[h], vec![h as u16]);
+                }
+            }
+            _ => panic!("node 0 should be the switch"),
+        }
+    }
+
+    #[test]
+    fn clos_shape() {
+        let t = Topology::clos(ClosParams::default(), &profile(), &profile());
+        assert_eq!(t.hosts.len(), 192);
+        assert_eq!(t.nodes.len(), 8 + 16 + 32 + 192);
+        // 28 us base RTT across the core.
+        assert_eq!(t.base_rtt, TimeDelta::micros(28));
+        // Every switch has 8 ports in the paper fabric.
+        for node in &t.nodes {
+            if let Node::Switch(s) = node {
+                assert_eq!(s.ports.len(), 8);
+            }
+        }
+        // Racks are assigned 6 hosts each.
+        assert_eq!(t.rack_of.len(), 192);
+        assert_eq!(t.rack_of.iter().filter(|&&r| r == 0).count(), 6);
+    }
+
+    #[test]
+    fn clos_ecmp_candidates() {
+        let t = Topology::clos(ClosParams::default(), &profile(), &profile());
+        // ToR 0 (node 8 + 16 = 24) routing to a host in another pod: both
+        // uplinks are candidates.
+        let far_host = 191;
+        match &t.nodes[24] {
+            Node::Switch(tor0) => {
+                assert_eq!(tor0.tier, 0);
+                assert_eq!(tor0.routes[far_host].len(), 2);
+                // To a local host: exactly one (the access port).
+                assert_eq!(tor0.routes[0].len(), 1);
+            }
+            _ => panic!("node 24 should be ToR 0"),
+        }
+        // Agg routing to a far pod: all 4 core uplinks are candidates.
+        match &t.nodes[8] {
+            Node::Switch(agg0) => {
+                assert_eq!(agg0.tier, 1);
+                assert_eq!(agg0.routes[far_host].len(), 4);
+            }
+            _ => panic!("node 8 should be Agg 0"),
+        }
+    }
+
+    #[test]
+    fn clos_path_symmetry() {
+        // Forward and reverse packets of the same flow must traverse the
+        // same switches. Walk both directions hop by hop.
+        let t = Topology::clos(ClosParams::default(), &profile(), &profile());
+        for flow in 0..200u64 {
+            let (src, dst) = (0usize, 190usize);
+            let fwd = walk(&t, pkt(flow, src, dst), t.hosts[src]);
+            let rev = walk(&t, pkt(flow, dst, src), t.hosts[dst]);
+            let mut rev_rev = rev.clone();
+            rev_rev.reverse();
+            assert_eq!(fwd, rev_rev, "flow {flow} asymmetric");
+        }
+    }
+
+    /// Follows routing decisions from `from` to the packet's destination,
+    /// returning the sequence of node ids visited (inclusive).
+    fn walk(t: &Topology, p: Packet, from: NodeId) -> Vec<NodeId> {
+        let mut path = vec![from];
+        let mut cur = from;
+        for _ in 0..16 {
+            let next = match &t.nodes[cur] {
+                Node::Host(h) => {
+                    if h.host_id == p.dst && path.len() > 1 {
+                        break;
+                    }
+                    h.nic.peer
+                }
+                Node::Switch(s) => {
+                    let port = s.route(&p);
+                    s.ports[port].peer
+                }
+            };
+            path.push(next);
+            cur = next;
+            if let Node::Host(h) = &t.nodes[cur] {
+                if h.host_id == p.dst {
+                    break;
+                }
+            }
+        }
+        path
+    }
+
+    #[test]
+    fn clos_ecmp_spreads_flows() {
+        // Different flows between the same pair should use different cores.
+        let t = Topology::clos(ClosParams::default(), &profile(), &profile());
+        let mut cores_seen = std::collections::HashSet::new();
+        for flow in 0..64u64 {
+            let path = walk(&t, pkt(flow, 0, 190), t.hosts[0]);
+            // Path: host, tor, agg, core, agg, tor, host.
+            assert_eq!(path.len(), 7, "path {path:?}");
+            cores_seen.insert(path[3]);
+        }
+        assert!(cores_seen.len() >= 4, "only cores {cores_seen:?} used");
+    }
+
+    #[test]
+    fn dumbbell_routes_through_bottleneck() {
+        let t = Topology::dumbbell(
+            2,
+            2,
+            Rate::from_gbps(10),
+            TimeDelta::micros(1),
+            TimeDelta::micros(2),
+            &profile(),
+            &profile(),
+        );
+        let path = walk(&t, pkt(1, 0, 2), t.hosts[0]);
+        // host0 -> swL -> swR -> host2.
+        assert_eq!(path.len(), 4);
+        assert_eq!(path[1], 0);
+        assert_eq!(path[2], 1);
+        assert_eq!(t.base_rtt, TimeDelta::micros(8));
+    }
+}

@@ -1,0 +1,267 @@
+//! Property tests for the egress-port scheduler: DWRR fairness, strict
+//! priority, and token-bucket shaping must hold for arbitrary parameters.
+
+use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simnet::consts::{CTRL_WIRE, DATA_WIRE};
+use flexpass_simnet::packet::{CreditInfo, DataInfo, Packet, Payload, Subflow, TrafficClass};
+use flexpass_simnet::port::{Decision, Port, PortConfig, QueueSched};
+use flexpass_simnet::queue::QueueConfig;
+use proptest::prelude::*;
+
+fn data(flow: u64, wire: u32) -> Packet {
+    Packet::new(
+        flow,
+        0,
+        1,
+        wire,
+        TrafficClass::NewData,
+        Payload::Data(DataInfo {
+            flow_seq: 0,
+            sub_seq: 0,
+            sub: Subflow::Only,
+            payload: wire.saturating_sub(78),
+            retx: false,
+        }),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Two DWRR queues with arbitrary weights converge to the configured
+    /// byte-share ratio when both stay backlogged.
+    #[test]
+    fn dwrr_respects_arbitrary_weights(w1 in 0.05f64..0.95) {
+        let w2 = 1.0 - w1;
+        let cfg = PortConfig {
+            rate: Rate::from_gbps(10),
+            queues: vec![
+                (QueueConfig::plain(), QueueSched::weighted(0, w1)),
+                (QueueConfig::plain(), QueueSched::weighted(0, w2)),
+            ],
+        };
+        let mut port = Port::new(&cfg);
+        // Distinguishable sizes within 1% so byte-fairness ~ packet-fairness.
+        let n = 3000;
+        for i in 0..n {
+            port.enqueue(0, data(i, 1530)).unwrap();
+            port.enqueue(1, data(i, 1538)).unwrap();
+        }
+        let mut bytes = [0f64; 2];
+        for _ in 0..n {
+            match port.next_packet(Time::ZERO) {
+                Decision::Send(p) => {
+                    let qi = if p.wire == 1530 { 0 } else { 1 };
+                    bytes[qi] += p.wire as f64;
+                }
+                _ => break,
+            }
+        }
+        let share = bytes[0] / (bytes[0] + bytes[1]);
+        prop_assert!(
+            (share - w1).abs() < 0.05,
+            "queue-0 byte share {share:.3} vs weight {w1:.3}"
+        );
+    }
+
+    /// A strict-priority queue is always served before lower levels, for
+    /// any interleaving of enqueues.
+    #[test]
+    fn strict_priority_never_inverted(seed in 0u64..10_000) {
+        use flexpass_simcore::rng::SimRng;
+        let cfg = PortConfig {
+            rate: Rate::from_gbps(10),
+            queues: vec![
+                (QueueConfig::plain(), QueueSched::strict(0)),
+                (QueueConfig::plain(), QueueSched::strict(1)),
+            ],
+        };
+        let mut port = Port::new(&cfg);
+        let mut rng = SimRng::new(seed);
+        let mut hi_backlog = 0u32;
+        for _ in 0..200 {
+            // Random enqueues.
+            if rng.chance(0.5) {
+                port.enqueue(0, data(1, CTRL_WIRE)).unwrap();
+                hi_backlog += 1;
+            }
+            if rng.chance(0.5) {
+                port.enqueue(1, data(2, DATA_WIRE)).unwrap();
+            }
+            // One service opportunity.
+            if let Decision::Send(p) = port.next_packet(Time::ZERO) {
+                if hi_backlog > 0 {
+                    prop_assert_eq!(
+                        p.wire,
+                        CTRL_WIRE,
+                        "low-priority packet served while high backlogged"
+                    );
+                    hi_backlog -= 1;
+                }
+            }
+        }
+    }
+
+    /// A shaped queue never exceeds its configured long-run rate, for any
+    /// shaper rate and burst.
+    #[test]
+    fn shaper_long_run_rate_bound(
+        rate_mbps in 10u64..2_000,
+        burst_pkts in 1u64..8,
+    ) {
+        let rate = Rate::from_mbps(rate_mbps);
+        let cfg = PortConfig {
+            rate: Rate::from_gbps(10),
+            queues: vec![(
+                QueueConfig::plain(),
+                QueueSched::strict(0).shaped(rate, burst_pkts * CTRL_WIRE as u64),
+            )],
+        };
+        let mut port = Port::new(&cfg);
+        let n = 400u64;
+        for i in 0..n {
+            port.enqueue(
+                0,
+                Packet::new(
+                    i,
+                    0,
+                    1,
+                    CTRL_WIRE,
+                    TrafficClass::Credit,
+                    Payload::Credit(CreditInfo { idx: i as u32 }),
+                ),
+            )
+            .unwrap();
+        }
+        let mut now = Time::ZERO;
+        let mut sent = 0u64;
+        let mut guard = 0;
+        while sent < n {
+            match port.next_packet(now) {
+                Decision::Send(_) => sent += 1,
+                Decision::WaitUntil(t) => {
+                    prop_assert!(t > now, "wake time must advance");
+                    now = t;
+                }
+                Decision::Idle => break,
+            }
+            guard += 1;
+            prop_assert!(guard < 10 * n, "scheduler livelock");
+        }
+        prop_assert_eq!(sent, n);
+        // Long-run rate: bytes sent over elapsed time, discounting the burst.
+        let elapsed = now.as_secs_f64();
+        if elapsed > 0.0 {
+            let achieved_bps =
+                ((n - burst_pkts) * CTRL_WIRE as u64 * 8) as f64 / elapsed;
+            prop_assert!(
+                achieved_bps <= rate.as_bps() as f64 * 1.02,
+                "achieved {achieved_bps:.0} bps > shaper {}",
+                rate.as_bps()
+            );
+        }
+    }
+
+    /// Work conservation: while any unshaped queue is backlogged, the port
+    /// never reports WaitUntil or Idle.
+    #[test]
+    fn work_conserving_with_mixed_queues(seed in 0u64..10_000) {
+        use flexpass_simcore::rng::SimRng;
+        let cfg = PortConfig {
+            rate: Rate::from_gbps(10),
+            queues: vec![
+                (
+                    QueueConfig::capped(1_000),
+                    QueueSched::strict(0).shaped(Rate::from_mbps(1), CTRL_WIRE as u64),
+                ),
+                (QueueConfig::plain(), QueueSched::weighted(1, 0.5)),
+                (QueueConfig::plain(), QueueSched::weighted(1, 0.5)),
+            ],
+        };
+        let mut port = Port::new(&cfg);
+        let mut rng = SimRng::new(seed);
+        let now = Time::from_millis(1);
+        let mut backlog = 0u32;
+        for _ in 0..300 {
+            if rng.chance(0.6) {
+                let q = 1 + rng.index(2);
+                port.enqueue(q, data(3, DATA_WIRE)).unwrap();
+                backlog += 1;
+            }
+            if rng.chance(0.3) {
+                let _ = port.enqueue(
+                    0,
+                    Packet::new(
+                        9,
+                        0,
+                        1,
+                        CTRL_WIRE,
+                        TrafficClass::Credit,
+                        Payload::Credit(CreditInfo { idx: 0 }),
+                    ),
+                );
+            }
+            if backlog > 0 {
+                match port.next_packet(now) {
+                    Decision::Send(p) => {
+                        if p.class == TrafficClass::NewData {
+                            backlog -= 1;
+                        }
+                    }
+                    other => {
+                        prop_assert!(
+                            false,
+                            "not work conserving with {backlog} backlogged: {other:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic sanity: three-queue FlexPass configuration serves credits
+/// first, then splits data by weight.
+#[test]
+fn flexpass_port_order() {
+    let cfg = PortConfig {
+        rate: Rate::from_gbps(10),
+        queues: vec![
+            (
+                QueueConfig::capped(1_000),
+                QueueSched::strict(0).shaped(Rate::from_gbps(1), 10 * CTRL_WIRE as u64),
+            ),
+            (QueueConfig::plain(), QueueSched::weighted(1, 0.5)),
+            (QueueConfig::plain(), QueueSched::weighted(1, 0.5)),
+        ],
+    };
+    let mut port = Port::new(&cfg);
+    port.enqueue(1, data(1, DATA_WIRE)).unwrap();
+    port.enqueue(2, data(2, DATA_WIRE)).unwrap();
+    port.enqueue(
+        0,
+        Packet::new(
+            3,
+            0,
+            1,
+            CTRL_WIRE,
+            TrafficClass::Credit,
+            Payload::Credit(CreditInfo { idx: 0 }),
+        ),
+    )
+    .unwrap();
+    let t = Time::from_millis(1);
+    match port.next_packet(t) {
+        Decision::Send(p) => assert_eq!(p.class, TrafficClass::Credit),
+        other => panic!("expected credit first, got {other:?}"),
+    }
+    let mut classes = Vec::new();
+    for _ in 0..2 {
+        if let Decision::Send(p) = port.next_packet(t) {
+            classes.push(p.flow);
+        }
+    }
+    classes.sort_unstable();
+    assert_eq!(classes, vec![1, 2]);
+    let _ = TimeDelta::ZERO;
+}

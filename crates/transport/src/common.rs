@@ -1,0 +1,581 @@
+//! Machinery shared by every transport: reassembly, ACK construction, RTT
+//! estimation, the per-packet scoreboard, and the DCTCP window core.
+
+use flexpass_simcore::time::{Time, TimeDelta};
+use flexpass_simnet::consts::payload_of_packet;
+use flexpass_simnet::packet::{AckInfo, Subflow, MAX_SACK};
+
+/// Per-packet sender-side state (Figure 4 of the paper uses the same set,
+/// with "sent" split by sub-flow; single-loop transports use `Sent`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PktState {
+    /// Never transmitted.
+    Pending,
+    /// In flight on the (only) sub-flow.
+    Sent,
+    /// In flight on the reactive sub-flow (FlexPass).
+    SentReactive,
+    /// In flight on the proactive sub-flow (FlexPass).
+    SentProactive,
+    /// Detected lost, awaiting retransmission.
+    Lost,
+    /// Acknowledged.
+    Acked,
+}
+
+impl PktState {
+    /// True for any in-flight state.
+    pub fn in_flight(self) -> bool {
+        matches!(
+            self,
+            PktState::Sent | PktState::SentReactive | PktState::SentProactive
+        )
+    }
+}
+
+/// Exponentially weighted RTT estimator with the standard RTO formula
+/// (`srtt + 4 * rttvar`), clamped to a configurable minimum.
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    srtt: Option<TimeDelta>,
+    rttvar: TimeDelta,
+    min_rto: TimeDelta,
+}
+
+impl RttEstimator {
+    /// Creates an estimator with the given minimum RTO.
+    pub fn new(min_rto: TimeDelta) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: TimeDelta::ZERO,
+            min_rto,
+        }
+    }
+
+    /// Feeds one RTT sample.
+    pub fn sample(&mut self, rtt: TimeDelta) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let diff = if rtt > srtt { rtt - srtt } else { srtt - rtt };
+                // rttvar = 3/4 rttvar + 1/4 |diff|; srtt = 7/8 srtt + 1/8 rtt.
+                self.rttvar = (self.rttvar * 3 + diff) / 4;
+                self.srtt = Some((srtt * 7 + rtt) / 8);
+            }
+        }
+    }
+
+    /// Smoothed RTT, if any sample has arrived.
+    pub fn srtt(&self) -> Option<TimeDelta> {
+        self.srtt
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> TimeDelta {
+        match self.srtt {
+            None => self.min_rto,
+            Some(srtt) => (srtt + self.rttvar * 4).max(self.min_rto),
+        }
+    }
+}
+
+/// Receiver-side reassembly over the per-flow sequence space.
+///
+/// Tracks which packets arrived, the in-order delivery point, duplicate
+/// packets, and the peak number of bytes buffered out of order — the
+/// "reordering buffer" metric of Figure 5(a).
+#[derive(Clone, Debug)]
+pub struct Reassembly {
+    size: u64,
+    n: u32,
+    received: Vec<bool>,
+    cum: u32,
+    got: u32,
+    dup: u64,
+    buffered: u64,
+    peak: u64,
+}
+
+impl Reassembly {
+    /// Creates a reassembly buffer for a `size`-byte flow of `n` packets.
+    pub fn new(size: u64, n: u32) -> Self {
+        Reassembly {
+            size,
+            n,
+            received: vec![false; n as usize],
+            cum: 0,
+            got: 0,
+            dup: 0,
+            buffered: 0,
+            peak: 0,
+        }
+    }
+
+    /// Records arrival of per-flow packet `flow_seq`. Returns `true` if the
+    /// packet was new, `false` for a duplicate.
+    pub fn on_packet(&mut self, flow_seq: u32) -> bool {
+        if flow_seq >= self.n {
+            debug_assert!(false, "flow_seq {flow_seq} out of range {}", self.n);
+            return false;
+        }
+        if self.received[flow_seq as usize] {
+            self.dup += 1;
+            return false;
+        }
+        self.received[flow_seq as usize] = true;
+        self.got += 1;
+        if flow_seq == self.cum {
+            while self.cum < self.n && self.received[self.cum as usize] {
+                if self.cum != flow_seq {
+                    // Was buffered out of order; now delivered.
+                    self.buffered -= payload_of_packet(self.size, self.cum);
+                }
+                self.cum += 1;
+            }
+        } else {
+            self.buffered += payload_of_packet(self.size, flow_seq);
+            self.peak = self.peak.max(self.buffered);
+        }
+        true
+    }
+
+    /// True once every packet has arrived.
+    pub fn complete(&self) -> bool {
+        self.got == self.n
+    }
+
+    /// Packets received so far (unique).
+    pub fn received_count(&self) -> u32 {
+        self.got
+    }
+
+    /// Total packets expected.
+    pub fn total(&self) -> u32 {
+        self.n
+    }
+
+    /// Duplicate packets seen.
+    pub fn duplicates(&self) -> u64 {
+        self.dup
+    }
+
+    /// Peak out-of-order buffered bytes.
+    pub fn reorder_peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Whether `flow_seq` has been received.
+    pub fn has(&self, flow_seq: u32) -> bool {
+        self.received[flow_seq as usize]
+    }
+}
+
+/// Builds cumulative + selective acknowledgments over a sub-flow sequence
+/// space at the receiver.
+#[derive(Clone, Debug)]
+pub struct AckBuilder {
+    received: Vec<bool>,
+    cum: u32,
+}
+
+impl AckBuilder {
+    /// Creates a builder for a sub-flow expecting up to `n` packets. The
+    /// space grows on demand, so `n` is only a capacity hint.
+    pub fn new(n: u32) -> Self {
+        AckBuilder {
+            received: Vec::with_capacity(n as usize),
+            cum: 0,
+        }
+    }
+
+    /// Records arrival of sub-flow packet `sub_seq`.
+    pub fn on_packet(&mut self, sub_seq: u32) {
+        if sub_seq as usize >= self.received.len() {
+            self.received.resize(sub_seq as usize + 1, false);
+        }
+        self.received[sub_seq as usize] = true;
+        while (self.cum as usize) < self.received.len() && self.received[self.cum as usize] {
+            self.cum += 1;
+        }
+    }
+
+    /// Next expected sub-flow sequence (cumulative ACK value).
+    pub fn cum(&self) -> u32 {
+        self.cum
+    }
+
+    /// Builds an [`AckInfo`] for sub-flow `sub`, echoing `ece`, with up to
+    /// [`MAX_SACK`] ranges above the cumulative point.
+    ///
+    /// Per RFC 2018 the first SACK block is the contiguous range containing
+    /// the most recently received segment (`recent`); without this, holes
+    /// beyond the third range would hide all later arrivals from the sender
+    /// and wedge its in-flight accounting. Remaining blocks report the
+    /// lowest ranges above `cum`. Scans are bounded so per-packet ACK
+    /// generation stays O(1) even for multi-hundred-megabyte flows.
+    pub fn build(&self, sub: Subflow, ece: bool, acked_flow_seq: u32, recent: u32) -> AckInfo {
+        const SACK_SCAN_WINDOW: usize = 512;
+        let mut sack = [(0u32, 0u32); MAX_SACK];
+        let mut sack_n = 0usize;
+
+        // Block 1: the range around `recent`, when it sits above cum.
+        if recent >= self.cum && (recent as usize) < self.received.len() {
+            debug_assert!(self.received[recent as usize]);
+            let mut lo = recent as usize;
+            let floor = (recent as usize).saturating_sub(SACK_SCAN_WINDOW);
+            while lo > floor && lo > self.cum as usize && self.received[lo - 1] {
+                lo -= 1;
+            }
+            let mut hi = recent as usize + 1;
+            let ceil = (recent as usize + SACK_SCAN_WINDOW).min(self.received.len());
+            while hi < ceil && self.received[hi] {
+                hi += 1;
+            }
+            sack[0] = (lo as u32, hi as u32);
+            sack_n = 1;
+        }
+
+        // Remaining blocks: lowest ranges above cum, skipping block 1.
+        let mut i = self.cum as usize;
+        let end = self
+            .received
+            .len()
+            .min(self.cum as usize + SACK_SCAN_WINDOW);
+        while i < end && sack_n < MAX_SACK {
+            if self.received[i] {
+                let lo = i as u32;
+                while i < end && self.received[i] {
+                    i += 1;
+                }
+                let range = (lo, i as u32);
+                if sack_n == 0 || range != sack[0] {
+                    sack[sack_n] = range;
+                    sack_n += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        AckInfo {
+            sub,
+            cum: self.cum,
+            sack,
+            sack_n: sack_n as u8,
+            ece,
+            acked_flow_seq,
+        }
+    }
+}
+
+/// The DCTCP congestion window core: ECN-fraction estimation (`alpha`),
+/// once-per-window multiplicative decrease, slow start, and additive
+/// increase. Shared by the plain DCTCP endpoints and the FlexPass reactive
+/// sub-flow.
+#[derive(Clone, Debug)]
+pub struct DctcpWindow {
+    /// Congestion window in packets (fractional growth).
+    cwnd: f64,
+    ssthresh: f64,
+    /// EWMA of the marked fraction.
+    alpha: f64,
+    g: f64,
+    acked_in_window: u64,
+    marked_in_window: u64,
+    /// Next sequence that, once acked, ends the observation window.
+    window_end: u32,
+    /// Sequence that ends loss recovery (no further decrease until passed).
+    recover_until: u32,
+    min_cwnd: f64,
+    max_cwnd: f64,
+}
+
+impl DctcpWindow {
+    /// Creates a window with the given initial window and `g` gain.
+    pub fn new(init_cwnd: f64, g: f64, max_cwnd: f64) -> Self {
+        DctcpWindow {
+            cwnd: init_cwnd,
+            ssthresh: f64::INFINITY,
+            alpha: 1.0,
+            g,
+            acked_in_window: 0,
+            marked_in_window: 0,
+            window_end: 0,
+            recover_until: 0,
+            min_cwnd: 1.0,
+            max_cwnd,
+        }
+    }
+
+    /// Current window in (fractional) packets.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Whole-packet window.
+    pub fn cwnd_pkts(&self) -> u32 {
+        self.cwnd.floor().max(1.0) as u32
+    }
+
+    /// Current ECN-fraction estimate.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// True while in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// Processes an ACK covering `newly_acked` packets, where the highest
+    /// acknowledged sequence is `acked_seq`, `ece` echoes a CE mark, and
+    /// `snd_nxt` is the current send frontier (defines the next window).
+    pub fn on_ack(&mut self, newly_acked: u64, acked_seq: u32, ece: bool, snd_nxt: u32) {
+        self.acked_in_window += newly_acked;
+        if ece {
+            self.marked_in_window += newly_acked.max(1);
+        }
+        if acked_seq >= self.window_end && self.acked_in_window > 0 {
+            // One observation window has passed: fold into alpha.
+            let f = self.marked_in_window as f64 / self.acked_in_window as f64;
+            self.alpha = (1.0 - self.g) * self.alpha + self.g * f;
+            if self.marked_in_window > 0 && acked_seq >= self.recover_until {
+                // DCTCP decrease: cwnd *= (1 - alpha/2), once per window.
+                self.ssthresh = (self.cwnd * (1.0 - self.alpha / 2.0)).max(self.min_cwnd);
+                self.cwnd = self.ssthresh;
+                self.recover_until = snd_nxt;
+            }
+            self.acked_in_window = 0;
+            self.marked_in_window = 0;
+            self.window_end = snd_nxt;
+        }
+        // Growth: slow start doubles; congestion avoidance adds 1/cwnd.
+        if !ece {
+            if self.in_slow_start() {
+                self.cwnd += newly_acked as f64;
+            } else {
+                self.cwnd += newly_acked as f64 / self.cwnd;
+            }
+            self.cwnd = self.cwnd.min(self.max_cwnd);
+        }
+    }
+
+    /// Fast-retransmit loss reaction (triple duplicate ACK): halve, once per
+    /// window.
+    pub fn on_loss(&mut self, acked_seq: u32, snd_nxt: u32) {
+        if acked_seq >= self.recover_until {
+            self.ssthresh = (self.cwnd / 2.0).max(self.min_cwnd);
+            self.cwnd = self.ssthresh;
+            self.recover_until = snd_nxt;
+        }
+    }
+
+    /// Retransmission-timeout reaction: collapse to one packet.
+    pub fn on_timeout(&mut self, snd_nxt: u32) {
+        self.ssthresh = (self.cwnd / 2.0).max(self.min_cwnd);
+        self.cwnd = self.min_cwnd;
+        self.recover_until = snd_nxt;
+    }
+}
+
+/// A tiny helper tracking timer generations so stale timers are ignored.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimerGen {
+    armed: u32,
+    fired: u32,
+}
+
+impl TimerGen {
+    /// Arms a new generation, invalidating older timers. Returns the
+    /// generation number to embed in the token.
+    pub fn arm(&mut self) -> u32 {
+        self.armed = self.armed.wrapping_add(1);
+        self.armed
+    }
+
+    /// True if `generation` is the most recently armed one (and marks it
+    /// consumed).
+    pub fn accept(&mut self, generation: u32) -> bool {
+        if generation == self.armed && generation != self.fired {
+            self.fired = generation;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Cancels any outstanding timer logically.
+    pub fn cancel(&mut self) {
+        self.armed = self.armed.wrapping_add(1);
+    }
+}
+
+/// Computes an RTT sample from a send timestamp, guarding `None`.
+pub fn rtt_sample(sent_at: Option<Time>, now: Time) -> Option<TimeDelta> {
+    sent_at.map(|t| now.saturating_since(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_estimator_basic() {
+        let mut e = RttEstimator::new(TimeDelta::millis(4));
+        assert_eq!(e.rto(), TimeDelta::millis(4));
+        e.sample(TimeDelta::micros(100));
+        assert_eq!(e.srtt(), Some(TimeDelta::micros(100)));
+        // RTO dominated by the 4 ms floor for microsecond RTTs.
+        assert_eq!(e.rto(), TimeDelta::millis(4));
+        let mut e = RttEstimator::new(TimeDelta::micros(1));
+        e.sample(TimeDelta::micros(100));
+        // srtt 100, rttvar 50 -> rto = 300 us.
+        assert_eq!(e.rto(), TimeDelta::micros(300));
+        for _ in 0..100 {
+            e.sample(TimeDelta::micros(100));
+        }
+        // Variance decays towards zero; RTO approaches srtt.
+        assert!(e.rto() < TimeDelta::micros(110));
+    }
+
+    #[test]
+    fn reassembly_in_order() {
+        let mut r = Reassembly::new(4 * 1460, 4);
+        for i in 0..4 {
+            assert!(r.on_packet(i));
+        }
+        assert!(r.complete());
+        assert_eq!(r.reorder_peak(), 0);
+        assert_eq!(r.duplicates(), 0);
+    }
+
+    #[test]
+    fn reassembly_out_of_order_tracks_peak() {
+        let mut r = Reassembly::new(4 * 1460, 4);
+        r.on_packet(2);
+        r.on_packet(3);
+        assert_eq!(r.reorder_peak(), 2 * 1460);
+        r.on_packet(0);
+        r.on_packet(1);
+        assert!(r.complete());
+        // Peak stays at the maximum reached.
+        assert_eq!(r.reorder_peak(), 2 * 1460);
+    }
+
+    #[test]
+    fn reassembly_duplicates_counted() {
+        let mut r = Reassembly::new(2 * 1460, 2);
+        assert!(r.on_packet(0));
+        assert!(!r.on_packet(0));
+        assert_eq!(r.duplicates(), 1);
+        assert!(!r.complete());
+    }
+
+    #[test]
+    fn ack_builder_cum_and_sack() {
+        let mut a = AckBuilder::new(16);
+        a.on_packet(0);
+        a.on_packet(1);
+        a.on_packet(3);
+        a.on_packet(4);
+        a.on_packet(7);
+        let ack = a.build(Subflow::Only, false, 7, 7);
+        assert_eq!(ack.cum, 2);
+        assert_eq!(ack.sack_n, 2);
+        // Block 1 holds the most recent arrival's range (RFC 2018).
+        assert_eq!(ack.sack[0], (7, 8));
+        assert_eq!(ack.sack[1], (3, 5));
+        a.on_packet(2);
+        let ack = a.build(Subflow::Only, true, 2, 2);
+        assert_eq!(ack.cum, 5);
+        assert!(ack.ece);
+    }
+
+    #[test]
+    fn ack_builder_caps_sack_ranges() {
+        let mut a = AckBuilder::new(32);
+        // Alternate received/missing to create many ranges.
+        for i in (1..20).step_by(2) {
+            a.on_packet(i);
+        }
+        let ack = a.build(Subflow::Only, false, 19, 19);
+        assert_eq!(ack.cum, 0);
+        assert_eq!(ack.sack_n as usize, MAX_SACK);
+        // The newest arrival is always reported first.
+        assert_eq!(ack.sack[0], (19, 20));
+    }
+
+    #[test]
+    fn dctcp_window_slow_start_then_reduce() {
+        let mut w = DctcpWindow::new(10.0, 1.0 / 16.0, 1000.0);
+        assert!(w.in_slow_start());
+        w.on_ack(10, 9, false, 20);
+        assert!((w.cwnd() - 20.0).abs() < 1e-9);
+        // A fully marked window eventually collapses the window.
+        let before = w.cwnd();
+        let mut seq = 20;
+        for _ in 0..50 {
+            w.on_ack(10, seq, true, seq + 10);
+            seq += 10;
+        }
+        assert!(w.cwnd() < before, "cwnd {} not reduced", w.cwnd());
+        assert!(w.alpha() > 0.9);
+    }
+
+    #[test]
+    fn dctcp_window_alpha_decays_without_marks() {
+        let mut w = DctcpWindow::new(10.0, 1.0 / 16.0, 1000.0);
+        let mut seq = 0;
+        for _ in 0..100 {
+            w.on_ack(10, seq, false, seq + 10);
+            seq += 10;
+        }
+        assert!(w.alpha() < 0.01, "alpha {}", w.alpha());
+    }
+
+    #[test]
+    fn dctcp_window_reduces_once_per_window() {
+        let mut w = DctcpWindow::new(100.0, 1.0 / 16.0, 1000.0);
+        // Exit slow start first via a loss.
+        w.on_loss(0, 100);
+        let after_loss = w.cwnd();
+        assert!((after_loss - 50.0).abs() < 1e-9);
+        // A second loss within the same window must not reduce again.
+        w.on_loss(50, 120);
+        assert_eq!(w.cwnd(), after_loss);
+        // After recovery passes, a new loss reduces again.
+        w.on_loss(120, 150);
+        assert!((w.cwnd() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dctcp_timeout_collapses() {
+        let mut w = DctcpWindow::new(64.0, 1.0 / 16.0, 1000.0);
+        w.on_timeout(64);
+        assert_eq!(w.cwnd_pkts(), 1);
+    }
+
+    #[test]
+    fn timer_gen_accepts_only_latest() {
+        let mut t = TimerGen::default();
+        let g1 = t.arm();
+        let g2 = t.arm();
+        assert!(!t.accept(g1));
+        assert!(t.accept(g2));
+        assert!(!t.accept(g2), "double fire rejected");
+        t.cancel();
+        let g3 = t.arm();
+        assert!(t.accept(g3));
+    }
+
+    #[test]
+    fn pkt_state_in_flight() {
+        assert!(PktState::Sent.in_flight());
+        assert!(PktState::SentReactive.in_flight());
+        assert!(!PktState::Lost.in_flight());
+        assert!(!PktState::Acked.in_flight());
+        assert!(!PktState::Pending.in_flight());
+    }
+}

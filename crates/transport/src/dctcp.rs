@@ -1,0 +1,747 @@
+//! DCTCP [Alizadeh 2010]: the legacy reactive transport of the evaluation.
+//!
+//! Per-packet ACKs with SACK, triple-duplicate-ACK fast retransmit, a lazy
+//! retransmission timer with the paper's 4 ms `RTO_min`, and the DCTCP
+//! ECN-fraction window (see [`crate::common::DctcpWindow`]).
+
+use flexpass_simcore::time::{Time, TimeDelta};
+use flexpass_simnet::consts::{data_wire_bytes, packets_for, payload_of_packet, CTRL_WIRE};
+use flexpass_simnet::endpoint::{AppEvent, Endpoint, EndpointCtx, RxStats, TxStats};
+use flexpass_simnet::packet::{
+    AckInfo, DataInfo, FlowSpec, Packet, Payload, Subflow, TrafficClass,
+};
+use flexpass_simnet::sim::{timer_kind, timer_token, NetEnv, TransportFactory};
+
+use crate::common::{AckBuilder, DctcpWindow, PktState, Reassembly, RttEstimator};
+
+/// Timer kind: sender retransmission timer.
+const TK_RTO: u16 = 1;
+/// Timer kind: receiver linger before teardown.
+const TK_LINGER: u16 = 2;
+
+/// DCTCP parameters (paper defaults for the large-scale simulations).
+#[derive(Clone, Copy, Debug)]
+pub struct DctcpConfig {
+    /// Initial congestion window in packets.
+    pub init_cwnd: f64,
+    /// ECN-fraction EWMA gain.
+    pub g: f64,
+    /// Minimum retransmission timeout (paper: 4 ms).
+    pub min_rto: TimeDelta,
+    /// Upper bound on the window, in packets.
+    pub max_cwnd: f64,
+    /// Traffic class for data and ACKs (Legacy for the baseline; schemes
+    /// may remap).
+    pub class: TrafficClass,
+    /// How long a completed receiver lingers to re-ACK stray
+    /// retransmissions before tearing down.
+    pub linger: TimeDelta,
+    /// Acknowledge every Nth in-order packet (1 = per-packet, the
+    /// simulation default; 2 = standard delayed ACKs). Out-of-order
+    /// arrivals and CE-marked packets are always acknowledged immediately
+    /// so loss detection and DCTCP's mark feedback stay timely.
+    pub ack_every: u32,
+}
+
+impl Default for DctcpConfig {
+    fn default() -> Self {
+        DctcpConfig {
+            init_cwnd: 10.0,
+            g: 1.0 / 16.0,
+            min_rto: TimeDelta::millis(4),
+            max_cwnd: 4096.0,
+            class: TrafficClass::Legacy,
+            linger: TimeDelta::millis(16),
+            ack_every: 1,
+        }
+    }
+}
+
+/// DCTCP sender endpoint.
+pub struct DctcpSender {
+    spec: FlowSpec,
+    cfg: DctcpConfig,
+    n: u32,
+    states: Vec<PktState>,
+    sent_at: Vec<Option<Time>>,
+    win: DctcpWindow,
+    rtt: RttEstimator,
+    snd_una: u32,
+    next_pending: u32,
+    in_flight: u32,
+    dupacks: u32,
+    rto_outstanding: bool,
+    rto_backoff: u32,
+    last_progress: Time,
+    /// Packets currently marked `Lost`, kept sorted for O(log n) lookup.
+    lost: std::collections::BTreeSet<u32>,
+    stats: TxStats,
+    done: bool,
+}
+
+impl DctcpSender {
+    /// Creates a sender for `spec`.
+    pub fn new(spec: FlowSpec, cfg: DctcpConfig, _env: &NetEnv) -> Self {
+        let n = packets_for(spec.size);
+        DctcpSender {
+            spec,
+            cfg,
+            n,
+            states: vec![PktState::Pending; n as usize],
+            sent_at: vec![None; n as usize],
+            win: DctcpWindow::new(cfg.init_cwnd, cfg.g, cfg.max_cwnd),
+            rtt: RttEstimator::new(cfg.min_rto),
+            snd_una: 0,
+            next_pending: 0,
+            in_flight: 0,
+            dupacks: 0,
+            rto_outstanding: false,
+            rto_backoff: 0,
+            last_progress: Time::ZERO,
+            lost: std::collections::BTreeSet::new(),
+            stats: TxStats::default(),
+            done: false,
+        }
+    }
+
+    /// Congestion window (for tests / introspection).
+    pub fn cwnd(&self) -> f64 {
+        self.win.cwnd()
+    }
+
+    /// Transmission statistics so far.
+    pub fn stats(&self) -> TxStats {
+        self.stats
+    }
+
+    fn data_packet(&self, seq: u32, retx: bool) -> Packet {
+        let pay = payload_of_packet(self.spec.size, seq);
+        Packet::new(
+            self.spec.id,
+            self.spec.src,
+            self.spec.dst,
+            data_wire_bytes(pay),
+            self.cfg.class,
+            Payload::Data(DataInfo {
+                flow_seq: seq,
+                sub_seq: seq,
+                sub: Subflow::Only,
+                payload: pay as u32,
+                retx,
+            }),
+        )
+        .ecn()
+    }
+
+    fn transmit(&mut self, seq: u32, retx: bool, ctx: &mut EndpointCtx) {
+        debug_assert!(!self.states[seq as usize].in_flight());
+        self.lost.remove(&seq);
+        self.states[seq as usize] = PktState::Sent;
+        self.sent_at[seq as usize] = Some(ctx.now);
+        self.in_flight += 1;
+        self.stats.data_pkts += 1;
+        let pay = payload_of_packet(self.spec.size, seq);
+        self.stats.data_bytes += pay;
+        if retx {
+            self.stats.retx_pkts += 1;
+            self.stats.redundant_bytes += pay;
+        }
+        ctx.send(self.data_packet(seq, retx));
+        self.arm_rto(ctx);
+    }
+
+    fn arm_rto(&mut self, ctx: &mut EndpointCtx) {
+        if !self.rto_outstanding {
+            self.rto_outstanding = true;
+            let at = ctx.now + self.rto();
+            ctx.set_timer(at, timer_token(self.spec.id, TK_RTO));
+        }
+    }
+
+    fn rto(&self) -> TimeDelta {
+        self.rtt.rto() * (1u64 << self.rto_backoff.min(8))
+    }
+
+    /// Sends as much as the window allows: lost packets first, then new.
+    fn pump(&mut self, ctx: &mut EndpointCtx) {
+        let cwnd = self.win.cwnd_pkts();
+        while self.in_flight < cwnd {
+            // Retransmissions first.
+            if let Some(seq) = self.first_lost() {
+                self.transmit(seq, true, ctx);
+                continue;
+            }
+            // New data.
+            while self.next_pending < self.n
+                && self.states[self.next_pending as usize] != PktState::Pending
+            {
+                self.next_pending += 1;
+            }
+            if self.next_pending >= self.n {
+                break;
+            }
+            let seq = self.next_pending;
+            self.next_pending += 1;
+            self.transmit(seq, false, ctx);
+        }
+    }
+
+    fn first_lost(&self) -> Option<u32> {
+        self.lost.iter().next().copied()
+    }
+
+    fn mark_acked(&mut self, seq: u32, now: Time) -> bool {
+        let st = &mut self.states[seq as usize];
+        if *st == PktState::Acked {
+            return false;
+        }
+        if st.in_flight() {
+            self.in_flight -= 1;
+        }
+        *st = PktState::Acked;
+        self.lost.remove(&seq);
+        if let Some(t) = self.sent_at[seq as usize] {
+            self.rtt.sample(now.saturating_since(t));
+        }
+        true
+    }
+
+    fn on_ack(&mut self, ack: &AckInfo, ctx: &mut EndpointCtx) {
+        let mut newly = 0u64;
+        let prev_una = self.snd_una;
+        while self.snd_una < ack.cum.min(self.n) {
+            if self.mark_acked(self.snd_una, ctx.now) {
+                newly += 1;
+            }
+            self.snd_una += 1;
+        }
+        for r in 0..ack.sack_n as usize {
+            let (lo, hi) = ack.sack[r];
+            for s in lo..hi.min(self.n) {
+                if self.mark_acked(s, ctx.now) {
+                    newly += 1;
+                }
+            }
+        }
+        if newly > 0 {
+            self.last_progress = ctx.now;
+            self.rto_backoff = 0;
+            self.dupacks = 0;
+            let high = ack.cum.saturating_sub(1).max(ack.acked_flow_seq);
+            self.win.on_ack(newly, high, ack.ece, self.next_pending);
+        } else if ack.cum == prev_una && ack.cum < self.n {
+            self.dupacks += 1;
+            if self.dupacks == 3 {
+                // Fast retransmit the first unacked packet.
+                let seq = self.snd_una;
+                if self.states[seq as usize].in_flight() {
+                    self.states[seq as usize] = PktState::Lost;
+                    self.lost.insert(seq);
+                    self.in_flight -= 1;
+                }
+                self.win.on_loss(ack.cum, self.next_pending);
+                self.dupacks = 0;
+            }
+        }
+
+        if self.snd_una >= self.n && !self.done {
+            self.done = true;
+            ctx.emit(AppEvent::SenderDone {
+                flow: self.spec.id,
+                stats: self.stats,
+            });
+            return;
+        }
+        self.pump(ctx);
+    }
+
+    fn on_rto(&mut self, ctx: &mut EndpointCtx) {
+        self.rto_outstanding = false;
+        if self.done {
+            return;
+        }
+        let deadline = self.last_progress + self.rto();
+        if ctx.now < deadline {
+            // Progress happened since arming: re-arm lazily.
+            self.rto_outstanding = true;
+            ctx.set_timer(deadline, timer_token(self.spec.id, TK_RTO));
+            return;
+        }
+        if self.in_flight == 0 && self.first_lost().is_none() && self.next_pending >= self.n {
+            // Everything sent and acked-or-pending-ack; nothing to do.
+            return;
+        }
+        // Timeout: every in-flight packet is presumed lost.
+        self.stats.timeouts += 1;
+        self.rto_backoff += 1;
+        for s in self.snd_una..self.next_pending.min(self.n) {
+            if self.states[s as usize].in_flight() {
+                self.states[s as usize] = PktState::Lost;
+                self.lost.insert(s);
+                self.in_flight -= 1;
+            }
+        }
+        self.win.on_timeout(self.next_pending);
+        self.last_progress = ctx.now;
+        self.pump(ctx);
+    }
+}
+
+impl Endpoint for DctcpSender {
+    fn activate(&mut self, ctx: &mut EndpointCtx) {
+        self.last_progress = ctx.now;
+        self.pump(ctx);
+    }
+
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) {
+        if let Payload::Ack(ack) = pkt.payload {
+            self.on_ack(&ack, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+        if timer_kind(token) == TK_RTO {
+            self.on_rto(ctx);
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.done && !self.rto_outstanding
+    }
+}
+
+/// DCTCP receiver endpoint: per-packet cumulative + SACK acknowledgment,
+/// flow completion detection, and a linger period to re-ACK stray
+/// retransmissions.
+pub struct DctcpReceiver {
+    spec: FlowSpec,
+    cfg: DctcpConfig,
+    reasm: Reassembly,
+    acks: AckBuilder,
+    /// In-order packets received since the last ACK (delayed acking).
+    unacked: u32,
+    completed: bool,
+    torn_down: bool,
+}
+
+impl DctcpReceiver {
+    /// Creates a receiver for `spec`.
+    pub fn new(spec: FlowSpec, cfg: DctcpConfig, _env: &NetEnv) -> Self {
+        let n = packets_for(spec.size);
+        let reasm = Reassembly::new(spec.size, n);
+        DctcpReceiver {
+            spec,
+            cfg,
+            reasm,
+            acks: AckBuilder::new(n),
+            unacked: 0,
+            completed: false,
+            torn_down: false,
+        }
+    }
+
+    fn ack_packet(&self, info: AckInfo) -> Packet {
+        Packet::new(
+            self.spec.id,
+            self.spec.dst,
+            self.spec.src,
+            CTRL_WIRE,
+            self.cfg.class,
+            Payload::Ack(info),
+        )
+    }
+}
+
+impl Endpoint for DctcpReceiver {
+    fn activate(&mut self, _ctx: &mut EndpointCtx) {}
+
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) {
+        if let Payload::Data(d) = pkt.payload {
+            self.reasm.on_packet(d.flow_seq);
+            let in_order = d.sub_seq == self.acks.cum();
+            self.acks.on_packet(d.sub_seq);
+            self.unacked += 1;
+            // Delayed acking: hold back clean in-order arrivals below the
+            // threshold; always ACK marks, reordering, and flow tail.
+            let must_ack = pkt.ecn_ce
+                || !in_order
+                || self.unacked >= self.cfg.ack_every
+                || self.reasm.complete();
+            if must_ack {
+                self.unacked = 0;
+                let info = self
+                    .acks
+                    .build(Subflow::Only, pkt.ecn_ce, d.flow_seq, d.sub_seq);
+                ctx.send(self.ack_packet(info));
+            }
+            if self.reasm.complete() && !self.completed {
+                self.completed = true;
+                ctx.emit(AppEvent::FlowCompleted {
+                    flow: self.spec.id,
+                    stats: RxStats {
+                        pkts_received: self.reasm.received_count() as u64 + self.reasm.duplicates(),
+                        dup_pkts: self.reasm.duplicates(),
+                        reorder_peak_bytes: self.reasm.reorder_peak(),
+                    },
+                });
+                ctx.set_timer(
+                    ctx.now + self.cfg.linger,
+                    timer_token(self.spec.id, TK_LINGER),
+                );
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, _ctx: &mut EndpointCtx) {
+        if timer_kind(token) == TK_LINGER {
+            self.torn_down = true;
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.torn_down
+    }
+}
+
+/// Factory producing plain DCTCP flows.
+pub struct DctcpFactory {
+    /// Configuration applied to every flow.
+    pub cfg: DctcpConfig,
+}
+
+impl DctcpFactory {
+    /// Factory with default (paper) parameters.
+    pub fn new() -> Self {
+        DctcpFactory {
+            cfg: DctcpConfig::default(),
+        }
+    }
+}
+
+impl Default for DctcpFactory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TransportFactory for DctcpFactory {
+    fn sender(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
+        Box::new(DctcpSender::new(flow.clone(), self.cfg, env))
+    }
+    fn receiver(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
+        Box::new(DctcpReceiver::new(flow.clone(), self.cfg, env))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexpass_simcore::time::Rate;
+    use flexpass_simnet::port::{PortConfig, QueueSched};
+    use flexpass_simnet::queue::QueueConfig;
+    use flexpass_simnet::sim::{NetObserver, NodeId, NullObserver, Sim};
+    use flexpass_simnet::switch::{ClassMap, SwitchProfile};
+    use flexpass_simnet::topology::Topology;
+
+    fn profile(rate: Rate, ecn_kb: u64, cap: Option<u64>) -> SwitchProfile {
+        let qc = match cap {
+            Some(c) => QueueConfig::capped(c).with_ecn(ecn_kb * 1000),
+            None => QueueConfig::plain().with_ecn(ecn_kb * 1000),
+        };
+        SwitchProfile {
+            port: PortConfig {
+                rate,
+                queues: vec![(qc, QueueSched::strict(0))],
+            },
+            class_map: ClassMap::Single,
+            shared_buffer: Some((4_500_000, 0.25)),
+        }
+    }
+
+    fn flow(id: u64, src: usize, dst: usize, size: u64, start: Time) -> FlowSpec {
+        FlowSpec {
+            id,
+            src,
+            dst,
+            size,
+            start,
+            tag: 0,
+            fg: false,
+        }
+    }
+
+    struct Fct {
+        done: Vec<(u64, Time)>,
+        drops: u64,
+    }
+
+    impl NetObserver for Fct {
+        fn on_app_event(&mut self, ev: &AppEvent, now: Time) {
+            if let AppEvent::FlowCompleted { flow, .. } = ev {
+                self.done.push((*flow, now));
+            }
+        }
+        fn on_drop(
+            &mut self,
+            _p: &Packet,
+            _r: flexpass_simnet::queue::DropReason,
+            _n: NodeId,
+            _now: Time,
+        ) {
+            self.drops += 1;
+        }
+    }
+
+    #[test]
+    fn single_flow_completes_and_uses_link() {
+        let p = profile(Rate::from_gbps(10), 60, None);
+        let topo = Topology::star(2, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+        let mut sim = Sim::new(
+            topo,
+            Box::new(DctcpFactory::new()),
+            Fct {
+                done: Vec::new(),
+                drops: 0,
+            },
+        );
+        // 10 MB flow: ideal time = 10e6/1460*1538*8/10e9 = 8.42 ms.
+        sim.schedule_flow(flow(1, 0, 1, 10_000_000, Time::ZERO));
+        sim.run_to_completion(TimeDelta::millis(20));
+        let (_, at) = sim.observer.done[0];
+        let fct_ms = at.as_millis_f64();
+        assert!(
+            fct_ms < 10.0,
+            "DCTCP should run near line rate; FCT {fct_ms} ms"
+        );
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let p = profile(Rate::from_gbps(10), 60, None);
+        let topo = Topology::star(3, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+        let mut sim = Sim::new(
+            topo,
+            Box::new(DctcpFactory::new()),
+            Fct {
+                done: Vec::new(),
+                drops: 0,
+            },
+        );
+        sim.schedule_flow(flow(1, 0, 2, 5_000_000, Time::ZERO));
+        sim.schedule_flow(flow(2, 1, 2, 5_000_000, Time::ZERO));
+        sim.run_to_completion(TimeDelta::millis(20));
+        let t1 = sim.observer.done[0].1.as_millis_f64();
+        let t2 = sim.observer.done[1].1.as_millis_f64();
+        // Both ~2x single-flow time; neither starved.
+        assert!((t1 - t2).abs() / t1.max(t2) < 0.35, "t1 {t1} t2 {t2}");
+        assert!(t1.max(t2) < 13.0, "sharing too slow: {t1} {t2}");
+    }
+
+    #[test]
+    fn ecn_keeps_queue_bounded() {
+        // With step marking at 60 kB the standing queue should stay well
+        // below a drop-tail-only queue.
+        let p = profile(Rate::from_gbps(10), 60, None);
+        let topo = Topology::star(3, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+
+        struct QueuePeak {
+            peak: u64,
+        }
+        impl NetObserver for QueuePeak {
+            fn on_queue_sample(
+                &mut self,
+                _node: NodeId,
+                _port: usize,
+                s: &flexpass_simnet::switch::QueueSample,
+                _now: Time,
+            ) {
+                self.peak = self.peak.max(s.bytes.iter().sum());
+            }
+        }
+
+        let mut sim = Sim::new(topo, Box::new(DctcpFactory::new()), QueuePeak { peak: 0 });
+        sim.enable_sampling(TimeDelta::micros(50));
+        sim.schedule_flow(flow(1, 0, 2, 4_000_000, Time::ZERO));
+        sim.schedule_flow(flow(2, 1, 2, 4_000_000, Time::ZERO));
+        sim.run_to_completion(TimeDelta::millis(20));
+        assert!(
+            sim.observer.peak < 200_000,
+            "queue peak {} should be ECN-bounded",
+            sim.observer.peak
+        );
+        assert!(sim.observer.peak > 10_000, "queue never built up?");
+    }
+
+    #[test]
+    fn recovers_from_heavy_incast_drops() {
+        // Small switch queues + 16-to-1 incast forces drops; every flow must
+        // still complete via fast retransmit / RTO.
+        let p = profile(Rate::from_gbps(10), 60, Some(100_000));
+        let topo = Topology::star(17, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+        let mut sim = Sim::new(
+            topo,
+            Box::new(DctcpFactory::new()),
+            Fct {
+                done: Vec::new(),
+                drops: 0,
+            },
+        );
+        for i in 0..16u64 {
+            sim.schedule_flow(flow(i, i as usize, 16, 64_000, Time::ZERO));
+        }
+        sim.run_to_completion(TimeDelta::millis(20));
+        assert_eq!(sim.observer.done.len(), 16);
+        assert!(sim.observer.drops > 0, "incast should overflow the queue");
+    }
+
+    #[test]
+    fn sender_stats_track_retransmissions() {
+        let p = profile(Rate::from_gbps(10), 60, Some(30_000));
+        let topo = Topology::star(9, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+
+        struct TxCapture {
+            retx: u64,
+            timeouts: u64,
+        }
+        impl NetObserver for TxCapture {
+            fn on_app_event(&mut self, ev: &AppEvent, _now: Time) {
+                if let AppEvent::SenderDone { stats, .. } = ev {
+                    self.retx += stats.retx_pkts;
+                    self.timeouts += stats.timeouts;
+                }
+            }
+        }
+
+        let mut sim = Sim::new(
+            topo,
+            Box::new(DctcpFactory::new()),
+            TxCapture {
+                retx: 0,
+                timeouts: 0,
+            },
+        );
+        for i in 0..8u64 {
+            sim.schedule_flow(flow(i, i as usize, 8, 256_000, Time::ZERO));
+        }
+        sim.run_to_completion(TimeDelta::millis(40));
+        assert!(sim.observer.retx > 0, "expected retransmissions");
+    }
+
+    #[test]
+    fn short_flow_first_rtt() {
+        // A 1-packet flow completes in roughly one one-way latency.
+        let p = profile(Rate::from_gbps(10), 60, None);
+        let topo = Topology::star(2, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+        let mut sim = Sim::new(
+            topo,
+            Box::new(DctcpFactory::new()),
+            Fct {
+                done: Vec::new(),
+                drops: 0,
+            },
+        );
+        sim.schedule_flow(flow(1, 0, 1, 1000, Time::ZERO));
+        sim.run_to_completion(TimeDelta::millis(10));
+        let at = sim.observer.done[0].1;
+        assert!(
+            at < Time::from_micros(15),
+            "1-packet FCT {at:?} should be ~1 one-way delay"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let p = profile(Rate::from_gbps(10), 60, None);
+            let topo = Topology::star(5, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+            let mut sim = Sim::new(
+                topo,
+                Box::new(DctcpFactory::new()),
+                Fct {
+                    done: Vec::new(),
+                    drops: 0,
+                },
+            );
+            for i in 0..4u64 {
+                sim.schedule_flow(flow(i, i as usize, 4, 500_000 + i * 10_000, Time::ZERO));
+            }
+            sim.run_to_completion(TimeDelta::millis(20));
+            sim.observer.done
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn delayed_acks_halve_ack_traffic_without_stalling() {
+        // ack_every = 2: a long flow completes at full speed with roughly
+        // half the ACK packets.
+        let p = profile(Rate::from_gbps(10), 60, None);
+        let run = |ack_every: u32| {
+            let topo = Topology::star(2, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+            let mut f = DctcpFactory::new();
+            f.cfg.ack_every = ack_every;
+            let mut sim = Sim::new(
+                topo,
+                Box::new(f),
+                Fct {
+                    done: Vec::new(),
+                    drops: 0,
+                },
+            );
+            sim.schedule_flow(flow(1, 0, 1, 5_000_000, Time::ZERO));
+            sim.run_to_completion(TimeDelta::millis(20));
+            (sim.observer.done[0].1, sim.events_processed())
+        };
+        let (fct1, ev1) = run(1);
+        let (fct2, ev2) = run(2);
+        // Similar completion time...
+        let (a, b) = (fct1.as_secs_f64(), fct2.as_secs_f64());
+        assert!((a - b).abs() / a < 0.25, "delayed acks stalled: {a} vs {b}");
+        // ...with meaningfully fewer events (fewer ACK packets in flight).
+        assert!(ev2 < ev1, "expected fewer events: {ev2} vs {ev1}");
+    }
+
+    #[test]
+    fn receiver_linger_reacks_stray_retx() {
+        let _ = NullObserver;
+        let cfg = DctcpConfig::default();
+        let spec = flow(9, 0, 1, 2920, Time::ZERO);
+        let env = NetEnv {
+            host_rate: Rate::from_gbps(10),
+            base_rtt: TimeDelta::micros(20),
+            n_hosts: 2,
+        };
+        let mut rx = DctcpReceiver::new(spec.clone(), cfg, &env);
+        let mut tx_v = Vec::new();
+        let mut timers = Vec::new();
+        let mut app = Vec::new();
+        let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx_v, &mut timers, &mut app);
+        let mk = |seq: u32| {
+            Packet::new(
+                9,
+                0,
+                1,
+                data_wire_bytes(1460),
+                TrafficClass::Legacy,
+                Payload::Data(DataInfo {
+                    flow_seq: seq,
+                    sub_seq: seq,
+                    sub: Subflow::Only,
+                    payload: 1460,
+                    retx: false,
+                }),
+            )
+        };
+        rx.on_packet(&mk(0), &mut ctx);
+        rx.on_packet(&mk(1), &mut ctx);
+        assert!(!rx.finished(), "receiver lingers after completion");
+        // Duplicate after completion still generates an ACK.
+        rx.on_packet(&mk(1), &mut ctx);
+        // Linger timer tears it down.
+        rx.on_timer(timer_token(9, TK_LINGER), &mut ctx);
+        assert!(rx.finished());
+        let _ = ctx;
+        assert_eq!(tx_v.len(), 3);
+        assert_eq!(app.len(), 1);
+    }
+}

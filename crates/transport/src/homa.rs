@@ -1,0 +1,503 @@
+//! A simplified Homa [Montazeri 2018] for the Figure 1(b) motivation
+//! experiment: receiver-driven grants over strict priority queues.
+//!
+//! The sender blindly transmits one RTT worth of "unscheduled" packets; the
+//! receiver then issues grants that keep one RTT of data in flight until the
+//! message completes. Data packets carry a network priority the switch maps
+//! to one of 8 strict queues ([`flexpass_simnet::switch::ClassMap::ByPrio`]).
+//! Reliability uses the same per-packet ACK machinery as the other
+//! transports (real Homa uses resend requests; the difference is immaterial
+//! for the aggregate-throughput motivation experiment this backs).
+
+use flexpass_simcore::time::{Time, TimeDelta};
+use flexpass_simnet::consts::{data_wire_bytes, packets_for, payload_of_packet, CTRL_WIRE};
+use flexpass_simnet::endpoint::{AppEvent, Endpoint, EndpointCtx, RxStats, TxStats};
+use flexpass_simnet::packet::{
+    AckInfo, DataInfo, FlowSpec, GrantInfo, Packet, Payload, Subflow, TrafficClass,
+};
+use flexpass_simnet::sim::{timer_kind, timer_token, NetEnv, TransportFactory};
+
+use crate::common::{AckBuilder, PktState, Reassembly, RttEstimator};
+
+/// Timer kind: sender retransmission backstop.
+const TK_RTO: u16 = 7;
+/// Timer kind: receiver linger teardown.
+const TK_LINGER: u16 = 8;
+
+/// Homa-lite parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct HomaConfig {
+    /// One RTT worth of data, in bytes (the unscheduled window and the
+    /// granted in-flight target).
+    pub rtt_bytes: u64,
+    /// Priority used by unscheduled packets (0 is the network's highest).
+    pub unsched_prio: u8,
+    /// Priority granted to scheduled packets of large messages.
+    pub sched_prio: u8,
+    /// Data traffic class.
+    pub data_class: TrafficClass,
+    /// Control traffic class (grants, ACKs).
+    pub ctrl_class: TrafficClass,
+    /// Sender retransmission floor.
+    pub min_rto: TimeDelta,
+    /// Receiver linger before teardown.
+    pub linger: TimeDelta,
+}
+
+impl Default for HomaConfig {
+    fn default() -> Self {
+        HomaConfig {
+            // 25 kB ~ BDP of a 10 Gbps link at 20 us RTT.
+            rtt_bytes: 25_000,
+            unsched_prio: 1,
+            sched_prio: 6,
+            data_class: TrafficClass::NewData,
+            ctrl_class: TrafficClass::NewCtrl,
+            min_rto: TimeDelta::millis(4),
+            linger: TimeDelta::millis(16),
+        }
+    }
+}
+
+impl HomaConfig {
+    /// The unscheduled / grant window in packets.
+    pub fn rtt_pkts(&self) -> u32 {
+        self.rtt_bytes.div_ceil(1460).max(1) as u32
+    }
+}
+
+/// Homa-lite sender.
+pub struct HomaSender {
+    spec: FlowSpec,
+    cfg: HomaConfig,
+    n: u32,
+    states: Vec<PktState>,
+    granted: u32,
+    snd_una: u32,
+    next_pending: u32,
+    acked: u32,
+    dupacks: u32,
+    rtt: RttEstimator,
+    last_progress: Time,
+    rto_outstanding: bool,
+    rto_backoff: u32,
+    /// Packets currently marked `Lost`.
+    lost: std::collections::BTreeSet<u32>,
+    stats: TxStats,
+    done: bool,
+}
+
+impl HomaSender {
+    /// Creates a sender for `spec`.
+    pub fn new(spec: FlowSpec, cfg: HomaConfig, _env: &NetEnv) -> Self {
+        let n = packets_for(spec.size);
+        HomaSender {
+            spec,
+            cfg,
+            n,
+            states: vec![PktState::Pending; n as usize],
+            granted: cfg.rtt_pkts().min(n),
+            snd_una: 0,
+            next_pending: 0,
+            acked: 0,
+            dupacks: 0,
+            rtt: RttEstimator::new(cfg.min_rto),
+            last_progress: Time::ZERO,
+            rto_outstanding: false,
+            rto_backoff: 0,
+            lost: std::collections::BTreeSet::new(),
+            stats: TxStats::default(),
+            done: false,
+        }
+    }
+
+    fn transmit(&mut self, seq: u32, prio: u8, retx: bool, ctx: &mut EndpointCtx) {
+        self.lost.remove(&seq);
+        self.states[seq as usize] = PktState::Sent;
+        let pay = payload_of_packet(self.spec.size, seq);
+        self.stats.data_pkts += 1;
+        self.stats.data_bytes += pay;
+        if retx {
+            self.stats.retx_pkts += 1;
+            self.stats.redundant_bytes += pay;
+        }
+        ctx.send(
+            Packet::new(
+                self.spec.id,
+                self.spec.src,
+                self.spec.dst,
+                data_wire_bytes(pay),
+                self.cfg.data_class,
+                Payload::Data(DataInfo {
+                    flow_seq: seq,
+                    sub_seq: seq,
+                    sub: Subflow::Only,
+                    payload: pay as u32,
+                    retx,
+                }),
+            )
+            .with_prio(prio),
+        );
+        self.arm_rto(ctx);
+    }
+
+    fn arm_rto(&mut self, ctx: &mut EndpointCtx) {
+        if !self.rto_outstanding {
+            self.rto_outstanding = true;
+            ctx.set_timer(ctx.now + self.rto(), timer_token(self.spec.id, TK_RTO));
+        }
+    }
+
+    fn rto(&self) -> TimeDelta {
+        self.rtt.rto() * (1u64 << self.rto_backoff.min(8))
+    }
+
+    /// Sends everything currently authorized by `granted`.
+    fn pump(&mut self, prio: u8, ctx: &mut EndpointCtx) {
+        loop {
+            // Retransmissions first (at the scheduled priority).
+            if let Some(&seq) = self.lost.iter().next() {
+                self.transmit(seq, prio, true, ctx);
+                continue;
+            }
+            while self.next_pending < self.n
+                && self.states[self.next_pending as usize] != PktState::Pending
+            {
+                self.next_pending += 1;
+            }
+            if self.next_pending >= self.granted.min(self.n) {
+                break;
+            }
+            let seq = self.next_pending;
+            self.next_pending += 1;
+            self.transmit(seq, prio, false, ctx);
+        }
+    }
+
+    fn on_ack(&mut self, ack: &AckInfo, ctx: &mut EndpointCtx) {
+        let prev_una = self.snd_una;
+        let mut newly = 0u64;
+        while self.snd_una < ack.cum.min(self.n) {
+            if self.states[self.snd_una as usize] != PktState::Acked {
+                self.states[self.snd_una as usize] = PktState::Acked;
+                self.lost.remove(&self.snd_una);
+                self.acked += 1;
+                newly += 1;
+            }
+            self.snd_una += 1;
+        }
+        for r in 0..ack.sack_n as usize {
+            let (lo, hi) = ack.sack[r];
+            for s in lo..hi.min(self.n) {
+                if self.states[s as usize] != PktState::Acked {
+                    self.states[s as usize] = PktState::Acked;
+                    self.lost.remove(&s);
+                    self.acked += 1;
+                    newly += 1;
+                }
+            }
+        }
+        if newly > 0 {
+            self.last_progress = ctx.now;
+            self.rto_backoff = 0;
+            self.dupacks = 0;
+        } else if ack.cum == prev_una && ack.cum < self.n {
+            self.dupacks += 1;
+            if self.dupacks == 3 {
+                self.dupacks = 0;
+                if self.states[self.snd_una as usize] == PktState::Sent {
+                    self.states[self.snd_una as usize] = PktState::Lost;
+                    self.lost.insert(self.snd_una);
+                    self.pump(self.cfg.sched_prio, ctx);
+                }
+            }
+        }
+        if self.acked >= self.n && !self.done {
+            self.done = true;
+            ctx.emit(AppEvent::SenderDone {
+                flow: self.spec.id,
+                stats: self.stats,
+            });
+        }
+    }
+}
+
+impl Endpoint for HomaSender {
+    fn activate(&mut self, ctx: &mut EndpointCtx) {
+        self.last_progress = ctx.now;
+        // Unscheduled burst: one RTT of data, blindly.
+        self.pump(self.cfg.unsched_prio, ctx);
+    }
+
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) {
+        match pkt.payload {
+            Payload::Grant(g) => {
+                self.granted = self.granted.max(g.upto.min(self.n));
+                self.pump(g.prio, ctx);
+            }
+            Payload::Ack(a) => self.on_ack(&a, ctx),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+        if timer_kind(token) != TK_RTO {
+            return;
+        }
+        self.rto_outstanding = false;
+        if self.done {
+            return;
+        }
+        let deadline = self.last_progress + self.rto();
+        if ctx.now < deadline {
+            self.rto_outstanding = true;
+            ctx.set_timer(deadline, timer_token(self.spec.id, TK_RTO));
+            return;
+        }
+        self.stats.timeouts += 1;
+        self.rto_backoff += 1;
+        for s in self.snd_una..self.next_pending.min(self.n) {
+            if self.states[s as usize] == PktState::Sent {
+                self.states[s as usize] = PktState::Lost;
+                self.lost.insert(s);
+            }
+        }
+        self.last_progress = ctx.now;
+        self.pump(self.cfg.sched_prio, ctx);
+    }
+
+    fn finished(&self) -> bool {
+        self.done && !self.rto_outstanding
+    }
+}
+
+/// Homa-lite receiver: grants to keep one RTT in flight, acknowledges every
+/// packet, reassembles, and completes.
+pub struct HomaReceiver {
+    spec: FlowSpec,
+    cfg: HomaConfig,
+    n: u32,
+    reasm: Reassembly,
+    acks: AckBuilder,
+    granted: u32,
+    completed: bool,
+    torn_down: bool,
+}
+
+impl HomaReceiver {
+    /// Creates a receiver for `spec`.
+    pub fn new(spec: FlowSpec, cfg: HomaConfig, _env: &NetEnv) -> Self {
+        let n = packets_for(spec.size);
+        let reasm = Reassembly::new(spec.size, n);
+        HomaReceiver {
+            spec,
+            cfg,
+            n,
+            reasm,
+            acks: AckBuilder::new(n),
+            granted: cfg.rtt_pkts().min(n),
+            completed: false,
+            torn_down: false,
+        }
+    }
+}
+
+impl Endpoint for HomaReceiver {
+    fn activate(&mut self, _ctx: &mut EndpointCtx) {}
+
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) {
+        if let Payload::Data(d) = pkt.payload {
+            self.reasm.on_packet(d.flow_seq);
+            self.acks.on_packet(d.sub_seq);
+            let info = self
+                .acks
+                .build(Subflow::Only, pkt.ecn_ce, d.flow_seq, d.sub_seq);
+            ctx.send(Packet::new(
+                self.spec.id,
+                self.spec.dst,
+                self.spec.src,
+                CTRL_WIRE,
+                self.cfg.ctrl_class,
+                Payload::Ack(info),
+            ));
+            // Grant to keep one RTT of data outstanding (self-clocked).
+            let target = (self.reasm.received_count() + self.cfg.rtt_pkts()).min(self.n);
+            if target > self.granted && !self.reasm.complete() {
+                self.granted = target;
+                ctx.send(Packet::new(
+                    self.spec.id,
+                    self.spec.dst,
+                    self.spec.src,
+                    CTRL_WIRE,
+                    self.cfg.ctrl_class,
+                    Payload::Grant(GrantInfo {
+                        upto: target,
+                        prio: self.cfg.sched_prio,
+                    }),
+                ));
+            }
+            if self.reasm.complete() && !self.completed {
+                self.completed = true;
+                ctx.emit(AppEvent::FlowCompleted {
+                    flow: self.spec.id,
+                    stats: RxStats {
+                        pkts_received: self.reasm.received_count() as u64 + self.reasm.duplicates(),
+                        dup_pkts: self.reasm.duplicates(),
+                        reorder_peak_bytes: self.reasm.reorder_peak(),
+                    },
+                });
+                ctx.set_timer(
+                    ctx.now + self.cfg.linger,
+                    timer_token(self.spec.id, TK_LINGER),
+                );
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, _ctx: &mut EndpointCtx) {
+        if timer_kind(token) == TK_LINGER {
+            self.torn_down = true;
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.torn_down
+    }
+}
+
+/// Factory producing Homa-lite flows.
+pub struct HomaFactory {
+    /// Configuration applied to every flow.
+    pub cfg: HomaConfig,
+}
+
+impl HomaFactory {
+    /// Factory with default parameters.
+    pub fn new(cfg: HomaConfig) -> Self {
+        HomaFactory { cfg }
+    }
+}
+
+impl TransportFactory for HomaFactory {
+    fn sender(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
+        Box::new(HomaSender::new(flow.clone(), self.cfg, env))
+    }
+    fn receiver(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
+        Box::new(HomaReceiver::new(flow.clone(), self.cfg, env))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexpass_simcore::time::Rate;
+    use flexpass_simnet::port::{PortConfig, QueueSched};
+    use flexpass_simnet::queue::QueueConfig;
+    use flexpass_simnet::sim::{NetObserver, Sim};
+    use flexpass_simnet::switch::{ClassMap, SwitchProfile};
+    use flexpass_simnet::topology::Topology;
+
+    /// Eight strict priority queues, control at queue 0 (paper footnote 3).
+    fn homa_profile(rate: Rate) -> SwitchProfile {
+        SwitchProfile {
+            port: PortConfig {
+                rate,
+                queues: (0..8)
+                    .map(|i| (QueueConfig::plain(), QueueSched::strict(i)))
+                    .collect(),
+            },
+            class_map: ClassMap::ByPrio {
+                base: 0,
+                n: 8,
+                ctrl: 0,
+                legacy: 0,
+            },
+            shared_buffer: Some((4_500_000, 0.25)),
+        }
+    }
+
+    fn flow(id: u64, src: usize, dst: usize, size: u64, start: Time) -> FlowSpec {
+        FlowSpec {
+            id,
+            src,
+            dst,
+            size,
+            start,
+            tag: 0,
+            fg: false,
+        }
+    }
+
+    struct Fct {
+        done: Vec<(u64, Time)>,
+    }
+    impl NetObserver for Fct {
+        fn on_app_event(&mut self, ev: &AppEvent, now: Time) {
+            if let AppEvent::FlowCompleted { flow, .. } = ev {
+                self.done.push((*flow, now));
+            }
+        }
+    }
+
+    #[test]
+    fn single_message_completes_fast() {
+        let p = homa_profile(Rate::from_gbps(10));
+        let topo = Topology::star(2, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+        let mut sim = Sim::new(
+            topo,
+            Box::new(HomaFactory::new(HomaConfig::default())),
+            Fct { done: vec![] },
+        );
+        // 20 kB fits in the unscheduled window: completes in ~1 one-way +
+        // serialization, well under one RTT + grants.
+        sim.schedule_flow(flow(1, 0, 1, 20_000, Time::ZERO));
+        sim.run_to_completion(TimeDelta::millis(5));
+        let at = sim.observer.done[0].1;
+        assert!(at < Time::from_micros(40), "unscheduled FCT {at:?}");
+    }
+
+    #[test]
+    fn long_message_sustains_throughput() {
+        let p = homa_profile(Rate::from_gbps(10));
+        let topo = Topology::star(2, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+        let mut sim = Sim::new(
+            topo,
+            Box::new(HomaFactory::new(HomaConfig::default())),
+            Fct { done: vec![] },
+        );
+        sim.schedule_flow(flow(1, 0, 1, 5_000_000, Time::ZERO));
+        sim.run_to_completion(TimeDelta::millis(10));
+        let fct = sim.observer.done[0].1.as_millis_f64();
+        // Ideal 4.2 ms; grant clocking should stay close.
+        assert!(fct < 5.5, "Homa long-flow FCT {fct} ms");
+    }
+
+    #[test]
+    fn many_flows_all_complete() {
+        let p = homa_profile(Rate::from_gbps(10));
+        let topo = Topology::star(9, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+        let mut sim = Sim::new(
+            topo,
+            Box::new(HomaFactory::new(HomaConfig::default())),
+            Fct { done: vec![] },
+        );
+        for i in 0..16u64 {
+            sim.schedule_flow(flow(i, (i % 8) as usize, 8, 200_000, Time::ZERO));
+        }
+        sim.run_to_completion(TimeDelta::millis(50));
+        assert_eq!(sim.observer.done.len(), 16);
+    }
+
+    #[test]
+    fn grants_cap_in_flight() {
+        let cfg = HomaConfig::default();
+        assert_eq!(cfg.rtt_pkts(), 18);
+        let env = NetEnv {
+            host_rate: Rate::from_gbps(10),
+            base_rtt: TimeDelta::micros(20),
+            n_hosts: 2,
+        };
+        let s = HomaSender::new(flow(1, 0, 1, 10_000_000, Time::ZERO), cfg, &env);
+        assert_eq!(s.granted, 18);
+    }
+}

@@ -1,0 +1,24 @@
+//! Baseline datacenter transports for the FlexPass reproduction.
+//!
+//! * [`dctcp`] — DCTCP [Alizadeh 2010]: ECN-fraction window control with
+//!   SACK loss recovery; the "legacy reactive" transport throughout the
+//!   paper's evaluation, and (as a reusable window core) the congestion
+//!   control of FlexPass's reactive sub-flow.
+//! * [`expresspass`] — ExpressPass [Cho 2017]: receiver-driven, credit-
+//!   scheduled transport with per-switch credit shaping and credit-rate
+//!   feedback control; the proactive control loop FlexPass adopts.
+//! * [`homa`] — a simplified Homa [Montazeri 2018]: receiver-driven grants
+//!   over strict priority queues; used for the motivation experiment
+//!   (Figure 1b).
+//! * [`common`] — reassembly, ACK construction, RTT estimation, and the
+//!   per-packet scoreboard shared by every transport here and by FlexPass.
+
+pub mod common;
+pub mod dctcp;
+pub mod expresspass;
+pub mod homa;
+
+pub use common::{AckBuilder, DctcpWindow, PktState, Reassembly, RttEstimator};
+pub use dctcp::{DctcpConfig, DctcpFactory, DctcpReceiver, DctcpSender};
+pub use expresspass::{CreditEngine, EpConfig, EpReceiver, EpSender, ExpressPassFactory};
+pub use homa::{HomaConfig, HomaFactory, HomaReceiver, HomaSender};

@@ -1,0 +1,175 @@
+//! Trace-driven workloads: load flows from a CSV file so users can replay
+//! their own traffic against any scheme.
+//!
+//! Format (header optional, `#` comments ignored):
+//!
+//! ```csv
+//! src,dst,size_bytes,start_us
+//! 0,5,14600,0
+//! 3,7,1000000,125.5
+//! ```
+
+use flexpass_simcore::time::{Time, TimeDelta};
+use flexpass_simnet::packet::FlowSpec;
+
+/// A parse failure, with the offending line number (1-based).
+#[derive(Debug, PartialEq, Eq)]
+pub struct TraceError {
+    /// Line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a flow trace. Each data row is `src,dst,size_bytes,start_us`;
+/// flow ids are assigned sequentially from `first_id`; tags are 0 (the
+/// scheme layer re-tags by deployment).
+///
+/// # Examples
+///
+/// ```
+/// use flexpass_workload::trace::parse_trace;
+///
+/// let flows = parse_trace("src,dst,size_bytes,start_us\n0,1,1460,0\n1,0,2920,10\n", 0).unwrap();
+/// assert_eq!(flows.len(), 2);
+/// assert_eq!(flows[1].size, 2920);
+/// assert_eq!(flows[1].start.as_micros_f64(), 10.0);
+/// ```
+pub fn parse_trace(text: &str, first_id: u64) -> Result<Vec<FlowSpec>, TraceError> {
+    let mut flows = Vec::new();
+    let mut id = first_id;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if i == 0 && line.starts_with("src") {
+            continue; // Header.
+        }
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cells.len() != 4 {
+            return Err(TraceError {
+                line: lineno,
+                reason: format!("expected 4 columns, found {}", cells.len()),
+            });
+        }
+        let field = |idx: usize, name: &str| -> Result<f64, TraceError> {
+            cells[idx].parse::<f64>().map_err(|_| TraceError {
+                line: lineno,
+                reason: format!("bad {name}: {:?}", cells[idx]),
+            })
+        };
+        let src = field(0, "src")? as usize;
+        let dst = field(1, "dst")? as usize;
+        let size = field(2, "size_bytes")?;
+        let start_us = field(3, "start_us")?;
+        if src == dst {
+            return Err(TraceError {
+                line: lineno,
+                reason: "src == dst".into(),
+            });
+        }
+        if size < 1.0 {
+            return Err(TraceError {
+                line: lineno,
+                reason: format!("size must be >= 1, found {size}"),
+            });
+        }
+        if start_us < 0.0 || !start_us.is_finite() {
+            return Err(TraceError {
+                line: lineno,
+                reason: format!("bad start time {start_us}"),
+            });
+        }
+        flows.push(FlowSpec {
+            id,
+            src,
+            dst,
+            size: size as u64,
+            start: Time::ZERO + TimeDelta::from_secs_f64(start_us * 1e-6),
+            tag: 0,
+            fg: false,
+        });
+        id += 1;
+    }
+    Ok(flows)
+}
+
+/// Renders flows back to the trace format (inverse of [`parse_trace`]).
+pub fn render_trace(flows: &[FlowSpec]) -> String {
+    let mut out = String::from("src,dst,size_bytes,start_us\n");
+    for f in flows {
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            f.src,
+            f.dst,
+            f.size,
+            f.start.as_micros_f64()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_trace() {
+        let t = "src,dst,size_bytes,start_us\n0,1,1460,0\n2,3,5000,12.5\n";
+        let flows = parse_trace(t, 100).unwrap();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].id, 100);
+        assert_eq!(flows[1].id, 101);
+        assert_eq!(flows[1].src, 2);
+        assert_eq!(flows[1].start.as_nanos(), 12_500);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let t = "# my trace\n\n0,1,100,0\n# tail comment\n1,0,200,5\n";
+        let flows = parse_trace(t, 0).unwrap();
+        assert_eq!(flows.len(), 2);
+    }
+
+    #[test]
+    fn rejects_self_flows() {
+        let err = parse_trace("3,3,100,0\n", 0).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("src == dst"));
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(parse_trace("1,2,3\n", 0).is_err());
+        assert!(parse_trace("a,2,3,4\n", 0).is_err());
+        assert!(parse_trace("1,2,0,4\n", 0).is_err());
+        assert!(parse_trace("1,2,100,-5\n", 0).is_err());
+    }
+
+    #[test]
+    fn round_trips() {
+        let t = "src,dst,size_bytes,start_us\n0,1,1460,0\n2,3,5000,12.5\n";
+        let flows = parse_trace(t, 0).unwrap();
+        let rendered = render_trace(&flows);
+        let again = parse_trace(&rendered, 0).unwrap();
+        assert_eq!(flows, again);
+    }
+
+    #[test]
+    fn error_displays_line() {
+        let err = parse_trace("0,1,100,0\nbad row\n", 0).unwrap_err();
+        assert_eq!(err.line, 2);
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"));
+    }
+}

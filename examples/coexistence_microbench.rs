@@ -1,0 +1,46 @@
+//! Coexistence microbenchmark (the paper's Figure 9): one legacy DCTCP
+//! flow and one upgraded flow share a 10 Gbps link. With a naive
+//! ExpressPass rollout the legacy flow starves; with FlexPass the two
+//! split the link evenly.
+//!
+//! ```text
+//! cargo run --release --example coexistence_microbench
+//! ```
+
+use flexpass_experiments::fig9::{run_ep_vs_dctcp, run_fp_vs_dctcp, starvation};
+
+fn main() {
+    println!("running ExpressPass vs DCTCP (naive shared-queue rollout)...");
+    let ep = run_ep_vs_dctcp();
+    println!("running FlexPass vs DCTCP (w_q = 0.5 switch configuration)...");
+    let fp = run_fp_vs_dctcp();
+
+    let mean = |rec: &flexpass_metrics::Recorder, tag: u32| -> f64 {
+        let tp = rec.throughput_gbps(tag);
+        let lo = tp.len() / 2;
+        tp[lo..].iter().sum::<f64>() / (tp.len() - lo).max(1) as f64
+    };
+
+    println!();
+    println!("steady-state throughput on the 10 Gbps bottleneck:");
+    println!(
+        "  ExpressPass rollout: DCTCP {:>5.2} Gbps | ExpressPass {:>5.2} Gbps",
+        mean(&ep, 0),
+        mean(&ep, 1)
+    );
+    println!(
+        "  FlexPass rollout:    DCTCP {:>5.2} Gbps | FlexPass    {:>5.2} Gbps",
+        mean(&fp, 0),
+        mean(&fp, 1)
+    );
+    println!();
+    println!("starvation time (share of time below 20 % of the link):");
+    println!(
+        "  under ExpressPass: DCTCP starved {:.1} % of the time",
+        100.0 * starvation(&ep, 0)
+    );
+    println!(
+        "  under FlexPass:    DCTCP starved {:.1} % of the time",
+        100.0 * starvation(&fp, 0)
+    );
+}

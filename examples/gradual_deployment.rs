@@ -1,0 +1,58 @@
+//! Gradual deployment (the paper's Figure 10, reduced scale): roll
+//! FlexPass out rack by rack over a Clos fabric running a web-search
+//! workload and watch small-flow tail FCT by flow type.
+//!
+//! ```text
+//! cargo run --release --example gradual_deployment
+//! ```
+
+use flexpass::schemes::Scheme;
+use flexpass_experiments::runner::RunScale;
+use flexpass_experiments::sweep::{run_point, SweepSpec};
+use flexpass_workload::FlowSizeCdf;
+
+fn main() {
+    let spec = SweepSpec {
+        schemes: vec![Scheme::FlexPass],
+        ratios: vec![],
+        cdf: FlowSizeCdf::web_search(),
+        load: 0.5,
+        mixed: false,
+        scale: RunScale::Smoke,
+        seed: 1,
+        wq: 0.5,
+        sel_drop: 150_000,
+        n_flows: None,
+        seeds: 1,
+    };
+    println!(
+        "FlexPass rollout over a {}-host Clos, web-search workload @ 50 % core load",
+        spec.scale.clos().n_hosts()
+    );
+    println!();
+    println!(
+        "{:>8} | {:>16} | {:>16} | {:>16}",
+        "deploy %", "p99 small (all)", "p99 small legacy", "p99 small FlexPass"
+    );
+    println!("{:->8}-+-{:->16}-+-{:->16}-+-{:->16}", "", "", "", "");
+    for ratio in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let p = run_point(Scheme::FlexPass, ratio, &spec);
+        let ms = |v: f64| {
+            if v == 0.0 {
+                "-".to_string()
+            } else {
+                format!("{:.3} ms", v * 1e3)
+            }
+        };
+        println!(
+            "{:>7.0}% | {:>16} | {:>16} | {:>16}",
+            ratio * 100.0,
+            ms(p.p99_small[0]),
+            ms(p.p99_small[1]),
+            ms(p.p99_small[2]),
+        );
+    }
+    println!();
+    println!("Upgraded flows gain the proactive transport's tail latency while");
+    println!("legacy flows keep their guaranteed queue share throughout the rollout.");
+}

@@ -1,0 +1,51 @@
+//! Incast microbenchmark (the paper's Figure 8): an 8-to-1 incast of 64 kB
+//! responses with an increasing number of flows. DCTCP eventually suffers
+//! retransmission timeouts; credit-scheduled transports do not.
+//!
+//! ```text
+//! cargo run --release --example incast_collapse
+//! ```
+
+use flexpass::config::FlexPassConfig;
+use flexpass::profiles::{dctcp_profile, flexpass_profile, naive_profile, ProfileParams};
+use flexpass::FlexPassFactory;
+use flexpass_experiments::fig8::run_incast;
+use flexpass_simcore::time::Rate;
+use flexpass_transport::dctcp::DctcpFactory;
+use flexpass_transport::expresspass::ExpressPassFactory;
+
+fn main() {
+    let params = ProfileParams::testbed(Rate::from_gbps(10));
+    println!(
+        "{:>8} | {:>22} | {:>22} | {:>22}",
+        "flows", "DCTCP", "ExpressPass", "FlexPass"
+    );
+    println!("{:->8}-+-{:->22}-+-{:->22}-+-{:->22}", "", "", "", "");
+    for n in [8usize, 24, 48, 72, 96] {
+        let (d_fct, d_to) =
+            run_incast(&dctcp_profile(&params), Box::new(DctcpFactory::new()), n, 0);
+        let (e_fct, e_to) = run_incast(
+            &naive_profile(&params),
+            Box::new(ExpressPassFactory::new()),
+            n,
+            0,
+        );
+        let (f_fct, f_to) = run_incast(
+            &flexpass_profile(&params),
+            Box::new(FlexPassFactory::new(FlexPassConfig::new(0.5))),
+            n,
+            0,
+        );
+        let cell = |fct: f64, to: u64| format!("{:>7.2} ms, {:>3} rto", fct * 1e3, to);
+        println!(
+            "{n:>8} | {:>22} | {:>22} | {:>22}",
+            cell(d_fct, d_to),
+            cell(e_fct, e_to),
+            cell(f_fct, f_to)
+        );
+    }
+    println!();
+    println!("DCTCP needs retransmission timeouts once the fan-in overwhelms the");
+    println!("switch buffer; ExpressPass and FlexPass schedule every arrival with");
+    println!("credits and never time out (the paper's zero-timeout property).");
+}

@@ -1,0 +1,78 @@
+//! Quickstart: run one FlexPass flow over the testbed topology and print
+//! its completion time and how the two sub-flows shared the work.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use flexpass::config::FlexPassConfig;
+use flexpass::profiles::{flexpass_profile, host_variant, ProfileParams};
+use flexpass::FlexPassFactory;
+use flexpass_metrics::Recorder;
+use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simnet::packet::{FlowSpec, Subflow};
+use flexpass_simnet::sim::Sim;
+use flexpass_simnet::topology::Topology;
+
+fn main() {
+    // 1. Switch/NIC configuration: the paper's testbed profile (10 Gbps,
+    //    w_q = 0.5, ECN at 60 kB, selective dropping at 100 kB).
+    let params = ProfileParams::testbed(Rate::from_gbps(10));
+    let profile = flexpass_profile(&params);
+    let host = host_variant(&profile);
+
+    // 2. Topology: three hosts behind one switch.
+    let topo = Topology::star(3, params.rate, TimeDelta::micros(5), &profile, &host);
+
+    // 3. Transport: FlexPass everywhere.
+    let factory = FlexPassFactory::new(FlexPassConfig::new(0.5));
+
+    // 4. One 10 MB flow from host 0 to host 2, with throughput recording.
+    let mut sim = Sim::new(
+        topo,
+        Box::new(factory),
+        Recorder::new().with_throughput(TimeDelta::millis(1)),
+    );
+    sim.schedule_flow(FlowSpec {
+        id: 1,
+        src: 0,
+        dst: 2,
+        size: 10_000_000,
+        start: Time::ZERO,
+        tag: 0,
+        fg: false,
+    });
+    sim.run_to_completion(TimeDelta::millis(5));
+
+    // 5. Report.
+    let rec = &sim.observer;
+    let flow = &rec.flows[0];
+    println!(
+        "flow completed: {} bytes in {:.3} ms",
+        flow.size,
+        flow.fct * 1e3
+    );
+    let sum = |sub: Subflow| -> f64 {
+        rec.series((0, sub))
+            .map(|s| s.bins().iter().sum::<f64>())
+            .unwrap_or(0.0)
+    };
+    let pro = sum(Subflow::Proactive);
+    let rea = sum(Subflow::Reactive);
+    println!(
+        "delivered via proactive sub-flow: {:.1} MB ({:.0} %)",
+        pro / 1e6,
+        100.0 * pro / (pro + rea)
+    );
+    println!(
+        "delivered via reactive  sub-flow: {:.1} MB ({:.0} %)",
+        rea / 1e6,
+        100.0 * rea / (pro + rea)
+    );
+    let tx = rec.tx_by_tag.get(&0).copied().unwrap_or_default();
+    println!(
+        "sender: {} data packets, {} credits received, {} wasted, {} timeouts",
+        tx.data_pkts, tx.credits_received, tx.credits_wasted, tx.timeouts
+    );
+    assert_eq!(rec.total_timeouts(), 0, "FlexPass should not time out here");
+}

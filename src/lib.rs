@@ -1,0 +1,2 @@
+//! Integration-suite umbrella crate; see the workspace crates for all functionality.
+pub use flexpass_simcore as simcore;

@@ -1,0 +1,42 @@
+//! Cross-crate integration tests for the paper's coexistence claims
+//! (§2.2 motivation and §6.1 testbed results).
+
+use flexpass_experiments::fig1::steady_share;
+use flexpass_experiments::fig9::{run_ep_vs_dctcp, run_fp_vs_dctcp, starvation};
+
+/// §2.2 / Figure 9(a): a naive ExpressPass rollout starves a competing
+/// DCTCP flow to a few percent of the link.
+#[test]
+fn naive_expresspass_starves_dctcp() {
+    let rec = run_ep_vs_dctcp();
+    let dctcp = steady_share(&rec, 0, 90);
+    let ep = steady_share(&rec, 1, 90);
+    assert!(ep > 8.0, "ExpressPass should dominate; got {ep:.2} Gbps");
+    assert!(dctcp < 1.5, "DCTCP should be starved; got {dctcp:.2} Gbps");
+    // Paper: 96.86 % starvation time for the legacy flow.
+    assert!(
+        starvation(&rec, 0) > 0.9,
+        "legacy starvation fraction {}",
+        starvation(&rec, 0)
+    );
+}
+
+/// Figure 9(b, c): under FlexPass the legacy flow and the upgraded flow
+/// each hold about half the link and neither is ever starved.
+#[test]
+fn flexpass_shares_link_with_dctcp() {
+    let rec = run_fp_vs_dctcp();
+    let dctcp = steady_share(&rec, 0, 90);
+    let fp = steady_share(&rec, 1, 90);
+    // Paper: 51 % / 48 %.
+    assert!(
+        (3.5..6.5).contains(&dctcp),
+        "DCTCP share {dctcp:.2} Gbps not balanced"
+    );
+    assert!(
+        (3.5..6.5).contains(&fp),
+        "FlexPass share {fp:.2} Gbps not balanced"
+    );
+    assert!(starvation(&rec, 0) < 0.01, "legacy starved under FlexPass");
+    assert!(starvation(&rec, 1) < 0.01, "FlexPass starved");
+}

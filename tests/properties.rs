@@ -1,0 +1,156 @@
+//! Property-based tests over the substrate and transports.
+
+use flexpass::config::FlexPassConfig;
+use flexpass::profiles::{flexpass_profile, host_variant, ProfileParams};
+use flexpass::FlexPassFactory;
+use flexpass_metrics::Recorder;
+use flexpass_simcore::rng::SimRng;
+use flexpass_simcore::stats::Percentiles;
+use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simnet::packet::FlowSpec;
+use flexpass_simnet::sim::Sim;
+use flexpass_simnet::topology::Topology;
+use flexpass_transport::common::{AckBuilder, Reassembly};
+use flexpass_transport::dctcp::DctcpFactory;
+use flexpass_workload::FlowSizeCdf;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reassembly delivers exactly once for any arrival order with
+    /// arbitrary duplication, and the reorder peak never exceeds the flow
+    /// size.
+    #[test]
+    fn reassembly_any_order(seed in 0u64..1000, n in 1u32..200, dup_rate in 0.0f64..0.5) {
+        let size = n as u64 * 1460;
+        let mut r = Reassembly::new(size, n);
+        let mut rng = SimRng::new(seed);
+        let mut order: Vec<u32> = (0..n).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.index(i + 1);
+            order.swap(i, j);
+        }
+        let mut delivered = 0;
+        for &s in &order {
+            if r.on_packet(s) {
+                delivered += 1;
+            }
+            if rng.chance(dup_rate) {
+                prop_assert!(!r.on_packet(s), "duplicate accepted");
+            }
+        }
+        prop_assert_eq!(delivered, n);
+        prop_assert!(r.complete());
+        prop_assert!(r.reorder_peak() <= size);
+    }
+
+    /// The ACK builder's cumulative pointer equals the first missing
+    /// sequence, and SACK ranges only cover received packets.
+    #[test]
+    fn ack_builder_invariants(seed in 0u64..1000, n in 1u32..300, frac in 0.1f64..1.0) {
+        let mut a = AckBuilder::new(n);
+        let mut rng = SimRng::new(seed);
+        let mut got = vec![false; n as usize];
+        let mut last = 0u32;
+        for s in 0..n {
+            if rng.chance(frac) {
+                a.on_packet(s);
+                got[s as usize] = true;
+                last = s;
+            }
+        }
+        let first_missing = got.iter().position(|&g| !g).map(|p| p as u32).unwrap_or(n);
+        prop_assert_eq!(a.cum(), first_missing.min(a.cum().max(first_missing)));
+        if got[last as usize] {
+            let ack = a.build(flexpass_simnet::packet::Subflow::Only, false, last, last);
+            for k in 0..ack.sack_n as usize {
+                let (lo, hi) = ack.sack[k];
+                prop_assert!(lo < hi);
+                for s in lo..hi {
+                    prop_assert!(got[s as usize], "SACK covers missing packet {s}");
+                }
+            }
+            // The first block contains the most recent arrival.
+            if last >= ack.cum {
+                let (lo, hi) = ack.sack[0];
+                prop_assert!(lo <= last && last < hi);
+            }
+        }
+    }
+
+    /// Exact percentiles are order statistics: p0 = min, p100 = max,
+    /// monotone in q.
+    #[test]
+    fn percentile_properties(mut xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut p = Percentiles::new();
+        for &x in &xs {
+            p.push(x);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(p.quantile(0.0), xs[0]);
+        prop_assert_eq!(p.quantile(1.0), *xs.last().unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let v = p.quantile(i as f64 / 10.0);
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+}
+
+proptest! {
+    // Whole-simulation properties are expensive; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any random small workload completes reliably under both DCTCP and
+    /// FlexPass on the testbed star, with every byte delivered exactly once.
+    #[test]
+    fn random_workloads_always_complete(seed in 0u64..10_000) {
+        let params = ProfileParams::testbed(Rate::from_gbps(10));
+        let profile = flexpass_profile(&params);
+        let host = host_variant(&profile);
+        let mut rng = SimRng::new(seed);
+        let cdf = FlowSizeCdf::hadoop();
+        let mut flows = Vec::new();
+        for i in 0..30u64 {
+            let src = rng.index(8);
+            let mut dst = rng.index(7);
+            if dst >= src {
+                dst += 1;
+            }
+            flows.push(FlowSpec {
+                id: i,
+                src,
+                dst,
+                size: cdf.sample(&mut rng).min(500_000),
+                start: Time::from_nanos(rng.next_below(2_000_000)),
+                tag: 0,
+                fg: false,
+            });
+        }
+
+        // FlexPass.
+        let topo = Topology::star(9, params.rate, TimeDelta::micros(5), &profile, &host);
+        let mut sim = Sim::new(
+            topo,
+            Box::new(FlexPassFactory::new(FlexPassConfig::new(0.5))),
+            Recorder::new(),
+        );
+        for fl in &flows {
+            sim.schedule_flow(fl.clone());
+        }
+        sim.run_to_completion(TimeDelta::millis(10));
+        prop_assert_eq!(sim.observer.completed(), 30);
+
+        // DCTCP on the same workload.
+        let dprofile = flexpass::profiles::dctcp_profile(&params);
+        let topo = Topology::star(9, params.rate, TimeDelta::micros(5), &dprofile, &dprofile);
+        let mut sim = Sim::new(topo, Box::new(DctcpFactory::new()), Recorder::new());
+        for fl in &flows {
+            sim.schedule_flow(fl.clone());
+        }
+        sim.run_to_completion(TimeDelta::millis(10));
+        prop_assert_eq!(sim.observer.completed(), 30);
+    }
+}
