@@ -108,6 +108,8 @@ impl FlexPassConfig {
 }
 
 #[cfg(test)]
+// Test expectations compare floats that are exact by construction.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -235,6 +235,8 @@ pub fn host_variant(profile: &SwitchProfile) -> SwitchProfile {
 }
 
 #[cfg(test)]
+// Test expectations compare floats that are exact by construction.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use flexpass_simnet::consts::DATA_WIRE;

@@ -108,7 +108,7 @@ impl Deployment {
             racks.swap(i, j);
         }
         let k = (ratio * n_racks as f64).round() as usize;
-        let chosen: std::collections::HashSet<usize> = racks.into_iter().take(k).collect();
+        let chosen: std::collections::BTreeSet<usize> = racks.into_iter().take(k).collect();
         Deployment {
             upgraded: rack_of.iter().map(|r| chosen.contains(r)).collect(),
         }

@@ -25,7 +25,7 @@ const PALETTE: [&str; 6] = [
 ];
 
 fn nice_ticks(lo: f64, hi: f64) -> Vec<f64> {
-    if !(hi > lo) {
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         return vec![lo];
     }
     let span = hi - lo;

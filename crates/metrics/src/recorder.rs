@@ -1,6 +1,6 @@
 //! The measurement recorder.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flexpass_simcore::stats::{bytes_to_gbps, Percentiles, TimeSeries};
 use flexpass_simcore::time::{Time, TimeDelta};
@@ -51,17 +51,17 @@ pub struct FctStats {
 
 /// A [`NetObserver`] recording everything the paper's figures need.
 pub struct Recorder {
-    specs: HashMap<u64, (FlowSpec, Time)>,
+    specs: BTreeMap<u64, (FlowSpec, Time)>,
     /// Completed flows.
     pub flows: Vec<FlowRecord>,
     /// Sender stats summed per tag.
-    pub tx_by_tag: HashMap<u32, TxStats>,
+    pub tx_by_tag: BTreeMap<u32, TxStats>,
     /// Drops by reason.
-    pub drops: HashMap<DropReason, u64>,
+    pub drops: BTreeMap<DropReason, u64>,
     /// Dropped red (reactive) packets at switches.
     pub red_drops: u64,
     throughput_bin: Option<TimeDelta>,
-    series: HashMap<SeriesKey, TimeSeries>,
+    series: BTreeMap<SeriesKey, TimeSeries>,
     /// Queue index to collect occupancy stats for (e.g. 1 = Q1).
     queue_watch: Option<usize>,
     /// Q-watch: total bytes samples.
@@ -86,13 +86,13 @@ impl Recorder {
     /// A recorder with FCT + drop accounting only.
     pub fn new() -> Self {
         Recorder {
-            specs: HashMap::new(),
+            specs: BTreeMap::new(),
             flows: Vec::new(),
-            tx_by_tag: HashMap::new(),
-            drops: HashMap::new(),
+            tx_by_tag: BTreeMap::new(),
+            drops: BTreeMap::new(),
             red_drops: 0,
             throughput_bin: None,
-            series: HashMap::new(),
+            series: BTreeMap::new(),
             queue_watch: None,
             q_bytes: Percentiles::new(),
             q_busy_bytes: Percentiles::new(),
@@ -301,6 +301,8 @@ impl NetObserver for Recorder {
 }
 
 #[cfg(test)]
+// Test expectations compare floats that are exact by construction.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use flexpass_simnet::endpoint::RxStats;

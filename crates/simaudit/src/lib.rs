@@ -1,0 +1,643 @@
+//! Runtime invariant auditing for the FlexPass simulator.
+//!
+//! The paper's evaluation claims (FCT distributions, coexistence fairness,
+//! drop and credit-waste rates) are only reproducible if the simulator is
+//! bit-for-bit deterministic under a fixed seed and exactly conserves bytes,
+//! buffer occupancy, and credits. This crate is the runtime half of that
+//! contract (the static half is `cargo xtask lint`): a set of ledgers that
+//! shadow the simulator's own accounting and report any divergence as a
+//! [`Violation`] carrying the offending component, virtual time, and packet.
+//!
+//! Audited invariants:
+//!
+//! * **Queue byte conservation** — for every queue, the byte occupancy the
+//!   queue reports after each enqueue/dequeue must equal the auditor's own
+//!   running sum of admitted minus dequeued wire bytes, and never
+//!   underflow. (`bytes enqueued = bytes dequeued + bytes still queued`;
+//!   drops never enter the ledger because dropped packets are never
+//!   admitted.)
+//! * **Shared-buffer bounds** — a switch's claimed shared-buffer usage must
+//!   stay within `[0, pool]`.
+//! * **Credit-shaper bounds** — a token bucket's level must stay within
+//!   `[0, burst]` after every refill and spend.
+//! * **Event order** — event timestamps popped from the calendar must be
+//!   monotonically non-decreasing, with FIFO (insertion-order) tie-breaking
+//!   for equal timestamps, and no event may be scheduled in the past.
+//! * **Flow byte conservation** — end to end, for every flow and globally:
+//!   `sender payload bytes out = receiver payload bytes in + dropped +
+//!   in-flight`, where in-flight is tracked independently through
+//!   queue-admission and wire-departure hooks.
+//!
+//! # Usage
+//!
+//! The auditor is thread-local (the simulator is single-threaded per run)
+//! and dormant unless installed, so instrumented hot paths cost one
+//! thread-local check when auditing is off:
+//!
+//! ```
+//! flexpass_simaudit::install();
+//! // ... run an instrumented simulation ...
+//! let report = flexpass_simaudit::finish();
+//! assert!(report.is_clean(), "{report}");
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which audited invariant a violation belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Invariant {
+    /// A queue's claimed byte occupancy diverged from the audit ledger.
+    QueueConservation,
+    /// Shared-buffer usage left `[0, pool]`.
+    BufferBounds,
+    /// A token bucket exceeded its burst or went negative.
+    CreditShaper,
+    /// Event calendar popped out of order (time or FIFO tie-break), or an
+    /// event was scheduled in the past.
+    EventOrder,
+    /// End-to-end flow byte conservation failed at finish.
+    FlowConservation,
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Invariant::QueueConservation => "queue-conservation",
+            Invariant::BufferBounds => "buffer-bounds",
+            Invariant::CreditShaper => "credit-shaper",
+            Invariant::EventOrder => "event-order",
+            Invariant::FlowConservation => "flow-conservation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One invariant violation, with enough context to locate the bug.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The invariant that failed.
+    pub invariant: Invariant,
+    /// The offending component (audit id assigned at creation, in
+    /// deterministic creation order).
+    pub component: ComponentId,
+    /// Virtual time (nanoseconds) of the most recent calendar pop when the
+    /// violation was detected.
+    pub time_ns: u64,
+    /// The packet involved, if any: `(flow id, sequence)`.
+    pub packet: Option<(u64, u64)>,
+    /// Human-readable specifics (expected vs observed values).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] component #{} at t={}ns",
+            self.invariant, self.component.0, self.time_ns
+        )?;
+        if let Some((flow, seq)) = self.packet {
+            write!(f, " pkt(flow={flow}, seq={seq})")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Identity of an audited component (queue, shaper, switch, calendar),
+/// assigned in creation order so ids are deterministic under a fixed seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ComponentId(pub u64);
+
+/// The facts a hook needs about one packet.
+#[derive(Clone, Copy, Debug)]
+pub struct PktInfo {
+    /// Flow id.
+    pub flow: u64,
+    /// A per-flow sequence (data packets) or 0.
+    pub seq: u64,
+    /// True for data-bearing packets (these enter flow conservation).
+    pub data: bool,
+    /// Application payload bytes (0 for control).
+    pub payload_bytes: u64,
+    /// On-the-wire bytes.
+    pub wire_bytes: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct QueueLedger {
+    /// Wire bytes the ledger believes are queued.
+    wire_occ: u64,
+    /// Cumulative admitted wire bytes.
+    enq_bytes: u64,
+    /// Cumulative dequeued wire bytes.
+    deq_bytes: u64,
+    /// Packets admitted.
+    enq_pkts: u64,
+    /// Packets dequeued.
+    deq_pkts: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct FlowLedger {
+    /// Payload bytes senders handed to their NIC.
+    tx_bytes: u64,
+    /// Payload bytes that arrived at a host.
+    rx_bytes: u64,
+    /// Payload bytes reported dropped (any reason, any hop).
+    dropped_bytes: u64,
+    /// Payload bytes currently in queues or on the wire, per the hooks.
+    inflight_bytes: i64,
+}
+
+/// Aggregate counters the auditor collected (useful as a cheap digest).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AuditCounters {
+    /// Calendar events popped.
+    pub events: u64,
+    /// Packets admitted across all queues.
+    pub enqueues: u64,
+    /// Packets dequeued across all queues.
+    pub dequeues: u64,
+    /// Data payload bytes sent by endpoints.
+    pub flow_tx_bytes: u64,
+    /// Data payload bytes received by hosts.
+    pub flow_rx_bytes: u64,
+    /// Data payload bytes dropped.
+    pub flow_dropped_bytes: u64,
+}
+
+/// Everything the auditor learned over one run.
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// Recorded violations, in detection order (capped; see
+    /// [`AuditReport::total_violations`]).
+    pub violations: Vec<Violation>,
+    /// Total violations detected, including any beyond the recording cap.
+    pub total_violations: u64,
+    /// Aggregate counters.
+    pub counters: AuditCounters,
+}
+
+impl AuditReport {
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "audit: {} violation(s), {} events, {} enq / {} deq, flow bytes tx={} rx={} dropped={}",
+            self.total_violations,
+            self.counters.events,
+            self.counters.enqueues,
+            self.counters.dequeues,
+            self.counters.flow_tx_bytes,
+            self.counters.flow_rx_bytes,
+            self.counters.flow_dropped_bytes,
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        if self.total_violations as usize > self.violations.len() {
+            writeln!(
+                f,
+                "  ... and {} more",
+                self.total_violations as usize - self.violations.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Cap on stored violations; the total count keeps incrementing past it.
+const MAX_RECORDED: usize = 64;
+
+#[derive(Default)]
+struct Auditor {
+    queues: BTreeMap<u64, QueueLedger>,
+    flows: BTreeMap<u64, FlowLedger>,
+    violations: Vec<Violation>,
+    total_violations: u64,
+    counters: AuditCounters,
+    /// Virtual time of the last calendar pop.
+    now_ns: u64,
+    /// Sequence number of the last calendar pop.
+    last_seq: u64,
+    any_pop: bool,
+}
+
+thread_local! {
+    static AUDITOR: RefCell<Option<Auditor>> = const { RefCell::new(None) };
+    static NEXT_COMPONENT: RefCell<u64> = const { RefCell::new(0) };
+}
+
+/// Allocates a component id. Always available (independent of whether an
+/// auditor is installed) so components created before `install()` still get
+/// deterministic identities; the counter is thread-local, hence stable
+/// under `cargo test`'s thread-per-test model.
+pub fn new_component_id() -> ComponentId {
+    NEXT_COMPONENT.with(|c| {
+        let mut c = c.borrow_mut();
+        *c += 1;
+        ComponentId(*c)
+    })
+}
+
+/// Starts auditing on this thread. Replaces any previous auditor.
+pub fn install() {
+    AUDITOR.with(|a| *a.borrow_mut() = Some(Auditor::default()));
+}
+
+/// True when an auditor is installed on this thread.
+pub fn is_active() -> bool {
+    AUDITOR.with(|a| a.borrow().is_some())
+}
+
+/// Runs the final conservation checks, uninstalls the auditor, and returns
+/// its report.
+///
+/// # Panics
+///
+/// Panics if no auditor is installed.
+pub fn finish() -> AuditReport {
+    let mut aud = AUDITOR
+        .with(|a| a.borrow_mut().take())
+        .expect("simaudit::finish() without install()");
+    aud.final_checks();
+    AuditReport {
+        violations: aud.violations,
+        total_violations: aud.total_violations,
+        counters: aud.counters,
+    }
+}
+
+fn with_auditor(f: impl FnOnce(&mut Auditor)) {
+    AUDITOR.with(|a| {
+        if let Some(aud) = a.borrow_mut().as_mut() {
+            f(aud);
+        }
+    });
+}
+
+impl Auditor {
+    fn violate(
+        &mut self,
+        invariant: Invariant,
+        component: ComponentId,
+        packet: Option<(u64, u64)>,
+        detail: String,
+    ) {
+        self.total_violations += 1;
+        if self.violations.len() < MAX_RECORDED {
+            self.violations.push(Violation {
+                invariant,
+                component,
+                time_ns: self.now_ns,
+                packet,
+                detail,
+            });
+        }
+    }
+
+    fn final_checks(&mut self) {
+        // Per-flow conservation: tx = rx + dropped + in-flight.
+        let flows: Vec<(u64, FlowLedger)> = self.flows.iter().map(|(k, v)| (*k, *v)).collect();
+        for (flow, l) in flows {
+            let accounted = l.rx_bytes as i64 + l.dropped_bytes as i64 + l.inflight_bytes;
+            if l.tx_bytes as i64 != accounted || l.inflight_bytes < 0 {
+                self.violate(
+                    Invariant::FlowConservation,
+                    ComponentId(0),
+                    Some((flow, 0)),
+                    format!(
+                        "flow {flow}: tx {} != rx {} + dropped {} + inflight {}",
+                        l.tx_bytes, l.rx_bytes, l.dropped_bytes, l.inflight_bytes
+                    ),
+                );
+            }
+        }
+        // Queue ledger identity: admitted = dequeued + still queued.
+        let queues: Vec<(u64, QueueLedger)> = self.queues.iter().map(|(k, v)| (*k, *v)).collect();
+        for (qid, l) in queues {
+            if l.enq_bytes != l.deq_bytes + l.wire_occ {
+                self.violate(
+                    Invariant::QueueConservation,
+                    ComponentId(qid),
+                    None,
+                    format!(
+                        "queue ledger: enq {} != deq {} + occupancy {}",
+                        l.enq_bytes, l.deq_bytes, l.wire_occ
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hooks. All are no-ops unless an auditor is installed.
+// ---------------------------------------------------------------------------
+
+/// A calendar event was popped at `time_ns` with insertion sequence `seq`.
+pub fn on_event_pop(time_ns: u64, seq: u64) {
+    with_auditor(|a| {
+        a.counters.events += 1;
+        if a.any_pop {
+            if time_ns < a.now_ns {
+                a.violate(
+                    Invariant::EventOrder,
+                    ComponentId(0),
+                    None,
+                    format!("popped t={time_ns}ns after t={}ns", a.now_ns),
+                );
+            } else if time_ns == a.now_ns && seq <= a.last_seq {
+                a.violate(
+                    Invariant::EventOrder,
+                    ComponentId(0),
+                    None,
+                    format!(
+                        "FIFO tie-break broken at t={time_ns}ns: seq {seq} after {}",
+                        a.last_seq
+                    ),
+                );
+            }
+        }
+        a.any_pop = true;
+        a.now_ns = time_ns;
+        a.last_seq = seq;
+    });
+}
+
+/// An event was offered to the calendar for `time_ns` while virtual time
+/// was `now_ns`.
+pub fn on_event_schedule(time_ns: u64, now_ns: u64) {
+    with_auditor(|a| {
+        if time_ns < now_ns {
+            a.violate(
+                Invariant::EventOrder,
+                ComponentId(0),
+                None,
+                format!("scheduled t={time_ns}ns in the past of t={now_ns}ns"),
+            );
+        }
+    });
+}
+
+/// Queue `q` admitted `pkt` and now claims `queue_bytes_after` queued wire
+/// bytes.
+pub fn on_enqueue(q: ComponentId, pkt: PktInfo, queue_bytes_after: u64) {
+    with_auditor(|a| {
+        a.counters.enqueues += 1;
+        let l = a.queues.entry(q.0).or_default();
+        l.wire_occ += pkt.wire_bytes;
+        l.enq_bytes += pkt.wire_bytes;
+        l.enq_pkts += 1;
+        let expect = l.wire_occ;
+        if queue_bytes_after != expect {
+            a.violate(
+                Invariant::QueueConservation,
+                q,
+                Some((pkt.flow, pkt.seq)),
+                format!("enqueue: queue claims {queue_bytes_after} B, ledger {expect} B"),
+            );
+        }
+        if pkt.data {
+            a.flows.entry(pkt.flow).or_default().inflight_bytes += pkt.payload_bytes as i64;
+        }
+    });
+}
+
+/// Queue `q` dequeued `pkt` and now claims `queue_bytes_after` queued wire
+/// bytes. The packet is about to serialize onto the wire, so per-flow
+/// in-flight accounting is unchanged (it moves from "queued" to "on wire"
+/// within the same hook pair).
+pub fn on_dequeue(q: ComponentId, pkt: PktInfo, queue_bytes_after: u64) {
+    with_auditor(|a| {
+        a.counters.dequeues += 1;
+        let l = a.queues.entry(q.0).or_default();
+        if l.wire_occ < pkt.wire_bytes {
+            let occ = l.wire_occ;
+            a.violate(
+                Invariant::QueueConservation,
+                q,
+                Some((pkt.flow, pkt.seq)),
+                format!(
+                    "dequeue of {} B underflows ledger occupancy {occ} B",
+                    pkt.wire_bytes
+                ),
+            );
+            return;
+        }
+        l.wire_occ -= pkt.wire_bytes;
+        l.deq_bytes += pkt.wire_bytes;
+        l.deq_pkts += 1;
+        let expect = l.wire_occ;
+        if queue_bytes_after != expect {
+            a.violate(
+                Invariant::QueueConservation,
+                q,
+                Some((pkt.flow, pkt.seq)),
+                format!("dequeue: queue claims {queue_bytes_after} B, ledger {expect} B"),
+            );
+        }
+        if pkt.data {
+            a.flows.entry(pkt.flow).or_default().inflight_bytes -= pkt.payload_bytes as i64;
+        }
+    });
+}
+
+/// Switch `sw` reports `used` of `pool` shared-buffer bytes in use.
+pub fn on_shared_buffer(sw: ComponentId, used: u64, pool: u64) {
+    with_auditor(|a| {
+        if used > pool {
+            a.violate(
+                Invariant::BufferBounds,
+                sw,
+                None,
+                format!("shared buffer {used} B exceeds pool {pool} B"),
+            );
+        }
+    });
+}
+
+/// Token bucket `shaper` holds `tokens` of at most `burst` (both in
+/// bit-nanoseconds; see `simnet::port`). Called after refills and spends.
+pub fn on_shaper_tokens(shaper: ComponentId, tokens: u128, burst: u128) {
+    with_auditor(|a| {
+        if tokens > burst {
+            a.violate(
+                Invariant::CreditShaper,
+                shaper,
+                None,
+                format!("token bucket holds {tokens} > burst {burst} (bit-ns)"),
+            );
+        }
+    });
+}
+
+/// A data packet of `pkt.flow` left a sender endpoint towards its NIC.
+pub fn on_flow_tx(pkt: PktInfo) {
+    if !pkt.data {
+        return;
+    }
+    with_auditor(|a| {
+        a.counters.flow_tx_bytes += pkt.payload_bytes;
+        a.flows.entry(pkt.flow).or_default().tx_bytes += pkt.payload_bytes;
+    });
+}
+
+/// A data packet arrived at a host (whether or not an endpoint claimed it).
+pub fn on_flow_rx(pkt: PktInfo) {
+    if !pkt.data {
+        return;
+    }
+    with_auditor(|a| {
+        a.counters.flow_rx_bytes += pkt.payload_bytes;
+        a.flows.entry(pkt.flow).or_default().rx_bytes += pkt.payload_bytes;
+    });
+}
+
+/// A data packet was dropped (queue cap, shared buffer, selective red,
+/// or injected loss).
+pub fn on_flow_drop(pkt: PktInfo) {
+    if !pkt.data {
+        return;
+    }
+    with_auditor(|a| {
+        a.counters.flow_dropped_bytes += pkt.payload_bytes;
+        a.flows.entry(pkt.flow).or_default().dropped_bytes += pkt.payload_bytes;
+    });
+}
+
+/// A data packet started propagating on a link (scheduled to arrive).
+pub fn on_wire_depart(pkt: PktInfo) {
+    if !pkt.data {
+        return;
+    }
+    with_auditor(|a| {
+        a.flows.entry(pkt.flow).or_default().inflight_bytes += pkt.payload_bytes as i64;
+    });
+}
+
+/// A packet finished propagating and reached a node.
+pub fn on_wire_arrive(pkt: PktInfo) {
+    if !pkt.data {
+        return;
+    }
+    with_auditor(|a| {
+        a.flows.entry(pkt.flow).or_default().inflight_bytes -= pkt.payload_bytes as i64;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_pkt(flow: u64, seq: u64, payload: u64, wire: u64) -> PktInfo {
+        PktInfo {
+            flow,
+            seq,
+            data: true,
+            payload_bytes: payload,
+            wire_bytes: wire,
+        }
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        install();
+        let q = new_component_id();
+        let p = data_pkt(1, 0, 1460, 1538);
+        on_flow_tx(p);
+        on_enqueue(q, p, 1538);
+        on_dequeue(q, p, 0);
+        on_wire_depart(p);
+        on_wire_arrive(p);
+        on_flow_rx(p);
+        on_event_pop(10, 0);
+        on_event_pop(10, 1);
+        on_event_pop(20, 0);
+        let report = finish();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.counters.flow_tx_bytes, 1460);
+        assert_eq!(report.counters.flow_rx_bytes, 1460);
+    }
+
+    #[test]
+    fn occupancy_mismatch_detected() {
+        install();
+        let q = new_component_id();
+        let p = data_pkt(2, 7, 100, 120);
+        on_enqueue(q, p, 999); // queue claims the wrong occupancy
+        let report = finish();
+        assert!(!report.is_clean());
+        assert_eq!(report.violations[0].invariant, Invariant::QueueConservation);
+        assert_eq!(report.violations[0].packet, Some((2, 7)));
+    }
+
+    #[test]
+    fn lost_bytes_break_flow_conservation() {
+        install();
+        let p = data_pkt(3, 0, 1000, 1078);
+        on_flow_tx(p);
+        // Never received, dropped, or left in flight: conservation fails.
+        let report = finish();
+        assert!(!report.is_clean());
+        assert_eq!(report.violations[0].invariant, Invariant::FlowConservation);
+    }
+
+    #[test]
+    fn dropped_bytes_balance() {
+        install();
+        let q = new_component_id();
+        let p = data_pkt(4, 1, 500, 578);
+        on_flow_tx(p);
+        on_enqueue(q, p, 578);
+        on_dequeue(q, p, 0);
+        on_wire_depart(p);
+        on_wire_arrive(p);
+        on_flow_drop(p); // injected loss at the receiving switch
+        let report = finish();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn event_order_violations_detected() {
+        install();
+        on_event_pop(100, 0);
+        on_event_pop(50, 1); // time went backwards
+        on_event_pop(50, 1); // and a FIFO tie-break repeat
+        on_event_schedule(10, 50); // schedule in the past
+        let report = finish();
+        assert_eq!(report.total_violations, 3);
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.invariant == Invariant::EventOrder));
+    }
+
+    #[test]
+    fn shaper_and_buffer_bounds() {
+        install();
+        let s = new_component_id();
+        on_shaper_tokens(s, 10, 100);
+        on_shaper_tokens(s, 101, 100);
+        on_shared_buffer(s, 5, 10);
+        on_shared_buffer(s, 11, 10);
+        let report = finish();
+        assert_eq!(report.total_violations, 2);
+    }
+
+    #[test]
+    fn inactive_hooks_are_noops() {
+        // No install(): nothing panics, nothing accumulates.
+        on_event_pop(5, 0);
+        on_flow_tx(data_pkt(1, 0, 10, 20));
+        assert!(!is_active());
+    }
+}

@@ -91,6 +91,8 @@ impl<E> EventQueue<E> {
             "scheduled event at {time:?} before current time {:?}",
             self.last_time
         );
+        #[cfg(feature = "audit")]
+        flexpass_simaudit::on_event_schedule(time.as_nanos(), self.last_time.as_nanos());
         let time = time.max(self.last_time);
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -102,6 +104,8 @@ impl<E> EventQueue<E> {
         let entry = self.heap.pop()?;
         self.popped += 1;
         self.last_time = entry.time;
+        #[cfg(feature = "audit")]
+        flexpass_simaudit::on_event_pop(entry.time.as_nanos(), entry.seq);
         Some((entry.time, entry.payload))
     }
 

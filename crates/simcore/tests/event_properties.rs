@@ -1,0 +1,66 @@
+//! Property tests for the deterministic event calendar.
+//!
+//! The calendar's contract (DESIGN.md "Determinism & invariants"): pops are
+//! totally ordered by `(time, insertion order)` — time never goes backwards,
+//! and events scheduled for the same instant fire in FIFO order. Both the
+//! batch and the interleaved schedule/pop paths must uphold it.
+
+use flexpass_simcore::event::EventQueue;
+use flexpass_simcore::time::Time;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pop_order_is_total_monotone_and_fifo_stable(
+        times in prop::collection::vec(0u64..50, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Time::from_nanos(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_nanos(), i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards: {:?}", w);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie broke out of FIFO order: {:?}", w);
+            }
+        }
+        // The pop order is exactly a stable sort of insertions by time.
+        let mut expect: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expect.sort_by_key(|&(t, _)| t);
+        prop_assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_stays_monotone(
+        ops in prop::collection::vec(0u64..20, 1..200),
+    ) {
+        // op == 0 pops; op > 0 schedules at (last popped time + op - 1), so
+        // schedules never land in the past and ties (op == 1) are common.
+        let mut q = EventQueue::new();
+        let mut last = 0u64;
+        let mut n = 0usize;
+        for &op in &ops {
+            if op == 0 {
+                if let Some((t, _)) = q.pop() {
+                    prop_assert!(t.as_nanos() >= last);
+                    last = t.as_nanos();
+                }
+            } else {
+                q.schedule(Time::from_nanos(last + op - 1), n);
+                n += 1;
+            }
+        }
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t.as_nanos() >= last);
+            last = t.as_nanos();
+        }
+    }
+}

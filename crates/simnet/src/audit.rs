@@ -1,0 +1,164 @@
+//! Audit hook shim.
+//!
+//! With the `audit` feature (the default) every function forwards to
+//! [`flexpass_simaudit`], which checks queue byte conservation, shared-buffer
+//! and credit-shaper bounds, and end-to-end flow byte conservation. Without
+//! the feature the whole module compiles to no-ops and zero-sized state, so
+//! instrumented call sites need no `cfg` of their own.
+//!
+//! The typical test-side protocol:
+//!
+//! ```
+//! flexpass_simnet::audit::install();
+//! // ... build a Sim and run it ...
+//! let report = flexpass_simnet::audit::finish();
+//! assert!(report.is_clean(), "{report}");
+//! ```
+
+use crate::packet::{Packet, Payload};
+
+#[cfg(feature = "audit")]
+pub use flexpass_simaudit::{
+    finish, install, is_active, new_component_id, AuditCounters, AuditReport, ComponentId,
+    Invariant, PktInfo, Violation,
+};
+
+#[cfg(feature = "audit")]
+fn info(pkt: &Packet) -> PktInfo {
+    let seq = match pkt.payload {
+        Payload::Data(d) => d.flow_seq as u64,
+        _ => 0,
+    };
+    PktInfo {
+        flow: pkt.flow,
+        seq,
+        data: pkt.is_data(),
+        payload_bytes: pkt.payload_bytes(),
+        wire_bytes: pkt.wire as u64,
+    }
+}
+
+/// Queue `q` admitted `pkt`; the queue now claims `bytes_after` queued bytes.
+pub fn enqueue(q: ComponentId, pkt: &Packet, bytes_after: u64) {
+    #[cfg(feature = "audit")]
+    flexpass_simaudit::on_enqueue(q, info(pkt), bytes_after);
+    #[cfg(not(feature = "audit"))]
+    let _ = (q, pkt, bytes_after);
+}
+
+/// Queue `q` released `pkt`; the queue now claims `bytes_after` queued bytes.
+pub fn dequeue(q: ComponentId, pkt: &Packet, bytes_after: u64) {
+    #[cfg(feature = "audit")]
+    flexpass_simaudit::on_dequeue(q, info(pkt), bytes_after);
+    #[cfg(not(feature = "audit"))]
+    let _ = (q, pkt, bytes_after);
+}
+
+/// Switch `sw` has `used` of `pool` shared-buffer bytes admitted.
+pub fn shared_buffer(sw: ComponentId, used: u64, pool: u64) {
+    #[cfg(feature = "audit")]
+    flexpass_simaudit::on_shared_buffer(sw, used, pool);
+    #[cfg(not(feature = "audit"))]
+    let _ = (sw, used, pool);
+}
+
+/// Token bucket `shaper` holds `tokens` of at most `burst` bit-nanoseconds.
+pub fn shaper_tokens(shaper: ComponentId, tokens: u128, burst: u128) {
+    #[cfg(feature = "audit")]
+    flexpass_simaudit::on_shaper_tokens(shaper, tokens, burst);
+    #[cfg(not(feature = "audit"))]
+    let _ = (shaper, tokens, burst);
+}
+
+/// An endpoint handed `pkt` to its NIC.
+pub fn flow_tx(pkt: &Packet) {
+    #[cfg(feature = "audit")]
+    flexpass_simaudit::on_flow_tx(info(pkt));
+    #[cfg(not(feature = "audit"))]
+    let _ = pkt;
+}
+
+/// `pkt` arrived at a host.
+pub fn flow_rx(pkt: &Packet) {
+    #[cfg(feature = "audit")]
+    flexpass_simaudit::on_flow_rx(info(pkt));
+    #[cfg(not(feature = "audit"))]
+    let _ = pkt;
+}
+
+/// `pkt` was dropped (queue cap, shared buffer, selective red, or injected
+/// loss).
+pub fn flow_drop(pkt: &Packet) {
+    #[cfg(feature = "audit")]
+    flexpass_simaudit::on_flow_drop(info(pkt));
+    #[cfg(not(feature = "audit"))]
+    let _ = pkt;
+}
+
+/// `pkt` started propagating on a link.
+pub fn wire_depart(pkt: &Packet) {
+    #[cfg(feature = "audit")]
+    flexpass_simaudit::on_wire_depart(info(pkt));
+    #[cfg(not(feature = "audit"))]
+    let _ = pkt;
+}
+
+/// `pkt` finished propagating and reached a node.
+pub fn wire_arrive(pkt: &Packet) {
+    #[cfg(feature = "audit")]
+    flexpass_simaudit::on_wire_arrive(info(pkt));
+    #[cfg(not(feature = "audit"))]
+    let _ = pkt;
+}
+
+// ---------------------------------------------------------------------------
+// No-op stand-ins when auditing is compiled out, so components can keep
+// zero-cost audit ids and test harnesses compile either way.
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "audit"))]
+mod stub {
+    use std::fmt;
+
+    /// Zero-sized stand-in for an audit component id.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct ComponentId;
+
+    /// No-op: auditing is compiled out.
+    pub fn new_component_id() -> ComponentId {
+        ComponentId
+    }
+
+    /// No-op: auditing is compiled out.
+    pub fn install() {}
+
+    /// Always false: auditing is compiled out.
+    pub fn is_active() -> bool {
+        false
+    }
+
+    /// Trivially clean stand-in report.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct AuditReport;
+
+    impl AuditReport {
+        /// Always true: nothing was audited.
+        pub fn is_clean(&self) -> bool {
+            true
+        }
+    }
+
+    impl fmt::Display for AuditReport {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("audit: disabled (built without the `audit` feature)")
+        }
+    }
+
+    /// Trivially clean stand-in report.
+    pub fn finish() -> AuditReport {
+        AuditReport
+    }
+}
+
+#[cfg(not(feature = "audit"))]
+pub use stub::{finish, install, is_active, new_component_id, AuditReport, ComponentId};

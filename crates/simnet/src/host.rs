@@ -4,7 +4,7 @@
 //! switch port (§5, footnote 6: "NIC is essentially a special type of edge
 //! switch") — and a table of live transport [`Endpoint`]s keyed by flow.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use flexpass_simcore::time::Time;
 
@@ -32,7 +32,9 @@ pub struct Host {
     /// NIC egress port towards the ToR (or single switch).
     pub nic: Port,
     class_map: ClassMap,
-    flows: HashMap<FlowId, Box<dyn Endpoint>>,
+    // Ordered map: any iteration over live flows must be deterministic
+    // (hash-map order would vary run to run and break replayability).
+    flows: BTreeMap<FlowId, Box<dyn Endpoint>>,
     counters: HostCounters,
 }
 
@@ -45,7 +47,7 @@ impl Host {
             host_id,
             nic: Port::new(&profile.port),
             class_map: profile.class_map,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             counters: HostCounters::default(),
         }
     }

@@ -18,11 +18,14 @@
 //!   paper's 3-tier Clos (8 core / 16 agg / 32 ToR / 192 hosts, 3:1
 //!   oversubscribed).
 //! * [`sim`] — the deterministic event-driven driver tying it together.
+//! * [`audit`] — invariant-audit hooks (byte conservation ledgers, buffer
+//!   and shaper bounds), active under the default `audit` feature.
 //!
 //! Transport protocols implement [`endpoint::Endpoint`] and are plugged in
 //! through [`sim::TransportFactory`]; see the `flexpass-transport` and
 //! `flexpass` crates.
 
+pub mod audit;
 pub mod consts;
 pub mod endpoint;
 pub mod host;

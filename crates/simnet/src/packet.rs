@@ -62,7 +62,7 @@ pub enum Color {
 }
 
 /// Which FlexPass sub-flow a data packet belongs to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Subflow {
     /// Credit-scheduled sub-flow (ExpressPass control loop).
     Proactive,

@@ -15,6 +15,7 @@
 
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
 
+use crate::audit;
 use crate::consts::DATA_WIRE;
 use crate::packet::Packet;
 use crate::queue::{DropReason, Enqueue, PacketQueue, QueueConfig};
@@ -89,37 +90,67 @@ pub enum Decision {
     Idle,
 }
 
+/// Token-bucket units: one token is a "bit-nanosecond", the credit earned
+/// by 1 bps over 1 ns. A byte costs `8 × 1e9` tokens.
+const TOKENS_PER_BYTE: u128 = 8 * 1_000_000_000;
+
+/// Token-bucket shaper with exact integer accounting.
+///
+/// Refilling over `dt` nanoseconds at `rate` bps adds `dt × rate` tokens;
+/// transmitting `b` bytes spends `b ×` [`TOKENS_PER_BYTE`]. Keeping tokens
+/// in bit-nanoseconds makes the bucket drift-free (no float rounding), so
+/// `eligible_at` can compute the exact wake-up instant with one ceiling
+/// division and repeated refill/spend cycles conserve credit bit-for-bit.
 #[derive(Debug)]
 struct Shaper {
     rate: Rate,
-    burst: f64,
-    tokens: f64,
+    burst: u128,
+    tokens: u128,
     last: Time,
+    audit_id: audit::ComponentId,
 }
 
 impl Shaper {
     fn new(rate: Rate, burst: u64) -> Self {
+        let burst = burst as u128 * TOKENS_PER_BYTE;
         Shaper {
             rate,
-            burst: burst as f64,
-            tokens: burst as f64,
+            burst,
+            tokens: burst,
             last: Time::ZERO,
+            audit_id: audit::new_component_id(),
         }
+    }
+
+    /// Tokens needed to transmit `bytes`.
+    fn need(bytes: u64) -> u128 {
+        bytes as u128 * TOKENS_PER_BYTE
     }
 
     fn refill(&mut self, now: Time) {
-        let dt = now.saturating_since(self.last).as_secs_f64();
-        self.tokens = (self.tokens + dt * self.rate.as_bps() as f64 / 8.0).min(self.burst);
+        let dt = now.saturating_since(self.last).as_nanos() as u128;
+        self.tokens = (self.tokens + dt * self.rate.as_bps() as u128).min(self.burst);
         self.last = now;
+        audit::shaper_tokens(self.audit_id, self.tokens, self.burst);
     }
 
-    fn eligible_at(&self, now: Time, need: f64) -> Time {
+    /// Consumes `need` tokens; caller must have checked availability.
+    fn spend(&mut self, need: u128) {
+        debug_assert!(self.tokens >= need, "shaper overspend");
+        self.tokens -= need;
+        audit::shaper_tokens(self.audit_id, self.tokens, self.burst);
+    }
+
+    fn eligible_at(&self, now: Time, need: u128) -> Time {
         if self.tokens >= need {
             return now;
         }
-        let deficit_bytes = need - self.tokens;
-        let secs = deficit_bytes * 8.0 / self.rate.as_bps() as f64;
-        now + TimeDelta::from_secs_f64(secs) + TimeDelta::nanos(1)
+        if self.rate.as_bps() == 0 {
+            return Time::MAX;
+        }
+        let deficit = need - self.tokens;
+        let ns = deficit.div_ceil(self.rate.as_bps() as u128);
+        now.saturating_add(TimeDelta::nanos(ns.min(u64::MAX as u128) as u64))
     }
 }
 
@@ -291,14 +322,15 @@ impl Port {
                 if self.queues[qi].is_empty() {
                     continue;
                 }
-                let head = self.queues[qi].head_bytes().expect("non-empty") as f64;
+                let head = self.queues[qi].head_bytes().expect("non-empty");
                 if let Some(shaper) = self.shapers[qi].as_mut() {
                     shaper.refill(now);
-                    if shaper.tokens >= head {
-                        shaper.tokens -= head;
+                    let need = Shaper::need(head as u64);
+                    if shaper.tokens >= need {
+                        shaper.spend(need);
                         return self.serve(qi);
                     }
-                    let at = shaper.eligible_at(now, head);
+                    let at = shaper.eligible_at(now, need);
                     wake = Some(wake.map_or(at, |w: Time| w.min(at)));
                     // Work conserving: fall through to lower levels.
                     continue;

@@ -18,10 +18,11 @@
 
 use std::collections::VecDeque;
 
+use crate::audit;
 use crate::packet::{Color, Packet};
 
 /// Why a packet was dropped at enqueue time.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DropReason {
     /// The queue's static byte cap was exceeded (e.g. credit queue < 1 kB).
     QueueCap,
@@ -99,6 +100,7 @@ pub struct PacketQueue {
     bytes: u64,
     red_bytes: u64,
     counters: QueueCounters,
+    audit_id: audit::ComponentId,
 }
 
 /// Result of offering a packet to the queue.
@@ -119,6 +121,7 @@ impl PacketQueue {
             bytes: 0,
             red_bytes: 0,
             counters: QueueCounters::default(),
+            audit_id: audit::new_component_id(),
         }
     }
 
@@ -188,6 +191,7 @@ impl PacketQueue {
         }
         self.bytes += size;
         self.counters.enqueued += 1;
+        audit::enqueue(self.audit_id, &pkt, self.bytes);
         self.fifo.push_back(pkt);
         Enqueue::Admitted
     }
@@ -200,6 +204,7 @@ impl PacketQueue {
         if pkt.color == Color::Red {
             self.red_bytes -= size;
         }
+        audit::dequeue(self.audit_id, &pkt, self.bytes);
         Some(pkt)
     }
 }

@@ -9,6 +9,7 @@ use flexpass_simcore::event::EventQueue;
 use flexpass_simcore::rng::SimRng;
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
 
+use crate::audit;
 use crate::endpoint::{AppEvent, Endpoint};
 use crate::host::{Host, Scratch};
 use crate::packet::{FlowId, FlowSpec, Packet};
@@ -314,9 +315,11 @@ impl<O: NetObserver> Sim<O> {
     }
 
     fn arrive(&mut self, now: Time, node: NodeId, pkt: Packet) {
+        audit::wire_arrive(&pkt);
         if let Some((p, rng)) = &mut self.loss {
             if matches!(self.nodes[node], Node::Switch(_)) && rng.chance(*p) {
                 self.injected_losses += 1;
+                audit::flow_drop(&pkt);
                 return;
             }
         }
@@ -335,11 +338,15 @@ impl<O: NetObserver> Sim<O> {
                             );
                         }
                     }
-                    Err((reason, pkt)) => self.observer.on_drop(&pkt, reason, node, now),
+                    Err((reason, pkt)) => {
+                        audit::flow_drop(&pkt);
+                        self.observer.on_drop(&pkt, reason, node, now)
+                    }
                 }
             }
             Node::Host(h) => {
                 debug_assert_eq!(h.host_id, pkt.dst, "misrouted packet");
+                audit::flow_rx(&pkt);
                 if pkt.is_data() {
                     self.observer.on_delivered(&pkt, now);
                 }
@@ -378,6 +385,7 @@ impl<O: NetObserver> Sim<O> {
                 let peer = p.peer;
                 let prop = p.prop;
                 p.busy_until = Some(now + ser);
+                audit::wire_depart(&pkt);
                 self.events
                     .schedule(now + ser, Event::PortReady { node, port });
                 self.events
@@ -428,6 +436,7 @@ impl<O: NetObserver> Sim<O> {
     fn flush(&mut self, now: Time, node: NodeId) {
         let mut scratch = std::mem::take(&mut self.scratch);
         for pkt in scratch.tx.drain(..) {
+            audit::flow_tx(&pkt);
             let res = match &mut self.nodes[node] {
                 Node::Host(h) => h.nic_enqueue(pkt),
                 Node::Switch(_) => unreachable!("flush on a switch"),
@@ -439,7 +448,10 @@ impl<O: NetObserver> Sim<O> {
                             .schedule(now, Event::PortReady { node, port: 0 });
                     }
                 }
-                Err((reason, pkt)) => self.observer.on_drop(&pkt, reason, node, now),
+                Err((reason, pkt)) => {
+                    audit::flow_drop(&pkt);
+                    self.observer.on_drop(&pkt, reason, node, now)
+                }
             }
         }
         for (at, token) in scratch.timers.drain(..) {

@@ -1,6 +1,7 @@
 //! Output-queued switch with shared-buffer dynamic thresholds, per-class
 //! queue mapping, and ECMP routing.
 
+use crate::audit;
 use crate::packet::{Packet, TrafficClass};
 use crate::port::{Port, PortConfig};
 use crate::queue::DropReason;
@@ -116,6 +117,7 @@ pub struct Switch {
     class_map: ClassMap,
     shared_buffer: Option<(u64, f64)>,
     counters: SwitchCounters,
+    audit_id: audit::ComponentId,
 }
 
 impl Switch {
@@ -128,6 +130,7 @@ impl Switch {
             class_map: profile.class_map,
             shared_buffer: profile.shared_buffer,
             counters: SwitchCounters::default(),
+            audit_id: audit::new_component_id(),
         }
     }
 
@@ -190,6 +193,7 @@ impl Switch {
                     self.counters.dropped_buffer += 1;
                     return Err((DropReason::Buffer, pkt));
                 }
+                audit::shared_buffer(self.audit_id, used + size, total);
             }
         }
 

@@ -27,7 +27,7 @@ impl FlowSizeCdf {
         assert!(points.len() >= 2, "need at least two CDF points");
         assert!(points[0].1 >= 0.0);
         assert!(
-            (points.last().unwrap().1 - 1.0).abs() < 1e-9,
+            (points.last().expect("non-empty").1 - 1.0).abs() < 1e-9,
             "CDF must end at 1"
         );
         for w in points.windows(2) {
@@ -59,14 +59,14 @@ impl FlowSizeCdf {
             let (x0, c0) = w[0];
             let (x1, c1) = w[1];
             if u <= c1 {
-                if c1 == c0 {
+                if c1 <= c0 {
                     return x1 as u64;
                 }
                 let f = (u - c0) / (c1 - c0);
                 return (x0 + f * (x1 - x0)).max(1.0) as u64;
             }
         }
-        self.points.last().unwrap().0 as u64
+        self.points.last().expect("non-empty").0 as u64
     }
 
     /// Analytic mean of the piecewise-linear distribution, in bytes.

@@ -1,0 +1,58 @@
+//! Run a simulation under the runtime invariant auditor and print its
+//! report: audited event/queue/flow counters plus any conservation or
+//! ordering violations (DESIGN.md "Determinism & invariants").
+//!
+//! ```text
+//! cargo run --release --example audit_report
+//! ```
+
+use flexpass::config::FlexPassConfig;
+use flexpass::profiles::{flexpass_profile, host_variant, ProfileParams};
+use flexpass::FlexPassFactory;
+use flexpass_metrics::Recorder;
+use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simnet::audit;
+use flexpass_simnet::packet::FlowSpec;
+use flexpass_simnet::sim::Sim;
+use flexpass_simnet::topology::Topology;
+
+fn main() {
+    // Arm the auditor for this thread before building the simulation, so
+    // component ids and every hook from the first event are captured.
+    audit::install();
+
+    let params = ProfileParams::testbed(Rate::from_gbps(10));
+    let profile = flexpass_profile(&params);
+    let host = host_variant(&profile);
+    let topo = Topology::star(4, params.rate, TimeDelta::micros(5), &profile, &host);
+    let mut sim = Sim::new(
+        topo,
+        Box::new(FlexPassFactory::new(FlexPassConfig::new(0.5))),
+        Recorder::new(),
+    );
+    // A small incast: three senders into host 3.
+    for (id, src) in [(1u64, 0usize), (2, 1), (3, 2)] {
+        sim.schedule_flow(FlowSpec {
+            id,
+            src,
+            dst: 3,
+            size: 2_000_000,
+            start: Time::ZERO,
+            tag: 0,
+            fg: false,
+        });
+    }
+    sim.run_to_completion(TimeDelta::millis(20));
+
+    let report = audit::finish();
+    println!(
+        "flows completed: {} / 3 in {:?} ({} events)",
+        sim.observer.completed(),
+        sim.now(),
+        sim.events_processed()
+    );
+    println!("{report}");
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Determinism and conservation harness (DESIGN.md "Determinism &
+//! invariants").
+//!
+//! Two runs of the same scenario under the same seed must agree on every
+//! observable — event count, final virtual time, and each flow's completion
+//! time to the bit — and an audited run must report zero invariant
+//! violations.
+
+use flexpass::config::FlexPassConfig;
+use flexpass::profiles::{flexpass_profile, host_variant, ProfileParams};
+use flexpass::FlexPassFactory;
+use flexpass_metrics::Recorder;
+use flexpass_simcore::time::TimeDelta;
+use flexpass_simnet::audit;
+use flexpass_simnet::sim::Sim;
+use flexpass_simnet::topology::{ClosParams, Topology};
+use flexpass_workload::{background, BackgroundParams, FlowSizeCdf};
+
+/// A run's complete observable outcome. FCTs are compared by bit pattern:
+/// "close enough" is exactly the wiggle room determinism does not allow.
+#[derive(Debug, PartialEq, Eq)]
+struct Digest {
+    events: u64,
+    end_ns: u64,
+    completed: usize,
+    fcts: Vec<(u64, u64)>,
+    drops: Vec<u64>,
+}
+
+fn run_smoke(seed: u64) -> Digest {
+    let clos = ClosParams::small();
+    let flows = background(
+        &FlowSizeCdf::web_search().truncate(5_000_000.0),
+        &BackgroundParams {
+            n_hosts: clos.n_hosts(),
+            host_rate: clos.link_rate,
+            oversub: 3.0,
+            load: 0.5,
+            n_flows: 80,
+            seed,
+            first_id: 0,
+        },
+    );
+    let params = ProfileParams::simulation(clos.link_rate);
+    let profile = flexpass_profile(&params);
+    let host = host_variant(&profile);
+    let topo = Topology::clos(clos, &profile, &host);
+    let mut sim = Sim::new(
+        topo,
+        Box::new(FlexPassFactory::new(FlexPassConfig::new(0.5))),
+        Recorder::new(),
+    );
+    for f in &flows {
+        sim.schedule_flow(f.clone());
+    }
+    sim.run_to_completion(TimeDelta::millis(20));
+    let mut fcts: Vec<(u64, u64)> = sim
+        .observer
+        .flows
+        .iter()
+        .map(|r| (r.flow, r.fct.to_bits()))
+        .collect();
+    fcts.sort_unstable();
+    Digest {
+        events: sim.events_processed(),
+        end_ns: sim.now().as_nanos(),
+        completed: sim.observer.completed(),
+        fcts,
+        drops: sim.observer.drops.values().copied().collect(),
+    }
+}
+
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    let a = run_smoke(7);
+    let b = run_smoke(7);
+    assert!(a.events > 0 && a.completed > 0, "scenario ran: {a:?}");
+    assert_eq!(a, b, "same seed diverged");
+}
+
+#[test]
+fn audited_run_reports_zero_violations() {
+    audit::install();
+    let d = run_smoke(11);
+    let report = audit::finish();
+    assert!(d.completed > 0, "scenario ran: {d:?}");
+    assert!(report.is_clean(), "invariant violations:\n{report}");
+    // The hooks must actually have observed traffic, or a clean report
+    // proves nothing.
+    let c = report.counters;
+    assert!(c.events > 0, "no events audited");
+    assert!(
+        c.enqueues > 0 && c.dequeues > 0,
+        "no queue activity audited"
+    );
+    assert!(c.flow_rx_bytes > 0, "no delivered bytes audited");
+}

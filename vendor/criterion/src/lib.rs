@@ -1,0 +1,227 @@
+//! A small, dependency-free stand-in for the `criterion` crate.
+//!
+//! The container has no network access, so the real `criterion` cannot be
+//! fetched. This crate implements the subset of its API the workspace's
+//! benches use (`criterion_group!` with `config =`, `criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups, `Throughput`) and runs
+//! each benchmark for the configured sample count, printing mean wall time
+//! per iteration. There is no statistical analysis, warm-up discrimination,
+//! or HTML report — just enough to keep `cargo bench` compiling and useful
+//! as a smoke-plus-timing harness.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Soft cap on total measurement time (iterations stop early past it).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Number of untimed warm-up iterations is derived from this budget
+    /// (at most one iteration here — this is a smoke harness).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs `f` as the benchmark named `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(self, id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Entry point used by `criterion_main!`.
+    pub fn final_summary(&self) {}
+}
+
+/// Per-iteration work unit counts, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as the benchmark `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let mean = run_bench(self.criterion, &full, &mut f);
+        if let (Some(t), Some(mean)) = (self.throughput, mean) {
+            let secs = mean.as_secs_f64();
+            if secs > 0.0 {
+                match t {
+                    Throughput::Elements(n) => {
+                        println!("    thrpt: {:.3} Melem/s", n as f64 / secs / 1e6)
+                    }
+                    Throughput::Bytes(n) => {
+                        println!(
+                            "    thrpt: {:.3} MiB/s",
+                            n as f64 / secs / (1024.0 * 1024.0)
+                        )
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f` for the configured number of samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One untimed warm-up iteration.
+        black_box(f());
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// An opaque identity function that defeats constant folding.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, id: &str, f: &mut F) -> Option<Duration> {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size: c.sample_size,
+        budget: c.measurement_time,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id}: no samples");
+        return None;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{id}: mean {mean:?} (min {min:?}, max {max:?}, {} samples)",
+        b.samples.len()
+    );
+    Some(mean)
+}
+
+/// Declares a benchmark group; both the plain and `config =` forms are
+/// supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_example(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(1000));
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(example, bench_example);
+
+    #[test]
+    fn group_runs() {
+        example();
+    }
+}

@@ -1,0 +1,132 @@
+//! A small, dependency-free, deterministic stand-in for the `proptest` crate.
+//!
+//! The container used to grow this repository has no network access, so the
+//! real `proptest` cannot be fetched. This crate implements exactly the API
+//! surface the workspace's property tests use:
+//!
+//! * `proptest! { #![proptest_config(ProptestConfig::with_cases(n))] ... }`
+//! * numeric range strategies (`0u64..1000`, `0.05f64..0.95`, ...)
+//! * `prop::sample::select(vec![...])`
+//! * `prop::collection::vec(strategy, size_range)`
+//! * `Just`, `prop_map`, `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`
+//!
+//! Unlike the real proptest there is **no shrinking**: a failing case panics
+//! with the case number, and cases are fully deterministic — the per-case RNG
+//! is seeded from a hash of the test's module path, name, and case index, so
+//! a failure always reproduces bit-for-bit. That determinism is a feature
+//! here: this workspace's whole test philosophy (see DESIGN.md "Determinism &
+//! invariants") is that the same inputs always produce the same run.
+
+pub mod collection;
+pub mod config;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The user-facing prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs every test case body, panicking (with the case number) on failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+     $($(#[$meta:meta])* $vis:vis fn $name:ident($($p:pat in $s:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            $vis fn $name() {
+                let __config: $crate::config::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $p = $crate::strategy::Strategy::generate(&($s), &mut __rng);)*
+                    #[allow(unused_mut)]
+                    let mut __run = || -> () { $body };
+                    __run();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::config::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Picks one of several strategies uniformly per case.
+///
+/// Only the unweighted form is supported; all arms must yield the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::sample::select(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3u64..17, b in -2.5f64..2.5, n in 1usize..9) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-2.5..2.5).contains(&b));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes_respected(xs in prop::collection::vec(0u32..10, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn select_picks_members(x in prop::sample::select(vec![2usize, 4, 8])) {
+            prop_assert!(x == 2 || x == 4 || x == 8);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = crate::test_runner::TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,24 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniformly selects one element of a non-empty vector per case.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select over an empty set");
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.next_below(self.options.len() as u64) as usize;
+        self.options[i].clone()
+    }
+}

@@ -1,0 +1,311 @@
+//! Determinism static-analysis pass.
+//!
+//! The simulation must be bit-for-bit reproducible under a fixed seed, so a
+//! small set of constructs is banned from the simulation crates (`simcore`,
+//! `simnet`, `transport`, `core`) outside their test code:
+//!
+//! * `hash-collections` — `HashMap` / `HashSet`. Their iteration order is
+//!   randomized per process, so any simulation state kept in one can change
+//!   event order between runs. Use `BTreeMap` / `BTreeSet`.
+//! * `wall-clock` — `std::time::Instant` / `SystemTime`. Real time must
+//!   never leak into simulation logic; all time flows from the virtual
+//!   calendar (`simcore::time::Time`).
+//! * `ambient-rng` — `rand::thread_rng` / `rand::random`. All randomness
+//!   must come from an explicitly seeded `simcore::rng::SimRng`.
+//! * `float-time` — float↔time conversions (`as_secs_f64`,
+//!   `as_micros_f64`, `as_millis_f64`, `from_secs_f64`) outside
+//!   `simcore/src/time.rs`. Time arithmetic must stay in integer
+//!   nanoseconds; scaling by a float factor goes through the contained
+//!   `TimeDelta::mul_f64` / `Rate::scale` primitives instead of a seconds
+//!   round-trip.
+//!
+//! Escape hatch: a `lint:allow(<rule>)` comment on the offending line or
+//! the line directly above suppresses that rule (used for reporting-only
+//! conversions that never feed back into simulation state).
+//!
+//! The pass is text-based by design: the workspace builds offline with no
+//! parser dependencies, and the banned constructs are distinctive enough
+//! that token matching on comment-stripped lines is reliable. Test code
+//! (the conventional `#[cfg(test)]` tail module of each file, and `tests/`
+//! directories) is exempt — tests may use wall clocks and hash maps freely.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crate directories (relative to the workspace root) the pass covers.
+const LINTED_CRATES: &[&str] = &[
+    "crates/simcore",
+    "crates/simnet",
+    "crates/transport",
+    "crates/core",
+];
+
+/// A rule: name, substrings that trigger it, and a short rationale.
+struct Rule {
+    name: &'static str,
+    needles: &'static [&'static str],
+    why: &'static str,
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "hash-collections",
+        needles: &["HashMap", "HashSet"],
+        why: "randomized iteration order; use BTreeMap/BTreeSet",
+    },
+    Rule {
+        name: "wall-clock",
+        needles: &["std::time::Instant", "SystemTime", "Instant::now"],
+        why: "wall-clock time in simulation logic; use simcore::time",
+    },
+    Rule {
+        name: "ambient-rng",
+        needles: &["thread_rng", "rand::random"],
+        why: "unseeded randomness; use an explicitly seeded SimRng",
+    },
+    Rule {
+        name: "float-time",
+        needles: &[
+            ".as_secs_f64(",
+            ".as_micros_f64(",
+            ".as_millis_f64(",
+            "from_secs_f64(",
+        ],
+        why: "float time arithmetic outside simcore::time; keep time in integer ns",
+    },
+];
+
+/// The only file allowed to define/use the float↔time conversions.
+const FLOAT_TIME_HOME: &str = "crates/simcore/src/time.rs";
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File the finding is in (workspace-relative).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (e.g. `hash-collections`).
+    pub rule: &'static str,
+    /// The offending source line, trimmed.
+    pub text: String,
+    /// Why the construct is banned.
+    pub why: &'static str,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} ({})",
+            self.file, self.line, self.rule, self.text, self.why
+        )
+    }
+}
+
+/// Lints every `src/**/*.rs` file of the covered crates under `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for krate in LINTED_CRATES {
+        let src_dir = root.join(krate).join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for path in files {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = fs::read_to_string(&path)?;
+            findings.extend(lint_source(&rel, &src));
+        }
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one file's source text. `file` is the workspace-relative path,
+/// used for reporting and for the `time.rs` float-time exemption.
+pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut prev_allows: Vec<&str> = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        // Everything from the conventional test tail module on is exempt.
+        if raw.trim() == "#[cfg(test)]" {
+            break;
+        }
+        let allows = allow_list(raw);
+        // Strip the comment part so prose mentioning HashMap etc. in doc
+        // comments does not trigger; `lint:allow` was extracted above.
+        let code = raw.split("//").next().unwrap_or(raw);
+        for rule in RULES {
+            if rule.name == "float-time" && file.ends_with(FLOAT_TIME_HOME) {
+                continue;
+            }
+            if !rule.needles.iter().any(|n| code.contains(n)) {
+                continue;
+            }
+            if allows.contains(&rule.name) || prev_allows.contains(&rule.name) {
+                continue;
+            }
+            findings.push(Finding {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: rule.name,
+                text: raw.trim().to_string(),
+                why: rule.why,
+            });
+        }
+        prev_allows = allows;
+    }
+    findings
+}
+
+/// Rule names suppressed by `lint:allow(...)` comments on this line.
+fn allow_list(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(pos) = rest.find("lint:allow(") {
+        rest = &rest[pos + "lint:allow(".len()..];
+        if let Some(end) = rest.find(')') {
+            out.extend(rest[..end].split(',').map(str::trim));
+            rest = &rest[end..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(file: &str, src: &str) -> Vec<&'static str> {
+        lint_source(file, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn clean_source_passes() {
+        let src = r#"
+            use std::collections::BTreeMap;
+            fn f() {
+                let m: BTreeMap<u32, u32> = BTreeMap::new();
+                for (k, v) in &m { let _ = (k, v); }
+            }
+        "#;
+        assert!(lint_source("crates/simnet/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_iteration_flagged() {
+        let src = r#"
+            use std::collections::HashMap;
+            fn f(m: &HashMap<u32, u32>) {
+                for (k, v) in m.iter() { let _ = (k, v); }
+            }
+        "#;
+        let hits = rules_hit("crates/simnet/src/x.rs", src);
+        assert!(hits.iter().all(|&r| r == "hash-collections"));
+        assert_eq!(hits.len(), 2); // the use and the signature
+    }
+
+    #[test]
+    fn thread_rng_flagged() {
+        let src = "fn f() { let mut r = rand::thread_rng(); }";
+        assert_eq!(rules_hit("crates/core/src/x.rs", src), ["ambient-rng"]);
+    }
+
+    #[test]
+    fn wall_clock_flagged() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(rules_hit("crates/simcore/src/x.rs", src), ["wall-clock"]);
+    }
+
+    #[test]
+    fn float_time_flagged_outside_time_rs() {
+        let src = "fn f(d: TimeDelta) -> f64 { d.as_secs_f64() * 2.0 }";
+        assert_eq!(rules_hit("crates/transport/src/x.rs", src), ["float-time"]);
+    }
+
+    #[test]
+    fn float_time_allowed_in_time_rs() {
+        let src = "pub fn as_secs_f64(self) -> f64 { self.0 as f64 / 1e9 }";
+        assert!(lint_source("crates/simcore/src/time.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_line() {
+        let src = "fn f(d: TimeDelta) -> f64 { d.as_secs_f64() } // lint:allow(float-time)";
+        assert!(lint_source("crates/simnet/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_next_line() {
+        let src = "// lint:allow(wall-clock): profiling aid\nfn f() { let _ = std::time::Instant::now(); }";
+        assert!(lint_source("crates/simnet/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_does_not_leak_past_one_line() {
+        let src =
+            "// lint:allow(wall-clock)\nfn ok() {}\nfn f() { let _ = std::time::Instant::now(); }";
+        assert_eq!(rules_hit("crates/simnet/src/x.rs", src), ["wall-clock"]);
+    }
+
+    #[test]
+    fn test_tail_module_exempt() {
+        let src = r#"
+fn prod() {}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    fn t() { let _ = std::time::Instant::now(); let _: HashMap<u8, u8> = HashMap::new(); }
+}
+"#;
+        assert!(lint_source("crates/simnet/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_prose_not_flagged() {
+        let src = "/// Unlike a HashMap, iteration order here is stable.\nfn f() {}";
+        assert!(lint_source("crates/simnet/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn repo_is_currently_clean() {
+        // The workspace itself must pass its own lint; run it from the
+        // xtask test binary so `cargo test` catches regressions without a
+        // separate CI step.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .expect("workspace root")
+            .to_path_buf();
+        let findings = lint_workspace(&root).expect("walk workspace");
+        assert!(
+            findings.is_empty(),
+            "determinism lint found:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

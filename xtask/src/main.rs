@@ -1,0 +1,63 @@
+//! Workspace automation tasks, invoked as `cargo xtask <task>`.
+//!
+//! Currently one task: `lint`, the determinism static-analysis pass over
+//! the simulation crates (see `lint.rs` and DESIGN.md "Determinism &
+//! invariants").
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => run_lint(),
+        Some("help") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown task `{other}`");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: cargo xtask <task>");
+    eprintln!();
+    eprintln!("tasks:");
+    eprintln!("  lint    run the determinism lint over the simulation crates");
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    match lint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("xtask lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root is one level above this crate's manifest dir.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .expect("xtask crate lives directly under the workspace root")
+        .to_path_buf()
+}
