@@ -38,7 +38,7 @@ fn long_flow(id: u64, src: usize, dst: usize, tag: u32) -> FlowSpec {
         id,
         src,
         dst,
-        size: 500_000_000,
+        size: flexpass_simcore::units::Bytes::new(500_000_000),
         start: Time::ZERO,
         tag,
         fg: false,

@@ -16,6 +16,7 @@ fn tuned() -> Criterion {
 use flexpass_simcore::event::EventQueue;
 use flexpass_simcore::rng::SimRng;
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simcore::units::{Bytes, WireBytes};
 use flexpass_simnet::consts::DATA_WIRE;
 use flexpass_simnet::packet::{DataInfo, Packet, Payload, Subflow, TrafficClass};
 use flexpass_simnet::port::{Decision, Port, PortConfig, QueueSched};
@@ -52,7 +53,7 @@ fn data_pkt(flow: u64) -> Packet {
             flow_seq: 0,
             sub_seq: 0,
             sub: Subflow::Only,
-            payload: 1460,
+            payload: Bytes::new(1460),
             retx: false,
         }),
     )
@@ -63,11 +64,11 @@ fn bench_dwrr_port(c: &mut Criterion) {
         rate: Rate::from_gbps(40),
         queues: vec![
             (
-                QueueConfig::plain().with_ecn(65_000),
+                QueueConfig::plain().with_ecn(WireBytes::new(65_000)),
                 QueueSched::weighted(1, 0.5),
             ),
             (
-                QueueConfig::plain().with_ecn(100_000),
+                QueueConfig::plain().with_ecn(WireBytes::new(100_000)),
                 QueueSched::weighted(1, 0.5),
             ),
         ],
@@ -118,7 +119,7 @@ fn bench_end_to_end_packets(c: &mut Criterion) {
                 id: 1,
                 src: 0,
                 dst: 2,
-                size: 2_000_000,
+                size: Bytes::new(2_000_000),
                 start: Time::ZERO,
                 tag: 0,
                 fg: false,

@@ -42,7 +42,7 @@ pub struct LySender {
 impl LySender {
     /// Creates a sender for `spec`.
     pub fn new(spec: FlowSpec, cfg: EpConfig, _env: &NetEnv) -> Self {
-        let n = packets_for(spec.size);
+        let n = packets_for(spec.size).get();
         LySender {
             spec,
             cfg,
@@ -128,10 +128,10 @@ impl LySender {
                 self.inflight += 1;
                 let pay = payload_of_packet(self.spec.size, seq);
                 self.stats.data_pkts += 1;
-                self.stats.data_bytes += pay;
+                self.stats.data_bytes += pay.get();
                 if retx {
                     self.stats.retx_pkts += 1;
-                    self.stats.redundant_bytes += pay;
+                    self.stats.redundant_bytes += pay.get();
                 }
                 ctx.send(
                     Packet::new(
@@ -144,7 +144,7 @@ impl LySender {
                             flow_seq: seq,
                             sub_seq: credit.idx,
                             sub: Subflow::Only,
-                            payload: pay as u32,
+                            payload: pay,
                             retx,
                         }),
                     )
@@ -277,6 +277,7 @@ impl Endpoint for LySender {
 mod tests {
     use super::*;
     use flexpass_simcore::time::Rate;
+    use flexpass_simcore::units::Bytes;
     use flexpass_simnet::packet::TrafficClass;
 
     fn env() -> NetEnv {
@@ -292,7 +293,7 @@ mod tests {
             id: 3,
             src: 0,
             dst: 1,
-            size,
+            size: Bytes::new(size),
             start: Time::ZERO,
             tag: 0,
             fg: false,

@@ -37,6 +37,7 @@
 //! use flexpass::profiles::{flexpass_profile, ProfileParams};
 //! use flexpass::FlexPassFactory;
 //! use flexpass_simcore::time::{Rate, Time, TimeDelta};
+//! use flexpass_simcore::units::Bytes;
 //! use flexpass_simnet::packet::FlowSpec;
 //! use flexpass_simnet::sim::{NullObserver, Sim};
 //! use flexpass_simnet::topology::Topology;
@@ -47,7 +48,7 @@
 //! let cfg = FlexPassConfig::new(0.5);
 //! let mut sim = Sim::new(topo, Box::new(FlexPassFactory::new(cfg)), NullObserver);
 //! sim.schedule_flow(FlowSpec {
-//!     id: 1, src: 0, dst: 2, size: 100_000, start: Time::ZERO, tag: 0, fg: false,
+//!     id: 1, src: 0, dst: 2, size: Bytes::new(100_000), start: Time::ZERO, tag: 0, fg: false,
 //! });
 //! sim.run_to_completion(TimeDelta::millis(5));
 //! assert_eq!(sim.flows_completed(), 1);

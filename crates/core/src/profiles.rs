@@ -5,6 +5,7 @@
 //! buffer settings.
 
 use flexpass_simcore::time::Rate;
+use flexpass_simcore::units::WireBytes;
 use flexpass_simnet::consts::{CREDIT_RATE_FULL_FRACTION, CTRL_WIRE};
 use flexpass_simnet::port::{PortConfig, QueueSched};
 use flexpass_simnet::queue::QueueConfig;
@@ -17,16 +18,16 @@ pub struct ProfileParams {
     pub rate: Rate,
     /// Queue weight for the new transport (Q1); legacy gets `1 - wq`.
     pub wq: f64,
-    /// ECN step-marking threshold on the FlexPass queue (Q1), bytes.
-    pub fp_ecn: u64,
-    /// Selective-drop threshold for red (reactive) bytes on Q1, bytes.
-    pub fp_red: u64,
-    /// ECN threshold on the legacy queue (Q2), bytes.
-    pub legacy_ecn: u64,
+    /// ECN step-marking threshold on the FlexPass queue (Q1).
+    pub fp_ecn: WireBytes,
+    /// Selective-drop threshold for red (reactive) bytes on Q1.
+    pub fp_red: WireBytes,
+    /// ECN threshold on the legacy queue (Q2).
+    pub legacy_ecn: WireBytes,
     /// Switch shared buffer and dynamic threshold alpha.
-    pub shared_buffer: (u64, f64),
+    pub shared_buffer: (WireBytes, f64),
     /// Static credit-queue buffer (paper: < 1 kB).
-    pub credit_cap: u64,
+    pub credit_cap: WireBytes,
 }
 
 impl ProfileParams {
@@ -35,11 +36,11 @@ impl ProfileParams {
         ProfileParams {
             rate,
             wq: 0.5,
-            fp_ecn: 65_000,
-            fp_red: 150_000,
-            legacy_ecn: 100_000,
-            shared_buffer: (4_500_000, 0.25),
-            credit_cap: 1_000,
+            fp_ecn: WireBytes::new(65_000),
+            fp_red: WireBytes::new(150_000),
+            legacy_ecn: WireBytes::new(100_000),
+            shared_buffer: (WireBytes::new(4_500_000), 0.25),
+            credit_cap: WireBytes::new(1_000),
         }
     }
 
@@ -48,19 +49,19 @@ impl ProfileParams {
         ProfileParams {
             rate,
             wq: 0.5,
-            fp_ecn: 60_000,
-            fp_red: 100_000,
-            legacy_ecn: 60_000,
-            shared_buffer: (4_500_000, 0.25),
-            credit_cap: 1_000,
+            fp_ecn: WireBytes::new(60_000),
+            fp_red: WireBytes::new(100_000),
+            legacy_ecn: WireBytes::new(60_000),
+            shared_buffer: (WireBytes::new(4_500_000), 0.25),
+            credit_cap: WireBytes::new(1_000),
         }
     }
 
     /// Credit-queue shaper for a given data-rate fraction: the credit rate
     /// that triggers `frac` of the line rate in data.
-    fn credit_shaper(&self, frac: f64) -> (Rate, u64) {
+    fn credit_shaper(&self, frac: f64) -> (Rate, WireBytes) {
         let rate = self.rate.scale(CREDIT_RATE_FULL_FRACTION * frac);
-        (rate, 2 * CTRL_WIRE as u64)
+        (rate, CTRL_WIRE * 2)
     }
 }
 
@@ -239,6 +240,7 @@ pub fn host_variant(profile: &SwitchProfile) -> SwitchProfile {
 #[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
+    use flexpass_simcore::units::Bytes;
     use flexpass_simnet::consts::DATA_WIRE;
     use flexpass_simnet::packet::{DataInfo, Packet, Payload, Subflow, TrafficClass};
 
@@ -253,7 +255,7 @@ mod tests {
                 flow_seq: 0,
                 sub_seq: 0,
                 sub: Subflow::Only,
-                payload: 1460,
+                payload: Bytes::new(1460),
                 retx: false,
             }),
         )
@@ -270,8 +272,8 @@ mod tests {
         assert!((rate.as_bps() as f64 - expect).abs() / expect < 0.01);
         // Q1: ECN 65 kB, red 150 kB, weight 0.5.
         let q1 = &prof.port.queues[1].0;
-        assert_eq!(q1.ecn_threshold, Some(65_000));
-        assert_eq!(q1.red_threshold, Some(150_000));
+        assert_eq!(q1.ecn_threshold, Some(WireBytes::new(65_000)));
+        assert_eq!(q1.red_threshold, Some(WireBytes::new(150_000)));
         // Class mapping.
         assert_eq!(prof.class_map.queue_for(&pkt(TrafficClass::NewData)), 1);
         assert_eq!(prof.class_map.queue_for(&pkt(TrafficClass::Legacy)), 2);
@@ -330,8 +332,8 @@ mod tests {
     #[test]
     fn testbed_params_match_section_6_1() {
         let p = ProfileParams::testbed(Rate::from_gbps(10));
-        assert_eq!(p.fp_ecn, 60_000);
-        assert_eq!(p.fp_red, 100_000);
+        assert_eq!(p.fp_ecn, WireBytes::new(60_000));
+        assert_eq!(p.fp_red, WireBytes::new(100_000));
         assert_eq!(p.wq, 0.5);
     }
 }

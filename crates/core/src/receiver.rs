@@ -47,6 +47,7 @@ impl FlexPassReceiver {
     pub fn new(spec: FlowSpec, cfg: FlexPassConfig, env: &NetEnv) -> Self {
         let n = packets_for(spec.size);
         let reasm = Reassembly::new(spec.size, n);
+        let n = n.get();
         let mut ep = cfg.ep;
         if cfg.credit_policy == CreditPolicy::FixedRate {
             // pHost-style: pace at the guaranteed rate from the start and
@@ -146,7 +147,7 @@ impl FlexPassReceiver {
                 stats: RxStats {
                     pkts_received: self.reasm.received_count() as u64 + self.reasm.duplicates(),
                     dup_pkts: self.reasm.duplicates(),
-                    reorder_peak_bytes: self.reasm.reorder_peak(),
+                    reorder_peak_bytes: self.reasm.reorder_peak().get(),
                 },
             });
             ctx.set_timer(
@@ -207,6 +208,7 @@ impl Endpoint for FlexPassReceiver {
 mod tests {
     use super::*;
     use flexpass_simcore::time::{Rate, Time};
+    use flexpass_simcore::units::Bytes;
     use flexpass_simnet::consts::data_wire_bytes;
 
     fn env() -> NetEnv {
@@ -222,7 +224,7 @@ mod tests {
             id: 7,
             src: 0,
             dst: 1,
-            size,
+            size: Bytes::new(size),
             start: Time::ZERO,
             tag: 0,
             fg: false,
@@ -248,13 +250,13 @@ mod tests {
             7,
             0,
             1,
-            data_wire_bytes(1460),
+            data_wire_bytes(Bytes::new(1460)),
             TrafficClass::NewData,
             Payload::Data(DataInfo {
                 flow_seq,
                 sub_seq,
                 sub,
-                payload: 1460,
+                payload: Bytes::new(1460),
                 retx: false,
             }),
         );

@@ -5,6 +5,7 @@
 //! (§6.2). Everything else stays on DCTCP.
 
 use flexpass_simcore::rng::SimRng;
+use flexpass_simcore::units::Bytes;
 use flexpass_simnet::endpoint::Endpoint;
 use flexpass_simnet::packet::FlowSpec;
 use flexpass_simnet::sim::{NetEnv, TransportFactory};
@@ -141,18 +142,18 @@ impl Deployment {
     /// Fraction of the given flows' bytes that would ride the new
     /// transport — the oracle input for oWF queue weights.
     pub fn upgraded_byte_fraction(&self, flows: &[FlowSpec]) -> f64 {
-        let mut total = 0u64;
-        let mut upgraded = 0u64;
+        let mut total = Bytes::ZERO;
+        let mut upgraded = Bytes::ZERO;
         for f in flows {
             total += f.size;
             if self.flow_upgraded(f) {
                 upgraded += f.size;
             }
         }
-        if total == 0 {
+        if total.is_zero() {
             0.0
         } else {
-            upgraded as f64 / total as f64
+            upgraded.as_f64() / total.as_f64()
         }
     }
 }
@@ -241,7 +242,7 @@ mod tests {
             id: 1,
             src,
             dst,
-            size: 1000,
+            size: Bytes::new(1000),
             start: Time::ZERO,
             tag: 0,
             fg: false,
@@ -297,11 +298,11 @@ mod tests {
         };
         let flows = vec![
             FlowSpec {
-                size: 3000,
+                size: Bytes::new(3000),
                 ..spec(0, 1)
             },
             FlowSpec {
-                size: 1000,
+                size: Bytes::new(1000),
                 ..spec(0, 2)
             },
         ];

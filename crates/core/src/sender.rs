@@ -117,7 +117,7 @@ pub struct FlexPassSender {
 impl FlexPassSender {
     /// Creates a sender for `spec`.
     pub fn new(spec: FlowSpec, cfg: FlexPassConfig, _env: &NetEnv) -> Self {
-        let n = packets_for(spec.size);
+        let n = packets_for(spec.size).get();
         FlexPassSender {
             spec,
             cfg,
@@ -129,7 +129,7 @@ impl FlexPassSender {
             proactive: SubflowTx::default(),
             rwin: DctcpWindow::new(cfg.init_cwnd, cfg.g, cfg.max_cwnd),
             head: 0,
-            tail: n as i64 - 1,
+            tail: i64::from(n) - 1,
             acked: 0,
             rtt: RttEstimator::new(cfg.min_rto),
             last_progress: Time::ZERO,
@@ -231,7 +231,7 @@ impl FlexPassSender {
                 flow_seq,
                 sub_seq,
                 sub,
-                payload: pay as u32,
+                payload: pay,
                 retx,
             }),
         );
@@ -253,7 +253,7 @@ impl FlexPassSender {
         self.sent_reactive.insert(flow_seq);
         let pay = payload_of_packet(self.spec.size, flow_seq);
         self.stats.data_pkts += 1;
-        self.stats.data_bytes += pay;
+        self.stats.data_bytes += pay.get();
         ctx.send(self.data_packet(flow_seq, Subflow::Reactive, sub_seq, false));
         self.arm_rto(ctx);
         self.arm_reactive_rto(ctx);
@@ -318,11 +318,11 @@ impl FlexPassSender {
         match kind {
             Kind::LossRecovery => {
                 self.stats.retx_pkts += 1;
-                self.stats.redundant_bytes += pay;
+                self.stats.redundant_bytes += pay.get();
             }
             Kind::ProactiveRetx => {
                 self.stats.proactive_retx_pkts += 1;
-                self.stats.redundant_bytes += pay;
+                self.stats.redundant_bytes += pay.get();
             }
             Kind::NewData => {}
         }
@@ -332,7 +332,7 @@ impl FlexPassSender {
         self.sent_reactive.remove(&flow_seq);
         self.states[flow_seq as usize] = PktState::SentProactive;
         self.stats.data_pkts += 1;
-        self.stats.data_bytes += pay;
+        self.stats.data_bytes += pay.get();
         ctx.send(self.data_packet(flow_seq, Subflow::Proactive, sub_seq, retx));
         self.arm_rto(ctx);
     }
@@ -575,6 +575,7 @@ impl Endpoint for FlexPassSender {
 mod tests {
     use super::*;
     use flexpass_simcore::time::Rate;
+    use flexpass_simcore::units::Bytes;
     use flexpass_simnet::packet::Color;
 
     fn env() -> NetEnv {
@@ -590,7 +591,7 @@ mod tests {
             id: 5,
             src: 0,
             dst: 1,
-            size,
+            size: Bytes::new(size),
             start: Time::ZERO,
             tag: 0,
             fg: false,

@@ -5,6 +5,7 @@ use flexpass::config::FlexPassConfig;
 use flexpass::FlexPassSender;
 use flexpass_simcore::rng::SimRng;
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simcore::units::Bytes;
 use flexpass_simnet::consts::CTRL_WIRE;
 use flexpass_simnet::endpoint::{AppEvent, Endpoint, EndpointCtx};
 use flexpass_simnet::packet::{
@@ -27,7 +28,7 @@ fn spec(n_pkts: u32) -> FlowSpec {
         id: 9,
         src: 0,
         dst: 1,
-        size: n_pkts as u64 * 1460,
+        size: Bytes::new(1460) * u64::from(n_pkts),
         start: Time::ZERO,
         tag: 0,
         fg: false,

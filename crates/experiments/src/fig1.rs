@@ -5,6 +5,7 @@
 use flexpass::profiles::{homa_mix_profile, naive_profile, ProfileParams};
 use flexpass_metrics::Recorder;
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simcore::units::Bytes;
 use flexpass_simnet::endpoint::Endpoint;
 use flexpass_simnet::packet::FlowSpec;
 use flexpass_simnet::sim::{NetEnv, TransportFactory};
@@ -72,7 +73,7 @@ fn long_flow(id: u64, src: usize, dst: usize, tag: u32) -> FlowSpec {
         id,
         src,
         dst,
-        size: 500_000_000,
+        size: Bytes::new(500_000_000),
         start: Time::ZERO,
         tag,
         fg: false,

@@ -7,6 +7,7 @@ use flexpass::profiles::{flexpass_profile, ProfileParams};
 use flexpass::schemes::{Deployment, Scheme, SchemeFactory};
 use flexpass_metrics::Recorder;
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simcore::units::Bytes;
 use flexpass_simnet::packet::{FlowSpec, Subflow};
 
 use crate::csvout::{f, Csv};
@@ -17,7 +18,7 @@ fn long_flow(id: u64, src: usize, dst: usize, tag: u32) -> FlowSpec {
         id,
         src,
         dst,
-        size: 500_000_000,
+        size: Bytes::new(500_000_000),
         start: Time::ZERO,
         tag,
         fg: false,

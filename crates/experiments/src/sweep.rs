@@ -110,9 +110,9 @@ pub fn build_flows(spec: &SweepSpec, deployment: &Deployment, n_hosts: usize) ->
     if spec.mixed {
         // Foreground = 10 % of total volume; per paper each event has every
         // other host send four 8 kB flows (fanout shrinks with smoke scale).
-        let bg_bytes: u64 = flows.iter().map(|fl| fl.size).sum();
+        let bg_bytes: flexpass_simcore::units::Bytes = flows.iter().map(|fl| fl.size).sum();
         let span = flows.last().map_or(1.0, |fl| fl.start.as_secs_f64());
-        let fg_bps = bg_bytes as f64 * 8.0 / span / 9.0;
+        let fg_bps = bg_bytes.as_f64() * 8.0 / span / 9.0;
         let fanout = (n_hosts - 1).min(47);
         let event_bytes = (fanout * 4) as f64 * 8_000.0;
         let n_events = ((fg_bps / 8.0 * span) / event_bytes).ceil() as usize;
@@ -181,7 +181,7 @@ fn run_point_once(scheme: Scheme, ratio: f64, spec: &SweepSpec) -> SweepPoint {
 
     let mut params = ProfileParams::simulation(clos.link_rate);
     params.wq = spec.wq;
-    params.fp_red = spec.sel_drop;
+    params.fp_red = flexpass_simcore::units::WireBytes::new(spec.sel_drop);
     let profile = scheme.profile(&params, frac);
     let host = flexpass::profiles::host_variant(&profile);
     let topo = Topology::clos(clos, &profile, &host);

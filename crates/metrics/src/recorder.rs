@@ -243,7 +243,7 @@ impl NetObserver for Recorder {
                 if let Some((spec, start)) = self.specs.get(flow) {
                     self.flows.push(FlowRecord {
                         flow: *flow,
-                        size: spec.size,
+                        size: spec.size.get(),
                         fct: now.saturating_since(*start).as_secs_f64(),
                         tag: spec.tag,
                         fg: spec.fg,
@@ -274,7 +274,7 @@ impl NetObserver for Recorder {
                 self.series
                     .entry((tag, d.sub))
                     .or_insert_with(|| TimeSeries::new(bin))
-                    .add(now, d.payload as f64);
+                    .add(now, d.payload.as_f64());
             }
         }
     }
@@ -289,12 +289,12 @@ impl NetObserver for Recorder {
     fn on_queue_sample(&mut self, _node: NodeId, _port: usize, s: &QueueSample, _now: Time) {
         if let Some(q) = self.queue_watch {
             if q < s.bytes.len() {
-                self.q_bytes.push(s.bytes[q] as f64);
-                if s.bytes[q] > 0 {
-                    self.q_busy_bytes.push(s.bytes[q] as f64);
+                self.q_bytes.push(s.bytes[q].as_f64());
+                if !s.bytes[q].is_zero() {
+                    self.q_busy_bytes.push(s.bytes[q].as_f64());
                 }
-                self.q_red_bytes.push(s.red_bytes[q] as f64);
-                self.q_peak = self.q_peak.max(s.bytes[q]);
+                self.q_red_bytes.push(s.red_bytes[q].as_f64());
+                self.q_peak = self.q_peak.max(s.bytes[q].get());
             }
         }
     }
@@ -305,6 +305,7 @@ impl NetObserver for Recorder {
 #[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
+    use flexpass_simcore::units::{Bytes, WireBytes};
     use flexpass_simnet::endpoint::RxStats;
 
     fn spec(id: u64, size: u64, tag: u32) -> FlowSpec {
@@ -312,7 +313,7 @@ mod tests {
             id,
             src: 0,
             dst: 1,
-            size,
+            size: Bytes::new(size),
             start: Time::ZERO,
             tag,
             fg: false,
@@ -373,13 +374,13 @@ mod tests {
             1,
             0,
             1,
-            data_wire_bytes(1460),
+            data_wire_bytes(Bytes::new(1460)),
             TrafficClass::NewData,
             Payload::Data(DataInfo {
                 flow_seq: 0,
                 sub_seq: 0,
                 sub: Subflow::Proactive,
-                payload: 1460,
+                payload: Bytes::new(1460),
                 retx: false,
             }),
         );
@@ -403,8 +404,8 @@ mod tests {
         let mut r = Recorder::new().with_queue_watch(1);
         for i in 0..100u64 {
             let s = QueueSample {
-                bytes: vec![0, i * 1000, 0],
-                red_bytes: vec![0, i * 400, 0],
+                bytes: vec![WireBytes::ZERO, WireBytes::new(i * 1000), WireBytes::ZERO],
+                red_bytes: vec![WireBytes::ZERO, WireBytes::new(i * 400), WireBytes::ZERO],
             };
             r.on_queue_sample(0, 0, &s, Time::from_micros(i));
         }

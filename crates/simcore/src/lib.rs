@@ -9,6 +9,8 @@
 //! * [`rng`] — seeded deterministic randomness and a symmetric flow hash for
 //!   ECMP path selection.
 //! * [`stats`] — online mean/variance, exact percentiles, time-binned series.
+//! * [`units`] — byte-accounting newtypes ([`Bytes`], [`WireBytes`],
+//!   [`PktCount`]) keeping payload and wire bytes apart at compile time.
 //!
 //! # Examples
 //!
@@ -28,8 +30,10 @@ pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod units;
 
 pub use event::EventQueue;
 pub use rng::SimRng;
 pub use stats::{OnlineStats, Percentiles, TimeSeries};
 pub use time::{Rate, Time, TimeDelta};
+pub use units::{Bytes, PktCount, WireBytes};

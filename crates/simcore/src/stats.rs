@@ -240,6 +240,7 @@ impl TimeSeries {
 
     /// Adds `value` to the bin containing instant `t`.
     pub fn add(&mut self, t: Time, value: f64) {
+        // lint:allow(raw-cast): ns / ns is a dimensionless bin index
         let idx = (t.as_nanos() / self.bin.as_nanos()) as usize;
         if idx >= self.bins.len() {
             self.bins.resize(idx + 1, 0.0);
@@ -270,7 +271,9 @@ impl TimeSeries {
     /// Returns 0 if the window contains no bins.
     pub fn fraction_below(&self, threshold: f64, from: Time, to: Time) -> f64 {
         let w = self.bin.as_nanos();
+        // lint:allow(raw-cast): ns / ns is a dimensionless bin index
         let lo = (from.as_nanos() / w) as usize;
+        // lint:allow(raw-cast): ns / ns is a dimensionless bin index
         let hi = to.as_nanos().div_ceil(w) as usize;
         let hi = hi.min(self.bins.len());
         if lo >= hi {

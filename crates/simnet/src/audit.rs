@@ -15,6 +15,8 @@
 //! assert!(report.is_clean(), "{report}");
 //! ```
 
+use flexpass_simcore::units::WireBytes;
+
 use crate::packet::{Packet, Payload};
 
 #[cfg(feature = "audit")]
@@ -33,31 +35,31 @@ fn info(pkt: &Packet) -> PktInfo {
         flow: pkt.flow,
         seq,
         data: pkt.is_data(),
-        payload_bytes: pkt.payload_bytes(),
-        wire_bytes: pkt.wire as u64,
+        payload_bytes: pkt.payload_bytes().get(),
+        wire_bytes: pkt.wire.get(),
     }
 }
 
 /// Queue `q` admitted `pkt`; the queue now claims `bytes_after` queued bytes.
-pub fn enqueue(q: ComponentId, pkt: &Packet, bytes_after: u64) {
+pub fn enqueue(q: ComponentId, pkt: &Packet, bytes_after: WireBytes) {
     #[cfg(feature = "audit")]
-    flexpass_simaudit::on_enqueue(q, info(pkt), bytes_after);
+    flexpass_simaudit::on_enqueue(q, info(pkt), bytes_after.get());
     #[cfg(not(feature = "audit"))]
     let _ = (q, pkt, bytes_after);
 }
 
 /// Queue `q` released `pkt`; the queue now claims `bytes_after` queued bytes.
-pub fn dequeue(q: ComponentId, pkt: &Packet, bytes_after: u64) {
+pub fn dequeue(q: ComponentId, pkt: &Packet, bytes_after: WireBytes) {
     #[cfg(feature = "audit")]
-    flexpass_simaudit::on_dequeue(q, info(pkt), bytes_after);
+    flexpass_simaudit::on_dequeue(q, info(pkt), bytes_after.get());
     #[cfg(not(feature = "audit"))]
     let _ = (q, pkt, bytes_after);
 }
 
 /// Switch `sw` has `used` of `pool` shared-buffer bytes admitted.
-pub fn shared_buffer(sw: ComponentId, used: u64, pool: u64) {
+pub fn shared_buffer(sw: ComponentId, used: WireBytes, pool: WireBytes) {
     #[cfg(feature = "audit")]
-    flexpass_simaudit::on_shared_buffer(sw, used, pool);
+    flexpass_simaudit::on_shared_buffer(sw, used.get(), pool.get());
     #[cfg(not(feature = "audit"))]
     let _ = (sw, used, pool);
 }

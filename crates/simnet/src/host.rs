@@ -7,6 +7,7 @@
 use std::collections::BTreeMap;
 
 use flexpass_simcore::time::Time;
+use flexpass_simcore::units::Bytes;
 
 use crate::endpoint::{AppEvent, Endpoint, EndpointCtx};
 use crate::packet::{FlowId, HostId, Packet};
@@ -22,7 +23,7 @@ pub struct HostCounters {
     /// Packets dropped at the NIC egress, by any reason.
     pub nic_drops: u64,
     /// Data bytes received by endpoints on this host.
-    pub rx_data_bytes: u64,
+    pub rx_data_bytes: Bytes,
 }
 
 /// An end host: NIC port + transport endpoints.
@@ -149,13 +150,17 @@ mod tests {
     use crate::port::{PortConfig, QueueSched};
     use crate::queue::QueueConfig;
     use flexpass_simcore::time::Rate;
+    use flexpass_simcore::units::WireBytes;
 
     fn profile() -> SwitchProfile {
         SwitchProfile {
             port: PortConfig {
                 rate: Rate::from_gbps(10),
                 queues: vec![
-                    (QueueConfig::capped(1_000), QueueSched::strict(0)),
+                    (
+                        QueueConfig::capped(WireBytes::new(1_000)),
+                        QueueSched::strict(0),
+                    ),
                     (QueueConfig::plain(), QueueSched::weighted(1, 0.5)),
                     (QueueConfig::plain(), QueueSched::weighted(1, 0.5)),
                 ],

@@ -2,6 +2,7 @@
 
 use flexpass_simcore::rng::symmetric_flow_hash;
 use flexpass_simcore::time::Time;
+use flexpass_simcore::units::{Bytes, WireBytes};
 
 /// Globally unique flow identifier.
 pub type FlowId = u64;
@@ -22,7 +23,7 @@ pub struct FlowSpec {
     /// Receiving host.
     pub dst: HostId,
     /// Application bytes to transfer.
-    pub size: u64,
+    pub size: Bytes,
     /// Flow arrival time.
     pub start: Time,
     /// Metrics grouping label (scheme-defined).
@@ -82,7 +83,7 @@ pub struct DataInfo {
     /// Sub-flow the packet was sent on.
     pub sub: Subflow,
     /// Application bytes carried.
-    pub payload: u32,
+    pub payload: Bytes,
     /// True if this is a retransmission (any kind).
     pub retx: bool,
 }
@@ -155,8 +156,8 @@ pub struct Packet {
     pub src: HostId,
     /// Destination host.
     pub dst: HostId,
-    /// On-wire size in bytes (serialization + buffer occupancy).
-    pub wire: u32,
+    /// On-wire size (serialization + buffer occupancy).
+    pub wire: WireBytes,
     /// Traffic class (DSCP analog) for queue mapping.
     pub class: TrafficClass,
     /// Drop-precedence color.
@@ -183,7 +184,7 @@ impl Packet {
         flow: FlowId,
         src: HostId,
         dst: HostId,
-        wire: u32,
+        wire: WireBytes,
         class: TrafficClass,
         payload: Payload,
     ) -> Packet {
@@ -225,11 +226,11 @@ impl Packet {
         matches!(self.payload, Payload::Data(_))
     }
 
-    /// Application bytes carried (0 for control packets).
-    pub fn payload_bytes(&self) -> u64 {
+    /// Application bytes carried (zero for control packets).
+    pub fn payload_bytes(&self) -> Bytes {
         match self.payload {
-            Payload::Data(d) => d.payload as u64,
-            _ => 0,
+            Payload::Data(d) => d.payload,
+            _ => Bytes::ZERO,
         }
     }
 }
@@ -244,13 +245,13 @@ mod tests {
             flow,
             src,
             dst,
-            data_wire_bytes(1460),
+            data_wire_bytes(Bytes::new(1460)),
             TrafficClass::NewData,
             Payload::Data(DataInfo {
                 flow_seq: 0,
                 sub_seq: 0,
                 sub: Subflow::Proactive,
-                payload: 1460,
+                payload: Bytes::new(1460),
                 retx: false,
             }),
         )
@@ -278,7 +279,7 @@ mod tests {
         assert!(!p.ecn_ce);
         assert_eq!(p.prio, 3);
         assert!(p.is_data());
-        assert_eq!(p.payload_bytes(), 1460);
+        assert_eq!(p.payload_bytes(), Bytes::new(1460));
     }
 
     #[test]
@@ -287,7 +288,7 @@ mod tests {
             id: 42,
             src: 5,
             dst: 17,
-            size: 1_000_000,
+            size: Bytes::new(1_000_000),
             start: Time::ZERO,
             tag: 0,
             fg: false,
@@ -307,6 +308,6 @@ mod tests {
             Payload::CreditStop,
         );
         assert!(!p.is_data());
-        assert_eq!(p.payload_bytes(), 0);
+        assert_eq!(p.payload_bytes(), Bytes::ZERO);
     }
 }

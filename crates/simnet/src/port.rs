@@ -14,6 +14,7 @@
 //! simulator can schedule a wake-up.
 
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simcore::units::WireBytes;
 
 use crate::audit;
 use crate::consts::DATA_WIRE;
@@ -27,9 +28,9 @@ pub struct QueueSched {
     pub level: u8,
     /// DWRR weight among queues of the same level (relative, not normalized).
     pub weight: f64,
-    /// Optional token-bucket shaper (rate, burst in bytes). Only supported
-    /// on queues that are alone at their priority level (the credit queue).
-    pub shaper: Option<(Rate, u64)>,
+    /// Optional token-bucket shaper (rate, burst). Only supported on
+    /// queues that are alone at their priority level (the credit queue).
+    pub shaper: Option<(Rate, WireBytes)>,
 }
 
 impl QueueSched {
@@ -53,8 +54,8 @@ impl QueueSched {
     }
 
     /// Adds a token-bucket shaper.
-    pub fn shaped(mut self, rate: Rate, burst_bytes: u64) -> Self {
-        self.shaper = Some((rate, burst_bytes));
+    pub fn shaped(mut self, rate: Rate, burst: WireBytes) -> Self {
+        self.shaper = Some((rate, burst));
         self
     }
 }
@@ -111,8 +112,8 @@ struct Shaper {
 }
 
 impl Shaper {
-    fn new(rate: Rate, burst: u64) -> Self {
-        let burst = burst as u128 * TOKENS_PER_BYTE;
+    fn new(rate: Rate, burst: WireBytes) -> Self {
+        let burst = u128::from(burst.get()) * TOKENS_PER_BYTE;
         Shaper {
             rate,
             burst,
@@ -123,13 +124,13 @@ impl Shaper {
     }
 
     /// Tokens needed to transmit `bytes`.
-    fn need(bytes: u64) -> u128 {
-        bytes as u128 * TOKENS_PER_BYTE
+    fn need(bytes: WireBytes) -> u128 {
+        u128::from(bytes.get()) * TOKENS_PER_BYTE
     }
 
     fn refill(&mut self, now: Time) {
-        let dt = now.saturating_since(self.last).as_nanos() as u128;
-        self.tokens = (self.tokens + dt * self.rate.as_bps() as u128).min(self.burst);
+        let dt = u128::from(now.saturating_since(self.last).as_nanos());
+        self.tokens = (self.tokens + dt * u128::from(self.rate.as_bps())).min(self.burst);
         self.last = now;
         audit::shaper_tokens(self.audit_id, self.tokens, self.burst);
     }
@@ -149,8 +150,8 @@ impl Shaper {
             return Time::MAX;
         }
         let deficit = need - self.tokens;
-        let ns = deficit.div_ceil(self.rate.as_bps() as u128);
-        now.saturating_add(TimeDelta::nanos(ns.min(u64::MAX as u128) as u64))
+        let ns = deficit.div_ceil(u128::from(self.rate.as_bps()));
+        now.saturating_add(TimeDelta::nanos(u64::try_from(ns).unwrap_or(u64::MAX)))
     }
 }
 
@@ -170,7 +171,7 @@ pub struct PortCounters {
     /// Packets transmitted.
     pub tx_pkts: u64,
     /// Wire bytes transmitted.
-    pub tx_bytes: u64,
+    pub tx_bytes: WireBytes,
 }
 
 /// An egress port: a set of queues plus the scheduler state, attached to a
@@ -248,7 +249,7 @@ impl Port {
                 .map(|&i| scheds[i].weight)
                 .fold(0.0_f64, f64::max);
             for &i in &level.members {
-                quanta[i] = (scheds[i].weight / wmax * DATA_WIRE as f64).max(1.0);
+                quanta[i] = (scheds[i].weight / wmax * DATA_WIRE.as_f64()).max(1.0);
             }
         }
 
@@ -279,7 +280,7 @@ impl Port {
     }
 
     /// Sum of bytes across all queues.
-    pub fn backlog_bytes(&self) -> u64 {
+    pub fn backlog_bytes(&self) -> WireBytes {
         self.queues.iter().map(|q| q.bytes()).sum()
     }
 
@@ -308,8 +309,8 @@ impl Port {
     }
 
     /// Serialization time of `bytes` at line rate.
-    pub fn serialize(&self, bytes: u32) -> TimeDelta {
-        self.rate.serialize(bytes as u64)
+    pub fn serialize(&self, bytes: WireBytes) -> TimeDelta {
+        self.rate.serialize_wire(bytes)
     }
 
     /// Runs the scheduler for one service opportunity at `now`.
@@ -325,7 +326,7 @@ impl Port {
                 let head = self.queues[qi].head_bytes().expect("non-empty");
                 if let Some(shaper) = self.shapers[qi].as_mut() {
                     shaper.refill(now);
-                    let need = Shaper::need(head as u64);
+                    let need = Shaper::need(head);
                     if shaper.tokens >= need {
                         shaper.spend(need);
                         return self.serve(qi);
@@ -365,7 +366,8 @@ impl Port {
             .iter()
             .map(|&i| self.quanta[i])
             .fold(f64::INFINITY, f64::min);
-        let max_passes = n * ((DATA_WIRE as f64 / min_quantum).ceil() as usize + 2);
+        // lint:allow(raw-cast): pass-count bound, not a byte quantity
+        let max_passes = n * ((DATA_WIRE.as_f64() / min_quantum).ceil() as usize + 2);
         for _ in 0..=max_passes {
             let level = &mut self.levels[li];
             let qi = level.members[level.pos];
@@ -379,20 +381,22 @@ impl Port {
                 self.deficits[qi] += self.quanta[qi];
                 level.fresh = false;
             }
-            let head = self.queues[qi].head_bytes().expect("non-empty") as f64;
+            let head = self.queues[qi].head_bytes().expect("non-empty").as_f64();
             if self.deficits[qi] >= head {
                 return Some(qi);
             }
             level.pos = (level.pos + 1) % n;
             level.fresh = true;
         }
+        // lint:allow(panic-path): progress bound proven above; a trip here
+        // is a scheduler logic bug that must abort the run.
         unreachable!("DWRR failed to make progress");
     }
 
     /// Dequeues from `qi`, updating deficits and counters.
     fn serve(&mut self, qi: usize) -> Decision {
         let pkt = self.queues[qi].dequeue().expect("serve on empty queue");
-        let size = pkt.wire as f64;
+        let size = pkt.wire.as_f64();
         // Update DWRR state if this queue shares its level.
         let li = self
             .levels
@@ -407,7 +411,7 @@ impl Port {
                 self.deficits[qi] = 0.0;
                 true
             } else {
-                let next_head = self.queues[qi].head_bytes().expect("non-empty") as f64;
+                let next_head = self.queues[qi].head_bytes().expect("non-empty").as_f64();
                 self.deficits[qi] < next_head
             };
             if advance {
@@ -416,7 +420,7 @@ impl Port {
             }
         }
         self.counters.tx_pkts += 1;
-        self.counters.tx_bytes += pkt.wire as u64;
+        self.counters.tx_bytes += pkt.wire;
         Decision::Send(pkt)
     }
 }
@@ -426,19 +430,20 @@ mod tests {
     use super::*;
     use crate::consts::CTRL_WIRE;
     use crate::packet::{CreditInfo, DataInfo, Payload, Subflow, TrafficClass};
+    use flexpass_simcore::units::Bytes;
 
-    fn data(wire: u32) -> Packet {
+    fn data(wire: u64) -> Packet {
         Packet::new(
             1,
             0,
             1,
-            wire,
+            WireBytes::new(wire),
             TrafficClass::NewData,
             Payload::Data(DataInfo {
                 flow_seq: 0,
                 sub_seq: 0,
                 sub: Subflow::Only,
-                payload: wire.saturating_sub(78),
+                payload: Bytes::new(wire.saturating_sub(78)),
                 retx: false,
             }),
         )
@@ -479,8 +484,8 @@ mod tests {
         port.enqueue(1, data(1538)).unwrap();
         port.enqueue(0, data(100)).unwrap();
         let out = drain(&mut port, Time::ZERO, 2);
-        assert_eq!(out[0].wire, 100);
-        assert_eq!(out[1].wire, 1538);
+        assert_eq!(out[0].wire, WireBytes::new(100));
+        assert_eq!(out[1].wire, WireBytes::new(1538));
     }
 
     #[test]
@@ -502,8 +507,8 @@ mod tests {
         let mut bytes = [0u64; 2];
         let mut served = 0;
         while let Decision::Send(p) = port.next_packet(Time::ZERO) {
-            let qi = if p.wire == 1538 { 0 } else { 1 };
-            bytes[qi] += p.wire as u64;
+            let qi = if p.wire == DATA_WIRE { 0 } else { 1 };
+            bytes[qi] += p.wire.get();
             served += 1;
             if served > 14 {
                 break;
@@ -532,7 +537,7 @@ mod tests {
         for _ in 0..1000 {
             match port.next_packet(Time::ZERO) {
                 Decision::Send(p) => {
-                    if p.wire == 1537 {
+                    if p.wire == WireBytes::new(1537) {
                         counts[0] += 1
                     } else {
                         counts[1] += 1
@@ -552,8 +557,8 @@ mod tests {
             rate: Rate::from_gbps(10),
             queues: vec![
                 (
-                    QueueConfig::capped(1_000),
-                    QueueSched::strict(0).shaped(Rate::from_mbps(1), CTRL_WIRE as u64),
+                    QueueConfig::capped(WireBytes::new(1_000)),
+                    QueueSched::strict(0).shaped(Rate::from_mbps(1), CTRL_WIRE),
                 ),
                 (QueueConfig::plain(), QueueSched::strict(1)),
             ],
@@ -570,7 +575,7 @@ mod tests {
         port.enqueue(0, credit()).unwrap();
         port.enqueue(1, data(1538)).unwrap();
         match port.next_packet(t0) {
-            Decision::Send(p) => assert_eq!(p.wire, 1538),
+            Decision::Send(p) => assert_eq!(p.wire, DATA_WIRE),
             other => panic!("expected data send, got {other:?}"),
         }
         // Only the credit remains: scheduler reports the wake time.
@@ -608,7 +613,7 @@ mod tests {
             rate: Rate::from_gbps(10),
             queues: vec![(
                 QueueConfig::plain(),
-                QueueSched::strict(0).shaped(rate, 2 * CTRL_WIRE as u64),
+                QueueSched::strict(0).shaped(rate, CTRL_WIRE * 2),
             )],
         };
         let mut port = Port::new(&cfg);
@@ -628,7 +633,7 @@ mod tests {
                 Decision::Idle => break,
             }
         }
-        let achieved_bps = (1000.0 - 2.0) * CTRL_WIRE as f64 * 8.0 / last.as_secs_f64();
+        let achieved_bps = (1000.0 - 2.0) * CTRL_WIRE.as_f64() * 8.0 / last.as_secs_f64();
         let target = rate.as_bps() as f64;
         assert!(
             (achieved_bps - target).abs() / target < 0.01,

@@ -18,6 +18,8 @@
 
 use std::collections::VecDeque;
 
+use flexpass_simcore::units::WireBytes;
+
 use crate::audit;
 use crate::packet::{Color, Packet};
 
@@ -35,28 +37,28 @@ pub enum DropReason {
 /// Static configuration of one egress queue.
 #[derive(Clone, Copy, Debug)]
 pub struct QueueConfig {
-    /// Static byte cap; `u64::MAX` means "no static cap" (shared buffer
-    /// governs admission instead).
-    pub cap_bytes: u64,
-    /// ECN/RED step-marking threshold in bytes; `None` disables marking.
-    pub ecn_threshold: Option<u64>,
+    /// Static byte cap; `WireBytes::MAX` means "no static cap" (shared
+    /// buffer governs admission instead).
+    pub cap_bytes: WireBytes,
+    /// ECN/RED step-marking threshold; `None` disables marking.
+    pub ecn_threshold: Option<WireBytes>,
     /// Selective-drop threshold for red bytes; `None` disables selective
     /// dropping.
-    pub red_threshold: Option<u64>,
+    pub red_threshold: Option<WireBytes>,
 }
 
 impl QueueConfig {
     /// A plain FIFO with no marking or dropping policies.
     pub fn plain() -> Self {
         QueueConfig {
-            cap_bytes: u64::MAX,
+            cap_bytes: WireBytes::MAX,
             ecn_threshold: None,
             red_threshold: None,
         }
     }
 
     /// A queue with a static byte cap (credit queues).
-    pub fn capped(cap_bytes: u64) -> Self {
+    pub fn capped(cap_bytes: WireBytes) -> Self {
         QueueConfig {
             cap_bytes,
             ecn_threshold: None,
@@ -65,13 +67,13 @@ impl QueueConfig {
     }
 
     /// Adds an ECN step-marking threshold.
-    pub fn with_ecn(mut self, bytes: u64) -> Self {
+    pub fn with_ecn(mut self, bytes: WireBytes) -> Self {
         self.ecn_threshold = Some(bytes);
         self
     }
 
     /// Adds a selective-drop (red) threshold.
-    pub fn with_red_threshold(mut self, bytes: u64) -> Self {
+    pub fn with_red_threshold(mut self, bytes: WireBytes) -> Self {
         self.red_threshold = Some(bytes);
         self
     }
@@ -89,7 +91,7 @@ pub struct QueueCounters {
     /// Packets dropped by selective (red) dropping.
     pub dropped_red: u64,
     /// Bytes dropped by selective (red) dropping.
-    pub dropped_red_bytes: u64,
+    pub dropped_red_bytes: WireBytes,
 }
 
 /// A FIFO egress queue.
@@ -97,8 +99,8 @@ pub struct QueueCounters {
 pub struct PacketQueue {
     cfg: QueueConfig,
     fifo: VecDeque<Packet>,
-    bytes: u64,
-    red_bytes: u64,
+    bytes: WireBytes,
+    red_bytes: WireBytes,
     counters: QueueCounters,
     audit_id: audit::ComponentId,
 }
@@ -118,8 +120,8 @@ impl PacketQueue {
         PacketQueue {
             cfg,
             fifo: VecDeque::new(),
-            bytes: 0,
-            red_bytes: 0,
+            bytes: WireBytes::ZERO,
+            red_bytes: WireBytes::ZERO,
             counters: QueueCounters::default(),
             audit_id: audit::new_component_id(),
         }
@@ -131,12 +133,12 @@ impl PacketQueue {
     }
 
     /// Queued bytes.
-    pub fn bytes(&self) -> u64 {
+    pub fn bytes(&self) -> WireBytes {
         self.bytes
     }
 
     /// Queued red bytes.
-    pub fn red_bytes(&self) -> u64 {
+    pub fn red_bytes(&self) -> WireBytes {
         self.red_bytes
     }
 
@@ -156,7 +158,7 @@ impl PacketQueue {
     }
 
     /// Wire size of the head packet, if any.
-    pub fn head_bytes(&self) -> Option<u32> {
+    pub fn head_bytes(&self) -> Option<WireBytes> {
         self.fifo.front().map(|p| p.wire)
     }
 
@@ -166,8 +168,13 @@ impl PacketQueue {
     /// Shared-buffer admission must be checked by the caller *before* this
     /// (the switch knows the buffer state; the queue does not).
     pub fn offer(&mut self, mut pkt: Packet) -> Enqueue {
-        let size = pkt.wire as u64;
-        if self.bytes + size > self.cfg.cap_bytes {
+        let size = pkt.wire;
+        if self
+            .cfg
+            .cap_bytes
+            .checked_sub(size)
+            .is_none_or(|room| self.bytes > room)
+        {
             self.counters.dropped_cap += 1;
             return Enqueue::Dropped(DropReason::QueueCap);
         }
@@ -199,7 +206,7 @@ impl PacketQueue {
     /// Removes and returns the head packet.
     pub fn dequeue(&mut self) -> Option<Packet> {
         let pkt = self.fifo.pop_front()?;
-        let size = pkt.wire as u64;
+        let size = pkt.wire;
         self.bytes -= size;
         if pkt.color == Color::Red {
             self.red_bytes -= size;
@@ -214,8 +221,10 @@ mod tests {
     use super::*;
     use crate::consts::CTRL_WIRE;
     use crate::packet::{CreditInfo, DataInfo, Payload, Subflow, TrafficClass};
+    use flexpass_simcore::units::Bytes;
 
-    fn mk(wire: u32, red: bool, ecn: bool) -> Packet {
+    fn mk(wire: u64, red: bool, ecn: bool) -> Packet {
+        let wire = WireBytes::new(wire);
         let p = Packet::new(
             1,
             0,
@@ -226,7 +235,7 @@ mod tests {
                 flow_seq: 0,
                 sub_seq: 0,
                 sub: Subflow::Reactive,
-                payload: 1000,
+                payload: Bytes::new(1000),
                 retx: false,
             }),
         );
@@ -243,27 +252,27 @@ mod tests {
         let mut q = PacketQueue::new(QueueConfig::plain());
         q.offer(mk(100, false, false));
         q.offer(mk(200, true, false));
-        assert_eq!(q.bytes(), 300);
-        assert_eq!(q.red_bytes(), 200);
-        assert_eq!(q.head_bytes(), Some(100));
-        assert_eq!(q.dequeue().unwrap().wire, 100);
-        assert_eq!(q.bytes(), 200);
-        assert_eq!(q.dequeue().unwrap().wire, 200);
-        assert_eq!(q.bytes(), 0);
-        assert_eq!(q.red_bytes(), 0);
+        assert_eq!(q.bytes(), WireBytes::new(300));
+        assert_eq!(q.red_bytes(), WireBytes::new(200));
+        assert_eq!(q.head_bytes(), Some(WireBytes::new(100)));
+        assert_eq!(q.dequeue().unwrap().wire, WireBytes::new(100));
+        assert_eq!(q.bytes(), WireBytes::new(200));
+        assert_eq!(q.dequeue().unwrap().wire, WireBytes::new(200));
+        assert_eq!(q.bytes(), WireBytes::ZERO);
+        assert_eq!(q.red_bytes(), WireBytes::ZERO);
         assert!(q.dequeue().is_none());
     }
 
     #[test]
     fn static_cap_drops() {
-        let mut q = PacketQueue::new(QueueConfig::capped(1_000));
+        let mut q = PacketQueue::new(QueueConfig::capped(WireBytes::new(1_000)));
         for _ in 0..11 {
-            q.offer(mk(CTRL_WIRE, false, false));
+            q.offer(mk(CTRL_WIRE.get(), false, false));
         }
         // 11 * 84 = 924 fits; a 12th would exceed 1000.
         assert_eq!(q.len(), 11);
         assert_eq!(
-            q.offer(mk(CTRL_WIRE, false, false)),
+            q.offer(mk(CTRL_WIRE.get(), false, false)),
             Enqueue::Dropped(DropReason::QueueCap)
         );
         assert_eq!(q.counters().dropped_cap, 1);
@@ -271,7 +280,7 @@ mod tests {
 
     #[test]
     fn selective_drop_hits_only_red() {
-        let mut q = PacketQueue::new(QueueConfig::plain().with_red_threshold(500));
+        let mut q = PacketQueue::new(QueueConfig::plain().with_red_threshold(WireBytes::new(500)));
         assert_eq!(q.offer(mk(400, true, false)), Enqueue::Admitted);
         // Red bytes would reach 800 > 500 -> dropped.
         assert_eq!(
@@ -281,14 +290,14 @@ mod tests {
         // Green packets are unaffected.
         assert_eq!(q.offer(mk(400, false, false)), Enqueue::Admitted);
         assert_eq!(q.counters().dropped_red, 1);
-        assert_eq!(q.counters().dropped_red_bytes, 400);
-        assert_eq!(q.bytes(), 800);
-        assert_eq!(q.red_bytes(), 400);
+        assert_eq!(q.counters().dropped_red_bytes, WireBytes::new(400));
+        assert_eq!(q.bytes(), WireBytes::new(800));
+        assert_eq!(q.red_bytes(), WireBytes::new(400));
     }
 
     #[test]
     fn ecn_marks_above_threshold_only_capable_packets() {
-        let mut q = PacketQueue::new(QueueConfig::plain().with_ecn(500));
+        let mut q = PacketQueue::new(QueueConfig::plain().with_ecn(WireBytes::new(500)));
         q.offer(mk(600, false, true));
         // Queue was empty (0 <= 500) at arrival: no mark.
         assert_eq!(q.counters().ecn_marked, 0);
@@ -307,7 +316,7 @@ mod tests {
     #[test]
     fn credit_queue_profile() {
         // The paper's Q0: < 1 kB buffer so excess credits are dropped.
-        let mut q = PacketQueue::new(QueueConfig::capped(1_000));
+        let mut q = PacketQueue::new(QueueConfig::capped(WireBytes::new(1_000)));
         let mut admitted = 0;
         for _ in 0..100 {
             if q.offer(Packet::new(

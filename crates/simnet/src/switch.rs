@@ -1,6 +1,8 @@
 //! Output-queued switch with shared-buffer dynamic thresholds, per-class
 //! queue mapping, and ECMP routing.
 
+use flexpass_simcore::units::WireBytes;
+
 use crate::audit;
 use crate::packet::{Packet, TrafficClass};
 use crate::port::{Port, PortConfig};
@@ -76,9 +78,9 @@ pub struct SwitchProfile {
     pub port: PortConfig,
     /// DSCP → queue mapping.
     pub class_map: ClassMap,
-    /// Shared buffer `(total bytes, dynamic threshold alpha)`; `None`
-    /// disables shared-buffer admission (host NICs).
-    pub shared_buffer: Option<(u64, f64)>,
+    /// Shared buffer `(total, dynamic threshold alpha)`; `None` disables
+    /// shared-buffer admission (host NICs).
+    pub shared_buffer: Option<(WireBytes, f64)>,
 }
 
 /// Per-switch drop counters, by reason.
@@ -98,9 +100,9 @@ pub struct SwitchCounters {
 #[derive(Clone, Debug)]
 pub struct QueueSample {
     /// Bytes per queue.
-    pub bytes: Vec<u64>,
+    pub bytes: Vec<WireBytes>,
     /// Red bytes per queue.
-    pub red_bytes: Vec<u64>,
+    pub red_bytes: Vec<WireBytes>,
 }
 
 /// An output-queued switch.
@@ -115,7 +117,7 @@ pub struct Switch {
     /// shortest paths towards that host.
     pub routes: Vec<Vec<u16>>,
     class_map: ClassMap,
-    shared_buffer: Option<(u64, f64)>,
+    shared_buffer: Option<(WireBytes, f64)>,
     counters: SwitchCounters,
     audit_id: audit::ComponentId,
 }
@@ -162,14 +164,14 @@ impl Switch {
 
     /// Bytes currently admitted against the shared buffer (dynamically
     /// thresholded queues only; statically capped queues are exempt).
-    pub fn shared_used(&self) -> u64 {
+    pub fn shared_used(&self) -> WireBytes {
         self.ports
             .iter()
             .map(|p| {
                 (0..p.num_queues())
-                    .filter(|&qi| p.queue(qi).config().cap_bytes == u64::MAX)
+                    .filter(|&qi| p.queue(qi).config().cap_bytes == WireBytes::MAX)
                     .map(|qi| p.queue(qi).bytes())
-                    .sum::<u64>()
+                    .sum::<WireBytes>()
             })
             .sum()
     }
@@ -179,15 +181,15 @@ impl Switch {
     pub fn receive(&mut self, pkt: Packet) -> Result<usize, (DropReason, Packet)> {
         let port_idx = self.route(&pkt);
         let qidx = self.class_map.queue_for(&pkt);
-        let size = pkt.wire as u64;
+        let size = pkt.wire;
 
         // Dynamic shared-buffer admission (statically capped queues such as
         // the credit queue manage their own tiny buffer instead).
-        if self.ports[port_idx].queue(qidx).config().cap_bytes == u64::MAX {
+        if self.ports[port_idx].queue(qidx).config().cap_bytes == WireBytes::MAX {
             if let Some((total, alpha)) = self.shared_buffer {
                 let used = self.shared_used();
                 let free = total.saturating_sub(used);
-                let threshold = (alpha * free as f64) as u64;
+                let threshold = WireBytes::from_f64(alpha * free.as_f64());
                 let qbytes = self.ports[port_idx].queue(qidx).bytes();
                 if used + size > total || qbytes + size > threshold {
                     self.counters.dropped_buffer += 1;
@@ -233,6 +235,7 @@ mod tests {
     use crate::port::QueueSched;
     use crate::queue::QueueConfig;
     use flexpass_simcore::time::Rate;
+    use flexpass_simcore::units::Bytes;
 
     fn flexpass_profile() -> SwitchProfile {
         SwitchProfile {
@@ -240,17 +243,17 @@ mod tests {
                 rate: Rate::from_gbps(10),
                 queues: vec![
                     (
-                        QueueConfig::capped(1_000),
-                        QueueSched::strict(0).shaped(Rate::from_mbps(273), 2 * CTRL_WIRE as u64),
+                        QueueConfig::capped(WireBytes::new(1_000)),
+                        QueueSched::strict(0).shaped(Rate::from_mbps(273), CTRL_WIRE * 2),
                     ),
                     (
                         QueueConfig::plain()
-                            .with_ecn(65_000)
-                            .with_red_threshold(150_000),
+                            .with_ecn(WireBytes::new(65_000))
+                            .with_red_threshold(WireBytes::new(150_000)),
                         QueueSched::weighted(1, 0.5),
                     ),
                     (
-                        QueueConfig::plain().with_ecn(100_000),
+                        QueueConfig::plain().with_ecn(WireBytes::new(100_000)),
                         QueueSched::weighted(1, 0.5),
                     ),
                 ],
@@ -261,7 +264,7 @@ mod tests {
                 new_ctrl: 1,
                 legacy: 2,
             },
-            shared_buffer: Some((4_500_000, 0.25)),
+            shared_buffer: Some((WireBytes::new(4_500_000), 0.25)),
         }
     }
 
@@ -276,7 +279,7 @@ mod tests {
                 flow_seq: 0,
                 sub_seq: 0,
                 sub: Subflow::Reactive,
-                payload: 1460,
+                payload: Bytes::new(1460),
                 retx: false,
             }),
         );
@@ -343,20 +346,20 @@ mod tests {
             .unwrap();
         assert_eq!(port, 1);
         assert_eq!(sw.counters().forwarded, 1);
-        assert_eq!(sw.ports[1].backlog_bytes(), DATA_WIRE as u64);
+        assert_eq!(sw.ports[1].backlog_bytes(), DATA_WIRE);
     }
 
     #[test]
     fn selective_red_drop_at_switch() {
         let mut sw = wired_switch();
         // 150 kB red threshold: 97 full packets fit, the 98th red is dropped.
-        let mut admitted = 0;
+        let mut admitted = 0u64;
         for _ in 0..120 {
             if sw.receive(data_to(1, TrafficClass::NewData, true)).is_ok() {
                 admitted += 1;
             }
         }
-        assert_eq!(admitted, 150_000 / DATA_WIRE as u64);
+        assert_eq!(admitted, 150_000 / DATA_WIRE.get());
         assert!(sw.counters().dropped_red > 0);
         // Green packets still admitted past the red threshold.
         assert!(sw.receive(data_to(1, TrafficClass::NewData, false)).is_ok());
@@ -370,7 +373,7 @@ mod tests {
         let mut admitted_bytes = 0u64;
         for _ in 0..2000 {
             match sw.receive(data_to(1, TrafficClass::Legacy, false)) {
-                Ok(_) => admitted_bytes += DATA_WIRE as u64,
+                Ok(_) => admitted_bytes += DATA_WIRE.get(),
                 Err((r, _)) => {
                     assert_eq!(r, DropReason::Buffer);
                     break;
@@ -379,7 +382,7 @@ mod tests {
         }
         let expected = (0.25f64 / 1.25 * 4_500_000.0) as u64;
         assert!(
-            (admitted_bytes as i64 - expected as i64).unsigned_abs() < 5 * DATA_WIRE as u64,
+            (admitted_bytes as i64 - expected as i64).unsigned_abs() < 5 * DATA_WIRE.get(),
             "admitted {admitted_bytes}, expected ~{expected}"
         );
     }
@@ -407,9 +410,9 @@ mod tests {
         sw.receive(data_to(1, TrafficClass::NewData, true)).unwrap();
         sw.receive(data_to(1, TrafficClass::Legacy, false)).unwrap();
         let s = sw.sample_port(1);
-        assert_eq!(s.bytes[1], DATA_WIRE as u64);
-        assert_eq!(s.red_bytes[1], DATA_WIRE as u64);
-        assert_eq!(s.bytes[2], DATA_WIRE as u64);
-        assert_eq!(s.red_bytes[2], 0);
+        assert_eq!(s.bytes[1], DATA_WIRE);
+        assert_eq!(s.red_bytes[1], DATA_WIRE);
+        assert_eq!(s.bytes[2], DATA_WIRE);
+        assert_eq!(s.red_bytes[2], WireBytes::ZERO);
     }
 }

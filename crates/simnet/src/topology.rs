@@ -344,7 +344,7 @@ mod tests {
             flow,
             src,
             dst,
-            1538,
+            crate::consts::DATA_WIRE,
             TrafficClass::Legacy,
             Payload::CreditStop,
         )

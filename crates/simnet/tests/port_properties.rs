@@ -2,13 +2,14 @@
 //! priority, and token-bucket shaping must hold for arbitrary parameters.
 
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simcore::units::{Bytes, WireBytes};
 use flexpass_simnet::consts::{CTRL_WIRE, DATA_WIRE};
 use flexpass_simnet::packet::{CreditInfo, DataInfo, Packet, Payload, Subflow, TrafficClass};
 use flexpass_simnet::port::{Decision, Port, PortConfig, QueueSched};
 use flexpass_simnet::queue::QueueConfig;
 use proptest::prelude::*;
 
-fn data(flow: u64, wire: u32) -> Packet {
+fn data(flow: u64, wire: WireBytes) -> Packet {
     Packet::new(
         flow,
         0,
@@ -19,7 +20,7 @@ fn data(flow: u64, wire: u32) -> Packet {
             flow_seq: 0,
             sub_seq: 0,
             sub: Subflow::Only,
-            payload: wire.saturating_sub(78),
+            payload: Bytes::new(wire.get().saturating_sub(78)),
             retx: false,
         }),
     )
@@ -44,15 +45,15 @@ proptest! {
         // Distinguishable sizes within 1% so byte-fairness ~ packet-fairness.
         let n = 3000;
         for i in 0..n {
-            port.enqueue(0, data(i, 1530)).unwrap();
-            port.enqueue(1, data(i, 1538)).unwrap();
+            port.enqueue(0, data(i, WireBytes::new(1530))).unwrap();
+            port.enqueue(1, data(i, WireBytes::new(1538))).unwrap();
         }
         let mut bytes = [0f64; 2];
         for _ in 0..n {
             match port.next_packet(Time::ZERO) {
                 Decision::Send(p) => {
-                    let qi = if p.wire == 1530 { 0 } else { 1 };
-                    bytes[qi] += p.wire as f64;
+                    let qi = if p.wire == WireBytes::new(1530) { 0 } else { 1 };
+                    bytes[qi] += p.wire.as_f64();
                 }
                 _ => break,
             }
@@ -114,7 +115,7 @@ proptest! {
             rate: Rate::from_gbps(10),
             queues: vec![(
                 QueueConfig::plain(),
-                QueueSched::strict(0).shaped(rate, burst_pkts * CTRL_WIRE as u64),
+                QueueSched::strict(0).shaped(rate, CTRL_WIRE * burst_pkts),
             )],
         };
         let mut port = Port::new(&cfg);
@@ -153,7 +154,7 @@ proptest! {
         let elapsed = now.as_secs_f64();
         if elapsed > 0.0 {
             let achieved_bps =
-                ((n - burst_pkts) * CTRL_WIRE as u64 * 8) as f64 / elapsed;
+                (CTRL_WIRE * (n - burst_pkts)).as_f64() * 8.0 / elapsed;
             prop_assert!(
                 achieved_bps <= rate.as_bps() as f64 * 1.02,
                 "achieved {achieved_bps:.0} bps > shaper {}",
@@ -171,8 +172,8 @@ proptest! {
             rate: Rate::from_gbps(10),
             queues: vec![
                 (
-                    QueueConfig::capped(1_000),
-                    QueueSched::strict(0).shaped(Rate::from_mbps(1), CTRL_WIRE as u64),
+                    QueueConfig::capped(WireBytes::new(1_000)),
+                    QueueSched::strict(0).shaped(Rate::from_mbps(1), CTRL_WIRE),
                 ),
                 (QueueConfig::plain(), QueueSched::weighted(1, 0.5)),
                 (QueueConfig::plain(), QueueSched::weighted(1, 0.5)),
@@ -228,8 +229,8 @@ fn flexpass_port_order() {
         rate: Rate::from_gbps(10),
         queues: vec![
             (
-                QueueConfig::capped(1_000),
-                QueueSched::strict(0).shaped(Rate::from_gbps(1), 10 * CTRL_WIRE as u64),
+                QueueConfig::capped(WireBytes::new(1_000)),
+                QueueSched::strict(0).shaped(Rate::from_gbps(1), CTRL_WIRE * 10),
             ),
             (QueueConfig::plain(), QueueSched::weighted(1, 0.5)),
             (QueueConfig::plain(), QueueSched::weighted(1, 0.5)),

@@ -25,7 +25,7 @@ fn pkt(flow: u64, src: usize, dst: usize) -> Packet {
         flow,
         src,
         dst,
-        1538,
+        flexpass_simnet::consts::DATA_WIRE,
         TrafficClass::Legacy,
         Payload::CreditStop,
     )

@@ -2,6 +2,7 @@
 //! estimation, the per-packet scoreboard, and the DCTCP window core.
 
 use flexpass_simcore::time::{Time, TimeDelta};
+use flexpass_simcore::units::{Bytes, PktCount};
 use flexpass_simnet::consts::payload_of_packet;
 use flexpass_simnet::packet::{AckInfo, Subflow, MAX_SACK};
 
@@ -89,28 +90,28 @@ impl RttEstimator {
 /// "reordering buffer" metric of Figure 5(a).
 #[derive(Clone, Debug)]
 pub struct Reassembly {
-    size: u64,
+    size: Bytes,
     n: u32,
     received: Vec<bool>,
     cum: u32,
     got: u32,
     dup: u64,
-    buffered: u64,
-    peak: u64,
+    buffered: Bytes,
+    peak: Bytes,
 }
 
 impl Reassembly {
     /// Creates a reassembly buffer for a `size`-byte flow of `n` packets.
-    pub fn new(size: u64, n: u32) -> Self {
+    pub fn new(size: Bytes, n: PktCount) -> Self {
         Reassembly {
             size,
-            n,
-            received: vec![false; n as usize],
+            n: n.get(),
+            received: vec![false; n.as_usize()],
             cum: 0,
             got: 0,
             dup: 0,
-            buffered: 0,
-            peak: 0,
+            buffered: Bytes::ZERO,
+            peak: Bytes::ZERO,
         }
     }
 
@@ -163,7 +164,7 @@ impl Reassembly {
     }
 
     /// Peak out-of-order buffered bytes.
-    pub fn reorder_peak(&self) -> u64 {
+    pub fn reorder_peak(&self) -> Bytes {
         self.peak
     }
 
@@ -442,31 +443,31 @@ mod tests {
 
     #[test]
     fn reassembly_in_order() {
-        let mut r = Reassembly::new(4 * 1460, 4);
+        let mut r = Reassembly::new(Bytes::new(4 * 1460), PktCount::new(4));
         for i in 0..4 {
             assert!(r.on_packet(i));
         }
         assert!(r.complete());
-        assert_eq!(r.reorder_peak(), 0);
+        assert_eq!(r.reorder_peak(), Bytes::ZERO);
         assert_eq!(r.duplicates(), 0);
     }
 
     #[test]
     fn reassembly_out_of_order_tracks_peak() {
-        let mut r = Reassembly::new(4 * 1460, 4);
+        let mut r = Reassembly::new(Bytes::new(4 * 1460), PktCount::new(4));
         r.on_packet(2);
         r.on_packet(3);
-        assert_eq!(r.reorder_peak(), 2 * 1460);
+        assert_eq!(r.reorder_peak(), Bytes::new(2 * 1460));
         r.on_packet(0);
         r.on_packet(1);
         assert!(r.complete());
         // Peak stays at the maximum reached.
-        assert_eq!(r.reorder_peak(), 2 * 1460);
+        assert_eq!(r.reorder_peak(), Bytes::new(2 * 1460));
     }
 
     #[test]
     fn reassembly_duplicates_counted() {
-        let mut r = Reassembly::new(2 * 1460, 2);
+        let mut r = Reassembly::new(Bytes::new(2 * 1460), PktCount::new(2));
         assert!(r.on_packet(0));
         assert!(!r.on_packet(0));
         assert_eq!(r.duplicates(), 1);

@@ -82,7 +82,7 @@ pub struct DctcpSender {
 impl DctcpSender {
     /// Creates a sender for `spec`.
     pub fn new(spec: FlowSpec, cfg: DctcpConfig, _env: &NetEnv) -> Self {
-        let n = packets_for(spec.size);
+        let n = packets_for(spec.size).get();
         DctcpSender {
             spec,
             cfg,
@@ -126,7 +126,7 @@ impl DctcpSender {
                 flow_seq: seq,
                 sub_seq: seq,
                 sub: Subflow::Only,
-                payload: pay as u32,
+                payload: pay,
                 retx,
             }),
         )
@@ -141,10 +141,10 @@ impl DctcpSender {
         self.in_flight += 1;
         self.stats.data_pkts += 1;
         let pay = payload_of_packet(self.spec.size, seq);
-        self.stats.data_bytes += pay;
+        self.stats.data_bytes += pay.get();
         if retx {
             self.stats.retx_pkts += 1;
-            self.stats.redundant_bytes += pay;
+            self.stats.redundant_bytes += pay.get();
         }
         ctx.send(self.data_packet(seq, retx));
         self.arm_rto(ctx);
@@ -329,6 +329,7 @@ impl DctcpReceiver {
     pub fn new(spec: FlowSpec, cfg: DctcpConfig, _env: &NetEnv) -> Self {
         let n = packets_for(spec.size);
         let reasm = Reassembly::new(spec.size, n);
+        let n = n.get();
         DctcpReceiver {
             spec,
             cfg,
@@ -381,7 +382,7 @@ impl Endpoint for DctcpReceiver {
                     stats: RxStats {
                         pkts_received: self.reasm.received_count() as u64 + self.reasm.duplicates(),
                         dup_pkts: self.reasm.duplicates(),
-                        reorder_peak_bytes: self.reasm.reorder_peak(),
+                        reorder_peak_bytes: self.reasm.reorder_peak().get(),
                     },
                 });
                 ctx.set_timer(
@@ -437,6 +438,7 @@ impl TransportFactory for DctcpFactory {
 mod tests {
     use super::*;
     use flexpass_simcore::time::Rate;
+    use flexpass_simcore::units::{Bytes, WireBytes};
     use flexpass_simnet::port::{PortConfig, QueueSched};
     use flexpass_simnet::queue::QueueConfig;
     use flexpass_simnet::sim::{NetObserver, NodeId, NullObserver, Sim};
@@ -445,8 +447,10 @@ mod tests {
 
     fn profile(rate: Rate, ecn_kb: u64, cap: Option<u64>) -> SwitchProfile {
         let qc = match cap {
-            Some(c) => QueueConfig::capped(c).with_ecn(ecn_kb * 1000),
-            None => QueueConfig::plain().with_ecn(ecn_kb * 1000),
+            Some(c) => {
+                QueueConfig::capped(WireBytes::new(c)).with_ecn(WireBytes::new(ecn_kb * 1000))
+            }
+            None => QueueConfig::plain().with_ecn(WireBytes::new(ecn_kb * 1000)),
         };
         SwitchProfile {
             port: PortConfig {
@@ -454,7 +458,7 @@ mod tests {
                 queues: vec![(qc, QueueSched::strict(0))],
             },
             class_map: ClassMap::Single,
-            shared_buffer: Some((4_500_000, 0.25)),
+            shared_buffer: Some((WireBytes::new(4_500_000), 0.25)),
         }
     }
 
@@ -463,7 +467,7 @@ mod tests {
             id,
             src,
             dst,
-            size,
+            size: Bytes::new(size),
             start,
             tag: 0,
             fg: false,
@@ -547,6 +551,7 @@ mod tests {
         struct QueuePeak {
             peak: u64,
         }
+        // Observer totals feed assertions only; raw u64 is the reporting domain.
         impl NetObserver for QueuePeak {
             fn on_queue_sample(
                 &mut self,
@@ -555,7 +560,9 @@ mod tests {
                 s: &flexpass_simnet::switch::QueueSample,
                 _now: Time,
             ) {
-                self.peak = self.peak.max(s.bytes.iter().sum());
+                self.peak = self
+                    .peak
+                    .max(s.bytes.iter().copied().sum::<WireBytes>().get());
             }
         }
 
@@ -721,13 +728,13 @@ mod tests {
                 9,
                 0,
                 1,
-                data_wire_bytes(1460),
+                data_wire_bytes(Bytes::new(1460)),
                 TrafficClass::Legacy,
                 Payload::Data(DataInfo {
                     flow_seq: seq,
                     sub_seq: seq,
                     sub: Subflow::Only,
-                    payload: 1460,
+                    payload: Bytes::new(1460),
                     retx: false,
                 }),
             )

@@ -123,7 +123,7 @@ pub struct EpSender {
 impl EpSender {
     /// Creates a sender for `spec`.
     pub fn new(spec: FlowSpec, cfg: EpConfig, _env: &NetEnv) -> Self {
-        let n = packets_for(spec.size);
+        let n = packets_for(spec.size).get();
         EpSender {
             spec,
             cfg,
@@ -223,10 +223,10 @@ impl EpSender {
                 self.states[seq as usize] = PktState::Sent;
                 let pay = payload_of_packet(self.spec.size, seq);
                 self.stats.data_pkts += 1;
-                self.stats.data_bytes += pay;
+                self.stats.data_bytes += pay.get();
                 if retx {
                     self.stats.retx_pkts += 1;
-                    self.stats.redundant_bytes += pay;
+                    self.stats.redundant_bytes += pay.get();
                 }
                 ctx.send(Packet::new(
                     self.spec.id,
@@ -238,7 +238,7 @@ impl EpSender {
                         flow_seq: seq,
                         sub_seq: credit.idx,
                         sub: Subflow::Only,
-                        payload: pay as u32,
+                        payload: pay,
                         retx,
                     }),
                 ));
@@ -413,7 +413,7 @@ impl CreditEngine {
     /// scaling, keeping float arithmetic out of the time domain.
     pub fn credit_interval(&mut self) -> TimeDelta {
         let rate = Rate::from_bps((self.cur_rate.round() as u64).max(1));
-        let base = rate.serialize(DATA_WIRE as u64);
+        let base = rate.serialize_wire(DATA_WIRE);
         let j = self.cfg.pacing_jitter;
         let factor = 1.0 + j * (self.rng.next_f64() - 0.5);
         base.mul_f64(factor)
@@ -479,6 +479,7 @@ impl EpReceiver {
     pub fn new(spec: FlowSpec, cfg: EpConfig, env: &NetEnv) -> Self {
         let n = packets_for(spec.size);
         let reasm = Reassembly::new(spec.size, n);
+        let n = n.get();
         let engine = CreditEngine::new(cfg, env, spec.id);
         EpReceiver {
             spec,
@@ -564,7 +565,7 @@ impl EpReceiver {
                 stats: RxStats {
                     pkts_received: self.reasm.received_count() as u64 + self.reasm.duplicates(),
                     dup_pkts: self.reasm.duplicates(),
-                    reorder_peak_bytes: self.reasm.reorder_peak(),
+                    reorder_peak_bytes: self.reasm.reorder_peak().get(),
                 },
             });
             ctx.set_timer(
@@ -656,6 +657,7 @@ impl TransportFactory for ExpressPassFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flexpass_simcore::units::{Bytes, WireBytes};
     use flexpass_simnet::consts::CREDIT_RATE_FULL_FRACTION;
     use flexpass_simnet::port::{PortConfig, QueueSched};
     use flexpass_simnet::queue::QueueConfig;
@@ -672,8 +674,8 @@ mod tests {
                 rate,
                 queues: vec![
                     (
-                        QueueConfig::capped(1_000),
-                        QueueSched::strict(0).shaped(credit_rate, 2 * CTRL_WIRE as u64),
+                        QueueConfig::capped(WireBytes::new(1_000)),
+                        QueueSched::strict(0).shaped(credit_rate, CTRL_WIRE * 2),
                     ),
                     (QueueConfig::plain(), QueueSched::strict(1)),
                 ],
@@ -684,7 +686,7 @@ mod tests {
                 new_ctrl: 1,
                 legacy: 1,
             },
-            shared_buffer: Some((4_500_000, 0.25)),
+            shared_buffer: Some((WireBytes::new(4_500_000), 0.25)),
         }
     }
 
@@ -693,7 +695,7 @@ mod tests {
             id,
             src,
             dst,
-            size,
+            size: Bytes::new(size),
             start,
             tag: 0,
             fg: false,
@@ -826,7 +828,7 @@ mod tests {
         // Force drops by shrinking the data queue drastically; EP should
         // still finish via dupack-triggered retransmission on credits.
         let mut p = ep_profile(Rate::from_gbps(10));
-        p.port.queues[1].0 = QueueConfig::capped(10_000);
+        p.port.queues[1].0 = QueueConfig::capped(WireBytes::new(10_000));
         let topo = Topology::star(3, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
         let mut sim = Sim::new(
             topo,

@@ -10,6 +10,7 @@
 //! for the aggregate-throughput motivation experiment this backs).
 
 use flexpass_simcore::time::{Time, TimeDelta};
+use flexpass_simcore::units::Bytes;
 use flexpass_simnet::consts::{data_wire_bytes, packets_for, payload_of_packet, CTRL_WIRE};
 use flexpass_simnet::endpoint::{AppEvent, Endpoint, EndpointCtx, RxStats, TxStats};
 use flexpass_simnet::packet::{
@@ -27,9 +28,9 @@ const TK_LINGER: u16 = 8;
 /// Homa-lite parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct HomaConfig {
-    /// One RTT worth of data, in bytes (the unscheduled window and the
-    /// granted in-flight target).
-    pub rtt_bytes: u64,
+    /// One RTT worth of data (the unscheduled window and the granted
+    /// in-flight target).
+    pub rtt_bytes: Bytes,
     /// Priority used by unscheduled packets (0 is the network's highest).
     pub unsched_prio: u8,
     /// Priority granted to scheduled packets of large messages.
@@ -48,7 +49,7 @@ impl Default for HomaConfig {
     fn default() -> Self {
         HomaConfig {
             // 25 kB ~ BDP of a 10 Gbps link at 20 us RTT.
-            rtt_bytes: 25_000,
+            rtt_bytes: Bytes::new(25_000),
             unsched_prio: 1,
             sched_prio: 6,
             data_class: TrafficClass::NewData,
@@ -62,7 +63,7 @@ impl Default for HomaConfig {
 impl HomaConfig {
     /// The unscheduled / grant window in packets.
     pub fn rtt_pkts(&self) -> u32 {
-        self.rtt_bytes.div_ceil(1460).max(1) as u32
+        packets_for(self.rtt_bytes).get()
     }
 }
 
@@ -90,7 +91,7 @@ pub struct HomaSender {
 impl HomaSender {
     /// Creates a sender for `spec`.
     pub fn new(spec: FlowSpec, cfg: HomaConfig, _env: &NetEnv) -> Self {
-        let n = packets_for(spec.size);
+        let n = packets_for(spec.size).get();
         HomaSender {
             spec,
             cfg,
@@ -116,10 +117,10 @@ impl HomaSender {
         self.states[seq as usize] = PktState::Sent;
         let pay = payload_of_packet(self.spec.size, seq);
         self.stats.data_pkts += 1;
-        self.stats.data_bytes += pay;
+        self.stats.data_bytes += pay.get();
         if retx {
             self.stats.retx_pkts += 1;
-            self.stats.redundant_bytes += pay;
+            self.stats.redundant_bytes += pay.get();
         }
         ctx.send(
             Packet::new(
@@ -132,7 +133,7 @@ impl HomaSender {
                     flow_seq: seq,
                     sub_seq: seq,
                     sub: Subflow::Only,
-                    payload: pay as u32,
+                    payload: pay,
                     retx,
                 }),
             )
@@ -289,6 +290,7 @@ impl HomaReceiver {
     pub fn new(spec: FlowSpec, cfg: HomaConfig, _env: &NetEnv) -> Self {
         let n = packets_for(spec.size);
         let reasm = Reassembly::new(spec.size, n);
+        let n = n.get();
         HomaReceiver {
             spec,
             cfg,
@@ -343,7 +345,7 @@ impl Endpoint for HomaReceiver {
                     stats: RxStats {
                         pkts_received: self.reasm.received_count() as u64 + self.reasm.duplicates(),
                         dup_pkts: self.reasm.duplicates(),
-                        reorder_peak_bytes: self.reasm.reorder_peak(),
+                        reorder_peak_bytes: self.reasm.reorder_peak().get(),
                     },
                 });
                 ctx.set_timer(
@@ -391,6 +393,7 @@ impl TransportFactory for HomaFactory {
 mod tests {
     use super::*;
     use flexpass_simcore::time::Rate;
+    use flexpass_simcore::units::WireBytes;
     use flexpass_simnet::port::{PortConfig, QueueSched};
     use flexpass_simnet::queue::QueueConfig;
     use flexpass_simnet::sim::{NetObserver, Sim};
@@ -412,7 +415,7 @@ mod tests {
                 ctrl: 0,
                 legacy: 0,
             },
-            shared_buffer: Some((4_500_000, 0.25)),
+            shared_buffer: Some((WireBytes::new(4_500_000), 0.25)),
         }
     }
 
@@ -421,7 +424,7 @@ mod tests {
             id,
             src,
             dst,
-            size,
+            size: Bytes::new(size),
             start,
             tag: 0,
             fg: false,

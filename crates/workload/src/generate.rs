@@ -2,6 +2,7 @@
 
 use flexpass_simcore::rng::SimRng;
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simcore::units::Bytes;
 use flexpass_simnet::packet::FlowSpec;
 
 use crate::cdf::FlowSizeCdf;
@@ -61,7 +62,7 @@ pub fn background(cdf: &FlowSizeCdf, p: &BackgroundParams) -> Vec<FlowSpec> {
             id: p.first_id + i as u64,
             src,
             dst,
-            size: cdf.sample(&mut rng),
+            size: Bytes::new(cdf.sample(&mut rng)),
             start: Time::ZERO + TimeDelta::from_secs_f64(t),
             tag: 0,
             fg: false,
@@ -88,7 +89,7 @@ pub fn incast(
                 id: first_id + i as u64,
                 src,
                 dst: receiver,
-                size: resp_bytes,
+                size: Bytes::new(resp_bytes),
                 start: at,
                 tag: 0,
                 fg: true,
@@ -149,7 +150,7 @@ pub fn foreground_incast(p: &ForegroundParams) -> Vec<FlowSpec> {
                     id,
                     src: s,
                     dst: receiver,
-                    size: p.resp_bytes,
+                    size: Bytes::new(p.resp_bytes),
                     start: Time::ZERO + TimeDelta::from_secs_f64(t),
                     tag: 0,
                     fg: true,
@@ -184,7 +185,7 @@ mod tests {
         let flows = background(&cdf, &p);
         assert_eq!(flows.len(), 20_000);
         let span = flows.last().unwrap().start.as_secs_f64();
-        let bytes: u64 = flows.iter().map(|f| f.size).sum();
+        let bytes: u64 = flows.iter().map(|f| f.size.get()).sum();
         let offered_bps = bytes as f64 * 8.0 / span;
         let core_cap = 192.0 * 40e9 / 3.0;
         let load = offered_bps / core_cap;
@@ -198,7 +199,7 @@ mod tests {
         for f in &flows {
             assert_ne!(f.src, f.dst);
             assert!(f.src < 192 && f.dst < 192);
-            assert!(f.size >= 1);
+            assert!(f.size.get() >= 1);
         }
         // Arrivals are sorted by construction.
         for w in flows.windows(2) {
@@ -225,7 +226,7 @@ mod tests {
         assert_eq!(flows.len(), 8);
         for (i, f) in flows.iter().enumerate() {
             assert_eq!(f.dst, 8);
-            assert_eq!(f.size, 64_000);
+            assert_eq!(f.size.get(), 64_000);
             assert_eq!(f.id, 100 + i as u64);
             assert!(f.fg);
             assert_eq!(f.start, Time::from_millis(1));
@@ -247,7 +248,7 @@ mod tests {
         let flows = foreground_incast(&p);
         assert_eq!(flows.len(), 200 * 47 * 4);
         let span = flows.last().unwrap().start.as_secs_f64();
-        let bytes: u64 = flows.iter().map(|f| f.size).sum();
+        let bytes: u64 = flows.iter().map(|f| f.size.get()).sum();
         let rate = bytes as f64 * 8.0 / span;
         assert!((rate - 10e9).abs() / 10e9 < 0.25, "foreground rate {rate}");
         for f in &flows {

@@ -10,6 +10,7 @@
 //! ```
 
 use flexpass_simcore::time::{Time, TimeDelta};
+use flexpass_simcore::units::Bytes;
 use flexpass_simnet::packet::FlowSpec;
 
 /// A parse failure, with the offending line number (1-based).
@@ -40,7 +41,7 @@ impl std::error::Error for TraceError {}
 ///
 /// let flows = parse_trace("src,dst,size_bytes,start_us\n0,1,1460,0\n1,0,2920,10\n", 0).unwrap();
 /// assert_eq!(flows.len(), 2);
-/// assert_eq!(flows[1].size, 2920);
+/// assert_eq!(flows[1].size.get(), 2920);
 /// assert_eq!(flows[1].start.as_micros_f64(), 10.0);
 /// ```
 pub fn parse_trace(text: &str, first_id: u64) -> Result<Vec<FlowSpec>, TraceError> {
@@ -94,7 +95,7 @@ pub fn parse_trace(text: &str, first_id: u64) -> Result<Vec<FlowSpec>, TraceErro
             id,
             src,
             dst,
-            size: size as u64,
+            size: Bytes::from_f64(size),
             start: Time::ZERO + TimeDelta::from_secs_f64(start_us * 1e-6),
             tag: 0,
             fg: false,
@@ -112,7 +113,7 @@ pub fn render_trace(flows: &[FlowSpec]) -> String {
             "{},{},{},{}\n",
             f.src,
             f.dst,
-            f.size,
+            f.size.get(),
             f.start.as_micros_f64()
         ));
     }

@@ -36,7 +36,7 @@ fn main() {
             id,
             src,
             dst: 3,
-            size: 2_000_000,
+            size: flexpass_simcore::units::Bytes::new(2_000_000),
             start: Time::ZERO,
             tag: 0,
             fg: false,

@@ -37,7 +37,7 @@ fn main() {
         id: 1,
         src: 0,
         dst: 2,
-        size: 10_000_000,
+        size: flexpass_simcore::units::Bytes::new(10_000_000),
         start: Time::ZERO,
         tag: 0,
         fg: false,

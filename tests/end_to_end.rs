@@ -129,7 +129,7 @@ fn deterministic_end_to_end() {
 #[test]
 fn byte_conservation() {
     let (clos, flows) = clos_flows(120, 23);
-    let expected: u64 = flows.iter().map(|f| f.size).sum();
+    let expected: u64 = flows.iter().map(|f| f.size.get()).sum();
     let params = ProfileParams::simulation(clos.link_rate);
     let profile = flexpass_profile(&params);
     let host = host_variant(&profile);

@@ -22,7 +22,7 @@ fn flows(n: u64, size: u64) -> Vec<FlowSpec> {
             id: i,
             src: (i % 4) as usize,
             dst: 4 + (i % 3) as usize,
-            size,
+            size: flexpass_simcore::units::Bytes::new(size),
             start: Time::from_micros(i * 40),
             tag: 0,
             fg: false,

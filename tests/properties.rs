@@ -7,6 +7,7 @@ use flexpass_metrics::Recorder;
 use flexpass_simcore::rng::SimRng;
 use flexpass_simcore::stats::Percentiles;
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simcore::units::{Bytes, PktCount};
 use flexpass_simnet::packet::FlowSpec;
 use flexpass_simnet::sim::Sim;
 use flexpass_simnet::topology::Topology;
@@ -23,8 +24,8 @@ proptest! {
     /// size.
     #[test]
     fn reassembly_any_order(seed in 0u64..1000, n in 1u32..200, dup_rate in 0.0f64..0.5) {
-        let size = n as u64 * 1460;
-        let mut r = Reassembly::new(size, n);
+        let size = Bytes::new(1460) * u64::from(n);
+        let mut r = Reassembly::new(size, PktCount::new(n));
         let mut rng = SimRng::new(seed);
         let mut order: Vec<u32> = (0..n).collect();
         for i in (1..order.len()).rev() {
@@ -123,7 +124,7 @@ proptest! {
                 id: i,
                 src,
                 dst,
-                size: cdf.sample(&mut rng).min(500_000),
+                size: Bytes::new(cdf.sample(&mut rng).min(500_000)),
                 start: Time::from_nanos(rng.next_below(2_000_000)),
                 tag: 0,
                 fg: false,

@@ -16,7 +16,7 @@ fn flow(id: u64, src: usize, dst: usize, size: u64, start_us: u64) -> FlowSpec {
         id,
         src,
         dst,
-        size,
+        size: flexpass_simcore::units::Bytes::new(size),
         start: Time::from_micros(start_us),
         tag: 0,
         fg: false,

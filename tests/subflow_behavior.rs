@@ -66,7 +66,7 @@ fn run_scenario_a() -> Recorder {
         id: 1,
         src: 0,
         dst: 2,
-        size: 500_000_000,
+        size: flexpass_simcore::units::Bytes::new(500_000_000),
         start: Time::ZERO,
         tag: 1,
         fg: false,

@@ -1,18 +1,35 @@
 //! Workspace automation tasks, invoked as `cargo xtask <task>`.
 //!
-//! Currently one task: `lint`, the determinism static-analysis pass over
-//! the simulation crates (see `lint.rs` and DESIGN.md "Determinism &
-//! invariants").
+//! Currently one task: `lint`, the determinism & units static-analysis pass
+//! over the simulation crates (see `lint.rs` and DESIGN.md "Determinism &
+//! invariants"). Findings can be rendered for humans (default), as JSON
+//! (`--format json`, for CI artifacts), or as GitHub Actions error
+//! annotations (`--format github`).
 
 mod lint;
+mod tokenize;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Github,
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("lint") => run_lint(),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => match parse_format(&args[1..]) {
+            Ok(fmt) => run_lint(fmt),
+            Err(msg) => {
+                eprintln!("{msg}");
+                print_usage();
+                ExitCode::FAILURE
+            }
+        },
         Some("help") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -25,32 +42,126 @@ fn main() -> ExitCode {
     }
 }
 
+fn parse_format(args: &[String]) -> Result<Format, String> {
+    let mut fmt = Format::Human;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = if let Some(v) = arg.strip_prefix("--format=") {
+            v.to_string()
+        } else if arg == "--format" {
+            it.next()
+                .ok_or_else(|| "--format requires a value".to_string())?
+                .clone()
+        } else {
+            return Err(format!("unknown argument `{arg}`"));
+        };
+        fmt = match value.as_str() {
+            "human" => Format::Human,
+            "json" => Format::Json,
+            "github" => Format::Github,
+            other => return Err(format!("unknown format `{other}`")),
+        };
+    }
+    Ok(fmt)
+}
+
 fn print_usage() {
     eprintln!("usage: cargo xtask <task>");
     eprintln!();
     eprintln!("tasks:");
-    eprintln!("  lint    run the determinism lint over the simulation crates");
+    eprintln!("  lint [--format human|json|github]");
+    eprintln!("          run the determinism & units lint over the simulation crates");
+    eprintln!();
+    eprintln!("lint rules:");
+    for (name, why) in lint::RULES {
+        eprintln!("  {name:<18} {why}");
+    }
 }
 
-fn run_lint() -> ExitCode {
+fn run_lint(fmt: Format) -> ExitCode {
     let root = workspace_root();
-    match lint::lint_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("xtask lint: clean");
-            ExitCode::SUCCESS
+    let findings = match lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
         }
-        Ok(findings) => {
+    };
+    match fmt {
+        Format::Human => {
             for f in &findings {
                 eprintln!("{f}");
             }
-            eprintln!("xtask lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            if findings.is_empty() {
+                println!("xtask lint: clean");
+            } else {
+                eprintln!("xtask lint: {} finding(s)", findings.len());
+            }
         }
-        Err(e) => {
-            eprintln!("xtask lint: {e}");
-            ExitCode::FAILURE
+        Format::Json => println!("{}", to_json(&findings)),
+        Format::Github => {
+            for f in &findings {
+                // `::error` annotations surface inline on the PR diff.
+                println!(
+                    "::error file={},line={},col={},title=lint {}::{} ({})",
+                    f.file, f.line, f.col, f.rule, f.text, f.why
+                );
+            }
+            if findings.is_empty() {
+                println!("xtask lint: clean");
+            } else {
+                eprintln!("xtask lint: {} finding(s)", findings.len());
+            }
         }
     }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Renders findings as a JSON array (hand-rolled: the workspace builds
+/// offline with no serde dependency).
+fn to_json(findings: &[lint::Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"text\":{},\"why\":{}}}",
+            json_str(&f.file),
+            f.line,
+            f.col,
+            json_str(f.rule),
+            json_str(&f.text),
+            json_str(f.why)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// The workspace root is one level above this crate's manifest dir.
@@ -60,4 +171,33 @@ fn workspace_root() -> PathBuf {
         .parent()
         .expect("xtask crate lives directly under the workspace root")
         .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_special_chars() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn json_output_shape() {
+        let findings = vec![lint::Finding {
+            file: "crates/simnet/src/x.rs".into(),
+            line: 3,
+            col: 7,
+            rule: "wall-clock",
+            text: "let t = Instant::now();".into(),
+            why: "wall-clock time in simulation logic; use simcore::time",
+        }];
+        let j = to_json(&findings);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"file\":\"crates/simnet/src/x.rs\""));
+        assert!(j.contains("\"line\":3"));
+        assert!(j.contains("\"col\":7"));
+        assert!(j.contains("\"rule\":\"wall-clock\""));
+        assert_eq!(to_json(&[]), "[]");
+    }
 }
