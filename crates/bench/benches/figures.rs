@@ -181,7 +181,7 @@ fn bench_sweep_point(c: &mut Criterion) {
                 let mut spec = SweepSpec::fig10(RunScale::Smoke);
                 spec.n_flows = Some(60);
                 let p = run_point(scheme, 0.5, &spec);
-                assert_eq!(p.flows, 60);
+                assert_eq!(p.flows as u64, 60);
             })
         });
     }

@@ -17,8 +17,13 @@ use flexpass_simcore::time::TimeDelta;
 use flexpass_simnet::topology::Topology;
 use flexpass_workload::FlowSizeCdf;
 
+use std::sync::Arc;
+
+use flexpass_simcore::ProgressProbe;
+
 use crate::csvout::{f, Csv};
-use crate::runner::{run_flows, RunScale, ScenarioResult};
+use crate::orchestrate::{self, Task, TaskCtx};
+use crate::runner::{run_flows_probed, RunScale, ScenarioResult};
 use crate::sweep::{build_flows, SweepSpec};
 
 /// One ablation variant.
@@ -60,7 +65,12 @@ fn variants() -> Vec<Variant> {
 
 /// Runs one FlexPass variant at `ratio` deployment; returns
 /// `(p99 small upgraded, avg upgraded, timeouts, redundancy)`.
-fn run_variant(cfg: FlexPassConfig, ratio: f64, scale: RunScale) -> (f64, f64, u64, f64) {
+fn run_variant(
+    cfg: FlexPassConfig,
+    ratio: f64,
+    scale: RunScale,
+    probe: Option<Arc<ProgressProbe>>,
+) -> (f64, f64, u64, f64) {
     let spec = SweepSpec {
         schemes: vec![Scheme::FlexPass],
         ratios: vec![ratio],
@@ -90,13 +100,14 @@ fn run_variant(cfg: FlexPassConfig, ratio: f64, scale: RunScale) -> (f64, f64, u
     let host = flexpass::profiles::host_variant(&profile);
     let topo = Topology::clos(clos, &profile, &host);
     let factory = SchemeFactory::new(Scheme::FlexPass, deployment, cfg, frac);
-    let rec = run_flows(
+    let rec = run_flows_probed(
         topo,
         Box::new(factory),
         Recorder::new(),
         &flows,
         None,
         TimeDelta::millis(20),
+        probe,
     );
     (
         rec.p99_small(Some(TAG_UPGRADED)),
@@ -117,18 +128,38 @@ pub fn ablation(scale: RunScale) -> ScenarioResult {
         "timeouts",
         "redundancy_frac",
     ]);
+    let ratios = [0.5, 1.0];
+    let mut tasks: Vec<Task<(f64, f64, u64, f64)>> = Vec::new();
     for v in variants() {
-        for &ratio in &[0.5, 1.0] {
-            eprintln!("  ablation: {} ratio={ratio}", v.name);
-            let (p99, avg, timeouts, red) = run_variant(v.cfg, ratio, scale);
-            csv.row(&[
-                v.name.into(),
-                format!("{ratio:.2}"),
-                f(p99 * 1e3),
-                f(avg * 1e3),
-                timeouts.to_string(),
-                f(red),
-            ]);
+        for &ratio in &ratios {
+            let cfg = v.cfg;
+            tasks.push(Task::new(
+                format!("{}:r{ratio:.2}", v.name),
+                move |ctx: &TaskCtx| run_variant(cfg, ratio, scale, Some(Arc::clone(&ctx.probe))),
+            ));
+        }
+    }
+    let mut results = orchestrate::run_tasks("ablation", tasks).into_iter();
+    for v in variants() {
+        for &ratio in &ratios {
+            match results.next().expect("one result per (variant, ratio)") {
+                Ok((p99, avg, timeouts, red)) => csv.row(&[
+                    v.name.into(),
+                    format!("{ratio:.2}"),
+                    f(p99 * 1e3),
+                    f(avg * 1e3),
+                    timeouts.to_string(),
+                    f(red),
+                ]),
+                Err(_) => csv.row(&[
+                    v.name.into(),
+                    format!("{ratio:.2}"),
+                    f(f64::NAN),
+                    f(f64::NAN),
+                    "nan".into(),
+                    f(f64::NAN),
+                ]),
+            }
         }
     }
     ScenarioResult::new("ablation_design_choices", csv)

@@ -41,14 +41,13 @@ impl Csv {
         self.rows.is_empty()
     }
 
-    /// Renders the table as CSV text.
+    /// Renders the table as CSV text (RFC 4180: cells containing a comma,
+    /// quote or newline are quoted, with inner quotes doubled).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&self.header.join(","));
-        out.push('\n');
+        render_row(&mut out, &self.header);
         for r in &self.rows {
-            out.push_str(&r.join(","));
-            out.push('\n');
+            render_row(&mut out, r);
         }
         out
     }
@@ -61,9 +60,36 @@ impl Csv {
     }
 }
 
+fn render_row(out: &mut String, cells: &[String]) {
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if cell.contains([',', '"', '\n', '\r']) {
+            out.push('"');
+            out.push_str(&cell.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(cell);
+        }
+    }
+    out.push('\n');
+}
+
 /// Formats a float with 4 significant decimals for CSV cells.
 pub fn f(v: f64) -> String {
     format!("{v:.6}")
+}
+
+/// Formats a seed-averaged count: whole numbers render without a decimal
+/// point (so single-seed tables look like raw counts), fractional means
+/// keep two decimals.
+pub fn count(v: f64) -> String {
+    if v.fract() == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
 }
 
 #[cfg(test)]
@@ -78,6 +104,26 @@ mod tests {
         assert_eq!(c.render(), "a,b\n1,2\nx,y\n");
         assert_eq!(c.len(), 2);
         assert!(!c.is_empty());
+    }
+
+    /// RFC 4180 regression: commas, quotes and newlines in cells must not
+    /// corrupt the table shape.
+    #[test]
+    fn quotes_special_cells() {
+        let mut c = Csv::new(&["label", "value"]);
+        c.row(&["has,comma".into(), "plain".into()]);
+        c.row(&["say \"hi\"".into(), "line\nbreak".into()]);
+        assert_eq!(
+            c.render(),
+            "label,value\n\"has,comma\",plain\n\"say \"\"hi\"\"\",\"line\nbreak\"\n"
+        );
+    }
+
+    #[test]
+    fn count_formats_means() {
+        assert_eq!(count(7.0), "7");
+        assert_eq!(count(7.5), "7.50");
+        assert_eq!(count(0.0), "0");
     }
 
     #[test]

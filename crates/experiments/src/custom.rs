@@ -11,8 +11,11 @@ use flexpass_simnet::packet::FlowSpec;
 use flexpass_simnet::topology::Topology;
 use flexpass_workload::parse_trace;
 
+use std::sync::Arc;
+
 use crate::csvout::{f, Csv};
-use crate::runner::{run_flows, RunScale, ScenarioResult};
+use crate::orchestrate::{self, TaskCtx};
+use crate::runner::{run_flows_probed, RunScale, ScenarioResult};
 
 /// Settings for a custom trace replay.
 #[derive(Clone, Debug)]
@@ -68,14 +71,17 @@ pub fn run_trace(flows: &[FlowSpec], spec: &CustomSpec) -> (Recorder, ScenarioRe
     let host = flexpass::profiles::host_variant(&profile);
     let topo = Topology::clos(clos, &profile, &host);
     let factory = SchemeFactory::new(spec.scheme, deployment, FlexPassConfig::new(spec.wq), frac);
-    let rec = run_flows(
-        topo,
-        Box::new(factory),
-        Recorder::new(),
-        &flows,
-        None,
-        TimeDelta::millis(20),
-    );
+    let rec = orchestrate::run_isolated("custom", "trace", Recorder::new, move |ctx: &TaskCtx| {
+        run_flows_probed(
+            topo,
+            Box::new(factory),
+            Recorder::new(),
+            &flows,
+            None,
+            TimeDelta::millis(20),
+            Some(Arc::clone(&ctx.probe)),
+        )
+    });
 
     let mut csv = Csv::new(&[
         "flow_type",

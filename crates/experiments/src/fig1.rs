@@ -13,8 +13,11 @@ use flexpass_transport::dctcp::{DctcpConfig, DctcpReceiver, DctcpSender};
 use flexpass_transport::expresspass::{EpConfig, EpReceiver, EpSender};
 use flexpass_transport::homa::{HomaConfig, HomaReceiver, HomaSender};
 
+use std::sync::Arc;
+
 use crate::csvout::{f, Csv};
-use crate::runner::{run_window, star_topo, ScenarioResult};
+use crate::orchestrate::{self, TaskCtx};
+use crate::runner::{run_window_probed, star_topo, ScenarioResult};
 
 /// Dispatches each flow to one of two transports by its tag
 /// (0 = legacy DCTCP, 1 = the new transport).
@@ -97,18 +100,21 @@ fn series_csv(rec: &Recorder, window_ms: u64, labels: [&str; 2]) -> Csv {
 /// Figure 1(a): 1 ExpressPass vs 1 DCTCP long flow into one 10 G receiver,
 /// naive (shared-queue, full-credit-rate) configuration.
 pub fn fig1a() -> ScenarioResult {
-    let params = ProfileParams::testbed(Rate::from_gbps(10));
-    let profile = naive_profile(&params);
-    let topo = star_topo(3, &profile);
-    let factory = TagFactory::dctcp_vs_ep(EpConfig::default());
-    let flows = vec![long_flow(1, 0, 2, 0), long_flow(2, 1, 2, 1)];
-    let rec = run_window(
-        topo,
-        Box::new(factory),
-        Recorder::new().with_throughput(TimeDelta::millis(1)),
-        &flows,
-        Time::from_millis(120),
-    );
+    let rec = orchestrate::run_isolated("fig1a", "ep_vs_dctcp", Recorder::new, |ctx: &TaskCtx| {
+        let params = ProfileParams::testbed(Rate::from_gbps(10));
+        let profile = naive_profile(&params);
+        let topo = star_topo(3, &profile);
+        let factory = TagFactory::dctcp_vs_ep(EpConfig::default());
+        let flows = vec![long_flow(1, 0, 2, 0), long_flow(2, 1, 2, 1)];
+        run_window_probed(
+            topo,
+            Box::new(factory),
+            Recorder::new().with_throughput(TimeDelta::millis(1)),
+            &flows,
+            Time::from_millis(120),
+            Some(Arc::clone(&ctx.probe)),
+        )
+    });
     ScenarioResult::new(
         "fig1a_ep_vs_dctcp",
         series_csv(&rec, 120, ["dctcp_gbps", "expresspass_gbps"]),
@@ -118,32 +124,36 @@ pub fn fig1a() -> ScenarioResult {
 /// Figure 1(b): 16 Homa + 16 DCTCP flows sharing a 10 G link; DCTCP mapped
 /// to the highest-priority queue (paper footnote 3).
 pub fn fig1b() -> ScenarioResult {
-    let params = ProfileParams::testbed(Rate::from_gbps(10));
-    let profile = homa_mix_profile(&params);
-    let topo = star_topo(33, &profile);
-    // DCTCP rides the highest-priority queue (footnote 3); Homa's
-    // high-priority traffic (unscheduled bursts and its currently granted
-    // messages) shares that queue, so the aggregate standing queue of 16
-    // granted flows — one RTT of data each — sits in front of DCTCP's ECN
-    // marking threshold and collapses its window.
-    let homa = HomaConfig {
-        unsched_prio: 0,
-        sched_prio: 0,
-        ..HomaConfig::default()
-    };
-    let factory = TagFactory::dctcp_vs_homa(homa);
-    let mut flows = Vec::new();
-    for i in 0..16u64 {
-        flows.push(long_flow(i, i as usize, 32, 0)); // DCTCP
-        flows.push(long_flow(16 + i, 16 + i as usize, 32, 1)); // Homa
-    }
-    let rec = run_window(
-        topo,
-        Box::new(factory),
-        Recorder::new().with_throughput(TimeDelta::millis(1)),
-        &flows,
-        Time::from_millis(120),
-    );
+    let rec =
+        orchestrate::run_isolated("fig1b", "homa_vs_dctcp", Recorder::new, |ctx: &TaskCtx| {
+            let params = ProfileParams::testbed(Rate::from_gbps(10));
+            let profile = homa_mix_profile(&params);
+            let topo = star_topo(33, &profile);
+            // DCTCP rides the highest-priority queue (footnote 3); Homa's
+            // high-priority traffic (unscheduled bursts and its currently granted
+            // messages) shares that queue, so the aggregate standing queue of 16
+            // granted flows — one RTT of data each — sits in front of DCTCP's ECN
+            // marking threshold and collapses its window.
+            let homa = HomaConfig {
+                unsched_prio: 0,
+                sched_prio: 0,
+                ..HomaConfig::default()
+            };
+            let factory = TagFactory::dctcp_vs_homa(homa);
+            let mut flows = Vec::new();
+            for i in 0..16u64 {
+                flows.push(long_flow(i, i as usize, 32, 0)); // DCTCP
+                flows.push(long_flow(16 + i, 16 + i as usize, 32, 1)); // Homa
+            }
+            run_window_probed(
+                topo,
+                Box::new(factory),
+                Recorder::new().with_throughput(TimeDelta::millis(1)),
+                &flows,
+                Time::from_millis(120),
+                Some(Arc::clone(&ctx.probe)),
+            )
+        });
     ScenarioResult::new(
         "fig1b_homa_vs_dctcp",
         series_csv(&rec, 120, ["dctcp_gbps", "homa_gbps"]),

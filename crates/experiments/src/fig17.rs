@@ -6,31 +6,45 @@ use flexpass::schemes::Scheme;
 use flexpass_workload::FlowSizeCdf;
 
 use crate::csvout::{f, Csv};
+use crate::orchestrate::{self, Task, TaskCtx};
 use crate::runner::{RunScale, ScenarioResult};
 use crate::sweep::{run_point, SweepSpec};
 
-/// Runs the threshold sweep at 100 % deployment.
+/// Runs the threshold sweep at 100 % deployment. The four threshold
+/// points are independent simulations, so they go through the worker
+/// pool; a failed point renders as NaN and is reported at exit.
 pub fn fig17(scale: RunScale) -> ScenarioResult {
     let thresholds: &[u64] = &[50_000, 100_000, 150_000, 200_000];
-    let mut rows = Vec::new();
-    for &thr in thresholds {
-        let spec = SweepSpec {
-            schemes: vec![Scheme::FlexPass],
-            ratios: vec![1.0],
-            cdf: FlowSizeCdf::web_search(),
-            load: 0.5,
-            mixed: false,
-            scale,
-            seed: 21,
-            wq: 0.5,
-            sel_drop: thr,
-            n_flows: None,
-            seeds: 1,
-        };
-        eprintln!("  fig17: threshold {} kB", thr / 1000);
-        let p = run_point(Scheme::FlexPass, 1.0, &spec);
-        rows.push((thr, p.p99_small[0], p.avg[0]));
-    }
+    let tasks: Vec<Task<(f64, f64)>> = thresholds
+        .iter()
+        .map(|&thr| {
+            let spec = SweepSpec {
+                schemes: vec![Scheme::FlexPass],
+                ratios: vec![1.0],
+                cdf: FlowSizeCdf::web_search(),
+                load: 0.5,
+                mixed: false,
+                scale,
+                seed: 21,
+                wq: 0.5,
+                sel_drop: thr,
+                n_flows: None,
+                seeds: 1,
+            };
+            Task::new(format!("thr{}k", thr / 1000), move |_: &TaskCtx| {
+                let p = run_point(Scheme::FlexPass, 1.0, &spec);
+                (p.p99_small[0], p.avg[0])
+            })
+        })
+        .collect();
+    let rows: Vec<(u64, f64, f64)> = thresholds
+        .iter()
+        .zip(orchestrate::run_tasks("fig17", tasks))
+        .map(|(&thr, r)| {
+            let (p99, avg) = r.unwrap_or((f64::NAN, f64::NAN));
+            (thr, p99, avg)
+        })
+        .collect();
     // Degradation of overall average FCT relative to the most permissive
     // threshold (largest), as the paper plots it.
     let baseline_avg = rows.last().map(|r| r.2).unwrap_or(1.0);

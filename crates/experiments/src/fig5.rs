@@ -12,14 +12,28 @@ use flexpass_simcore::time::TimeDelta;
 use flexpass_simnet::topology::Topology;
 use flexpass_workload::FlowSizeCdf;
 
+use std::sync::Arc;
+
+use flexpass_simcore::ProgressProbe;
+
 use crate::csvout::{f, Csv};
-use crate::runner::{run_flows, RunScale, ScenarioResult};
+use crate::orchestrate::{self, Task, TaskCtx};
+use crate::runner::{run_flows_probed, RunScale, ScenarioResult};
 use crate::sweep::{build_flows, SweepSpec};
 
 /// Runs FlexPass with a given protocol configuration at one deployment
 /// ratio; returns `(p99 small all, p99 small upgraded, mean reorder peak of
 /// upgraded flows)`.
 pub fn run_variant(cfg: FlexPassConfig, ratio: f64, scale: RunScale) -> (f64, f64, f64) {
+    run_variant_probed(cfg, ratio, scale, None)
+}
+
+fn run_variant_probed(
+    cfg: FlexPassConfig,
+    ratio: f64,
+    scale: RunScale,
+    probe: Option<Arc<ProgressProbe>>,
+) -> (f64, f64, f64) {
     let spec = SweepSpec {
         schemes: vec![Scheme::FlexPass],
         ratios: vec![ratio],
@@ -49,13 +63,14 @@ pub fn run_variant(cfg: FlexPassConfig, ratio: f64, scale: RunScale) -> (f64, f6
     let host = flexpass::profiles::host_variant(&profile);
     let topo = Topology::clos(clos, &profile, &host);
     let factory = SchemeFactory::new(Scheme::FlexPass, deployment, cfg, frac);
-    let rec = run_flows(
+    let rec = run_flows_probed(
         topo,
         Box::new(factory),
         Recorder::new(),
         &flows,
         None,
         TimeDelta::millis(20),
+        probe,
     );
     let upgraded: Vec<f64> = rec
         .flows
@@ -78,35 +93,63 @@ pub fn run_variant(cfg: FlexPassConfig, ratio: f64, scale: RunScale) -> (f64, f6
 /// Figure 5(a): FlexPass vs RC3-style splitting at 25/50/75/100 %
 /// deployment — p99 FCT of small flows vs mean reordering buffer.
 pub fn fig5a(scale: RunScale) -> ScenarioResult {
+    let grid: Vec<(&str, FlexPassConfig, f64)> = [0.5, 1.0]
+        .iter()
+        .flat_map(|&ratio| {
+            [
+                ("flexpass", FlexPassConfig::new(0.5), ratio),
+                ("rc3_split", FlexPassConfig::rc3_splitting(0.5), ratio),
+            ]
+        })
+        .collect();
+    let tasks: Vec<Task<(f64, f64, f64)>> = grid
+        .iter()
+        .map(|&(label, cfg, ratio)| {
+            Task::new(format!("{label}:r{ratio:.2}"), move |ctx: &TaskCtx| {
+                run_variant_probed(cfg, ratio, scale, Some(Arc::clone(&ctx.probe)))
+            })
+        })
+        .collect();
     let mut csv = Csv::new(&["variant", "deploy_ratio", "p99_small_ms", "reorder_mean_kb"]);
-    for &ratio in &[0.5, 1.0] {
-        for (label, cfg) in [
-            ("flexpass", FlexPassConfig::new(0.5)),
-            ("rc3_split", FlexPassConfig::rc3_splitting(0.5)),
-        ] {
-            let (p99, _p99u, reorder) = run_variant(cfg, ratio, scale);
-            csv.row(&[
-                label.into(),
-                format!("{ratio:.2}"),
-                f(p99 * 1e3),
-                f(reorder / 1e3),
-            ]);
-        }
+    for ((label, _, ratio), r) in grid.iter().zip(orchestrate::run_tasks("fig5a", tasks)) {
+        let (p99, _p99u, reorder) = r.unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+        csv.row(&[
+            (*label).into(),
+            format!("{ratio:.2}"),
+            f(p99 * 1e3),
+            f(reorder / 1e3),
+        ]);
     }
     ScenarioResult::new("fig5a_rc3_split", csv)
 }
 
 /// Figure 5(b): FlexPass vs alternative queueing across deployment ratios.
 pub fn fig5b(scale: RunScale) -> ScenarioResult {
+    let grid: Vec<(&str, FlexPassConfig, f64)> = [0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .flat_map(|&ratio| {
+            [
+                ("flexpass", FlexPassConfig::new(0.5), ratio),
+                (
+                    "alternative",
+                    FlexPassConfig::alternative_queueing(0.5),
+                    ratio,
+                ),
+            ]
+        })
+        .collect();
+    let tasks: Vec<Task<(f64, f64, f64)>> = grid
+        .iter()
+        .map(|&(label, cfg, ratio)| {
+            Task::new(format!("{label}:r{ratio:.2}"), move |ctx: &TaskCtx| {
+                run_variant_probed(cfg, ratio, scale, Some(Arc::clone(&ctx.probe)))
+            })
+        })
+        .collect();
     let mut csv = Csv::new(&["variant", "deploy_ratio", "p99_small_ms"]);
-    for &ratio in &[0.25, 0.5, 0.75, 1.0] {
-        for (label, cfg) in [
-            ("flexpass", FlexPassConfig::new(0.5)),
-            ("alternative", FlexPassConfig::alternative_queueing(0.5)),
-        ] {
-            let (p99, _, _) = run_variant(cfg, ratio, scale);
-            csv.row(&[label.into(), format!("{ratio:.2}"), f(p99 * 1e3)]);
-        }
+    for ((label, _, ratio), r) in grid.iter().zip(orchestrate::run_tasks("fig5b", tasks)) {
+        let (p99, _, _) = r.unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+        csv.row(&[(*label).into(), format!("{ratio:.2}"), f(p99 * 1e3)]);
     }
     ScenarioResult::new("fig5b_alt_queueing", csv)
 }

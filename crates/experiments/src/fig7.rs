@@ -10,8 +10,13 @@ use flexpass_simcore::time::{Rate, Time, TimeDelta};
 use flexpass_simcore::units::Bytes;
 use flexpass_simnet::packet::{FlowSpec, Subflow};
 
+use std::sync::Arc;
+
+use flexpass_simcore::ProgressProbe;
+
 use crate::csvout::{f, Csv};
-use crate::runner::{run_window, star_topo, ScenarioResult};
+use crate::orchestrate::{self, TaskCtx};
+use crate::runner::{run_window_probed, star_topo, ScenarioResult};
 
 fn long_flow(id: u64, src: usize, dst: usize, tag: u32) -> FlowSpec {
     FlowSpec {
@@ -25,7 +30,12 @@ fn long_flow(id: u64, src: usize, dst: usize, tag: u32) -> FlowSpec {
     }
 }
 
-fn run(flows: Vec<FlowSpec>, upgraded_hosts: &[usize], window_ms: u64) -> Recorder {
+fn run(
+    flows: Vec<FlowSpec>,
+    upgraded_hosts: &[usize],
+    window_ms: u64,
+    probe: Option<Arc<ProgressProbe>>,
+) -> Recorder {
     let params = ProfileParams::testbed(Rate::from_gbps(10));
     let profile = flexpass_profile(&params);
     let topo = star_topo(3, &profile);
@@ -35,12 +45,13 @@ fn run(flows: Vec<FlowSpec>, upgraded_hosts: &[usize], window_ms: u64) -> Record
     }
     let deployment = Deployment::from_hosts(up);
     let factory = SchemeFactory::new(Scheme::FlexPass, deployment, FlexPassConfig::new(0.5), 0.5);
-    run_window(
+    run_window_probed(
         topo,
         Box::new(factory),
         Recorder::new().with_throughput(TimeDelta::millis(1)),
         &flows,
         Time::from_millis(window_ms),
+        probe,
     )
 }
 
@@ -71,29 +82,43 @@ fn subflow_csv(rec: &Recorder, window_ms: u64) -> Csv {
 /// Figure 7(a): one FlexPass flow alone — proactive takes w_q of the link,
 /// reactive soaks up the rest.
 pub fn fig7a() -> ScenarioResult {
-    let rec = run(vec![long_flow(1, 0, 2, 1)], &[0, 1, 2], 45);
+    let rec = orchestrate::run_isolated("fig7a", "one_flexpass", Recorder::new, |ctx: &TaskCtx| {
+        run(
+            vec![long_flow(1, 0, 2, 1)],
+            &[0, 1, 2],
+            45,
+            Some(Arc::clone(&ctx.probe)),
+        )
+    });
     ScenarioResult::new("fig7a_one_flexpass", subflow_csv(&rec, 45))
 }
 
 /// Figure 7(b): two FlexPass flows — proactive sub-flows share the
 /// guaranteed half; reactive sub-flows starve.
 pub fn fig7b() -> ScenarioResult {
-    let rec = run(
-        vec![long_flow(1, 0, 2, 1), long_flow(2, 1, 2, 1)],
-        &[0, 1, 2],
-        90,
-    );
+    let rec = orchestrate::run_isolated("fig7b", "two_flexpass", Recorder::new, |ctx: &TaskCtx| {
+        run(
+            vec![long_flow(1, 0, 2, 1), long_flow(2, 1, 2, 1)],
+            &[0, 1, 2],
+            90,
+            Some(Arc::clone(&ctx.probe)),
+        )
+    });
     ScenarioResult::new("fig7b_two_flexpass", subflow_csv(&rec, 90))
 }
 
 /// Figure 7(c): one DCTCP + one FlexPass flow — each transport gets its
 /// guaranteed half; the reactive sub-flow finds no spare bandwidth.
 pub fn fig7c() -> ScenarioResult {
-    let rec = run(
-        vec![long_flow(1, 0, 2, 0), long_flow(2, 1, 2, 1)],
-        &[1, 2],
-        90,
-    );
+    let rec =
+        orchestrate::run_isolated("fig7c", "dctcp_flexpass", Recorder::new, |ctx: &TaskCtx| {
+            run(
+                vec![long_flow(1, 0, 2, 0), long_flow(2, 1, 2, 1)],
+                &[1, 2],
+                90,
+                Some(Arc::clone(&ctx.probe)),
+            )
+        });
     ScenarioResult::new("fig7c_dctcp_flexpass", subflow_csv(&rec, 90))
 }
 

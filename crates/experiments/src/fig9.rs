@@ -76,9 +76,30 @@ pub fn starvation(rec: &Recorder, tag: u32) -> f64 {
 }
 
 /// The full Figure 9: two throughput time series plus the starvation bar.
+/// The two coexistence runs are independent, so they share the worker
+/// pool; a failed run falls back to an empty recorder (all-zero series)
+/// and is reported at exit.
 pub fn fig9() -> Vec<ScenarioResult> {
-    let ep = run_ep_vs_dctcp();
-    let fp = run_fp_vs_dctcp();
+    let mut results = crate::orchestrate::run_tasks(
+        "fig9",
+        vec![
+            crate::orchestrate::Task::new("ep_vs_dctcp", |_: &crate::orchestrate::TaskCtx| {
+                run_ep_vs_dctcp()
+            }),
+            crate::orchestrate::Task::new("fp_vs_dctcp", |_: &crate::orchestrate::TaskCtx| {
+                run_fp_vs_dctcp()
+            }),
+        ],
+    )
+    .into_iter();
+    let mut next = || {
+        results
+            .next()
+            .expect("one result per coexistence run")
+            .unwrap_or_else(|_| Recorder::new())
+    };
+    let ep = next();
+    let fp = next();
 
     let series = |rec: &Recorder, new_label: &str| {
         let mut csv = Csv::new(&["time_ms", "dctcp_gbps", new_label]);

@@ -29,6 +29,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod orchestrate;
 pub mod plot;
 pub mod queue_study;
 pub mod runner;

@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! flexpass-experiments --fig all            [--out results] [--scale default]
+//! flexpass-experiments --fig all            [--out results] [--scale default] [--jobs N]
 //! flexpass-experiments --fig fig10          # one figure
 //! ```
 //!
@@ -13,11 +13,22 @@
 //! data of figs 12–13; fig15 covers fig16's average-FCT series; ablation
 //! is this reproduction's design-choice study). `--fig custom --trace F`
 //! replays a user flow trace (`src,dst,size_bytes,start_us`).
+//!
+//! `--jobs N` sets the worker-thread count for the experiment pool
+//! (default: available parallelism; `--jobs 1` runs serially). Output is
+//! byte-identical for every value — each simulation point is its own
+//! deterministic single-threaded run, and results reassemble in spec
+//! order. A point that panics is isolated: the rest of the sweep
+//! completes, the failed cells are listed at exit, and the exit code is
+//! nonzero. `--inject-panic LABEL` deliberately fails the named task
+//! (labels as printed in failure reports, e.g. `fig10:naive:r0.50:s0`)
+//! to exercise that path end to end.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use flexpass_experiments::custom::{run_trace_file, CustomSpec};
+use flexpass_experiments::orchestrate;
 use flexpass_experiments::runner::RunScale;
 use flexpass_experiments::{
     ablation, fig1, fig17, fig18, fig5, fig7, fig8, fig9, queue_study, sweep,
@@ -57,9 +68,25 @@ fn main() {
                 });
                 i += 2;
             }
+            "--jobs" => {
+                let n: usize = args[i + 1].parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs takes a positive integer, got {}", args[i + 1]);
+                    std::process::exit(2);
+                });
+                if n == 0 {
+                    eprintln!("--jobs must be >= 1");
+                    std::process::exit(2);
+                }
+                orchestrate::set_jobs(n);
+                i += 2;
+            }
+            "--inject-panic" => {
+                orchestrate::inject_panic(Some(args[i + 1].clone()));
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: flexpass-experiments [--fig NAME|all] [--out DIR] [--scale smoke|default|full]");
+                eprintln!("usage: flexpass-experiments [--fig NAME|all] [--out DIR] [--scale smoke|default|full] [--jobs N] [--inject-panic LABEL]");
                 std::process::exit(2);
             }
         }
@@ -143,5 +170,15 @@ fn main() {
     if ran == 0 {
         eprintln!("no figure matched '{fig}'");
         std::process::exit(2);
+    }
+
+    let failures = orchestrate::take_failures();
+    if !failures.is_empty() {
+        eprintln!("{} point(s) FAILED:", failures.len());
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        eprintln!("the remaining points completed; failed cells render as NaN/empty rows");
+        std::process::exit(1);
     }
 }

@@ -11,12 +11,17 @@ use flexpass_simcore::time::TimeDelta;
 use flexpass_simnet::topology::Topology;
 use flexpass_workload::FlowSizeCdf;
 
+use std::sync::Arc;
+
+use flexpass_simcore::ProgressProbe;
+
 use crate::csvout::{f, Csv};
-use crate::runner::{run_flows, RunScale, ScenarioResult};
+use crate::orchestrate::{self, Task, TaskCtx};
+use crate::runner::{run_flows_probed, RunScale, ScenarioResult};
 use crate::sweep::{build_flows, SweepSpec};
 
 /// One deployment point with queue sampling enabled.
-fn run_queue_point(ratio: f64, scale: RunScale) -> Recorder {
+fn run_queue_point(ratio: f64, scale: RunScale, probe: Option<Arc<ProgressProbe>>) -> Recorder {
     let spec = SweepSpec {
         schemes: vec![Scheme::FlexPass],
         ratios: vec![ratio],
@@ -42,13 +47,14 @@ fn run_queue_point(ratio: f64, scale: RunScale) -> Recorder {
     let host = flexpass::profiles::host_variant(&profile);
     let topo = Topology::clos(clos, &profile, &host);
     let factory = SchemeFactory::new(Scheme::FlexPass, deployment, FlexPassConfig::new(0.5), frac);
-    run_flows(
+    run_flows_probed(
         topo,
         Box::new(factory),
         Recorder::new().with_queue_watch(1),
         &flows,
         Some(TimeDelta::micros(100)),
         TimeDelta::millis(20),
+        probe,
     )
 }
 
@@ -67,9 +73,20 @@ pub fn queue_study(scale: RunScale) -> ScenarioResult {
         "redundancy_frac",
         "timeouts",
     ]);
-    for &ratio in &[0.5, 1.0] {
-        eprintln!("  queue study: ratio {ratio}");
-        let mut rec = run_queue_point(ratio, scale);
+    let ratios = [0.5, 1.0];
+    let tasks: Vec<Task<Recorder>> = ratios
+        .iter()
+        .map(|&ratio| {
+            Task::new(format!("r{ratio:.2}"), move |ctx: &TaskCtx| {
+                run_queue_point(ratio, scale, Some(Arc::clone(&ctx.probe)))
+            })
+        })
+        .collect();
+    for (&ratio, r) in ratios
+        .iter()
+        .zip(orchestrate::run_tasks("queue_study", tasks))
+    {
+        let mut rec = r.unwrap_or_else(|_| Recorder::new());
         let avg = rec.q_bytes.mean();
         let p90 = rec.q_bytes.quantile(0.9);
         let busy_avg = rec.q_busy_bytes.mean();

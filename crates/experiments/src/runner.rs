@@ -1,7 +1,10 @@
 //! Shared scenario plumbing: scale presets and simulation helpers.
 
+use std::sync::Arc;
+
 use flexpass_metrics::Recorder;
 use flexpass_simcore::time::{Time, TimeDelta};
+use flexpass_simcore::ProgressProbe;
 use flexpass_simnet::packet::FlowSpec;
 use flexpass_simnet::sim::{Sim, TransportFactory};
 use flexpass_simnet::switch::SwitchProfile;
@@ -77,7 +80,27 @@ pub fn run_flows(
     sampling: Option<TimeDelta>,
     grace: TimeDelta,
 ) -> Recorder {
+    run_flows_probed(topo, factory, recorder, flows, sampling, grace, None)
+}
+
+/// [`run_flows`] with an optional [`ProgressProbe`] attached to the event
+/// calendar so the orchestrator's heartbeat can watch the run. Worker
+/// closures pass `Some(ctx.probe.clone())` (see [`crate::orchestrate`]);
+/// the probe is observational only and cannot change any outcome.
+#[allow(clippy::too_many_arguments)]
+pub fn run_flows_probed(
+    topo: Topology,
+    factory: Box<dyn TransportFactory>,
+    recorder: Recorder,
+    flows: &[FlowSpec],
+    sampling: Option<TimeDelta>,
+    grace: TimeDelta,
+    probe: Option<Arc<ProgressProbe>>,
+) -> Recorder {
     let mut sim = Sim::new(topo, factory, recorder);
+    if let Some(p) = probe {
+        sim.attach_progress(p);
+    }
     if let Some(every) = sampling {
         sim.enable_sampling(every);
     }
@@ -98,7 +121,23 @@ pub fn run_window(
     flows: &[FlowSpec],
     until: Time,
 ) -> Recorder {
+    run_window_probed(topo, factory, recorder, flows, until, None)
+}
+
+/// [`run_window`] with an optional [`ProgressProbe`], as
+/// [`run_flows_probed`].
+pub fn run_window_probed(
+    topo: Topology,
+    factory: Box<dyn TransportFactory>,
+    recorder: Recorder,
+    flows: &[FlowSpec],
+    until: Time,
+    probe: Option<Arc<ProgressProbe>>,
+) -> Recorder {
     let mut sim = Sim::new(topo, factory, recorder);
+    if let Some(p) = probe {
+        sim.attach_progress(p);
+    }
     for f in flows {
         sim.schedule_flow(f.clone());
     }

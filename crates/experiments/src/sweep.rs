@@ -1,6 +1,23 @@
 //! The deployment-ratio sweep engine behind Figures 10–16: a scheme is
 //! rolled out rack by rack from 0 % to 100 % and FCT statistics are
 //! collected per flow type (legacy vs upgraded).
+//!
+//! Every (scheme, ratio, seed) triple is an independent deterministic
+//! simulation, so [`run_sweep`] fans them across the worker pool in
+//! [`crate::orchestrate`] and reassembles results in spec order — output
+//! is byte-identical for any `--jobs` value. A point that panics is
+//! isolated: surviving seeds of the cell still aggregate, and the failure
+//! is reported at exit.
+//!
+//! **Seed-averaging semantics** (`SweepSpec::seeds > 1`, CSV columns):
+//! every mean-like column — FCT means/percentiles, `reorder_mean_kb`,
+//! `timeouts`, `redundancy_frac`, `flows` — is the arithmetic mean over
+//! seeds, so `timeouts`/`flows` are *per-run means*, not sums.
+//! `stddev_small_*` pools variances (square root of the mean per-seed
+//! variance): arithmetically averaging standard deviations would bias
+//! Figure 13 low, since the sqrt of a mean exceeds the mean of sqrts.
+
+use std::sync::Arc;
 
 use flexpass::config::FlexPassConfig;
 use flexpass::profiles::ProfileParams;
@@ -8,13 +25,15 @@ use flexpass::schemes::{Deployment, Scheme, SchemeFactory, TAG_LEGACY, TAG_UPGRA
 use flexpass_metrics::Recorder;
 use flexpass_simcore::rng::SimRng;
 use flexpass_simcore::time::TimeDelta;
+use flexpass_simcore::ProgressProbe;
 use flexpass_simnet::packet::FlowSpec;
 use flexpass_simnet::topology::Topology;
 use flexpass_workload::FlowSizeCdf;
 use flexpass_workload::{background, foreground_incast, BackgroundParams, ForegroundParams};
 
-use crate::csvout::{f, Csv};
-use crate::runner::{run_flows, RunScale, ScenarioResult};
+use crate::csvout::{count, f, Csv};
+use crate::orchestrate::{self, Task, TaskCtx};
+use crate::runner::{run_flows_probed, RunScale, ScenarioResult};
 
 /// What to sweep.
 #[derive(Clone, Debug)]
@@ -76,15 +95,16 @@ pub struct SweepPoint {
     /// Average FCT over all sizes, all / legacy / upgraded, seconds.
     pub avg: [f64; 3],
     /// Std dev of small-flow FCT, all / legacy / upgraded, seconds.
+    /// Seed-averaged points pool variances (see [`aggregate_seeds`]).
     pub stddev_small: [f64; 3],
     /// Mean reorder-buffer peak over upgraded flows, bytes.
     pub reorder_mean: f64,
-    /// Sender timeouts.
-    pub timeouts: u64,
+    /// Sender timeouts: per-run count, or the mean over seeds.
+    pub timeouts: f64,
     /// Redundant bytes / sent bytes.
     pub redundancy: f64,
-    /// Flows completed.
-    pub flows: usize,
+    /// Flows completed: per-run count, or the mean over seeds.
+    pub flows: f64,
 }
 
 /// Generates the workload for one sweep point and tags flows by deployment.
@@ -134,43 +154,81 @@ pub fn build_flows(spec: &SweepSpec, deployment: &Deployment, n_hosts: usize) ->
     flows
 }
 
-/// Runs one (scheme, ratio) point, averaging over `spec.seeds` seeds.
-pub fn run_point(scheme: Scheme, ratio: f64, spec: &SweepSpec) -> SweepPoint {
-    let n = spec.seeds.max(1);
-    let mut acc: Option<SweepPoint> = None;
-    for k in 0..n {
-        let mut s = spec.clone();
-        s.seed = spec.seed.wrapping_add(k as u64 * 7919);
-        let p = run_point_once(scheme, ratio, &s);
-        acc = Some(match acc {
-            None => p,
-            Some(mut a) => {
-                for i in 0..3 {
-                    a.p99_small[i] += p.p99_small[i];
-                    a.avg[i] += p.avg[i];
-                    a.stddev_small[i] += p.stddev_small[i];
-                }
-                a.reorder_mean += p.reorder_mean;
-                a.timeouts += p.timeouts;
-                a.redundancy += p.redundancy;
-                a.flows += p.flows;
-                a
-            }
-        });
-    }
-    let mut p = acc.expect("at least one seed");
-    let nf = n as f64;
-    for i in 0..3 {
-        p.p99_small[i] /= nf;
-        p.avg[i] /= nf;
-        p.stddev_small[i] /= nf;
-    }
-    p.reorder_mean /= nf;
-    p.redundancy /= nf;
-    p
+/// The seed used for replicate `k` of a point (replicates must not share
+/// the workload RNG stream, hence the prime stride).
+fn seed_for(spec: &SweepSpec, k: u32) -> u64 {
+    spec.seed.wrapping_add(k as u64 * 7919)
 }
 
-fn run_point_once(scheme: Scheme, ratio: f64, spec: &SweepSpec) -> SweepPoint {
+/// Aggregates the per-seed results of one (scheme, ratio) cell.
+///
+/// Mean-like statistics — FCT means and percentiles, `reorder_mean`,
+/// `redundancy`, `timeouts`, `flows` — take the arithmetic mean over
+/// seeds (historically `timeouts`/`flows` were *summed* across seeds
+/// while everything else was averaged, so multi-seed tables mixed
+/// per-run and per-sweep units in one row). `stddev_small` pools
+/// variances — sqrt of the mean per-seed variance — because standard
+/// deviations do not average: the mean of sqrts under-estimates the
+/// pooled spread Figure 13 plots.
+pub fn aggregate_seeds(points: &[SweepPoint]) -> SweepPoint {
+    let first = points.first().expect("at least one seed result");
+    let nf = points.len() as f64;
+    let mut agg = SweepPoint {
+        scheme: first.scheme,
+        ratio: first.ratio,
+        p99_small: [0.0; 3],
+        avg: [0.0; 3],
+        stddev_small: [0.0; 3],
+        reorder_mean: 0.0,
+        timeouts: 0.0,
+        redundancy: 0.0,
+        flows: 0.0,
+    };
+    for p in points {
+        for i in 0..3 {
+            agg.p99_small[i] += p.p99_small[i];
+            agg.avg[i] += p.avg[i];
+            agg.stddev_small[i] += p.stddev_small[i] * p.stddev_small[i];
+        }
+        agg.reorder_mean += p.reorder_mean;
+        agg.timeouts += p.timeouts;
+        agg.redundancy += p.redundancy;
+        agg.flows += p.flows;
+    }
+    for i in 0..3 {
+        agg.p99_small[i] /= nf;
+        agg.avg[i] /= nf;
+        agg.stddev_small[i] = (agg.stddev_small[i] / nf).sqrt();
+    }
+    agg.reorder_mean /= nf;
+    agg.timeouts /= nf;
+    agg.redundancy /= nf;
+    agg.flows /= nf;
+    agg
+}
+
+/// Runs one (scheme, ratio) point serially on the calling thread,
+/// averaging over `spec.seeds` seeds (see [`aggregate_seeds`]). Library
+/// consumers (benches, examples, figure 17/18 cells) use this directly;
+/// [`run_sweep`] runs the same per-seed simulations through the worker
+/// pool instead.
+pub fn run_point(scheme: Scheme, ratio: f64, spec: &SweepSpec) -> SweepPoint {
+    let per_seed: Vec<SweepPoint> = (0..spec.seeds.max(1))
+        .map(|k| {
+            let mut s = spec.clone();
+            s.seed = seed_for(spec, k);
+            run_point_once(scheme, ratio, &s, None)
+        })
+        .collect();
+    aggregate_seeds(&per_seed)
+}
+
+fn run_point_once(
+    scheme: Scheme,
+    ratio: f64,
+    spec: &SweepSpec,
+    probe: Option<Arc<ProgressProbe>>,
+) -> SweepPoint {
     let clos = spec.scale.clos();
     let n_hosts = clos.n_hosts();
     let rack_of: Vec<usize> = (0..n_hosts).map(|h| h / clos.hosts_per_tor).collect();
@@ -188,13 +246,14 @@ fn run_point_once(scheme: Scheme, ratio: f64, spec: &SweepSpec) -> SweepPoint {
 
     let fp_cfg = FlexPassConfig::new(spec.wq);
     let factory = SchemeFactory::new(scheme, deployment, fp_cfg, frac);
-    let rec = run_flows(
+    let rec = run_flows_probed(
         topo,
         Box::new(factory),
         Recorder::new(),
         &flows,
         None,
         TimeDelta::millis(20),
+        probe,
     );
     point_from_recorder(scheme, ratio, &rec)
 }
@@ -223,19 +282,70 @@ fn point_from_recorder(scheme: Scheme, ratio: f64, rec: &Recorder) -> SweepPoint
         avg,
         stddev_small,
         reorder_mean,
-        timeouts: rec.total_timeouts(),
+        timeouts: rec.total_timeouts() as f64,
         redundancy: rec.redundancy_fraction(),
-        flows: rec.completed(),
+        flows: rec.completed() as f64,
     }
 }
 
-/// Runs the full sweep.
+/// Runs the full sweep on the worker pool (see [`run_sweep_jobs`]) with
+/// the globally configured `--jobs` count under the generic group label
+/// `sweep`.
 pub fn run_sweep(spec: &SweepSpec) -> Vec<SweepPoint> {
+    run_sweep_jobs(orchestrate::jobs(), "sweep", spec)
+}
+
+/// Runs the full sweep with an explicit worker count: the flattened
+/// (scheme, ratio, seed) triples are independent tasks on the work queue,
+/// and results reassemble in spec order, so the output is byte-identical
+/// for every `jobs` value (`jobs = 1` reproduces the historical serial
+/// order exactly). A seed whose simulation panics is dropped from its
+/// cell (surviving seeds still aggregate) and surfaces through
+/// [`orchestrate::take_failures`]; a cell that loses *every* seed renders
+/// as NaN statistics rather than fabricated zeros.
+pub fn run_sweep_jobs(jobs: usize, group: &str, spec: &SweepSpec) -> Vec<SweepPoint> {
+    let n_seeds = spec.seeds.max(1);
+    let mut tasks: Vec<Task<SweepPoint>> = Vec::new();
+    for &scheme in &spec.schemes {
+        for &ratio in &spec.ratios {
+            for k in 0..n_seeds {
+                let mut s = spec.clone();
+                s.seed = seed_for(spec, k);
+                tasks.push(Task::new(
+                    format!("{}:r{ratio:.2}:s{k}", scheme.label()),
+                    move |ctx: &TaskCtx| {
+                        run_point_once(scheme, ratio, &s, Some(Arc::clone(&ctx.probe)))
+                    },
+                ));
+            }
+        }
+    }
+    let mut results = orchestrate::run_tasks_on(jobs, group, tasks).into_iter();
     let mut out = Vec::new();
     for &scheme in &spec.schemes {
         for &ratio in &spec.ratios {
-            eprintln!("  sweep: scheme={} ratio={ratio}", scheme.label());
-            out.push(run_point(scheme, ratio, spec));
+            let cell: Vec<SweepPoint> = (0..n_seeds)
+                .filter_map(|_| results.next().expect("one result per seed task").ok())
+                .collect();
+            out.push(if cell.is_empty() {
+                eprintln!(
+                    "  [{group}] cell {}:r{ratio:.2} lost all {n_seeds} seed(s); emitting NaN row",
+                    scheme.label()
+                );
+                SweepPoint {
+                    scheme: scheme.label(),
+                    ratio,
+                    p99_small: [f64::NAN; 3],
+                    avg: [f64::NAN; 3],
+                    stddev_small: [f64::NAN; 3],
+                    reorder_mean: f64::NAN,
+                    timeouts: f64::NAN,
+                    redundancy: f64::NAN,
+                    flows: f64::NAN,
+                }
+            } else {
+                aggregate_seeds(&cell)
+            });
         }
     }
     out
@@ -243,6 +353,12 @@ pub fn run_sweep(spec: &SweepSpec) -> Vec<SweepPoint> {
 
 /// Renders sweep points as the CSVs behind Figures 10–13 (or 11 with
 /// mixed traffic): one wide table carrying every series.
+///
+/// Column semantics when `seeds > 1`: every column is averaged over
+/// seeds — `timeouts` and `flows` are per-run means (not sums across
+/// seeds), and the `stddev_small_*` columns are pooled standard
+/// deviations (sqrt of the mean per-seed variance). See
+/// [`aggregate_seeds`].
 pub fn to_csv(points: &[SweepPoint]) -> Csv {
     let mut csv = Csv::new(&[
         "scheme",
@@ -275,9 +391,9 @@ pub fn to_csv(points: &[SweepPoint]) -> Csv {
             f(p.stddev_small[1] * 1e3),
             f(p.stddev_small[2] * 1e3),
             f(p.reorder_mean / 1e3),
-            p.timeouts.to_string(),
+            count(p.timeouts),
             f(p.redundancy),
-            p.flows.to_string(),
+            count(p.flows),
         ]);
     }
     csv
@@ -314,7 +430,8 @@ pub fn by_type_csv(points: &[SweepPoint], stddev: bool) -> Csv {
 pub fn fig10_or_11(scale: RunScale, mixed: bool) -> Vec<ScenarioResult> {
     let mut spec = SweepSpec::fig10(scale);
     spec.mixed = mixed;
-    let points = run_sweep(&spec);
+    let group = if mixed { "fig11" } else { "fig10" };
+    let points = run_sweep_jobs(orchestrate::jobs(), group, &spec);
     if mixed {
         vec![ScenarioResult::new("fig11_sweep", to_csv(&points))]
     } else {
@@ -345,7 +462,7 @@ pub fn fig14(scale: RunScale) -> ScenarioResult {
         if scale == RunScale::Default {
             spec.n_flows = Some(600);
         }
-        for p in run_sweep(&spec) {
+        for p in run_sweep_jobs(orchestrate::jobs(), "fig14", &spec) {
             csv.row(&[
                 p.scheme.to_string(),
                 format!("{load:.1}"),
@@ -376,7 +493,7 @@ pub fn fig15_16(scale: RunScale) -> ScenarioResult {
         if scale == RunScale::Default {
             spec.n_flows = Some(600);
         }
-        let points = run_sweep(&spec);
+        let points = run_sweep_jobs(orchestrate::jobs(), "fig15_16", &spec);
         // Gain relative to the 0 % (all-DCTCP) point of the same scheme.
         for &scheme in &spec.schemes {
             let base = points
@@ -402,4 +519,56 @@ pub fn fig15_16(scale: RunScale) -> ScenarioResult {
         }
     }
     ScenarioResult::new("fig15_16_workloads", csv)
+}
+
+#[cfg(test)]
+mod tests {
+    // Exact float equality is the point here: the inputs are
+    // hand-built dyadic values and aggregation must not perturb them.
+    #![allow(clippy::float_cmp)]
+
+    use super::*;
+
+    fn point(stddev: f64, timeouts: f64, flows: f64) -> SweepPoint {
+        SweepPoint {
+            scheme: "x",
+            ratio: 0.5,
+            p99_small: [1.0; 3],
+            avg: [2.0; 3],
+            stddev_small: [stddev; 3],
+            reorder_mean: 4.0,
+            timeouts,
+            redundancy: 0.2,
+            flows,
+        }
+    }
+
+    /// The seed-aggregation bugfixes: timeouts/flows are means (the old
+    /// code summed them), and stddevs pool variances (the old code took
+    /// the arithmetic mean of per-seed stddevs).
+    #[test]
+    fn aggregate_means_counts_and_pools_variance() {
+        let agg = aggregate_seeds(&[point(3.0, 10.0, 100.0), point(4.0, 20.0, 200.0)]);
+        assert_eq!(agg.timeouts, 15.0);
+        assert_eq!(agg.flows, 150.0);
+        let pooled = ((9.0 + 16.0) / 2.0f64).sqrt();
+        for i in 0..3 {
+            assert!((agg.stddev_small[i] - pooled).abs() < 1e-12);
+            assert_eq!(agg.p99_small[i], 1.0);
+            assert_eq!(agg.avg[i], 2.0);
+        }
+        assert_eq!(agg.reorder_mean, 4.0);
+        assert!((agg.redundancy - 0.2).abs() < 1e-12);
+    }
+
+    /// A single seed aggregates to itself (pooling one variance is the
+    /// identity), so `seeds = 1` tables are unchanged by the fix.
+    #[test]
+    fn aggregate_single_seed_is_identity() {
+        let p = point(3.0, 7.0, 30.0);
+        let agg = aggregate_seeds(std::slice::from_ref(&p));
+        assert_eq!(agg.stddev_small, p.stddev_small);
+        assert_eq!(agg.timeouts, p.timeouts);
+        assert_eq!(agg.flows, p.flows);
+    }
 }

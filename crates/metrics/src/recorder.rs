@@ -331,6 +331,16 @@ mod tests {
         );
     }
 
+    /// A recorder crosses threads in the parallel sweep: it is built on the
+    /// orchestrating thread, moved into a worker with the simulation, and
+    /// the finished point comes back the same way. Compile-time check.
+    #[test]
+    fn recorder_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Recorder>();
+        assert_send::<FlowRecord>();
+    }
+
     #[test]
     fn fct_stats_by_size_and_tag() {
         let mut r = Recorder::new();

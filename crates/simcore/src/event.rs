@@ -7,7 +7,9 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
+use crate::progress::{ProgressProbe, PUBLISH_EVERY};
 use crate::time::Time;
 
 /// A pending entry in the calendar.
@@ -61,6 +63,9 @@ pub struct EventQueue<E> {
     next_seq: u64,
     popped: u64,
     last_time: Time,
+    /// Observational progress counters published every
+    /// [`PUBLISH_EVERY`] pops; never read back by the simulation.
+    probe: Option<Arc<ProgressProbe>>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -77,7 +82,17 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             popped: 0,
             last_time: Time::ZERO,
+            probe: None,
         }
+    }
+
+    /// Attaches a [`ProgressProbe`] the calendar publishes `(popped, now)`
+    /// into every [`PUBLISH_EVERY`] pops. Purely observational: the
+    /// simulation never reads the probe, so attaching one cannot change
+    /// any simulated outcome.
+    pub fn attach_probe(&mut self, probe: Arc<ProgressProbe>) {
+        probe.publish(self.popped, self.last_time.as_nanos());
+        self.probe = Some(probe);
     }
 
     /// Schedules `payload` to fire at absolute instant `time`.
@@ -106,6 +121,11 @@ impl<E> EventQueue<E> {
         self.last_time = entry.time;
         #[cfg(feature = "audit")]
         flexpass_simaudit::on_event_pop(entry.time.as_nanos(), entry.seq);
+        if self.popped & (PUBLISH_EVERY - 1) == 0 {
+            if let Some(p) = &self.probe {
+                p.publish(self.popped, entry.time.as_nanos());
+            }
+        }
         Some((entry.time, entry.payload))
     }
 
@@ -182,6 +202,27 @@ mod tests {
         q.schedule(Time::from_micros(3), ());
         q.pop();
         assert_eq!(q.now(), Time::from_micros(3));
+    }
+
+    #[test]
+    fn probe_publishes_on_pop_boundary() {
+        use crate::progress::{ProgressProbe, PUBLISH_EVERY};
+        use std::sync::Arc;
+
+        let mut q = EventQueue::new();
+        let probe = Arc::new(ProgressProbe::new());
+        q.attach_probe(Arc::clone(&probe));
+        for i in 0..PUBLISH_EVERY + 1 {
+            q.schedule(Time::from_nanos(i), i);
+        }
+        // Before the publish boundary the probe still shows the initial 0.
+        for _ in 0..PUBLISH_EVERY - 1 {
+            q.pop();
+        }
+        assert_eq!(probe.events(), 0);
+        q.pop(); // pop number PUBLISH_EVERY → publish fires
+        assert_eq!(probe.events(), PUBLISH_EVERY);
+        assert_eq!(probe.vtime_ns(), PUBLISH_EVERY - 1);
     }
 
     #[test]

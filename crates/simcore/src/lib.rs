@@ -8,6 +8,8 @@
 //!   `(time, insertion sequence)` so equal-time events fire FIFO.
 //! * [`rng`] — seeded deterministic randomness and a symmetric flow hash for
 //!   ECMP path selection.
+//! * [`progress`] — atomic progress counters ([`ProgressProbe`]) a running
+//!   calendar publishes into, for cross-thread heartbeat reporting.
 //! * [`stats`] — online mean/variance, exact percentiles, time-binned series.
 //! * [`units`] — byte-accounting newtypes ([`Bytes`], [`WireBytes`],
 //!   [`PktCount`]) keeping payload and wire bytes apart at compile time.
@@ -27,12 +29,14 @@
 //! ```
 
 pub mod event;
+pub mod progress;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod units;
 
 pub use event::EventQueue;
+pub use progress::ProgressProbe;
 pub use rng::SimRng;
 pub use stats::{OnlineStats, Percentiles, TimeSeries};
 pub use time::{Rate, Time, TimeDelta};

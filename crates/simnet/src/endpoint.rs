@@ -107,7 +107,11 @@ impl<'a> EndpointCtx<'a> {
 }
 
 /// One half (sender or receiver) of a transport protocol instance.
-pub trait Endpoint {
+/// `Send` is a supertrait so a whole simulation — hosts hold their live
+/// endpoints as `Box<dyn Endpoint>` — can be constructed on one thread and
+/// driven on a worker thread by the experiment orchestrator. Endpoints are
+/// plain state machines over owned data, so this costs implementors nothing.
+pub trait Endpoint: Send {
     /// Called once when the flow starts (sender) or is registered (receiver).
     fn activate(&mut self, ctx: &mut EndpointCtx);
 

@@ -86,7 +86,12 @@ impl NetObserver for NullObserver {}
 
 /// Creates the two endpoint halves of each flow. Scheme layers (oWF, Naïve,
 /// FlexPass, ...) implement this to mix transports across hosts.
-pub trait TransportFactory {
+///
+/// `Send` is a supertrait so a factory can be built on the orchestrating
+/// thread and moved into the worker thread that drives the simulation
+/// (see the experiments crate's parallel sweep). Factories hold only
+/// configuration and the deployment map, so this is free in practice.
+pub trait TransportFactory: Send {
     /// Builds the sender endpoint.
     fn sender(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint>;
     /// Builds the receiver endpoint.
@@ -207,6 +212,13 @@ impl<O: NetObserver> Sim<O> {
     /// Total events processed (progress metric).
     pub fn events_processed(&self) -> u64 {
         self.events.popped()
+    }
+
+    /// Attaches a progress probe the event calendar publishes into while
+    /// the simulation runs (see [`flexpass_simcore::progress`]). Purely
+    /// observational — cannot change any simulated outcome.
+    pub fn attach_progress(&mut self, probe: std::sync::Arc<flexpass_simcore::ProgressProbe>) {
+        self.events.attach_probe(probe);
     }
 
     /// Number of flows that have completed (receiver side).
@@ -635,6 +647,17 @@ mod tests {
             tag: 0,
             fg: false,
         }
+    }
+
+    /// The whole driver must be `Send` so one sweep point can run on a
+    /// worker thread: `Endpoint` and `TransportFactory` carry `Send`
+    /// supertraits, everything else is owned data. A compile-time check.
+    #[test]
+    fn sim_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Sim<NullObserver>>();
+        assert_send::<Box<dyn TransportFactory>>();
+        assert_send::<Box<dyn Endpoint>>();
     }
 
     #[test]

@@ -31,10 +31,22 @@
 //!   (`DATA_WIRE`, `DATA_HEADER_WIRE`, `CTRL_WIRE`, `WireBytes`) with
 //!   payload-byte names (`MTU_PAYLOAD`, `Bytes`, `payload`) in one
 //!   expression. The only blessed domain crossing is `simnet::consts`.
+//! * `thread-spawn` — `std::thread` (spawn/scope/sleep/…). A simulation
+//!   is a single-threaded event loop; parallelism belongs to the
+//!   experiment orchestrator, which runs whole simulations on worker
+//!   threads but never threads *inside* one.
 //!
 //! Escape hatch: a `lint:allow(<rule>)` comment on the offending line,
 //! directly above it (comment runs count as one block), or directly above
 //! the statement containing it suppresses that rule.
+//!
+//! Beyond the simulation crates, the pass also covers the files in
+//! [`LINTED_EXTRA_FILES`] — currently the experiment orchestrator, whose
+//! wall-clock heartbeat and worker threads are *intentional* and carry
+//! scoped `lint:allow` rationales. Linting it keeps every other rule
+//! (ambient RNG, hash collections, raw casts, …) enforced there, and
+//! keeps each exemption an explicit, per-line decision instead of a
+//! blanket skip of the file.
 //!
 //! Unlike the v1 pass, which substring-matched comment-stripped lines and
 //! only exempted a *trailing* `#[cfg(test)]` module, this version drives a
@@ -58,6 +70,12 @@ const LINTED_CRATES: &[&str] = &[
     "crates/core",
 ];
 
+/// Individual files outside [`LINTED_CRATES`] the pass also covers. The
+/// orchestrator legitimately uses threads and wall-clock time — each use
+/// carries a scoped `lint:allow` rationale — while every other rule stays
+/// fully enforced for it.
+pub const LINTED_EXTRA_FILES: &[&str] = &["crates/experiments/src/orchestrate.rs"];
+
 /// The only file allowed to define/use the float↔time conversions.
 const FLOAT_TIME_HOME: &str = "crates/simcore/src/time.rs";
 
@@ -80,6 +98,8 @@ const WHY_PANIC: &str =
     "panic in simulation code; handle the case or justify with lint:allow(panic-path)";
 const WHY_MIXING: &str =
     "arithmetic mixing wire bytes and payload bytes; cross domains in simnet::consts only";
+const WHY_THREAD: &str =
+    "threads in simulation logic; only the experiment orchestrator may spawn/sleep threads";
 
 /// `(name, rationale)` for every rule, for `--help`-style listings.
 pub const RULES: &[(&str, &str)] = &[
@@ -90,6 +110,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("raw-cast", WHY_RAW_CAST),
     ("panic-path", WHY_PANIC),
     ("unit-mixing", WHY_MIXING),
+    ("thread-spawn", WHY_THREAD),
 ];
 
 /// One lint finding.
@@ -119,7 +140,8 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Lints every `src/**/*.rs` file of the covered crates under `root`.
+/// Lints every `src/**/*.rs` file of the covered crates under `root`,
+/// plus the individually covered [`LINTED_EXTRA_FILES`].
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
     for krate in LINTED_CRATES {
@@ -136,6 +158,10 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             let src = fs::read_to_string(&path)?;
             findings.extend(lint_source(&rel, &src));
         }
+    }
+    for rel in LINTED_EXTRA_FILES {
+        let src = fs::read_to_string(root.join(rel))?;
+        findings.extend(lint_source(rel, &src));
     }
     findings.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
     Ok(findings)
@@ -212,6 +238,9 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
                 cands.push((i, "panic-path", WHY_PANIC));
             }
             "unwrap" if next_is("(") => cands.push((i, "panic-path", WHY_PANIC)),
+            "thread" if i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "std" => {
+                cands.push((i, "thread-spawn", WHY_THREAD));
+            }
             "as" if !unit_home
                 && next.is_some_and(|n| n.kind == Kind::Ident && is_numeric_type(&n.text))
                 && cast_source_is_quantity(toks, i) =>
@@ -555,6 +584,26 @@ mod tests {
     fn wall_clock_flagged() {
         let src = "fn f() { let t = std::time::Instant::now(); }";
         assert_eq!(rules_hit("crates/simcore/src/x.rs", src), ["wall-clock"]);
+    }
+
+    #[test]
+    fn thread_use_flagged() {
+        let src = "fn f() { std::thread::sleep(std::time::Duration::from_millis(1)); }";
+        assert_eq!(rules_hit("crates/simcore/src/x.rs", src), ["thread-spawn"]);
+        let src = "use std::thread;\nfn f() { thread::spawn(|| {}); }";
+        assert_eq!(rules_hit("crates/simnet/src/x.rs", src), ["thread-spawn"]);
+    }
+
+    #[test]
+    fn thread_use_suppressed_by_scoped_allow() {
+        let src = "// lint:allow(thread-spawn): worker pool, not sim logic\n\
+                   fn f() { std::thread::yield_now(); }";
+        assert!(lint_source("crates/simcore/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn extra_files_cover_the_orchestrator() {
+        assert!(LINTED_EXTRA_FILES.contains(&"crates/experiments/src/orchestrate.rs"));
     }
 
     #[test]
