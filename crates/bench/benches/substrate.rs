@@ -23,6 +23,7 @@ use flexpass_simnet::port::{Decision, Port, PortConfig, QueueSched};
 use flexpass_simnet::queue::QueueConfig;
 
 fn bench_event_queue(c: &mut Criterion) {
+    use flexpass_bench::{timer_heavy_workload, uniform_workload, Backend};
     let mut g = c.benchmark_group("event_queue");
     g.throughput(Throughput::Elements(100_000));
     g.bench_function("schedule_pop_100k", |b| {
@@ -39,6 +40,18 @@ fn bench_event_queue(c: &mut Criterion) {
             sum
         })
     });
+    // The shared workloads (`flexpass_bench`) pinned to each backend: the
+    // wheel must beat the legacy heap on timer churn and at least match it
+    // on the uniform batch (BENCH_substrate.json tracks the committed
+    // baseline; `cargo xtask bench` regenerates it).
+    for backend in [Backend::Wheel, Backend::Heap] {
+        g.bench_function(&format!("uniform_100k_{}", backend.name()), |b| {
+            b.iter(|| uniform_workload(backend, 100_000))
+        });
+        g.bench_function(&format!("timer_heavy_{}", backend.name()), |b| {
+            b.iter(|| timer_heavy_workload(backend, 100_000))
+        });
+    }
     g.finish();
 }
 

@@ -1,0 +1,163 @@
+//! Standalone substrate benchmark runner: times the shared calendar
+//! workloads (`flexpass_bench`) on both the timing-wheel and the legacy
+//! binary-heap backend and emits a machine-readable JSON report
+//! (events/sec, ns/event, wheel-over-heap speedups).
+//!
+//! Invoked as `cargo xtask bench [--smoke] [--out PATH]`; the committed
+//! `BENCH_substrate.json` at the workspace root is this program's output
+//! on the reference machine. `--smoke` runs a fast, CI-sized variant that
+//! checks the wheel does not regress behind the heap without asserting the
+//! full speedup target.
+//!
+//! This is the one place (besides the experiment orchestrator) where
+//! wall-clock time is legitimate: the whole point is to measure real
+//! execution speed. Virtual time inside the workloads is untouched.
+
+use std::time::Instant;
+
+use flexpass_bench::{timer_heavy_workload, uniform_workload, Backend};
+
+/// One timed measurement of a workload on a backend.
+struct Measurement {
+    workload: &'static str,
+    backend: Backend,
+    events: u64,
+    iters: u32,
+    ns_total: u128,
+}
+
+impl Measurement {
+    fn ns_per_event(&self) -> f64 {
+        self.ns_total as f64 / (self.events as f64 * f64::from(self.iters))
+    }
+
+    fn events_per_sec(&self) -> f64 {
+        1e9 / self.ns_per_event()
+    }
+}
+
+/// Times `f` for `iters` iterations after one warm-up run. `events` is the
+/// per-iteration event count the workload processes (scheduled entries,
+/// including the ones later cancelled — the calendar paid for them).
+fn measure(
+    workload: &'static str,
+    backend: Backend,
+    events: u64,
+    iters: u32,
+    f: impl Fn() -> u64,
+) -> Measurement {
+    let warmup = f();
+    let start = Instant::now();
+    let mut check = 0u64;
+    for _ in 0..iters {
+        check = f();
+    }
+    let ns_total = start.elapsed().as_nanos();
+    assert_eq!(check, warmup, "workload is not deterministic");
+    Measurement {
+        workload,
+        backend,
+        events,
+        iters,
+        ns_total,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(args.next().expect("--out requires a path")),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: substrate_bench [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Smoke keeps the full workload size (the wheel-vs-heap ratio shifts
+    // at small n, where per-queue setup and sparse slot occupancy dominate)
+    // and just cuts the iteration count.
+    let (n, iters) = if smoke { (100_000, 3) } else { (100_000, 20) };
+
+    let mut results = Vec::new();
+    for backend in [Backend::Wheel, Backend::Heap] {
+        results.push(measure("uniform", backend, n, iters, || {
+            uniform_workload(backend, n)
+        }));
+        // Each timer-heavy step schedules two entries (hot event + RTO).
+        results.push(measure("timer_heavy", backend, 2 * n, iters, || {
+            timer_heavy_workload(backend, n)
+        }));
+    }
+
+    let speedup = |workload: &str| -> f64 {
+        let rate = |b: Backend| {
+            results
+                .iter()
+                .find(|m| m.workload == workload && m.backend == b)
+                .expect("both backends measured")
+                .events_per_sec()
+        };
+        rate(Backend::Wheel) / rate(Backend::Heap)
+    };
+    let uniform_speedup = speedup("uniform");
+    let timer_speedup = speedup("timer_heavy");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"flexpass-bench-substrate/v1\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    json.push_str(&format!("  \"events_per_iter\": {n},\n"));
+    json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"ns_per_event\": {:.2}, \"events_per_sec\": {:.0}}}{}\n",
+            m.workload,
+            m.backend.name(),
+            m.ns_per_event(),
+            m.events_per_sec(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"wheel_over_heap\": {{\"uniform\": {uniform_speedup:.3}, \"timer_heavy\": {timer_speedup:.3}}}\n"
+    ));
+    json.push_str("}\n");
+
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write bench report");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    eprintln!(
+        "substrate_bench: wheel-over-heap speedup: uniform {uniform_speedup:.2}x, timer-heavy {timer_speedup:.2}x"
+    );
+
+    // Regression gates. The smoke run (slow debug-ish CI machines, tiny
+    // iteration counts) only insists the wheel is not slower than the
+    // heap; the full run asserts the paper-level target for timer churn.
+    let (timer_floor, uniform_floor) = if smoke { (1.0, 0.85) } else { (1.5, 0.95) };
+    if timer_speedup < timer_floor {
+        eprintln!(
+            "FAIL: timer-heavy speedup {timer_speedup:.2}x is below the {timer_floor:.2}x floor"
+        );
+        std::process::exit(1);
+    }
+    if uniform_speedup < uniform_floor {
+        eprintln!(
+            "FAIL: uniform speedup {uniform_speedup:.2}x is below the {uniform_floor:.2}x floor"
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,1 +1,114 @@
-pub fn bench_lib_placeholder() {}
+//! Shared benchmark workloads for the simulation substrate.
+//!
+//! The criterion benches (`benches/substrate.rs`) and the standalone JSON
+//! runner (`src/bin/substrate_bench.rs`, via `cargo xtask bench`) drive the
+//! exact same workload functions, so the committed `BENCH_substrate.json`
+//! baseline and the interactive criterion numbers describe the same code.
+
+use flexpass_simcore::event::EventQueue;
+use flexpass_simcore::rng::SimRng;
+use flexpass_simcore::time::{Time, TimeDelta};
+
+/// Which calendar backend a workload runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The hierarchical timing wheel (production default).
+    Wheel,
+    /// The legacy binary heap (kept for differential testing).
+    Heap,
+}
+
+impl Backend {
+    /// Display name used in bench labels and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Wheel => "wheel",
+            Backend::Heap => "heap",
+        }
+    }
+
+    fn queue(self) -> EventQueue<u64> {
+        match self {
+            Backend::Wheel => EventQueue::new_wheel_backed(),
+            Backend::Heap => EventQueue::new_heap_backed(),
+        }
+    }
+}
+
+/// Uniform batch workload: schedules `n` events at random instants within
+/// a ~1 s horizon, then drains the calendar. Exercises raw push/pop cost
+/// with no cancellations. Returns the number of events delivered.
+pub fn uniform_workload(backend: Backend, n: u64) -> u64 {
+    let mut q = backend.queue();
+    let mut rng = SimRng::new(1);
+    for i in 0..n {
+        q.schedule(Time::from_nanos(rng.next_below(1 << 30)), i);
+    }
+    let mut delivered = 0u64;
+    while q.pop().is_some() {
+        delivered += 1;
+    }
+    delivered
+}
+
+/// Timer-churn workload modelling a transport's steady state: every step
+/// pops and replaces a hot near-future event (a packet in flight, ~µs
+/// horizon) while re-arming a cancellable RTO-style timer ~1 ms out — 90%
+/// of which are cancelled before they fire, the common fate of a
+/// retransmission timer under steady acks. The calendar population is
+/// dominated by pending-and-doomed far timers, so a comparison-ordered
+/// backend pays their `log n` on every hot-path operation while the wheel
+/// parks them in a coarse level until cascade-time reaping discards them.
+/// Returns the number of *live* events delivered.
+pub fn timer_heavy_workload(backend: Backend, n: u64) -> u64 {
+    let mut q = backend.queue();
+    let mut rng = SimRng::new(7);
+    let mut rto = std::collections::VecDeque::with_capacity(16);
+    let mut now = Time::ZERO;
+    let mut delivered = 0u64;
+    for i in 0..n {
+        // The hot event: next packet arrival within ~2 µs.
+        q.schedule(now + TimeDelta::nanos(1 + rng.next_below(1 << 11)), i);
+        // The RTO: ~1 ms out; progress (9 steps in 10) cancels the oldest
+        // outstanding one, as an ack would.
+        rto.push_back(q.schedule_cancelable(
+            now + TimeDelta::nanos((1 << 20) + rng.next_below(1 << 12)),
+            i,
+        ));
+        if i % 10 != 0 {
+            if let Some(h) = rto.pop_front() {
+                q.cancel(h);
+            }
+        }
+        if let Some((t, _)) = q.pop() {
+            now = t;
+            delivered += 1;
+        }
+    }
+    while q.pop().is_some() {
+        delivered += 1;
+    }
+    delivered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_deliver_identically_on_both_backends() {
+        assert_eq!(
+            uniform_workload(Backend::Wheel, 10_000),
+            uniform_workload(Backend::Heap, 10_000)
+        );
+        assert_eq!(
+            timer_heavy_workload(Backend::Wheel, 10_000),
+            timer_heavy_workload(Backend::Heap, 10_000)
+        );
+    }
+
+    #[test]
+    fn uniform_delivers_everything() {
+        assert_eq!(uniform_workload(Backend::Wheel, 5_000), 5_000);
+    }
+}

@@ -31,7 +31,8 @@ pub struct LySender {
     dupacks: u32,
     rtt: RttEstimator,
     last_progress: Time,
-    rto_outstanding: bool,
+    /// Deadline of the currently armed (cancellable) RTO, if any.
+    rto_deadline: Option<Time>,
     rto_backoff: u32,
     /// Packets currently marked `Lost`.
     lost: std::collections::BTreeSet<u32>,
@@ -56,7 +57,7 @@ impl LySender {
             dupacks: 0,
             rtt: RttEstimator::new(cfg.min_rto),
             last_progress: Time::ZERO,
-            rto_outstanding: false,
+            rto_deadline: None,
             rto_backoff: 0,
             lost: std::collections::BTreeSet::new(),
             stats: TxStats::default(),
@@ -73,10 +74,24 @@ impl LySender {
         self.rtt.rto() * (1u64 << self.rto_backoff.min(8))
     }
 
-    fn arm_rto(&mut self, ctx: &mut EndpointCtx) {
-        if !self.rto_outstanding {
-            self.rto_outstanding = true;
-            ctx.set_timer(ctx.now + self.rto(), timer_token(self.spec.id, TK_RTO));
+    /// Keeps the armed RTO tracking `last_progress + rto()` via
+    /// cancel-and-replace arming (monotone-maximum deadline, matching the
+    /// envelope of the old lazy fire-and-recheck chain); cancelled on done.
+    fn update_rto(&mut self, ctx: &mut EndpointCtx) {
+        let token = timer_token(self.spec.id, TK_RTO);
+        if self.done {
+            if self.rto_deadline.take().is_some() {
+                ctx.cancel_timer(token);
+            }
+            return;
+        }
+        let at = match self.rto_deadline {
+            Some(d) => (self.last_progress + self.rto()).max(d),
+            None => ctx.now + self.rto(),
+        };
+        if self.rto_deadline != Some(at) {
+            self.rto_deadline = Some(at);
+            ctx.arm_timer(at, token);
         }
     }
 
@@ -89,7 +104,7 @@ impl LySender {
             self.cfg.ctrl_class,
             Payload::CreditReq { pkts: self.n },
         ));
-        self.arm_rto(ctx);
+        self.update_rto(ctx);
     }
 
     fn pick(&mut self) -> Option<u32> {
@@ -150,7 +165,7 @@ impl LySender {
                     )
                     .ecn(),
                 );
-                self.arm_rto(ctx);
+                self.update_rto(ctx);
             }
             None => self.stats.credits_wasted += 1,
         }
@@ -219,6 +234,7 @@ impl LySender {
                 stats: self.stats,
             });
         }
+        self.update_rto(ctx);
     }
 }
 
@@ -240,14 +256,8 @@ impl Endpoint for LySender {
         if timer_kind(token) != TK_RTO {
             return;
         }
-        self.rto_outstanding = false;
+        self.rto_deadline = None;
         if self.done {
-            return;
-        }
-        let deadline = self.last_progress + self.rto();
-        if ctx.now < deadline {
-            self.rto_outstanding = true;
-            ctx.set_timer(deadline, timer_token(self.spec.id, TK_RTO));
             return;
         }
         self.rto_backoff += 1;
@@ -269,7 +279,8 @@ impl Endpoint for LySender {
     }
 
     fn finished(&self) -> bool {
-        self.done && !self.rto_outstanding
+        // The RTO is cancelled on completion — no stale fire to wait out.
+        self.done
     }
 }
 

@@ -85,9 +85,9 @@ impl FlexPassFactory {
 
 impl TransportFactory for FlexPassFactory {
     fn sender(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
-        Box::new(FlexPassSender::new(flow.clone(), self.cfg, env))
+        Box::new(FlexPassSender::new(*flow, self.cfg, env))
     }
     fn receiver(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
-        Box::new(FlexPassReceiver::new(flow.clone(), self.cfg, env))
+        Box::new(FlexPassReceiver::new(*flow, self.cfg, env))
     }
 }

@@ -95,8 +95,8 @@ impl FlexPassReceiver {
         self.crediting = true;
         if !self.credit_chain_live {
             self.credit_chain_live = true;
-            ctx.set_timer(ctx.now, timer_token(self.spec.id, TK_CREDIT));
-            ctx.set_timer(
+            ctx.arm_timer(ctx.now, timer_token(self.spec.id, TK_CREDIT));
+            ctx.arm_timer(
                 ctx.now + self.update_period,
                 timer_token(self.spec.id, TK_FEEDBACK),
             );
@@ -142,6 +142,12 @@ impl FlexPassReceiver {
         if self.reasm.complete() && !self.completed {
             self.completed = true;
             self.crediting = false;
+            // Completion is final (`start_crediting` refuses once
+            // completed), so both pacing chains can be cancelled outright.
+            // A mid-flow `CreditStop` must instead let the chain fire and
+            // observe `!crediting` — restart relies on that termination.
+            ctx.cancel_timer(timer_token(self.spec.id, TK_CREDIT));
+            ctx.cancel_timer(timer_token(self.spec.id, TK_FEEDBACK));
             ctx.emit(AppEvent::FlowCompleted {
                 flow: self.spec.id,
                 stats: RxStats {
@@ -175,7 +181,7 @@ impl Endpoint for FlexPassReceiver {
             TK_CREDIT => {
                 if self.crediting && !self.completed {
                     self.send_credit(ctx);
-                    ctx.set_timer(
+                    ctx.arm_timer(
                         ctx.now + self.engine.credit_interval(),
                         timer_token(self.spec.id, TK_CREDIT),
                     );
@@ -189,7 +195,7 @@ impl Endpoint for FlexPassReceiver {
                     && self.cfg.credit_policy == CreditPolicy::EpFeedback =>
             {
                 self.engine.feedback_update();
-                ctx.set_timer(
+                ctx.arm_timer(
                     ctx.now + self.update_period,
                     timer_token(self.spec.id, TK_FEEDBACK),
                 );
@@ -234,7 +240,7 @@ mod tests {
     #[derive(Default)]
     struct H {
         tx: Vec<Packet>,
-        tm: Vec<(Time, u64)>,
+        tm: Vec<flexpass_simnet::endpoint::TimerCmd>,
         app: Vec<AppEvent>,
     }
 
@@ -242,6 +248,17 @@ mod tests {
         fn with<R>(&mut self, now: Time, f: impl FnOnce(&mut EndpointCtx) -> R) -> R {
             let mut ctx = EndpointCtx::new(now, &mut self.tx, &mut self.tm, &mut self.app);
             f(&mut ctx)
+        }
+
+        /// First buffered Set/Arm request as `(at, token)`.
+        fn armed(&self, i: usize) -> (Time, u64) {
+            match self.tm[i] {
+                flexpass_simnet::endpoint::TimerCmd::Set(at, tok)
+                | flexpass_simnet::endpoint::TimerCmd::Arm(at, tok) => (at, tok),
+                flexpass_simnet::endpoint::TimerCmd::Cancel(_) => {
+                    panic!("expected an arming command at index {i}")
+                }
+            }
         }
     }
 
@@ -283,7 +300,7 @@ mod tests {
         // Pacing + feedback timers armed.
         assert_eq!(h.tm.len(), 2);
         // Fire the pacing timer: a credit goes out.
-        let (at, tok) = h.tm[0];
+        let (at, tok) = h.armed(0);
         h.with(at, |ctx| r.on_timer(tok, ctx));
         let credits =
             h.tx.iter()
@@ -365,7 +382,7 @@ mod tests {
             h.tx.iter()
                 .filter(|p| matches!(p.payload, Payload::Credit(_)))
                 .count();
-        let (at, tok) = h.tm[0];
+        let (at, tok) = h.armed(0);
         h.with(at, |ctx| r.on_timer(tok, ctx));
         let after =
             h.tx.iter()

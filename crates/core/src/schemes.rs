@@ -208,26 +208,24 @@ impl SchemeFactory {
 impl TransportFactory for SchemeFactory {
     fn sender(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
         if !self.deployment.flow_upgraded(flow) {
-            return Box::new(DctcpSender::new(flow.clone(), self.dctcp, env));
+            return Box::new(DctcpSender::new(*flow, self.dctcp, env));
         }
         match self.scheme {
-            Scheme::Naive | Scheme::OracleWfq => {
-                Box::new(EpSender::new(flow.clone(), self.ep, env))
-            }
-            Scheme::Layering => Box::new(LySender::new(flow.clone(), self.ep, env)),
-            Scheme::FlexPass => Box::new(FlexPassSender::new(flow.clone(), self.fp, env)),
+            Scheme::Naive | Scheme::OracleWfq => Box::new(EpSender::new(*flow, self.ep, env)),
+            Scheme::Layering => Box::new(LySender::new(*flow, self.ep, env)),
+            Scheme::FlexPass => Box::new(FlexPassSender::new(*flow, self.fp, env)),
         }
     }
 
     fn receiver(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
         if !self.deployment.flow_upgraded(flow) {
-            return Box::new(DctcpReceiver::new(flow.clone(), self.dctcp, env));
+            return Box::new(DctcpReceiver::new(*flow, self.dctcp, env));
         }
         match self.scheme {
             Scheme::Naive | Scheme::OracleWfq | Scheme::Layering => {
-                Box::new(EpReceiver::new(flow.clone(), self.ep, env))
+                Box::new(EpReceiver::new(*flow, self.ep, env))
             }
-            Scheme::FlexPass => Box::new(FlexPassReceiver::new(flow.clone(), self.fp, env)),
+            Scheme::FlexPass => Box::new(FlexPassReceiver::new(*flow, self.fp, env)),
         }
     }
 }

@@ -100,11 +100,13 @@ pub struct FlexPassSender {
     acked: u32,
     rtt: RttEstimator,
     last_progress: Time,
-    rto_outstanding: bool,
+    /// Deadline of the armed full-stall RTO, if any.
+    rto_deadline: Option<Time>,
     rto_backoff: u32,
     /// Last instant a reactive ACK closed outstanding slots.
     r_last_progress: Time,
-    r_rto_outstanding: bool,
+    /// Deadline of the armed reactive tail-loss timer, if any.
+    r_rto_deadline: Option<Time>,
     requested_credits: bool,
     /// Packets currently in state `Lost` (sorted for O(log n) min lookup).
     lost: std::collections::BTreeSet<u32>,
@@ -133,10 +135,10 @@ impl FlexPassSender {
             acked: 0,
             rtt: RttEstimator::new(cfg.min_rto),
             last_progress: Time::ZERO,
-            rto_outstanding: false,
+            rto_deadline: None,
             rto_backoff: 0,
             r_last_progress: Time::ZERO,
-            r_rto_outstanding: false,
+            r_rto_deadline: None,
             requested_credits: false,
             lost: std::collections::BTreeSet::new(),
             sent_reactive: std::collections::BTreeSet::new(),
@@ -159,20 +161,48 @@ impl FlexPassSender {
         self.rtt.rto() * (1u64 << self.rto_backoff.min(8))
     }
 
-    fn arm_rto(&mut self, ctx: &mut EndpointCtx) {
-        if !self.rto_outstanding {
-            self.rto_outstanding = true;
-            ctx.set_timer(ctx.now + self.rto(), timer_token(self.spec.id, TK_RTO));
+    /// Keeps the full-stall RTO tracking `last_progress + rto()` while the
+    /// flow is live (cancel-and-replace); cancelled once done. The deadline
+    /// is a monotone maximum (fresh arms start at `now + rto()`, re-arms
+    /// never move earlier), matching the envelope the old lazy
+    /// fire-and-recheck chain converged to.
+    fn update_rto(&mut self, ctx: &mut EndpointCtx) {
+        let token = timer_token(self.spec.id, TK_RTO);
+        if self.done {
+            if self.rto_deadline.take().is_some() {
+                ctx.cancel_timer(token);
+            }
+            return;
+        }
+        let at = match self.rto_deadline {
+            Some(d) => (self.last_progress + self.rto()).max(d),
+            None => ctx.now + self.rto(),
+        };
+        if self.rto_deadline != Some(at) {
+            self.rto_deadline = Some(at);
+            ctx.arm_timer(at, token);
         }
     }
 
-    fn arm_reactive_rto(&mut self, ctx: &mut EndpointCtx) {
-        if !self.r_rto_outstanding {
-            self.r_rto_outstanding = true;
-            ctx.set_timer(
-                ctx.now + self.rtt.rto(),
-                timer_token(self.spec.id, TK_R_RTO),
-            );
+    /// Keeps the reactive tail-loss timer tracking
+    /// `r_last_progress + rtt.rto()` while reactive slots are outstanding;
+    /// cancelled when the reactive pipe drains or the flow is done. Same
+    /// monotone-maximum deadline rule as [`Self::update_rto`].
+    fn update_reactive_rto(&mut self, ctx: &mut EndpointCtx) {
+        let token = timer_token(self.spec.id, TK_R_RTO);
+        if self.done || self.reactive.inflight == 0 {
+            if self.r_rto_deadline.take().is_some() {
+                ctx.cancel_timer(token);
+            }
+            return;
+        }
+        let at = match self.r_rto_deadline {
+            Some(d) => (self.r_last_progress + self.rtt.rto()).max(d),
+            None => ctx.now + self.rtt.rto(),
+        };
+        if self.r_rto_deadline != Some(at) {
+            self.r_rto_deadline = Some(at);
+            ctx.arm_timer(at, token);
         }
     }
 
@@ -186,7 +216,7 @@ impl FlexPassSender {
             TrafficClass::NewCtrl,
             Payload::CreditReq { pkts: self.n },
         ));
-        self.arm_rto(ctx);
+        self.update_rto(ctx);
     }
 
     /// Lowest `Pending` packet from the head, advancing the frontier.
@@ -255,8 +285,8 @@ impl FlexPassSender {
         self.stats.data_pkts += 1;
         self.stats.data_bytes += pay.get();
         ctx.send(self.data_packet(flow_seq, Subflow::Reactive, sub_seq, false));
-        self.arm_rto(ctx);
-        self.arm_reactive_rto(ctx);
+        self.update_rto(ctx);
+        self.update_reactive_rto(ctx);
     }
 
     /// Pumps the reactive window: new data only (the reactive sub-flow is
@@ -334,7 +364,10 @@ impl FlexPassSender {
         self.stats.data_pkts += 1;
         self.stats.data_bytes += pay.get();
         ctx.send(self.data_packet(flow_seq, Subflow::Proactive, sub_seq, retx));
-        self.arm_rto(ctx);
+        self.update_rto(ctx);
+        // A proactive send may have consumed a `SentReactive` packet; the
+        // reactive timer keys off open slots, which are unchanged here, so
+        // no reactive update is needed.
     }
 
     /// Marks `flow_seq` acknowledged, closing any open sub-flow slots that
@@ -427,6 +460,8 @@ impl FlexPassSender {
         if !self.done {
             self.pump_reactive(ctx);
         }
+        self.update_rto(ctx);
+        self.update_reactive_rto(ctx);
     }
 
     fn on_proactive_ack(&mut self, ack: &AckInfo, ctx: &mut EndpointCtx) {
@@ -450,6 +485,9 @@ impl FlexPassSender {
             }
         }
         self.check_done(ctx);
+        self.update_rto(ctx);
+        // A proactive ACK can close stale reactive slots via `ack_flow_seq`.
+        self.update_reactive_rto(ctx);
     }
 
     fn check_done(&mut self, ctx: &mut EndpointCtx) {
@@ -468,14 +506,8 @@ impl FlexPassSender {
     /// slot (recovery rides the proactive sub-flow, §4.2) and restart the
     /// window conservatively.
     fn on_reactive_rto(&mut self, ctx: &mut EndpointCtx) {
-        self.r_rto_outstanding = false;
+        self.r_rto_deadline = None;
         if self.done || self.reactive.inflight == 0 {
-            return;
-        }
-        let deadline = self.r_last_progress + self.rtt.rto();
-        if ctx.now < deadline {
-            self.r_rto_outstanding = true;
-            ctx.set_timer(deadline, timer_token(self.spec.id, TK_R_RTO));
             return;
         }
         let mut s = self.reactive.clean;
@@ -494,17 +526,13 @@ impl FlexPassSender {
         self.rwin.on_timeout(self.reactive.next_seq());
         self.r_last_progress = ctx.now;
         self.pump_reactive(ctx);
+        self.update_rto(ctx);
+        self.update_reactive_rto(ctx);
     }
 
     fn on_rto(&mut self, ctx: &mut EndpointCtx) {
-        self.rto_outstanding = false;
+        self.rto_deadline = None;
         if self.done {
-            return;
-        }
-        let deadline = self.last_progress + self.rto();
-        if ctx.now < deadline {
-            self.rto_outstanding = true;
-            ctx.set_timer(deadline, timer_token(self.spec.id, TK_RTO));
             return;
         }
         // Full stall: presume all in-flight packets lost, re-request
@@ -532,12 +560,15 @@ impl FlexPassSender {
         self.rwin.on_timeout(self.reactive.next_seq());
         self.last_progress = ctx.now;
         self.send_request(ctx);
+        // All reactive slots were closed above; retire the tail-loss timer.
+        self.update_reactive_rto(ctx);
     }
 }
 
 impl Endpoint for FlexPassSender {
     fn activate(&mut self, ctx: &mut EndpointCtx) {
         self.last_progress = ctx.now;
+        self.r_last_progress = ctx.now;
         self.send_request(ctx);
         if self.cfg.reactive_first_rtt {
             // Unlike the proactive sub-flow (which waits one RTT for
@@ -567,7 +598,9 @@ impl Endpoint for FlexPassSender {
     }
 
     fn finished(&self) -> bool {
-        self.done && !self.rto_outstanding
+        // Both timers are cancelled on completion (see `check_done`
+        // callers), so the endpoint can be dropped immediately.
+        self.done
     }
 }
 
@@ -602,7 +635,7 @@ mod tests {
     #[derive(Default)]
     struct H {
         tx: Vec<Packet>,
-        tm: Vec<(Time, u64)>,
+        tm: Vec<flexpass_simnet::endpoint::TimerCmd>,
         app: Vec<AppEvent>,
     }
 

@@ -7,7 +7,7 @@ use flexpass_simcore::rng::SimRng;
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
 use flexpass_simcore::units::Bytes;
 use flexpass_simnet::consts::CTRL_WIRE;
-use flexpass_simnet::endpoint::{AppEvent, Endpoint, EndpointCtx};
+use flexpass_simnet::endpoint::{AppEvent, Endpoint, EndpointCtx, TimerCmd};
 use flexpass_simnet::packet::{
     AckInfo, CreditInfo, DataInfo, FlowSpec, Packet, Payload, Subflow, TrafficClass,
 };
@@ -101,6 +101,35 @@ impl FakeReceiver {
     }
 }
 
+/// Applies buffered timer commands to a one-slot-per-token table and
+/// returns the tokens due at `now`, mimicking the simulator's arm/cancel
+/// bookkeeping (Set and Arm both land in the table; Cancel clears it).
+fn drain_timers(
+    armed: &mut std::collections::BTreeMap<u64, Time>,
+    tm: &mut Vec<TimerCmd>,
+    now: Time,
+) -> Vec<u64> {
+    for cmd in tm.drain(..) {
+        match cmd {
+            TimerCmd::Set(at, tok) | TimerCmd::Arm(at, tok) => {
+                armed.insert(tok, at);
+            }
+            TimerCmd::Cancel(tok) => {
+                armed.remove(&tok);
+            }
+        }
+    }
+    let due: Vec<u64> = armed
+        .iter()
+        .filter(|&(_, &at)| at <= now)
+        .map(|(&tok, _)| tok)
+        .collect();
+    for tok in &due {
+        armed.remove(tok);
+    }
+    due
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -119,6 +148,7 @@ proptest! {
         let mut tx = Vec::new();
         let mut tm = Vec::new();
         let mut app = Vec::new();
+        let mut armed = std::collections::BTreeMap::new();
         let mut now = Time::ZERO;
         {
             let mut ctx = EndpointCtx::new(now, &mut tx, &mut tm, &mut app);
@@ -153,16 +183,12 @@ proptest! {
                     s.on_packet(&p, &mut ctx);
                 }
             }
-            // Fire any due timers (drain-and-refire, lazily like the sim).
-            let due: Vec<(Time, u64)> = std::mem::take(&mut tm);
+            // Fire any due timers through the arm/cancel table.
+            let due = drain_timers(&mut armed, &mut tm, now);
             {
                 let mut ctx = EndpointCtx::new(now, &mut tx, &mut tm, &mut app);
-                for (at, token) in due {
-                    if at <= now {
-                        s.on_timer(token, &mut ctx);
-                    } else {
-                        ctx.set_timer(at, token);
-                    }
+                for token in due {
+                    s.on_timer(token, &mut ctx);
                 }
             }
         }
@@ -190,6 +216,7 @@ proptest! {
         let mut tx = Vec::new();
         let mut tm = Vec::new();
         let mut app = Vec::new();
+        let mut armed = std::collections::BTreeMap::new();
         let mut now = Time::ZERO;
         {
             let mut ctx = EndpointCtx::new(now, &mut tx, &mut tm, &mut app);
@@ -217,17 +244,12 @@ proptest! {
                     s.on_packet(&p, &mut ctx);
                 }
             }
-            // Fire due timers so the lazy RTO chain can retire itself once
-            // the flow is done.
-            let due: Vec<(Time, u64)> = std::mem::take(&mut tm);
+            // Fire due timers through the arm/cancel table.
+            let due = drain_timers(&mut armed, &mut tm, now);
             {
                 let mut ctx = EndpointCtx::new(now, &mut tx, &mut tm, &mut app);
-                for (at, token) in due {
-                    if at <= now {
-                        s.on_timer(token, &mut ctx);
-                    } else {
-                        ctx.set_timer(at, token);
-                    }
+                for token in due {
+                    s.on_timer(token, &mut ctx);
                 }
             }
         }

@@ -52,20 +52,20 @@ impl TagFactory {
 impl TransportFactory for TagFactory {
     fn sender(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
         if flow.tag == 0 {
-            return Box::new(DctcpSender::new(flow.clone(), self.legacy, env));
+            return Box::new(DctcpSender::new(*flow, self.legacy, env));
         }
         match &self.upgraded {
-            UpgradedKind::Ep(c) => Box::new(EpSender::new(flow.clone(), *c, env)),
-            UpgradedKind::Homa(c) => Box::new(HomaSender::new(flow.clone(), *c, env)),
+            UpgradedKind::Ep(c) => Box::new(EpSender::new(*flow, *c, env)),
+            UpgradedKind::Homa(c) => Box::new(HomaSender::new(*flow, *c, env)),
         }
     }
     fn receiver(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
         if flow.tag == 0 {
-            return Box::new(DctcpReceiver::new(flow.clone(), self.legacy, env));
+            return Box::new(DctcpReceiver::new(*flow, self.legacy, env));
         }
         match &self.upgraded {
-            UpgradedKind::Ep(c) => Box::new(EpReceiver::new(flow.clone(), *c, env)),
-            UpgradedKind::Homa(c) => Box::new(HomaReceiver::new(flow.clone(), *c, env)),
+            UpgradedKind::Ep(c) => Box::new(EpReceiver::new(*flow, *c, env)),
+            UpgradedKind::Homa(c) => Box::new(HomaReceiver::new(*flow, *c, env)),
         }
     }
 }

@@ -25,6 +25,7 @@
 //! to exercise that path end to end.
 
 use std::path::PathBuf;
+// lint:allow(wall-clock): per-figure elapsed-time reporting only.
 use std::time::Instant;
 
 use flexpass_experiments::custom::{run_trace_file, CustomSpec};
@@ -112,6 +113,7 @@ fn main() {
     macro_rules! run {
         ($name:expr, $body:expr) => {
             if want($name) {
+                // lint:allow(wall-clock): figure wall-time banner.
                 let t = Instant::now();
                 eprintln!("== {} ==", $name);
                 emit($body);

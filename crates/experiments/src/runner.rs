@@ -97,7 +97,7 @@ pub fn run_flows_probed(
     grace: TimeDelta,
     probe: Option<Arc<ProgressProbe>>,
 ) -> Recorder {
-    let mut sim = Sim::new(topo, factory, recorder);
+    let mut sim = Sim::with_flow_capacity(topo, factory, recorder, flows.len());
     if let Some(p) = probe {
         sim.attach_progress(p);
     }
@@ -105,7 +105,7 @@ pub fn run_flows_probed(
         sim.enable_sampling(every);
     }
     for f in flows {
-        sim.schedule_flow(f.clone());
+        sim.schedule_flow(*f);
     }
     sim.run_to_completion(grace);
     sim.observer
@@ -134,12 +134,12 @@ pub fn run_window_probed(
     until: Time,
     probe: Option<Arc<ProgressProbe>>,
 ) -> Recorder {
-    let mut sim = Sim::new(topo, factory, recorder);
+    let mut sim = Sim::with_flow_capacity(topo, factory, recorder, flows.len());
     if let Some(p) = probe {
         sim.attach_progress(p);
     }
     for f in flows {
-        sim.schedule_flow(f.clone());
+        sim.schedule_flow(*f);
     }
     sim.run_until(until);
     sim.observer

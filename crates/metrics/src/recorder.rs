@@ -234,7 +234,7 @@ impl Recorder {
 
 impl NetObserver for Recorder {
     fn on_flow_start(&mut self, spec: &FlowSpec, now: Time) {
-        self.specs.insert(spec.id, (spec.clone(), now));
+        self.specs.insert(spec.id, (*spec, now));
     }
 
     fn on_app_event(&mut self, ev: &AppEvent, now: Time) {

@@ -166,6 +166,9 @@ pub struct AuditCounters {
     pub flow_rx_bytes: u64,
     /// Data payload bytes dropped.
     pub flow_dropped_bytes: u64,
+    /// Events scheduled in the past of virtual time (release builds clamp
+    /// these to "now"; each is also an [`Invariant::EventOrder`] violation).
+    pub schedule_clamps: u64,
 }
 
 /// Everything the auditor learned over one run.
@@ -378,6 +381,7 @@ pub fn on_event_pop(time_ns: u64, seq: u64) {
 pub fn on_event_schedule(time_ns: u64, now_ns: u64) {
     with_auditor(|a| {
         if time_ns < now_ns {
+            a.counters.schedule_clamps += 1;
             a.violate(
                 Invariant::EventOrder,
                 ComponentId(0),

@@ -3,43 +3,106 @@
 //! Events are ordered by `(time, sequence)` where the sequence number is the
 //! global insertion order. This makes the simulation fully deterministic:
 //! two events scheduled for the same instant fire in the order they were
-//! scheduled, independent of heap internals.
+//! scheduled, independent of calendar internals.
+//!
+//! The calendar is backed by a hierarchical [`TimingWheel`] (see
+//! [`crate::wheel`]) for O(1) near-future scheduling; the original binary
+//! heap survives as [`HeapCalendar`], selectable per-queue for differential
+//! tests/benches or workspace-wide via the `calendar-heap` cargo feature.
+//! Both backends pop the byte-identical `(time, seq)` sequence.
+//!
+//! On top of the plain calendar sits a cancellable timer layer:
+//! [`EventQueue::schedule_cancelable`] returns a generation-tagged
+//! [`TimerHandle`]; [`EventQueue::cancel`] invalidates it in O(1) and the
+//! dead entry is lazily discarded — at the latest when it reaches the head
+//! of the calendar, or earlier when a wheel cascade touches it (dead
+//! entries are dropped instead of re-placed, so cancellation-heavy loads
+//! never carry them through the levels).
+//! Cancelled entries are invisible to every observable: they are never
+//! returned, never advance `now()`, never count as `popped()`, and never
+//! reach the audit hooks — so a run with cancellations pops the same
+//! delivered sequence as if the cancelled events had never been scheduled.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use crate::progress::{ProgressProbe, PUBLISH_EVERY};
 use crate::time::Time;
+use crate::wheel::{HeapCalendar, TimingWheel};
 
-/// A pending entry in the calendar.
-struct Entry<E> {
-    time: Time,
-    seq: u64,
+/// Identifies one armed cancellable timer.
+///
+/// The handle is a `(slot, generation)` pair into the queue's timer slab.
+/// Slots are recycled, but each reuse bumps the generation, so a stale
+/// handle (already fired or cancelled) can never alias a newer timer:
+/// [`EventQueue::cancel`] and [`EventQueue::is_pending`] on it are no-ops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerHandle {
+    slot: u32,
+    generation: u32,
+}
+
+/// In-calendar payload wrapper: cancellable entries carry their slab slot
+/// so the pop path can check liveness and recycle the slot.
+struct Scheduled<E> {
     payload: E,
+    timer: Option<TimerHandle>,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+/// Liveness filter for cascade-time reaping: flags cancelled entries so
+/// the wheel drops them at the first cascade touch, recycling their slab
+/// slot on the spot (the generation was already bumped by `cancel`).
+/// Borrows the slab fields individually so the store can be borrowed
+/// mutably alongside.
+fn dead_filter<'a, E>(
+    gens: &'a [u32],
+    free: &'a mut Vec<u32>,
+) -> impl FnMut(&Scheduled<E>) -> bool + 'a {
+    move |e| match e.timer {
+        Some(h) if gens[h.slot as usize] != h.generation => {
+            free.push(h.slot);
+            true
+        }
+        _ => false,
     }
 }
 
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// Calendar backend: the timing wheel by default, the reference binary
+/// heap behind the `calendar-heap` feature or an explicit constructor.
+enum Store<T> {
+    Wheel(TimingWheel<T>),
+    Heap(HeapCalendar<T>),
 }
 
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl<T> Store<T> {
+    /// Push with a liveness filter: the wheel drops `dead` entries at the
+    /// first cascade touch (see [`TimingWheel::push_reap`]); the heap has
+    /// no cascades, so dead entries simply wait to be reaped at pop.
+    fn push(&mut self, time: Time, seq: u64, payload: T, dead: &mut dyn FnMut(&T) -> bool) {
+        match self {
+            Store::Wheel(w) => w.push_reap(time, seq, payload, dead),
+            Store::Heap(h) => h.push(time, seq, payload),
+        }
+    }
+
+    fn pop(&mut self, dead: &mut dyn FnMut(&T) -> bool) -> Option<(Time, u64, T)> {
+        match self {
+            Store::Wheel(w) => w.pop_reap(dead),
+            Store::Heap(h) => h.pop(),
+        }
+    }
+
+    fn peek(&self) -> Option<(Time, u64, &T)> {
+        match self {
+            Store::Wheel(w) => w.peek(),
+            Store::Heap(h) => h.peek(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Store::Wheel(w) => w.len(),
+            Store::Heap(h) => h.len(),
+        }
     }
 }
 
@@ -58,11 +121,35 @@ impl<E> Ord for Entry<E> {
 /// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
 /// assert_eq!(order, vec!['a', 'b', 'c']);
 /// ```
+///
+/// Cancellable timers:
+///
+/// ```
+/// use flexpass_simcore::event::EventQueue;
+/// use flexpass_simcore::time::Time;
+///
+/// let mut q = EventQueue::new();
+/// let h = q.schedule_cancelable(Time::from_nanos(10), "rto");
+/// q.schedule(Time::from_nanos(20), "later");
+/// assert!(q.cancel(h));
+/// assert!(!q.cancel(h)); // double-cancel is a no-op
+/// assert_eq!(q.pop(), Some((Time::from_nanos(20), "later")));
+/// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    store: Store<Scheduled<E>>,
     next_seq: u64,
     popped: u64,
     last_time: Time,
+    /// Release-mode past-time schedules clamped up to `now` (satellite:
+    /// observable instead of silent).
+    clamped: u64,
+    /// Successful [`cancel`](Self::cancel) calls.
+    cancelled: u64,
+    /// Generation counter per timer slab slot. A calendar entry whose
+    /// recorded generation no longer matches is dead and is skipped on pop.
+    timer_gens: Vec<u32>,
+    /// Slab slots whose calendar entry has drained and can be reused.
+    free_slots: Vec<u32>,
     /// Observational progress counters published every
     /// [`PUBLISH_EVERY`] pops; never read back by the simulation.
     probe: Option<Arc<ProgressProbe>>,
@@ -75,13 +162,46 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty calendar.
+    /// Creates an empty calendar on the default backend (the timing wheel,
+    /// or the reference heap when built with the `calendar-heap` feature).
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty calendar pre-sized for roughly `n` concurrent
+    /// events, avoiding repeated growth at sweep start.
+    pub fn with_capacity(n: usize) -> Self {
+        #[cfg(not(feature = "calendar-heap"))]
+        let store = Store::Wheel(TimingWheel::with_capacity(n));
+        #[cfg(feature = "calendar-heap")]
+        let store = Store::Heap(HeapCalendar::with_capacity(n));
+        Self::from_store(store, n)
+    }
+
+    /// Creates a calendar explicitly backed by the hierarchical timing
+    /// wheel, regardless of the `calendar-heap` feature. For differential
+    /// tests and benchmarks.
+    pub fn new_wheel_backed() -> Self {
+        Self::from_store(Store::Wheel(TimingWheel::new()), 0)
+    }
+
+    /// Creates a calendar explicitly backed by the reference binary heap
+    /// (the pre-wheel implementation). For differential tests and
+    /// benchmarks: both backends pop byte-identical `(time, seq)` orders.
+    pub fn new_heap_backed() -> Self {
+        Self::from_store(Store::Heap(HeapCalendar::new()), 0)
+    }
+
+    fn from_store(store: Store<Scheduled<E>>, cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            store,
             next_seq: 0,
             popped: 0,
             last_time: Time::ZERO,
+            clamped: 0,
+            cancelled: 0,
+            timer_gens: Vec::with_capacity(cap.min(1 << 16)),
+            free_slots: Vec::new(),
             probe: None,
         }
     }
@@ -99,8 +219,46 @@ impl<E> EventQueue<E> {
     ///
     /// Scheduling in the past (before the last popped event) is a logic error
     /// in the caller and panics in debug builds; in release builds the event
-    /// fires "now" at the head of the queue, preserving monotonic pops.
+    /// fires "now" at the head of the queue, preserving monotonic pops, and
+    /// the clamp is counted in [`clamped`](Self::clamped).
     pub fn schedule(&mut self, time: Time, payload: E) {
+        self.schedule_entry(
+            time,
+            Scheduled {
+                payload,
+                timer: None,
+            },
+        );
+    }
+
+    /// Schedules `payload` like [`schedule`](Self::schedule), returning a
+    /// [`TimerHandle`] that can [`cancel`](Self::cancel) the event before
+    /// it fires. Costs one slab slot over a plain schedule; deletion is
+    /// lazy (the entry is discarded when it reaches the calendar head).
+    pub fn schedule_cancelable(&mut self, time: Time, payload: E) -> TimerHandle {
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.timer_gens.len() as u32;
+                self.timer_gens.push(0);
+                s
+            }
+        };
+        let handle = TimerHandle {
+            slot,
+            generation: self.timer_gens[slot as usize],
+        };
+        self.schedule_entry(
+            time,
+            Scheduled {
+                payload,
+                timer: Some(handle),
+            },
+        );
+        handle
+    }
+
+    fn schedule_entry(&mut self, time: Time, entry: Scheduled<E>) {
         debug_assert!(
             time >= self.last_time,
             "scheduled event at {time:?} before current time {:?}",
@@ -108,43 +266,124 @@ impl<E> EventQueue<E> {
         );
         #[cfg(feature = "audit")]
         flexpass_simaudit::on_event_schedule(time.as_nanos(), self.last_time.as_nanos());
+        if time < self.last_time {
+            self.clamped += 1;
+        }
         let time = time.max(self.last_time);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, payload });
+        self.store.push(
+            time,
+            seq,
+            entry,
+            &mut dead_filter(&self.timer_gens, &mut self.free_slots),
+        );
     }
 
-    /// Removes and returns the earliest event, if any.
-    pub fn pop(&mut self) -> Option<(Time, E)> {
-        let entry = self.heap.pop()?;
-        self.popped += 1;
-        self.last_time = entry.time;
-        #[cfg(feature = "audit")]
-        flexpass_simaudit::on_event_pop(entry.time.as_nanos(), entry.seq);
-        if self.popped & (PUBLISH_EVERY - 1) == 0 {
-            if let Some(p) = &self.probe {
-                p.publish(self.popped, entry.time.as_nanos());
+    /// Cancels a pending cancellable event. Returns `true` if the handle
+    /// was still live; `false` (a no-op) if it already fired or was
+    /// already cancelled. O(1): the calendar entry is discarded lazily.
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        let i = handle.slot as usize;
+        if i < self.timer_gens.len() && self.timer_gens[i] == handle.generation {
+            self.timer_gens[i] = self.timer_gens[i].wrapping_add(1);
+            self.cancelled += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True while `handle`'s event is still scheduled (not yet fired or
+    /// cancelled).
+    pub fn is_pending(&self, handle: TimerHandle) -> bool {
+        let i = handle.slot as usize;
+        i < self.timer_gens.len() && self.timer_gens[i] == handle.generation
+    }
+
+    /// True if the entry is a cancelled leftover; recycles its slab slot
+    /// either way (live entries are about to be delivered).
+    fn reap(&mut self, entry: &Scheduled<E>) -> bool {
+        match entry.timer {
+            None => false,
+            Some(h) => {
+                let i = h.slot as usize;
+                let dead = self.timer_gens[i] != h.generation;
+                if !dead {
+                    // Delivered: invalidate outstanding handles.
+                    self.timer_gens[i] = self.timer_gens[i].wrapping_add(1);
+                }
+                self.free_slots.push(h.slot);
+                dead
             }
         }
-        Some((entry.time, entry.payload))
     }
 
-    /// Timestamp of the earliest pending event.
-    pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.time)
+    /// Removes and returns the earliest live event, if any.
+    ///
+    /// Cancelled entries encountered on the way are discarded without any
+    /// observable effect (no `popped` tick, no `now()` advance, no audit
+    /// callback, no probe publish).
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        loop {
+            let (time, seq, entry) = self
+                .store
+                .pop(&mut dead_filter(&self.timer_gens, &mut self.free_slots))?;
+            if self.reap(&entry) {
+                continue;
+            }
+            self.popped += 1;
+            self.last_time = time;
+            #[cfg(not(feature = "audit"))]
+            let _ = seq;
+            #[cfg(feature = "audit")]
+            flexpass_simaudit::on_event_pop(time.as_nanos(), seq);
+            if self.popped & (PUBLISH_EVERY - 1) == 0 {
+                if let Some(p) = &self.probe {
+                    p.publish(self.popped, time.as_nanos());
+                }
+            }
+            return Some((time, entry.payload));
+        }
     }
 
-    /// Number of pending events.
+    /// Timestamp of the earliest pending *live* event.
+    ///
+    /// Takes `&mut self` because cancelled leftovers at the calendar head
+    /// are drained here — otherwise a dead entry's stale timestamp could
+    /// leak into `run_until`-style deadline checks.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        loop {
+            let dead = {
+                let (time, _, entry) = self.store.peek()?;
+                match entry.timer {
+                    Some(h) if self.timer_gens[h.slot as usize] != h.generation => true,
+                    _ => return Some(time),
+                }
+            };
+            debug_assert!(dead);
+            let (_, _, entry) = self
+                .store
+                .pop(&mut dead_filter(&self.timer_gens, &mut self.free_slots))
+                .expect("peeked entry exists");
+            let reaped = self.reap(&entry);
+            debug_assert!(reaped);
+        }
+    }
+
+    /// Number of pending calendar entries, *including* cancelled ones not
+    /// yet lazily discarded.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.store.len()
     }
 
-    /// True when no events are pending.
+    /// True when no calendar entries are pending (live or cancelled).
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.store.len() == 0
     }
 
-    /// Total number of events popped so far (a cheap progress metric).
+    /// Total number of live events popped so far (a cheap progress metric).
+    /// Cancelled entries never count.
     pub fn popped(&self) -> u64 {
         self.popped
     }
@@ -152,6 +391,17 @@ impl<E> EventQueue<E> {
     /// Timestamp of the most recently popped event (the current virtual time).
     pub fn now(&self) -> Time {
         self.last_time
+    }
+
+    /// Number of release-mode past-time schedules clamped up to `now`.
+    /// Always 0 in a healthy run (debug builds panic instead).
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
+    /// Number of successful [`cancel`](Self::cancel) calls so far.
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
     }
 }
 
@@ -234,5 +484,126 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert!(q.peek_time().is_none());
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_cancelable(Time::from_nanos(10), "timer");
+        q.schedule(Time::from_nanos(20), "event");
+        assert!(q.is_pending(h));
+        assert!(q.cancel(h));
+        assert!(!q.is_pending(h));
+        // The dead entry is skipped: neither pop nor peek ever sees it.
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(20)));
+        assert_eq!(q.pop(), Some((Time::from_nanos(20), "event")));
+        assert!(q.pop().is_none());
+        assert_eq!(q.popped(), 1);
+        assert_eq!(q.cancelled(), 1);
+        // now() was never advanced by the cancelled entry's timestamp.
+        assert_eq!(q.now(), Time::from_nanos(20));
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let h = q.schedule_cancelable(Time::from_nanos(5), ());
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h));
+        assert_eq!(q.cancelled(), 1);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_cancelable(Time::from_nanos(5), "t");
+        assert_eq!(q.pop(), Some((Time::from_nanos(5), "t")));
+        assert!(!q.is_pending(h));
+        assert!(!q.cancel(h));
+        assert_eq!(q.cancelled(), 0);
+    }
+
+    #[test]
+    fn rearm_after_cancel_uses_fresh_generation() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule_cancelable(Time::from_nanos(10), "first");
+        assert!(q.cancel(h1));
+        // Re-arm: may reuse the slab slot, but the old handle stays dead.
+        let h2 = q.schedule_cancelable(Time::from_nanos(30), "second");
+        assert_ne!(h1, h2);
+        assert!(!q.is_pending(h1));
+        assert!(q.is_pending(h2));
+        assert!(!q.cancel(h1));
+        assert_eq!(q.pop(), Some((Time::from_nanos(30), "second")));
+        assert!(!q.is_pending(h2));
+    }
+
+    #[test]
+    fn slot_reuse_after_fire_does_not_alias() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule_cancelable(Time::from_nanos(1), 1);
+        assert!(q.pop().is_some()); // h1 fires, slot recycled
+        let h2 = q.schedule_cancelable(Time::from_nanos(2), 2);
+        assert!(!q.cancel(h1)); // stale handle must not kill h2
+        assert!(q.is_pending(h2));
+        assert_eq!(q.pop(), Some((Time::from_nanos(2), 2)));
+    }
+
+    #[test]
+    fn queue_of_only_cancelled_entries_is_effectively_empty() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let hs: Vec<_> = (0..8)
+            .map(|i| q.schedule_cancelable(Time::from_nanos(i), i as u32))
+            .collect();
+        for h in hs {
+            assert!(q.cancel(h));
+        }
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+        assert_eq!(q.popped(), 0);
+        assert_eq!(q.now(), Time::ZERO);
+    }
+
+    #[test]
+    fn heap_backed_matches_wheel_backed() {
+        let mut w = EventQueue::new_wheel_backed();
+        let mut h = EventQueue::new_heap_backed();
+        let times = [40u64, 7, 7, 100_000, 7, 2_000_000, 40];
+        for (i, &t) in times.iter().enumerate() {
+            w.schedule(Time::from_nanos(t), i);
+            h.schedule(Time::from_nanos(t), i);
+        }
+        loop {
+            let a = w.pop();
+            let b = h.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(1024);
+        q.schedule(Time::from_nanos(2), "b");
+        q.schedule(Time::from_nanos(1), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.clamped(), 0);
+    }
+
+    // Release-only: in debug builds a past-time schedule panics via
+    // debug_assert before the clamp counter is reached.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn past_time_schedule_is_clamped_and_counted() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_nanos(100), "a");
+        q.pop();
+        q.schedule(Time::from_nanos(50), "late");
+        assert_eq!(q.clamped(), 1);
+        // The clamped event fires "now", preserving monotone pops.
+        assert_eq!(q.pop(), Some((Time::from_nanos(100), "late")));
     }
 }

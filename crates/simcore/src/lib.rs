@@ -5,7 +5,11 @@
 //! * [`time`] — fixed-point virtual time ([`Time`], [`TimeDelta`]) in
 //!   nanoseconds, byte/rate arithmetic ([`Rate`]) for serialization delays.
 //! * [`event`] — a deterministic event calendar ([`EventQueue`]) ordered by
-//!   `(time, insertion sequence)` so equal-time events fire FIFO.
+//!   `(time, insertion sequence)` so equal-time events fire FIFO, with
+//!   cancellable timers ([`TimerHandle`]).
+//! * [`wheel`] — the hierarchical timing-wheel backend behind the calendar
+//!   (plus the reference [`wheel::HeapCalendar`] it is differentially
+//!   tested against).
 //! * [`rng`] — seeded deterministic randomness and a symmetric flow hash for
 //!   ECMP path selection.
 //! * [`progress`] — atomic progress counters ([`ProgressProbe`]) a running
@@ -34,8 +38,9 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod units;
+pub mod wheel;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, TimerHandle};
 pub use progress::ProgressProbe;
 pub use rng::SimRng;
 pub use stats::{OnlineStats, Percentiles, TimeSeries};

@@ -62,12 +62,29 @@ pub enum AppEvent {
     },
 }
 
+/// One buffered timer request, drained by the simulator after the callback.
+///
+/// Kept as a single ordered list (rather than separate arm/cancel buffers)
+/// so the calendar sees requests in exactly the order the endpoint issued
+/// them — sequence numbers, and therefore FIFO tie-breaks, stay
+/// deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimerCmd {
+    /// Fire-and-forget timer at `(at, token)`; never cancelled.
+    Set(Time, u64),
+    /// Arm (or re-arm, replacing any previous arming of the same token)
+    /// a cancellable timer at `(at, token)`.
+    Arm(Time, u64),
+    /// Cancel the armed timer for `token`, if any.
+    Cancel(u64),
+}
+
 /// Output channel endpoints write into during a callback.
 pub struct EndpointCtx<'a> {
     /// Current virtual time.
     pub now: Time,
     tx: &'a mut Vec<Packet>,
-    timers: &'a mut Vec<(Time, u64)>,
+    timers: &'a mut Vec<TimerCmd>,
     app: &'a mut Vec<AppEvent>,
 }
 
@@ -76,7 +93,7 @@ impl<'a> EndpointCtx<'a> {
     pub fn new(
         now: Time,
         tx: &'a mut Vec<Packet>,
-        timers: &'a mut Vec<(Time, u64)>,
+        timers: &'a mut Vec<TimerCmd>,
         app: &'a mut Vec<AppEvent>,
     ) -> Self {
         EndpointCtx {
@@ -92,12 +109,29 @@ impl<'a> EndpointCtx<'a> {
         self.tx.push(pkt);
     }
 
-    /// Requests a timer callback at absolute time `at` with an opaque token.
+    /// Requests a fire-and-forget timer callback at absolute time `at` with
+    /// an opaque token.
     ///
-    /// Timers are not cancellable; endpoints must treat stale tokens as
-    /// no-ops (the usual "timer generation counter" pattern).
+    /// These timers are not cancellable; endpoints must treat stale tokens
+    /// as no-ops. For timers that are routinely superseded (RTO re-arms,
+    /// pacing chains) prefer [`arm_timer`](Self::arm_timer), which replaces
+    /// instead of stacking stale entries in the calendar.
     pub fn set_timer(&mut self, at: Time, token: u64) {
-        self.timers.push((at, token));
+        self.timers.push(TimerCmd::Set(at, token));
+    }
+
+    /// Arms a cancellable timer for `token` at absolute time `at`,
+    /// *replacing* any previously armed timer with the same token
+    /// (cancel-and-replace semantics). At most one armed timer exists per
+    /// `(endpoint host, token)` at a time.
+    pub fn arm_timer(&mut self, at: Time, token: u64) {
+        self.timers.push(TimerCmd::Arm(at, token));
+    }
+
+    /// Cancels the armed timer for `token`. A no-op when none is armed —
+    /// cancelling an already-fired or never-armed token is safe.
+    pub fn cancel_timer(&mut self, token: u64) {
+        self.timers.push(TimerCmd::Cancel(token));
     }
 
     /// Raises an application event.
@@ -183,6 +217,7 @@ mod tests {
             ep.on_timer(7, &mut ctx);
         }
         assert_eq!(timers.len(), 1);
+        assert!(matches!(timers[0], TimerCmd::Set(_, 7)));
         assert_eq!(tx.len(), 1);
         assert_eq!(tx[0].src, 1);
         assert_eq!(tx[0].dst, 0);

@@ -8,8 +8,9 @@ use std::collections::BTreeMap;
 
 use flexpass_simcore::time::Time;
 use flexpass_simcore::units::Bytes;
+use flexpass_simcore::TimerHandle;
 
-use crate::endpoint::{AppEvent, Endpoint, EndpointCtx};
+use crate::endpoint::{AppEvent, Endpoint, EndpointCtx, TimerCmd};
 use crate::packet::{FlowId, HostId, Packet};
 use crate::port::Port;
 use crate::queue::DropReason;
@@ -36,6 +37,9 @@ pub struct Host {
     // Ordered map: any iteration over live flows must be deterministic
     // (hash-map order would vary run to run and break replayability).
     flows: BTreeMap<FlowId, Box<dyn Endpoint>>,
+    /// Calendar handle of the armed cancellable timer per token. Entries
+    /// are removed when the timer is cancelled or its event is delivered.
+    pub(crate) armed_timers: BTreeMap<u64, TimerHandle>,
     counters: HostCounters,
 }
 
@@ -49,6 +53,7 @@ impl Host {
             nic: Port::new(&profile.port),
             class_map: profile.class_map,
             flows: BTreeMap::new(),
+            armed_timers: BTreeMap::new(),
             counters: HostCounters::default(),
         }
     }
@@ -61,6 +66,11 @@ impl Host {
     /// Number of live endpoints.
     pub fn live_flows(&self) -> usize {
         self.flows.len()
+    }
+
+    /// Number of currently armed cancellable timers (table entries).
+    pub fn armed_timers(&self) -> usize {
+        self.armed_timers.len()
     }
 
     /// Registers an endpoint for `flow` and runs its `activate` callback.
@@ -122,8 +132,8 @@ impl Host {
 pub struct Scratch {
     /// Packets to transmit.
     pub tx: Vec<Packet>,
-    /// Timer requests `(at, token)`.
-    pub timers: Vec<(Time, u64)>,
+    /// Timer requests, in issue order.
+    pub timers: Vec<TimerCmd>,
     /// Application events.
     pub app: Vec<AppEvent>,
 }

@@ -14,7 +14,7 @@ pub type HostId = usize;
 /// starting at `start`. `tag` is an opaque label used by metrics to group
 /// flows (e.g. "legacy DCTCP" vs "upgraded FlexPass"); `fg` marks foreground
 /// (incast) flows in mixed-traffic scenarios.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FlowSpec {
     /// Unique id; also the ECMP hash salt so both directions share a path.
     pub id: FlowId,

@@ -10,7 +10,7 @@ use flexpass_simcore::rng::SimRng;
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
 
 use crate::audit;
-use crate::endpoint::{AppEvent, Endpoint};
+use crate::endpoint::{AppEvent, Endpoint, TimerCmd};
 use crate::host::{Host, Scratch};
 use crate::packet::{FlowId, FlowSpec, Packet};
 use crate::port::{Decision, Port};
@@ -160,17 +160,34 @@ pub struct Sim<O: NetObserver> {
 impl<O: NetObserver> Sim<O> {
     /// Builds a simulator over a wired topology.
     pub fn new(topo: Topology, factory: Box<dyn TransportFactory>, observer: O) -> Self {
+        Self::with_flow_capacity(topo, factory, observer, 0)
+    }
+
+    /// Like [`Sim::new`], but pre-sizes the event calendar and flow table
+    /// for `expected_flows` scheduled flows, avoiding repeated growth at
+    /// sweep start. Purely a capacity hint: scheduling more flows works,
+    /// and simulated outcomes are identical either way.
+    pub fn with_flow_capacity(
+        topo: Topology,
+        factory: Box<dyn TransportFactory>,
+        observer: O,
+        expected_flows: usize,
+    ) -> Self {
         let env = NetEnv {
             host_rate: topo.host_rate,
             base_rtt: topo.base_rtt,
             n_hosts: topo.hosts.len(),
         };
+        // Each scheduled flow contributes its FlowStart entry up front plus
+        // a handful of in-flight events while active; a small multiple of
+        // the flow count is a good calendar working-set estimate.
+        let cal = expected_flows.saturating_mul(4);
         Sim {
-            events: EventQueue::new(),
+            events: EventQueue::with_capacity(cal),
             nodes: topo.nodes,
             hosts: topo.hosts,
             rack_of: topo.rack_of,
-            flows: Vec::new(),
+            flows: Vec::with_capacity(expected_flows),
             factory,
             env,
             observer,
@@ -212,6 +229,18 @@ impl<O: NetObserver> Sim<O> {
     /// Total events processed (progress metric).
     pub fn events_processed(&self) -> u64 {
         self.events.popped()
+    }
+
+    /// Release-mode past-time schedules the calendar clamped up to "now".
+    /// Always 0 in a healthy run (debug builds panic instead); exposed so
+    /// the condition is observable rather than silent.
+    pub fn schedule_clamps(&self) -> u64 {
+        self.events.clamped()
+    }
+
+    /// Cancellable timers successfully cancelled so far (run statistic).
+    pub fn timers_cancelled(&self) -> u64 {
+        self.events.cancelled()
     }
 
     /// Attaches a progress probe the event calendar publishes into while
@@ -299,6 +328,14 @@ impl<O: NetObserver> Sim<O> {
             Event::Timer { host, flow, token } => {
                 self.scratch.clear();
                 if let Node::Host(h) = &mut self.nodes[host] {
+                    // If this delivery consumed the armed timer for the
+                    // token, retire its table entry (the handle went stale
+                    // when the calendar popped the entry).
+                    if let Some(&hd) = h.armed_timers.get(&token) {
+                        if !self.events.is_pending(hd) {
+                            h.armed_timers.remove(&token);
+                        }
+                    }
                     let mut ctx = self.scratch.ctx(now);
                     h.fire_timer(flow, token, &mut ctx);
                 } else {
@@ -417,15 +454,18 @@ impl<O: NetObserver> Sim<O> {
     }
 
     fn flow_start(&mut self, now: Time, idx: usize) {
-        let spec = self.flows[idx].clone();
         self.started += 1;
-        self.observer.on_flow_start(&spec, now);
+        self.observer.on_flow_start(&self.flows[idx], now);
+        let (id, src, dst) = {
+            let spec = &self.flows[idx];
+            (spec.id, spec.src, spec.dst)
+        };
 
         // Receiver first so the sender's first packet finds it.
-        let receiver = self.factory.receiver(&spec, &self.env);
-        self.register_endpoint(now, spec.dst, spec.id, receiver);
-        let sender = self.factory.sender(&spec, &self.env);
-        self.register_endpoint(now, spec.src, spec.id, sender);
+        let receiver = self.factory.receiver(&self.flows[idx], &self.env);
+        self.register_endpoint(now, dst, id, receiver);
+        let sender = self.factory.sender(&self.flows[idx], &self.env);
+        self.register_endpoint(now, src, id, sender);
     }
 
     fn register_endpoint(
@@ -471,18 +511,48 @@ impl<O: NetObserver> Sim<O> {
                 }
             }
         }
-        for (at, token) in scratch.timers.drain(..) {
-            // Find the flow this timer belongs to: tokens are namespaced by
-            // the endpoint, so the host embeds the flow id in the high bits.
-            let flow = token >> 16;
-            self.events.schedule(
-                at.max(now),
-                Event::Timer {
-                    host: node,
-                    flow,
-                    token,
-                },
-            );
+        if !scratch.timers.is_empty() {
+            let h = match &mut self.nodes[node] {
+                Node::Host(h) => h,
+                // lint:allow(panic-path): flush is only called for hosts
+                Node::Switch(_) => unreachable!("flush on a switch"),
+            };
+            for cmd in scratch.timers.drain(..) {
+                // The flow a timer belongs to rides in the token's high
+                // bits (tokens are namespaced per endpoint; see
+                // [`timer_token`]).
+                match cmd {
+                    TimerCmd::Set(at, token) => {
+                        self.events.schedule(
+                            at.max(now),
+                            Event::Timer {
+                                host: node,
+                                flow: token >> 16,
+                                token,
+                            },
+                        );
+                    }
+                    TimerCmd::Arm(at, token) => {
+                        if let Some(old) = h.armed_timers.remove(&token) {
+                            self.events.cancel(old);
+                        }
+                        let hd = self.events.schedule_cancelable(
+                            at.max(now),
+                            Event::Timer {
+                                host: node,
+                                flow: token >> 16,
+                                token,
+                            },
+                        );
+                        h.armed_timers.insert(token, hd);
+                    }
+                    TimerCmd::Cancel(token) => {
+                        if let Some(old) = h.armed_timers.remove(&token) {
+                            self.events.cancel(old);
+                        }
+                    }
+                }
+            }
         }
         for ev in scratch.app.drain(..) {
             if matches!(ev, AppEvent::FlowCompleted { .. }) {
@@ -608,13 +678,13 @@ mod tests {
     impl TransportFactory for BlastFactory {
         fn sender(&mut self, flow: &FlowSpec, _env: &NetEnv) -> Box<dyn Endpoint> {
             Box::new(BlastSender {
-                spec: flow.clone(),
+                spec: *flow,
                 sent: false,
             })
         }
         fn receiver(&mut self, flow: &FlowSpec, _env: &NetEnv) -> Box<dyn Endpoint> {
             Box::new(CountReceiver {
-                spec: flow.clone(),
+                spec: *flow,
                 got: Bytes::ZERO,
                 done: false,
             })
@@ -774,6 +844,100 @@ mod tests {
         sim.run_until(Time::from_millis(1));
         assert_eq!(sim.flows_completed(), 2); // Both halves emitted.
         assert_eq!(sim.now(), Time::from_micros(60));
+    }
+
+    /// The cancellable-timer protocol end to end: `arm_timer` replaces a
+    /// previously armed token (the old deadline never fires), `cancel_timer`
+    /// suppresses delivery entirely, and once a timer fires its slot leaves
+    /// the host's armed-timer table.
+    #[test]
+    fn cancellable_timers_cancel_and_rearm_via_sim() {
+        #[derive(Default)]
+        struct Seen {
+            b_fired: Vec<Time>,
+            c_fired: u32,
+        }
+        struct Ep {
+            flow: FlowId,
+            seen: std::sync::Arc<std::sync::Mutex<Seen>>,
+            done: bool,
+        }
+        impl Endpoint for Ep {
+            fn activate(&mut self, ctx: &mut EndpointCtx) {
+                // Plain driver timer (kind 1) plus two cancellable ones:
+                // B (kind 2) to be re-armed later, C (kind 3) to be
+                // cancelled outright.
+                ctx.set_timer(ctx.now + TimeDelta::micros(50), timer_token(self.flow, 1));
+                ctx.arm_timer(ctx.now + TimeDelta::micros(60), timer_token(self.flow, 2));
+                ctx.arm_timer(ctx.now + TimeDelta::micros(70), timer_token(self.flow, 3));
+            }
+            fn on_packet(&mut self, _pkt: &Packet, _ctx: &mut EndpointCtx) {}
+            fn on_timer(&mut self, token: u64, ctx: &mut EndpointCtx) {
+                match timer_kind(token) {
+                    1 => {
+                        // Push B from 60 us out to 140 us and kill C.
+                        ctx.arm_timer(ctx.now + TimeDelta::micros(90), timer_token(self.flow, 2));
+                        ctx.cancel_timer(timer_token(self.flow, 3));
+                    }
+                    2 => {
+                        self.seen.lock().expect("lock").b_fired.push(ctx.now);
+                        if !self.done {
+                            self.done = true;
+                            ctx.emit(AppEvent::FlowCompleted {
+                                flow: self.flow,
+                                stats: RxStats::default(),
+                            });
+                        }
+                    }
+                    3 => self.seen.lock().expect("lock").c_fired += 1,
+                    _ => unreachable!(),
+                }
+            }
+            fn finished(&self) -> bool {
+                self.done
+            }
+        }
+        struct F(std::sync::Arc<std::sync::Mutex<Seen>>);
+        impl TransportFactory for F {
+            fn sender(&mut self, flow: &FlowSpec, _env: &NetEnv) -> Box<dyn Endpoint> {
+                Box::new(Ep {
+                    flow: flow.id,
+                    seen: self.0.clone(),
+                    done: false,
+                })
+            }
+            fn receiver(&mut self, flow: &FlowSpec, _env: &NetEnv) -> Box<dyn Endpoint> {
+                Box::new(Ep {
+                    flow: flow.id,
+                    seen: self.0.clone(),
+                    done: false,
+                })
+            }
+        }
+        let p = profile(Rate::from_gbps(10));
+        let topo = Topology::star(2, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Seen::default()));
+        let mut sim = Sim::new(topo, Box::new(F(seen.clone())), NullObserver);
+        sim.schedule_flow(flow(4, 0, 1, 100, Time::ZERO));
+        sim.run_until(Time::from_millis(1));
+        // Both endpoints saw B fire exactly once, at the re-armed instant
+        // (50 + 90 us) rather than the original 60 us; C never fired.
+        {
+            let s = seen.lock().expect("lock");
+            assert_eq!(
+                s.b_fired.as_slice(),
+                &[Time::from_micros(140), Time::from_micros(140)]
+            );
+            assert_eq!(s.c_fired, 0, "cancelled timer fired");
+        }
+        // Delivered + cancelled timers all left each host's table.
+        for n in [sim.hosts[0], sim.hosts[1]] {
+            if let Node::Host(h) = &sim.nodes[n] {
+                assert_eq!(h.armed_timers(), 0, "armed-timer table not drained");
+            }
+        }
+        // Each endpoint cancelled C and replaced B once: 2 endpoints x 2.
+        assert_eq!(sim.timers_cancelled(), 4);
     }
 
     #[test]

@@ -70,7 +70,9 @@ pub struct DctcpSender {
     next_pending: u32,
     in_flight: u32,
     dupacks: u32,
-    rto_outstanding: bool,
+    /// Deadline of the currently armed (cancellable) RTO, if any; used to
+    /// skip redundant re-arms when the deadline is unchanged.
+    rto_deadline: Option<Time>,
     rto_backoff: u32,
     last_progress: Time,
     /// Packets currently marked `Lost`, kept sorted for O(log n) lookup.
@@ -95,7 +97,7 @@ impl DctcpSender {
             next_pending: 0,
             in_flight: 0,
             dupacks: 0,
-            rto_outstanding: false,
+            rto_deadline: None,
             rto_backoff: 0,
             last_progress: Time::ZERO,
             lost: std::collections::BTreeSet::new(),
@@ -147,14 +149,34 @@ impl DctcpSender {
             self.stats.redundant_bytes += pay.get();
         }
         ctx.send(self.data_packet(seq, retx));
-        self.arm_rto(ctx);
     }
 
-    fn arm_rto(&mut self, ctx: &mut EndpointCtx) {
-        if !self.rto_outstanding {
-            self.rto_outstanding = true;
-            let at = ctx.now + self.rto();
-            ctx.set_timer(at, timer_token(self.spec.id, TK_RTO));
+    /// Keeps the armed RTO tracking `last_progress + rto()` using
+    /// cancel-and-replace arming: the timer only ever fires at a genuine
+    /// timeout, instead of the old lazy pattern where stale entries fired
+    /// as no-ops and re-armed themselves.
+    ///
+    /// The deadline is a monotone maximum — a fresh arm starts at
+    /// `now + rto()` and re-arms never move it earlier — which is exactly
+    /// the envelope the lazy fire-and-recheck chain used to converge to,
+    /// so timeout instants are unchanged.
+    fn update_rto(&mut self, ctx: &mut EndpointCtx) {
+        let token = timer_token(self.spec.id, TK_RTO);
+        let needed = !self.done
+            && (self.in_flight > 0 || !self.lost.is_empty() || self.next_pending < self.n);
+        if !needed {
+            if self.rto_deadline.take().is_some() {
+                ctx.cancel_timer(token);
+            }
+            return;
+        }
+        let at = match self.rto_deadline {
+            Some(d) => (self.last_progress + self.rto()).max(d),
+            None => ctx.now + self.rto(),
+        };
+        if self.rto_deadline != Some(at) {
+            self.rto_deadline = Some(at);
+            ctx.arm_timer(at, token);
         }
     }
 
@@ -250,28 +272,25 @@ impl DctcpSender {
                 flow: self.spec.id,
                 stats: self.stats,
             });
+            self.update_rto(ctx); // cancels the armed timer
             return;
         }
         self.pump(ctx);
+        self.update_rto(ctx);
     }
 
     fn on_rto(&mut self, ctx: &mut EndpointCtx) {
-        self.rto_outstanding = false;
+        self.rto_deadline = None;
         if self.done {
-            return;
-        }
-        let deadline = self.last_progress + self.rto();
-        if ctx.now < deadline {
-            // Progress happened since arming: re-arm lazily.
-            self.rto_outstanding = true;
-            ctx.set_timer(deadline, timer_token(self.spec.id, TK_RTO));
             return;
         }
         if self.in_flight == 0 && self.first_lost().is_none() && self.next_pending >= self.n {
             // Everything sent and acked-or-pending-ack; nothing to do.
             return;
         }
-        // Timeout: every in-flight packet is presumed lost.
+        // Timeout: every in-flight packet is presumed lost. (With
+        // cancel-and-replace arming a fire always means the deadline
+        // genuinely passed — no lazy re-check needed.)
         self.stats.timeouts += 1;
         self.rto_backoff += 1;
         for s in self.snd_una..self.next_pending.min(self.n) {
@@ -284,6 +303,7 @@ impl DctcpSender {
         self.win.on_timeout(self.next_pending);
         self.last_progress = ctx.now;
         self.pump(ctx);
+        self.update_rto(ctx);
     }
 }
 
@@ -291,6 +311,7 @@ impl Endpoint for DctcpSender {
     fn activate(&mut self, ctx: &mut EndpointCtx) {
         self.last_progress = ctx.now;
         self.pump(ctx);
+        self.update_rto(ctx);
     }
 
     fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) {
@@ -306,7 +327,9 @@ impl Endpoint for DctcpSender {
     }
 
     fn finished(&self) -> bool {
-        self.done && !self.rto_outstanding
+        // The RTO is cancelled on completion, so no teardown linger is
+        // needed to absorb a stale timer fire.
+        self.done
     }
 }
 
@@ -427,10 +450,10 @@ impl Default for DctcpFactory {
 
 impl TransportFactory for DctcpFactory {
     fn sender(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
-        Box::new(DctcpSender::new(flow.clone(), self.cfg, env))
+        Box::new(DctcpSender::new(*flow, self.cfg, env))
     }
     fn receiver(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
-        Box::new(DctcpReceiver::new(flow.clone(), self.cfg, env))
+        Box::new(DctcpReceiver::new(*flow, self.cfg, env))
     }
 }
 
@@ -718,7 +741,7 @@ mod tests {
             base_rtt: TimeDelta::micros(20),
             n_hosts: 2,
         };
-        let mut rx = DctcpReceiver::new(spec.clone(), cfg, &env);
+        let mut rx = DctcpReceiver::new(spec, cfg, &env);
         let mut tx_v = Vec::new();
         let mut timers = Vec::new();
         let mut app = Vec::new();

@@ -112,7 +112,8 @@ pub struct EpSender {
     acked: u32,
     rtt: RttEstimator,
     last_progress: Time,
-    rto_outstanding: bool,
+    /// Deadline of the currently armed (cancellable) RTO, if any.
+    rto_deadline: Option<Time>,
     rto_backoff: u32,
     /// Packets currently marked `Lost`, kept sorted for O(log n) lookup.
     lost: std::collections::BTreeSet<u32>,
@@ -135,7 +136,7 @@ impl EpSender {
             acked: 0,
             rtt: RttEstimator::new(cfg.min_rto),
             last_progress: Time::ZERO,
-            rto_outstanding: false,
+            rto_deadline: None,
             rto_backoff: 0,
             lost: std::collections::BTreeSet::new(),
             stats: TxStats::default(),
@@ -157,14 +158,28 @@ impl EpSender {
             self.cfg.ctrl_class,
             Payload::CreditReq { pkts: self.n },
         ));
-        self.arm_rto(ctx);
     }
 
-    fn arm_rto(&mut self, ctx: &mut EndpointCtx) {
-        if !self.rto_outstanding {
-            self.rto_outstanding = true;
-            let at = ctx.now + self.rto();
-            ctx.set_timer(at, timer_token(self.spec.id, TK_RTO));
+    /// Keeps the armed RTO tracking `last_progress + rto()` via
+    /// cancel-and-replace arming; cancelled outright once the flow is done.
+    /// The deadline is a monotone maximum (fresh arms start at
+    /// `now + rto()`, re-arms never move earlier), matching the envelope
+    /// the old lazy fire-and-recheck chain converged to.
+    fn update_rto(&mut self, ctx: &mut EndpointCtx) {
+        let token = timer_token(self.spec.id, TK_RTO);
+        if self.done {
+            if self.rto_deadline.take().is_some() {
+                ctx.cancel_timer(token);
+            }
+            return;
+        }
+        let at = match self.rto_deadline {
+            Some(d) => (self.last_progress + self.rto()).max(d),
+            None => ctx.now + self.rto(),
+        };
+        if self.rto_deadline != Some(at) {
+            self.rto_deadline = Some(at);
+            ctx.arm_timer(at, token);
         }
     }
 
@@ -242,7 +257,7 @@ impl EpSender {
                         retx,
                     }),
                 ));
-                self.arm_rto(ctx);
+                self.update_rto(ctx);
             }
             None => {
                 self.stats.credits_wasted += 1;
@@ -302,17 +317,12 @@ impl EpSender {
                 stats: self.stats,
             });
         }
+        self.update_rto(ctx);
     }
 
     fn on_rto(&mut self, ctx: &mut EndpointCtx) {
-        self.rto_outstanding = false;
+        self.rto_deadline = None;
         if self.done {
-            return;
-        }
-        let deadline = self.last_progress + self.rto();
-        if ctx.now < deadline {
-            self.rto_outstanding = true;
-            ctx.set_timer(deadline, timer_token(self.spec.id, TK_RTO));
             return;
         }
         // No progress for a full RTO: presume in-flight data lost and credits
@@ -333,6 +343,7 @@ impl EpSender {
         }
         self.last_progress = ctx.now;
         self.send_request(ctx);
+        self.update_rto(ctx);
     }
 }
 
@@ -342,6 +353,7 @@ impl Endpoint for EpSender {
         // Proactive transports wait one RTT for credits (no unscheduled
         // packets in plain ExpressPass).
         self.send_request(ctx);
+        self.update_rto(ctx);
     }
 
     fn on_packet(&mut self, pkt: &Packet, ctx: &mut EndpointCtx) {
@@ -359,7 +371,8 @@ impl Endpoint for EpSender {
     }
 
     fn finished(&self) -> bool {
-        self.done && !self.rto_outstanding
+        // The RTO is cancelled on completion — no stale fire to wait out.
+        self.done
     }
 }
 
@@ -509,8 +522,8 @@ impl EpReceiver {
         self.crediting = true;
         if !self.credit_chain_live {
             self.credit_chain_live = true;
-            ctx.set_timer(ctx.now, timer_token(self.spec.id, TK_CREDIT));
-            ctx.set_timer(
+            ctx.arm_timer(ctx.now, timer_token(self.spec.id, TK_CREDIT));
+            ctx.arm_timer(
                 ctx.now + self.update_period,
                 timer_token(self.spec.id, TK_FEEDBACK),
             );
@@ -560,6 +573,13 @@ impl EpReceiver {
         if self.reasm.complete() && !self.completed {
             self.completed = true;
             self.crediting = false;
+            // Completion is final (`CreditReq` is ignored once completed),
+            // so the pacing chains can be cancelled outright instead of
+            // firing one last stale tick each. A mid-flow `CreditStop`, by
+            // contrast, must let the chain fire and observe `!crediting` —
+            // restart depends on that stale-fire termination.
+            ctx.cancel_timer(timer_token(self.spec.id, TK_CREDIT));
+            ctx.cancel_timer(timer_token(self.spec.id, TK_FEEDBACK));
             ctx.emit(AppEvent::FlowCompleted {
                 flow: self.spec.id,
                 stats: RxStats {
@@ -597,7 +617,7 @@ impl Endpoint for EpReceiver {
             TK_CREDIT => {
                 if self.crediting && !self.completed {
                     self.send_credit(ctx);
-                    ctx.set_timer(
+                    ctx.arm_timer(
                         ctx.now + self.engine.credit_interval(),
                         timer_token(self.spec.id, TK_CREDIT),
                     );
@@ -607,7 +627,7 @@ impl Endpoint for EpReceiver {
             }
             TK_FEEDBACK if self.crediting && !self.completed => {
                 self.engine.feedback_update();
-                ctx.set_timer(
+                ctx.arm_timer(
                     ctx.now + self.update_period,
                     timer_token(self.spec.id, TK_FEEDBACK),
                 );
@@ -647,10 +667,10 @@ impl Default for ExpressPassFactory {
 
 impl TransportFactory for ExpressPassFactory {
     fn sender(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
-        Box::new(EpSender::new(flow.clone(), self.cfg, env))
+        Box::new(EpSender::new(*flow, self.cfg, env))
     }
     fn receiver(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
-        Box::new(EpReceiver::new(flow.clone(), self.cfg, env))
+        Box::new(EpReceiver::new(*flow, self.cfg, env))
     }
 }
 

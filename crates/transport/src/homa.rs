@@ -80,7 +80,8 @@ pub struct HomaSender {
     dupacks: u32,
     rtt: RttEstimator,
     last_progress: Time,
-    rto_outstanding: bool,
+    /// Deadline of the currently armed (cancellable) RTO, if any.
+    rto_deadline: Option<Time>,
     rto_backoff: u32,
     /// Packets currently marked `Lost`.
     lost: std::collections::BTreeSet<u32>,
@@ -104,7 +105,7 @@ impl HomaSender {
             dupacks: 0,
             rtt: RttEstimator::new(cfg.min_rto),
             last_progress: Time::ZERO,
-            rto_outstanding: false,
+            rto_deadline: None,
             rto_backoff: 0,
             lost: std::collections::BTreeSet::new(),
             stats: TxStats::default(),
@@ -139,13 +140,26 @@ impl HomaSender {
             )
             .with_prio(prio),
         );
-        self.arm_rto(ctx);
     }
 
-    fn arm_rto(&mut self, ctx: &mut EndpointCtx) {
-        if !self.rto_outstanding {
-            self.rto_outstanding = true;
-            ctx.set_timer(ctx.now + self.rto(), timer_token(self.spec.id, TK_RTO));
+    /// Keeps the armed RTO tracking `last_progress + rto()` via
+    /// cancel-and-replace arming (monotone-maximum deadline, matching the
+    /// envelope of the old lazy fire-and-recheck chain); cancelled on done.
+    fn update_rto(&mut self, ctx: &mut EndpointCtx) {
+        let token = timer_token(self.spec.id, TK_RTO);
+        if self.done {
+            if self.rto_deadline.take().is_some() {
+                ctx.cancel_timer(token);
+            }
+            return;
+        }
+        let at = match self.rto_deadline {
+            Some(d) => (self.last_progress + self.rto()).max(d),
+            None => ctx.now + self.rto(),
+        };
+        if self.rto_deadline != Some(at) {
+            self.rto_deadline = Some(at);
+            ctx.arm_timer(at, token);
         }
     }
 
@@ -173,6 +187,7 @@ impl HomaSender {
             self.next_pending += 1;
             self.transmit(seq, prio, false, ctx);
         }
+        self.update_rto(ctx);
     }
 
     fn on_ack(&mut self, ack: &AckInfo, ctx: &mut EndpointCtx) {
@@ -220,6 +235,7 @@ impl HomaSender {
                 stats: self.stats,
             });
         }
+        self.update_rto(ctx);
     }
 }
 
@@ -245,14 +261,8 @@ impl Endpoint for HomaSender {
         if timer_kind(token) != TK_RTO {
             return;
         }
-        self.rto_outstanding = false;
+        self.rto_deadline = None;
         if self.done {
-            return;
-        }
-        let deadline = self.last_progress + self.rto();
-        if ctx.now < deadline {
-            self.rto_outstanding = true;
-            ctx.set_timer(deadline, timer_token(self.spec.id, TK_RTO));
             return;
         }
         self.stats.timeouts += 1;
@@ -268,7 +278,8 @@ impl Endpoint for HomaSender {
     }
 
     fn finished(&self) -> bool {
-        self.done && !self.rto_outstanding
+        // The RTO is cancelled on completion — no stale fire to wait out.
+        self.done
     }
 }
 
@@ -382,10 +393,10 @@ impl HomaFactory {
 
 impl TransportFactory for HomaFactory {
     fn sender(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
-        Box::new(HomaSender::new(flow.clone(), self.cfg, env))
+        Box::new(HomaSender::new(*flow, self.cfg, env))
     }
     fn receiver(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
-        Box::new(HomaReceiver::new(flow.clone(), self.cfg, env))
+        Box::new(HomaReceiver::new(*flow, self.cfg, env))
     }
 }
 

@@ -51,7 +51,7 @@ fn run_smoke(seed: u64) -> Digest {
         Recorder::new(),
     );
     for f in &flows {
-        sim.schedule_flow(f.clone());
+        sim.schedule_flow(*f);
     }
     sim.run_to_completion(TimeDelta::millis(20));
     let mut fcts: Vec<(u64, u64)> = sim

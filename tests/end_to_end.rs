@@ -43,7 +43,7 @@ fn flexpass_full_deployment_completes_cleanly() {
         Recorder::new(),
     );
     for f in &flows {
-        sim.schedule_flow(f.clone());
+        sim.schedule_flow(*f);
     }
     sim.run_to_completion(TimeDelta::millis(20));
     let rec = &sim.observer;
@@ -79,7 +79,7 @@ fn mid_rollout_all_schemes_complete() {
         let factory = SchemeFactory::new(scheme, deployment, FlexPassConfig::new(0.5), frac);
         let mut sim = Sim::new(topo, Box::new(factory), Recorder::new());
         for f in &flows {
-            sim.schedule_flow(f.clone());
+            sim.schedule_flow(*f);
         }
         sim.run_to_completion(TimeDelta::millis(20));
         assert_eq!(
@@ -109,7 +109,7 @@ fn deterministic_end_to_end() {
             Recorder::new(),
         );
         for f in &flows {
-            sim.schedule_flow(f.clone());
+            sim.schedule_flow(*f);
         }
         sim.run_to_completion(TimeDelta::millis(20));
         let mut fcts: Vec<(u64, u64)> = sim
@@ -140,7 +140,7 @@ fn byte_conservation() {
         Recorder::new(),
     );
     for f in &flows {
-        sim.schedule_flow(f.clone());
+        sim.schedule_flow(*f);
     }
     sim.run_to_completion(TimeDelta::millis(20));
     let delivered: u64 = sim.observer.flows.iter().map(|r| r.size).sum();

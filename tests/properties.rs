@@ -139,7 +139,7 @@ proptest! {
             Recorder::new(),
         );
         for fl in &flows {
-            sim.schedule_flow(fl.clone());
+            sim.schedule_flow(*fl);
         }
         sim.run_to_completion(TimeDelta::millis(10));
         prop_assert_eq!(sim.observer.completed(), 30);
@@ -149,7 +149,7 @@ proptest! {
         let topo = Topology::star(9, params.rate, TimeDelta::micros(5), &dprofile, &dprofile);
         let mut sim = Sim::new(topo, Box::new(DctcpFactory::new()), Recorder::new());
         for fl in &flows {
-            sim.schedule_flow(fl.clone());
+            sim.schedule_flow(*fl);
         }
         sim.run_to_completion(TimeDelta::millis(10));
         prop_assert_eq!(sim.observer.completed(), 30);

@@ -76,6 +76,24 @@ const LINTED_CRATES: &[&str] = &[
 /// fully enforced for it.
 pub const LINTED_EXTRA_FILES: &[&str] = &["crates/experiments/src/orchestrate.rs"];
 
+/// Crates outside the simulation core swept for the `wall-clock` rule
+/// *only*. These layers (workloads, metrics, experiment drivers, benches)
+/// are allowed hash maps, casts and panics — but real time must not leak
+/// into anything that feeds the simulation: `std::time::Instant` stays
+/// confined to the bench runner ([`WALL_CLOCK_HOMES`]) and the experiment
+/// orchestrator (scoped `lint:allow` rationales).
+const WALL_CLOCK_SWEEP_CRATES: &[&str] = &[
+    "crates/simaudit",
+    "crates/workload",
+    "crates/metrics",
+    "crates/experiments",
+    "crates/bench",
+];
+
+/// Files whose entire purpose is wall-clock measurement: the standalone
+/// bench runner times real executions to report events/sec.
+const WALL_CLOCK_HOMES: &[&str] = &["crates/bench/src/bin/substrate_bench.rs"];
+
 /// The only file allowed to define/use the float↔time conversions.
 const FLOAT_TIME_HOME: &str = "crates/simcore/src/time.rs";
 
@@ -162,6 +180,37 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     for rel in LINTED_EXTRA_FILES {
         let src = fs::read_to_string(root.join(rel))?;
         findings.extend(lint_source(rel, &src));
+    }
+    // Wall-clock-only sweep over the non-simulation layers (src/, bins and
+    // benches — these crates keep measurement code outside src/ too).
+    for krate in WALL_CLOCK_SWEEP_CRATES {
+        for sub in ["src", "benches"] {
+            let dir = root.join(krate).join(sub);
+            if !dir.is_dir() {
+                continue;
+            }
+            let mut files = Vec::new();
+            collect_rs_files(&dir, &mut files)?;
+            files.sort();
+            for path in files {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                if WALL_CLOCK_HOMES.contains(&rel.as_str())
+                    || LINTED_EXTRA_FILES.contains(&rel.as_str())
+                {
+                    continue;
+                }
+                let src = fs::read_to_string(&path)?;
+                findings.extend(
+                    lint_source(&rel, &src)
+                        .into_iter()
+                        .filter(|f| f.rule == "wall-clock"),
+                );
+            }
+        }
     }
     findings.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
     Ok(findings)

@@ -30,6 +30,7 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("bench") => run_bench(&args[1..]),
         Some("help") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -71,10 +72,70 @@ fn print_usage() {
     eprintln!("tasks:");
     eprintln!("  lint [--format human|json|github]");
     eprintln!("          run the determinism & units lint over the simulation crates");
+    eprintln!("  bench [--smoke] [--out PATH]");
+    eprintln!("          run the substrate benchmark (release build) and emit the");
+    eprintln!("          BENCH_substrate.json report (default: workspace root)");
     eprintln!();
     eprintln!("lint rules:");
     for (name, why) in lint::RULES {
         eprintln!("  {name:<18} {why}");
+    }
+}
+
+/// Builds and runs the standalone substrate benchmark
+/// (`crates/bench/src/bin/substrate_bench.rs`) in release mode, writing
+/// `BENCH_substrate.json` (events/sec, ns/event, wheel-over-heap speedups).
+/// `--smoke` runs the fast CI-sized variant; `--out PATH` overrides the
+/// report location. The bench binary itself enforces the regression gates
+/// and sets the exit code.
+fn run_bench(args: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| {
+        root.join("BENCH_substrate.json")
+            .to_string_lossy()
+            .into_owned()
+    });
+    let mut cmd = std::process::Command::new(env!("CARGO"));
+    cmd.current_dir(&root).args([
+        "run",
+        "--release",
+        "-p",
+        "flexpass-bench",
+        "--bin",
+        "substrate_bench",
+        "--",
+    ]);
+    if smoke {
+        cmd.arg("--smoke");
+    }
+    cmd.args(["--out", &out]);
+    match cmd.status() {
+        Ok(st) if st.success() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask bench: failed to run cargo: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
