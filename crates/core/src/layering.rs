@@ -11,6 +11,7 @@ use flexpass_simnet::consts::{data_wire_bytes, packets_for, payload_of_packet, C
 use flexpass_simnet::endpoint::{AppEvent, Endpoint, EndpointCtx, TxStats};
 use flexpass_simnet::packet::{AckInfo, CreditInfo, DataInfo, FlowSpec, Packet, Payload, Subflow};
 use flexpass_simnet::sim::{timer_kind, timer_token, NetEnv};
+use flexpass_simnet::trace;
 use flexpass_transport::common::{DctcpWindow, PktState, RttEstimator};
 use flexpass_transport::expresspass::EpConfig;
 
@@ -128,11 +129,13 @@ impl LySender {
         self.stats.credits_received += 1;
         if self.done {
             self.stats.credits_wasted += 1;
+            trace::credit_wasted(self.spec.id);
             return;
         }
         // The layering gate: credits beyond the DCTCP window are wasted.
         if self.inflight >= self.win.cwnd_pkts() {
             self.stats.credits_wasted += 1;
+            trace::credit_wasted(self.spec.id);
             return;
         }
         match self.pick() {
@@ -147,6 +150,7 @@ impl LySender {
                 if retx {
                     self.stats.retx_pkts += 1;
                     self.stats.redundant_bytes += pay.get();
+                    trace::retransmit(self.spec.id, seq);
                 }
                 ctx.send(
                     Packet::new(
@@ -167,7 +171,10 @@ impl LySender {
                 );
                 self.update_rto(ctx);
             }
-            None => self.stats.credits_wasted += 1,
+            None => {
+                self.stats.credits_wasted += 1;
+                trace::credit_wasted(self.spec.id);
+            }
         }
     }
 
@@ -261,6 +268,7 @@ impl Endpoint for LySender {
             return;
         }
         self.rto_backoff += 1;
+        trace::rto(self.spec.id, self.rto_backoff);
         let mut any_lost = false;
         for s in self.snd_una..self.next_pending.min(self.n) {
             if self.states[s as usize] == PktState::Sent {

@@ -8,6 +8,7 @@ use flexpass_simnet::packet::{
     AckInfo, CreditInfo, DataInfo, FlowSpec, Packet, Payload, Subflow, TrafficClass,
 };
 use flexpass_simnet::sim::{timer_kind, timer_token, NetEnv};
+use flexpass_simnet::trace;
 use flexpass_transport::common::{AckBuilder, Reassembly};
 use flexpass_transport::expresspass::CreditEngine;
 
@@ -108,6 +109,7 @@ impl FlexPassReceiver {
         self.credit_idx += 1;
         self.credits_sent += 1;
         self.engine.credits_sent_period += 1;
+        trace::credit_sent(self.spec.id, u64::from(idx));
         ctx.send(Packet::new(
             self.spec.id,
             self.spec.dst,

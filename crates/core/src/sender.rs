@@ -9,6 +9,7 @@ use flexpass_simnet::packet::{
     AckInfo, CreditInfo, DataInfo, FlowSpec, Packet, Payload, Subflow, TrafficClass,
 };
 use flexpass_simnet::sim::{timer_kind, timer_token, NetEnv};
+use flexpass_simnet::trace;
 use flexpass_transport::common::{DctcpWindow, PktState, RttEstimator};
 
 use crate::config::{FlexPassConfig, SplitPolicy};
@@ -311,6 +312,7 @@ impl FlexPassSender {
         self.stats.credits_received += 1;
         if self.done {
             self.stats.credits_wasted += 1;
+            trace::credit_wasted(self.spec.id);
             ctx.send(Packet::new(
                 self.spec.id,
                 self.spec.src,
@@ -335,11 +337,13 @@ impl FlexPassSender {
                 Some(s) => (s, Kind::ProactiveRetx),
                 None => {
                     self.stats.credits_wasted += 1;
+                    trace::credit_wasted(self.spec.id);
                     return;
                 }
             }
         } else {
             self.stats.credits_wasted += 1;
+            trace::credit_wasted(self.spec.id);
             return;
         };
 
@@ -349,10 +353,12 @@ impl FlexPassSender {
             Kind::LossRecovery => {
                 self.stats.retx_pkts += 1;
                 self.stats.redundant_bytes += pay.get();
+                trace::retransmit(self.spec.id, flow_seq);
             }
             Kind::ProactiveRetx => {
                 self.stats.proactive_retx_pkts += 1;
                 self.stats.redundant_bytes += pay.get();
+                trace::retransmit(self.spec.id, flow_seq);
             }
             Kind::NewData => {}
         }
@@ -539,6 +545,7 @@ impl FlexPassSender {
         // credits, and restart the reactive window from one packet. Only
         // count a timeout when data was actually outstanding.
         self.rto_backoff += 1;
+        trace::rto(self.spec.id, self.rto_backoff);
         let mut any_lost = false;
         for s in 0..self.n as usize {
             if self.states[s].in_flight() {

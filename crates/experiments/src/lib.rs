@@ -34,5 +34,6 @@ pub mod plot;
 pub mod queue_study;
 pub mod runner;
 pub mod sweep;
+pub mod tracecfg;
 
 pub use runner::{RunScale, ScenarioResult};

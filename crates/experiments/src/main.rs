@@ -14,6 +14,12 @@
 //! is this reproduction's design-choice study). `--fig custom --trace F`
 //! replays a user flow trace (`src,dst,size_bytes,start_us`).
 //!
+//! `--trace[=FILTER]` (no file argument) arms packet-lifecycle tracing:
+//! every simulation point writes `<out>/traces/<group>-<label>.jsonl`
+//! (events + telemetry summary; `FILTER` is a comma-separated event-kind
+//! list, default all). Summarize with `cargo xtask trace-report`. Tracing
+//! is observation-only: CSVs stay byte-identical with it on or off.
+//!
 //! `--jobs N` sets the worker-thread count for the experiment pool
 //! (default: available parallelism; `--jobs 1` runs serially). Output is
 //! byte-identical for every value — each simulation point is its own
@@ -40,6 +46,7 @@ fn main() {
     let mut out = PathBuf::from("results");
     let mut scale = RunScale::Default;
     let mut trace: Option<PathBuf> = None;
+    let mut packet_trace: Option<String> = None;
     let mut plot = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,9 +65,22 @@ fn main() {
                 plot = true;
                 i += 1;
             }
+            // `--trace FILE` (replay input for --fig custom) predates
+            // `--trace[=FILTER]` (packet-lifecycle tracing). A following
+            // non-flag argument keeps the legacy replay meaning; bare
+            // `--trace` (last arg or followed by a flag) arms tracing.
             "--trace" => {
-                trace = Some(PathBuf::from(&args[i + 1]));
-                i += 2;
+                if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    trace = Some(PathBuf::from(&args[i + 1]));
+                    i += 2;
+                } else {
+                    packet_trace = Some(String::new());
+                    i += 1;
+                }
+            }
+            s if s.starts_with("--trace=") => {
+                packet_trace = Some(s["--trace=".len()..].to_string());
+                i += 1;
             }
             "--scale" => {
                 scale = RunScale::parse(&args[i + 1]).unwrap_or_else(|| {
@@ -87,10 +107,18 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: flexpass-experiments [--fig NAME|all] [--out DIR] [--scale smoke|default|full] [--jobs N] [--inject-panic LABEL]");
+                eprintln!("usage: flexpass-experiments [--fig NAME|all] [--out DIR] [--scale smoke|default|full] [--jobs N] [--trace[=FILTER]] [--inject-panic LABEL]");
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(spec) = &packet_trace {
+        if let Err(e) = flexpass_experiments::tracecfg::enable(spec, &out) {
+            eprintln!("--trace: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("packet tracing armed -> {}/traces/", out.display());
     }
 
     let all = fig == "all";

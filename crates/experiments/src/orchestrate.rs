@@ -279,6 +279,10 @@ fn run_one<T>(state: &PoolState, group: &str, task: Task<T>) -> Result<T, TaskFa
         probe: Arc::clone(&probe),
     };
     let run = task.run;
+    // Packet tracing (--trace) wraps every point: the tracer is
+    // thread-local, so install/collect must bracket the run on this
+    // worker thread. Observation-only — results are unaffected.
+    crate::tracecfg::install_for_run();
     let outcome = catch_unwind(AssertUnwindSafe(move || {
         if armed {
             // lint:allow(panic-path): deliberate fault injection, proving
@@ -287,6 +291,7 @@ fn run_one<T>(state: &PoolState, group: &str, task: Task<T>) -> Result<T, TaskFa
         }
         run(&ctx)
     }));
+    crate::tracecfg::finish_run(&qualified);
 
     state
         .active

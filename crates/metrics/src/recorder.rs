@@ -180,9 +180,14 @@ impl Recorder {
         out
     }
 
-    /// Fraction of bins in `[from, to)` where the tag's aggregate
+    /// Fraction of time in `[from, to)` where the tag's aggregate
     /// throughput is below `frac` of `capacity_gbps` — the paper's
     /// starvation-time metric (Figure 9c: threshold 20 %).
+    ///
+    /// Each bin contributes in proportion to its overlap with the window,
+    /// so a window that ends mid-bin weighs that bin by the covered
+    /// fraction instead of counting it as a full bin. A window with no
+    /// overlap with the recorded series yields 0.0.
     pub fn starvation_fraction(
         &self,
         tag: u32,
@@ -191,6 +196,10 @@ impl Recorder {
         from: Time,
         to: Time,
     ) -> f64 {
+        debug_assert!(
+            from <= to,
+            "starvation window is inverted: {from:?} > {to:?}"
+        );
         let bin = match self.throughput_bin {
             Some(b) => b,
             None => return 0.0,
@@ -199,14 +208,27 @@ impl Recorder {
         let w = bin.as_nanos();
         let lo = (from.as_nanos() / w) as usize;
         let hi = (to.as_nanos().div_ceil(w) as usize).min(tp.len());
-        if lo >= hi {
-            return 0.0;
+        let mut total = 0.0f64;
+        let mut below = 0.0f64;
+        for (i, &v) in tp.iter().enumerate().take(hi).skip(lo) {
+            let bin_start = i as u64 * w;
+            let bin_end = bin_start + w;
+            let o_start = bin_start.max(from.as_nanos());
+            let o_end = bin_end.min(to.as_nanos());
+            if o_end <= o_start {
+                continue;
+            }
+            let weight = (o_end - o_start) as f64;
+            total += weight;
+            if v < frac * capacity_gbps {
+                below += weight;
+            }
         }
-        let below = tp[lo..hi]
-            .iter()
-            .filter(|&&v| v < frac * capacity_gbps)
-            .count();
-        below as f64 / (hi - lo) as f64
+        if total <= 0.0 {
+            0.0
+        } else {
+            below / total
+        }
     }
 
     /// Total sender timeouts across tags.
@@ -407,6 +429,60 @@ mod tests {
         let f = r.starvation_fraction(1, 1.0, 0.2, Time::ZERO, Time::from_millis(1));
         assert_eq!(f, 0.0);
         assert_eq!(r.series_keys(), vec![(1, Subflow::Proactive)]);
+    }
+
+    /// Regression: a window ending mid-bin must weight the trailing bin by
+    /// its covered fraction, and windows outside the series must not panic
+    /// or report starvation.
+    #[test]
+    fn starvation_weights_partial_bins_and_clamps_window() {
+        use flexpass_simnet::consts::DATA_WIRE;
+        use flexpass_simnet::packet::{DataInfo, Payload, TrafficClass};
+
+        let mut r = Recorder::new().with_throughput(TimeDelta::millis(1));
+        r.on_flow_start(&spec(1, 2_000_000, 1), Time::ZERO);
+        // The series sums `payload`; the wire size is irrelevant here, so a
+        // whole bin's worth of bytes can ride in one oversized delivery.
+        let deliver = |r: &mut Recorder, bytes: u64, at_us: u64| {
+            let pkt = Packet::new(
+                1,
+                0,
+                1,
+                DATA_WIRE,
+                TrafficClass::NewData,
+                Payload::Data(DataInfo {
+                    flow_seq: 0,
+                    sub_seq: 0,
+                    sub: Subflow::Proactive,
+                    payload: Bytes::new(bytes),
+                    retx: false,
+                }),
+            );
+            r.on_delivered(&pkt, Time::from_micros(at_us));
+        };
+        // Bin 0: 10 Gbps (1.25 MB / ms). Bin 1: 2 Gbps (250 kB / ms).
+        deliver(&mut r, 1_250_000, 500);
+        deliver(&mut r, 250_000, 1_500);
+
+        // Window [0, 1.5 ms), threshold 5 Gbps: bin 0 (full weight) is
+        // above, bin 1 contributes only half a bin below -> 0.5 / 1.5.
+        let f = r.starvation_fraction(1, 10.0, 0.5, Time::ZERO, Time::from_micros(1_500));
+        assert!(
+            (f - 0.5 / 1.5).abs() < 1e-12,
+            "partial bin over-counted: {f}"
+        );
+
+        // Empty window.
+        let f = r.starvation_fraction(1, 10.0, 0.5, Time::from_micros(700), Time::from_micros(700));
+        assert_eq!(f, 0.0);
+
+        // Window entirely past the recorded series.
+        let f = r.starvation_fraction(1, 10.0, 0.5, Time::from_millis(10), Time::from_millis(12));
+        assert_eq!(f, 0.0);
+
+        // Unknown tag: no series at all.
+        let f = r.starvation_fraction(7, 10.0, 0.5, Time::ZERO, Time::from_millis(1));
+        assert_eq!(f, 0.0);
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Trace-derived telemetry: per-queue-depth and credit-waste time series.
+//!
+//! [`Telemetry`] folds a packet-lifecycle trace (a slice of
+//! [`TraceEvent`]s from `flexpass-simtrace`) into fixed-width time bins:
+//! the peak byte depth each queue reached per bin, and per-bin counts of
+//! enqueues, ECN marks, drops, credits sent, credits wasted, and
+//! retransmissions. The aggregate ratios back the paper's credit-waste
+//! discussion (§4.3): what fraction of issued credits bought no data, and
+//! what fraction of admitted packets were CE-marked.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use flexpass_simcore::time::TimeDelta;
+use flexpass_simtrace::TraceEvent;
+
+/// Binned counters and queue-depth series derived from one trace.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    bin: TimeDelta,
+    /// Peak queue depth (bytes after enqueue/dequeue) per bin, by queue id.
+    pub queue_peak_depth: BTreeMap<u64, Vec<u64>>,
+    /// Packets admitted per bin.
+    pub enqueues: Vec<u64>,
+    /// Packets CE-marked per bin.
+    pub ecn_marks: Vec<u64>,
+    /// Packets dropped per bin (all causes, injected loss included).
+    pub drops: Vec<u64>,
+    /// Credits issued by receivers per bin.
+    pub credits_sent: Vec<u64>,
+    /// Credits that reached a sender with nothing to send, per bin.
+    pub credits_wasted: Vec<u64>,
+    /// Data retransmissions per bin.
+    pub retransmits: Vec<u64>,
+    /// Retransmission-timeout fires over the whole trace.
+    pub rtos: u64,
+    /// Endpoint timer cancellations over the whole trace.
+    pub timer_cancels: u64,
+    /// Events folded in (the slice length).
+    pub events: u64,
+}
+
+fn bump(series: &mut Vec<u64>, bin: usize) {
+    if bin >= series.len() {
+        series.resize(bin + 1, 0);
+    }
+    series[bin] += 1;
+}
+
+impl Telemetry {
+    /// Folds `events` into `bin`-wide time series. Events are taken in
+    /// slice order; their timestamps decide the bin, so a ring-truncated
+    /// log simply yields empty leading bins.
+    pub fn from_events(events: &[TraceEvent], bin: TimeDelta) -> Self {
+        assert!(bin.as_nanos() > 0, "telemetry bin width must be non-zero");
+        let w = bin.as_nanos();
+        let mut t = Telemetry {
+            bin,
+            queue_peak_depth: BTreeMap::new(),
+            enqueues: Vec::new(),
+            ecn_marks: Vec::new(),
+            drops: Vec::new(),
+            credits_sent: Vec::new(),
+            credits_wasted: Vec::new(),
+            retransmits: Vec::new(),
+            rtos: 0,
+            timer_cancels: 0,
+            events: events.len() as u64,
+        };
+        for ev in events {
+            let b = (ev.t_ns() / w) as usize;
+            match ev {
+                TraceEvent::Enqueue {
+                    queue, bytes_after, ..
+                } => {
+                    bump(&mut t.enqueues, b);
+                    t.note_depth(*queue, b, *bytes_after);
+                }
+                TraceEvent::Dequeue {
+                    queue, bytes_after, ..
+                } => t.note_depth(*queue, b, *bytes_after),
+                TraceEvent::EcnMark { .. } => bump(&mut t.ecn_marks, b),
+                TraceEvent::Drop { .. } => bump(&mut t.drops, b),
+                TraceEvent::CreditSent { .. } => bump(&mut t.credits_sent, b),
+                TraceEvent::CreditWasted { .. } => bump(&mut t.credits_wasted, b),
+                TraceEvent::Retransmit { .. } => bump(&mut t.retransmits, b),
+                TraceEvent::Rto { .. } => t.rtos += 1,
+                TraceEvent::TimerCancel { .. } => t.timer_cancels += 1,
+            }
+        }
+        t
+    }
+
+    fn note_depth(&mut self, queue: u64, bin: usize, bytes: u64) {
+        let series = self.queue_peak_depth.entry(queue).or_default();
+        if bin >= series.len() {
+            series.resize(bin + 1, 0);
+        }
+        series[bin] = series[bin].max(bytes);
+    }
+
+    /// Bin width the series were folded with.
+    pub fn bin(&self) -> TimeDelta {
+        self.bin
+    }
+
+    /// Number of bins covered by the longest series.
+    pub fn bins(&self) -> usize {
+        self.queue_peak_depth
+            .values()
+            .map(Vec::len)
+            .chain([
+                self.enqueues.len(),
+                self.ecn_marks.len(),
+                self.drops.len(),
+                self.credits_sent.len(),
+                self.credits_wasted.len(),
+                self.retransmits.len(),
+            ])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fraction of issued credits that were wasted (0.0 when none were
+    /// issued). Wasted credits observed without a matching issue (e.g. the
+    /// sends were evicted from the ring) still count against the issued
+    /// total, so the ratio can exceed 1.0 on a truncated trace.
+    pub fn credit_waste_fraction(&self) -> f64 {
+        let sent: u64 = self.credits_sent.iter().sum();
+        let wasted: u64 = self.credits_wasted.iter().sum();
+        if sent == 0 {
+            0.0
+        } else {
+            wasted as f64 / sent as f64
+        }
+    }
+
+    /// Fraction of admitted packets that were CE-marked (0.0 when no
+    /// packets were admitted).
+    pub fn mark_fraction(&self) -> f64 {
+        let enq: u64 = self.enqueues.iter().sum();
+        let marks: u64 = self.ecn_marks.iter().sum();
+        if enq == 0 {
+            0.0
+        } else {
+            marks as f64 / enq as f64
+        }
+    }
+
+    /// Highest queue depth seen anywhere in the trace, bytes.
+    pub fn peak_depth_bytes(&self) -> u64 {
+        self.queue_peak_depth
+            .values()
+            .flat_map(|s| s.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// A one-line JSON summary, suitable for appending to a JSONL trace
+    /// file (`"kind":"summary"` keeps it distinguishable from events).
+    pub fn summary_json(&self) -> String {
+        let sum = |s: &[u64]| s.iter().sum::<u64>();
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"kind\":\"summary\",\"bin_ns\":{},\"bins\":{},\"events\":{},\
+             \"queues\":{},\"peak_depth_bytes\":{},\"enqueues\":{},\
+             \"ecn_marks\":{},\"drops\":{},\"credits_sent\":{},\
+             \"credits_wasted\":{},\"retransmits\":{},\"rtos\":{},\
+             \"timer_cancels\":{},\"mark_fraction\":{:.6},\
+             \"credit_waste_fraction\":{:.6}}}",
+            self.bin.as_nanos(),
+            self.bins(),
+            self.events,
+            self.queue_peak_depth.len(),
+            self.peak_depth_bytes(),
+            sum(&self.enqueues),
+            sum(&self.ecn_marks),
+            sum(&self.drops),
+            sum(&self.credits_sent),
+            sum(&self.credits_wasted),
+            sum(&self.retransmits),
+            self.rtos,
+            self.timer_cancels,
+            self.mark_fraction(),
+            self.credit_waste_fraction(),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+// Fraction expectations are exact by construction.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+    use flexpass_simtrace::DropCause;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Enqueue {
+                t_ns: 100,
+                queue: 0,
+                flow: 1,
+                seq: 0,
+                bytes_after: 1538,
+            },
+            TraceEvent::EcnMark {
+                t_ns: 150,
+                queue: 0,
+                flow: 1,
+                seq: 1,
+            },
+            TraceEvent::Enqueue {
+                t_ns: 200,
+                queue: 0,
+                flow: 1,
+                seq: 1,
+                bytes_after: 3076,
+            },
+            TraceEvent::Dequeue {
+                t_ns: 1_200,
+                queue: 0,
+                flow: 1,
+                seq: 0,
+                bytes_after: 1538,
+            },
+            TraceEvent::Drop {
+                t_ns: 1_300,
+                node: 2,
+                flow: 1,
+                seq: 2,
+                cause: DropCause::Buffer,
+            },
+            TraceEvent::CreditSent {
+                t_ns: 1_400,
+                flow: 3,
+                idx: 0,
+            },
+            TraceEvent::CreditSent {
+                t_ns: 2_400,
+                flow: 3,
+                idx: 1,
+            },
+            TraceEvent::CreditWasted {
+                t_ns: 2_500,
+                flow: 3,
+            },
+            TraceEvent::Retransmit {
+                t_ns: 2_600,
+                flow: 1,
+                seq: 2,
+            },
+            TraceEvent::Rto {
+                t_ns: 2_700,
+                flow: 1,
+                backoff: 1,
+            },
+            TraceEvent::TimerCancel {
+                t_ns: 2_800,
+                flow: 1,
+                kind: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn bins_counts_and_queue_peaks() {
+        let t = Telemetry::from_events(&sample_events(), TimeDelta::micros(1));
+        assert_eq!(t.bins(), 3);
+        assert_eq!(t.enqueues, vec![2]);
+        assert_eq!(t.ecn_marks, vec![1]);
+        assert_eq!(t.drops, vec![0, 1]);
+        assert_eq!(t.credits_sent, vec![0, 1, 1]);
+        assert_eq!(t.credits_wasted, vec![0, 0, 1]);
+        assert_eq!(t.retransmits, vec![0, 0, 1]);
+        assert_eq!(t.rtos, 1);
+        assert_eq!(t.timer_cancels, 1);
+        // Bin 0 peak is the post-enqueue high-water, bin 1 the post-dequeue
+        // residue.
+        assert_eq!(t.queue_peak_depth[&0], vec![3076, 1538]);
+        assert_eq!(t.peak_depth_bytes(), 3076);
+    }
+
+    #[test]
+    fn fractions() {
+        let t = Telemetry::from_events(&sample_events(), TimeDelta::micros(1));
+        assert_eq!(t.credit_waste_fraction(), 0.5);
+        assert_eq!(t.mark_fraction(), 0.5);
+        let empty = Telemetry::from_events(&[], TimeDelta::micros(1));
+        assert_eq!(empty.credit_waste_fraction(), 0.0);
+        assert_eq!(empty.mark_fraction(), 0.0);
+        assert_eq!(empty.bins(), 0);
+    }
+
+    #[test]
+    fn summary_is_one_json_line() {
+        let t = Telemetry::from_events(&sample_events(), TimeDelta::micros(1));
+        let s = t.summary_json();
+        assert!(s.starts_with("{\"kind\":\"summary\""));
+        assert!(s.ends_with('}'));
+        assert!(!s.contains('\n'));
+        assert!(s.contains("\"enqueues\":2"));
+        assert!(s.contains("\"credits_sent\":2"));
+        assert!(s.contains("\"credit_waste_fraction\":0.500000"));
+        assert!(s.contains("\"peak_depth_bytes\":3076"));
+    }
+}

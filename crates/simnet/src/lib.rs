@@ -20,6 +20,9 @@
 //! * [`sim`] — the deterministic event-driven driver tying it together.
 //! * [`audit`] — invariant-audit hooks (byte conservation ledgers, buffer
 //!   and shaper bounds), active under the default `audit` feature.
+//! * [`trace`] — packet-lifecycle trace hooks (enqueue/dequeue/mark/drop,
+//!   credits, retransmissions, timers), active under the default `trace`
+//!   feature and inert until a tracer is installed.
 //!
 //! Transport protocols implement [`endpoint::Endpoint`] and are plugged in
 //! through [`sim::TransportFactory`]; see the `flexpass-transport` and
@@ -35,6 +38,7 @@ pub mod queue;
 pub mod sim;
 pub mod switch;
 pub mod topology;
+pub mod trace;
 
 pub use consts::*;
 pub use endpoint::{AppEvent, Endpoint, EndpointCtx, RxStats, TxStats};

@@ -359,15 +359,27 @@ impl Port {
         {
             return None;
         }
-        // Progress bound: each full cycle adds quantum to every backlogged
-        // queue, so at most ceil(MTU / min_quantum) + 1 cycles are needed.
-        let min_quantum = self.levels[li]
+        // Progress bound: one full cycle adds `quanta[i]` to every
+        // backlogged queue's deficit, so the queue whose head needs the
+        // fewest additional quanta is served within that many cycles. This
+        // is exact for any head size and weight vector (+2 cycles of slack
+        // for the rotation in progress), unlike a `MTU / min_quantum`
+        // heuristic, which under-counts whenever a head packet is large
+        // relative to its own queue's quantum (e.g. a jumbo frame on a
+        // tiny-weight queue) and then trips the unreachable!() below.
+        let min_rounds = self.levels[li]
             .members
             .iter()
-            .map(|&i| self.quanta[i])
-            .fold(f64::INFINITY, f64::min);
-        // lint:allow(raw-cast): pass-count bound, not a byte quantity
-        let max_passes = n * ((DATA_WIRE.as_f64() / min_quantum).ceil() as usize + 2);
+            .filter(|&&i| !self.queues[i].is_empty())
+            .map(|&i| {
+                let head = self.queues[i].head_bytes().expect("non-empty").as_f64();
+                let need = (head - self.deficits[i]).max(0.0);
+                // lint:allow(raw-cast): round count, not a byte quantity
+                (need / self.quanta[i]).ceil() as usize
+            })
+            .min()
+            .expect("level has backlog");
+        let max_passes = n * (min_rounds + 2);
         for _ in 0..=max_passes {
             let level = &mut self.levels[li];
             let qi = level.members[level.pos];
@@ -428,7 +440,7 @@ impl Port {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::consts::CTRL_WIRE;
+    use crate::consts::{CTRL_WIRE, DATA_HEADER_WIRE};
     use crate::packet::{CreditInfo, DataInfo, Payload, Subflow, TrafficClass};
     use flexpass_simcore::units::Bytes;
 
@@ -443,7 +455,7 @@ mod tests {
                 flow_seq: 0,
                 sub_seq: 0,
                 sub: Subflow::Only,
-                payload: Bytes::new(wire.saturating_sub(78)),
+                payload: Bytes::new(wire.saturating_sub(DATA_HEADER_WIRE.get())),
                 retx: false,
             }),
         )
@@ -481,11 +493,11 @@ mod tests {
             ],
         };
         let mut port = Port::new(&cfg);
-        port.enqueue(1, data(1538)).unwrap();
+        port.enqueue(1, data(DATA_WIRE.get())).unwrap();
         port.enqueue(0, data(100)).unwrap();
         let out = drain(&mut port, Time::ZERO, 2);
         assert_eq!(out[0].wire, WireBytes::new(100));
-        assert_eq!(out[1].wire, WireBytes::new(1538));
+        assert_eq!(out[1].wire, DATA_WIRE);
     }
 
     #[test]
@@ -499,7 +511,7 @@ mod tests {
         };
         let mut port = Port::new(&cfg);
         for _ in 0..10 {
-            port.enqueue(0, data(1538)).unwrap();
+            port.enqueue(0, data(DATA_WIRE.get())).unwrap();
             port.enqueue(1, data(538)).unwrap();
         }
         // Byte share, not packet share, must be balanced: queue 1's packets
@@ -532,7 +544,7 @@ mod tests {
         let mut port = Port::new(&cfg);
         for _ in 0..1000 {
             port.enqueue(0, data(1537)).unwrap();
-            port.enqueue(1, data(1538)).unwrap();
+            port.enqueue(1, data(DATA_WIRE.get())).unwrap();
         }
         for _ in 0..1000 {
             match port.next_packet(Time::ZERO) {
@@ -573,7 +585,7 @@ mod tests {
         }
         // Now the bucket is empty; a queued credit must wait but data flows.
         port.enqueue(0, credit()).unwrap();
-        port.enqueue(1, data(1538)).unwrap();
+        port.enqueue(1, data(DATA_WIRE.get())).unwrap();
         match port.next_packet(t0) {
             Decision::Send(p) => assert_eq!(p.wire, DATA_WIRE),
             other => panic!("expected data send, got {other:?}"),
@@ -595,6 +607,29 @@ mod tests {
             }
             other => panic!("expected WaitUntil, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn dwrr_serves_jumbo_from_tiny_weight_queue() {
+        // Regression: the old pass bound, n * (ceil(MTU / min_quantum) + 2),
+        // under-counts whenever the head packet needs more rounds than an
+        // MTU would relative to its own queue's quantum. A 9000-byte jumbo
+        // on a weight-0.001 queue (quantum 1.538) needs ~5852 rounds; the
+        // old bound allowed ~1002 and hit the unreachable!() panic.
+        let cfg = PortConfig {
+            rate: Rate::from_gbps(10),
+            queues: vec![
+                (QueueConfig::plain(), QueueSched::weighted(0, 0.001)),
+                (QueueConfig::plain(), QueueSched::weighted(0, 1.0)),
+            ],
+        };
+        let mut port = Port::new(&cfg);
+        port.enqueue(0, data(9_000)).unwrap();
+        match port.next_packet(Time::ZERO) {
+            Decision::Send(p) => assert_eq!(p.wire, WireBytes::new(9_000)),
+            other => panic!("expected jumbo send, got {other:?}"),
+        }
+        assert!(!port.has_backlog());
     }
 
     #[test]

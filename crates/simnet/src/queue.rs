@@ -22,6 +22,7 @@ use flexpass_simcore::units::WireBytes;
 
 use crate::audit;
 use crate::packet::{Color, Packet};
+use crate::trace;
 
 /// Why a packet was dropped at enqueue time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -103,6 +104,7 @@ pub struct PacketQueue {
     red_bytes: WireBytes,
     counters: QueueCounters,
     audit_id: audit::ComponentId,
+    trace_id: trace::QueueId,
 }
 
 /// Result of offering a packet to the queue.
@@ -124,6 +126,7 @@ impl PacketQueue {
             red_bytes: WireBytes::ZERO,
             counters: QueueCounters::default(),
             audit_id: audit::new_component_id(),
+            trace_id: trace::new_queue_id(),
         }
     }
 
@@ -191,6 +194,7 @@ impl PacketQueue {
             if pkt.ecn_capable && self.bytes > ecn_thr {
                 pkt.ecn_ce = true;
                 self.counters.ecn_marked += 1;
+                trace::ecn_mark(self.trace_id, &pkt);
             }
         }
         if pkt.color == Color::Red {
@@ -199,6 +203,7 @@ impl PacketQueue {
         self.bytes += size;
         self.counters.enqueued += 1;
         audit::enqueue(self.audit_id, &pkt, self.bytes);
+        trace::enqueue(self.trace_id, &pkt, self.bytes);
         self.fifo.push_back(pkt);
         Enqueue::Admitted
     }
@@ -212,6 +217,7 @@ impl PacketQueue {
             self.red_bytes -= size;
         }
         audit::dequeue(self.audit_id, &pkt, self.bytes);
+        trace::dequeue(self.trace_id, &pkt, self.bytes);
         Some(pkt)
     }
 }

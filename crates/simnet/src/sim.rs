@@ -17,6 +17,7 @@ use crate::port::{Decision, Port};
 use crate::queue::DropReason;
 use crate::switch::{QueueSample, Switch};
 use crate::topology::Topology;
+use crate::trace;
 
 /// Index into the simulator's node table.
 pub type NodeId = usize;
@@ -322,6 +323,7 @@ impl<O: NetObserver> Sim<O> {
     }
 
     fn dispatch(&mut self, now: Time, ev: Event) {
+        trace::now(now);
         match ev {
             Event::Arrive { node, pkt } => self.arrive(now, node, pkt),
             Event::PortReady { node, port } => self.port_ready(now, node, port),
@@ -372,6 +374,7 @@ impl<O: NetObserver> Sim<O> {
             if matches!(self.nodes[node], Node::Switch(_)) && rng.chance(*p) {
                 self.injected_losses += 1;
                 audit::flow_drop(&pkt);
+                trace::injected_loss(node, &pkt);
                 return;
             }
         }
@@ -392,6 +395,7 @@ impl<O: NetObserver> Sim<O> {
                     }
                     Err((reason, pkt)) => {
                         audit::flow_drop(&pkt);
+                        trace::dropped(node, &pkt, reason);
                         self.observer.on_drop(&pkt, reason, node, now)
                     }
                 }
@@ -507,6 +511,7 @@ impl<O: NetObserver> Sim<O> {
                 }
                 Err((reason, pkt)) => {
                     audit::flow_drop(&pkt);
+                    trace::dropped(node, &pkt, reason);
                     self.observer.on_drop(&pkt, reason, node, now)
                 }
             }
@@ -549,6 +554,7 @@ impl<O: NetObserver> Sim<O> {
                     TimerCmd::Cancel(token) => {
                         if let Some(old) = h.armed_timers.remove(&token) {
                             self.events.cancel(old);
+                            trace::timer_cancel(token);
                         }
                     }
                 }

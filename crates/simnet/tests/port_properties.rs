@@ -3,7 +3,7 @@
 
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
 use flexpass_simcore::units::{Bytes, WireBytes};
-use flexpass_simnet::consts::{CTRL_WIRE, DATA_WIRE};
+use flexpass_simnet::consts::{CTRL_WIRE, DATA_HEADER_WIRE, DATA_WIRE};
 use flexpass_simnet::packet::{CreditInfo, DataInfo, Packet, Payload, Subflow, TrafficClass};
 use flexpass_simnet::port::{Decision, Port, PortConfig, QueueSched};
 use flexpass_simnet::queue::QueueConfig;
@@ -20,7 +20,7 @@ fn data(flow: u64, wire: WireBytes) -> Packet {
             flow_seq: 0,
             sub_seq: 0,
             sub: Subflow::Only,
-            payload: Bytes::new(wire.get().saturating_sub(78)),
+            payload: Bytes::new(wire.get().saturating_sub(DATA_HEADER_WIRE.get())),
             retx: false,
         }),
     )
@@ -46,7 +46,7 @@ proptest! {
         let n = 3000;
         for i in 0..n {
             port.enqueue(0, data(i, WireBytes::new(1530))).unwrap();
-            port.enqueue(1, data(i, WireBytes::new(1538))).unwrap();
+            port.enqueue(1, data(i, DATA_WIRE)).unwrap();
         }
         let mut bytes = [0f64; 2];
         for _ in 0..n {
@@ -63,6 +63,44 @@ proptest! {
             (share - w1).abs() < 0.05,
             "queue-0 byte share {share:.3} vs weight {w1:.3}"
         );
+    }
+
+    /// Any weight vector and packet-size mix drains completely without
+    /// tripping the DWRR progress bound, conserving packets and bytes.
+    /// Exercises tiny weights against jumbo heads, where the old
+    /// MTU/min-quantum pass bound under-counted and panicked.
+    #[test]
+    fn dwrr_drains_any_weights_and_sizes(
+        weights in prop::collection::vec(0.0005f64..1.0, 2..5),
+        sizes in prop::collection::vec(85u64..9_000, 1..60),
+        seed in 0u64..10_000,
+    ) {
+        use flexpass_simcore::rng::SimRng;
+        let cfg = PortConfig {
+            rate: Rate::from_gbps(10),
+            queues: weights
+                .iter()
+                .map(|&w| (QueueConfig::plain(), QueueSched::weighted(0, w)))
+                .collect(),
+        };
+        let mut port = Port::new(&cfg);
+        let mut rng = SimRng::new(seed);
+        let mut in_bytes = 0u64;
+        for (i, &wire) in sizes.iter().enumerate() {
+            let q = rng.index(weights.len());
+            port.enqueue(q, data(i as u64, WireBytes::new(wire))).unwrap();
+            in_bytes += wire;
+        }
+        let mut out = 0usize;
+        let mut out_bytes = 0u64;
+        while let Decision::Send(p) = port.next_packet(Time::ZERO) {
+            out += 1;
+            out_bytes += p.wire.get();
+            prop_assert!(out <= sizes.len(), "served more packets than enqueued");
+        }
+        prop_assert_eq!(out, sizes.len());
+        prop_assert_eq!(out_bytes, in_bytes);
+        prop_assert!(!port.has_backlog());
     }
 
     /// A strict-priority queue is always served before lower levels, for

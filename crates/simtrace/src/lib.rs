@@ -1,0 +1,869 @@
+//! Packet-lifecycle tracing for the FlexPass simulator.
+//!
+//! A thread-local, install/finish tracer in the style of
+//! `flexpass-simaudit`: the simulation crates call tiny hook functions at
+//! every interesting datapath transition (enqueue, dequeue, ECN mark, drop,
+//! credit send/waste, retransmit, RTO, timer cancel), and when a tracer is
+//! installed the events land in a bounded ring buffer, newest-wins. When no
+//! tracer is installed every hook is a thread-local load and a branch, so
+//! traced and untraced runs execute the identical simulation — tracing is
+//! observation-only and never feeds back into simulation state.
+//!
+//! Events serialize to JSON Lines via a hand-rolled codec (the workspace has
+//! no serde); [`TraceEvent::parse_json_line`] round-trips every variant.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Default ring-buffer capacity, in events.
+pub const DEFAULT_CAPACITY: usize = 262_144;
+
+/// The kind of a trace event, used for filtering and reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A packet was admitted to a queue.
+    Enqueue,
+    /// A packet left a queue for the wire.
+    Dequeue,
+    /// A packet was ECN-marked on admission.
+    EcnMark,
+    /// A packet was dropped (congestion, buffer, or injected loss).
+    Drop,
+    /// A receiver sent a credit packet.
+    CreditSent,
+    /// A credit reached a sender with no data to spend it on.
+    CreditWasted,
+    /// A sender retransmitted a data packet.
+    Retransmit,
+    /// A sender's retransmission timer fired.
+    Rto,
+    /// An armed endpoint timer was cancelled before firing.
+    TimerCancel,
+}
+
+impl EventKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [EventKind; 9] = [
+        EventKind::Enqueue,
+        EventKind::Dequeue,
+        EventKind::EcnMark,
+        EventKind::Drop,
+        EventKind::CreditSent,
+        EventKind::CreditWasted,
+        EventKind::Retransmit,
+        EventKind::Rto,
+        EventKind::TimerCancel,
+    ];
+
+    /// Stable wire name (used in JSONL and `--trace=` filters).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Enqueue => "enqueue",
+            EventKind::Dequeue => "dequeue",
+            EventKind::EcnMark => "ecn-mark",
+            EventKind::Drop => "drop",
+            EventKind::CreditSent => "credit-sent",
+            EventKind::CreditWasted => "credit-wasted",
+            EventKind::Retransmit => "retransmit",
+            EventKind::Rto => "rto",
+            EventKind::TimerCancel => "timer-cancel",
+        }
+    }
+
+    /// Inverse of [`EventKind::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        EventKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+
+    fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+}
+
+/// Why a packet was dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DropCause {
+    /// Per-queue static capacity exceeded.
+    QueueCap,
+    /// Shared-buffer admission refused the packet.
+    Buffer,
+    /// Selective dropping of red (reactive-class) packets.
+    SelectiveRed,
+    /// Non-congestion loss injected by `Sim::inject_loss`.
+    InjectedLoss,
+}
+
+impl DropCause {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropCause::QueueCap => "queue-cap",
+            DropCause::Buffer => "buffer",
+            DropCause::SelectiveRed => "selective-red",
+            DropCause::InjectedLoss => "injected-loss",
+        }
+    }
+
+    /// Inverse of [`DropCause::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        [
+            DropCause::QueueCap,
+            DropCause::Buffer,
+            DropCause::SelectiveRed,
+            DropCause::InjectedLoss,
+        ]
+        .into_iter()
+        .find(|c| c.name() == s)
+    }
+}
+
+/// Identifies one traced queue, allocated in creation order per run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct QueueId(pub u64);
+
+/// One timestamped datapath event. `seq` is the per-flow data sequence, or
+/// `-1` for control packets (ACKs, credits) that have none.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Packet admitted; `bytes_after` is the queue depth including it.
+    Enqueue {
+        /// Virtual time, nanoseconds.
+        t_ns: u64,
+        /// Creation-order queue id.
+        queue: u64,
+        /// Flow id.
+        flow: u64,
+        /// Per-flow data sequence, `-1` for control packets.
+        seq: i64,
+        /// Queue depth after admission, wire bytes.
+        bytes_after: u64,
+    },
+    /// Packet left the queue; `bytes_after` is the remaining depth.
+    Dequeue {
+        /// Virtual time, nanoseconds.
+        t_ns: u64,
+        /// Creation-order queue id.
+        queue: u64,
+        /// Flow id.
+        flow: u64,
+        /// Per-flow data sequence, `-1` for control packets.
+        seq: i64,
+        /// Queue depth after removal, wire bytes.
+        bytes_after: u64,
+    },
+    /// Packet ECN-marked on admission.
+    EcnMark {
+        /// Virtual time, nanoseconds.
+        t_ns: u64,
+        /// Creation-order queue id.
+        queue: u64,
+        /// Flow id.
+        flow: u64,
+        /// Per-flow data sequence, `-1` for control packets.
+        seq: i64,
+    },
+    /// Packet dropped at a node.
+    Drop {
+        /// Virtual time, nanoseconds.
+        t_ns: u64,
+        /// Topology node id of the drop site.
+        node: u64,
+        /// Flow id.
+        flow: u64,
+        /// Per-flow data sequence, `-1` for control packets.
+        seq: i64,
+        /// Drop cause.
+        cause: DropCause,
+    },
+    /// Receiver sent credit `idx` for a flow.
+    CreditSent {
+        /// Virtual time, nanoseconds.
+        t_ns: u64,
+        /// Flow id.
+        flow: u64,
+        /// Credit index within the flow.
+        idx: u64,
+    },
+    /// A credit arrived at a sender with nothing to send.
+    CreditWasted {
+        /// Virtual time, nanoseconds.
+        t_ns: u64,
+        /// Flow id.
+        flow: u64,
+    },
+    /// Sender retransmitted data sequence `seq`.
+    Retransmit {
+        /// Virtual time, nanoseconds.
+        t_ns: u64,
+        /// Flow id.
+        flow: u64,
+        /// Retransmitted per-flow data sequence.
+        seq: i64,
+    },
+    /// Sender retransmission timeout fired.
+    Rto {
+        /// Virtual time, nanoseconds.
+        t_ns: u64,
+        /// Flow id.
+        flow: u64,
+        /// Exponential backoff level at the fire.
+        backoff: u32,
+    },
+    /// An armed endpoint timer was cancelled.
+    TimerCancel {
+        /// Virtual time, nanoseconds.
+        t_ns: u64,
+        /// Flow id (high bits of the timer token).
+        flow: u64,
+        /// Transport-private timer kind (low bits of the token).
+        kind: u16,
+    },
+}
+
+impl TraceEvent {
+    /// This event's kind.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            TraceEvent::Enqueue { .. } => EventKind::Enqueue,
+            TraceEvent::Dequeue { .. } => EventKind::Dequeue,
+            TraceEvent::EcnMark { .. } => EventKind::EcnMark,
+            TraceEvent::Drop { .. } => EventKind::Drop,
+            TraceEvent::CreditSent { .. } => EventKind::CreditSent,
+            TraceEvent::CreditWasted { .. } => EventKind::CreditWasted,
+            TraceEvent::Retransmit { .. } => EventKind::Retransmit,
+            TraceEvent::Rto { .. } => EventKind::Rto,
+            TraceEvent::TimerCancel { .. } => EventKind::TimerCancel,
+        }
+    }
+
+    /// Virtual time of the event, nanoseconds.
+    pub fn t_ns(&self) -> u64 {
+        match *self {
+            TraceEvent::Enqueue { t_ns, .. }
+            | TraceEvent::Dequeue { t_ns, .. }
+            | TraceEvent::EcnMark { t_ns, .. }
+            | TraceEvent::Drop { t_ns, .. }
+            | TraceEvent::CreditSent { t_ns, .. }
+            | TraceEvent::CreditWasted { t_ns, .. }
+            | TraceEvent::Retransmit { t_ns, .. }
+            | TraceEvent::Rto { t_ns, .. }
+            | TraceEvent::TimerCancel { t_ns, .. } => t_ns,
+        }
+    }
+
+    /// One JSON object on one line (no trailing newline). All fields are
+    /// numbers or fixed enum names, so no string escaping is needed.
+    pub fn to_json_line(&self) -> String {
+        let k = self.kind().name();
+        match *self {
+            TraceEvent::Enqueue {
+                t_ns,
+                queue,
+                flow,
+                seq,
+                bytes_after,
+            }
+            | TraceEvent::Dequeue {
+                t_ns,
+                queue,
+                flow,
+                seq,
+                bytes_after,
+            } => format!(
+                "{{\"kind\":\"{k}\",\"t_ns\":{t_ns},\"queue\":{queue},\"flow\":{flow},\"seq\":{seq},\"bytes_after\":{bytes_after}}}"
+            ),
+            TraceEvent::EcnMark {
+                t_ns,
+                queue,
+                flow,
+                seq,
+            } => format!(
+                "{{\"kind\":\"{k}\",\"t_ns\":{t_ns},\"queue\":{queue},\"flow\":{flow},\"seq\":{seq}}}"
+            ),
+            TraceEvent::Drop {
+                t_ns,
+                node,
+                flow,
+                seq,
+                cause,
+            } => format!(
+                "{{\"kind\":\"{k}\",\"t_ns\":{t_ns},\"node\":{node},\"flow\":{flow},\"seq\":{seq},\"cause\":\"{}\"}}",
+                cause.name()
+            ),
+            TraceEvent::CreditSent { t_ns, flow, idx } => {
+                format!("{{\"kind\":\"{k}\",\"t_ns\":{t_ns},\"flow\":{flow},\"idx\":{idx}}}")
+            }
+            TraceEvent::CreditWasted { t_ns, flow } => {
+                format!("{{\"kind\":\"{k}\",\"t_ns\":{t_ns},\"flow\":{flow}}}")
+            }
+            TraceEvent::Retransmit { t_ns, flow, seq } => {
+                format!("{{\"kind\":\"{k}\",\"t_ns\":{t_ns},\"flow\":{flow},\"seq\":{seq}}}")
+            }
+            TraceEvent::Rto {
+                t_ns,
+                flow,
+                backoff,
+            } => format!(
+                "{{\"kind\":\"{k}\",\"t_ns\":{t_ns},\"flow\":{flow},\"backoff\":{backoff}}}"
+            ),
+            TraceEvent::TimerCancel { t_ns, flow, kind } => format!(
+                "{{\"kind\":\"{k}\",\"t_ns\":{t_ns},\"flow\":{flow},\"timer_kind\":{kind}}}"
+            ),
+        }
+    }
+
+    /// Parses one line produced by [`TraceEvent::to_json_line`]. Returns
+    /// `None` for blank lines, unknown kinds (e.g. the telemetry `summary`
+    /// line), or missing fields.
+    pub fn parse_json_line(line: &str) -> Option<TraceEvent> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        let kind = EventKind::from_name(json_str(line, "kind")?)?;
+        let t_ns = json_u64(line, "t_ns")?;
+        Some(match kind {
+            EventKind::Enqueue => TraceEvent::Enqueue {
+                t_ns,
+                queue: json_u64(line, "queue")?,
+                flow: json_u64(line, "flow")?,
+                seq: json_i64(line, "seq")?,
+                bytes_after: json_u64(line, "bytes_after")?,
+            },
+            EventKind::Dequeue => TraceEvent::Dequeue {
+                t_ns,
+                queue: json_u64(line, "queue")?,
+                flow: json_u64(line, "flow")?,
+                seq: json_i64(line, "seq")?,
+                bytes_after: json_u64(line, "bytes_after")?,
+            },
+            EventKind::EcnMark => TraceEvent::EcnMark {
+                t_ns,
+                queue: json_u64(line, "queue")?,
+                flow: json_u64(line, "flow")?,
+                seq: json_i64(line, "seq")?,
+            },
+            EventKind::Drop => TraceEvent::Drop {
+                t_ns,
+                node: json_u64(line, "node")?,
+                flow: json_u64(line, "flow")?,
+                seq: json_i64(line, "seq")?,
+                cause: DropCause::from_name(json_str(line, "cause")?)?,
+            },
+            EventKind::CreditSent => TraceEvent::CreditSent {
+                t_ns,
+                flow: json_u64(line, "flow")?,
+                idx: json_u64(line, "idx")?,
+            },
+            EventKind::CreditWasted => TraceEvent::CreditWasted {
+                t_ns,
+                flow: json_u64(line, "flow")?,
+            },
+            EventKind::Retransmit => TraceEvent::Retransmit {
+                t_ns,
+                flow: json_u64(line, "flow")?,
+                seq: json_i64(line, "seq")?,
+            },
+            EventKind::Rto => TraceEvent::Rto {
+                t_ns,
+                flow: json_u64(line, "flow")?,
+                backoff: json_u64(line, "backoff")? as u32,
+            },
+            EventKind::TimerCancel => TraceEvent::TimerCancel {
+                t_ns,
+                flow: json_u64(line, "flow")?,
+                kind: json_u64(line, "timer_kind")? as u16,
+            },
+        })
+    }
+}
+
+/// Returns the raw value slice for `"key":` in a flat JSON object line.
+fn json_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    json_raw(line, key)?.parse().ok()
+}
+
+fn json_i64(line: &str, key: &str) -> Option<i64> {
+    json_raw(line, key)?.parse().ok()
+}
+
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    json_raw(line, key)?
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+}
+
+/// Which event kinds a tracer records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceFilter {
+    mask: u16,
+}
+
+impl Default for TraceFilter {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+impl TraceFilter {
+    /// Records everything.
+    pub fn all() -> Self {
+        TraceFilter { mask: u16::MAX }
+    }
+
+    /// Parses a comma-separated list of kind names (see
+    /// [`EventKind::name`]). Empty or `all` records everything.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "all" {
+            return Ok(Self::all());
+        }
+        let mut mask = 0u16;
+        for part in spec.split(',') {
+            let part = part.trim();
+            match EventKind::from_name(part) {
+                Some(k) => mask |= k.bit(),
+                None => {
+                    let known: Vec<&str> = EventKind::ALL.iter().map(|k| k.name()).collect();
+                    return Err(format!(
+                        "unknown trace event kind '{part}' (known: {})",
+                        known.join(", ")
+                    ));
+                }
+            }
+        }
+        Ok(TraceFilter { mask })
+    }
+
+    /// Whether `kind` passes the filter.
+    pub fn allows(&self, kind: EventKind) -> bool {
+        self.mask & kind.bit() != 0
+    }
+}
+
+/// The result of a traced run.
+#[derive(Clone, Debug)]
+pub struct TraceLog {
+    /// Recorded events in time order (the newest `capacity` of them).
+    pub events: Vec<TraceEvent>,
+    /// Events that passed the filter, including evicted ones.
+    pub total: u64,
+    /// Oldest events evicted by the ring buffer.
+    pub dropped_oldest: u64,
+    /// Ring capacity the tracer ran with.
+    pub capacity: usize,
+}
+
+impl TraceLog {
+    /// Serializes every event as JSON Lines (one object per line, trailing
+    /// newline included when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses JSONL text, skipping blank or non-event lines. Returns the
+    /// events plus the number of skipped non-blank lines.
+    pub fn parse_jsonl(text: &str) -> (Vec<TraceEvent>, usize) {
+        let mut events = Vec::new();
+        let mut skipped = 0usize;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match TraceEvent::parse_json_line(line) {
+                Some(ev) => events.push(ev),
+                None => skipped += 1,
+            }
+        }
+        (events, skipped)
+    }
+}
+
+impl fmt::Display for TraceLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events recorded ({} total, {} evicted)",
+            self.events.len(),
+            self.total,
+            self.dropped_oldest
+        )
+    }
+}
+
+struct Tracer {
+    clock_ns: u64,
+    filter: TraceFilter,
+    capacity: usize,
+    ring: VecDeque<TraceEvent>,
+    total: u64,
+    dropped_oldest: u64,
+}
+
+impl Tracer {
+    fn record(&mut self, ev: TraceEvent) {
+        if !self.filter.allows(ev.kind()) {
+            return;
+        }
+        self.total += 1;
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped_oldest += 1;
+        }
+        self.ring.push_back(ev);
+    }
+}
+
+thread_local! {
+    static TRACER: RefCell<Option<Tracer>> = const { RefCell::new(None) };
+    static NEXT_QUEUE: RefCell<u64> = const { RefCell::new(0) };
+}
+
+/// Installs a tracer on this thread with the default ring capacity.
+/// Replaces any previous tracer and resets queue-id allocation.
+pub fn install(filter: TraceFilter) {
+    install_with_capacity(DEFAULT_CAPACITY, filter);
+}
+
+/// Installs a tracer with an explicit ring capacity.
+pub fn install_with_capacity(capacity: usize, filter: TraceFilter) {
+    let capacity = capacity.max(1);
+    NEXT_QUEUE.with(|n| *n.borrow_mut() = 0);
+    TRACER.with(|t| {
+        *t.borrow_mut() = Some(Tracer {
+            clock_ns: 0,
+            filter,
+            capacity,
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            total: 0,
+            dropped_oldest: 0,
+        });
+    });
+}
+
+/// Whether a tracer is installed on this thread.
+pub fn is_active() -> bool {
+    TRACER.with(|t| t.borrow().is_some())
+}
+
+/// Uninstalls the tracer and returns its log.
+///
+/// # Panics
+/// Panics if no tracer is installed (`install` was never called, or
+/// `finish` was called twice).
+pub fn finish() -> TraceLog {
+    let tracer = TRACER
+        .with(|t| t.borrow_mut().take())
+        .expect("simtrace::finish() without a matching install()");
+    TraceLog {
+        events: tracer.ring.into_iter().collect(),
+        total: tracer.total,
+        dropped_oldest: tracer.dropped_oldest,
+        capacity: tracer.capacity,
+    }
+}
+
+/// Allocates the next queue id (creation order). Stable within a run as
+/// long as the simulation is built after `install`.
+pub fn new_queue_id() -> QueueId {
+    NEXT_QUEUE.with(|n| {
+        let mut n = n.borrow_mut();
+        let id = *n;
+        *n += 1;
+        QueueId(id)
+    })
+}
+
+fn with_tracer(f: impl FnOnce(&mut Tracer)) {
+    TRACER.with(|t| {
+        if let Some(tracer) = t.borrow_mut().as_mut() {
+            f(tracer);
+        }
+    });
+}
+
+/// Advances the tracer clock; called once per dispatched simulation event.
+pub fn on_event_time(t_ns: u64) {
+    with_tracer(|t| t.clock_ns = t_ns);
+}
+
+/// Records a queue admission.
+pub fn on_enqueue(queue: QueueId, flow: u64, seq: i64, bytes_after: u64) {
+    with_tracer(|t| {
+        let ev = TraceEvent::Enqueue {
+            t_ns: t.clock_ns,
+            queue: queue.0,
+            flow,
+            seq,
+            bytes_after,
+        };
+        t.record(ev);
+    });
+}
+
+/// Records a queue departure.
+pub fn on_dequeue(queue: QueueId, flow: u64, seq: i64, bytes_after: u64) {
+    with_tracer(|t| {
+        let ev = TraceEvent::Dequeue {
+            t_ns: t.clock_ns,
+            queue: queue.0,
+            flow,
+            seq,
+            bytes_after,
+        };
+        t.record(ev);
+    });
+}
+
+/// Records an ECN mark.
+pub fn on_ecn_mark(queue: QueueId, flow: u64, seq: i64) {
+    with_tracer(|t| {
+        let ev = TraceEvent::EcnMark {
+            t_ns: t.clock_ns,
+            queue: queue.0,
+            flow,
+            seq,
+        };
+        t.record(ev);
+    });
+}
+
+/// Records a packet drop.
+pub fn on_drop(node: u64, flow: u64, seq: i64, cause: DropCause) {
+    with_tracer(|t| {
+        let ev = TraceEvent::Drop {
+            t_ns: t.clock_ns,
+            node,
+            flow,
+            seq,
+            cause,
+        };
+        t.record(ev);
+    });
+}
+
+/// Records a credit send.
+pub fn on_credit_sent(flow: u64, idx: u64) {
+    with_tracer(|t| {
+        let ev = TraceEvent::CreditSent {
+            t_ns: t.clock_ns,
+            flow,
+            idx,
+        };
+        t.record(ev);
+    });
+}
+
+/// Records a wasted credit.
+pub fn on_credit_wasted(flow: u64) {
+    with_tracer(|t| {
+        let ev = TraceEvent::CreditWasted {
+            t_ns: t.clock_ns,
+            flow,
+        };
+        t.record(ev);
+    });
+}
+
+/// Records a retransmission.
+pub fn on_retransmit(flow: u64, seq: i64) {
+    with_tracer(|t| {
+        let ev = TraceEvent::Retransmit {
+            t_ns: t.clock_ns,
+            flow,
+            seq,
+        };
+        t.record(ev);
+    });
+}
+
+/// Records a retransmission-timeout fire.
+pub fn on_rto(flow: u64, backoff: u32) {
+    with_tracer(|t| {
+        let ev = TraceEvent::Rto {
+            t_ns: t.clock_ns,
+            flow,
+            backoff,
+        };
+        t.record(ev);
+    });
+}
+
+/// Records a timer cancellation.
+pub fn on_timer_cancel(flow: u64, kind: u16) {
+    with_tracer(|t| {
+        let ev = TraceEvent::TimerCancel {
+            t_ns: t.clock_ns,
+            flow,
+            kind,
+        };
+        t.record(ev);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Enqueue {
+                t_ns: 10,
+                queue: 3,
+                flow: 7,
+                seq: 0,
+                bytes_after: 1538,
+            },
+            TraceEvent::Dequeue {
+                t_ns: 11,
+                queue: 3,
+                flow: 7,
+                seq: 0,
+                bytes_after: 0,
+            },
+            TraceEvent::EcnMark {
+                t_ns: 12,
+                queue: 3,
+                flow: 7,
+                seq: 5,
+            },
+            TraceEvent::Drop {
+                t_ns: 13,
+                node: 9,
+                flow: 7,
+                seq: -1,
+                cause: DropCause::SelectiveRed,
+            },
+            TraceEvent::CreditSent {
+                t_ns: 14,
+                flow: 8,
+                idx: 42,
+            },
+            TraceEvent::CreditWasted { t_ns: 15, flow: 8 },
+            TraceEvent::Retransmit {
+                t_ns: 16,
+                flow: 7,
+                seq: 5,
+            },
+            TraceEvent::Rto {
+                t_ns: 17,
+                flow: 7,
+                backoff: 2,
+            },
+            TraceEvent::TimerCancel {
+                t_ns: 18,
+                flow: 7,
+                kind: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant() {
+        for ev in sample_events() {
+            let line = ev.to_json_line();
+            let back =
+                TraceEvent::parse_json_line(&line).unwrap_or_else(|| panic!("unparseable: {line}"));
+            assert_eq!(ev, back, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn parse_skips_blank_and_foreign_lines() {
+        let text = "\n{\"kind\":\"summary\",\"bins\":3}\n{\"kind\":\"rto\",\"t_ns\":1,\"flow\":2,\"backoff\":0}\nnot json\n";
+        let (events, skipped) = TraceLog::parse_jsonl(text);
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0],
+            TraceEvent::Rto {
+                t_ns: 1,
+                flow: 2,
+                backoff: 0
+            }
+        );
+        assert_eq!(skipped, 2);
+    }
+
+    #[test]
+    fn install_record_finish_lifecycle() {
+        assert!(!is_active());
+        install(TraceFilter::all());
+        assert!(is_active());
+        on_event_time(100);
+        on_enqueue(new_queue_id(), 1, 0, 1538);
+        on_event_time(200);
+        on_credit_wasted(1);
+        let log = finish();
+        assert!(!is_active());
+        assert_eq!(log.total, 2);
+        assert_eq!(log.dropped_oldest, 0);
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(log.events[0].t_ns(), 100);
+        assert_eq!(log.events[1].t_ns(), 200);
+        // Queue ids restart at zero on the next install.
+        install(TraceFilter::all());
+        assert_eq!(new_queue_id(), QueueId(0));
+        let _ = finish();
+    }
+
+    #[test]
+    fn ring_buffer_keeps_newest_and_counts_evictions() {
+        install_with_capacity(4, TraceFilter::all());
+        for i in 0..10u64 {
+            on_event_time(i);
+            on_credit_wasted(i);
+        }
+        let log = finish();
+        assert_eq!(log.total, 10);
+        assert_eq!(log.dropped_oldest, 6);
+        assert_eq!(log.events.len(), 4);
+        assert_eq!(log.events[0].t_ns(), 6);
+        assert_eq!(log.events[3].t_ns(), 9);
+    }
+
+    #[test]
+    fn filter_parse_and_apply() {
+        let f = TraceFilter::parse("drop, retransmit").expect("valid");
+        assert!(f.allows(EventKind::Drop));
+        assert!(f.allows(EventKind::Retransmit));
+        assert!(!f.allows(EventKind::Enqueue));
+        assert!(TraceFilter::parse("")
+            .expect("empty")
+            .allows(EventKind::Rto));
+        assert!(TraceFilter::parse("all")
+            .expect("all")
+            .allows(EventKind::EcnMark));
+        assert!(TraceFilter::parse("bogus").is_err());
+
+        install(f);
+        on_event_time(1);
+        on_enqueue(QueueId(0), 1, 0, 100); // filtered out
+        on_drop(2, 1, 0, DropCause::QueueCap);
+        let log = finish();
+        assert_eq!(log.total, 1);
+        assert_eq!(log.events[0].kind(), EventKind::Drop);
+    }
+
+    #[test]
+    fn hooks_are_inert_without_install() {
+        // Must not panic or leak state.
+        on_event_time(5);
+        on_enqueue(QueueId(1), 1, 0, 10);
+        on_drop(0, 1, 0, DropCause::Buffer);
+        assert!(!is_active());
+    }
+}

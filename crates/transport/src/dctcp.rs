@@ -11,6 +11,7 @@ use flexpass_simnet::packet::{
     AckInfo, DataInfo, FlowSpec, Packet, Payload, Subflow, TrafficClass,
 };
 use flexpass_simnet::sim::{timer_kind, timer_token, NetEnv, TransportFactory};
+use flexpass_simnet::trace;
 
 use crate::common::{AckBuilder, DctcpWindow, PktState, Reassembly, RttEstimator};
 
@@ -70,6 +71,12 @@ pub struct DctcpSender {
     next_pending: u32,
     in_flight: u32,
     dupacks: u32,
+    /// Fast-recovery high-water mark: `Some(point)` while recovering from a
+    /// triple-duplicate-ACK loss, where `point` was the send frontier when
+    /// recovery started. Cumulative ACKs below `point` are partial ACKs
+    /// (NewReno): each one exposes the next hole, which is retransmitted
+    /// immediately instead of waiting for three fresh duplicate ACKs.
+    recovery: Option<u32>,
     /// Deadline of the currently armed (cancellable) RTO, if any; used to
     /// skip redundant re-arms when the deadline is unchanged.
     rto_deadline: Option<Time>,
@@ -97,6 +104,7 @@ impl DctcpSender {
             next_pending: 0,
             in_flight: 0,
             dupacks: 0,
+            recovery: None,
             rto_deadline: None,
             rto_backoff: 0,
             last_progress: Time::ZERO,
@@ -147,6 +155,7 @@ impl DctcpSender {
         if retx {
             self.stats.retx_pkts += 1;
             self.stats.redundant_bytes += pay.get();
+            trace::retransmit(self.spec.id, seq);
         }
         ctx.send(self.data_packet(seq, retx));
     }
@@ -228,9 +237,26 @@ impl DctcpSender {
         true
     }
 
+    /// Marks `seq` lost (if still in flight) so [`Self::pump`] retransmits
+    /// it ahead of new data.
+    fn mark_lost(&mut self, seq: u32) {
+        if self.states[seq as usize].in_flight() {
+            self.states[seq as usize] = PktState::Lost;
+            self.lost.insert(seq);
+            self.in_flight -= 1;
+        }
+    }
+
     fn on_ack(&mut self, ack: &AckInfo, ctx: &mut EndpointCtx) {
         let mut newly = 0u64;
         let prev_una = self.snd_una;
+        // Highest sequence this ACK presents evidence for: the top of the
+        // cumulative range and of each SACK block. `None` when the ACK
+        // carries no acknowledgment at all (pure duplicate, empty SACK).
+        let mut high: Option<u32> = match ack.cum.min(self.n) {
+            0 => None,
+            c => Some(c - 1),
+        };
         while self.snd_una < ack.cum.min(self.n) {
             if self.mark_acked(self.snd_una, ctx.now) {
                 newly += 1;
@@ -239,7 +265,11 @@ impl DctcpSender {
         }
         for r in 0..ack.sack_n as usize {
             let (lo, hi) = ack.sack[r];
-            for s in lo..hi.min(self.n) {
+            let hi = hi.min(self.n);
+            if lo < hi {
+                high = Some(high.map_or(hi - 1, |h| h.max(hi - 1)));
+            }
+            for s in lo..hi {
                 if self.mark_acked(s, ctx.now) {
                     newly += 1;
                 }
@@ -248,21 +278,33 @@ impl DctcpSender {
         if newly > 0 {
             self.last_progress = ctx.now;
             self.rto_backoff = 0;
+            if let Some(high) = high {
+                self.win.on_ack(newly, high, ack.ece, self.next_pending);
+            }
+        }
+        if self.snd_una > prev_una {
+            // The cumulative point advanced: duplicate-ACK counting restarts.
             self.dupacks = 0;
-            let high = ack.cum.saturating_sub(1).max(ack.acked_flow_seq);
-            self.win.on_ack(newly, high, ack.ece, self.next_pending);
-        } else if ack.cum == prev_una && ack.cum < self.n {
-            self.dupacks += 1;
-            if self.dupacks == 3 {
-                // Fast retransmit the first unacked packet.
-                let seq = self.snd_una;
-                if self.states[seq as usize].in_flight() {
-                    self.states[seq as usize] = PktState::Lost;
-                    self.lost.insert(seq);
-                    self.in_flight -= 1;
+            match self.recovery {
+                Some(point) if self.snd_una < point => {
+                    // Partial ACK (NewReno): the packet now at snd_una is the
+                    // next hole from the same loss event. Retransmit it
+                    // immediately; the window was already reduced when
+                    // recovery started.
+                    self.mark_lost(self.snd_una);
                 }
+                Some(_) => self.recovery = None,
+                None => {}
+            }
+        } else if ack.cum == prev_una && ack.cum < self.n {
+            // A duplicate cumulative ACK, even one whose SACK blocks carry
+            // new information: the receiver is still missing snd_una.
+            self.dupacks += 1;
+            if self.dupacks >= 3 && self.recovery.is_none() {
+                // Fast retransmit the first unacked packet, once per window.
+                self.mark_lost(self.snd_una);
+                self.recovery = Some(self.next_pending);
                 self.win.on_loss(ack.cum, self.next_pending);
-                self.dupacks = 0;
             }
         }
 
@@ -293,6 +335,8 @@ impl DctcpSender {
         // genuinely passed — no lazy re-check needed.)
         self.stats.timeouts += 1;
         self.rto_backoff += 1;
+        self.recovery = None;
+        trace::rto(self.spec.id, self.rto_backoff);
         for s in self.snd_una..self.next_pending.min(self.n) {
             if self.states[s as usize].in_flight() {
                 self.states[s as usize] = PktState::Lost;
@@ -729,6 +773,170 @@ mod tests {
         assert!((a - b).abs() / a < 0.25, "delayed acks stalled: {a} vs {b}");
         // ...with meaningfully fewer events (fewer ACK packets in flight).
         assert!(ev2 < ev1, "expected fewer events: {ev2} vs {ev1}");
+    }
+
+    /// Builds an ACK packet for flow 7 (receiver at host 1, sender at 0).
+    fn ack_pkt(cum: u32, sack: &[(u32, u32)], acked_flow_seq: u32, ece: bool) -> Packet {
+        let mut blocks = [(0u32, 0u32); flexpass_simnet::packet::MAX_SACK];
+        for (i, r) in sack.iter().enumerate() {
+            blocks[i] = *r;
+        }
+        Packet::new(
+            7,
+            1,
+            0,
+            flexpass_simnet::consts::CTRL_WIRE,
+            TrafficClass::Legacy,
+            Payload::Ack(AckInfo {
+                sub: Subflow::Only,
+                cum,
+                sack: blocks,
+                sack_n: sack.len() as u8,
+                ece,
+                acked_flow_seq,
+            }),
+        )
+    }
+
+    fn env() -> NetEnv {
+        NetEnv {
+            host_rate: Rate::from_gbps(10),
+            base_rtt: TimeDelta::micros(20),
+            n_hosts: 2,
+        }
+    }
+
+    /// Regression: duplicate ACKs whose SACK blocks carry new information
+    /// must still count toward fast retransmit, and partial ACKs during
+    /// recovery must expose the next hole without three fresh dupacks.
+    ///
+    /// Before the fix, any ACK that SACKed a new packet reset the dupack
+    /// counter (`newly > 0` cleared it), so a sender whose every dupack
+    /// carries SACK news never fast-retransmitted; and after a fast
+    /// retransmit the second hole stalled until the RTO.
+    #[test]
+    fn fast_retransmit_survives_sack_progress_and_partial_acks() {
+        let cfg = DctcpConfig::default(); // init_cwnd = 10
+        let spec = flow(7, 0, 1, 14_600, Time::ZERO); // n = 10 packets
+        let mut tx = DctcpSender::new(spec, cfg, &env());
+        let mut tx_v = Vec::new();
+        let mut timers = Vec::new();
+        let mut app = Vec::new();
+        let retx_seqs = |tx_v: &[Packet]| -> Vec<u32> {
+            tx_v.iter()
+                .filter_map(|p| match p.payload {
+                    Payload::Data(d) if d.retx => Some(d.flow_seq),
+                    _ => None,
+                })
+                .collect()
+        };
+        {
+            let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx_v, &mut timers, &mut app);
+            tx.activate(&mut ctx);
+        }
+        assert_eq!(tx_v.len(), 10, "initial window should cover the flow");
+
+        // Packets 0 and 1 are lost; 2..=9 arrive, each generating a
+        // duplicate cumulative ACK with a growing SACK block.
+        {
+            let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx_v, &mut timers, &mut app);
+            for k in 3..=10u32 {
+                tx.on_packet(&ack_pkt(0, &[(2, k)], k - 1, false), &mut ctx);
+            }
+        }
+        assert_eq!(
+            retx_seqs(&tx_v),
+            vec![0],
+            "three dupacks (with SACK news) must fast-retransmit the hole"
+        );
+
+        // The retransmitted 0 arrives: a partial ACK (cum = 1 < recovery
+        // point). The sender must expose and retransmit hole 1 immediately.
+        {
+            let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx_v, &mut timers, &mut app);
+            tx.on_packet(&ack_pkt(1, &[(2, 10)], 0, false), &mut ctx);
+        }
+        assert_eq!(
+            retx_seqs(&tx_v),
+            vec![0, 1],
+            "partial ACK must retransmit the next hole without new dupacks"
+        );
+
+        // The retransmitted 1 completes the flow.
+        {
+            let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx_v, &mut timers, &mut app);
+            tx.on_packet(&ack_pkt(10, &[], 1, false), &mut ctx);
+        }
+        assert_eq!(tx.stats().timeouts, 0, "recovery must not need the RTO");
+        assert!(matches!(app[..], [AppEvent::SenderDone { .. }]));
+    }
+
+    /// Regression: the window's high-water sequence must come from acked
+    /// evidence (cumulative point and SACK tops), not from the raw
+    /// `acked_flow_seq` of whichever packet triggered the ACK.
+    ///
+    /// Before the fix, `cum.saturating_sub(1).max(acked_flow_seq)` let a
+    /// retransmission-triggered ACK from beyond the recovery point unlock a
+    /// second window decrease in the same loss window.
+    #[test]
+    fn single_loss_window_decreases_once() {
+        let cfg = DctcpConfig {
+            init_cwnd: 8.0,
+            ..Default::default()
+        };
+        let spec = flow(7, 0, 1, 29_200, Time::ZERO); // n = 20 packets
+        let mut tx = DctcpSender::new(spec, cfg, &env());
+        let mut tx_v = Vec::new();
+        let mut timers = Vec::new();
+        let mut app = Vec::new();
+        let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx_v, &mut timers, &mut app);
+        tx.activate(&mut ctx);
+
+        // Three pure duplicate ACKs: one halving, recover_until = 8.
+        for _ in 0..3 {
+            tx.on_packet(&ack_pkt(0, &[], 1, false), &mut ctx);
+        }
+        assert!((tx.cwnd() - 4.0).abs() < 1e-9, "cwnd {}", tx.cwnd());
+
+        // An ECE-marked dupack SACKing packet 5 (below the recovery point)
+        // but stamped with acked_flow_seq = 9: evidence stops at 5, so no
+        // second decrease is allowed.
+        tx.on_packet(&ack_pkt(0, &[(5, 6)], 9, true), &mut ctx);
+        assert!(
+            tx.cwnd() > 3.9,
+            "window halved twice in one loss window: cwnd {}",
+            tx.cwnd()
+        );
+    }
+
+    /// The trace layer records the retransmissions and drops of an incast.
+    #[test]
+    fn trace_records_incast_drops_and_retransmissions() {
+        use flexpass_simnet::trace;
+        trace::install(trace::TraceFilter::default());
+        let p = profile(Rate::from_gbps(10), 60, Some(100_000));
+        let topo = Topology::star(17, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+        let mut sim = Sim::new(
+            topo,
+            Box::new(DctcpFactory::new()),
+            Fct {
+                done: Vec::new(),
+                drops: 0,
+            },
+        );
+        for i in 0..16u64 {
+            sim.schedule_flow(flow(i, i as usize, 16, 64_000, Time::ZERO));
+        }
+        sim.run_to_completion(TimeDelta::millis(20));
+        let log = trace::finish();
+        let count = |k: trace::EventKind| log.events.iter().filter(|e| e.kind() == k).count();
+        assert!(count(trace::EventKind::Drop) > 0, "incast should drop");
+        assert!(
+            count(trace::EventKind::Retransmit) > 0,
+            "drops should surface as traced retransmissions"
+        );
+        assert!(count(trace::EventKind::Enqueue) > 0);
+        assert_eq!(sim.observer.done.len(), 16);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use flexpass_simnet::packet::{
     AckInfo, CreditInfo, DataInfo, FlowSpec, Packet, Payload, Subflow, TrafficClass,
 };
 use flexpass_simnet::sim::{timer_kind, timer_token, NetEnv, TransportFactory};
+use flexpass_simnet::trace;
 
 use crate::common::{AckBuilder, PktState, Reassembly, RttEstimator};
 
@@ -221,6 +222,7 @@ impl EpSender {
         self.stats.credits_received += 1;
         if self.done {
             self.stats.credits_wasted += 1;
+            trace::credit_wasted(self.spec.id);
             ctx.send(Packet::new(
                 self.spec.id,
                 self.spec.src,
@@ -242,6 +244,7 @@ impl EpSender {
                 if retx {
                     self.stats.retx_pkts += 1;
                     self.stats.redundant_bytes += pay.get();
+                    trace::retransmit(self.spec.id, seq);
                 }
                 ctx.send(Packet::new(
                     self.spec.id,
@@ -261,6 +264,7 @@ impl EpSender {
             }
             None => {
                 self.stats.credits_wasted += 1;
+                trace::credit_wasted(self.spec.id);
             }
         }
     }
@@ -330,6 +334,7 @@ impl EpSender {
         // actually outstanding — a credit-starved idle sender re-requesting
         // credits is not a loss-recovery timeout.
         self.rto_backoff += 1;
+        trace::rto(self.spec.id, self.rto_backoff);
         let mut any_lost = false;
         for s in self.snd_una..self.next_pending.min(self.n) {
             if self.states[s as usize] == PktState::Sent {
@@ -545,6 +550,7 @@ impl EpReceiver {
         self.credit_idx += 1;
         self.credits_sent += 1;
         self.engine.credits_sent_period += 1;
+        trace::credit_sent(self.spec.id, u64::from(idx));
         ctx.send(Packet::new(
             self.spec.id,
             self.spec.dst,

@@ -17,6 +17,7 @@ use flexpass_simnet::packet::{
     AckInfo, DataInfo, FlowSpec, GrantInfo, Packet, Payload, Subflow, TrafficClass,
 };
 use flexpass_simnet::sim::{timer_kind, timer_token, NetEnv, TransportFactory};
+use flexpass_simnet::trace;
 
 use crate::common::{AckBuilder, PktState, Reassembly, RttEstimator};
 
@@ -122,6 +123,7 @@ impl HomaSender {
         if retx {
             self.stats.retx_pkts += 1;
             self.stats.redundant_bytes += pay.get();
+            trace::retransmit(self.spec.id, seq);
         }
         ctx.send(
             Packet::new(
@@ -267,6 +269,7 @@ impl Endpoint for HomaSender {
         }
         self.stats.timeouts += 1;
         self.rto_backoff += 1;
+        trace::rto(self.spec.id, self.rto_backoff);
         for s in self.snd_una..self.next_pending.min(self.n) {
             if self.states[s as usize] == PktState::Sent {
                 self.states[s as usize] = PktState::Lost;

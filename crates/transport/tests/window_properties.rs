@@ -3,6 +3,7 @@
 use flexpass_simcore::rng::SimRng;
 use flexpass_simcore::time::Rate;
 use flexpass_simcore::time::TimeDelta;
+use flexpass_simnet::consts::DATA_WIRE;
 use flexpass_simnet::sim::NetEnv;
 use flexpass_transport::common::{DctcpWindow, RttEstimator};
 use flexpass_transport::expresspass::{CreditEngine, EpConfig};
@@ -97,7 +98,7 @@ proptest! {
                 eng.rate()
             );
             // Pacing interval is positive and jitter stays within +/-25 %.
-            let base = 1538.0 * 8.0 / eng.rate();
+            let base = DATA_WIRE.as_f64() * 8.0 / eng.rate();
             let iv = eng.credit_interval().as_secs_f64();
             prop_assert!(iv >= base * 0.74 && iv <= base * 1.26, "jitter out of range");
         }

@@ -35,6 +35,16 @@
 //!   is a single-threaded event loop; parallelism belongs to the
 //!   experiment orchestrator, which runs whole simulations on worker
 //!   threads but never threads *inside* one.
+//! * `raw-header-size` — the numeric literals `78`, `84` and `1538`
+//!   (any spelling: `1_538`, `1538u64`, `1538.0`) outside the unit homes.
+//!   These are the wire header / frame sizes blessed once in
+//!   `simnet::consts` (`DATA_HEADER_WIRE`, `CTRL_WIRE`, `DATA_WIRE`);
+//!   re-deriving them by hand is how a stale header size sneaks into a
+//!   helper. Unlike every other rule this one applies to `#[cfg(test)]`
+//!   code too — test helpers building packets are exactly where the
+//!   hardcoded copies have crept in — and it also sweeps the simulation
+//!   crates' `tests/` directories. `1460` (`MTU_PAYLOAD`) is *not*
+//!   flagged: payload sizes appear legitimately in workload tables.
 //!
 //! Escape hatch: a `lint:allow(<rule>)` comment on the offending line,
 //! directly above it (comment runs count as one block), or directly above
@@ -118,6 +128,8 @@ const WHY_MIXING: &str =
     "arithmetic mixing wire bytes and payload bytes; cross domains in simnet::consts only";
 const WHY_THREAD: &str =
     "threads in simulation logic; only the experiment orchestrator may spawn/sleep threads";
+const WHY_HEADER_SIZE: &str =
+    "raw header/frame-size literal; use simnet::consts (DATA_HEADER_WIRE / CTRL_WIRE / DATA_WIRE)";
 
 /// `(name, rationale)` for every rule, for `--help`-style listings.
 pub const RULES: &[(&str, &str)] = &[
@@ -129,6 +141,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("panic-path", WHY_PANIC),
     ("unit-mixing", WHY_MIXING),
     ("thread-spawn", WHY_THREAD),
+    ("raw-header-size", WHY_HEADER_SIZE),
 ];
 
 /// One lint finding.
@@ -180,6 +193,33 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     for rel in LINTED_EXTRA_FILES {
         let src = fs::read_to_string(root.join(rel))?;
         findings.extend(lint_source(rel, &src));
+    }
+    // Header-size-literal sweep over the simulation crates' integration
+    // tests. In-file `#[cfg(test)]` modules are already covered (the rule
+    // ignores the test exemption); this extends it to `tests/`, where the
+    // packet-building helpers live. Only `raw-header-size` applies there —
+    // integration tests may unwrap, cast and panic freely.
+    for krate in LINTED_CRATES {
+        let dir = root.join(krate).join("tests");
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files)?;
+        files.sort();
+        for path in files {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = fs::read_to_string(&path)?;
+            findings.extend(
+                lint_source(&rel, &src)
+                    .into_iter()
+                    .filter(|f| f.rule == "raw-header-size"),
+            );
+        }
     }
     // Wall-clock-only sweep over the non-simulation layers (src/, bins and
     // benches — these crates keep measurement code outside src/ too).
@@ -266,6 +306,14 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
     let mut cands: Vec<(usize, &'static str, &'static str)> = Vec::new();
 
     for (i, t) in toks.iter().enumerate() {
+        // Header-size literals are checked before the test exemption:
+        // hardcoded 78/84/1538 copies live mostly in test helpers.
+        if t.kind == Kind::Num {
+            if !unit_home && is_header_size_literal(&t.text) {
+                cands.push((i, "raw-header-size", WHY_HEADER_SIZE));
+            }
+            continue;
+        }
         if exempt[i] || t.kind != Kind::Ident {
             continue;
         }
@@ -339,6 +387,25 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
     }
     findings.sort_by_key(|f| (f.line, f.col));
     findings
+}
+
+/// True for any spelling of the blessed wire sizes 78 / 84 / 1538:
+/// digit-separated (`1_538`), suffixed (`1538u64`), or float (`1538.0`).
+/// Radix-prefixed literals (`0x84`) are bit patterns, not byte counts,
+/// and are left alone; so is `1460` (`MTU_PAYLOAD`), which legitimately
+/// appears in workload size tables.
+fn is_header_size_literal(text: &str) -> bool {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
+        return false;
+    }
+    let digits_end = t
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .unwrap_or(t.len());
+    let num = t[..digits_end]
+        .strip_suffix(".0")
+        .unwrap_or(&t[..digits_end]);
+    matches!(num, "78" | "84" | "1538")
 }
 
 fn is_numeric_type(name: &str) -> bool {
@@ -860,6 +927,61 @@ fn late_prod() { let _ = std::time::Instant::now(); }
     fn use_list_naming_both_families_not_flagged() {
         let src = "use flexpass_simcore::units::{Bytes, WireBytes};\nfn f() {}";
         assert!(lint_source("crates/simnet/src/x.rs", src).is_empty());
+    }
+
+    // --- raw-header-size ---
+
+    #[test]
+    fn header_size_literals_flagged_in_any_spelling() {
+        for src in [
+            "fn f() -> u64 { 1538 }",
+            "fn f() -> u64 { 1_538 }",
+            "fn f() -> u64 { 1538u64 }",
+            "fn f() -> f64 { 1538.0 }",
+            "fn f(w: u64) -> u64 { w - 78 }",
+            "fn f() -> u64 { 84 }",
+        ] {
+            assert_eq!(
+                rules_hit("crates/simnet/src/x.rs", src),
+                ["raw-header-size"],
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn header_size_rule_applies_inside_cfg_test() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn helper(wire: u64) -> u64 { wire - 78 }\n}";
+        assert_eq!(
+            rules_hit("crates/simnet/src/x.rs", src),
+            ["raw-header-size"]
+        );
+    }
+
+    #[test]
+    fn non_header_numbers_not_flagged() {
+        for src in [
+            "fn f() -> u64 { 1460 }", // MTU_PAYLOAD: legit in size tables
+            "fn f() -> u64 { 1537 }",
+            "fn f() -> u64 { 0x84 }", // bit pattern, not a byte count
+            "fn f() -> f64 { 1538.5 }",
+            "fn f() -> u64 { 840 }",
+        ] {
+            assert!(
+                lint_source("crates/simnet/src/x.rs", src).is_empty(),
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn header_size_allowed_in_unit_homes_and_via_allow() {
+        let src = "pub const DATA_WIRE: WireBytes = WireBytes::new(1_538);";
+        assert!(lint_source("crates/simnet/src/consts.rs", src).is_empty());
+        assert!(lint_source("crates/simcore/src/units.rs", src).is_empty());
+        let allowed =
+            "fn f() -> u64 { 1538 } // lint:allow(raw-header-size): byte-identical fixture";
+        assert!(lint_source("crates/simnet/src/x.rs", allowed).is_empty());
     }
 
     // --- the workspace itself ---

@@ -1,13 +1,19 @@
 //! Workspace automation tasks, invoked as `cargo xtask <task>`.
 //!
-//! Currently one task: `lint`, the determinism & units static-analysis pass
-//! over the simulation crates (see `lint.rs` and DESIGN.md "Determinism &
-//! invariants"). Findings can be rendered for humans (default), as JSON
-//! (`--format json`, for CI artifacts), or as GitHub Actions error
-//! annotations (`--format github`).
+//! Tasks:
+//!
+//! * `lint` — the determinism & units static-analysis pass over the
+//!   simulation crates (see `lint.rs` and DESIGN.md "Determinism &
+//!   invariants"). Findings can be rendered for humans (default), as JSON
+//!   (`--format json`, for CI artifacts), or as GitHub Actions error
+//!   annotations (`--format github`).
+//! * `bench` — the substrate benchmark with its regression gates.
+//! * `trace-report` — post-mortem summary of `--trace` JSONL logs (see
+//!   `trace_report.rs` and DESIGN.md "Packet-lifecycle tracing").
 
 mod lint;
 mod tokenize;
+mod trace_report;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -31,6 +37,13 @@ fn main() -> ExitCode {
             }
         },
         Some("bench") => run_bench(&args[1..]),
+        Some("trace-report") => match trace_report::run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        },
         Some("help") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -75,6 +88,9 @@ fn print_usage() {
     eprintln!("  bench [--smoke] [--out PATH]");
     eprintln!("          run the substrate benchmark (release build) and emit the");
     eprintln!("          BENCH_substrate.json report (default: workspace root)");
+    eprintln!("  trace-report PATH...");
+    eprintln!("          summarize packet-lifecycle trace logs (JSONL files or");
+    eprintln!("          directories from the experiments binary's --trace)");
     eprintln!();
     eprintln!("lint rules:");
     for (name, why) in lint::RULES {
