@@ -17,6 +17,34 @@ use std::time::Instant;
 
 use flexpass_bench::{timer_heavy_workload, uniform_workload, Backend};
 
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static COUNTING_ALLOC: flexpass_bench::alloc_counter::CountingAlloc =
+    flexpass_bench::alloc_counter::CountingAlloc::new();
+
+/// Steady-state datapath allocation measurement (`alloc-count` feature):
+/// warm the full-stack FlexPass workload past start-up, then count
+/// allocator acquisitions across a measured window and divide by the
+/// events processed. Start-up (flow arrival, endpoint boxing, buffer
+/// growth to working size) is excluded on purpose — the datapath claim is
+/// about the steady state, where preallocated structures are reused.
+#[cfg(feature = "alloc-count")]
+fn measure_datapath_allocs() -> (f64, u64, u64) {
+    use flexpass_bench::alloc_counter;
+    use flexpass_simcore::time::Time;
+
+    let mut sim = flexpass_bench::datapath_sim(8, 50_000_000);
+    sim.run_until(Time::from_micros(2_000));
+    let warm_events = sim.events_processed();
+    let before = alloc_counter::counts();
+    sim.run_until(Time::from_micros(6_000));
+    let after = alloc_counter::counts();
+    let measured_events = sim.events_processed() - warm_events;
+    assert!(measured_events > 0, "empty measurement window");
+    let per_event = (after.allocs - before.allocs) as f64 / measured_events as f64;
+    (per_event, warm_events, measured_events)
+}
+
 /// One timed measurement of a workload on a backend.
 struct Measurement {
     workload: &'static str,
@@ -66,14 +94,19 @@ fn measure(
 fn main() {
     let mut smoke = false;
     let mut out: Option<String> = None;
+    let mut gate_alloc: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out = Some(args.next().expect("--out requires a path")),
+            "--gate-alloc" => {
+                let v = args.next().expect("--gate-alloc requires a number");
+                gate_alloc = Some(v.parse().expect("--gate-alloc requires a number"));
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: substrate_bench [--smoke] [--out PATH]");
+                eprintln!("usage: substrate_bench [--smoke] [--out PATH] [--gate-alloc N]");
                 std::process::exit(2);
             }
         }
@@ -129,8 +162,28 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"wheel_over_heap\": {{\"uniform\": {uniform_speedup:.3}, \"timer_heavy\": {timer_speedup:.3}}}\n"
+        "  \"wheel_over_heap\": {{\"uniform\": {uniform_speedup:.3}, \"timer_heavy\": {timer_speedup:.3}}},\n"
     ));
+
+    // Datapath allocation sanitizer (alloc-count feature only).
+    #[cfg(feature = "alloc-count")]
+    let alloc_per_event = {
+        let (per_event, warm_events, measured_events) = measure_datapath_allocs();
+        eprintln!(
+            "substrate_bench: datapath allocs/event {per_event:.4} \
+             (warm {warm_events} events, measured {measured_events})"
+        );
+        json.push_str(&format!(
+            "  \"alloc\": {{\"enabled\": true, \"datapath_allocs_per_event\": {per_event:.4}, \
+             \"warm_events\": {warm_events}, \"measured_events\": {measured_events}}}\n"
+        ));
+        Some(per_event)
+    };
+    #[cfg(not(feature = "alloc-count"))]
+    let alloc_per_event: Option<f64> = {
+        json.push_str("  \"alloc\": {\"enabled\": false}\n");
+        None
+    };
     json.push_str("}\n");
 
     match &out {
@@ -159,5 +212,27 @@ fn main() {
             "FAIL: uniform speedup {uniform_speedup:.2}x is below the {uniform_floor:.2}x floor"
         );
         std::process::exit(1);
+    }
+    // Allocation gate: the measured allocs/event may not exceed the
+    // committed number by more than a small absolute tolerance (the
+    // workload is deterministic, but allocator-internal effects can shift
+    // a handful of counts between toolchains).
+    if let Some(committed) = gate_alloc {
+        match alloc_per_event {
+            Some(measured) => {
+                let ceiling = committed + 0.02;
+                if measured > ceiling {
+                    eprintln!(
+                        "FAIL: datapath allocs/event {measured:.4} exceeds the committed \
+                         {committed:.4} (+0.02 tolerance)"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            None => {
+                eprintln!("FAIL: --gate-alloc requires the alloc-count feature");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -5,9 +5,18 @@
 //! exact same workload functions, so the committed `BENCH_substrate.json`
 //! baseline and the interactive criterion numbers describe the same code.
 
+use flexpass::{FlexPassConfig, FlexPassFactory};
 use flexpass_simcore::event::EventQueue;
 use flexpass_simcore::rng::SimRng;
-use flexpass_simcore::time::{Time, TimeDelta};
+use flexpass_simcore::time::{Rate, Time, TimeDelta};
+use flexpass_simcore::units::Bytes;
+use flexpass_simnet::port::{PortConfig, QueueSched};
+use flexpass_simnet::queue::QueueConfig;
+use flexpass_simnet::switch::{ClassMap, SwitchProfile};
+use flexpass_simnet::{FlowSpec, NullObserver, Sim, Topology};
+
+#[cfg(feature = "alloc-count")]
+pub mod alloc_counter;
 
 /// Which calendar backend a workload runs against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +100,46 @@ pub fn timer_heavy_workload(backend: Backend, n: u64) -> u64 {
     delivered
 }
 
+/// Builds the warm-datapath workload: a star fabric with every host pair
+/// exchanging one long FlexPass flow, sized so the network stays busy for
+/// several simulated milliseconds. Used by the `--alloc-count` sanitizer:
+/// warm it up with [`Sim::run_until`], snapshot the allocator counters,
+/// run a measured window, and divide the allocation delta by the
+/// [`Sim::events_processed`] delta. At steady state (all flows started,
+/// none finished, every queue and timer table at its working size) that
+/// ratio is what the `alloc-in-datapath` lint bounds statically.
+pub fn datapath_sim(hosts: usize, flow_bytes: u64) -> Sim<NullObserver> {
+    let rate = Rate::from_gbps(10);
+    let profile = SwitchProfile {
+        port: PortConfig {
+            rate,
+            queues: vec![(QueueConfig::plain(), QueueSched::strict(0))],
+        },
+        class_map: ClassMap::Single,
+        shared_buffer: None,
+    };
+    let topo = Topology::star(hosts, rate, TimeDelta::micros(5), &profile, &profile);
+    let mut sim = Sim::new(
+        topo,
+        Box::new(FlexPassFactory::new(FlexPassConfig::new(0.5))),
+        NullObserver,
+    );
+    for i in 0..hosts as u64 {
+        let src = i as usize;
+        let dst = (src + 1) % hosts;
+        sim.schedule_flow(FlowSpec {
+            id: i,
+            src,
+            dst,
+            size: Bytes::new(flow_bytes),
+            start: Time::from_micros(i),
+            tag: 0,
+            fg: false,
+        });
+    }
+    sim
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +159,17 @@ mod tests {
     #[test]
     fn uniform_delivers_everything() {
         assert_eq!(uniform_workload(Backend::Wheel, 5_000), 5_000);
+    }
+
+    #[test]
+    fn datapath_sim_reaches_steady_state() {
+        let mut sim = datapath_sim(8, 50_000_000);
+        sim.run_until(Time::from_micros(500));
+        let warm = sim.events_processed();
+        assert!(warm > 1_000, "only {warm} events by warm-up");
+        assert_eq!(sim.flows_started(), 8, "all flows active");
+        sim.run_until(Time::from_micros(1_000));
+        assert!(sim.events_processed() > warm, "no progress in the window");
+        assert_eq!(sim.flows_completed(), 0, "flows must outlive the window");
     }
 }

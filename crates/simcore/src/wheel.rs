@@ -298,7 +298,9 @@ impl<T> TimingWheel<T> {
                 bucket.retain(|e| !dead(&e.payload));
                 self.len -= before - bucket.len();
                 // `cur` is empty here, so the whole bucket heapifies in
-                // O(n) (reusing its allocation) instead of n log n pushes.
+                // O(n) instead of n log n pushes.
+                // lint:allow(alloc-in-datapath): BinaryHeap::from(Vec) is an
+                // in-place heapify reusing the bucket's allocation.
                 self.cur = BinaryHeap::from(bucket);
                 // If the whole bucket was dead, keep advancing.
                 continue;

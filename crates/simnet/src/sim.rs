@@ -348,14 +348,14 @@ impl<O: NetObserver> Sim<O> {
             }
             Event::FlowStart { idx } => self.flow_start(now, idx),
             Event::Sample => {
-                let switch_ids: Vec<NodeId> = (0..self.nodes.len())
-                    .filter(|&n| matches!(self.nodes[n], Node::Switch(_)))
-                    .collect();
-                for n in switch_ids {
-                    if let Node::Switch(sw) = &self.nodes[n] {
+                // Split borrow: the switch list is read-only while the
+                // observer mutates, so no id scratch vector is needed.
+                let (nodes, observer) = (&self.nodes, &mut self.observer);
+                for (n, node) in nodes.iter().enumerate() {
+                    if let Node::Switch(sw) = node {
                         for p in 0..sw.ports.len() {
                             let sample = sw.sample_port(p);
-                            self.observer.on_queue_sample(n, p, &sample, now);
+                            observer.on_queue_sample(n, p, &sample, now);
                         }
                     }
                 }

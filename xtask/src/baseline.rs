@@ -1,0 +1,256 @@
+//! The lint baseline (`lint-baseline.json`).
+//!
+//! The baseline is the committed inventory of *known* findings — today,
+//! the allocation sites awaiting the ROADMAP-1 arena refactor. `xtask lint`
+//! subtracts it from the sweep: baselined findings are reported but do not
+//! fail the build, new findings do, and entries that no longer match
+//! anything are flagged as stale so the file shrinks as the debt burns
+//! down (`--update-baseline` rewrites it).
+//!
+//! Entries are keyed by `(file, rule, trimmed source text)` with an
+//! occurrence count rather than by line number, so unrelated edits that
+//! shift lines don't invalidate the baseline, while any change to the
+//! flagged expression itself surfaces as a new finding.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::json::{self, Json};
+use crate::lint::Finding;
+
+/// One baseline entry: `count` occurrences of `text` flagged by `rule` in
+/// `file`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    pub file: String,
+    pub rule: String,
+    pub text: String,
+    pub count: usize,
+}
+
+/// A loaded baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub entries: Vec<Entry>,
+}
+
+/// Result of subtracting a baseline from a finding sweep.
+#[derive(Debug, Default)]
+pub struct Applied {
+    /// Findings not covered by the baseline — these fail the build.
+    pub new: Vec<Finding>,
+    /// Findings matched by a baseline entry — known debt.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries (with residual counts) that matched nothing —
+    /// candidates for removal via `--update-baseline`.
+    pub stale: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Loads a baseline file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Baseline::default()),
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        Baseline::from_json(&src).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses the JSON document: `[{"file","rule","text","count"}, …]`.
+    pub fn from_json(src: &str) -> Result<Baseline, String> {
+        let doc = json::parse(src)?;
+        let arr = doc
+            .as_arr()
+            .ok_or_else(|| "baseline must be a JSON array".to_string())?;
+        let mut entries = Vec::new();
+        for (i, e) in arr.iter().enumerate() {
+            let field = |k: &str| -> Result<String, String> {
+                e.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("entry {i}: missing string field `{k}`"))
+            };
+            entries.push(Entry {
+                file: field("file")?,
+                rule: field("rule")?,
+                text: field("text")?,
+                count: e.get("count").and_then(Json::as_u64).unwrap_or(1) as usize,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Builds a baseline from a finding sweep (the `--update-baseline`
+    /// path). Entries are sorted and counted for a deterministic file.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry((
+                    f.file.clone(),
+                    f.rule.to_string(),
+                    f.text.trim().to_string(),
+                ))
+                .or_insert(0) += 1;
+        }
+        Baseline {
+            entries: counts
+                .into_iter()
+                .map(|((file, rule, text), count)| Entry {
+                    file,
+                    rule,
+                    text,
+                    count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the baseline as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"file\": {}, \"rule\": {}, \"text\": {}, \"count\": {}}}",
+                json::escape(&e.file),
+                json::escape(&e.rule),
+                json::escape(&e.text),
+                e.count
+            ));
+        }
+        if !self.entries.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Subtracts this baseline from a sweep. Each entry absorbs up to
+    /// `count` matching findings; the rest are new.
+    pub fn apply(&self, findings: Vec<Finding>) -> Applied {
+        let mut budget: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for e in &self.entries {
+            *budget
+                .entry((e.file.clone(), e.rule.clone(), e.text.clone()))
+                .or_insert(0) += e.count;
+        }
+        let mut applied = Applied::default();
+        for f in findings {
+            let key = (
+                f.file.clone(),
+                f.rule.to_string(),
+                f.text.trim().to_string(),
+            );
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    applied.baselined.push(f);
+                }
+                _ => applied.new.push(f),
+            }
+        }
+        for e in &self.entries {
+            // Residual budget under this entry's key means the entry (or a
+            // duplicate sharing the key) over-counts; report once per key.
+            let k = (e.file.clone(), e.rule.clone(), e.text.clone());
+            if let Some(n) = budget.get_mut(&k) {
+                if *n > 0 {
+                    applied.stale.push(Entry {
+                        file: e.file.clone(),
+                        rule: e.rule.clone(),
+                        text: e.text.clone(),
+                        count: *n,
+                    });
+                    *n = 0;
+                }
+            }
+        }
+        applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: &'static str, text: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            rule,
+            text: text.to_string(),
+            why: "",
+        }
+    }
+
+    #[test]
+    fn apply_splits_new_baselined_and_stale() {
+        let b = Baseline {
+            entries: vec![
+                Entry {
+                    file: "a.rs".into(),
+                    rule: "alloc-in-datapath".into(),
+                    text: "Vec::new()".into(),
+                    count: 2,
+                },
+                Entry {
+                    file: "gone.rs".into(),
+                    rule: "alloc-in-datapath".into(),
+                    text: "format!(\"x\")".into(),
+                    count: 1,
+                },
+            ],
+        };
+        let sweep = vec![
+            finding("a.rs", "alloc-in-datapath", "Vec::new()"),
+            finding("a.rs", "alloc-in-datapath", "Vec::new()"),
+            finding("a.rs", "alloc-in-datapath", "Vec::new()"), // third: new
+            finding("b.rs", "wall-clock", "Instant::now()"),
+        ];
+        let applied = b.apply(sweep);
+        assert_eq!(applied.baselined.len(), 2);
+        assert_eq!(applied.new.len(), 2);
+        assert_eq!(applied.stale.len(), 1);
+        assert_eq!(applied.stale[0].file, "gone.rs");
+    }
+
+    #[test]
+    fn line_churn_does_not_invalidate_the_baseline() {
+        let b = Baseline::from_findings(&[finding("a.rs", "alloc-in-datapath", "  x.clone()")]);
+        let mut moved = finding("a.rs", "alloc-in-datapath", "x.clone()");
+        moved.line = 999; // same text, different line
+        let applied = b.apply(vec![moved]);
+        assert_eq!(applied.new.len(), 0);
+        assert_eq!(applied.baselined.len(), 1);
+        assert!(applied.stale.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip_is_stable() {
+        let b = Baseline::from_findings(&[
+            finding("b.rs", "panic-path", "x.unwrap()"),
+            finding("a.rs", "alloc-in-datapath", "Vec::new()"),
+            finding("a.rs", "alloc-in-datapath", "Vec::new()"),
+        ]);
+        let j = b.to_json();
+        let back = Baseline::from_json(&j).expect("parse");
+        assert_eq!(back.entries, b.entries);
+        // Sorted: a.rs before b.rs.
+        assert_eq!(back.entries[0].file, "a.rs");
+        assert_eq!(back.entries[0].count, 2);
+    }
+
+    #[test]
+    fn missing_count_defaults_to_one() {
+        let b = Baseline::from_json(
+            r#"[{"file": "a.rs", "rule": "panic-path", "text": "x.unwrap()"}]"#,
+        )
+        .expect("parse");
+        assert_eq!(b.entries[0].count, 1);
+    }
+}

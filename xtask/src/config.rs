@@ -1,0 +1,349 @@
+//! Per-rule lint configuration (`lint.toml`).
+//!
+//! The defaults compiled into this module are the committed workspace
+//! policy; `lint.toml` at the workspace root overlays them so the hot-module
+//! list, ordered-type allowlist, and trace-enum wiring can evolve without
+//! recompiling. The reader is a deliberately small TOML subset — tables,
+//! array-of-tables, `key = value` with strings / bools / integers / string
+//! arrays (single- or multi-line), and `#` comments — which is all the
+//! committed file uses. Unknown keys are ignored so the format can grow.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Wiring for one trace-exhaustiveness check: every variant of `enum_name`
+/// (defined in `defined_in`) must be mentioned in one of the `emit_fns`
+/// (functions or consts) of `emit_file`.
+#[derive(Debug, Clone)]
+pub struct TraceEnumCfg {
+    pub enum_name: String,
+    pub defined_in: String,
+    pub emit_file: String,
+    pub emit_fns: Vec<String>,
+}
+
+/// The full lint configuration.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Baseline file path, relative to the workspace root.
+    pub baseline_path: String,
+    /// Per-rule enable flags; absent rules default to enabled.
+    pub rule_enabled: BTreeMap<String, bool>,
+    /// Files (workspace-relative) whose item bodies are the per-event hot
+    /// datapath for `alloc-in-datapath`.
+    pub hot_modules: Vec<String>,
+    /// Exact fn names exempt from the alloc rule (constructors).
+    pub constructor_names: Vec<String>,
+    /// Fn-name prefixes exempt from the alloc rule.
+    pub constructor_prefixes: Vec<String>,
+    /// Type roots whose iteration order is deterministic
+    /// (`unordered-iteration` allowlist).
+    pub ordered_types: Vec<String>,
+    /// Trace-exhaustiveness wiring.
+    pub trace_enums: Vec<TraceEnumCfg>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            baseline_path: "lint-baseline.json".to_string(),
+            rule_enabled: BTreeMap::new(),
+            hot_modules: vec![
+                "crates/simnet/src/queue.rs".to_string(),
+                "crates/simnet/src/port.rs".to_string(),
+                "crates/simnet/src/sim.rs".to_string(),
+                "crates/simnet/src/packet.rs".to_string(),
+                "crates/simcore/src/wheel.rs".to_string(),
+                "crates/simcore/src/event.rs".to_string(),
+            ],
+            constructor_names: vec!["new".to_string(), "default".to_string()],
+            constructor_prefixes: vec!["new_".to_string(), "with_".to_string()],
+            ordered_types: vec![
+                "Vec".to_string(),
+                "VecDeque".to_string(),
+                "BTreeMap".to_string(),
+                "BTreeSet".to_string(),
+                "BinaryHeap".to_string(),
+                "Option".to_string(),
+                "Range".to_string(),
+                "array".to_string(),
+                "tuple".to_string(),
+                "String".to_string(),
+                "str".to_string(),
+                "Slab".to_string(),
+            ],
+            trace_enums: vec![
+                TraceEnumCfg {
+                    enum_name: "DropCause".to_string(),
+                    defined_in: "crates/simtrace/src/lib.rs".to_string(),
+                    emit_file: "crates/simtrace/src/lib.rs".to_string(),
+                    emit_fns: vec!["name".to_string(), "from_name".to_string()],
+                },
+                TraceEnumCfg {
+                    enum_name: "EventKind".to_string(),
+                    defined_in: "crates/simtrace/src/lib.rs".to_string(),
+                    emit_file: "crates/simtrace/src/lib.rs".to_string(),
+                    emit_fns: vec!["name".to_string(), "ALL".to_string()],
+                },
+                TraceEnumCfg {
+                    enum_name: "DropReason".to_string(),
+                    defined_in: "crates/simnet/src/queue.rs".to_string(),
+                    emit_file: "crates/simnet/src/trace.rs".to_string(),
+                    emit_fns: vec!["dropped".to_string()],
+                },
+            ],
+        }
+    }
+}
+
+impl LintConfig {
+    /// Whether a rule is enabled (default true).
+    pub fn rule_enabled(&self, rule: &str) -> bool {
+        self.rule_enabled.get(rule).copied().unwrap_or(true)
+    }
+
+    /// Loads `lint.toml` from the workspace root if present, overlaying the
+    /// defaults. A missing file is not an error; a malformed one is.
+    pub fn load(root: &Path) -> Result<LintConfig, String> {
+        let path = root.join("lint.toml");
+        match std::fs::read_to_string(&path) {
+            Ok(src) => LintConfig::from_toml(&src).map_err(|e| format!("{}: {e}", path.display())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(LintConfig::default()),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    /// Parses a `lint.toml` document, overlaying the defaults. List-valued
+    /// keys *replace* the default list when present.
+    pub fn from_toml(src: &str) -> Result<LintConfig, String> {
+        let mut cfg = LintConfig::default();
+        let mut table = String::new();
+        let mut trace_current: Option<TraceEnumCfg> = None;
+        let mut lines = src.lines().enumerate().peekable();
+        while let Some((lineno, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                if let Some(t) = trace_current.take() {
+                    cfg.trace_enums.push(t);
+                }
+                let name = name.trim();
+                if name == "trace" {
+                    // First `[[trace]]` table replaces the defaults wholesale.
+                    if table != "trace" {
+                        cfg.trace_enums.clear();
+                    }
+                    trace_current = Some(TraceEnumCfg {
+                        enum_name: String::new(),
+                        defined_in: String::new(),
+                        emit_file: String::new(),
+                        emit_fns: Vec::new(),
+                    });
+                }
+                table = name.to_string();
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                if let Some(t) = trace_current.take() {
+                    cfg.trace_enums.push(t);
+                }
+                table = name.trim().to_string();
+                continue;
+            }
+            let Some(eq) = line.find('=') else {
+                return Err(format!("line {}: expected `key = value`", lineno + 1));
+            };
+            let key = line[..eq].trim().trim_matches('"').to_string();
+            let mut value = line[eq + 1..].trim().to_string();
+            // Multi-line arrays: keep consuming lines until brackets balance.
+            while value.starts_with('[') && !brackets_balanced(&value) {
+                match lines.next() {
+                    Some((_, more)) => {
+                        value.push(' ');
+                        value.push_str(strip_comment(more).trim());
+                    }
+                    None => return Err(format!("line {}: unterminated array", lineno + 1)),
+                }
+            }
+            apply_kv(&mut cfg, &mut trace_current, &table, &key, &value)
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        }
+        if let Some(t) = trace_current.take() {
+            cfg.trace_enums.push(t);
+        }
+        for t in &cfg.trace_enums {
+            if t.enum_name.is_empty() || t.defined_in.is_empty() || t.emit_file.is_empty() {
+                return Err(
+                    "each [[trace]] table needs `enum`, `defined-in`, and `emit-file`".to_string(),
+                );
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+fn apply_kv(
+    cfg: &mut LintConfig,
+    trace: &mut Option<TraceEnumCfg>,
+    table: &str,
+    key: &str,
+    value: &str,
+) -> Result<(), String> {
+    match table {
+        "baseline" if key == "path" => {
+            cfg.baseline_path = parse_string(value)?;
+        }
+        "rules" => {
+            let enabled = parse_bool(value)?;
+            cfg.rule_enabled.insert(key.to_string(), enabled);
+        }
+        "alloc" => match key {
+            "hot-modules" => cfg.hot_modules = parse_string_array(value)?,
+            "constructor-names" => cfg.constructor_names = parse_string_array(value)?,
+            "constructor-prefixes" => cfg.constructor_prefixes = parse_string_array(value)?,
+            _ => {}
+        },
+        "iteration" if key == "ordered-types" => {
+            cfg.ordered_types = parse_string_array(value)?;
+        }
+        "trace" => {
+            let t = trace
+                .as_mut()
+                .ok_or_else(|| "key outside a [[trace]] table".to_string())?;
+            match key {
+                "enum" => t.enum_name = parse_string(value)?,
+                "defined-in" => t.defined_in = parse_string(value)?,
+                "emit-file" => t.emit_file = parse_string(value)?,
+                "emit-fns" => t.emit_fns = parse_string_array(value)?,
+                _ => {}
+            }
+        }
+        _ => {} // unknown table: ignore
+    }
+    Ok(())
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn brackets_balanced(s: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_string(v: &str) -> Result<String, String> {
+    let v = v.trim();
+    v.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a quoted string, got `{v}`"))
+}
+
+fn parse_bool(v: &str) -> Result<bool, String> {
+    match v.trim() {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("expected true/false, got `{other}`")),
+    }
+}
+
+fn parse_string_array(v: &str) -> Result<Vec<String>, String> {
+    let v = v.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected an array, got `{v}`"))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(part)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_the_hot_modules() {
+        let cfg = LintConfig::default();
+        assert!(cfg
+            .hot_modules
+            .iter()
+            .any(|m| m == "crates/simnet/src/queue.rs"));
+        assert!(cfg.rule_enabled("alloc-in-datapath"));
+        assert_eq!(cfg.trace_enums.len(), 3);
+    }
+
+    #[test]
+    fn toml_overlay_rules_and_lists() {
+        let cfg = LintConfig::from_toml(
+            "# policy\n\
+             [baseline]\n\
+             path = \"other.json\"\n\
+             [rules]\n\
+             wall-clock = false\n\
+             [iteration]\n\
+             ordered-types = [\n  \"Vec\", # fast\n  \"BTreeMap\",\n]\n",
+        )
+        .expect("parse");
+        assert_eq!(cfg.baseline_path, "other.json");
+        assert!(!cfg.rule_enabled("wall-clock"));
+        assert!(cfg.rule_enabled("panic-path"));
+        assert_eq!(cfg.ordered_types, ["Vec", "BTreeMap"]);
+        // Untouched sections keep their defaults.
+        assert_eq!(cfg.hot_modules.len(), 6);
+    }
+
+    #[test]
+    fn trace_tables_replace_defaults() {
+        let cfg = LintConfig::from_toml(
+            "[[trace]]\n\
+             enum = \"DropCause\"\n\
+             defined-in = \"a.rs\"\n\
+             emit-file = \"b.rs\"\n\
+             emit-fns = [\"name\"]\n\
+             [[trace]]\n\
+             enum = \"E2\"\n\
+             defined-in = \"c.rs\"\n\
+             emit-file = \"d.rs\"\n\
+             emit-fns = [\"f\", \"g\"]\n",
+        )
+        .expect("parse");
+        assert_eq!(cfg.trace_enums.len(), 2);
+        assert_eq!(cfg.trace_enums[1].enum_name, "E2");
+        assert_eq!(cfg.trace_enums[1].emit_fns, ["f", "g"]);
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        assert!(LintConfig::from_toml("[rules]\nwall-clock = maybe\n").is_err());
+        assert!(LintConfig::from_toml("[[trace]]\nenum = \"X\"\n").is_err());
+        assert!(LintConfig::from_toml("just some words\n").is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! Library surface of the workspace automation crate.
+//!
+//! The binary (`cargo xtask …`) is a thin CLI over these modules; they are
+//! also exported as a library so the integration tests (notably the lint
+//! fixture corpus under `tests/`) can drive the analyzer directly.
+//!
+//! Layering, bottom to top:
+//!
+//! * [`tokenize`] — hand-rolled lexer producing spanned tokens + comments.
+//! * [`parse`] — recursive-descent parser grouping tokens into items with
+//!   bodies, fields, variants and use-trees, plus expression extractors.
+//! * [`config`] — `lint.toml` (rule toggles, hot modules, ordered-type
+//!   allowlist, trace-enum wiring) with built-in defaults.
+//! * [`baseline`] — `lint-baseline.json` load/apply/update: known findings
+//!   are suppressed, *new* findings fail the build.
+//! * [`rules`] — the rule implementations over the AST.
+//! * [`lint`] — the driver: file sweep, suppression comments, baseline
+//!   application, and the allocation-site report.
+//! * [`json`] — dependency-free mini JSON reader/writer helpers.
+//! * [`trace_report`] — post-mortem summary of `--trace` JSONL logs.
+
+pub mod baseline;
+pub mod config;
+pub mod json;
+pub mod lint;
+pub mod parse;
+pub mod rules;
+pub mod tokenize;
+pub mod trace_report;

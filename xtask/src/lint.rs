@@ -1,10 +1,11 @@
-//! Determinism & units static-analysis pass (v2, token-based).
+//! Determinism & units static-analysis pass (v3, AST-based).
 //!
-//! The simulation must be bit-for-bit reproducible under a fixed seed, and
-//! its byte accounting must keep the payload and wire domains apart (see
-//! `simcore::units`). A small set of constructs is therefore banned from the
-//! simulation crates (`simcore`, `simnet`, `transport`, `core`) outside
-//! their test code:
+//! The simulation must be bit-for-bit reproducible under a fixed seed, its
+//! byte accounting must keep the payload and wire domains apart (see
+//! `simcore::units`), and its per-event datapath must head toward
+//! zero-alloc (ROADMAP-1). The pass drives a hand-rolled tokenizer
+//! (`crate::tokenize`) and recursive-descent parser (`crate::parse`), and
+//! runs the rule families in `crate::rules`:
 //!
 //! * `hash-collections` — `HashMap` / `HashSet`. Their iteration order is
 //!   randomized per process, so any simulation state kept in one can change
@@ -14,7 +15,7 @@
 //!   calendar (`simcore::time::Time`).
 //! * `ambient-rng` — `rand::thread_rng` / `rand::random`. All randomness
 //!   must come from an explicitly seeded `simcore::rng::SimRng`.
-//! * `float-time` — float↔time conversions (`as_secs_f64`,
+//! * `float-time` — calls to the float↔time conversions (`as_secs_f64`,
 //!   `as_micros_f64`, `as_millis_f64`, `from_secs_f64`) outside
 //!   `simcore/src/time.rs`. Time arithmetic must stay in integer
 //!   nanoseconds.
@@ -25,8 +26,8 @@
 //!   time through `simcore::time`.
 //! * `panic-path` — `panic!` / `unreachable!` / `.unwrap(...)` in
 //!   simulation code. Hot paths must either handle the case or document the
-//!   impossibility with a `lint:allow(panic-path)` rationale; `.expect` with
-//!   a message is allowed.
+//!   impossibility with a `lint:allow(panic-path)` rationale; `.expect`
+//!   with a message is allowed.
 //! * `unit-mixing` — arithmetic that combines wire-byte names
 //!   (`DATA_WIRE`, `DATA_HEADER_WIRE`, `CTRL_WIRE`, `WireBytes`) with
 //!   payload-byte names (`MTU_PAYLOAD`, `Bytes`, `payload`) in one
@@ -37,40 +38,46 @@
 //!   threads but never threads *inside* one.
 //! * `raw-header-size` — the numeric literals `78`, `84` and `1538`
 //!   (any spelling: `1_538`, `1538u64`, `1538.0`) outside the unit homes.
-//!   These are the wire header / frame sizes blessed once in
-//!   `simnet::consts` (`DATA_HEADER_WIRE`, `CTRL_WIRE`, `DATA_WIRE`);
-//!   re-deriving them by hand is how a stale header size sneaks into a
-//!   helper. Unlike every other rule this one applies to `#[cfg(test)]`
-//!   code too — test helpers building packets are exactly where the
-//!   hardcoded copies have crept in — and it also sweeps the simulation
-//!   crates' `tests/` directories. `1460` (`MTU_PAYLOAD`) is *not*
-//!   flagged: payload sizes appear legitimately in workload tables.
+//!   Unlike every other rule this one applies to `#[cfg(test)]` code too,
+//!   and also sweeps the simulation crates' `tests/` directories. `1460`
+//!   (`MTU_PAYLOAD`) is *not* flagged: payload sizes appear legitimately
+//!   in workload tables.
+//! * `alloc-in-datapath` — allocation-shaped expressions (constructions,
+//!   `vec!`/`format!`, copying conversions, non-`Copy` clones) in the hot
+//!   per-event modules, outside constructors. The committed
+//!   `lint-baseline.json` carries the known inventory; *new* sites fail.
+//!   `xtask lint --report alloc` dumps the full inventory including
+//!   ungated growth sites.
+//! * `unordered-iteration` — iteration over a type outside the
+//!   ordered-collections allowlist, where resolvable from declared types.
+//! * `trace-exhaustiveness` — cross-file: every variant of the trace
+//!   enums wired in `lint.toml [[trace]]` must be mentioned in each of its
+//!   emit fns (hand-maintained name/roster/adapter lists the compiler
+//!   cannot check).
 //!
 //! Escape hatch: a `lint:allow(<rule>)` comment on the offending line,
 //! directly above it (comment runs count as one block), or directly above
-//! the statement containing it suppresses that rule.
+//! the statement containing it suppresses that rule. Configuration
+//! (per-rule toggles, hot modules, ordered types, trace wiring) comes from
+//! `lint.toml`; known findings live in `lint-baseline.json` and are
+//! subtracted by [`lint_workspace`] — they are visible in
+//! [`lint_workspace_full`]'s outcome, and stale entries (matching nothing)
+//! are reported so the baseline only ever shrinks.
 //!
 //! Beyond the simulation crates, the pass also covers the files in
 //! [`LINTED_EXTRA_FILES`] — currently the experiment orchestrator, whose
 //! wall-clock heartbeat and worker threads are *intentional* and carry
-//! scoped `lint:allow` rationales. Linting it keeps every other rule
-//! (ambient RNG, hash collections, raw casts, …) enforced there, and
-//! keeps each exemption an explicit, per-line decision instead of a
-//! blanket skip of the file.
-//!
-//! Unlike the v1 pass, which substring-matched comment-stripped lines and
-//! only exempted a *trailing* `#[cfg(test)]` module, this version drives a
-//! small hand-rolled tokenizer (`crate::tokenize`): string/char literals and
-//! (nested) comments can never yield findings, `#[cfg(test)]` items are
-//! exempt wherever they appear in a file, and every finding carries an
-//! exact line *and column*.
+//! scoped `lint:allow` rationales.
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::tokenize::{scan, Comment, Kind, Tok};
+use crate::baseline::{Baseline, Entry};
+use crate::config::LintConfig;
+use crate::rules::{self, alloc::AllocSite};
+use crate::tokenize::{scan, Comment, Kind};
 
 /// Crate directories (relative to the workspace root) the pass covers.
 const LINTED_CRATES: &[&str] = &[
@@ -104,44 +111,20 @@ const WALL_CLOCK_SWEEP_CRATES: &[&str] = &[
 /// bench runner times real executions to report events/sec.
 const WALL_CLOCK_HOMES: &[&str] = &["crates/bench/src/bin/substrate_bench.rs"];
 
-/// The only file allowed to define/use the float↔time conversions.
-const FLOAT_TIME_HOME: &str = "crates/simcore/src/time.rs";
-
-/// Files whose whole point is unit conversion: the typed-units layer, the
-/// time layer, and the blessed payload↔wire crossing. `raw-cast` and
-/// `unit-mixing` do not apply there.
-const UNIT_HOMES: &[&str] = &[
-    "crates/simcore/src/units.rs",
-    "crates/simcore/src/time.rs",
-    "crates/simnet/src/consts.rs",
-];
-
-const WHY_HASH: &str = "randomized iteration order; use BTreeMap/BTreeSet";
-const WHY_CLOCK: &str = "wall-clock time in simulation logic; use simcore::time";
-const WHY_RNG: &str = "unseeded randomness; use an explicitly seeded SimRng";
-const WHY_FLOAT_TIME: &str = "float time arithmetic outside simcore::time; keep time in integer ns";
-const WHY_RAW_CAST: &str =
-    "bare numeric cast on a byte/time quantity; convert through simcore::units / simcore::time";
-const WHY_PANIC: &str =
-    "panic in simulation code; handle the case or justify with lint:allow(panic-path)";
-const WHY_MIXING: &str =
-    "arithmetic mixing wire bytes and payload bytes; cross domains in simnet::consts only";
-const WHY_THREAD: &str =
-    "threads in simulation logic; only the experiment orchestrator may spawn/sleep threads";
-const WHY_HEADER_SIZE: &str =
-    "raw header/frame-size literal; use simnet::consts (DATA_HEADER_WIRE / CTRL_WIRE / DATA_WIRE)";
-
 /// `(name, rationale)` for every rule, for `--help`-style listings.
 pub const RULES: &[(&str, &str)] = &[
-    ("hash-collections", WHY_HASH),
-    ("wall-clock", WHY_CLOCK),
-    ("ambient-rng", WHY_RNG),
-    ("float-time", WHY_FLOAT_TIME),
-    ("raw-cast", WHY_RAW_CAST),
-    ("panic-path", WHY_PANIC),
-    ("unit-mixing", WHY_MIXING),
-    ("thread-spawn", WHY_THREAD),
-    ("raw-header-size", WHY_HEADER_SIZE),
+    ("hash-collections", rules::WHY_HASH),
+    ("wall-clock", rules::WHY_CLOCK),
+    ("ambient-rng", rules::WHY_RNG),
+    ("float-time", rules::WHY_FLOAT_TIME),
+    ("raw-cast", rules::WHY_RAW_CAST),
+    ("panic-path", rules::WHY_PANIC),
+    ("unit-mixing", rules::WHY_MIXING),
+    ("thread-spawn", rules::WHY_THREAD),
+    ("raw-header-size", rules::WHY_HEADER_SIZE),
+    ("alloc-in-datapath", rules::WHY_ALLOC),
+    ("unordered-iteration", rules::WHY_ITER),
+    ("trace-exhaustiveness", rules::WHY_TRACE),
 ];
 
 /// One lint finding.
@@ -155,7 +138,8 @@ pub struct Finding {
     pub col: usize,
     /// Rule name (e.g. `hash-collections`).
     pub rule: &'static str,
-    /// The offending source line, trimmed.
+    /// The offending source line, trimmed (or a synthesized description
+    /// for cross-file findings).
     pub text: String,
     /// Why the construct is banned.
     pub why: &'static str,
@@ -171,9 +155,34 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Lints every `src/**/*.rs` file of the covered crates under `root`,
-/// plus the individually covered [`LINTED_EXTRA_FILES`].
+/// Full result of a workspace sweep, before and after the baseline.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Findings not in the baseline — these fail the build.
+    pub new: Vec<Finding>,
+    /// Known findings absorbed by the baseline.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries that matched nothing (remove via
+    /// `--update-baseline`).
+    pub stale: Vec<Entry>,
+    /// The allocation inventory of the hot modules (gated + growth sites).
+    pub alloc_report: Vec<AllocSite>,
+}
+
+/// Lints the workspace and returns the findings **not** covered by the
+/// committed baseline. This is the pass/fail surface: an empty result
+/// means clean.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(lint_workspace_full(root)?.new)
+}
+
+/// Lints every `src/**/*.rs` file of the covered crates under `root`, plus
+/// the individually covered [`LINTED_EXTRA_FILES`], the cross-file trace
+/// check, and the restricted sweeps (header sizes in `tests/`, wall-clock
+/// in the outer layers); then applies the baseline and builds the hot-
+/// module allocation report.
+pub fn lint_workspace_full(root: &Path) -> io::Result<Outcome> {
+    let cfg = LintConfig::load(root).map_err(io::Error::other)?;
     let mut findings = Vec::new();
     for krate in LINTED_CRATES {
         let src_dir = root.join(krate).join("src");
@@ -181,18 +190,14 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         collect_rs_files(&src_dir, &mut files)?;
         files.sort();
         for path in files {
-            let rel = path
-                .strip_prefix(root)
-                .unwrap_or(&path)
-                .to_string_lossy()
-                .replace('\\', "/");
+            let rel = rel_path(root, &path);
             let src = fs::read_to_string(&path)?;
-            findings.extend(lint_source(&rel, &src));
+            findings.extend(lint_source_with(&rel, &src, &cfg));
         }
     }
     for rel in LINTED_EXTRA_FILES {
         let src = fs::read_to_string(root.join(rel))?;
-        findings.extend(lint_source(rel, &src));
+        findings.extend(lint_source_with(rel, &src, &cfg));
     }
     // Header-size-literal sweep over the simulation crates' integration
     // tests. In-file `#[cfg(test)]` modules are already covered (the rule
@@ -208,14 +213,10 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         collect_rs_files(&dir, &mut files)?;
         files.sort();
         for path in files {
-            let rel = path
-                .strip_prefix(root)
-                .unwrap_or(&path)
-                .to_string_lossy()
-                .replace('\\', "/");
+            let rel = rel_path(root, &path);
             let src = fs::read_to_string(&path)?;
             findings.extend(
-                lint_source(&rel, &src)
+                lint_source_with(&rel, &src, &cfg)
                     .into_iter()
                     .filter(|f| f.rule == "raw-header-size"),
             );
@@ -233,11 +234,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             collect_rs_files(&dir, &mut files)?;
             files.sort();
             for path in files {
-                let rel = path
-                    .strip_prefix(root)
-                    .unwrap_or(&path)
-                    .to_string_lossy()
-                    .replace('\\', "/");
+                let rel = rel_path(root, &path);
                 if WALL_CLOCK_HOMES.contains(&rel.as_str())
                     || LINTED_EXTRA_FILES.contains(&rel.as_str())
                 {
@@ -245,15 +242,64 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
                 }
                 let src = fs::read_to_string(&path)?;
                 findings.extend(
-                    lint_source(&rel, &src)
+                    lint_source_with(&rel, &src, &cfg)
                         .into_iter()
                         .filter(|f| f.rule == "wall-clock"),
                 );
             }
         }
     }
-    findings.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
-    Ok(findings)
+    // Cross-file trace-exhaustiveness: read exactly the files the wiring
+    // names (they may live outside the linted crates, e.g. simtrace).
+    if cfg.rule_enabled("trace-exhaustiveness") {
+        let mut sources: Vec<(String, String)> = Vec::new();
+        for t in &cfg.trace_enums {
+            for rel in [&t.defined_in, &t.emit_file] {
+                if sources.iter().any(|(p, _)| p == rel.as_str()) {
+                    continue;
+                }
+                if let Ok(src) = fs::read_to_string(root.join(rel)) {
+                    sources.push((rel.clone(), src));
+                }
+                // Unreadable files are left out: check_sources reports the
+                // missing file as a finding.
+            }
+        }
+        findings.extend(rules::trace_ex::check_sources(&sources, &cfg));
+    }
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+
+    // Allocation inventory over the configured hot modules.
+    let mut alloc_report = Vec::new();
+    for rel in &cfg.hot_modules {
+        let Ok(src) = fs::read_to_string(root.join(rel)) else {
+            continue; // hot list is config; a renamed file just drops out
+        };
+        let scanned = scan(&src);
+        let ast = crate::parse::parse(&scanned.tokens);
+        let ctx = rules::FileCtx::new(rel, &scanned.tokens, &ast, &cfg);
+        let lines: Vec<&str> = src.lines().collect();
+        alloc_report.extend(rules::alloc::report(&ctx, &lines));
+    }
+    alloc_report
+        .sort_by(|a, b| (&a.file, a.line, a.col, &a.kind).cmp(&(&b.file, b.line, b.col, &b.kind)));
+
+    let baseline = Baseline::load(&root.join(&cfg.baseline_path)).map_err(io::Error::other)?;
+    let applied = baseline.apply(findings);
+    Ok(Outcome {
+        new: applied.new,
+        baselined: applied.baselined,
+        stale: applied.stale,
+        alloc_report,
+    })
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -276,11 +322,21 @@ struct Allow {
     end_line: usize,
 }
 
-/// Lints one file's source text. `file` is the workspace-relative path,
-/// used for reporting and the per-file home exemptions.
+/// Lints one file's source text with the built-in default configuration
+/// (no baseline). `file` is the workspace-relative path, used for
+/// reporting and the per-file home exemptions.
 pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
+    lint_source_with(file, src, &LintConfig::default())
+}
+
+/// Lints one file's source text under an explicit configuration.
+pub fn lint_source_with(file: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
     let scanned = scan(src);
     let toks = &scanned.tokens;
+    let ast = crate::parse::parse(toks);
+    let ctx = rules::FileCtx::new(file, toks, &ast, cfg);
+    let cands = rules::run_file_rules(&ctx);
+
     let lines: Vec<&str> = src.lines().collect();
 
     // Lines that contain (part of) a code token; everything else is blank
@@ -295,68 +351,14 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
         }
     }
 
-    let exempt = exempt_flags(toks);
     let allows = collect_allows(&scanned.comments);
     let stmt_start = stmt_starts(toks);
 
-    let float_home = file.ends_with(FLOAT_TIME_HOME);
-    let unit_home = UNIT_HOMES.iter().any(|h| file.ends_with(h));
-
-    // (token index, rule, why) candidates before suppression.
-    let mut cands: Vec<(usize, &'static str, &'static str)> = Vec::new();
-
-    for (i, t) in toks.iter().enumerate() {
-        // Header-size literals are checked before the test exemption:
-        // hardcoded 78/84/1538 copies live mostly in test helpers.
-        if t.kind == Kind::Num {
-            if !unit_home && is_header_size_literal(&t.text) {
-                cands.push((i, "raw-header-size", WHY_HEADER_SIZE));
-            }
-            continue;
-        }
-        if exempt[i] || t.kind != Kind::Ident {
-            continue;
-        }
-        let next = toks.get(i + 1);
-        let next_is = |p: &str| next.is_some_and(|n| n.kind == Kind::Punct && n.text == p);
-        match t.text.as_str() {
-            "HashMap" | "HashSet" => cands.push((i, "hash-collections", WHY_HASH)),
-            "Instant" | "SystemTime" => cands.push((i, "wall-clock", WHY_CLOCK)),
-            "thread_rng" => cands.push((i, "ambient-rng", WHY_RNG)),
-            "random" if i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "rand" => {
-                cands.push((i, "ambient-rng", WHY_RNG));
-            }
-            "as_secs_f64" | "as_micros_f64" | "as_millis_f64" | "from_secs_f64"
-                if next_is("(") && !float_home =>
-            {
-                cands.push((i, "float-time", WHY_FLOAT_TIME));
-            }
-            "panic" | "unreachable" if next_is("!") => {
-                cands.push((i, "panic-path", WHY_PANIC));
-            }
-            "unwrap" if next_is("(") => cands.push((i, "panic-path", WHY_PANIC)),
-            "thread" if i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "std" => {
-                cands.push((i, "thread-spawn", WHY_THREAD));
-            }
-            "as" if !unit_home
-                && next.is_some_and(|n| n.kind == Kind::Ident && is_numeric_type(&n.text))
-                && cast_source_is_quantity(toks, i) =>
-            {
-                cands.push((i, "raw-cast", WHY_RAW_CAST));
-            }
-            _ => {}
-        }
-    }
-
-    if !unit_home {
-        unit_mixing_candidates(toks, &exempt, &mut cands);
-    }
-
     let mut findings = Vec::new();
-    for (i, rule, why) in cands {
-        let t = &toks[i];
+    for c in cands {
+        let t = &toks[c.tok];
         let suppressed = allows.iter().any(|a| {
-            a.rules.iter().any(|r| r == rule)
+            a.rules.iter().any(|r| r == c.rule)
                 && (
                     // Trailing comment on the finding's own line.
                     (a.start_line <= t.line && a.end_line >= t.line)
@@ -366,8 +368,8 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
                         && (a.end_line + 1..t.line).all(|l| !code_line[l]))
                     // Comment block directly above the statement the
                     // finding sits in (covers multi-line statements).
-                    || (a.end_line < stmt_start[i]
-                        && (a.end_line + 1..stmt_start[i]).all(|l| !code_line[l]))
+                    || (a.end_line < stmt_start[c.tok]
+                        && (a.end_line + 1..stmt_start[c.tok]).all(|l| !code_line[l]))
                 )
         });
         if suppressed {
@@ -377,251 +379,21 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
             file: file.to_string(),
             line: t.line,
             col: t.col,
-            rule,
+            rule: c.rule,
             text: lines
                 .get(t.line - 1)
                 .map(|l| l.trim().to_string())
                 .unwrap_or_default(),
-            why,
+            why: c.why,
         });
     }
     findings.sort_by_key(|f| (f.line, f.col));
     findings
 }
 
-/// True for any spelling of the blessed wire sizes 78 / 84 / 1538:
-/// digit-separated (`1_538`), suffixed (`1538u64`), or float (`1538.0`).
-/// Radix-prefixed literals (`0x84`) are bit patterns, not byte counts,
-/// and are left alone; so is `1460` (`MTU_PAYLOAD`), which legitimately
-/// appears in workload size tables.
-fn is_header_size_literal(text: &str) -> bool {
-    let t: String = text.chars().filter(|&c| c != '_').collect();
-    if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
-        return false;
-    }
-    let digits_end = t
-        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
-        .unwrap_or(t.len());
-    let num = t[..digits_end]
-        .strip_suffix(".0")
-        .unwrap_or(&t[..digits_end]);
-    matches!(num, "78" | "84" | "1538")
-}
-
-fn is_numeric_type(name: &str) -> bool {
-    matches!(
-        name,
-        "u8" | "u16"
-            | "u32"
-            | "u64"
-            | "u128"
-            | "usize"
-            | "i8"
-            | "i16"
-            | "i32"
-            | "i64"
-            | "i128"
-            | "isize"
-            | "f32"
-            | "f64"
-    )
-}
-
-/// Byte-ish or time-ish identifier: the cast's source carries a unit.
-fn is_quantity_ident(name: &str) -> bool {
-    let l = name.to_ascii_lowercase();
-    l == "size"
-        || ["byte", "wire", "payload", "mtu"]
-            .iter()
-            .any(|n| l.contains(n))
-        || ["nanos", "micros", "millis", "secs"]
-            .iter()
-            .any(|n| l.contains(n))
-}
-
-/// Walks backwards from the `as` keyword over the cast's source expression
-/// (a primary expression: idents, field/method chains, call/index groups)
-/// and reports whether any identifier in it names a byte/time quantity.
-fn cast_source_is_quantity(toks: &[Tok], as_idx: usize) -> bool {
-    let mut depth = 0u32;
-    let mut j = as_idx;
-    for _ in 0..64 {
-        if j == 0 {
-            return false;
-        }
-        j -= 1;
-        let t = &toks[j];
-        match t.kind {
-            Kind::Punct => match t.text.as_str() {
-                ")" | "]" => depth += 1,
-                "(" | "[" => {
-                    if depth == 0 {
-                        return false;
-                    }
-                    depth -= 1;
-                }
-                "." | "::" => {}
-                // Operators and delimiters end the operand — but only at
-                // depth 0; inside a parenthesized group they are part of it.
-                _ if depth > 0 => {}
-                _ => return false,
-            },
-            Kind::Ident => {
-                let name = t.text.as_str();
-                if depth == 0
-                    && matches!(
-                        name,
-                        "as" | "return" | "let" | "if" | "else" | "match" | "in"
-                    )
-                {
-                    return false;
-                }
-                if is_quantity_ident(name) {
-                    return true;
-                }
-            }
-            _ => {}
-        }
-    }
-    false
-}
-
-const WIRE_FAMILY: &[&str] = &["DATA_WIRE", "DATA_HEADER_WIRE", "CTRL_WIRE", "WireBytes"];
-const PAYLOAD_FAMILY: &[&str] = &["MTU_PAYLOAD", "Bytes", "payload"];
-
-/// Flags comma/semicolon/brace-delimited expression segments that name both
-/// byte families *and* apply arithmetic — the signature of an unchecked
-/// domain crossing.
-fn unit_mixing_candidates(
-    toks: &[Tok],
-    exempt: &[bool],
-    cands: &mut Vec<(usize, &'static str, &'static str)>,
-) {
-    let mut seg_start = 0usize;
-    for i in 0..=toks.len() {
-        let boundary = i == toks.len()
-            || (toks[i].kind == Kind::Punct
-                && matches!(toks[i].text.as_str(), ";" | "{" | "}" | ","));
-        if !boundary {
-            continue;
-        }
-        let seg = seg_start..i;
-        seg_start = i + 1;
-        if seg.is_empty() || seg.clone().any(|k| exempt[k]) {
-            continue;
-        }
-        // `use`/`pub use` lists legitimately name both families.
-        if seg.clone().any(|k| toks[k].text == "use") {
-            continue;
-        }
-        let has = |fam: &[&str]| {
-            seg.clone()
-                .any(|k| toks[k].kind == Kind::Ident && fam.contains(&toks[k].text.as_str()))
-        };
-        let arith = seg.clone().find(|&k| {
-            toks[k].kind == Kind::Punct
-                && matches!(
-                    toks[k].text.as_str(),
-                    "+" | "-" | "*" | "/" | "+=" | "-=" | "*=" | "/="
-                )
-        });
-        if let Some(op) = arith {
-            if has(WIRE_FAMILY) && has(PAYLOAD_FAMILY) {
-                cands.push((op, "unit-mixing", WHY_MIXING));
-            }
-        }
-    }
-}
-
-/// Marks tokens covered by a `#[cfg(test)]`-gated item (attribute included).
-/// Works for items anywhere in the file, not just a trailing module.
-/// `#[cfg(not(test))]` and similar negations stay linted.
-fn exempt_flags(toks: &[Tok]) -> Vec<bool> {
-    let mut flags = vec![false; toks.len()];
-    let mut i = 0;
-    while i < toks.len() {
-        if toks[i].text != "#" || toks.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
-            i += 1;
-            continue;
-        }
-        // Parse the attribute to its matching `]`, collecting identifiers.
-        let mut j = i + 2;
-        let mut depth = 1u32;
-        let mut idents: Vec<&str> = Vec::new();
-        while j < toks.len() && depth > 0 {
-            match toks[j].text.as_str() {
-                "[" => depth += 1,
-                "]" => depth -= 1,
-                _ => {
-                    if toks[j].kind == Kind::Ident {
-                        idents.push(toks[j].text.as_str());
-                    }
-                }
-            }
-            j += 1;
-        }
-        let is_cfg_test =
-            idents.first() == Some(&"cfg") && idents.contains(&"test") && !idents.contains(&"not");
-        if !is_cfg_test {
-            i = j;
-            continue;
-        }
-        // Skip any further attributes between the cfg and the item.
-        let mut k = j;
-        while k < toks.len()
-            && toks[k].text == "#"
-            && toks.get(k + 1).map(|t| t.text.as_str()) == Some("[")
-        {
-            let mut d = 1u32;
-            k += 2;
-            while k < toks.len() && d > 0 {
-                match toks[k].text.as_str() {
-                    "[" => d += 1,
-                    "]" => d -= 1,
-                    _ => {}
-                }
-                k += 1;
-            }
-        }
-        // The item ends at the matching `}` of its body, or at a `;` at
-        // delimiter depth 0 (e.g. `#[cfg(test)] use ...;`).
-        let mut d = 0i64;
-        let mut saw_brace = false;
-        let mut end = toks.len() - 1;
-        while k < toks.len() {
-            match toks[k].text.as_str() {
-                "{" | "(" | "[" => {
-                    if toks[k].text == "{" {
-                        saw_brace = true;
-                    }
-                    d += 1;
-                }
-                "}" | ")" | "]" => {
-                    d -= 1;
-                    if d == 0 && saw_brace && toks[k].text == "}" {
-                        end = k;
-                        break;
-                    }
-                }
-                ";" if d == 0 => {
-                    end = k;
-                    break;
-                }
-                _ => {}
-            }
-            k += 1;
-        }
-        for f in flags.iter_mut().take(end + 1).skip(i) {
-            *f = true;
-        }
-        i = end + 1;
-    }
-    flags
-}
-
 /// For each token, the 1-based line on which its statement started.
 /// Statements are delimited by `;`, `{` and `}`.
-fn stmt_starts(toks: &[Tok]) -> Vec<usize> {
+fn stmt_starts(toks: &[crate::tokenize::Tok]) -> Vec<usize> {
     let mut out = Vec::with_capacity(toks.len());
     let mut cur: Option<usize> = None;
     for t in toks {
@@ -711,6 +483,16 @@ mod tests {
     }
 
     #[test]
+    fn grouped_use_import_is_caught() {
+        // The token pass could not see the `std::` prefix of grouped
+        // imports; the use-tree expansion can.
+        let src = "use std::{thread, time::Instant};\nfn f() {}";
+        let mut hits = rules_hit("crates/simnet/src/x.rs", src);
+        hits.sort_unstable();
+        assert_eq!(hits, ["thread-spawn", "wall-clock"]);
+    }
+
+    #[test]
     fn thread_use_suppressed_by_scoped_allow() {
         let src = "// lint:allow(thread-spawn): worker pool, not sim logic\n\
                    fn f() { std::thread::yield_now(); }";
@@ -732,6 +514,15 @@ mod tests {
     fn float_time_allowed_in_time_rs() {
         let src = "pub fn as_secs_f64(self) -> f64 { self.0 as f64 / 1e9 }";
         assert!(lint_source("crates/simcore/src/time.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_time_definition_outside_home_is_not_a_use() {
+        // FP fix over the token pass: defining a helper named like the
+        // conversion (e.g. a trait impl forwarding to simcore::time) is
+        // not itself float math.
+        let src = "fn as_secs_f64(x: Seconds) -> f64 { x.to_f64() }";
+        assert!(lint_source("crates/transport/src/x.rs", src).is_empty());
     }
 
     // --- literals and comments can no longer yield findings ---
@@ -872,6 +663,14 @@ fn late_prod() { let _ = std::time::Instant::now(); }
     }
 
     #[test]
+    fn index_expression_is_not_the_cast_source() {
+        // FP fix over the token pass: the subscript names a byte quantity,
+        // but the value being cast is the (dimensionless) element.
+        let src = "fn f(slots: &[u32], byte_pos: usize, n: u32) -> u64 { slots[byte_pos % 4] as u64 + u64::from(n) }";
+        assert!(lint_source("crates/simnet/src/x.rs", src).is_empty());
+    }
+
+    #[test]
     fn cast_in_units_home_not_flagged() {
         let src = "pub fn as_f64(self) -> f64 { self.0 as f64 }";
         // (no byte-ish ident here anyway, but the home exemption must hold
@@ -903,6 +702,13 @@ fn late_prod() { let _ = std::time::Instant::now(); }
         assert!(lint_source("crates/core/src/x.rs", ok2).is_empty());
     }
 
+    #[test]
+    fn fn_named_unwrap_is_a_definition_not_a_use() {
+        // FP fix over the token pass, which flagged `fn unwrap(` itself.
+        let src = "impl Slot { fn unwrap(self) -> Packet { self.p } }";
+        assert!(lint_source("crates/simnet/src/x.rs", src).is_empty());
+    }
+
     // --- unit-mixing ---
 
     #[test]
@@ -926,6 +732,13 @@ fn late_prod() { let _ = std::time::Instant::now(); }
     #[test]
     fn use_list_naming_both_families_not_flagged() {
         let src = "use flexpass_simcore::units::{Bytes, WireBytes};\nfn f() {}";
+        assert!(lint_source("crates/simnet/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trait_bound_plus_does_not_mix_units() {
+        // FP fix over the token pass: `+` in a bound is not arithmetic.
+        let src = "fn f<T: Into<WireBytes> + From<Bytes>>(x: T) -> T { x }";
         assert!(lint_source("crates/simnet/src/x.rs", src).is_empty());
     }
 
@@ -984,26 +797,117 @@ fn late_prod() { let _ = std::time::Instant::now(); }
         assert!(lint_source("crates/simnet/src/x.rs", allowed).is_empty());
     }
 
+    #[test]
+    fn header_size_in_attribute_not_flagged() {
+        // FP fix over the token pass: attribute token trees are not code.
+        let src = "#[repr(align(84))]\nstruct Aligned(u8);";
+        assert!(lint_source("crates/simnet/src/x.rs", src).is_empty());
+    }
+
+    // --- alloc-in-datapath ---
+
+    #[test]
+    fn alloc_flagged_only_in_hot_modules() {
+        let src = "fn on_event(&mut self) { let v = Vec::new(); self.q.push(v); }";
+        assert_eq!(
+            rules_hit("crates/simnet/src/queue.rs", src),
+            ["alloc-in-datapath"]
+        );
+        // Same code in a non-hot module: quiet.
+        assert!(lint_source("crates/simnet/src/topology.rs", src).is_empty());
+    }
+
+    #[test]
+    fn constructors_are_exempt_from_alloc() {
+        let src = "impl Queue {\n\
+                       pub fn new(cap: usize) -> Self { Queue { q: Vec::with_capacity(cap) } }\n\
+                       pub fn with_limit(cap: usize) -> Queue { Queue { q: Vec::with_capacity(cap) } }\n\
+                   }\nstruct Queue { q: Vec<u8> }";
+        assert!(lint_source("crates/simnet/src/queue.rs", src).is_empty());
+    }
+
+    #[test]
+    fn copy_clone_not_flagged_but_non_copy_clone_is() {
+        let src = "#[derive(Clone, Copy)]\nstruct Stamp(u64);\n\
+                   struct Spec { name: String }\n\
+                   struct Q { t: Stamp, spec: Spec }\n\
+                   impl Q {\n\
+                       fn tick(&mut self) { let _ = self.t.clone(); }\n\
+                       fn bad(&mut self) -> Spec { self.spec.clone() }\n\
+                   }";
+        let found = lint_source("crates/simnet/src/port.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "alloc-in-datapath");
+        assert!(found[0].text.contains("spec.clone"));
+    }
+
+    #[test]
+    fn alloc_macros_and_conversions_flagged() {
+        let src = "fn drain(&mut self) { let label = format!(\"q{}\", 1); let v = vec![0u8; 4]; let s = label.to_owned(); let _ = (v, s); }";
+        let hits = rules_hit("crates/simcore/src/wheel.rs", src);
+        assert_eq!(
+            hits,
+            [
+                "alloc-in-datapath",
+                "alloc-in-datapath",
+                "alloc-in-datapath"
+            ]
+        );
+    }
+
+    // --- unordered-iteration ---
+
+    #[test]
+    fn unordered_iteration_flagged_on_resolvable_types() {
+        let src = "struct S { slots: FxHashMap<u32, u32> }\n\
+                   impl S { fn go(&self) { for x in &self.slots { drop(x); } } }";
+        assert_eq!(
+            rules_hit("crates/simnet/src/x.rs", src),
+            ["unordered-iteration"]
+        );
+        let meth = "fn f(m: IndexlessMap) { for k in m.keys() { drop(k); } }";
+        assert_eq!(
+            rules_hit("crates/simnet/src/x.rs", meth),
+            ["unordered-iteration"]
+        );
+    }
+
+    #[test]
+    fn ordered_and_unresolvable_iteration_not_flagged() {
+        let src = "fn f(v: Vec<u32>, n: usize) {\n\
+                       for x in &v { drop(x); }\n\
+                       for i in 0..n { drop(i); }\n\
+                       for y in helper() { drop(y); }\n\
+                   }";
+        assert!(lint_source("crates/simnet/src/x.rs", src).is_empty());
+    }
+
     // --- the workspace itself ---
 
     #[test]
     fn repo_is_currently_clean() {
-        // The workspace itself must pass its own lint; run it from the
-        // xtask test binary so `cargo test` catches regressions without a
-        // separate CI step.
+        // The workspace itself must pass its own lint (modulo the
+        // committed baseline); run it from the xtask test binary so
+        // `cargo test` catches regressions without a separate CI step.
         let root = Path::new(env!("CARGO_MANIFEST_DIR"))
             .parent()
             .expect("workspace root")
             .to_path_buf();
-        let findings = lint_workspace(&root).expect("walk workspace");
+        let outcome = lint_workspace_full(&root).expect("walk workspace");
         assert!(
-            findings.is_empty(),
+            outcome.new.is_empty(),
             "determinism/units lint found:\n{}",
-            findings
+            outcome
+                .new
                 .iter()
                 .map(|f| f.to_string())
                 .collect::<Vec<_>>()
                 .join("\n")
+        );
+        assert!(
+            outcome.stale.is_empty(),
+            "stale baseline entries (run `cargo xtask lint --update-baseline`):\n{:?}",
+            outcome.stale
         );
     }
 }

@@ -6,17 +6,22 @@
 //!   simulation crates (see `lint.rs` and DESIGN.md "Determinism &
 //!   invariants"). Findings can be rendered for humans (default), as JSON
 //!   (`--format json`, for CI artifacts), or as GitHub Actions error
-//!   annotations (`--format github`).
+//!   annotations (`--format github`). `--report alloc` dumps the
+//!   allocation-site inventory of the hot datapath modules instead;
+//!   `--update-baseline` rewrites `lint-baseline.json` from the current
+//!   findings (shrink-only workflow: review the diff before committing).
 //! * `bench` — the substrate benchmark with its regression gates.
+//!   `--alloc-count` rebuilds with the counting global allocator and gates
+//!   steady-state datapath allocations per event.
 //! * `trace-report` — post-mortem summary of `--trace` JSONL logs (see
 //!   `trace_report.rs` and DESIGN.md "Packet-lifecycle tracing").
 
-mod lint;
-mod tokenize;
-mod trace_report;
-
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+use xtask::baseline::Baseline;
+use xtask::config::LintConfig;
+use xtask::{lint, trace_report};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -25,11 +30,18 @@ enum Format {
     Github,
 }
 
+#[derive(Clone, Copy)]
+struct LintArgs {
+    fmt: Format,
+    report_alloc: bool,
+    update_baseline: bool,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => match parse_format(&args[1..]) {
-            Ok(fmt) => run_lint(fmt),
+        Some("lint") => match parse_lint_args(&args[1..]) {
+            Ok(la) => run_lint(la),
             Err(msg) => {
                 eprintln!("{msg}");
                 print_usage();
@@ -56,10 +68,28 @@ fn main() -> ExitCode {
     }
 }
 
-fn parse_format(args: &[String]) -> Result<Format, String> {
-    let mut fmt = Format::Human;
+fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
+    let mut la = LintArgs {
+        fmt: Format::Human,
+        report_alloc: false,
+        update_baseline: false,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if arg == "--update-baseline" {
+            la.update_baseline = true;
+            continue;
+        }
+        if arg == "--report" {
+            let what = it
+                .next()
+                .ok_or_else(|| "--report requires a value".to_string())?;
+            if what != "alloc" {
+                return Err(format!("unknown report `{what}` (expected `alloc`)"));
+            }
+            la.report_alloc = true;
+            continue;
+        }
         let value = if let Some(v) = arg.strip_prefix("--format=") {
             v.to_string()
         } else if arg == "--format" {
@@ -69,23 +99,24 @@ fn parse_format(args: &[String]) -> Result<Format, String> {
         } else {
             return Err(format!("unknown argument `{arg}`"));
         };
-        fmt = match value.as_str() {
+        la.fmt = match value.as_str() {
             "human" => Format::Human,
             "json" => Format::Json,
             "github" => Format::Github,
             other => return Err(format!("unknown format `{other}`")),
         };
     }
-    Ok(fmt)
+    Ok(la)
 }
 
 fn print_usage() {
     eprintln!("usage: cargo xtask <task>");
     eprintln!();
     eprintln!("tasks:");
-    eprintln!("  lint [--format human|json|github]");
-    eprintln!("          run the determinism & units lint over the simulation crates");
-    eprintln!("  bench [--smoke] [--out PATH]");
+    eprintln!("  lint [--format human|json|github] [--report alloc] [--update-baseline]");
+    eprintln!("          run the determinism & units lint over the simulation crates;");
+    eprintln!("          config in lint.toml, known findings in lint-baseline.json");
+    eprintln!("  bench [--smoke] [--out PATH] [--alloc-count]");
     eprintln!("          run the substrate benchmark (release build) and emit the");
     eprintln!("          BENCH_substrate.json report (default: workspace root)");
     eprintln!("  trace-report PATH...");
@@ -94,7 +125,7 @@ fn print_usage() {
     eprintln!();
     eprintln!("lint rules:");
     for (name, why) in lint::RULES {
-        eprintln!("  {name:<18} {why}");
+        eprintln!("  {name:<20} {why}");
     }
 }
 
@@ -102,16 +133,20 @@ fn print_usage() {
 /// (`crates/bench/src/bin/substrate_bench.rs`) in release mode, writing
 /// `BENCH_substrate.json` (events/sec, ns/event, wheel-over-heap speedups).
 /// `--smoke` runs the fast CI-sized variant; `--out PATH` overrides the
-/// report location. The bench binary itself enforces the regression gates
-/// and sets the exit code.
+/// report location; `--alloc-count` rebuilds with the counting global
+/// allocator and gates datapath allocations per event against the
+/// committed report. The bench binary itself enforces the regression
+/// gates and sets the exit code.
 fn run_bench(args: &[String]) -> ExitCode {
     let root = workspace_root();
     let mut smoke = false;
+    let mut alloc_count = false;
     let mut out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--alloc-count" => alloc_count = true,
             "--out" => match it.next() {
                 Some(v) => out = Some(v.clone()),
                 None => {
@@ -131,18 +166,25 @@ fn run_bench(args: &[String]) -> ExitCode {
             .to_string_lossy()
             .into_owned()
     });
+    // With --alloc-count, gate against the committed report's number (read
+    // before the run overwrites the file).
+    let gate = if alloc_count {
+        committed_allocs_per_event(&root)
+    } else {
+        None
+    };
     let mut cmd = std::process::Command::new(env!("CARGO"));
-    cmd.current_dir(&root).args([
-        "run",
-        "--release",
-        "-p",
-        "flexpass-bench",
-        "--bin",
-        "substrate_bench",
-        "--",
-    ]);
+    cmd.current_dir(&root)
+        .args(["run", "--release", "-p", "flexpass-bench"]);
+    if alloc_count {
+        cmd.args(["--features", "alloc-count"]);
+    }
+    cmd.args(["--bin", "substrate_bench", "--"]);
     if smoke {
         cmd.arg("--smoke");
+    }
+    if let Some(g) = gate {
+        cmd.args(["--gate-alloc", &format!("{g}")]);
     }
     cmd.args(["--out", &out]);
     match cmd.status() {
@@ -155,18 +197,60 @@ fn run_bench(args: &[String]) -> ExitCode {
     }
 }
 
-fn run_lint(fmt: Format) -> ExitCode {
+/// Reads `alloc.datapath_allocs_per_event` from the committed
+/// BENCH_substrate.json, if present.
+fn committed_allocs_per_event(root: &std::path::Path) -> Option<f64> {
+    let src = std::fs::read_to_string(root.join("BENCH_substrate.json")).ok()?;
+    let doc = xtask::json::parse(&src).ok()?;
+    doc.get("alloc")?.get("datapath_allocs_per_event")?.as_f64()
+}
+
+fn run_lint(la: LintArgs) -> ExitCode {
     let root = workspace_root();
-    let findings = match lint::lint_workspace(&root) {
-        Ok(f) => f,
+    let outcome = match lint::lint_workspace_full(&root) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("xtask lint: {e}");
             return ExitCode::FAILURE;
         }
     };
-    match fmt {
+    if la.report_alloc {
+        println!("{}", alloc_report_json(&outcome.alloc_report));
+        return ExitCode::SUCCESS;
+    }
+    if la.update_baseline {
+        let cfg = match LintConfig::load(&root) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut all = outcome.new.clone();
+        all.extend(outcome.baselined.iter().cloned());
+        let baseline = Baseline::from_findings(&all);
+        let path = root.join(&cfg.baseline_path);
+        if let Err(e) = std::fs::write(&path, baseline.to_json()) {
+            eprintln!("xtask lint: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask lint: baseline rewritten with {} finding(s) ({} entr{}) at {}",
+            all.len(),
+            baseline.entries.len(),
+            if baseline.entries.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            cfg.baseline_path
+        );
+        return ExitCode::SUCCESS;
+    }
+    let findings = &outcome.new;
+    match la.fmt {
         Format::Human => {
-            for f in &findings {
+            for f in findings {
                 eprintln!("{f}");
             }
             if findings.is_empty() {
@@ -175,9 +259,9 @@ fn run_lint(fmt: Format) -> ExitCode {
                 eprintln!("xtask lint: {} finding(s)", findings.len());
             }
         }
-        Format::Json => println!("{}", to_json(&findings)),
+        Format::Json => println!("{}", to_json(findings)),
         Format::Github => {
-            for f in &findings {
+            for f in findings {
                 // `::error` annotations surface inline on the PR diff.
                 println!(
                     "::error file={},line={},col={},title=lint {}::{} ({})",
@@ -191,7 +275,19 @@ fn run_lint(fmt: Format) -> ExitCode {
             }
         }
     }
-    if findings.is_empty() {
+    if !outcome.baselined.is_empty() {
+        eprintln!(
+            "xtask lint: {} baselined finding(s) suppressed (see lint-baseline.json)",
+            outcome.baselined.len()
+        );
+    }
+    for s in &outcome.stale {
+        eprintln!(
+            "xtask lint: stale baseline entry {}:[{}] {} (run --update-baseline)",
+            s.file, s.rule, s.text
+        );
+    }
+    if findings.is_empty() && outcome.stale.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -217,6 +313,32 @@ fn to_json(findings: &[lint::Finding]) -> String {
         ));
     }
     if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Renders the hot-module allocation inventory as a JSON array, ordered by
+/// (file, line, col) — byte-stable across runs for diffing in CI.
+fn alloc_report_json(sites: &[xtask::rules::alloc::AllocSite]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in sites.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\":{},\"line\":{},\"col\":{},\"func\":{},\"kind\":{},\"gated\":{},\"text\":{}}}",
+            json_str(&s.file),
+            s.line,
+            s.col,
+            json_str(&s.func),
+            json_str(&s.kind),
+            s.gated,
+            json_str(&s.text)
+        ));
+    }
+    if !sites.is_empty() {
         out.push('\n');
     }
     out.push(']');
@@ -276,5 +398,23 @@ mod tests {
         assert!(j.contains("\"col\":7"));
         assert!(j.contains("\"rule\":\"wall-clock\""));
         assert_eq!(to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn alloc_report_json_shape() {
+        let sites = vec![xtask::rules::alloc::AllocSite {
+            file: "crates/simnet/src/queue.rs".into(),
+            line: 10,
+            col: 4,
+            func: "Queue::enqueue".into(),
+            kind: "growth:push".into(),
+            text: "self.q.push(p);".into(),
+            gated: false,
+            tok: 0,
+        }];
+        let j = alloc_report_json(&sites);
+        assert!(j.contains("\"kind\":\"growth:push\""));
+        assert!(j.contains("\"gated\":false"));
+        assert_eq!(alloc_report_json(&[]), "[]");
     }
 }

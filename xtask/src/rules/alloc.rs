@@ -1,0 +1,234 @@
+//! `alloc-in-datapath`: allocation-shaped expressions in the hot per-event
+//! modules (configured in `lint.toml [alloc] hot-modules`).
+//!
+//! The rule classifies every fn body in a hot module, excluding test code
+//! and *constructors* (named `new`/`default`, prefixed `new_`/`with_`, or
+//! returning `Self`/the impl type): constructors are exactly where
+//! preallocation is supposed to happen. Inside the remaining bodies it
+//! flags:
+//!
+//! * container/box construction: `Vec::new`, `Vec::with_capacity`,
+//!   `Box::new`, `String::from`, … (any configured-alloc type × ctor);
+//! * the allocating macros `vec![…]` and `format!(…)`;
+//! * copying conversions: `.to_vec()`, `.to_string()`, `.to_owned()`,
+//!   `.collect()`;
+//! * `.clone()` on receivers that don't resolve to a `Copy` type (params,
+//!   locals and `self.field`s are resolved through their declared types;
+//!   unresolvable receivers are flagged conservatively).
+//!
+//! The same classification feeds `xtask lint --report alloc`, which also
+//! inventories *growth* sites (`push`, `insert`, `reserve`, …) as ungated
+//! context: a `push` on a preallocated buffer is fine at steady state but
+//! is where capacity growth would hide, so the report lists it while the
+//! lint stays quiet. The committed report is the work-list for the
+//! ROADMAP-1 arena/pool refactor, and the counting-allocator bench gate
+//! (`cargo xtask bench --alloc-count`) is its dynamic counterpart.
+
+use std::collections::BTreeMap;
+
+use crate::parse::{let_types_in, param_types_in, MethodCall};
+
+use super::{Cand, FileCtx, FnScope, WHY_ALLOC};
+
+/// Types whose associated constructors allocate.
+const ALLOC_TYPES: &[&str] = &[
+    "Box",
+    "Vec",
+    "VecDeque",
+    "String",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "HashMap",
+    "HashSet",
+    "Rc",
+    "Arc",
+];
+
+/// Associated fns on [`ALLOC_TYPES`] that allocate.
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+
+/// Copying conversion methods that always allocate.
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_string", "to_owned", "collect"];
+
+/// Methods that can grow a container — inventoried, not gated.
+const GROWTH_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "reserve",
+    "extend",
+    "resize",
+    "append",
+];
+
+/// One classified allocation site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocSite {
+    /// Workspace-relative file.
+    pub file: String,
+    pub line: usize,
+    pub col: usize,
+    /// Enclosing fn, `Owner::name` for methods.
+    pub func: String,
+    /// Site classification (`Vec::new`, `vec!`, `clone`, `growth:push`, …).
+    pub kind: String,
+    /// Trimmed source line.
+    pub text: String,
+    /// Gated sites are lint findings; ungated ones are report-only.
+    pub gated: bool,
+    /// Anchor token index (for the lint driver).
+    pub tok: usize,
+}
+
+/// Classifies every allocation site in the file's hot fn bodies.
+pub fn report(ctx: &FileCtx, lines: &[&str]) -> Vec<AllocSite> {
+    let mut out = Vec::new();
+    if !ctx.hot_module {
+        return out;
+    }
+    for scope in &ctx.fns {
+        if scope.in_test || is_constructor(ctx, scope) {
+            continue;
+        }
+        let func = match scope.owner {
+            Some(o) => format!("{o}::{}", scope.item.name),
+            None => scope.item.name.clone(),
+        };
+        let env = fn_env(ctx, scope);
+        let (bs, be) = scope.body;
+        let mut push = |tok: usize, kind: String, gated: bool| {
+            let t = &ctx.toks[tok];
+            out.push(AllocSite {
+                file: ctx.file.to_string(),
+                line: t.line,
+                col: t.col,
+                func: func.clone(),
+                kind,
+                text: lines
+                    .get(t.line - 1)
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
+                gated,
+                tok,
+            });
+        };
+        for p in &ctx.paths {
+            let first = p.segs[0].0;
+            if first < bs || first >= be {
+                continue;
+            }
+            if p.is_macro && matches!(p.last(), "vec" | "format") {
+                push(p.last_tok(), format!("{}!", p.last()), true);
+                continue;
+            }
+            if p.is_call {
+                for w in p.segs.windows(2) {
+                    if ALLOC_TYPES.contains(&w[0].1.as_str())
+                        && ALLOC_CTORS.contains(&w[1].1.as_str())
+                    {
+                        push(w[1].0, format!("{}::{}", w[0].1, w[1].1), true);
+                        break;
+                    }
+                }
+            }
+        }
+        for m in &ctx.methods {
+            if m.tok < bs || m.tok >= be {
+                continue;
+            }
+            let name = m.name.as_str();
+            if ALLOC_METHODS.contains(&name) {
+                push(m.tok, name.to_string(), true);
+            } else if name == "clone" {
+                if !receiver_is_copy(ctx, scope, &env, m) {
+                    push(m.tok, "clone".to_string(), true);
+                }
+            } else if GROWTH_METHODS.contains(&name) {
+                push(m.tok, format!("growth:{name}"), false);
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.col, &a.kind).cmp(&(b.line, b.col, &b.kind)));
+    out.dedup();
+    out
+}
+
+/// Emits the gated sites as `alloc-in-datapath` candidates.
+pub fn candidates(ctx: &FileCtx, out: &mut Vec<Cand>) {
+    if !ctx.hot_module {
+        return;
+    }
+    // The per-line text is rebuilt by the driver; pass empty lines here.
+    for site in report(ctx, &[]) {
+        if site.gated {
+            out.push(Cand {
+                tok: site.tok,
+                rule: "alloc-in-datapath",
+                why: WHY_ALLOC,
+            });
+        }
+    }
+}
+
+/// Constructors are exempt: fns named per config, or returning `Self` /
+/// the impl type.
+fn is_constructor(ctx: &FileCtx, scope: &FnScope) -> bool {
+    let name = scope.item.name.as_str();
+    if ctx.cfg.constructor_names.iter().any(|n| n == name) {
+        return true;
+    }
+    if ctx
+        .cfg
+        .constructor_prefixes
+        .iter()
+        .any(|p| name.starts_with(p.as_str()))
+    {
+        return true;
+    }
+    // Return type mentions Self or the owner type.
+    let sig = (scope.item.sig_start, scope.item.sig_end());
+    let mut after_arrow = false;
+    for i in sig.0..sig.1.min(ctx.toks.len()) {
+        let t = &ctx.toks[i];
+        if t.text == "->" {
+            after_arrow = true;
+        } else if after_arrow && (t.text == "Self" || scope.owner.is_some_and(|o| o == t.text)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Declared types in scope: params and `let` ascriptions.
+fn fn_env(ctx: &FileCtx, scope: &FnScope) -> BTreeMap<String, String> {
+    let mut env = BTreeMap::new();
+    for (name, ty) in param_types_in(ctx.toks, (scope.item.sig_start, scope.item.sig_end())) {
+        env.insert(name, ty);
+    }
+    for (name, ty) in let_types_in(ctx.toks, scope.body) {
+        env.insert(name, ty);
+    }
+    env
+}
+
+/// Resolves a `.clone()` receiver to a type and checks `Copy`. Only simple
+/// chains resolve (`x`, `self.field`); anything else is conservatively
+/// non-`Copy`.
+fn receiver_is_copy(
+    ctx: &FileCtx,
+    scope: &FnScope,
+    env: &BTreeMap<String, String>,
+    m: &MethodCall,
+) -> bool {
+    let ty = match (&m.recv_root, &m.recv_field) {
+        (Some(root), None) if root == "self" => scope.owner.map(str::to_string),
+        (Some(root), Some(field)) if root == "self" => {
+            scope.owner.and_then(|o| ctx.struct_field_type(o, field))
+        }
+        (Some(root), None) => env.get(root).cloned(),
+        _ => None,
+    };
+    ty.is_some_and(|t| ctx.type_is_copy(&t))
+}

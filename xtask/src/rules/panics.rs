@@ -1,0 +1,36 @@
+//! `panic-path`: `panic!` / `unreachable!` macros and `.unwrap()` calls in
+//! simulation code. `.expect("…")` with a rationale is allowed, as are the
+//! non-panicking `unwrap_or*` family (they simply aren't named `unwrap`).
+//!
+//! Ported false-positive fix: a *definition* of a fn named `unwrap` (e.g.
+//! an infallible accessor on a sim type) is no longer flagged — the item's
+//! own name is not a call.
+
+use super::{Cand, FileCtx, WHY_PANIC};
+
+pub fn candidates(ctx: &FileCtx, out: &mut Vec<Cand>) {
+    for p in &ctx.paths {
+        let t = p.last_tok();
+        if ctx.exempt[t] || ctx.def_name[t] {
+            continue;
+        }
+        let flagged = (p.is_macro && matches!(p.last(), "panic" | "unreachable"))
+            || (p.is_call && p.last() == "unwrap");
+        if flagged {
+            out.push(Cand {
+                tok: t,
+                rule: "panic-path",
+                why: WHY_PANIC,
+            });
+        }
+    }
+    for m in &ctx.methods {
+        if m.name == "unwrap" && !ctx.exempt[m.tok] {
+            out.push(Cand {
+                tok: m.tok,
+                rule: "panic-path",
+                why: WHY_PANIC,
+            });
+        }
+    }
+}

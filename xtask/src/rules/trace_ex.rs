@@ -1,0 +1,263 @@
+//! `trace-exhaustiveness`: a cross-file check that every variant of a
+//! trace enum is handled by each of its emit fns.
+//!
+//! The tracing layer keeps several hand-maintained variant lists that the
+//! compiler cannot check: `DropCause::from_name` matches against a literal
+//! array, `EventKind::ALL` is the canonical variant roster, and simnet's
+//! trace adapter maps `DropReason` to `DropCause` arm by arm. Adding a
+//! variant and forgetting one of these silently drops telemetry. The
+//! wiring lives in `lint.toml [[trace]]` tables: each names the enum, the
+//! file defining it, and the fns/consts that must mention *every* variant
+//! (as `Enum::Variant` or `Self::Variant`).
+//!
+//! This rule runs at workspace level (it needs two files at once), so it
+//! is not part of the per-file candidate pass.
+
+use crate::config::{LintConfig, TraceEnumCfg};
+use crate::lint::Finding;
+use crate::parse::{parse, Ast, Item, ItemKind};
+use crate::tokenize::{scan, Tok};
+
+use super::WHY_TRACE;
+
+/// Checks every configured trace enum against `sources`, a list of
+/// `(workspace-relative path, file contents)`. Missing files or fns are
+/// findings themselves — a broken wiring must not pass silently.
+pub fn check_sources(sources: &[(String, String)], cfg: &LintConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for t in &cfg.trace_enums {
+        check_one(sources, t, &mut out);
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    out
+}
+
+fn check_one(sources: &[(String, String)], t: &TraceEnumCfg, out: &mut Vec<Finding>) {
+    let misconfig = |file: &str, text: String, out: &mut Vec<Finding>| {
+        out.push(Finding {
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            rule: "trace-exhaustiveness",
+            text,
+            why: WHY_TRACE,
+        });
+    };
+    let Some(def_src) = lookup(sources, &t.defined_in) else {
+        misconfig(
+            &t.defined_in,
+            format!("trace enum `{}`: file not found", t.enum_name),
+            out,
+        );
+        return;
+    };
+    let def_scan = scan(def_src);
+    let def_ast = parse(&def_scan.tokens);
+    let Some(enum_item) = def_ast.find_named(ItemKind::Enum, &t.enum_name) else {
+        misconfig(
+            &t.defined_in,
+            format!("trace enum `{}` not found", t.enum_name),
+            out,
+        );
+        return;
+    };
+    // The emit file may be the defining file itself; reuse its parse.
+    let (emit_toks, emit_ast);
+    let (etoks, east): (&[Tok], &Ast) = if t.emit_file == t.defined_in {
+        (&def_scan.tokens, &def_ast)
+    } else {
+        let Some(emit_src) = lookup(sources, &t.emit_file) else {
+            misconfig(
+                &t.emit_file,
+                format!("trace enum `{}`: emit file not found", t.enum_name),
+                out,
+            );
+            return;
+        };
+        let s = scan(emit_src);
+        emit_ast = parse(&s.tokens);
+        emit_toks = s.tokens;
+        (&emit_toks, &emit_ast)
+    };
+    for fn_name in &t.emit_fns {
+        let bodies = emit_bodies(east, &t.enum_name, fn_name);
+        if bodies.is_empty() {
+            misconfig(
+                &t.emit_file,
+                format!(
+                    "trace enum `{}`: emit fn `{fn_name}` not found",
+                    t.enum_name
+                ),
+                out,
+            );
+            continue;
+        }
+        for (vtok, vname) in &enum_item.variants {
+            let present = bodies
+                .iter()
+                .any(|&(bs, be)| mentions_variant(etoks, bs, be, &t.enum_name, vname));
+            if !present {
+                let anchor = &def_scan.tokens[*vtok];
+                out.push(Finding {
+                    file: t.defined_in.clone(),
+                    line: anchor.line,
+                    col: anchor.col,
+                    rule: "trace-exhaustiveness",
+                    text: format!("{}::{vname} not emitted by `{fn_name}`", t.enum_name),
+                    why: WHY_TRACE,
+                });
+            }
+        }
+    }
+}
+
+fn lookup<'a>(sources: &'a [(String, String)], path: &str) -> Option<&'a str> {
+    sources
+        .iter()
+        .find(|(p, _)| p == path)
+        .map(|(_, s)| s.as_str())
+}
+
+/// Body ranges of the emit fn/const: items named `fn_name` inside an
+/// `impl <enum_name>` block take priority; otherwise any fn/const with the
+/// name anywhere in the file (the cross-enum adapter case).
+fn emit_bodies(ast: &Ast, enum_name: &str, fn_name: &str) -> Vec<(usize, usize)> {
+    fn named_bodies(items: &[Item], fn_name: &str, out: &mut Vec<(usize, usize)>) {
+        for it in items {
+            if matches!(it.kind, ItemKind::Fn | ItemKind::Const | ItemKind::Static)
+                && it.name == fn_name
+            {
+                if let Some(b) = it.body {
+                    out.push(b);
+                }
+            }
+            named_bodies(&it.children, fn_name, out);
+        }
+    }
+    let mut out = Vec::new();
+    let mut walk_impls = |items: &[Item]| {
+        fn go(items: &[Item], enum_name: &str, fn_name: &str, out: &mut Vec<(usize, usize)>) {
+            for it in items {
+                if it.kind == ItemKind::Impl && it.name == enum_name {
+                    named_bodies(&it.children, fn_name, out);
+                } else {
+                    go(&it.children, enum_name, fn_name, out);
+                }
+            }
+        }
+        go(items, enum_name, fn_name, &mut out);
+    };
+    walk_impls(&ast.items);
+    if out.is_empty() {
+        named_bodies(&ast.items, fn_name, &mut out);
+    }
+    out
+}
+
+/// `Enum::Variant` or `Self::Variant` appears in the token range.
+fn mentions_variant(toks: &[Tok], bs: usize, be: usize, enum_name: &str, variant: &str) -> bool {
+    for i in bs..be.min(toks.len()) {
+        if toks[i].text == variant
+            && i >= 2
+            && toks[i - 1].text == "::"
+            && (toks[i - 2].text == enum_name || toks[i - 2].text == "Self")
+        {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+
+    fn cfg_one(enum_name: &str, defined_in: &str, emit_file: &str, fns: &[&str]) -> LintConfig {
+        LintConfig {
+            trace_enums: vec![TraceEnumCfg {
+                enum_name: enum_name.to_string(),
+                defined_in: defined_in.to_string(),
+                emit_file: emit_file.to_string(),
+                emit_fns: fns.iter().map(|s| s.to_string()).collect(),
+            }],
+            ..LintConfig::default()
+        }
+    }
+
+    #[test]
+    fn complete_coverage_passes() {
+        let lib = "pub enum Cause { A, B }\n\
+                   impl Cause {\n\
+                       pub fn name(&self) -> &str { match self { Cause::A => \"a\", Cause::B => \"b\" } }\n\
+                   }";
+        let cfg = cfg_one("Cause", "lib.rs", "lib.rs", &["name"]);
+        let found = check_sources(&[("lib.rs".to_string(), lib.to_string())], &cfg);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn missing_arm_in_one_fn_is_flagged() {
+        let lib = "pub enum Cause { A, B }\n\
+                   impl Cause {\n\
+                       pub fn name(&self) -> &str { match self { Self::A => \"a\", Self::B => \"b\" } }\n\
+                       pub fn from_name(s: &str) -> Option<Self> {\n\
+                           [Cause::A].iter().find(|c| c.name() == s).copied()\n\
+                       }\n\
+                   }";
+        let cfg = cfg_one("Cause", "lib.rs", "lib.rs", &["name", "from_name"]);
+        let found = check_sources(&[("lib.rs".to_string(), lib.to_string())], &cfg);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "trace-exhaustiveness");
+        assert!(found[0].text.contains("Cause::B"));
+        assert!(found[0].text.contains("from_name"));
+        assert_eq!(found[0].line, 1); // anchored at the variant definition
+    }
+
+    #[test]
+    fn cross_file_adapter_checked() {
+        let queue = "pub enum DropReason { Cap, Red }";
+        let trace = "fn dropped(r: DropReason) -> Cause {\n\
+                         match r { DropReason::Cap => Cause::A, DropReason::Red => Cause::B }\n\
+                     }";
+        let cfg = cfg_one("DropReason", "queue.rs", "trace.rs", &["dropped"]);
+        let found = check_sources(
+            &[
+                ("queue.rs".to_string(), queue.to_string()),
+                ("trace.rs".to_string(), trace.to_string()),
+            ],
+            &cfg,
+        );
+        assert!(found.is_empty(), "{found:?}");
+        // Drop an arm: the variant surfaces at its definition site.
+        let trace_missing =
+            "fn dropped(r: DropReason) -> Cause { match r { DropReason::Cap => Cause::A, _ => Cause::B } }";
+        let found = check_sources(
+            &[
+                ("queue.rs".to_string(), queue.to_string()),
+                ("trace.rs".to_string(), trace_missing.to_string()),
+            ],
+            &cfg,
+        );
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].file, "queue.rs");
+        assert!(found[0].text.contains("DropReason::Red"));
+    }
+
+    #[test]
+    fn const_roster_counts_as_emit() {
+        let lib = "pub enum Kind { X, Y }\n\
+                   impl Kind { pub const ALL: [Kind; 2] = [Kind::X, Kind::Y]; }";
+        let cfg = cfg_one("Kind", "lib.rs", "lib.rs", &["ALL"]);
+        assert!(check_sources(&[("lib.rs".to_string(), lib.to_string())], &cfg).is_empty());
+    }
+
+    #[test]
+    fn missing_fn_is_itself_a_finding() {
+        let lib = "pub enum Cause { A }";
+        let cfg = cfg_one("Cause", "lib.rs", "lib.rs", &["name"]);
+        let found = check_sources(&[("lib.rs".to_string(), lib.to_string())], &cfg);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].text.contains("`name` not found"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Unit-discipline rules: `float-time`, `raw-cast`, `unit-mixing`,
+//! `raw-header-size`.
+//!
+//! Improvements over the token pass, beyond span fidelity:
+//!
+//! * `float-time` no longer flags the *definitions* of the conversion fns
+//!   (an item's own name is not a use), only calls.
+//! * `raw-cast` runs only inside fn bodies and const initializers, and its
+//!   backward operand walk skips `[…]` index groups — an index variable
+//!   named `byte_pos` is not the quantity being cast.
+//! * `unit-mixing` runs per expression segment *inside bodies only*, so
+//!   `+` in trait bounds or where clauses can no longer combine with field
+//!   names into a phantom finding.
+//! * `raw-header-size` ignores attribute token trees (`#[repr(align(…))]`
+//!   and friends), while still applying to `#[cfg(test)]` code.
+
+use crate::tokenize::{Kind, Tok};
+
+use super::{Cand, FileCtx, WHY_FLOAT_TIME, WHY_HEADER_SIZE, WHY_MIXING, WHY_RAW_CAST};
+
+const FLOAT_TIME_FNS: &[&str] = &[
+    "as_secs_f64",
+    "as_micros_f64",
+    "as_millis_f64",
+    "from_secs_f64",
+];
+
+const WIRE_FAMILY: &[&str] = &["DATA_WIRE", "DATA_HEADER_WIRE", "CTRL_WIRE", "WireBytes"];
+const PAYLOAD_FAMILY: &[&str] = &["MTU_PAYLOAD", "Bytes", "payload"];
+
+pub fn candidates(ctx: &FileCtx, out: &mut Vec<Cand>) {
+    float_time(ctx, out);
+    raw_cast(ctx, out);
+    unit_mixing(ctx, out);
+    raw_header_size(ctx, out);
+}
+
+fn float_time(ctx: &FileCtx, out: &mut Vec<Cand>) {
+    if ctx.float_home {
+        return;
+    }
+    for m in &ctx.methods {
+        if FLOAT_TIME_FNS.contains(&m.name.as_str()) && !ctx.exempt[m.tok] {
+            out.push(Cand {
+                tok: m.tok,
+                rule: "float-time",
+                why: WHY_FLOAT_TIME,
+            });
+        }
+    }
+    for p in &ctx.paths {
+        let t = p.last_tok();
+        if p.is_call && FLOAT_TIME_FNS.contains(&p.last()) && !ctx.exempt[t] && !ctx.def_name[t] {
+            out.push(Cand {
+                tok: t,
+                rule: "float-time",
+                why: WHY_FLOAT_TIME,
+            });
+        }
+    }
+}
+
+fn raw_cast(ctx: &FileCtx, out: &mut Vec<Cand>) {
+    if ctx.unit_home {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind != Kind::Ident
+            || t.text != "as"
+            || !ctx.in_body[i]
+            || ctx.exempt[i]
+            || ctx.in_attr[i]
+        {
+            continue;
+        }
+        let next_is_numeric = ctx
+            .toks
+            .get(i + 1)
+            .is_some_and(|n| n.kind == Kind::Ident && is_numeric_type(&n.text));
+        if next_is_numeric && cast_source_is_quantity(ctx.toks, i) {
+            out.push(Cand {
+                tok: i,
+                rule: "raw-cast",
+                why: WHY_RAW_CAST,
+            });
+        }
+    }
+}
+
+fn is_numeric_type(name: &str) -> bool {
+    matches!(
+        name,
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+            | "f32"
+            | "f64"
+    )
+}
+
+/// Byte-ish or time-ish identifier: the cast's source carries a unit.
+fn is_quantity_ident(name: &str) -> bool {
+    let l = name.to_ascii_lowercase();
+    l == "size"
+        || ["byte", "wire", "payload", "mtu"]
+            .iter()
+            .any(|n| l.contains(n))
+        || ["nanos", "micros", "millis", "secs"]
+            .iter()
+            .any(|n| l.contains(n))
+}
+
+/// Walks backwards from the `as` keyword over the cast's source expression
+/// (a primary expression: idents, field/method chains, call groups) and
+/// reports whether any identifier in it names a byte/time quantity. `[…]`
+/// index groups are stepped over without inspection: the index expression
+/// is not the value being cast.
+fn cast_source_is_quantity(toks: &[Tok], as_idx: usize) -> bool {
+    let mut depth = 0u32;
+    let mut j = as_idx;
+    for _ in 0..64 {
+        if j == 0 {
+            return false;
+        }
+        j -= 1;
+        let t = &toks[j];
+        match t.kind {
+            Kind::Punct => match t.text.as_str() {
+                "]" => {
+                    // Skip the whole subscript group.
+                    let mut d = 1u32;
+                    while j > 0 && d > 0 {
+                        j -= 1;
+                        match toks[j].text.as_str() {
+                            "]" => d += 1,
+                            "[" => d -= 1,
+                            _ => {}
+                        }
+                    }
+                    if d > 0 {
+                        return false;
+                    }
+                }
+                ")" => depth += 1,
+                "(" => {
+                    if depth == 0 {
+                        return false;
+                    }
+                    depth -= 1;
+                }
+                "." | "::" => {}
+                // Operators and delimiters end the operand — but only at
+                // depth 0; inside a parenthesized group they are part of it.
+                _ if depth > 0 => {}
+                _ => return false,
+            },
+            Kind::Ident => {
+                let name = t.text.as_str();
+                if depth == 0
+                    && matches!(
+                        name,
+                        "as" | "return" | "let" | "if" | "else" | "match" | "in"
+                    )
+                {
+                    return false;
+                }
+                if is_quantity_ident(name) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Flags comma/semicolon/brace-delimited expression segments that name both
+/// byte families *and* apply arithmetic — the signature of an unchecked
+/// domain crossing. Runs per body range, so type-level `+` never counts.
+fn unit_mixing(ctx: &FileCtx, out: &mut Vec<Cand>) {
+    if ctx.unit_home {
+        return;
+    }
+    for &(bs, be, in_test) in &ctx.bodies {
+        if in_test {
+            continue;
+        }
+        let mut seg_start = bs;
+        for i in bs..=be {
+            let boundary = i == be
+                || (ctx.toks[i].kind == Kind::Punct
+                    && matches!(ctx.toks[i].text.as_str(), ";" | "{" | "}" | ","));
+            if !boundary {
+                continue;
+            }
+            let seg = seg_start..i;
+            seg_start = i + 1;
+            if seg.is_empty() {
+                continue;
+            }
+            let has = |fam: &[&str]| {
+                seg.clone().any(|k| {
+                    ctx.toks[k].kind == Kind::Ident && fam.contains(&ctx.toks[k].text.as_str())
+                })
+            };
+            let arith = seg.clone().find(|&k| {
+                ctx.toks[k].kind == Kind::Punct
+                    && matches!(
+                        ctx.toks[k].text.as_str(),
+                        "+" | "-" | "*" | "/" | "+=" | "-=" | "*=" | "/="
+                    )
+            });
+            if let Some(op) = arith {
+                if has(WIRE_FAMILY) && has(PAYLOAD_FAMILY) {
+                    out.push(Cand {
+                        tok: op,
+                        rule: "unit-mixing",
+                        why: WHY_MIXING,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Any spelling of the blessed wire sizes 78 / 84 / 1538 outside the unit
+/// homes — including in `#[cfg(test)]` code, but not inside attributes.
+fn raw_header_size(ctx: &FileCtx, out: &mut Vec<Cand>) {
+    if ctx.unit_home {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind == Kind::Num && !ctx.in_attr[i] && is_header_size_literal(&t.text) {
+            out.push(Cand {
+                tok: i,
+                rule: "raw-header-size",
+                why: WHY_HEADER_SIZE,
+            });
+        }
+    }
+}
+
+/// True for any spelling of 78 / 84 / 1538: digit-separated (`1_538`),
+/// suffixed (`1538u64`), or float (`1538.0`). Radix-prefixed literals
+/// (`0x84`) are bit patterns, not byte counts, and are left alone; so is
+/// `1460` (`MTU_PAYLOAD`), which legitimately appears in workload tables.
+fn is_header_size_literal(text: &str) -> bool {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
+        return false;
+    }
+    let digits_end = t
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .unwrap_or(t.len());
+    let num = t[..digits_end]
+        .strip_suffix(".0")
+        .unwrap_or(&t[..digits_end]);
+    matches!(num, "78" | "84" | "1538")
+}

@@ -8,8 +8,13 @@
 //! * line comments, doc comments, and **nested** block comments;
 //! * string literals with escapes, byte strings, and raw strings with an
 //!   arbitrary number of `#` guards (`r"…"`, `r##"…"##`, `br#"…"#`);
-//! * char literals vs. lifetimes (`'a'` is a literal, `'a` is not);
-//! * raw identifiers (`r#type`).
+//! * char literals vs. lifetimes (`'a'` is a literal, `'a` is not), and
+//!   byte-char literals (`b'x'`), which are always literals;
+//! * raw identifiers (`r#type`);
+//! * a shebang line (`#!/usr/bin/env …`), which is not Rust tokens at all.
+//!
+//! Byte strings and byte chars are lexed in one pass with the token anchored
+//! at the `b` prefix, so diagnostics point at the start of the literal.
 //!
 //! Comments are returned separately (with their line spans) so the lint can
 //! honour `lint:allow(...)` directives without them ever shadowing code.
@@ -112,6 +117,59 @@ fn is_ident_continue(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
+/// Consumes a `"…"` string body (opening quote at `peek(0)`), honouring
+/// escapes, and returns the contents without the quotes.
+fn lex_str_body(cur: &mut Cursor) -> String {
+    cur.bump(); // opening `"`
+    let mut text = String::new();
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\\' {
+            text.push(ch);
+            cur.bump();
+            if let Some(esc) = cur.peek(0) {
+                text.push(esc);
+                cur.bump();
+            }
+            continue;
+        }
+        cur.bump();
+        if ch == '"' {
+            break;
+        }
+        text.push(ch);
+    }
+    text
+}
+
+/// Consumes a `'…'` char body (opening quote at `peek(0)`) and returns the
+/// contents without the quotes. The caller has already decided this is a
+/// char literal, not a lifetime.
+fn lex_char_body(cur: &mut Cursor) -> String {
+    cur.bump(); // opening `'`
+    let mut text = String::new();
+    if cur.peek(0) == Some('\\') {
+        text.push(cur.bump().unwrap_or('\\'));
+        if let Some(esc) = cur.peek(0) {
+            text.push(esc);
+            cur.bump();
+        }
+        while let Some(ch) = cur.peek(0) {
+            cur.bump();
+            if ch == '\'' {
+                break;
+            }
+            text.push(ch);
+        }
+    } else if let Some(ch) = cur.peek(0) {
+        text.push(ch);
+        cur.bump();
+        if cur.peek(0) == Some('\'') {
+            cur.bump();
+        }
+    }
+    text
+}
+
 /// Scans `src` into tokens and comments.
 pub fn scan(src: &str) -> Scan {
     let mut cur = Cursor {
@@ -121,6 +179,25 @@ pub fn scan(src: &str) -> Scan {
         col: 1,
     };
     let mut out = Scan::default();
+
+    // Shebang line: `#!…` at the very start of the file, unless it is the
+    // inner attribute `#![…]`. Without this it would lex as garbage
+    // punctuation and stray identifiers.
+    if cur.peek(0) == Some('#') && cur.peek(1) == Some('!') && cur.peek(2) != Some('[') {
+        let mut text = String::new();
+        while let Some(ch) = cur.peek(0) {
+            if ch == '\n' {
+                break;
+            }
+            text.push(ch);
+            cur.bump();
+        }
+        out.comments.push(Comment {
+            text,
+            start_line: 1,
+            end_line: 1,
+        });
+    }
 
     while let Some(c) = cur.peek(0) {
         let (line, col) = (cur.line, cur.col);
@@ -230,33 +307,39 @@ pub fn scan(src: &str) -> Scan {
                     continue;
                 }
             }
-            // Byte string / byte char fall through via the `b` prefix.
-            if c == 'b' && matches!(cur.peek(1), Some('"') | Some('\'')) {
-                cur.bump(); // the `b`; the quote is handled below
+            // Byte string / byte char: lex in one pass, anchored at the `b`.
+            // (These used to fall through to the plain-string branch after
+            // bumping the `b`, which anchored the token at the quote — one
+            // column off — and an unterminated check could re-enter here.)
+            if c == 'b' && cur.peek(1) == Some('"') {
+                cur.bump(); // the `b`
+                let text = lex_str_body(&mut cur);
+                out.tokens.push(Tok {
+                    text,
+                    kind: Kind::Str,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if c == 'b' && cur.peek(1) == Some('\'') {
+                cur.bump(); // the `b`
+                            // A byte literal is always a char literal, never a lifetime
+                            // (`b'r'` must not lex as ident `br` + lifetime).
+                let text = lex_char_body(&mut cur);
+                out.tokens.push(Tok {
+                    text,
+                    kind: Kind::Char,
+                    line,
+                    col,
+                });
                 continue;
             }
         }
 
         // String literal with escapes.
         if c == '"' {
-            cur.bump();
-            let mut text = String::new();
-            while let Some(ch) = cur.peek(0) {
-                if ch == '\\' {
-                    text.push(ch);
-                    cur.bump();
-                    if let Some(esc) = cur.peek(0) {
-                        text.push(esc);
-                        cur.bump();
-                    }
-                    continue;
-                }
-                cur.bump();
-                if ch == '"' {
-                    break;
-                }
-                text.push(ch);
-            }
+            let text = lex_str_body(&mut cur);
             out.tokens.push(Tok {
                 text,
                 kind: Kind::Str,
@@ -266,58 +349,35 @@ pub fn scan(src: &str) -> Scan {
             continue;
         }
 
-        // Char literal vs. lifetime.
+        // Char literal vs. lifetime: `'a'` (or an escape `'\n'`) is a char,
+        // `'a` with no closing quote is a lifetime or loop label.
         if c == '\'' {
-            cur.bump();
-            match cur.peek(0) {
-                Some('\\') => {
-                    // Escaped char literal: scan to the closing quote.
-                    let mut text = String::new();
-                    text.push(cur.bump().unwrap());
-                    if let Some(esc) = cur.peek(0) {
-                        text.push(esc);
-                        cur.bump();
+            let is_char = cur.peek(1) == Some('\\')
+                || (cur.peek(2) == Some('\'') && cur.peek(1) != Some('\''));
+            if is_char {
+                let text = lex_char_body(&mut cur);
+                out.tokens.push(Tok {
+                    text,
+                    kind: Kind::Char,
+                    line,
+                    col,
+                });
+            } else {
+                cur.bump(); // the `'`
+                let mut text = String::new();
+                while let Some(ch) = cur.peek(0) {
+                    if !is_ident_continue(ch) {
+                        break;
                     }
-                    while let Some(ch) = cur.peek(0) {
-                        cur.bump();
-                        if ch == '\'' {
-                            break;
-                        }
-                        text.push(ch);
-                    }
-                    out.tokens.push(Tok {
-                        text,
-                        kind: Kind::Char,
-                        line,
-                        col,
-                    });
+                    text.push(ch);
+                    cur.bump();
                 }
-                Some(ch) if cur.peek(1) == Some('\'') => {
-                    cur.bump_n(2);
-                    out.tokens.push(Tok {
-                        text: ch.to_string(),
-                        kind: Kind::Char,
-                        line,
-                        col,
-                    });
-                }
-                _ => {
-                    // Lifetime: `'a`, `'static`, or a bare `'` (label use).
-                    let mut text = String::new();
-                    while let Some(ch) = cur.peek(0) {
-                        if !is_ident_continue(ch) {
-                            break;
-                        }
-                        text.push(ch);
-                        cur.bump();
-                    }
-                    out.tokens.push(Tok {
-                        text,
-                        kind: Kind::Lifetime,
-                        line,
-                        col,
-                    });
-                }
+                out.tokens.push(Tok {
+                    text,
+                    kind: Kind::Lifetime,
+                    line,
+                    col,
+                });
             }
             continue;
         }
@@ -481,5 +541,75 @@ mod tests {
     fn numbers_lex_loosely_but_ranges_split() {
         assert_eq!(texts("0..n"), ["0", "..", "n"]);
         assert_eq!(texts("1.5e3 0xFF 1_000u64"), ["1.5e3", "0xFF", "1_000u64"]);
+    }
+
+    // --- byte strings / byte chars (regression: these used to be re-lexed
+    // after dropping the `b`, anchoring the token one column late) ---
+
+    #[test]
+    fn byte_string_is_one_token_anchored_at_the_b() {
+        let s = scan(r#"let x = b"HashMap";"#);
+        let strs: Vec<_> = s.tokens.iter().filter(|t| t.kind == Kind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "HashMap");
+        // Column of the `b`, not of the quote.
+        assert_eq!((strs[0].line, strs[0].col), (1, 9));
+        // No stray `b` identifier token survives.
+        assert!(!s
+            .tokens
+            .iter()
+            .any(|t| t.kind == Kind::Ident && t.text == "b"));
+    }
+
+    #[test]
+    fn byte_string_escapes_and_termination() {
+        let s = scan(r#"b"a\"b" y"#);
+        let strs: Vec<_> = s.tokens.iter().filter(|t| t.kind == Kind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "a\\\"b");
+        assert!(s.tokens.iter().any(|t| t.text == "y"));
+    }
+
+    #[test]
+    fn byte_char_is_a_char_literal_not_a_lifetime() {
+        // `b'r'` is the worst case: without byte-char handling it lexes as
+        // ident `b` + lifetime-ish `'r'`.
+        let s = scan("let x = b'r'; let y = b'\\n';");
+        let chars: Vec<_> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Char)
+            .map(|t| (t.text.clone(), t.col))
+            .collect();
+        assert_eq!(chars, [("r".to_string(), 9), ("\\n".to_string(), 23)]);
+        assert!(!s.tokens.iter().any(|t| t.kind == Kind::Lifetime));
+    }
+
+    #[test]
+    fn raw_byte_string_anchored_at_the_b() {
+        let s = scan(r##"let x = br#"Instant"#;"##);
+        let strs: Vec<_> = s.tokens.iter().filter(|t| t.kind == Kind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "Instant");
+        assert_eq!((strs[0].line, strs[0].col), (1, 9));
+    }
+
+    // --- shebang (regression: lexed as `#`, `!`, and path garbage) ---
+
+    #[test]
+    fn shebang_line_is_skipped() {
+        let s = scan("#!/usr/bin/env run-cargo-script\nfn main() {}");
+        assert_eq!(s.tokens[0].text, "fn");
+        assert_eq!(s.tokens[0].line, 2);
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.starts_with("#!/usr"));
+    }
+
+    #[test]
+    fn inner_attribute_is_not_a_shebang() {
+        let s = scan("#![allow(dead_code)]\nfn main() {}");
+        assert_eq!(s.tokens[0].text, "#");
+        assert_eq!(s.tokens[1].text, "!");
+        assert_eq!(s.tokens[2].text, "[");
     }
 }

@@ -1,0 +1,171 @@
+//! UI-test harness for the lint rules.
+//!
+//! Each `tests/lint_fixtures/<name>.rs` file is linted as if it lived at
+//! the path declared by its `//@ file:` directive (default: a simnet
+//! source file, so all rules apply), and the findings are compared
+//! against the `<name>.expected` sidecar: one `line:col rule` per line,
+//! sorted. An empty sidecar asserts the fixture is clean — that's how the
+//! false-positive regressions are pinned.
+//!
+//! Fixtures with a `//@ trace:` directive instead exercise the cross-file
+//! trace-exhaustiveness check: the directive names the enum, its defining
+//! fixture path, the emitting fixture path, and the emit fns; *all*
+//! fixture files are offered as sources under their declared paths.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::config::{LintConfig, TraceEnumCfg};
+use xtask::lint;
+use xtask::rules::trace_ex;
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_fixtures")
+}
+
+struct Fixture {
+    name: String,
+    src: String,
+    /// Path the fixture pretends to live at.
+    file: String,
+    /// `(enum, defined-in, emit-file, emit-fns)` for trace fixtures.
+    trace: Option<(String, String, String, Vec<String>)>,
+    expected: Vec<String>,
+}
+
+fn load_fixtures() -> Vec<Fixture> {
+    let dir = fixture_dir();
+    let mut out = Vec::new();
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("fixture dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_stem()
+            .expect("stem")
+            .to_string_lossy()
+            .into_owned();
+        let src = fs::read_to_string(&path).expect("read fixture");
+        let mut file = "crates/simnet/src/fixture.rs".to_string();
+        let mut trace = None;
+        for line in src.lines() {
+            let Some(d) = line.strip_prefix("//@ ") else {
+                continue;
+            };
+            if let Some(v) = d.strip_prefix("file:") {
+                file = v.trim().to_string();
+            } else if let Some(v) = d.strip_prefix("trace:") {
+                let parts: Vec<&str> = v.split_whitespace().collect();
+                assert_eq!(parts.len(), 4, "{name}: //@ trace: ENUM DEF EMIT FN[,FN]");
+                trace = Some((
+                    parts[0].to_string(),
+                    parts[1].to_string(),
+                    parts[2].to_string(),
+                    parts[3].split(',').map(str::to_string).collect(),
+                ));
+            } else {
+                panic!("{name}: unknown directive `{line}`");
+            }
+        }
+        let sidecar = path.with_extension("expected");
+        let expected = fs::read_to_string(&sidecar)
+            .unwrap_or_else(|_| panic!("{name}: missing sidecar {}", sidecar.display()))
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        out.push(Fixture {
+            name,
+            src,
+            file,
+            trace,
+            expected,
+        });
+    }
+    out
+}
+
+fn format_findings(findings: &[lint::Finding]) -> Vec<String> {
+    let mut got: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{}:{} {}", f.line, f.col, f.rule))
+        .collect();
+    got.sort();
+    got
+}
+
+#[test]
+fn fixtures_cover_every_rule() {
+    let fixtures = load_fixtures();
+    assert!(
+        fixtures.len() >= 12,
+        "expected a corpus, found {}",
+        fixtures.len()
+    );
+    // Every rule must be exercised by at least one expected finding.
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &fixtures {
+        for line in &f.expected {
+            let rule = line.split_whitespace().nth(1).expect("line:col rule");
+            if let Some((name, _)) = lint::RULES.iter().find(|(n, _)| *n == rule) {
+                *by_rule.entry(name).or_insert(0) += 1;
+            } else {
+                panic!("{}: unknown rule `{rule}` in sidecar", f.name);
+            }
+        }
+    }
+    let missing: Vec<&str> = lint::RULES
+        .iter()
+        .map(|(n, _)| *n)
+        .filter(|n| !by_rule.contains_key(n))
+        .collect();
+    assert!(missing.is_empty(), "rules without fixtures: {missing:?}");
+    // And at least one clean fixture per corpus (the FP regressions).
+    assert!(
+        fixtures.iter().any(|f| f.expected.is_empty()),
+        "no false-positive regression fixtures"
+    );
+}
+
+#[test]
+fn fixtures_match_expected_diagnostics() {
+    let fixtures = load_fixtures();
+    let sources: Vec<(String, String)> = fixtures
+        .iter()
+        .map(|f| (f.file.clone(), f.src.clone()))
+        .collect();
+    let mut failures = Vec::new();
+    for f in &fixtures {
+        let got = if let Some((en, def, emit, fns)) = &f.trace {
+            let mut cfg = LintConfig {
+                trace_enums: vec![TraceEnumCfg {
+                    enum_name: en.clone(),
+                    defined_in: def.clone(),
+                    emit_file: emit.clone(),
+                    emit_fns: fns.clone(),
+                }],
+                ..LintConfig::default()
+            };
+            cfg.rule_enabled.clear();
+            format_findings(&trace_ex::check_sources(&sources, &cfg))
+        } else {
+            format_findings(&lint::lint_source(&f.file, &f.src))
+        };
+        let mut want = f.expected.clone();
+        want.sort();
+        if got != want {
+            failures.push(format!(
+                "{}: expected\n  {}\ngot\n  {}",
+                f.name,
+                want.join("\n  "),
+                got.join("\n  ")
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n\n"));
+}

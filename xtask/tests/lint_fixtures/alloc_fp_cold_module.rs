@@ -1,0 +1,10 @@
+//@ file: crates/simnet/src/topology.rs
+// FP regression: the same allocation-heavy code outside a hot module is
+// not a datapath finding (topology construction runs once at setup).
+fn build(n: usize) -> Vec<Vec<u32>> {
+    let mut adj = Vec::with_capacity(n);
+    for _ in 0..n {
+        adj.push(Vec::new());
+    }
+    adj
+}

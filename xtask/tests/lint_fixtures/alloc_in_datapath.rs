@@ -1,0 +1,16 @@
+//@ file: crates/simnet/src/queue.rs
+struct Spec { name: String }
+#[derive(Clone, Copy)]
+struct Stamp(u64);
+struct Q { t: Stamp, spec: Spec, buf: Vec<u8> }
+impl Q {
+    fn new() -> Self { Q { t: Stamp(0), spec: Spec { name: String::new() }, buf: Vec::with_capacity(64) } }
+    fn tick(&mut self) {
+        let v = Vec::new();
+        let label = format!("q{}", 1);
+        self.buf = vec![0u8; 4];
+        let _ = self.spec.clone();
+        let _ = self.t.clone();
+        let _ = (v, label);
+    }
+}

@@ -1,0 +1,9 @@
+//@ file: crates/core/src/fixture.rs
+fn f() -> u32 {
+    let mut r = rand::thread_rng();
+    rand::random()
+}
+// FP regression: a local fn named `random` is neither a definition-site
+// finding nor a call-site one (only `rand::random` is ambient).
+fn random() -> u32 { 4 }
+fn g() -> u32 { random() }

@@ -1,0 +1,9 @@
+//@ file: crates/transport/src/fixture.rs
+fn f(d: TimeDelta) -> f64 {
+    d.as_secs_f64() * 2.0
+}
+// FP regression: *defining* a conversion helper is not a use of float
+// time (the token pass flagged the fn's own name).
+fn as_secs_f64(x: Seconds) -> f64 {
+    x.to_f64()
+}

@@ -1,0 +1,5 @@
+//@ file: crates/simnet/src/fixture.rs
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> HashSet<u8> {
+    HashSet::new()
+}

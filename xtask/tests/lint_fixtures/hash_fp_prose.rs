@@ -1,0 +1,11 @@
+//@ file: crates/simnet/src/fixture.rs
+// FP regression (hash-collections, wall-clock): prose in comments and
+// string literals must never produce findings.
+/// Unlike a HashMap, iteration order here is stable.
+fn f() -> &'static str {
+    "uses a HashMap and Instant::now()"
+}
+/* HashMap inside /* a nested */ block comment */
+fn g() -> &'static str {
+    r#"panic!("HashMap")"#
+}

@@ -1,0 +1,14 @@
+//@ file: crates/simnet/src/fixture.rs
+fn f(x: u8, o: Option<u8>) -> u8 {
+    if x > 3 {
+        panic!("bad");
+    }
+    o.unwrap()
+}
+// FP regression: a *definition* of a fn named `unwrap` (an infallible
+// accessor) is not a panicking call.
+impl Slot {
+    fn unwrap(self) -> Packet {
+        self.p
+    }
+}

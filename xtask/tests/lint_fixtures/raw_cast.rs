@@ -1,0 +1,9 @@
+//@ file: crates/simnet/src/fixture.rs
+fn f(wire_bytes: u64) -> f64 {
+    wire_bytes as f64
+}
+// FP regression: the subscript names a byte quantity but the value being
+// cast is the (dimensionless) element — `[...]` is skipped uninspected.
+fn g(slots: &[u32], byte_pos: usize) -> u64 {
+    slots[byte_pos % 4] as u64
+}

@@ -1,0 +1,13 @@
+//@ file: crates/simnet/src/fixture.rs
+fn f() -> u64 { 1_538 }
+fn g(w: u64) -> u64 { w - 78 }
+#[cfg(test)]
+mod tests {
+    fn helper(wire: u64) -> u64 { wire - 84 }
+}
+// FP regressions: attribute literals are not code; hex is a bit pattern;
+// 1460 (MTU_PAYLOAD) appears legitimately in workload size tables.
+#[repr(align(84))]
+struct Aligned(u8);
+fn h() -> u64 { 0x84 }
+fn k() -> u64 { 1460 }

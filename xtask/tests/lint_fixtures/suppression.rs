@@ -1,0 +1,5 @@
+//@ file: crates/simnet/src/fixture.rs
+fn f(d: TimeDelta) -> f64 { d.as_secs_f64() } // lint:allow(float-time)
+// lint:allow(wall-clock): profiling aid
+fn g() { let _ = std::time::Instant::now(); }
+fn h() { let _ = std::time::Instant::now(); }

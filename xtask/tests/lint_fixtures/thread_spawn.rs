@@ -1,0 +1,6 @@
+//@ file: crates/simcore/src/fixture.rs
+use std::{thread, time::Instant};
+fn f() {
+    thread::spawn(|| {});
+    mymod::thread::helper();
+}

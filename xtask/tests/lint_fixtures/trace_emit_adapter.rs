@@ -1,0 +1,7 @@
+//@ file: fixtures/trace.rs
+fn dropped(r: DropReason) -> Cause {
+    match r {
+        DropReason::Cap => Cause::A,
+        _ => Cause::B,
+    }
+}

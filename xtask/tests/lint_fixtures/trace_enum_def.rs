@@ -1,0 +1,6 @@
+//@ file: fixtures/queue.rs
+//@ trace: DropReason fixtures/queue.rs fixtures/trace.rs dropped
+pub enum DropReason {
+    Cap,
+    Red,
+}

@@ -1,0 +1,9 @@
+//@ file: crates/transport/src/fixture.rs
+fn f(payload: u64) -> u64 {
+    DATA_WIRE.get() + payload
+}
+// FP regression: `+` in a trait bound is not arithmetic, even with both
+// unit families named in the same signature.
+fn g<T: Into<WireBytes> + From<Bytes>>(x: T) -> T {
+    x
+}

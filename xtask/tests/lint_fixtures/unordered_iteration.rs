@@ -1,0 +1,23 @@
+//@ file: crates/simnet/src/fixture.rs
+struct S { slots: FxHashMap<u32, u32> }
+impl S {
+    fn go(&self) {
+        for x in &self.slots {
+            drop(x);
+        }
+    }
+}
+fn f(m: IndexlessMap, v: Vec<u32>, n: usize) {
+    for k in m.keys() {
+        drop(k);
+    }
+    for y in &v {
+        drop(y);
+    }
+    for i in 0..n {
+        drop(i);
+    }
+    for z in helper() {
+        drop(z);
+    }
+}

@@ -1,0 +1,8 @@
+//@ file: crates/simcore/src/fixture.rs
+fn f() -> Instant {
+    std::time::Instant::now()
+}
+#[cfg(test)]
+mod tests {
+    fn t() -> std::time::Instant { std::time::Instant::now() }
+}
