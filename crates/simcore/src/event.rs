@@ -58,7 +58,11 @@ fn dead_filter<'a, E>(
     free: &'a mut Vec<u32>,
 ) -> impl FnMut(&Scheduled<E>) -> bool + 'a {
     move |e| match e.timer {
-        Some(h) if gens[h.slot as usize] != h.generation => {
+        Some(h)
+            if gens
+                .get(h.slot as usize)
+                .is_some_and(|&g| g != h.generation) =>
+        {
             free.push(h.slot);
             true
         }
@@ -244,10 +248,11 @@ impl<E> EventQueue<E> {
                 s
             }
         };
-        let handle = TimerHandle {
-            slot,
-            generation: self.timer_gens[slot as usize],
-        };
+        let generation = *self
+            .timer_gens
+            .get(slot as usize)
+            .expect("slab slot just allocated");
+        let handle = TimerHandle { slot, generation };
         self.schedule_entry(
             time,
             Scheduled {
@@ -284,21 +289,20 @@ impl<E> EventQueue<E> {
     /// was still live; `false` (a no-op) if it already fired or was
     /// already cancelled. O(1): the calendar entry is discarded lazily.
     pub fn cancel(&mut self, handle: TimerHandle) -> bool {
-        let i = handle.slot as usize;
-        if i < self.timer_gens.len() && self.timer_gens[i] == handle.generation {
-            self.timer_gens[i] = self.timer_gens[i].wrapping_add(1);
-            self.cancelled += 1;
-            true
-        } else {
-            false
+        match self.timer_gens.get_mut(handle.slot as usize) {
+            Some(g) if *g == handle.generation => {
+                *g = g.wrapping_add(1);
+                self.cancelled += 1;
+                true
+            }
+            _ => false,
         }
     }
 
     /// True while `handle`'s event is still scheduled (not yet fired or
     /// cancelled).
     pub fn is_pending(&self, handle: TimerHandle) -> bool {
-        let i = handle.slot as usize;
-        i < self.timer_gens.len() && self.timer_gens[i] == handle.generation
+        self.timer_gens.get(handle.slot as usize) == Some(&handle.generation)
     }
 
     /// True if the entry is a cancelled leftover; recycles its slab slot
@@ -307,11 +311,14 @@ impl<E> EventQueue<E> {
         match entry.timer {
             None => false,
             Some(h) => {
-                let i = h.slot as usize;
-                let dead = self.timer_gens[i] != h.generation;
+                let g = self
+                    .timer_gens
+                    .get_mut(h.slot as usize)
+                    .expect("slab slot valid while its handle is outstanding");
+                let dead = *g != h.generation;
                 if !dead {
                     // Delivered: invalidate outstanding handles.
-                    self.timer_gens[i] = self.timer_gens[i].wrapping_add(1);
+                    *g = g.wrapping_add(1);
                 }
                 self.free_slots.push(h.slot);
                 dead
@@ -357,7 +364,14 @@ impl<E> EventQueue<E> {
             let dead = {
                 let (time, _, entry) = self.store.peek()?;
                 match entry.timer {
-                    Some(h) if self.timer_gens[h.slot as usize] != h.generation => true,
+                    Some(h)
+                        if self
+                            .timer_gens
+                            .get(h.slot as usize)
+                            .is_some_and(|&g| g != h.generation) =>
+                    {
+                        true
+                    }
                     _ => return Some(time),
                 }
             };

@@ -258,12 +258,16 @@ impl<T> TimingWheel<T> {
         // Highest bit where the slot numbers differ picks the level: the
         // entry shares all coarser slot digits with the cursor, so it lands
         // in the cursor's current block at that level.
+        // lint:allow(panic-path): divisor is the non-zero LEVEL_BITS const.
         let lvl = ((63 - (s0 ^ self.cur_slot).leading_zeros()) / LEVEL_BITS) as usize;
         if lvl >= LEVELS {
             self.overflow.push(e);
         } else {
             let idx = ((s0 >> (LEVEL_BITS * lvl as u32)) & 63) as usize;
+            // lint:allow(panic-path): lvl < LEVELS checked above; idx is
+            // masked to < 64 = SLOTS_PER_LEVEL.
             self.occ[lvl] |= 1u64 << idx;
+            // lint:allow(panic-path): same bounds as the occ update.
             self.slots[lvl * SLOTS_PER_LEVEL + idx].push(e);
         }
     }
@@ -290,9 +294,14 @@ impl<T> TimingWheel<T> {
             }
             // Next occupied level-0 slot in the cursor's block: promote it.
             let rel0 = (self.cur_slot & 63) as u32;
+            // lint:allow(panic-path): occ is [u64; LEVELS] with LEVELS > 0;
+            // index 0 is a constant within bounds.
             if let Some(idx) = Self::next_occupied(self.occ[0], rel0) {
                 self.cur_slot = (self.cur_slot & !63) + u64::from(idx);
+                // lint:allow(panic-path): constant index 0 < LEVELS.
                 self.occ[0] &= !(1u64 << idx);
+                // lint:allow(panic-path): idx is a bit position in a u64
+                // mask, so < 64 = SLOTS_PER_LEVEL.
                 let mut bucket = std::mem::take(&mut self.slots[idx as usize]);
                 let before = bucket.len();
                 bucket.retain(|e| !dead(&e.payload));
@@ -313,12 +322,17 @@ impl<T> TimingWheel<T> {
                 let shift = LEVEL_BITS * lvl as u32;
                 let cursor_l = self.cur_slot >> shift;
                 let rel = (cursor_l & 63) as u32;
+                // lint:allow(panic-path): lvl ranges over 1..LEVELS, within
+                // the [u64; LEVELS] occupancy array.
                 if let Some(idx) = Self::next_occupied(self.occ[lvl], rel) {
+                    // lint:allow(panic-path): lvl < LEVELS as above.
                     self.occ[lvl] &= !(1u64 << idx);
                     let slot_l = (cursor_l & !63) + u64::from(idx);
                     // Jump to the start of the cascaded slot: its entries
                     // re-place into strictly finer levels (or `cur`).
                     self.cur_slot = slot_l << shift;
+                    // lint:allow(panic-path): lvl < LEVELS and idx < 64 (a
+                    // u64 bit position), so the flat slot index is in range.
                     let bucket =
                         std::mem::take(&mut self.slots[lvl * SLOTS_PER_LEVEL + idx as usize]);
                     for e in bucket {

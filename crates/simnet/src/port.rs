@@ -165,6 +165,40 @@ struct Level {
     fresh: bool,
 }
 
+impl Level {
+    /// Queue index under the round-robin pointer.
+    fn current(&self) -> usize {
+        *self
+            .members
+            .get(self.pos)
+            .expect("pos stays within members")
+    }
+
+    /// Rotates the pointer to the next member and marks it fresh.
+    fn advance(&mut self) {
+        self.pos += 1;
+        if self.pos >= self.members.len() {
+            self.pos = 0;
+        }
+        self.fresh = true;
+    }
+}
+
+/// One queue of a port together with all of its scheduler state. Keeping
+/// the pieces in a single struct (instead of parallel `Vec`s indexed by
+/// queue id) means one bounds check per service decision and no way for
+/// the arrays to fall out of sync.
+#[derive(Debug)]
+struct QState {
+    queue: PacketQueue,
+    sched: QueueSched,
+    shaper: Option<Shaper>,
+    /// DWRR deficit counter, in wire bytes.
+    deficit: f64,
+    /// DWRR per-visit quantum, in wire bytes.
+    quantum: f64,
+}
+
 /// Per-port transmit counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PortCounters {
@@ -184,11 +218,7 @@ pub struct Port {
     pub peer: usize,
     /// Propagation delay of the attached link.
     pub prop: TimeDelta,
-    queues: Vec<PacketQueue>,
-    scheds: Vec<QueueSched>,
-    shapers: Vec<Option<Shaper>>,
-    deficits: Vec<f64>,
-    quanta: Vec<f64>,
+    qs: Vec<QState>,
     levels: Vec<Level>,
     /// End of the in-flight serialization, if transmitting.
     pub busy_until: Option<Time>,
@@ -201,27 +231,32 @@ impl Port {
     /// Builds a port from its configuration. `peer`/`prop` are filled in by
     /// the topology wiring.
     pub fn new(cfg: &PortConfig) -> Self {
-        let nq = cfg.queues.len();
-        assert!(nq > 0, "port needs at least one queue");
-        let queues: Vec<PacketQueue> = cfg
+        assert!(!cfg.queues.is_empty(), "port needs at least one queue");
+        let mut qs: Vec<QState> = cfg
             .queues
             .iter()
-            .map(|(qc, _)| PacketQueue::new(*qc))
-            .collect();
-        let scheds: Vec<QueueSched> = cfg.queues.iter().map(|(_, s)| *s).collect();
-        let shapers: Vec<Option<Shaper>> = scheds
-            .iter()
-            .map(|s| s.shaper.map(|(r, b)| Shaper::new(r, b)))
+            .map(|&(qc, sched)| QState {
+                queue: PacketQueue::new(qc),
+                sched,
+                shaper: sched.shaper.map(|(r, b)| Shaper::new(r, b)),
+                deficit: 0.0,
+                quantum: 0.0,
+            })
             .collect();
 
         // Group queues into strict levels, ascending.
-        let mut level_ids: Vec<u8> = scheds.iter().map(|s| s.level).collect();
+        let mut level_ids: Vec<u8> = qs.iter().map(|q| q.sched.level).collect();
         level_ids.sort_unstable();
         level_ids.dedup();
         let levels: Vec<Level> = level_ids
             .iter()
             .map(|&l| Level {
-                members: (0..nq).filter(|&i| scheds[i].level == l).collect(),
+                members: qs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, q)| q.sched.level == l)
+                    .map(|(i, _)| i)
+                    .collect(),
                 pos: 0,
                 fresh: true,
             })
@@ -231,8 +266,9 @@ impl Port {
         for level in &levels {
             if level.members.len() > 1 {
                 for &i in &level.members {
+                    let q = qs.get(i).expect("level members index queues");
                     assert!(
-                        scheds[i].shaper.is_none(),
+                        q.sched.shaper.is_none(),
                         "shaped queues must be alone at their priority level"
                     );
                 }
@@ -241,15 +277,18 @@ impl Port {
 
         // DWRR quantum: proportional to weight, scaled so the largest weight
         // in a level gets one MTU per round.
-        let mut quanta = vec![0.0; nq];
         for level in &levels {
             let wmax = level
                 .members
                 .iter()
-                .map(|&i| scheds[i].weight)
+                .filter_map(|&i| qs.get(i))
+                .map(|q| q.sched.weight)
                 .fold(0.0_f64, f64::max);
             for &i in &level.members {
-                quanta[i] = (scheds[i].weight / wmax * DATA_WIRE.as_f64()).max(1.0);
+                let q = qs.get_mut(i).expect("level members index queues");
+                // lint:allow(panic-path): f64 ratio; wmax >= weight > 0
+                // (weights are asserted positive in QueueSched::weighted).
+                q.quantum = (q.sched.weight / wmax * DATA_WIRE.as_f64()).max(1.0);
             }
         }
 
@@ -257,11 +296,7 @@ impl Port {
             rate: cfg.rate,
             peer: usize::MAX,
             prop: TimeDelta::ZERO,
-            queues,
-            scheds,
-            shapers,
-            deficits: vec![0.0; nq],
-            quanta,
+            qs,
             levels,
             busy_until: None,
             pending_wake: None,
@@ -271,22 +306,26 @@ impl Port {
 
     /// Number of queues.
     pub fn num_queues(&self) -> usize {
-        self.queues.len()
+        self.qs.len()
     }
 
     /// Immutable access to a queue (metrics / admission checks).
     pub fn queue(&self, idx: usize) -> &PacketQueue {
-        &self.queues[idx]
+        &self
+            .qs
+            .get(idx)
+            .expect("queue index within num_queues")
+            .queue
     }
 
     /// Sum of bytes across all queues.
     pub fn backlog_bytes(&self) -> WireBytes {
-        self.queues.iter().map(|q| q.bytes()).sum()
+        self.qs.iter().map(|q| q.queue.bytes()).sum()
     }
 
     /// True if any queue holds packets.
     pub fn has_backlog(&self) -> bool {
-        self.queues.iter().any(|q| !q.is_empty())
+        self.qs.iter().any(|q| !q.queue.is_empty())
     }
 
     /// Transmit counters.
@@ -296,13 +335,21 @@ impl Port {
 
     /// Scheduling attributes of queue `idx`.
     pub fn sched(&self, idx: usize) -> &QueueSched {
-        &self.scheds[idx]
+        &self
+            .qs
+            .get(idx)
+            .expect("queue index within num_queues")
+            .sched
     }
 
     /// Offers `pkt` to queue `qidx` applying that queue's own policies.
     /// Shared-buffer admission must have been checked by the caller.
     pub fn enqueue(&mut self, qidx: usize, pkt: Packet) -> Result<(), DropReason> {
-        match self.queues[qidx].offer(pkt) {
+        let q = self
+            .qs
+            .get_mut(qidx)
+            .expect("queue index within num_queues");
+        match q.queue.offer(pkt) {
             Enqueue::Admitted => Ok(()),
             Enqueue::Dropped(r) => Err(r),
         }
@@ -316,89 +363,82 @@ impl Port {
     /// Runs the scheduler for one service opportunity at `now`.
     pub fn next_packet(&mut self, now: Time) -> Decision {
         let mut wake: Option<Time> = None;
-        for li in 0..self.levels.len() {
-            let members_len = self.levels[li].members.len();
-            if members_len == 1 {
-                let qi = self.levels[li].members[0];
-                if self.queues[qi].is_empty() {
-                    continue;
-                }
-                let head = self.queues[qi].head_bytes().expect("non-empty");
-                if let Some(shaper) = self.shapers[qi].as_mut() {
+        let mut chosen: Option<usize> = None;
+        for level in &mut self.levels {
+            if let &[qi] = level.members.as_slice() {
+                let q = self.qs.get_mut(qi).expect("level members index queues");
+                let Some(head) = q.queue.head_bytes() else {
+                    continue; // empty queue
+                };
+                if let Some(shaper) = q.shaper.as_mut() {
                     shaper.refill(now);
                     let need = Shaper::need(head);
-                    if shaper.tokens >= need {
-                        shaper.spend(need);
-                        return self.serve(qi);
+                    if shaper.tokens < need {
+                        let at = shaper.eligible_at(now, need);
+                        wake = Some(wake.map_or(at, |w: Time| w.min(at)));
+                        // Work conserving: fall through to lower levels.
+                        continue;
                     }
-                    let at = shaper.eligible_at(now, need);
-                    wake = Some(wake.map_or(at, |w: Time| w.min(at)));
-                    // Work conserving: fall through to lower levels.
-                    continue;
+                    shaper.spend(need);
                 }
-                return self.serve(qi);
+                chosen = Some(qi);
+                break;
             }
-            if let Some(qi) = self.dwrr_pick(li) {
-                return self.serve(qi);
+            if let Some(qi) = Self::dwrr_pick(level, &mut self.qs) {
+                chosen = Some(qi);
+                break;
             }
         }
-        match wake {
-            Some(t) => Decision::WaitUntil(t),
-            None => Decision::Idle,
+        match chosen {
+            Some(qi) => self.serve(qi),
+            None => match wake {
+                Some(t) => Decision::WaitUntil(t),
+                None => Decision::Idle,
+            },
         }
     }
 
-    /// DWRR selection among the queues of level `li`. Returns the queue to
+    /// DWRR selection among the queues of `level`. Returns the queue to
     /// serve, or `None` if the level has no backlog.
-    fn dwrr_pick(&mut self, li: usize) -> Option<usize> {
-        let n = self.levels[li].members.len();
-        if !self.levels[li]
-            .members
-            .iter()
-            .any(|&i| !self.queues[i].is_empty())
-        {
-            return None;
-        }
-        // Progress bound: one full cycle adds `quanta[i]` to every
-        // backlogged queue's deficit, so the queue whose head needs the
-        // fewest additional quanta is served within that many cycles. This
-        // is exact for any head size and weight vector (+2 cycles of slack
+    fn dwrr_pick(level: &mut Level, qs: &mut [QState]) -> Option<usize> {
+        // Progress bound: one full cycle adds `quantum` to every backlogged
+        // queue's deficit, so the queue whose head needs the fewest
+        // additional quanta is served within that many cycles. This is
+        // exact for any head size and weight vector (+2 cycles of slack
         // for the rotation in progress), unlike a `MTU / min_quantum`
         // heuristic, which under-counts whenever a head packet is large
         // relative to its own queue's quantum (e.g. a jumbo frame on a
         // tiny-weight queue) and then trips the unreachable!() below.
-        let min_rounds = self.levels[li]
+        let min_rounds = level
             .members
             .iter()
-            .filter(|&&i| !self.queues[i].is_empty())
-            .map(|&i| {
-                let head = self.queues[i].head_bytes().expect("non-empty").as_f64();
-                let need = (head - self.deficits[i]).max(0.0);
+            .filter_map(|&i| qs.get(i))
+            .filter_map(|q| {
+                let head = q.queue.head_bytes()?.as_f64();
+                let need = (head - q.deficit).max(0.0);
                 // lint:allow(raw-cast): round count, not a byte quantity
-                (need / self.quanta[i]).ceil() as usize
+                // lint:allow(panic-path): f64 ratio; quantum >= 1.0 by
+                // construction in Port::new.
+                Some((need / q.quantum).ceil() as usize)
             })
-            .min()
-            .expect("level has backlog");
-        let max_passes = n * (min_rounds + 2);
+            .min()?; // no backlog at this level
+        let max_passes = level.members.len() * (min_rounds + 2);
         for _ in 0..=max_passes {
-            let level = &mut self.levels[li];
-            let qi = level.members[level.pos];
-            if self.queues[qi].is_empty() {
-                self.deficits[qi] = 0.0;
-                level.pos = (level.pos + 1) % n;
-                level.fresh = true;
+            let qi = level.current();
+            let q = qs.get_mut(qi).expect("level members index queues");
+            let Some(head) = q.queue.head_bytes() else {
+                q.deficit = 0.0;
+                level.advance();
                 continue;
-            }
+            };
             if level.fresh {
-                self.deficits[qi] += self.quanta[qi];
+                q.deficit += q.quantum;
                 level.fresh = false;
             }
-            let head = self.queues[qi].head_bytes().expect("non-empty").as_f64();
-            if self.deficits[qi] >= head {
+            if q.deficit >= head.as_f64() {
                 return Some(qi);
             }
-            level.pos = (level.pos + 1) % n;
-            level.fresh = true;
+            level.advance();
         }
         // lint:allow(panic-path): progress bound proven above; a trip here
         // is a scheduler logic bug that must abort the run.
@@ -407,28 +447,29 @@ impl Port {
 
     /// Dequeues from `qi`, updating deficits and counters.
     fn serve(&mut self, qi: usize) -> Decision {
-        let pkt = self.queues[qi].dequeue().expect("serve on empty queue");
+        let q = self
+            .qs
+            .get_mut(qi)
+            .expect("served queue index within num_queues");
+        let pkt = q.queue.dequeue().expect("serve on empty queue");
         let size = pkt.wire.as_f64();
         // Update DWRR state if this queue shares its level.
-        let li = self
+        let level = self
             .levels
-            .iter()
-            .position(|l| l.members.contains(&qi))
+            .iter_mut()
+            .find(|l| l.members.contains(&qi))
             .expect("queue belongs to a level");
-        if self.levels[li].members.len() > 1 {
-            self.deficits[qi] -= size;
-            let level = &mut self.levels[li];
-            let n = level.members.len();
-            let advance = if self.queues[qi].is_empty() {
-                self.deficits[qi] = 0.0;
-                true
-            } else {
-                let next_head = self.queues[qi].head_bytes().expect("non-empty").as_f64();
-                self.deficits[qi] < next_head
+        if level.members.len() > 1 {
+            q.deficit -= size;
+            let advance = match q.queue.head_bytes() {
+                None => {
+                    q.deficit = 0.0;
+                    true
+                }
+                Some(next_head) => q.deficit < next_head.as_f64(),
             };
             if advance {
-                level.pos = (level.pos + 1) % n;
-                level.fresh = true;
+                level.advance();
             }
         }
         self.counters.tx_pkts += 1;

@@ -34,7 +34,7 @@ impl Node {
     /// Egress port `idx` of this node (hosts expose their NIC as port 0).
     pub fn port_mut(&mut self, idx: usize) -> &mut Port {
         match self {
-            Node::Switch(s) => &mut s.ports[idx],
+            Node::Switch(s) => s.ports.get_mut(idx).expect("port index within switch"),
             Node::Host(h) => {
                 debug_assert_eq!(idx, 0);
                 &mut h.nic
@@ -45,7 +45,7 @@ impl Node {
     /// Immutable port access.
     pub fn port(&self, idx: usize) -> &Port {
         match self {
-            Node::Switch(s) => &s.ports[idx],
+            Node::Switch(s) => s.ports.get(idx).expect("port index within switch"),
             Node::Host(h) => {
                 debug_assert_eq!(idx, 0);
                 &h.nic
@@ -329,7 +329,7 @@ impl<O: NetObserver> Sim<O> {
             Event::PortReady { node, port } => self.port_ready(now, node, port),
             Event::Timer { host, flow, token } => {
                 self.scratch.clear();
-                if let Node::Host(h) = &mut self.nodes[host] {
+                if let Some(Node::Host(h)) = self.nodes.get_mut(host) {
                     // If this delivery consumed the armed timer for the
                     // token, retire its table entry (the handle went stale
                     // when the calendar popped the entry).
@@ -371,19 +371,23 @@ impl<O: NetObserver> Sim<O> {
     fn arrive(&mut self, now: Time, node: NodeId, pkt: Packet) {
         audit::wire_arrive(&pkt);
         if let Some((p, rng)) = &mut self.loss {
-            if matches!(self.nodes[node], Node::Switch(_)) && rng.chance(*p) {
+            if matches!(self.nodes.get(node), Some(Node::Switch(_))) && rng.chance(*p) {
                 self.injected_losses += 1;
                 audit::flow_drop(&pkt);
                 trace::injected_loss(node, &pkt);
                 return;
             }
         }
-        match &mut self.nodes[node] {
+        match self.nodes.get_mut(node).expect("arrival node id in range") {
             Node::Switch(sw) => {
                 let res = sw.receive(pkt);
                 match res {
                     Ok(port_idx) => {
-                        if self.nodes[node].port(port_idx).busy_until.is_none() {
+                        let idle = sw
+                            .ports
+                            .get(port_idx)
+                            .is_some_and(|p| p.busy_until.is_none());
+                        if idle {
                             self.events.schedule(
                                 now,
                                 Event::PortReady {
@@ -417,7 +421,11 @@ impl<O: NetObserver> Sim<O> {
     }
 
     fn port_ready(&mut self, now: Time, node: NodeId, port: usize) {
-        let p = self.nodes[node].port_mut(port);
+        let p = self
+            .nodes
+            .get_mut(node)
+            .expect("port-ready node id in range")
+            .port_mut(port);
         // Clear any wake bookkeeping that is now in the past. This must
         // happen even on the early busy-return below: a shaper wake that
         // fires while the port is mid-transmission would otherwise leave
@@ -459,17 +467,14 @@ impl<O: NetObserver> Sim<O> {
 
     fn flow_start(&mut self, now: Time, idx: usize) {
         self.started += 1;
-        self.observer.on_flow_start(&self.flows[idx], now);
-        let (id, src, dst) = {
-            let spec = &self.flows[idx];
-            (spec.id, spec.src, spec.dst)
-        };
+        let spec = *self.flows.get(idx).expect("flow index from schedule_flow");
+        self.observer.on_flow_start(&spec, now);
 
         // Receiver first so the sender's first packet finds it.
-        let receiver = self.factory.receiver(&self.flows[idx], &self.env);
-        self.register_endpoint(now, dst, id, receiver);
-        let sender = self.factory.sender(&self.flows[idx], &self.env);
-        self.register_endpoint(now, src, id, sender);
+        let receiver = self.factory.receiver(&spec, &self.env);
+        self.register_endpoint(now, spec.dst, spec.id, receiver);
+        let sender = self.factory.sender(&spec, &self.env);
+        self.register_endpoint(now, spec.src, spec.id, sender);
     }
 
     fn register_endpoint(
@@ -479,9 +484,9 @@ impl<O: NetObserver> Sim<O> {
         flow: FlowId,
         ep: Box<dyn Endpoint>,
     ) {
-        let node = self.hosts[host_id];
+        let node = *self.hosts.get(host_id).expect("host id in range");
         self.scratch.clear();
-        if let Node::Host(h) = &mut self.nodes[node] {
+        if let Some(Node::Host(h)) = self.nodes.get_mut(node) {
             let mut ctx = self.scratch.ctx(now);
             h.register(flow, ep, &mut ctx);
         } else {
@@ -497,14 +502,18 @@ impl<O: NetObserver> Sim<O> {
         let mut scratch = std::mem::take(&mut self.scratch);
         for pkt in scratch.tx.drain(..) {
             audit::flow_tx(&pkt);
-            let res = match &mut self.nodes[node] {
+            let res = match self.nodes.get_mut(node).expect("flush node id in range") {
                 Node::Host(h) => h.nic_enqueue(pkt),
                 // lint:allow(panic-path): flush is only called for hosts
                 Node::Switch(_) => unreachable!("flush on a switch"),
             };
             match res {
                 Ok(_q) => {
-                    if self.nodes[node].port(0).busy_until.is_none() {
+                    let nic_idle = self
+                        .nodes
+                        .get(node)
+                        .is_some_and(|n| n.port(0).busy_until.is_none());
+                    if nic_idle {
                         self.events
                             .schedule(now, Event::PortReady { node, port: 0 });
                     }
@@ -517,7 +526,7 @@ impl<O: NetObserver> Sim<O> {
             }
         }
         if !scratch.timers.is_empty() {
-            let h = match &mut self.nodes[node] {
+            let h = match self.nodes.get_mut(node).expect("flush node id in range") {
                 Node::Host(h) => h,
                 // lint:allow(panic-path): flush is only called for hosts
                 Node::Switch(_) => unreachable!("flush on a switch"),

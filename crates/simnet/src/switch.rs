@@ -153,13 +153,19 @@ impl Switch {
     ///
     /// Panics if no route exists to the packet's destination.
     pub fn route(&self, pkt: &Packet) -> usize {
-        let cands = &self.routes[pkt.dst];
-        assert!(!cands.is_empty(), "no route to host {}", pkt.dst);
-        if cands.len() == 1 {
-            return cands[0] as usize;
+        let cands = self
+            .routes
+            .get(pkt.dst)
+            .expect("destination host in route table");
+        if let &[only] = cands.as_slice() {
+            return only as usize;
         }
+        assert!(!cands.is_empty(), "no route to host {}", pkt.dst);
         let h = pkt.path_hash >> (16 * self.tier as u64);
-        cands[(h % cands.len() as u64) as usize] as usize
+        // lint:allow(panic-path): modulus over the candidate count, which
+        // the assert above proves non-zero; the result indexes in range.
+        let pick = cands.get((h % cands.len() as u64) as usize);
+        *pick.expect("ECMP modulus stays in range") as usize
     }
 
     /// Bytes currently admitted against the shared buffer (dynamically
@@ -185,12 +191,13 @@ impl Switch {
 
         // Dynamic shared-buffer admission (statically capped queues such as
         // the credit queue manage their own tiny buffer instead).
-        if self.ports[port_idx].queue(qidx).config().cap_bytes == WireBytes::MAX {
+        let port = self.ports.get(port_idx).expect("routed port in range");
+        if port.queue(qidx).config().cap_bytes == WireBytes::MAX {
             if let Some((total, alpha)) = self.shared_buffer {
                 let used = self.shared_used();
                 let free = total.saturating_sub(used);
                 let threshold = WireBytes::from_f64(alpha * free.as_f64());
-                let qbytes = self.ports[port_idx].queue(qidx).bytes();
+                let qbytes = port.queue(qidx).bytes();
                 if used + size > total || qbytes + size > threshold {
                     self.counters.dropped_buffer += 1;
                     return Err((DropReason::Buffer, pkt));
@@ -199,7 +206,8 @@ impl Switch {
             }
         }
 
-        match self.ports[port_idx].enqueue(qidx, pkt) {
+        let port = self.ports.get_mut(port_idx).expect("routed port in range");
+        match port.enqueue(qidx, pkt) {
             Ok(()) => {
                 self.counters.forwarded += 1;
                 Ok(port_idx)
@@ -217,7 +225,7 @@ impl Switch {
 
     /// Snapshot of one port's queues.
     pub fn sample_port(&self, port_idx: usize) -> QueueSample {
-        let p = &self.ports[port_idx];
+        let p = self.ports.get(port_idx).expect("sampled port in range");
         QueueSample {
             bytes: (0..p.num_queues()).map(|q| p.queue(q).bytes()).collect(),
             red_bytes: (0..p.num_queues())

@@ -41,6 +41,12 @@ pub struct LintConfig {
     pub ordered_types: Vec<String>,
     /// Trace-exhaustiveness wiring.
     pub trace_enums: Vec<TraceEnumCfg>,
+    /// Extra call-graph entry points (fn qnames) beyond the hot-module
+    /// fns, for `panic-reachable` / `alloc-reachable`.
+    pub entry_points: Vec<String>,
+    /// Fns (qname `Owner::name` or bare name) the call graph treats as
+    /// infallible and never traverses into.
+    pub known_infallible: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -92,6 +98,8 @@ impl Default for LintConfig {
                     emit_fns: vec!["dropped".to_string()],
                 },
             ],
+            entry_points: Vec::new(),
+            known_infallible: Vec::new(),
         }
     }
 }
@@ -208,6 +216,11 @@ fn apply_kv(
         "iteration" if key == "ordered-types" => {
             cfg.ordered_types = parse_string_array(value)?;
         }
+        "callgraph" => match key {
+            "entry-points" => cfg.entry_points = parse_string_array(value)?,
+            "known-infallible" => cfg.known_infallible = parse_string_array(value)?,
+            _ => {}
+        },
         "trace" => {
             let t = trace
                 .as_mut()
@@ -338,6 +351,20 @@ mod tests {
         assert_eq!(cfg.trace_enums.len(), 2);
         assert_eq!(cfg.trace_enums[1].enum_name, "E2");
         assert_eq!(cfg.trace_enums[1].emit_fns, ["f", "g"]);
+    }
+
+    #[test]
+    fn callgraph_table_parses() {
+        let cfg = LintConfig::from_toml(
+            "[callgraph]\n\
+             entry-points = [\"Sim::run_until\"]\n\
+             known-infallible = [\n  \"Wheel::place\", # masked ring index\n  \"saturating_gap\",\n]\n",
+        )
+        .expect("parse");
+        assert_eq!(cfg.entry_points, ["Sim::run_until"]);
+        assert_eq!(cfg.known_infallible, ["Wheel::place", "saturating_gap"]);
+        // Untouched by default.
+        assert!(LintConfig::default().entry_points.is_empty());
     }
 
     #[test]

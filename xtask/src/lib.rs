@@ -13,13 +13,17 @@
 //!   allowlist, trace-enum wiring) with built-in defaults.
 //! * [`baseline`] — `lint-baseline.json` load/apply/update: known findings
 //!   are suppressed, *new* findings fail the build.
-//! * [`rules`] — the rule implementations over the AST.
+//! * [`callgraph`] — workspace-wide call graph (nodes, resolved edges,
+//!   panic/alloc leaves) over the parsed sources.
+//! * [`rules`] — the rule implementations over the AST, including the
+//!   interprocedural `reachable` pair on top of the call graph.
 //! * [`lint`] — the driver: file sweep, suppression comments, baseline
-//!   application, and the allocation-site report.
+//!   application, and the allocation/callgraph reports.
 //! * [`json`] — dependency-free mini JSON reader/writer helpers.
 //! * [`trace_report`] — post-mortem summary of `--trace` JSONL logs.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod json;
 pub mod lint;

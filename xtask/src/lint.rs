@@ -24,10 +24,12 @@
 //!   `size`, `*nanos*`, `*micros*`, `*millis*`, `*secs*`). Byte quantities
 //!   convert through `simcore::units` (`.get()`, `as_f64()`, `from_f64`),
 //!   time through `simcore::time`.
-//! * `panic-path` — `panic!` / `unreachable!` / `.unwrap(...)` in
-//!   simulation code. Hot paths must either handle the case or document the
+//! * `panic-path` — `panic!` / `unreachable!` / `.unwrap(...)` /
+//!   `.expect("")` with an empty rationale in simulation code, plus — in
+//!   the hot modules only — subscripts and bare `/` / `%` as implicit
+//!   panic sites. Hot paths must either handle the case or document the
 //!   impossibility with a `lint:allow(panic-path)` rationale; `.expect`
-//!   with a message is allowed.
+//!   with a non-empty message is allowed.
 //! * `unit-mixing` — arithmetic that combines wire-byte names
 //!   (`DATA_WIRE`, `DATA_HEADER_WIRE`, `CTRL_WIRE`, `WireBytes`) with
 //!   payload-byte names (`MTU_PAYLOAD`, `Bytes`, `payload`) in one
@@ -54,6 +56,12 @@
 //!   enums wired in `lint.toml [[trace]]` must be mentioned in each of its
 //!   emit fns (hand-maintained name/roster/adapter lists the compiler
 //!   cannot check).
+//! * `panic-reachable` / `alloc-reachable` — interprocedural: a BFS over
+//!   the workspace call graph (`crate::callgraph`) from the hot-module
+//!   entry points must reach no panic or allocation leaf *outside* the hot
+//!   modules (inside them the file-local rules already apply); violations
+//!   report shortest witness chains. Config: `lint.toml [callgraph]`
+//!   (`entry-points`, `known-infallible`).
 //!
 //! Escape hatch: a `lint:allow(<rule>)` comment on the offending line,
 //! directly above it (comment runs count as one block), or directly above
@@ -125,6 +133,8 @@ pub const RULES: &[(&str, &str)] = &[
     ("alloc-in-datapath", rules::WHY_ALLOC),
     ("unordered-iteration", rules::WHY_ITER),
     ("trace-exhaustiveness", rules::WHY_TRACE),
+    ("panic-reachable", rules::WHY_PANIC_REACH),
+    ("alloc-reachable", rules::WHY_ALLOC_REACH),
 ];
 
 /// One lint finding.
@@ -167,6 +177,8 @@ pub struct Outcome {
     pub stale: Vec<Entry>,
     /// The allocation inventory of the hot modules (gated + growth sites).
     pub alloc_report: Vec<AllocSite>,
+    /// The call-graph summary and witness inventory (pre-baseline).
+    pub callgraph: rules::reachable::CallgraphReport,
 }
 
 /// Lints the workspace and returns the findings **not** covered by the
@@ -184,6 +196,8 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
 pub fn lint_workspace_full(root: &Path) -> io::Result<Outcome> {
     let cfg = LintConfig::load(root).map_err(io::Error::other)?;
     let mut findings = Vec::new();
+    // The fully linted sources double as the call-graph universe.
+    let mut cg_sources: Vec<(String, String)> = Vec::new();
     for krate in LINTED_CRATES {
         let src_dir = root.join(krate).join("src");
         let mut files = Vec::new();
@@ -193,11 +207,13 @@ pub fn lint_workspace_full(root: &Path) -> io::Result<Outcome> {
             let rel = rel_path(root, &path);
             let src = fs::read_to_string(&path)?;
             findings.extend(lint_source_with(&rel, &src, &cfg));
+            cg_sources.push((rel, src));
         }
     }
     for rel in LINTED_EXTRA_FILES {
         let src = fs::read_to_string(root.join(rel))?;
         findings.extend(lint_source_with(rel, &src, &cfg));
+        cg_sources.push((rel.to_string(), src));
     }
     // Header-size-literal sweep over the simulation crates' integration
     // tests. In-file `#[cfg(test)]` modules are already covered (the rule
@@ -267,8 +283,19 @@ pub fn lint_workspace_full(root: &Path) -> io::Result<Outcome> {
         }
         findings.extend(rules::trace_ex::check_sources(&sources, &cfg));
     }
-    findings
-        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    // Interprocedural pass: call graph over all linted sources, witness
+    // chains from the hot-module entry points.
+    let mut callgraph = rules::reachable::CallgraphReport::default();
+    if cfg.rule_enabled("panic-reachable") || cfg.rule_enabled("alloc-reachable") {
+        let (cg_findings, report) = rules::reachable::analyze(&cg_sources, &cfg);
+        findings.extend(cg_findings);
+        callgraph = report;
+    }
+    // Several witnesses can anchor at the same entry token; the text
+    // tie-break keeps the order (and every downstream report) byte-stable.
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule, &a.text).cmp(&(&b.file, b.line, b.col, b.rule, &b.text))
+    });
 
     // Allocation inventory over the configured hot modules.
     let mut alloc_report = Vec::new();
@@ -292,6 +319,7 @@ pub fn lint_workspace_full(root: &Path) -> io::Result<Outcome> {
         baselined: applied.baselined,
         stale: applied.stale,
         alloc_report,
+        callgraph,
     })
 }
 
@@ -322,6 +350,63 @@ struct Allow {
     end_line: usize,
 }
 
+/// Shared `lint:allow` suppression machinery: a directive suppresses a rule
+/// at a token when it trails the token's line, sits in the comment block
+/// directly above that line, or directly above the statement containing it.
+/// Built once per file; used by the file-local driver and by the call-graph
+/// rules' leaf filter so both honor the exact same adjacency.
+pub struct Suppressor {
+    allows: Vec<Allow>,
+    /// Lines containing (part of) a code token; everything else is blank or
+    /// comment-only, which adjacency may skip over.
+    code_line: Vec<bool>,
+    /// For each token, the 1-based line its statement started on.
+    stmt_start: Vec<usize>,
+}
+
+impl Suppressor {
+    pub fn new(scanned: &crate::tokenize::Scan) -> Self {
+        let toks = &scanned.tokens;
+        let max_line = toks
+            .iter()
+            .map(|t| t.line + t.text.matches('\n').count())
+            .max()
+            .unwrap_or(0);
+        let mut code_line = vec![false; max_line + 2];
+        for t in toks {
+            let span = t.text.matches('\n').count();
+            for line in code_line.iter_mut().skip(t.line).take(span + 1) {
+                *line = true;
+            }
+        }
+        Suppressor {
+            allows: collect_allows(&scanned.comments),
+            code_line,
+            stmt_start: stmt_starts(toks),
+        }
+    }
+
+    /// Whether any rule in `rules` is allowed at token `tok`.
+    pub fn suppressed(&self, toks: &[crate::tokenize::Tok], tok: usize, rules: &[&str]) -> bool {
+        let t = &toks[tok];
+        let stmt = self.stmt_start[tok];
+        let comment_only = |l: usize| !self.code_line.get(l).copied().unwrap_or(false);
+        self.allows.iter().any(|a| {
+            a.rules.iter().any(|r| rules.contains(&r.as_str()))
+                && (
+                    // Trailing comment on the token's own line.
+                    (a.start_line <= t.line && a.end_line >= t.line)
+                    // Comment block directly above the token's line
+                    // (intervening blank / comment-only lines are fine).
+                    || (a.end_line < t.line && (a.end_line + 1..t.line).all(comment_only))
+                    // Comment block directly above the statement the token
+                    // sits in (covers multi-line statements).
+                    || (a.end_line < stmt && (a.end_line + 1..stmt).all(comment_only))
+                )
+        })
+    }
+}
+
 /// Lints one file's source text with the built-in default configuration
 /// (no baseline). `file` is the workspace-relative path, used for
 /// reporting and the per-file home exemptions.
@@ -338,41 +423,12 @@ pub fn lint_source_with(file: &str, src: &str, cfg: &LintConfig) -> Vec<Finding>
     let cands = rules::run_file_rules(&ctx);
 
     let lines: Vec<&str> = src.lines().collect();
-
-    // Lines that contain (part of) a code token; everything else is blank
-    // or comment-only, which `lint:allow` adjacency may skip over.
-    let mut code_line = vec![false; lines.len() + 2];
-    for t in toks {
-        let span = t.text.matches('\n').count();
-        for l in t.line..=t.line + span {
-            if l < code_line.len() {
-                code_line[l] = true;
-            }
-        }
-    }
-
-    let allows = collect_allows(&scanned.comments);
-    let stmt_start = stmt_starts(toks);
+    let suppressor = Suppressor::new(&scanned);
 
     let mut findings = Vec::new();
     for c in cands {
         let t = &toks[c.tok];
-        let suppressed = allows.iter().any(|a| {
-            a.rules.iter().any(|r| r == c.rule)
-                && (
-                    // Trailing comment on the finding's own line.
-                    (a.start_line <= t.line && a.end_line >= t.line)
-                    // Comment block directly above the finding line
-                    // (intervening blank / comment-only lines are fine).
-                    || (a.end_line < t.line
-                        && (a.end_line + 1..t.line).all(|l| !code_line[l]))
-                    // Comment block directly above the statement the
-                    // finding sits in (covers multi-line statements).
-                    || (a.end_line < stmt_start[c.tok]
-                        && (a.end_line + 1..stmt_start[c.tok]).all(|l| !code_line[l]))
-                )
-        });
-        if suppressed {
+        if suppressor.suppressed(toks, c.tok, &[c.rule]) {
             continue;
         }
         findings.push(Finding {

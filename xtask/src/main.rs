@@ -7,9 +7,11 @@
 //!   invariants"). Findings can be rendered for humans (default), as JSON
 //!   (`--format json`, for CI artifacts), or as GitHub Actions error
 //!   annotations (`--format github`). `--report alloc` dumps the
-//!   allocation-site inventory of the hot datapath modules instead;
-//!   `--update-baseline` rewrites `lint-baseline.json` from the current
-//!   findings (shrink-only workflow: review the diff before committing).
+//!   allocation-site inventory of the hot datapath modules instead, and
+//!   `--report callgraph` the call-graph summary with every
+//!   panic/alloc-reachable witness chain; `--update-baseline` rewrites
+//!   `lint-baseline.json` from the current findings (shrink-only
+//!   workflow: review the diff before committing).
 //! * `bench` — the substrate benchmark with its regression gates.
 //!   `--alloc-count` rebuilds with the counting global allocator and gates
 //!   steady-state datapath allocations per event.
@@ -34,6 +36,7 @@ enum Format {
 struct LintArgs {
     fmt: Format,
     report_alloc: bool,
+    report_callgraph: bool,
     update_baseline: bool,
 }
 
@@ -72,6 +75,7 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
     let mut la = LintArgs {
         fmt: Format::Human,
         report_alloc: false,
+        report_callgraph: false,
         update_baseline: false,
     };
     let mut it = args.iter();
@@ -84,10 +88,15 @@ fn parse_lint_args(args: &[String]) -> Result<LintArgs, String> {
             let what = it
                 .next()
                 .ok_or_else(|| "--report requires a value".to_string())?;
-            if what != "alloc" {
-                return Err(format!("unknown report `{what}` (expected `alloc`)"));
+            match what.as_str() {
+                "alloc" => la.report_alloc = true,
+                "callgraph" => la.report_callgraph = true,
+                other => {
+                    return Err(format!(
+                        "unknown report `{other}` (expected `alloc` or `callgraph`)"
+                    ))
+                }
             }
-            la.report_alloc = true;
             continue;
         }
         let value = if let Some(v) = arg.strip_prefix("--format=") {
@@ -113,7 +122,7 @@ fn print_usage() {
     eprintln!("usage: cargo xtask <task>");
     eprintln!();
     eprintln!("tasks:");
-    eprintln!("  lint [--format human|json|github] [--report alloc] [--update-baseline]");
+    eprintln!("  lint [--format human|json|github] [--report alloc|callgraph] [--update-baseline]");
     eprintln!("          run the determinism & units lint over the simulation crates;");
     eprintln!("          config in lint.toml, known findings in lint-baseline.json");
     eprintln!("  bench [--smoke] [--out PATH] [--alloc-count]");
@@ -218,6 +227,10 @@ fn run_lint(la: LintArgs) -> ExitCode {
         println!("{}", alloc_report_json(&outcome.alloc_report));
         return ExitCode::SUCCESS;
     }
+    if la.report_callgraph {
+        println!("{}", callgraph_report_json(&outcome.callgraph));
+        return ExitCode::SUCCESS;
+    }
     if la.update_baseline {
         let cfg = match LintConfig::load(&root) {
             Ok(c) => c,
@@ -262,10 +275,17 @@ fn run_lint(la: LintArgs) -> ExitCode {
         Format::Json => println!("{}", to_json(findings)),
         Format::Github => {
             for f in findings {
-                // `::error` annotations surface inline on the PR diff.
+                // `::error` annotations surface inline on the PR diff. The
+                // message must be data-escaped: a raw newline (witness
+                // chains are multi-line) would truncate the annotation and
+                // corrupt the workflow log.
                 println!(
-                    "::error file={},line={},col={},title=lint {}::{} ({})",
-                    f.file, f.line, f.col, f.rule, f.text, f.why
+                    "::error file={},line={},col={},title=lint {}::{}",
+                    f.file,
+                    f.line,
+                    f.col,
+                    f.rule,
+                    github_escape_data(&format!("{} ({})", f.text, f.why))
                 );
             }
             if findings.is_empty() {
@@ -345,6 +365,66 @@ fn alloc_report_json(sites: &[xtask::rules::alloc::AllocSite]) -> String {
     out
 }
 
+/// Renders the call-graph summary plus witness inventory as a single JSON
+/// object — fully sorted upstream, so byte-identical across runs.
+fn callgraph_report_json(report: &xtask::rules::reachable::CallgraphReport) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\n  \"fns\":{},", report.fn_count));
+    out.push_str(&format!("\n  \"edges\":{},", report.edge_count));
+    let panic_count = report
+        .witnesses
+        .iter()
+        .filter(|w| w.rule == "panic-reachable")
+        .count();
+    let alloc_count = report.witnesses.len() - panic_count;
+    out.push_str(&format!("\n  \"panic_reachable_count\":{panic_count},"));
+    out.push_str(&format!("\n  \"alloc_reachable_count\":{alloc_count},"));
+    out.push_str("\n  \"entries\":[");
+    for (i, e) in report.entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_str(e));
+    }
+    out.push_str("],\n  \"witnesses\":[");
+    for (i, w) in report.witnesses.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let chain = w
+            .chain
+            .iter()
+            .map(|c| json_str(c))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(
+            "\n    {{\"rule\":{},\"entry\":{},\"chain\":[{}],\"file\":{},\"line\":{},\"col\":{},\"kind\":{},\"text\":{}}}",
+            json_str(w.rule),
+            json_str(&w.entry),
+            chain,
+            json_str(&w.file),
+            w.line,
+            w.col,
+            json_str(&w.kind),
+            json_str(&w.text)
+        ));
+    }
+    if !report.witnesses.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
+/// Escapes an annotation *message* for GitHub Actions workflow commands:
+/// `%` first, then newlines — the documented `%0A` encoding renders a
+/// multi-line witness chain as one annotation.
+fn github_escape_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -379,6 +459,45 @@ mod tests {
     #[test]
     fn json_escapes_special_chars() {
         assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn github_escape_keeps_witness_chains_on_one_annotation() {
+        assert_eq!(
+            github_escape_data("A -> B\n  -> f.rs [index] x[i] (50% off)"),
+            "A -> B%0A  -> f.rs [index] x[i] (50%25 off)"
+        );
+        // `%` escapes first, or `%0A` would double-escape.
+        assert_eq!(github_escape_data("%\n"), "%25%0A");
+    }
+
+    #[test]
+    fn callgraph_report_json_shape() {
+        let report = xtask::rules::reachable::CallgraphReport {
+            fn_count: 2,
+            edge_count: 1,
+            entries: vec!["Port::next_packet".into()],
+            witnesses: vec![xtask::rules::reachable::Witness {
+                rule: "panic-reachable",
+                entry: "Port::next_packet".into(),
+                entry_file: "crates/simnet/src/port.rs".into(),
+                entry_line: 3,
+                entry_col: 12,
+                chain: vec!["Port::next_packet".into(), "helper".into()],
+                file: "crates/simnet/src/host.rs".into(),
+                line: 9,
+                col: 5,
+                kind: "unwrap".into(),
+                text: "x.unwrap()".into(),
+            }],
+        };
+        let j = callgraph_report_json(&report);
+        assert!(j.contains("\"fns\":2"));
+        assert!(j.contains("\"panic_reachable_count\":1"));
+        assert!(j.contains("\"alloc_reachable_count\":0"));
+        assert!(j.contains("\"chain\":[\"Port::next_packet\",\"helper\"]"));
+        let empty = callgraph_report_json(&Default::default());
+        assert!(empty.contains("\"witnesses\":[]"));
     }
 
     #[test]

@@ -96,9 +96,7 @@ pub fn report(ctx: &FileCtx, lines: &[&str]) -> Vec<AllocSite> {
             Some(o) => format!("{o}::{}", scope.item.name),
             None => scope.item.name.clone(),
         };
-        let env = fn_env(ctx, scope);
-        let (bs, be) = scope.body;
-        let mut push = |tok: usize, kind: String, gated: bool| {
+        for (tok, kind, gated) in classify_scope(ctx, scope) {
             let t = &ctx.toks[tok];
             out.push(AllocSite {
                 file: ctx.file.to_string(),
@@ -113,41 +111,6 @@ pub fn report(ctx: &FileCtx, lines: &[&str]) -> Vec<AllocSite> {
                 gated,
                 tok,
             });
-        };
-        for p in &ctx.paths {
-            let first = p.segs[0].0;
-            if first < bs || first >= be {
-                continue;
-            }
-            if p.is_macro && matches!(p.last(), "vec" | "format") {
-                push(p.last_tok(), format!("{}!", p.last()), true);
-                continue;
-            }
-            if p.is_call {
-                for w in p.segs.windows(2) {
-                    if ALLOC_TYPES.contains(&w[0].1.as_str())
-                        && ALLOC_CTORS.contains(&w[1].1.as_str())
-                    {
-                        push(w[1].0, format!("{}::{}", w[0].1, w[1].1), true);
-                        break;
-                    }
-                }
-            }
-        }
-        for m in &ctx.methods {
-            if m.tok < bs || m.tok >= be {
-                continue;
-            }
-            let name = m.name.as_str();
-            if ALLOC_METHODS.contains(&name) {
-                push(m.tok, name.to_string(), true);
-            } else if name == "clone" {
-                if !receiver_is_copy(ctx, scope, &env, m) {
-                    push(m.tok, "clone".to_string(), true);
-                }
-            } else if GROWTH_METHODS.contains(&name) {
-                push(m.tok, format!("growth:{name}"), false);
-            }
         }
     }
     out.sort_by(|a, b| (a.line, a.col, &a.kind).cmp(&(b.line, b.col, &b.kind)));
@@ -172,9 +135,55 @@ pub fn candidates(ctx: &FileCtx, out: &mut Vec<Cand>) {
     }
 }
 
+/// Classifies one fn scope's allocation sites regardless of module
+/// hotness or constructor status: `(token, kind, gated)` triples. The
+/// file-local rule applies the hot/constructor policy on top; the
+/// call-graph rule (`alloc-reachable`) consumes the gated sites as leaves
+/// wherever the scope is reachable from a datapath entry.
+pub fn classify_scope(ctx: &FileCtx, scope: &FnScope) -> Vec<(usize, String, bool)> {
+    let env = fn_env(ctx, scope);
+    let (bs, be) = scope.body;
+    let mut out = Vec::new();
+    for p in &ctx.paths {
+        let first = p.segs[0].0;
+        if first < bs || first >= be {
+            continue;
+        }
+        if p.is_macro && matches!(p.last(), "vec" | "format") {
+            out.push((p.last_tok(), format!("{}!", p.last()), true));
+            continue;
+        }
+        if p.is_call {
+            for w in p.segs.windows(2) {
+                if ALLOC_TYPES.contains(&w[0].1.as_str()) && ALLOC_CTORS.contains(&w[1].1.as_str())
+                {
+                    out.push((w[1].0, format!("{}::{}", w[0].1, w[1].1), true));
+                    break;
+                }
+            }
+        }
+    }
+    for m in &ctx.methods {
+        if m.tok < bs || m.tok >= be {
+            continue;
+        }
+        let name = m.name.as_str();
+        if ALLOC_METHODS.contains(&name) {
+            out.push((m.tok, name.to_string(), true));
+        } else if name == "clone" {
+            if !receiver_is_copy(ctx, scope, &env, m) {
+                out.push((m.tok, "clone".to_string(), true));
+            }
+        } else if GROWTH_METHODS.contains(&name) {
+            out.push((m.tok, format!("growth:{name}"), false));
+        }
+    }
+    out
+}
+
 /// Constructors are exempt: fns named per config, or returning `Self` /
 /// the impl type.
-fn is_constructor(ctx: &FileCtx, scope: &FnScope) -> bool {
+pub fn is_constructor(ctx: &FileCtx, scope: &FnScope) -> bool {
     let name = scope.item.name.as_str();
     if ctx.cfg.constructor_names.iter().any(|n| n == name) {
         return true;
@@ -202,7 +211,7 @@ fn is_constructor(ctx: &FileCtx, scope: &FnScope) -> bool {
 }
 
 /// Declared types in scope: params and `let` ascriptions.
-fn fn_env(ctx: &FileCtx, scope: &FnScope) -> BTreeMap<String, String> {
+pub fn fn_env(ctx: &FileCtx, scope: &FnScope) -> BTreeMap<String, String> {
     let mut env = BTreeMap::new();
     for (name, ty) in param_types_in(ctx.toks, (scope.item.sig_start, scope.item.sig_end())) {
         env.insert(name, ty);

@@ -13,7 +13,9 @@
 //!   `thread-spawn`: nondeterminism sources banned from simulation code.
 //! * [`units`] — `float-time`, `raw-cast`, `unit-mixing`,
 //!   `raw-header-size`: byte/time unit-discipline checks.
-//! * [`panics`] — `panic-path`: panics and `.unwrap()` on the sim path.
+//! * [`panics`] — `panic-path`: panics, `.unwrap()`, empty `.expect("")`
+//!   rationales, and (in hot modules) subscripts and bare `/` / `%` as
+//!   implicit panic sites.
 //! * [`alloc`] — `alloc-in-datapath`: allocation-shaped expressions in the
 //!   hot per-event modules, plus the `--report alloc` inventory.
 //! * [`iteration`] — `unordered-iteration`: loops over types without an
@@ -21,11 +23,16 @@
 //! * [`trace_ex`] — `trace-exhaustiveness`: cross-file check that every
 //!   trace-enum variant reaches its emit fns (runs at workspace level, not
 //!   per file).
+//! * [`reachable`] — `panic-reachable` / `alloc-reachable`: interprocedural
+//!   twins of `panic-path` and `alloc-in-datapath` over the workspace call
+//!   graph (`crate::callgraph`), reporting shortest witness chains from
+//!   the datapath entry points (workspace level, not per file).
 
 pub mod alloc;
 pub mod determinism;
 pub mod iteration;
 pub mod panics;
+pub mod reachable;
 pub mod trace_ex;
 pub mod units;
 
@@ -54,6 +61,12 @@ pub const WHY_ITER: &str =
     "iteration over a type outside the ordered-collections allowlist; event order may drift";
 pub const WHY_TRACE: &str =
     "trace enum variant missing from an emit fn; update the fns wired in lint.toml [[trace]]";
+pub const WHY_PANIC_REACH: &str =
+    "panic reachable from a datapath entry point; make the chain infallible, allowlist a \
+     proven-infallible fn in lint.toml [callgraph], or baseline the witness";
+pub const WHY_ALLOC_REACH: &str =
+    "allocation reachable from a datapath entry point; preallocate, hoist the allocation out \
+     of the chain, or baseline the witness";
 
 /// The only file allowed to define/use the float↔time conversions.
 pub const FLOAT_TIME_HOME: &str = "crates/simcore/src/time.rs";

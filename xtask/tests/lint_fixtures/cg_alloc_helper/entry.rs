@@ -1,0 +1,9 @@
+//@ file: crates/simnet/src/sim.rs
+// Hot-module entry reaching an allocation in a cold helper.
+pub struct Sim;
+
+impl Sim {
+    pub fn arrive(&mut self, n: usize) -> u64 {
+        scratch::build(n)
+    }
+}

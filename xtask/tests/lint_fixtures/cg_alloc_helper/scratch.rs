@@ -1,0 +1,6 @@
+//@ file: crates/simnet/src/scratch.rs
+// Cold module: the Vec::with_capacity is an alloc leaf for the BFS.
+pub fn build(n: usize) -> u64 {
+    let v: Vec<u64> = Vec::with_capacity(n);
+    v.len() as u64
+}

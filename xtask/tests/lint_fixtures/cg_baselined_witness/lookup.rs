@@ -1,0 +1,4 @@
+//@ file: crates/simnet/src/lookup.rs
+pub fn fetch(xs: &[u64]) -> u64 {
+    xs.first().unwrap().wrapping_add(1)
+}

@@ -1,0 +1,6 @@
+//@ file: crates/simnet/src/helper.rs
+// Cold module: the subscript is not flagged by the file-local panic-path
+// rule, but it is a leaf for the interprocedural BFS.
+pub fn pick(xs: &[u64]) -> u64 {
+    xs[0]
+}

@@ -1,0 +1,11 @@
+//@ file: crates/simnet/src/sim.rs
+//@ infallible: mask
+// The helper subscript would be a witness, but `mask` is declared
+// known-infallible, so the BFS never traverses into it: clean.
+pub struct Sim;
+
+impl Sim {
+    pub fn dispatch(&mut self, xs: &[u64]) -> u64 {
+        mix::mask(xs)
+    }
+}

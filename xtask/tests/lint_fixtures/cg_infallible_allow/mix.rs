@@ -1,0 +1,4 @@
+//@ file: crates/simnet/src/mix.rs
+pub fn mask(xs: &[u64]) -> u64 {
+    xs[0]
+}

@@ -1,0 +1,16 @@
+//@ file: crates/simnet/src/packet.rs
+// Hot-module tightening: subscripts, bare integer `/`, and empty
+// `.expect("")` are flagged; `% <nonzero literal>`, `unwrap_or`, and
+// float division are pinned as non-findings.
+pub fn pick(xs: &[u64], i: usize, n: u64) -> u64 {
+    let a = xs[i];
+    let b = a / n;
+    let c = a % 3;
+    let d = xs.first().expect("");
+    a + b + c + d
+}
+
+pub fn clean(xs: &[u64], ratio: f64) -> f64 {
+    let floor = xs.first().copied().unwrap_or(0);
+    ratio / 2.0 + floor
+}
