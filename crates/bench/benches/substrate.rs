@@ -17,6 +17,7 @@ use flexpass_simcore::event::EventQueue;
 use flexpass_simcore::rng::SimRng;
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
 use flexpass_simcore::units::{Bytes, WireBytes};
+use flexpass_simnet::arena::PacketArena;
 use flexpass_simnet::consts::DATA_WIRE;
 use flexpass_simnet::packet::{DataInfo, Packet, Payload, Subflow, TrafficClass};
 use flexpass_simnet::port::{Decision, Port, PortConfig, QueueSched};
@@ -91,12 +92,16 @@ fn bench_dwrr_port(c: &mut Criterion) {
     g.bench_function("dwrr_enqueue_dequeue_10k", |b| {
         b.iter(|| {
             let mut port = Port::new(&cfg);
+            let mut arena = PacketArena::with_capacity(10_000);
             let mut served = 0u32;
             for i in 0..5_000u64 {
-                port.enqueue(0, data_pkt(i)).unwrap();
-                port.enqueue(1, data_pkt(i)).unwrap();
+                let id = arena.acquire(data_pkt(i));
+                port.enqueue(&mut arena, 0, id).unwrap();
+                let id = arena.acquire(data_pkt(i));
+                port.enqueue(&mut arena, 1, id).unwrap();
             }
-            while let Decision::Send(_) = port.next_packet(Time::ZERO) {
+            while let Decision::Send(id) = port.next_packet(&mut arena, Time::ZERO) {
+                arena.release(id);
                 served += 1;
             }
             assert_eq!(served, 10_000);
@@ -138,6 +143,17 @@ fn bench_end_to_end_packets(c: &mut Criterion) {
                 fg: false,
             });
             sim.run_to_completion(TimeDelta::millis(2));
+            sim.events_processed()
+        })
+    });
+    // The warm-datapath workload from the JSON runner (8-host FlexPass
+    // star, every host sending): a fixed virtual window over a steady
+    // all-hosts-busy fabric, the same shape the `--alloc-count` sanitizer
+    // gates. Throughput here is events, not packets.
+    g.bench_function("flexpass_8host_datapath_window", |b| {
+        b.iter(|| {
+            let mut sim = flexpass_bench::datapath_sim(8, 50_000_000);
+            sim.run_until(Time::from_micros(3_000));
             sim.events_processed()
         })
     });

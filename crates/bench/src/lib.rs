@@ -119,10 +119,13 @@ pub fn datapath_sim(hosts: usize, flow_bytes: u64) -> Sim<NullObserver> {
         shared_buffer: None,
     };
     let topo = Topology::star(hosts, rate, TimeDelta::micros(5), &profile, &profile);
-    let mut sim = Sim::new(
+    // Flow-capacity hint pre-sizes the calendar, per-host flow tables, and
+    // the packet arena so the measured window starts with warm slabs.
+    let mut sim = Sim::with_flow_capacity(
         topo,
         Box::new(FlexPassFactory::new(FlexPassConfig::new(0.5))),
         NullObserver,
+        hosts,
     );
     for i in 0..hosts as u64 {
         let src = i as usize;

@@ -333,17 +333,21 @@ mod tests {
     #[test]
     fn window_gates_credits() {
         let mut s = LySender::new(spec(100 * 1460), EpConfig::default(), &env());
+        let mut arena = flexpass_simnet::arena::PacketArena::new();
+        let mut tx_ids = Vec::new();
         let mut tx = Vec::new();
         let mut tm = Vec::new();
         let mut app = Vec::new();
         {
-            let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx, &mut tm, &mut app);
+            let mut ctx =
+                EndpointCtx::new(Time::ZERO, &mut arena, &mut tx_ids, &mut tm, &mut app);
             s.activate(&mut ctx);
             // Initial window is 10: the 11th credit is wasted.
             for i in 0..12 {
                 s.on_packet(&credit(i), &mut ctx);
             }
         }
+        arena.drain_into(&mut tx_ids, &mut tx);
         assert_eq!(s.stats.data_pkts, 10);
         assert_eq!(s.stats.credits_wasted, 2);
         let data = tx.iter().filter(|p| p.is_data()).count();
@@ -355,10 +359,11 @@ mod tests {
     #[test]
     fn acks_open_window_for_more_credits() {
         let mut s = LySender::new(spec(100 * 1460), EpConfig::default(), &env());
-        let mut tx = Vec::new();
+        let mut arena = flexpass_simnet::arena::PacketArena::new();
+        let mut tx_ids = Vec::new();
         let mut tm = Vec::new();
         let mut app = Vec::new();
-        let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx, &mut tm, &mut app);
+        let mut ctx = EndpointCtx::new(Time::ZERO, &mut arena, &mut tx_ids, &mut tm, &mut app);
         s.activate(&mut ctx);
         for i in 0..10 {
             s.on_packet(&credit(i), &mut ctx);

@@ -241,6 +241,8 @@ mod tests {
 
     #[derive(Default)]
     struct H {
+        arena: flexpass_simnet::arena::PacketArena,
+        tx_ids: Vec<flexpass_simnet::arena::PacketId>,
         tx: Vec<Packet>,
         tm: Vec<flexpass_simnet::endpoint::TimerCmd>,
         app: Vec<AppEvent>,
@@ -248,8 +250,20 @@ mod tests {
 
     impl H {
         fn with<R>(&mut self, now: Time, f: impl FnOnce(&mut EndpointCtx) -> R) -> R {
-            let mut ctx = EndpointCtx::new(now, &mut self.tx, &mut self.tm, &mut self.app);
-            f(&mut ctx)
+            let r = {
+                let mut ctx = EndpointCtx::new(
+                    now,
+                    &mut self.arena,
+                    &mut self.tx_ids,
+                    &mut self.tm,
+                    &mut self.app,
+                );
+                f(&mut ctx)
+            };
+            // Staged ids become packets in emission order, as the driver's
+            // flush would see them.
+            self.arena.drain_into(&mut self.tx_ids, &mut self.tx);
+            r
         }
 
         /// First buffered Set/Arm request as `(at, token)`.

@@ -62,11 +62,13 @@ impl SubflowTx {
     }
 
     /// Open slots strictly below `below` that are presumed lost because at
-    /// least `dup_thresh` later slots were acknowledged.
-    fn sweep_lost(&mut self, dup_thresh: u32) -> Vec<u32> {
-        let mut lost = Vec::new();
+    /// least `dup_thresh` later slots were acknowledged. Results are
+    /// appended to the caller's reusable `lost` buffer (cleared first) so
+    /// the per-ACK path stays allocation-free in steady state.
+    fn sweep_lost(&mut self, dup_thresh: u32, lost: &mut Vec<u32>) {
+        lost.clear();
         if self.high_acked < dup_thresh {
-            return lost;
+            return;
         }
         let limit = self.high_acked.saturating_sub(dup_thresh - 1);
         let mut s = self.clean;
@@ -76,7 +78,25 @@ impl SubflowTx {
             }
             s += 1;
         }
-        lost
+    }
+}
+
+/// Inserts `x` into the sorted set `v` (no-op if already present).
+///
+/// The per-flow seq sets (`lost`, `sent_reactive`) are small, churny, and
+/// regularly drain to empty. A `BTreeSet` frees its root node at that
+/// point and reallocates it on the next insert, which shows up as
+/// steady-state datapath allocations; a sorted `Vec` keeps its buffer.
+fn sorted_insert(v: &mut Vec<u32>, x: u32) {
+    if let Err(pos) = v.binary_search(&x) {
+        v.insert(pos, x);
+    }
+}
+
+/// Removes `x` from the sorted set `v` (no-op if absent).
+fn sorted_remove(v: &mut Vec<u32>, x: u32) {
+    if let Ok(pos) = v.binary_search(&x) {
+        v.remove(pos);
     }
 }
 
@@ -109,10 +129,15 @@ pub struct FlexPassSender {
     /// Deadline of the armed reactive tail-loss timer, if any.
     r_rto_deadline: Option<Time>,
     requested_credits: bool,
-    /// Packets currently in state `Lost` (sorted for O(log n) min lookup).
-    lost: std::collections::BTreeSet<u32>,
-    /// Packets currently in state `SentReactive` (proactive-retx candidates).
-    sent_reactive: std::collections::BTreeSet<u32>,
+    /// Reusable sub-seq scratch for ACK application and loss sweeps
+    /// (take/restore around iteration; never reallocated once warm).
+    seq_scratch: Vec<u32>,
+    /// Packets currently in state `Lost`, kept sorted (see [`sorted_insert`]
+    /// for why this is a `Vec` and not a `BTreeSet`).
+    lost: Vec<u32>,
+    /// Packets currently in state `SentReactive` (proactive-retx
+    /// candidates), kept sorted.
+    sent_reactive: Vec<u32>,
     stats: TxStats,
     done: bool,
 }
@@ -141,8 +166,9 @@ impl FlexPassSender {
             r_last_progress: Time::ZERO,
             r_rto_deadline: None,
             requested_credits: false,
-            lost: std::collections::BTreeSet::new(),
-            sent_reactive: std::collections::BTreeSet::new(),
+            seq_scratch: Vec::new(),
+            lost: Vec::new(),
+            sent_reactive: Vec::new(),
             stats: TxStats::default(),
             done: false,
         }
@@ -237,13 +263,13 @@ impl FlexPassSender {
     }
 
     fn first_lost(&self) -> Option<u32> {
-        self.lost.iter().next().copied()
+        self.lost.first().copied()
     }
 
     /// First packet still marked `SentReactive` (candidate for proactive
     /// retransmission).
     fn first_sent_reactive(&self) -> Option<u32> {
-        self.sent_reactive.iter().next().copied()
+        self.sent_reactive.first().copied()
     }
 
     fn data_packet(&self, flow_seq: u32, sub: Subflow, sub_seq: u32, retx: bool) -> Packet {
@@ -281,7 +307,7 @@ impl FlexPassSender {
         let sub_seq = self.reactive.assign(flow_seq);
         self.rseq_of[flow_seq as usize] = Some(sub_seq);
         self.states[flow_seq as usize] = PktState::SentReactive;
-        self.sent_reactive.insert(flow_seq);
+        sorted_insert(&mut self.sent_reactive, flow_seq);
         let pay = payload_of_packet(self.spec.size, flow_seq);
         self.stats.data_pkts += 1;
         self.stats.data_bytes += pay.get();
@@ -364,8 +390,8 @@ impl FlexPassSender {
         }
         let sub_seq = self.proactive.assign(flow_seq);
         self.pseq_of[flow_seq as usize] = Some(sub_seq);
-        self.lost.remove(&flow_seq);
-        self.sent_reactive.remove(&flow_seq);
+        sorted_remove(&mut self.lost, flow_seq);
+        sorted_remove(&mut self.sent_reactive, flow_seq);
         self.states[flow_seq as usize] = PktState::SentProactive;
         self.stats.data_pkts += 1;
         self.stats.data_bytes += pay.get();
@@ -383,8 +409,8 @@ impl FlexPassSender {
             return;
         }
         self.states[flow_seq as usize] = PktState::Acked;
-        self.lost.remove(&flow_seq);
-        self.sent_reactive.remove(&flow_seq);
+        sorted_remove(&mut self.lost, flow_seq);
+        sorted_remove(&mut self.sent_reactive, flow_seq);
         self.acked += 1;
         if let Some(r) = self.rseq_of[flow_seq as usize] {
             self.reactive.close(r);
@@ -394,10 +420,12 @@ impl FlexPassSender {
         }
     }
 
-    /// Applies an ACK to one sub-flow's bookkeeping; returns newly closed
-    /// slots that were acknowledged (not merely swept).
-    fn apply_subflow_ack(sub: &mut SubflowTx, ack: &AckInfo) -> Vec<u32> {
-        let mut newly = Vec::new();
+    /// Applies an ACK to one sub-flow's bookkeeping; fills `newly`
+    /// (cleared first) with newly closed slots that were acknowledged (not
+    /// merely swept). The buffer is caller-owned scratch so per-ACK
+    /// processing allocates nothing once warm.
+    fn apply_subflow_ack(sub: &mut SubflowTx, ack: &AckInfo, newly: &mut Vec<u32>) {
+        newly.clear();
         let upper = ack.cum.min(sub.next_seq());
         let mut s = sub.clean;
         while s < upper {
@@ -420,29 +448,31 @@ impl FlexPassSender {
         if ack.cum > 0 {
             sub.high_acked = sub.high_acked.max(ack.cum - 1);
         }
-        newly
     }
 
     fn on_reactive_ack(&mut self, ack: &AckInfo, ctx: &mut EndpointCtx) {
-        let newly = Self::apply_subflow_ack(&mut self.reactive, ack);
-        let n_new = newly.len() as u64;
-        for sub_seq in newly {
+        let mut seqs = std::mem::take(&mut self.seq_scratch);
+        Self::apply_subflow_ack(&mut self.reactive, ack, &mut seqs);
+        let n_new = seqs.len() as u64;
+        for &sub_seq in &seqs {
             let flow_seq = self.reactive.map[sub_seq as usize];
             self.ack_flow_seq(flow_seq);
         }
         // SACK-based loss detection: open slots with >= 3 acked above.
-        let lost = self.reactive.sweep_lost(3);
-        let had_loss = !lost.is_empty();
-        for sub_seq in lost {
+        self.reactive.sweep_lost(3, &mut seqs);
+        let had_loss = !seqs.is_empty();
+        for &sub_seq in &seqs {
             self.reactive.close(sub_seq);
             let flow_seq = self.reactive.map[sub_seq as usize];
             if self.states[flow_seq as usize] == PktState::SentReactive {
                 // Recovery happens on the proactive sub-flow (§4.2).
                 self.states[flow_seq as usize] = PktState::Lost;
-                self.sent_reactive.remove(&flow_seq);
-                self.lost.insert(flow_seq);
+                sorted_remove(&mut self.sent_reactive, flow_seq);
+                sorted_insert(&mut self.lost, flow_seq);
             }
         }
+        seqs.clear();
+        self.seq_scratch = seqs;
         if n_new > 0 {
             self.last_progress = ctx.now;
             self.r_last_progress = ctx.now;
@@ -471,25 +501,29 @@ impl FlexPassSender {
     }
 
     fn on_proactive_ack(&mut self, ack: &AckInfo, ctx: &mut EndpointCtx) {
-        let newly = Self::apply_subflow_ack(&mut self.proactive, ack);
-        if !newly.is_empty() {
+        let mut seqs = std::mem::take(&mut self.seq_scratch);
+        Self::apply_subflow_ack(&mut self.proactive, ack, &mut seqs);
+        if !seqs.is_empty() {
             self.last_progress = ctx.now;
             self.rto_backoff = 0;
         }
-        for sub_seq in newly {
+        for &sub_seq in &seqs {
             let flow_seq = self.proactive.map[sub_seq as usize];
             self.ack_flow_seq(flow_seq);
         }
         // Proactive losses are non-congestive (e.g. failures) but must be
         // recovered with the highest priority (§4.3).
-        for sub_seq in self.proactive.sweep_lost(3) {
+        self.proactive.sweep_lost(3, &mut seqs);
+        for &sub_seq in &seqs {
             self.proactive.close(sub_seq);
             let flow_seq = self.proactive.map[sub_seq as usize];
             if self.states[flow_seq as usize] == PktState::SentProactive {
                 self.states[flow_seq as usize] = PktState::Lost;
-                self.lost.insert(flow_seq);
+                sorted_insert(&mut self.lost, flow_seq);
             }
         }
+        seqs.clear();
+        self.seq_scratch = seqs;
         self.check_done(ctx);
         self.update_rto(ctx);
         // A proactive ACK can close stale reactive slots via `ack_flow_seq`.
@@ -523,8 +557,8 @@ impl FlexPassSender {
                 let flow_seq = self.reactive.map[s as usize];
                 if self.states[flow_seq as usize] == PktState::SentReactive {
                     self.states[flow_seq as usize] = PktState::Lost;
-                    self.sent_reactive.remove(&flow_seq);
-                    self.lost.insert(flow_seq);
+                    sorted_remove(&mut self.sent_reactive, flow_seq);
+                    sorted_insert(&mut self.lost, flow_seq);
                 }
             }
             s += 1;
@@ -557,8 +591,8 @@ impl FlexPassSender {
                     self.proactive.close(p);
                 }
                 self.states[s] = PktState::Lost;
-                self.sent_reactive.remove(&(s as u32));
-                self.lost.insert(s as u32);
+                sorted_remove(&mut self.sent_reactive, s as u32);
+                sorted_insert(&mut self.lost, s as u32);
             }
         }
         if any_lost {
@@ -641,6 +675,8 @@ mod tests {
     /// Test harness holding the ctx output buffers between calls.
     #[derive(Default)]
     struct H {
+        arena: flexpass_simnet::arena::PacketArena,
+        tx_ids: Vec<flexpass_simnet::arena::PacketId>,
         tx: Vec<Packet>,
         tm: Vec<flexpass_simnet::endpoint::TimerCmd>,
         app: Vec<AppEvent>,
@@ -648,8 +684,20 @@ mod tests {
 
     impl H {
         fn with<R>(&mut self, now: Time, f: impl FnOnce(&mut EndpointCtx) -> R) -> R {
-            let mut ctx = EndpointCtx::new(now, &mut self.tx, &mut self.tm, &mut self.app);
-            f(&mut ctx)
+            let r = {
+                let mut ctx = EndpointCtx::new(
+                    now,
+                    &mut self.arena,
+                    &mut self.tx_ids,
+                    &mut self.tm,
+                    &mut self.app,
+                );
+                f(&mut ctx)
+            };
+            // Staged ids become packets in emission order, as the driver's
+            // flush would see them.
+            self.arena.drain_into(&mut self.tx_ids, &mut self.tx);
+            r
         }
         fn data_sent(&self) -> Vec<DataInfo> {
             self.tx
@@ -932,7 +980,8 @@ mod tests {
             t.close(s);
         }
         t.high_acked = 9;
-        let lost = t.sweep_lost(3);
+        let mut lost = Vec::new();
+        t.sweep_lost(3, &mut lost);
         assert_eq!(lost, vec![0, 1, 2, 3, 4]);
     }
 }

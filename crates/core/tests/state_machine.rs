@@ -3,6 +3,7 @@
 
 use flexpass::config::FlexPassConfig;
 use flexpass::FlexPassSender;
+use flexpass_simnet::arena::PacketArena;
 use flexpass_simcore::rng::SimRng;
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
 use flexpass_simcore::units::Bytes;
@@ -145,15 +146,18 @@ proptest! {
         let mut s = FlexPassSender::new(spec(n), FlexPassConfig::new(0.5), &env());
         let mut rx = FakeReceiver::new();
         let mut rng = SimRng::new(seed);
+        let mut arena = PacketArena::new();
+        let mut tx_ids = Vec::new();
         let mut tx = Vec::new();
         let mut tm = Vec::new();
         let mut app = Vec::new();
         let mut armed = std::collections::BTreeMap::new();
         let mut now = Time::ZERO;
         {
-            let mut ctx = EndpointCtx::new(now, &mut tx, &mut tm, &mut app);
+            let mut ctx = EndpointCtx::new(now, &mut arena, &mut tx_ids, &mut tm, &mut app);
             s.activate(&mut ctx);
         }
+        arena.drain_into(&mut tx_ids, &mut tx);
         let mut credit_idx = 0u32;
         let mut rounds = 0;
         while !s.finished() && rounds < 50_000 {
@@ -178,19 +182,21 @@ proptest! {
             inbound.push(credit(credit_idx));
             credit_idx += 1;
             {
-                let mut ctx = EndpointCtx::new(now, &mut tx, &mut tm, &mut app);
+                let mut ctx = EndpointCtx::new(now, &mut arena, &mut tx_ids, &mut tm, &mut app);
                 for p in inbound {
                     s.on_packet(&p, &mut ctx);
                 }
             }
+            arena.drain_into(&mut tx_ids, &mut tx);
             // Fire any due timers through the arm/cancel table.
             let due = drain_timers(&mut armed, &mut tm, now);
             {
-                let mut ctx = EndpointCtx::new(now, &mut tx, &mut tm, &mut app);
+                let mut ctx = EndpointCtx::new(now, &mut arena, &mut tx_ids, &mut tm, &mut app);
                 for token in due {
                     s.on_timer(token, &mut ctx);
                 }
             }
+            arena.drain_into(&mut tx_ids, &mut tx);
         }
         prop_assert!(s.finished(), "sender wedged after {rounds} rounds (n={n})");
         let dones: Vec<_> = app
@@ -213,15 +219,18 @@ proptest! {
         let mut s = FlexPassSender::new(spec(n), FlexPassConfig::new(0.5), &env());
         let mut rx = FakeReceiver::new();
         let _ = seed;
+        let mut arena = PacketArena::new();
+        let mut tx_ids = Vec::new();
         let mut tx = Vec::new();
         let mut tm = Vec::new();
         let mut app = Vec::new();
         let mut armed = std::collections::BTreeMap::new();
         let mut now = Time::ZERO;
         {
-            let mut ctx = EndpointCtx::new(now, &mut tx, &mut tm, &mut app);
+            let mut ctx = EndpointCtx::new(now, &mut arena, &mut tx_ids, &mut tm, &mut app);
             s.activate(&mut ctx);
         }
+        arena.drain_into(&mut tx_ids, &mut tx);
         let mut credit_idx = 0u32;
         let mut rounds = 0;
         while !s.finished() && rounds < 10_000 {
@@ -239,19 +248,21 @@ proptest! {
             inbound.push(credit(credit_idx));
             credit_idx += 1;
             {
-                let mut ctx = EndpointCtx::new(now, &mut tx, &mut tm, &mut app);
+                let mut ctx = EndpointCtx::new(now, &mut arena, &mut tx_ids, &mut tm, &mut app);
                 for p in inbound {
                     s.on_packet(&p, &mut ctx);
                 }
             }
+            arena.drain_into(&mut tx_ids, &mut tx);
             // Fire due timers through the arm/cancel table.
             let due = drain_timers(&mut armed, &mut tm, now);
             {
-                let mut ctx = EndpointCtx::new(now, &mut tx, &mut tm, &mut app);
+                let mut ctx = EndpointCtx::new(now, &mut arena, &mut tx_ids, &mut tm, &mut app);
                 for token in due {
                     s.on_timer(token, &mut ctx);
                 }
             }
+            arena.drain_into(&mut tx_ids, &mut tx);
         }
         prop_assert!(s.finished());
         prop_assert_eq!(s.stats().retx_pkts, 0);

@@ -59,6 +59,10 @@ pub enum Invariant {
     EventOrder,
     /// End-to-end flow byte conservation failed at finish.
     FlowConservation,
+    /// A reusable scratch buffer's capacity shrank between flushes — it was
+    /// replaced (reallocated) instead of reused, breaking the zero-alloc
+    /// steady-state contract.
+    ScratchReuse,
 }
 
 impl fmt::Display for Invariant {
@@ -69,6 +73,7 @@ impl fmt::Display for Invariant {
             Invariant::CreditShaper => "credit-shaper",
             Invariant::EventOrder => "event-order",
             Invariant::FlowConservation => "flow-conservation",
+            Invariant::ScratchReuse => "scratch-reuse",
         };
         f.write_str(s)
     }
@@ -169,6 +174,9 @@ pub struct AuditCounters {
     /// Events scheduled in the past of virtual time (release builds clamp
     /// these to "now"; each is also an [`Invariant::EventOrder`] violation).
     pub schedule_clamps: u64,
+    /// Times a tracked scratch buffer grew its capacity. Warm-up growth is
+    /// expected; steady-state growth means the datapath still allocates.
+    pub scratch_grows: u64,
 }
 
 /// Everything the auditor learned over one run.
@@ -224,6 +232,8 @@ const MAX_RECORDED: usize = 64;
 struct Auditor {
     queues: BTreeMap<u64, QueueLedger>,
     flows: BTreeMap<u64, FlowLedger>,
+    /// Last reported total scratch capacity per component.
+    scratch_caps: BTreeMap<u64, u64>,
     violations: Vec<Violation>,
     total_violations: u64,
     counters: AuditCounters,
@@ -528,6 +538,29 @@ pub fn on_wire_depart(pkt: PktInfo) {
     });
 }
 
+/// Component `c` reports the total capacity of its reusable scratch
+/// buffers after a flush. Capacity may grow (warm-up) — each growth bumps
+/// [`AuditCounters::scratch_grows`] — but must never shrink: a shrink means
+/// the buffer was replaced with a fresh allocation instead of being reused.
+pub fn on_scratch_capacity(c: ComponentId, cap: u64) {
+    with_auditor(|a| {
+        let last = a.scratch_caps.get(&c.0).copied().unwrap_or(0);
+        if cap < last {
+            a.violate(
+                Invariant::ScratchReuse,
+                c,
+                None,
+                format!(
+                    "scratch capacity shrank from {last} to {cap} (buffer replaced, not reused)"
+                ),
+            );
+        } else if cap > last {
+            a.counters.scratch_grows += 1;
+        }
+        a.scratch_caps.insert(c.0, cap);
+    });
+}
+
 /// A packet finished propagating and reached a node.
 pub fn on_wire_arrive(pkt: PktInfo) {
     if !pkt.data {
@@ -635,6 +668,27 @@ mod tests {
         on_shared_buffer(s, 11, 10);
         let report = finish();
         assert_eq!(report.total_violations, 2);
+    }
+
+    #[test]
+    fn scratch_capacity_may_grow_but_not_shrink() {
+        install();
+        let c = new_component_id();
+        on_scratch_capacity(c, 0); // empty at start
+        on_scratch_capacity(c, 64); // warm-up growth
+        on_scratch_capacity(c, 64); // steady state: reused, no growth
+        on_scratch_capacity(c, 128); // more warm-up growth
+        let report = finish();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.counters.scratch_grows, 2);
+
+        install();
+        let c = new_component_id();
+        on_scratch_capacity(c, 128);
+        on_scratch_capacity(c, 16); // buffer replaced with a fresh allocation
+        let report = finish();
+        assert!(!report.is_clean());
+        assert_eq!(report.violations[0].invariant, Invariant::ScratchReuse);
     }
 
     #[test]

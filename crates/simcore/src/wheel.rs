@@ -307,10 +307,17 @@ impl<T> TimingWheel<T> {
                 bucket.retain(|e| !dead(&e.payload));
                 self.len -= before - bucket.len();
                 // `cur` is empty here, so the whole bucket heapifies in
-                // O(n) instead of n log n pushes.
+                // O(n) instead of n log n pushes. The spent current-slot
+                // buffer is recycled into the promoted slot: without the
+                // swap-back every promotion dropped one grown buffer and
+                // left a zero-capacity slot behind, so each slot re-grew
+                // through the same doubling sequence on every wheel
+                // rotation (the dominant steady-state allocation source).
                 // lint:allow(alloc-in-datapath): BinaryHeap::from(Vec) is an
                 // in-place heapify reusing the bucket's allocation.
-                self.cur = BinaryHeap::from(bucket);
+                let spent = std::mem::replace(&mut self.cur, BinaryHeap::from(bucket));
+                // lint:allow(panic-path): same idx bound as the take above.
+                self.slots[idx as usize] = spent.into_vec();
                 // If the whole bucket was dead, keep advancing.
                 continue;
             }
@@ -333,15 +340,24 @@ impl<T> TimingWheel<T> {
                     self.cur_slot = slot_l << shift;
                     // lint:allow(panic-path): lvl < LEVELS and idx < 64 (a
                     // u64 bit position), so the flat slot index is in range.
-                    let bucket =
-                        std::mem::take(&mut self.slots[lvl * SLOTS_PER_LEVEL + idx as usize]);
-                    for e in bucket {
+                    let flat = lvl * SLOTS_PER_LEVEL + idx as usize;
+                    // Drain in place and hand the emptied buffer back to the
+                    // slot: consuming the Vec here dropped its capacity, so
+                    // the slot re-grew from zero on every later cascade.
+                    // Re-placement cannot target this slot again (entries of
+                    // a cascaded slot land at strictly finer levels, or in
+                    // `cur`), so the restore never clobbers a re-place.
+                    // lint:allow(panic-path): flat bounds proven above.
+                    let mut bucket = std::mem::take(&mut self.slots[flat]);
+                    for e in bucket.drain(..) {
                         if dead(&e.payload) {
                             self.len -= 1;
                         } else {
                             self.place(e);
                         }
                     }
+                    // lint:allow(panic-path): flat bounds proven above.
+                    self.slots[flat] = bucket;
                     cascaded = true;
                     break;
                 }

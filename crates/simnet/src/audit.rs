@@ -97,6 +97,16 @@ pub fn flow_drop(pkt: &Packet) {
     let _ = pkt;
 }
 
+/// Component `c` reports `cap` total scratch-buffer capacity after a flush.
+/// Growth is warm-up; a shrink (buffer replaced, not reused) is a
+/// violation.
+pub fn scratch_capacity(c: ComponentId, cap: u64) {
+    #[cfg(feature = "audit")]
+    flexpass_simaudit::on_scratch_capacity(c, cap);
+    #[cfg(not(feature = "audit"))]
+    let _ = (c, cap);
+}
+
 /// `pkt` started propagating on a link.
 pub fn wire_depart(pkt: &Packet) {
     #[cfg(feature = "audit")]

@@ -8,6 +8,7 @@
 
 use flexpass_simcore::time::Time;
 
+use crate::arena::{PacketArena, PacketId};
 use crate::packet::{FlowId, Packet};
 
 /// Sender-side transmission statistics, reported on [`AppEvent::SenderDone`].
@@ -80,33 +81,42 @@ pub enum TimerCmd {
 }
 
 /// Output channel endpoints write into during a callback.
+///
+/// `send` moves the packet straight into the [`PacketArena`] and stages
+/// only its [`PacketId`] — from the first callback on, a packet's bytes
+/// live in exactly one place until release.
 pub struct EndpointCtx<'a> {
     /// Current virtual time.
     pub now: Time,
-    tx: &'a mut Vec<Packet>,
+    arena: &'a mut PacketArena,
+    tx: &'a mut Vec<PacketId>,
     timers: &'a mut Vec<TimerCmd>,
     app: &'a mut Vec<AppEvent>,
 }
 
 impl<'a> EndpointCtx<'a> {
-    /// Builds a context around the host's scratch buffers.
+    /// Builds a context around the host's scratch buffers and the packet
+    /// arena.
     pub fn new(
         now: Time,
-        tx: &'a mut Vec<Packet>,
+        arena: &'a mut PacketArena,
+        tx: &'a mut Vec<PacketId>,
         timers: &'a mut Vec<TimerCmd>,
         app: &'a mut Vec<AppEvent>,
     ) -> Self {
         EndpointCtx {
             now,
+            arena,
             tx,
             timers,
             app,
         }
     }
 
-    /// Transmits a packet through the host NIC.
+    /// Transmits a packet through the host NIC: the packet enters the
+    /// arena here and travels as an id from now on.
     pub fn send(&mut self, pkt: Packet) {
-        self.tx.push(pkt);
+        self.tx.push(self.arena.acquire(pkt));
     }
 
     /// Requests a fire-and-forget timer callback at absolute time `at` with
@@ -198,12 +208,14 @@ mod tests {
 
     #[test]
     fn ctx_collects_outputs() {
-        let mut tx = Vec::new();
+        let mut arena = PacketArena::new();
+        let mut tx_ids = Vec::new();
         let mut timers = Vec::new();
         let mut app = Vec::new();
         let mut ep = Echo { done: false };
         {
-            let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx, &mut timers, &mut app);
+            let mut ctx =
+                EndpointCtx::new(Time::ZERO, &mut arena, &mut tx_ids, &mut timers, &mut app);
             ep.activate(&mut ctx);
             let pkt = Packet::new(
                 1,
@@ -218,10 +230,13 @@ mod tests {
         }
         assert_eq!(timers.len(), 1);
         assert!(matches!(timers[0], TimerCmd::Set(_, 7)));
+        let mut tx = Vec::new();
+        arena.drain_into(&mut tx_ids, &mut tx);
         assert_eq!(tx.len(), 1);
         assert_eq!(tx[0].src, 1);
         assert_eq!(tx[0].dst, 0);
         assert_eq!(app.len(), 1);
         assert!(ep.finished());
+        assert_eq!(arena.live(), 0);
     }
 }

@@ -3,13 +3,20 @@
 //! A host owns one NIC egress [`Port`] — configured exactly like an edge
 //! switch port (§5, footnote 6: "NIC is essentially a special type of edge
 //! switch") — and a table of live transport [`Endpoint`]s keyed by flow.
-
-use std::collections::BTreeMap;
+//!
+//! Both per-flow tables (endpoints and armed timers) are sorted `Vec`s
+//! rather than `BTreeMap`s: lookups stay `O(log n)` via binary search,
+//! iteration order stays deterministic (ascending key, same as the maps
+//! they replace), and the backing slabs are preallocated through
+//! [`Host::reserve_flows`] so steady-state insert/remove churn never
+//! touches the heap — `BTreeMap` node splits were one of the last
+//! allocation sources on the hot datapath.
 
 use flexpass_simcore::time::Time;
 use flexpass_simcore::units::Bytes;
 use flexpass_simcore::TimerHandle;
 
+use crate::arena::{PacketArena, PacketId};
 use crate::endpoint::{AppEvent, Endpoint, EndpointCtx, TimerCmd};
 use crate::packet::{FlowId, HostId, Packet};
 use crate::port::Port;
@@ -34,12 +41,14 @@ pub struct Host {
     /// NIC egress port towards the ToR (or single switch).
     pub nic: Port,
     class_map: ClassMap,
-    // Ordered map: any iteration over live flows must be deterministic
-    // (hash-map order would vary run to run and break replayability).
-    flows: BTreeMap<FlowId, Box<dyn Endpoint>>,
-    /// Calendar handle of the armed cancellable timer per token. Entries
-    /// are removed when the timer is cancelled or its event is delivered.
-    pub(crate) armed_timers: BTreeMap<u64, TimerHandle>,
+    // Sorted by flow id: any iteration over live flows must be
+    // deterministic (hash-map order would vary run to run and break
+    // replayability).
+    flows: Vec<(FlowId, Box<dyn Endpoint>)>,
+    /// Calendar handle of the armed cancellable timer per token, sorted by
+    /// token. Entries are removed when the timer is cancelled or its event
+    /// is delivered.
+    armed: Vec<(u64, TimerHandle)>,
     counters: HostCounters,
 }
 
@@ -52,10 +61,18 @@ impl Host {
             host_id,
             nic: Port::new(&profile.port),
             class_map: profile.class_map,
-            flows: BTreeMap::new(),
-            armed_timers: BTreeMap::new(),
+            flows: Vec::new(),
+            armed: Vec::new(),
             counters: HostCounters::default(),
         }
+    }
+
+    /// Preallocates the per-flow tables for `n` concurrent flows, so
+    /// steady-state registration and timer churn stays off the heap.
+    pub fn reserve_flows(&mut self, n: usize) {
+        self.flows.reserve(n);
+        // Transports arm a handful of timer kinds per flow.
+        self.armed.reserve(n.saturating_mul(4));
     }
 
     /// Counters snapshot.
@@ -70,14 +87,55 @@ impl Host {
 
     /// Number of currently armed cancellable timers (table entries).
     pub fn armed_timers(&self) -> usize {
-        self.armed_timers.len()
+        self.armed.len()
+    }
+
+    /// Records `hd` as the armed cancellable timer for `token`, returning
+    /// the handle it replaced (if the token was already armed).
+    pub(crate) fn arm_timer(&mut self, token: u64, hd: TimerHandle) -> Option<TimerHandle> {
+        match self.armed.binary_search_by_key(&token, |e| e.0) {
+            Ok(pos) => {
+                let entry = self.armed.get_mut(pos).expect("binary_search hit in range");
+                Some(std::mem::replace(&mut entry.1, hd))
+            }
+            Err(pos) => {
+                self.armed.insert(pos, (token, hd));
+                None
+            }
+        }
+    }
+
+    /// The armed handle for `token`, if any (read-only peek).
+    pub(crate) fn armed_handle(&self, token: u64) -> Option<TimerHandle> {
+        match self.armed.binary_search_by_key(&token, |e| e.0) {
+            Ok(pos) => self.armed.get(pos).map(|e| e.1),
+            Err(_) => None,
+        }
+    }
+
+    /// Removes and returns the armed-timer entry for `token`.
+    pub(crate) fn take_armed(&mut self, token: u64) -> Option<TimerHandle> {
+        match self.armed.binary_search_by_key(&token, |e| e.0) {
+            Ok(pos) => Some(self.armed.remove(pos).1),
+            Err(_) => None,
+        }
+    }
+
+    fn flow_pos(&self, flow: FlowId) -> Result<usize, usize> {
+        self.flows.binary_search_by_key(&flow, |e| e.0)
     }
 
     /// Registers an endpoint for `flow` and runs its `activate` callback.
     pub fn register(&mut self, flow: FlowId, mut ep: Box<dyn Endpoint>, ctx: &mut EndpointCtx) {
         ep.activate(ctx);
         if !ep.finished() {
-            self.flows.insert(flow, ep);
+            match self.flow_pos(flow) {
+                Ok(pos) => {
+                    let entry = self.flows.get_mut(pos).expect("binary_search hit in range");
+                    entry.1 = ep;
+                }
+                Err(pos) => self.flows.insert(pos, (flow, ep)),
+            }
         }
     }
 
@@ -87,15 +145,16 @@ impl Host {
         if pkt.is_data() {
             self.counters.rx_data_bytes += pkt.payload_bytes();
         }
-        match self.flows.get_mut(&pkt.flow) {
-            Some(ep) => {
+        match self.flow_pos(pkt.flow) {
+            Ok(pos) => {
+                let ep = &mut self.flows.get_mut(pos).expect("binary_search hit in range").1;
                 ep.on_packet(pkt, ctx);
                 if ep.finished() {
-                    self.flows.remove(&pkt.flow);
+                    self.flows.remove(pos);
                 }
                 true
             }
-            None => {
+            Err(_) => {
                 self.counters.stray_rx += 1;
                 false
             }
@@ -104,34 +163,44 @@ impl Host {
 
     /// Fires a timer for `flow`; stale timers for departed flows are no-ops.
     pub fn fire_timer(&mut self, flow: FlowId, token: u64, ctx: &mut EndpointCtx) {
-        if let Some(ep) = self.flows.get_mut(&flow) {
+        if let Ok(pos) = self.flow_pos(flow) {
+            let ep = &mut self.flows.get_mut(pos).expect("binary_search hit in range").1;
             ep.on_timer(token, ctx);
             if ep.finished() {
-                self.flows.remove(&flow);
+                self.flows.remove(pos);
             }
         }
     }
 
-    /// Offers `pkt` to the NIC egress queue chosen by the host's class map.
-    /// Returns the queue index on success.
-    pub fn nic_enqueue(&mut self, pkt: Packet) -> Result<usize, (DropReason, Packet)> {
-        let qidx = self.class_map.queue_for(&pkt);
-        match self.nic.enqueue(qidx, pkt) {
+    /// Offers the packet behind `id` to the NIC egress queue chosen by the
+    /// host's class map. Returns the queue index on success; on `Err` the
+    /// caller keeps the id (and must release it).
+    pub fn nic_enqueue(
+        &mut self,
+        arena: &mut PacketArena,
+        id: PacketId,
+    ) -> Result<usize, (DropReason, PacketId)> {
+        let qidx = self
+            .class_map
+            .queue_for(arena.get(id).expect("enqueued id is live"));
+        match self.nic.enqueue(arena, qidx, id) {
             Ok(()) => Ok(qidx),
             Err(r) => {
                 self.counters.nic_drops += 1;
-                Err((r, pkt))
+                Err((r, id))
             }
         }
     }
 }
 
 /// Scratch buffers a host callback writes into; owned by the simulator and
-/// reused across events to avoid per-packet allocation.
+/// reused across events to avoid per-packet allocation. `tx` stages
+/// [`PacketId`]s — the packets themselves are already arena-resident by
+/// the time an endpoint hands them over.
 #[derive(Default)]
 pub struct Scratch {
-    /// Packets to transmit.
-    pub tx: Vec<Packet>,
+    /// Ids of packets to transmit.
+    pub tx: Vec<PacketId>,
     /// Timer requests, in issue order.
     pub timers: Vec<TimerCmd>,
     /// Application events.
@@ -139,16 +208,27 @@ pub struct Scratch {
 }
 
 impl Scratch {
-    /// Empties all buffers.
+    /// Empties all buffers, retaining their capacity for the next burst.
     pub fn clear(&mut self) {
         self.tx.clear();
         self.timers.clear();
         self.app.clear();
     }
 
-    /// Builds an [`EndpointCtx`] over these buffers.
-    pub fn ctx(&mut self, now: Time) -> EndpointCtx<'_> {
-        EndpointCtx::new(now, &mut self.tx, &mut self.timers, &mut self.app)
+    /// Current backing capacities `(tx, timers, app)` — watched by the
+    /// audit layer to prove the buffers are reused, not re-grown, across
+    /// bursts.
+    pub fn capacities(&self) -> (usize, usize, usize) {
+        (
+            self.tx.capacity(),
+            self.timers.capacity(),
+            self.app.capacity(),
+        )
+    }
+
+    /// Builds an [`EndpointCtx`] over these buffers and the packet arena.
+    pub fn ctx<'a>(&'a mut self, now: Time, arena: &'a mut PacketArena) -> EndpointCtx<'a> {
+        EndpointCtx::new(now, arena, &mut self.tx, &mut self.timers, &mut self.app)
     }
 }
 
@@ -215,6 +295,7 @@ mod tests {
     #[test]
     fn delivery_and_cleanup() {
         let mut h = Host::new(0, &profile());
+        let mut arena = PacketArena::new();
         let mut scratch = Scratch::default();
         h.register(
             7,
@@ -222,22 +303,23 @@ mod tests {
                 got: 0,
                 done_after: 2,
             }),
-            &mut scratch.ctx(Time::ZERO),
+            &mut scratch.ctx(Time::ZERO, &mut arena),
         );
         assert_eq!(h.live_flows(), 1);
-        assert!(h.deliver(&ctrl_pkt(7), &mut scratch.ctx(Time::ZERO)));
+        assert!(h.deliver(&ctrl_pkt(7), &mut scratch.ctx(Time::ZERO, &mut arena)));
         assert_eq!(h.live_flows(), 1);
-        assert!(h.deliver(&ctrl_pkt(7), &mut scratch.ctx(Time::ZERO)));
+        assert!(h.deliver(&ctrl_pkt(7), &mut scratch.ctx(Time::ZERO, &mut arena)));
         // Endpoint reached its target and was dropped.
         assert_eq!(h.live_flows(), 0);
         // Late packet counts as stray.
-        assert!(!h.deliver(&ctrl_pkt(7), &mut scratch.ctx(Time::ZERO)));
+        assert!(!h.deliver(&ctrl_pkt(7), &mut scratch.ctx(Time::ZERO, &mut arena)));
         assert_eq!(h.counters().stray_rx, 1);
     }
 
     #[test]
     fn immediately_finished_endpoint_not_registered() {
         let mut h = Host::new(0, &profile());
+        let mut arena = PacketArena::new();
         let mut scratch = Scratch::default();
         h.register(
             9,
@@ -245,15 +327,41 @@ mod tests {
                 got: 0,
                 done_after: 0,
             }),
-            &mut scratch.ctx(Time::ZERO),
+            &mut scratch.ctx(Time::ZERO, &mut arena),
         );
         assert_eq!(h.live_flows(), 0);
     }
 
     #[test]
+    fn flow_table_stays_sorted_under_out_of_order_registration() {
+        let mut h = Host::new(0, &profile());
+        let mut arena = PacketArena::new();
+        let mut scratch = Scratch::default();
+        h.reserve_flows(8);
+        for flow in [9u64, 2, 17, 5] {
+            h.register(
+                flow,
+                Box::new(CountEp {
+                    got: 0,
+                    done_after: 10,
+                }),
+                &mut scratch.ctx(Time::ZERO, &mut arena),
+            );
+        }
+        assert_eq!(h.live_flows(), 4);
+        // Every flow resolves by binary search regardless of insert order.
+        for flow in [2u64, 5, 9, 17] {
+            assert!(h.deliver(&ctrl_pkt(flow), &mut scratch.ctx(Time::ZERO, &mut arena)));
+        }
+        assert_eq!(h.counters().stray_rx, 0);
+    }
+
+    #[test]
     fn nic_classifies_by_class_map() {
         let mut h = Host::new(0, &profile());
-        let qi = h.nic_enqueue(ctrl_pkt(1)).unwrap();
+        let mut arena = PacketArena::new();
+        let id = arena.acquire(ctrl_pkt(1));
+        let qi = h.nic_enqueue(&mut arena, id).unwrap();
         assert_eq!(qi, 1);
         let legacy = Packet::new(
             2,
@@ -263,14 +371,16 @@ mod tests {
             TrafficClass::Legacy,
             Payload::CreditStop,
         );
-        assert_eq!(h.nic_enqueue(legacy).unwrap(), 2);
+        let id = arena.acquire(legacy);
+        assert_eq!(h.nic_enqueue(&mut arena, id).unwrap(), 2);
     }
 
     #[test]
     fn stale_timer_is_noop() {
         let mut h = Host::new(0, &profile());
+        let mut arena = PacketArena::new();
         let mut scratch = Scratch::default();
         // No flow 3 registered; must not panic.
-        h.fire_timer(3, 1, &mut scratch.ctx(Time::ZERO));
+        h.fire_timer(3, 1, &mut scratch.ctx(Time::ZERO, &mut arena));
     }
 }

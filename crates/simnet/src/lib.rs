@@ -4,6 +4,9 @@
 //!
 //! * [`packet`] — the on-wire packet model: traffic classes (DSCP analog),
 //!   ECN bits, drop-precedence color, and transport payload headers.
+//! * [`arena`] — the generation-indexed packet arena: every in-flight
+//!   packet lives in one preallocated slab slot, addressed by a
+//!   [`arena::PacketId`] whose generation tag rejects stale handles.
 //! * [`queue`] — a byte-accounted FIFO with ECN marking and per-color
 //!   (selective-drop) accounting.
 //! * [`port`] — an egress port scheduling several queues with strict
@@ -28,6 +31,7 @@
 //! through [`sim::TransportFactory`]; see the `flexpass-transport` and
 //! `flexpass` crates.
 
+pub mod arena;
 pub mod audit;
 pub mod consts;
 pub mod endpoint;
@@ -40,6 +44,7 @@ pub mod switch;
 pub mod topology;
 pub mod trace;
 
+pub use arena::{PacketArena, PacketId};
 pub use consts::*;
 pub use endpoint::{AppEvent, Endpoint, EndpointCtx, RxStats, TxStats};
 pub use packet::{

@@ -203,6 +203,18 @@ impl Packet {
         }
     }
 
+    /// Inert filler for arena slots that have never held a real packet.
+    pub(crate) fn placeholder() -> Packet {
+        Packet::new(
+            0,
+            0,
+            0,
+            WireBytes::ZERO,
+            TrafficClass::NewCtrl,
+            Payload::CreditStop,
+        )
+    }
+
     /// Marks the packet red (subject to selective dropping).
     pub fn red(mut self) -> Packet {
         self.color = Color::Red;

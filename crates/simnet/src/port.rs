@@ -16,9 +16,9 @@
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
 use flexpass_simcore::units::WireBytes;
 
+use crate::arena::{PacketArena, PacketId};
 use crate::audit;
 use crate::consts::DATA_WIRE;
-use crate::packet::Packet;
 use crate::queue::{DropReason, Enqueue, PacketQueue, QueueConfig};
 
 /// Scheduling attributes of one queue within a port.
@@ -82,8 +82,9 @@ impl PortConfig {
 /// What the scheduler decided on a service opportunity.
 #[derive(Debug)]
 pub enum Decision {
-    /// Transmit this packet (already dequeued).
-    Send(Packet),
+    /// Transmit this packet (already dequeued; ownership of the id passes
+    /// to the caller, who releases it at delivery or drop).
+    Send(PacketId),
     /// Nothing is eligible now, but a shaped queue becomes eligible at the
     /// given instant: wake the port then.
     WaitUntil(Time),
@@ -342,14 +343,20 @@ impl Port {
             .sched
     }
 
-    /// Offers `pkt` to queue `qidx` applying that queue's own policies.
-    /// Shared-buffer admission must have been checked by the caller.
-    pub fn enqueue(&mut self, qidx: usize, pkt: Packet) -> Result<(), DropReason> {
+    /// Offers the packet behind `id` to queue `qidx` applying that
+    /// queue's own policies. Shared-buffer admission must have been
+    /// checked by the caller. On `Err` the caller keeps the id.
+    pub fn enqueue(
+        &mut self,
+        arena: &mut PacketArena,
+        qidx: usize,
+        id: PacketId,
+    ) -> Result<(), DropReason> {
         let q = self
             .qs
             .get_mut(qidx)
             .expect("queue index within num_queues");
-        match q.queue.offer(pkt) {
+        match q.queue.offer(arena, id) {
             Enqueue::Admitted => Ok(()),
             Enqueue::Dropped(r) => Err(r),
         }
@@ -361,13 +368,13 @@ impl Port {
     }
 
     /// Runs the scheduler for one service opportunity at `now`.
-    pub fn next_packet(&mut self, now: Time) -> Decision {
+    pub fn next_packet(&mut self, arena: &mut PacketArena, now: Time) -> Decision {
         let mut wake: Option<Time> = None;
         let mut chosen: Option<usize> = None;
         for level in &mut self.levels {
             if let &[qi] = level.members.as_slice() {
                 let q = self.qs.get_mut(qi).expect("level members index queues");
-                let Some(head) = q.queue.head_bytes() else {
+                let Some(head) = q.queue.head_bytes(arena) else {
                     continue; // empty queue
                 };
                 if let Some(shaper) = q.shaper.as_mut() {
@@ -384,13 +391,13 @@ impl Port {
                 chosen = Some(qi);
                 break;
             }
-            if let Some(qi) = Self::dwrr_pick(level, &mut self.qs) {
+            if let Some(qi) = Self::dwrr_pick(level, &mut self.qs, arena) {
                 chosen = Some(qi);
                 break;
             }
         }
         match chosen {
-            Some(qi) => self.serve(qi),
+            Some(qi) => self.serve(arena, qi),
             None => match wake {
                 Some(t) => Decision::WaitUntil(t),
                 None => Decision::Idle,
@@ -400,7 +407,7 @@ impl Port {
 
     /// DWRR selection among the queues of `level`. Returns the queue to
     /// serve, or `None` if the level has no backlog.
-    fn dwrr_pick(level: &mut Level, qs: &mut [QState]) -> Option<usize> {
+    fn dwrr_pick(level: &mut Level, qs: &mut [QState], arena: &PacketArena) -> Option<usize> {
         // Progress bound: one full cycle adds `quantum` to every backlogged
         // queue's deficit, so the queue whose head needs the fewest
         // additional quanta is served within that many cycles. This is
@@ -414,7 +421,7 @@ impl Port {
             .iter()
             .filter_map(|&i| qs.get(i))
             .filter_map(|q| {
-                let head = q.queue.head_bytes()?.as_f64();
+                let head = q.queue.head_bytes(arena)?.as_f64();
                 let need = (head - q.deficit).max(0.0);
                 // lint:allow(raw-cast): round count, not a byte quantity
                 // lint:allow(panic-path): f64 ratio; quantum >= 1.0 by
@@ -426,7 +433,7 @@ impl Port {
         for _ in 0..=max_passes {
             let qi = level.current();
             let q = qs.get_mut(qi).expect("level members index queues");
-            let Some(head) = q.queue.head_bytes() else {
+            let Some(head) = q.queue.head_bytes(arena) else {
                 q.deficit = 0.0;
                 level.advance();
                 continue;
@@ -446,13 +453,14 @@ impl Port {
     }
 
     /// Dequeues from `qi`, updating deficits and counters.
-    fn serve(&mut self, qi: usize) -> Decision {
+    fn serve(&mut self, arena: &mut PacketArena, qi: usize) -> Decision {
         let q = self
             .qs
             .get_mut(qi)
             .expect("served queue index within num_queues");
-        let pkt = q.queue.dequeue().expect("serve on empty queue");
-        let size = pkt.wire.as_f64();
+        let id = q.queue.dequeue(arena).expect("serve on empty queue");
+        let wire = arena.get(id).expect("served id is live").wire;
+        let size = wire.as_f64();
         // Update DWRR state if this queue shares its level.
         let level = self
             .levels
@@ -461,7 +469,7 @@ impl Port {
             .expect("queue belongs to a level");
         if level.members.len() > 1 {
             q.deficit -= size;
-            let advance = match q.queue.head_bytes() {
+            let advance = match q.queue.head_bytes(arena) {
                 None => {
                     q.deficit = 0.0;
                     true
@@ -473,8 +481,8 @@ impl Port {
             }
         }
         self.counters.tx_pkts += 1;
-        self.counters.tx_bytes += pkt.wire;
-        Decision::Send(pkt)
+        self.counters.tx_bytes += wire;
+        Decision::Send(id)
     }
 }
 
@@ -482,8 +490,32 @@ impl Port {
 mod tests {
     use super::*;
     use crate::consts::{CTRL_WIRE, DATA_HEADER_WIRE};
-    use crate::packet::{CreditInfo, DataInfo, Payload, Subflow, TrafficClass};
+    use crate::packet::{CreditInfo, DataInfo, Packet, Payload, Subflow, TrafficClass};
     use flexpass_simcore::units::Bytes;
+
+    /// Decision with the sent packet copied out of the arena, so tests can
+    /// assert on packet contents directly.
+    #[derive(Debug)]
+    enum Out {
+        Send(Packet),
+        WaitUntil(Time),
+        Idle,
+    }
+
+    fn enq(port: &mut Port, a: &mut PacketArena, qidx: usize, pkt: Packet) -> Result<(), DropReason> {
+        let id = a.acquire(pkt);
+        port.enqueue(a, qidx, id).inspect_err(|_| {
+            a.release(id);
+        })
+    }
+
+    fn next(port: &mut Port, a: &mut PacketArena, now: Time) -> Out {
+        match port.next_packet(a, now) {
+            Decision::Send(id) => Out::Send(a.release(id).expect("sent id is live")),
+            Decision::WaitUntil(t) => Out::WaitUntil(t),
+            Decision::Idle => Out::Idle,
+        }
+    }
 
     fn data(wire: u64) -> Packet {
         Packet::new(
@@ -513,11 +545,11 @@ mod tests {
         )
     }
 
-    fn drain(port: &mut Port, now: Time, n: usize) -> Vec<Packet> {
+    fn drain(port: &mut Port, a: &mut PacketArena, now: Time, n: usize) -> Vec<Packet> {
         let mut out = Vec::new();
         for _ in 0..n {
-            match port.next_packet(now) {
-                Decision::Send(p) => out.push(p),
+            match next(port, a, now) {
+                Out::Send(p) => out.push(p),
                 _ => break,
             }
         }
@@ -534,9 +566,10 @@ mod tests {
             ],
         };
         let mut port = Port::new(&cfg);
-        port.enqueue(1, data(DATA_WIRE.get())).unwrap();
-        port.enqueue(0, data(100)).unwrap();
-        let out = drain(&mut port, Time::ZERO, 2);
+        let mut a = PacketArena::new();
+        enq(&mut port, &mut a, 1, data(DATA_WIRE.get())).unwrap();
+        enq(&mut port, &mut a, 0, data(100)).unwrap();
+        let out = drain(&mut port, &mut a, Time::ZERO, 2);
         assert_eq!(out[0].wire, WireBytes::new(100));
         assert_eq!(out[1].wire, DATA_WIRE);
     }
@@ -551,15 +584,16 @@ mod tests {
             ],
         };
         let mut port = Port::new(&cfg);
+        let mut a = PacketArena::new();
         for _ in 0..10 {
-            port.enqueue(0, data(DATA_WIRE.get())).unwrap();
-            port.enqueue(1, data(538)).unwrap();
+            enq(&mut port, &mut a, 0, data(DATA_WIRE.get())).unwrap();
+            enq(&mut port, &mut a, 1, data(538)).unwrap();
         }
         // Byte share, not packet share, must be balanced: queue 1's packets
         // are smaller so it should send ~2.8x as many packets.
         let mut bytes = [0u64; 2];
         let mut served = 0;
-        while let Decision::Send(p) = port.next_packet(Time::ZERO) {
+        while let Out::Send(p) = next(&mut port, &mut a, Time::ZERO) {
             let qi = if p.wire == DATA_WIRE { 0 } else { 1 };
             bytes[qi] += p.wire.get();
             served += 1;
@@ -583,13 +617,14 @@ mod tests {
         // Use distinguishable sizes close enough to be fair by bytes.
         let mut counts = [0u64; 2];
         let mut port = Port::new(&cfg);
+        let mut a = PacketArena::new();
         for _ in 0..1000 {
-            port.enqueue(0, data(1537)).unwrap();
-            port.enqueue(1, data(DATA_WIRE.get())).unwrap();
+            enq(&mut port, &mut a, 0, data(1537)).unwrap();
+            enq(&mut port, &mut a, 1, data(DATA_WIRE.get())).unwrap();
         }
         for _ in 0..1000 {
-            match port.next_packet(Time::ZERO) {
-                Decision::Send(p) => {
+            match next(&mut port, &mut a, Time::ZERO) {
+                Out::Send(p) => {
                     if p.wire == WireBytes::new(1537) {
                         counts[0] += 1
                     } else {
@@ -617,23 +652,24 @@ mod tests {
             ],
         };
         let mut port = Port::new(&cfg);
+        let mut a = PacketArena::new();
         let t0 = Time::from_millis(1);
         // Exhaust the initial token burst with one credit.
-        port.enqueue(0, credit()).unwrap();
-        match port.next_packet(t0) {
-            Decision::Send(p) => assert_eq!(p.wire, CTRL_WIRE),
+        enq(&mut port, &mut a, 0, credit()).unwrap();
+        match next(&mut port, &mut a, t0) {
+            Out::Send(p) => assert_eq!(p.wire, CTRL_WIRE),
             other => panic!("expected credit send, got {other:?}"),
         }
         // Now the bucket is empty; a queued credit must wait but data flows.
-        port.enqueue(0, credit()).unwrap();
-        port.enqueue(1, data(DATA_WIRE.get())).unwrap();
-        match port.next_packet(t0) {
-            Decision::Send(p) => assert_eq!(p.wire, DATA_WIRE),
+        enq(&mut port, &mut a, 0, credit()).unwrap();
+        enq(&mut port, &mut a, 1, data(DATA_WIRE.get())).unwrap();
+        match next(&mut port, &mut a, t0) {
+            Out::Send(p) => assert_eq!(p.wire, DATA_WIRE),
             other => panic!("expected data send, got {other:?}"),
         }
         // Only the credit remains: scheduler reports the wake time.
-        match port.next_packet(t0) {
-            Decision::WaitUntil(t) => {
+        match next(&mut port, &mut a, t0) {
+            Out::WaitUntil(t) => {
                 // 84 bytes at 1 Mbps = 672 us.
                 let dt = t - t0;
                 assert!(
@@ -641,8 +677,8 @@ mod tests {
                     "wake after {dt:?}"
                 );
                 // At the wake time the credit becomes eligible.
-                match port.next_packet(t) {
-                    Decision::Send(p) => assert_eq!(p.wire, CTRL_WIRE),
+                match next(&mut port, &mut a, t) {
+                    Out::Send(p) => assert_eq!(p.wire, CTRL_WIRE),
                     other => panic!("expected credit after wait, got {other:?}"),
                 }
             }
@@ -665,9 +701,10 @@ mod tests {
             ],
         };
         let mut port = Port::new(&cfg);
-        port.enqueue(0, data(9_000)).unwrap();
-        match port.next_packet(Time::ZERO) {
-            Decision::Send(p) => assert_eq!(p.wire, WireBytes::new(9_000)),
+        let mut a = PacketArena::new();
+        enq(&mut port, &mut a, 0, data(9_000)).unwrap();
+        match next(&mut port, &mut a, Time::ZERO) {
+            Out::Send(p) => assert_eq!(p.wire, WireBytes::new(9_000)),
             other => panic!("expected jumbo send, got {other:?}"),
         }
         assert!(!port.has_backlog());
@@ -676,7 +713,8 @@ mod tests {
     #[test]
     fn idle_when_empty() {
         let mut port = Port::new(&PortConfig::single_fifo(Rate::from_gbps(10)));
-        assert!(matches!(port.next_packet(Time::ZERO), Decision::Idle));
+        let mut a = PacketArena::new();
+        assert!(matches!(next(&mut port, &mut a, Time::ZERO), Out::Idle));
         assert!(!port.has_backlog());
     }
 
@@ -693,20 +731,21 @@ mod tests {
             )],
         };
         let mut port = Port::new(&cfg);
+        let mut a = PacketArena::new();
         for _ in 0..1000 {
-            port.enqueue(0, credit()).unwrap();
+            enq(&mut port, &mut a, 0, credit()).unwrap();
         }
         let mut now = Time::ZERO;
         let mut sent = 0u64;
         let mut last = Time::ZERO;
         while sent < 1000 {
-            match port.next_packet(now) {
-                Decision::Send(_) => {
+            match next(&mut port, &mut a, now) {
+                Out::Send(_) => {
                     sent += 1;
                     last = now;
                 }
-                Decision::WaitUntil(t) => now = t,
-                Decision::Idle => break,
+                Out::WaitUntil(t) => now = t,
+                Out::Idle => break,
             }
         }
         let achieved_bps = (1000.0 - 2.0) * CTRL_WIRE.as_f64() * 8.0 / last.as_secs_f64();

@@ -15,13 +15,21 @@
 //! Buffer admission against the switch-level shared buffer happens in
 //! [`crate::switch`]; this module only enforces the queue's own static cap
 //! (used for the tiny credit-queue buffer).
-
-use std::collections::VecDeque;
+//!
+//! Storage is an **intrusive singly-linked FIFO of [`PacketId`]s**: the
+//! queue holds only `head`/`tail`/`len`, and each packet's successor link
+//! is threaded through its [`PacketArena`] slot. Enqueue and dequeue are
+//! pointer writes into the preallocated slab — no per-packet heap node,
+//! no ring-buffer doubling mid-sim. While a packet is queued the queue
+//! *owns* its id (the one live copy that will be handed onward), which is
+//! what makes reconstructing successor ids from slot generations sound.
 
 use flexpass_simcore::units::WireBytes;
 
+use crate::arena::{PacketArena, PacketId};
 use crate::audit;
-use crate::packet::{Color, Packet};
+use crate::consts::CTRL_WIRE;
+use crate::packet::Color;
 use crate::trace;
 
 /// Why a packet was dropped at enqueue time.
@@ -78,6 +86,19 @@ impl QueueConfig {
         self.red_threshold = Some(bytes);
         self
     }
+
+    /// Most packets this queue's *static* cap can hold — its contribution
+    /// to arena pre-sizing — or `None` when uncapped (shared buffer or
+    /// transport windows bound occupancy instead). Counted in minimum-size
+    /// ([`CTRL_WIRE`]) packets, the densest admissible packing.
+    pub fn capacity_hint(&self) -> Option<usize> {
+        if self.cap_bytes == WireBytes::MAX {
+            return None;
+        }
+        let per_pkt = CTRL_WIRE.get().max(1);
+        // lint:allow(raw-cast): bytes / bytes-per-packet is a packet count
+        Some(self.cap_bytes.get().div_ceil(per_pkt) as usize)
+    }
 }
 
 /// Counters exported by each queue.
@@ -95,11 +116,13 @@ pub struct QueueCounters {
     pub dropped_red_bytes: WireBytes,
 }
 
-/// A FIFO egress queue.
+/// A FIFO egress queue: an intrusive list of arena-resident packets.
 #[derive(Debug)]
 pub struct PacketQueue {
     cfg: QueueConfig,
-    fifo: VecDeque<Packet>,
+    head: Option<PacketId>,
+    tail: Option<PacketId>,
+    len: usize,
     bytes: WireBytes,
     red_bytes: WireBytes,
     counters: QueueCounters,
@@ -112,16 +135,21 @@ pub struct PacketQueue {
 pub enum Enqueue {
     /// Admitted (possibly CE-marked inside).
     Admitted,
-    /// Dropped for the given reason.
+    /// Dropped for the given reason. The caller still owns the id and is
+    /// responsible for releasing it.
     Dropped(DropReason),
 }
 
 impl PacketQueue {
-    /// Creates an empty queue with the given configuration.
+    /// Creates an empty queue with the given configuration. The queue
+    /// itself owns no packet storage — backing slots live in the shared
+    /// [`PacketArena`], pre-sized from [`QueueConfig::capacity_hint`].
     pub fn new(cfg: QueueConfig) -> Self {
         PacketQueue {
             cfg,
-            fifo: VecDeque::new(),
+            head: None,
+            tail: None,
+            len: 0,
             bytes: WireBytes::ZERO,
             red_bytes: WireBytes::ZERO,
             counters: QueueCounters::default(),
@@ -147,12 +175,12 @@ impl PacketQueue {
 
     /// Queued packets.
     pub fn len(&self) -> usize {
-        self.fifo.len()
+        self.len
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.fifo.is_empty()
+        self.len == 0
     }
 
     /// Counters snapshot.
@@ -161,17 +189,23 @@ impl PacketQueue {
     }
 
     /// Wire size of the head packet, if any.
-    pub fn head_bytes(&self) -> Option<WireBytes> {
-        self.fifo.front().map(|p| p.wire)
+    pub fn head_bytes(&self, arena: &PacketArena) -> Option<WireBytes> {
+        self.head
+            .map(|id| arena.get(id).expect("queued id is live").wire)
     }
 
-    /// Offers `pkt` to the queue, applying the queue's own policies:
-    /// static cap, selective red dropping, and ECN marking.
+    /// Offers the packet behind `id` to the queue, applying the queue's
+    /// own policies: static cap, selective red dropping, and ECN marking.
     ///
-    /// Shared-buffer admission must be checked by the caller *before* this
-    /// (the switch knows the buffer state; the queue does not).
-    pub fn offer(&mut self, mut pkt: Packet) -> Enqueue {
-        let size = pkt.wire;
+    /// On `Admitted` the queue takes ownership of `id` until `dequeue`
+    /// hands it back; on `Dropped` the caller keeps it (and must release
+    /// it). Shared-buffer admission must be checked by the caller *before*
+    /// this (the switch knows the buffer state; the queue does not).
+    pub fn offer(&mut self, arena: &mut PacketArena, id: PacketId) -> Enqueue {
+        let (size, color, ecn_capable) = {
+            let pkt = arena.get(id).expect("offered id is live");
+            (pkt.wire, pkt.color, pkt.ecn_capable)
+        };
         if self
             .cfg
             .cap_bytes
@@ -181,7 +215,7 @@ impl PacketQueue {
             self.counters.dropped_cap += 1;
             return Enqueue::Dropped(DropReason::QueueCap);
         }
-        if pkt.color == Color::Red {
+        if color == Color::Red {
             if let Some(red_thr) = self.cfg.red_threshold {
                 if self.red_bytes + size > red_thr {
                     self.counters.dropped_red += 1;
@@ -191,34 +225,56 @@ impl PacketQueue {
             }
         }
         if let Some(ecn_thr) = self.cfg.ecn_threshold {
-            if pkt.ecn_capable && self.bytes > ecn_thr {
+            if ecn_capable && self.bytes > ecn_thr {
+                let pkt = arena.get_mut(id).expect("offered id is live");
                 pkt.ecn_ce = true;
                 self.counters.ecn_marked += 1;
-                trace::ecn_mark(self.trace_id, &pkt);
+                trace::ecn_mark(self.trace_id, arena.get(id).expect("offered id is live"));
             }
         }
-        if pkt.color == Color::Red {
+        if color == Color::Red {
             self.red_bytes += size;
         }
         self.bytes += size;
         self.counters.enqueued += 1;
-        audit::enqueue(self.audit_id, &pkt, self.bytes);
-        trace::enqueue(self.trace_id, &pkt, self.bytes);
-        self.fifo.push_back(pkt);
+        {
+            let pkt = arena.get(id).expect("offered id is live");
+            audit::enqueue(self.audit_id, pkt, self.bytes);
+            trace::enqueue(self.trace_id, pkt, self.bytes);
+        }
+        arena.clear_next(id);
+        match self.tail {
+            Some(t) => arena.set_next(t, id),
+            None => self.head = Some(id),
+        }
+        self.tail = Some(id);
+        self.len += 1;
         Enqueue::Admitted
     }
 
-    /// Removes and returns the head packet.
-    pub fn dequeue(&mut self) -> Option<Packet> {
-        let pkt = self.fifo.pop_front()?;
-        let size = pkt.wire;
+    /// Removes and returns the head packet's id, handing ownership back to
+    /// the caller (who delivers, forwards, or releases it).
+    pub fn dequeue(&mut self, arena: &mut PacketArena) -> Option<PacketId> {
+        let id = self.head?;
+        self.head = arena.next_of(id);
+        if self.head.is_none() {
+            self.tail = None;
+        }
+        self.len -= 1;
+        let (size, color) = {
+            let pkt = arena.get(id).expect("queued id is live");
+            (pkt.wire, pkt.color)
+        };
         self.bytes -= size;
-        if pkt.color == Color::Red {
+        if color == Color::Red {
             self.red_bytes -= size;
         }
-        audit::dequeue(self.audit_id, &pkt, self.bytes);
-        trace::dequeue(self.trace_id, &pkt, self.bytes);
-        Some(pkt)
+        {
+            let pkt = arena.get(id).expect("queued id is live");
+            audit::dequeue(self.audit_id, pkt, self.bytes);
+            trace::dequeue(self.trace_id, pkt, self.bytes);
+        }
+        Some(id)
     }
 }
 
@@ -226,7 +282,8 @@ impl PacketQueue {
 mod tests {
     use super::*;
     use crate::consts::CTRL_WIRE;
-    use crate::packet::{CreditInfo, DataInfo, Payload, Subflow, TrafficClass};
+    use crate::packet::{CreditInfo, DataInfo, Packet, Payload, Subflow, TrafficClass};
+    use flexpass_simcore::rng::SimRng;
     use flexpass_simcore::units::Bytes;
 
     fn mk(wire: u64, red: bool, ecn: bool) -> Packet {
@@ -253,48 +310,70 @@ mod tests {
         }
     }
 
+    /// Offer a packet value, releasing the id again if the queue refuses
+    /// it (mirrors what switch/host call sites do).
+    fn offer_pkt(q: &mut PacketQueue, a: &mut PacketArena, pkt: Packet) -> Enqueue {
+        let id = a.acquire(pkt);
+        let r = q.offer(a, id);
+        if matches!(r, Enqueue::Dropped(_)) {
+            a.release(id);
+        }
+        r
+    }
+
+    /// Dequeue straight to a packet value, releasing the slot.
+    fn dequeue_pkt(q: &mut PacketQueue, a: &mut PacketArena) -> Option<Packet> {
+        let id = q.dequeue(a)?;
+        a.release(id)
+    }
+
     #[test]
     fn fifo_order_and_byte_accounting() {
+        let mut a = PacketArena::new();
         let mut q = PacketQueue::new(QueueConfig::plain());
-        q.offer(mk(100, false, false));
-        q.offer(mk(200, true, false));
+        offer_pkt(&mut q, &mut a, mk(100, false, false));
+        offer_pkt(&mut q, &mut a, mk(200, true, false));
         assert_eq!(q.bytes(), WireBytes::new(300));
         assert_eq!(q.red_bytes(), WireBytes::new(200));
-        assert_eq!(q.head_bytes(), Some(WireBytes::new(100)));
-        assert_eq!(q.dequeue().unwrap().wire, WireBytes::new(100));
+        assert_eq!(q.head_bytes(&a), Some(WireBytes::new(100)));
+        assert_eq!(dequeue_pkt(&mut q, &mut a).unwrap().wire, WireBytes::new(100));
         assert_eq!(q.bytes(), WireBytes::new(200));
-        assert_eq!(q.dequeue().unwrap().wire, WireBytes::new(200));
+        assert_eq!(dequeue_pkt(&mut q, &mut a).unwrap().wire, WireBytes::new(200));
         assert_eq!(q.bytes(), WireBytes::ZERO);
         assert_eq!(q.red_bytes(), WireBytes::ZERO);
-        assert!(q.dequeue().is_none());
+        assert!(dequeue_pkt(&mut q, &mut a).is_none());
+        assert_eq!(a.live(), 0, "queue drained back to an empty arena");
     }
 
     #[test]
     fn static_cap_drops() {
+        let mut a = PacketArena::new();
         let mut q = PacketQueue::new(QueueConfig::capped(WireBytes::new(1_000)));
         for _ in 0..11 {
-            q.offer(mk(CTRL_WIRE.get(), false, false));
+            offer_pkt(&mut q, &mut a, mk(CTRL_WIRE.get(), false, false));
         }
         // 11 * 84 = 924 fits; a 12th would exceed 1000.
         assert_eq!(q.len(), 11);
         assert_eq!(
-            q.offer(mk(CTRL_WIRE.get(), false, false)),
+            offer_pkt(&mut q, &mut a, mk(CTRL_WIRE.get(), false, false)),
             Enqueue::Dropped(DropReason::QueueCap)
         );
         assert_eq!(q.counters().dropped_cap, 1);
+        assert_eq!(a.live(), 11, "dropped packet's slot was released");
     }
 
     #[test]
     fn selective_drop_hits_only_red() {
+        let mut a = PacketArena::new();
         let mut q = PacketQueue::new(QueueConfig::plain().with_red_threshold(WireBytes::new(500)));
-        assert_eq!(q.offer(mk(400, true, false)), Enqueue::Admitted);
+        assert_eq!(offer_pkt(&mut q, &mut a, mk(400, true, false)), Enqueue::Admitted);
         // Red bytes would reach 800 > 500 -> dropped.
         assert_eq!(
-            q.offer(mk(400, true, false)),
+            offer_pkt(&mut q, &mut a, mk(400, true, false)),
             Enqueue::Dropped(DropReason::SelectiveRed)
         );
         // Green packets are unaffected.
-        assert_eq!(q.offer(mk(400, false, false)), Enqueue::Admitted);
+        assert_eq!(offer_pkt(&mut q, &mut a, mk(400, false, false)), Enqueue::Admitted);
         assert_eq!(q.counters().dropped_red, 1);
         assert_eq!(q.counters().dropped_red_bytes, WireBytes::new(400));
         assert_eq!(q.bytes(), WireBytes::new(800));
@@ -303,40 +382,156 @@ mod tests {
 
     #[test]
     fn ecn_marks_above_threshold_only_capable_packets() {
+        let mut a = PacketArena::new();
         let mut q = PacketQueue::new(QueueConfig::plain().with_ecn(WireBytes::new(500)));
-        q.offer(mk(600, false, true));
+        offer_pkt(&mut q, &mut a, mk(600, false, true));
         // Queue was empty (0 <= 500) at arrival: no mark.
         assert_eq!(q.counters().ecn_marked, 0);
-        q.offer(mk(100, false, true));
+        offer_pkt(&mut q, &mut a, mk(100, false, true));
         // Queue length 600 > 500: marked.
         assert_eq!(q.counters().ecn_marked, 1);
         // Non-capable packet above threshold: not marked.
-        q.offer(mk(100, false, false));
+        offer_pkt(&mut q, &mut a, mk(100, false, false));
         assert_eq!(q.counters().ecn_marked, 1);
-        let a = q.dequeue().unwrap();
-        let b = q.dequeue().unwrap();
-        let c = q.dequeue().unwrap();
-        assert!(!a.ecn_ce && b.ecn_ce && !c.ecn_ce);
+        let x = dequeue_pkt(&mut q, &mut a).unwrap();
+        let y = dequeue_pkt(&mut q, &mut a).unwrap();
+        let z = dequeue_pkt(&mut q, &mut a).unwrap();
+        assert!(!x.ecn_ce && y.ecn_ce && !z.ecn_ce);
     }
 
     #[test]
     fn credit_queue_profile() {
         // The paper's Q0: < 1 kB buffer so excess credits are dropped.
+        let mut a = PacketArena::new();
         let mut q = PacketQueue::new(QueueConfig::capped(WireBytes::new(1_000)));
         let mut admitted = 0;
         for _ in 0..100 {
-            if q.offer(Packet::new(
+            let pkt = Packet::new(
                 9,
                 0,
                 1,
                 CTRL_WIRE,
                 TrafficClass::Credit,
                 Payload::Credit(CreditInfo { idx: 0 }),
-            )) == Enqueue::Admitted
-            {
+            );
+            if offer_pkt(&mut q, &mut a, pkt) == Enqueue::Admitted {
                 admitted += 1;
             }
         }
         assert_eq!(admitted, 11);
+    }
+
+    #[test]
+    fn capacity_hint_counts_min_size_packets() {
+        assert_eq!(QueueConfig::plain().capacity_hint(), None);
+        // 1000 / 84 rounds up to 12 slots.
+        assert_eq!(
+            QueueConfig::capped(WireBytes::new(1_000)).capacity_hint(),
+            Some(12)
+        );
+    }
+
+    /// A `VecDeque<Packet>`-backed oracle re-implementing the queue's
+    /// admission policies verbatim (the pre-arena implementation).
+    struct ModelQueue {
+        cfg: QueueConfig,
+        fifo: std::collections::VecDeque<Packet>,
+        bytes: WireBytes,
+        red_bytes: WireBytes,
+    }
+
+    enum ModelResult {
+        Admitted,
+        Dropped(DropReason),
+    }
+
+    impl ModelQueue {
+        fn offer(&mut self, mut pkt: Packet) -> ModelResult {
+            let size = pkt.wire;
+            if self
+                .cfg
+                .cap_bytes
+                .checked_sub(size)
+                .is_none_or(|room| self.bytes > room)
+            {
+                return ModelResult::Dropped(DropReason::QueueCap);
+            }
+            if pkt.color == Color::Red {
+                if let Some(red_thr) = self.cfg.red_threshold {
+                    if self.red_bytes + size > red_thr {
+                        return ModelResult::Dropped(DropReason::SelectiveRed);
+                    }
+                }
+            }
+            if let Some(ecn_thr) = self.cfg.ecn_threshold {
+                if pkt.ecn_capable && self.bytes > ecn_thr {
+                    pkt.ecn_ce = true;
+                }
+            }
+            if pkt.color == Color::Red {
+                self.red_bytes += size;
+            }
+            self.bytes += size;
+            self.fifo.push_back(pkt);
+            ModelResult::Admitted
+        }
+
+        fn dequeue(&mut self) -> Option<Packet> {
+            let pkt = self.fifo.pop_front()?;
+            self.bytes -= pkt.wire;
+            if pkt.color == Color::Red {
+                self.red_bytes -= pkt.wire;
+            }
+            Some(pkt)
+        }
+    }
+
+    /// Differential check (wheel-vs-heap playbook): the arena-backed
+    /// intrusive FIFO and the `VecDeque` oracle must produce identical
+    /// enqueue/dequeue/drop sequences under a randomized policy workload.
+    #[test]
+    fn differential_arena_vs_vecdeque_model() {
+        let cfg = QueueConfig::capped(WireBytes::new(4_000))
+            .with_ecn(WireBytes::new(1_200))
+            .with_red_threshold(WireBytes::new(1_000));
+        let mut arena = PacketArena::with_capacity(8);
+        let mut real = PacketQueue::new(cfg);
+        let mut model = ModelQueue {
+            cfg,
+            fifo: std::collections::VecDeque::new(),
+            bytes: WireBytes::ZERO,
+            red_bytes: WireBytes::ZERO,
+        };
+        let mut rng = SimRng::new(0xD1FF);
+        for step in 0..6000u32 {
+            if rng.chance(0.6) {
+                let wire = CTRL_WIRE.get() + rng.next_below(600);
+                let pkt = mk(wire, rng.chance(0.4), rng.chance(0.5));
+                let got = offer_pkt(&mut real, &mut arena, pkt);
+                match (got, model.offer(pkt)) {
+                    (Enqueue::Admitted, ModelResult::Admitted) => {}
+                    (Enqueue::Dropped(r1), ModelResult::Dropped(r2)) => {
+                        assert_eq!(r1, r2, "drop reasons diverged at step {step}")
+                    }
+                    _ => panic!("admission diverged at step {step}"),
+                }
+            } else {
+                let got = dequeue_pkt(&mut real, &mut arena);
+                let want = model.dequeue();
+                match (got, want) {
+                    (None, None) => {}
+                    (Some(g), Some(w)) => {
+                        assert_eq!(g.wire, w.wire, "wire diverged at step {step}");
+                        assert_eq!(g.color, w.color, "color diverged at step {step}");
+                        assert_eq!(g.ecn_ce, w.ecn_ce, "CE mark diverged at step {step}");
+                    }
+                    _ => panic!("emptiness diverged at step {step}"),
+                }
+            }
+            assert_eq!(real.bytes(), model.bytes, "byte ledger diverged at {step}");
+            assert_eq!(real.red_bytes(), model.red_bytes);
+            assert_eq!(real.len(), model.fifo.len());
+            assert_eq!(arena.live(), model.fifo.len(), "arena leaks slots");
+        }
     }
 }

@@ -9,6 +9,7 @@ use flexpass_simcore::event::EventQueue;
 use flexpass_simcore::rng::SimRng;
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
 
+use crate::arena::{PacketArena, PacketId};
 use crate::audit;
 use crate::endpoint::{AppEvent, Endpoint, TimerCmd};
 use crate::host::{Host, Scratch};
@@ -106,8 +107,8 @@ pub enum Event {
     Arrive {
         /// Receiving node.
         node: NodeId,
-        /// The packet.
-        pkt: Packet,
+        /// The packet's arena id (the packet itself stays in the slab).
+        pkt: PacketId,
     },
     /// Egress port `port` of `node` may transmit.
     PortReady {
@@ -148,7 +149,14 @@ pub struct Sim<O: NetObserver> {
     env: NetEnv,
     /// The measurement observer.
     pub observer: O,
+    /// The packet slab: every in-flight packet lives here, addressed by
+    /// generation-checked [`PacketId`]s.
+    arena: PacketArena,
     scratch: Scratch,
+    /// Reusable queue-sample buffer (cleared, never reallocated).
+    sample_scratch: QueueSample,
+    /// Audit identities for the scratch buffers `(tx, timers, app)`.
+    scratch_audit: [audit::ComponentId; 3],
     completed: usize,
     started: usize,
     sample_every: Option<TimeDelta>,
@@ -183,22 +191,77 @@ impl<O: NetObserver> Sim<O> {
         // a handful of in-flight events while active; a small multiple of
         // the flow count is a good calendar working-set estimate.
         let cal = expected_flows.saturating_mul(4);
+        let mut nodes = topo.nodes;
+
+        // Arena sizing: bounded queues state their worst-case packet count
+        // (capacity_hint counts minimum-size frames), which is a ceiling on
+        // the live-packet population, not a target — cap the hinted term so
+        // a large Clos with deep buffers does not pre-reserve megabytes per
+        // run. Warm-up growth (tracked by the arena) absorbs any shortfall.
+        const MAX_HINTED_SLOTS: usize = 65_536;
+        let mut hinted: usize = 0;
+        for node in &nodes {
+            let ports: &[Port] = match node {
+                Node::Switch(s) => &s.ports,
+                Node::Host(h) => std::slice::from_ref(&h.nic),
+            };
+            for p in ports {
+                for qi in 0..p.num_queues() {
+                    if let Some(h) = p.queue(qi).config().capacity_hint() {
+                        hinted = hinted.saturating_add(h);
+                    }
+                }
+            }
+        }
+        let slots = expected_flows
+            .saturating_mul(16)
+            .max(hinted.min(MAX_HINTED_SLOTS))
+            .max(256);
+
+        // Per-host flow tables: each flow registers two endpoints; spread
+        // them across hosts with headroom for skewed workloads.
+        let n_hosts = topo.hosts.len().max(1);
+        let per_host = expected_flows.saturating_mul(4).div_ceil(n_hosts);
+        for node in &mut nodes {
+            if let Node::Host(h) = node {
+                h.reserve_flows(per_host);
+            }
+        }
+
         Sim {
             events: EventQueue::with_capacity(cal),
-            nodes: topo.nodes,
+            nodes,
             hosts: topo.hosts,
             rack_of: topo.rack_of,
             flows: Vec::with_capacity(expected_flows),
             factory,
             env,
             observer,
+            arena: PacketArena::with_capacity(slots),
             scratch: Scratch::default(),
+            sample_scratch: QueueSample::new(),
+            scratch_audit: [
+                audit::new_component_id(),
+                audit::new_component_id(),
+                audit::new_component_id(),
+            ],
             completed: 0,
             started: 0,
             sample_every: None,
             loss: None,
             injected_losses: 0,
         }
+    }
+
+    /// Arena occupancy and growth statistics `(live, high_water, capacity,
+    /// grows)` — growths after warm-up mean the preallocation was short.
+    pub fn arena_stats(&self) -> (usize, usize, usize, u64) {
+        (
+            self.arena.live(),
+            self.arena.high_water(),
+            self.arena.capacity(),
+            self.arena.grows(),
+        )
     }
 
     /// Enables random non-congestion packet loss (§4.3 "Handling proactive
@@ -333,12 +396,12 @@ impl<O: NetObserver> Sim<O> {
                     // If this delivery consumed the armed timer for the
                     // token, retire its table entry (the handle went stale
                     // when the calendar popped the entry).
-                    if let Some(&hd) = h.armed_timers.get(&token) {
+                    if let Some(hd) = h.armed_handle(token) {
                         if !self.events.is_pending(hd) {
-                            h.armed_timers.remove(&token);
+                            h.take_armed(token);
                         }
                     }
-                    let mut ctx = self.scratch.ctx(now);
+                    let mut ctx = self.scratch.ctx(now, &mut self.arena);
                     h.fire_timer(flow, token, &mut ctx);
                 } else {
                     // lint:allow(panic-path): timers are only armed by hosts
@@ -349,13 +412,18 @@ impl<O: NetObserver> Sim<O> {
             Event::FlowStart { idx } => self.flow_start(now, idx),
             Event::Sample => {
                 // Split borrow: the switch list is read-only while the
-                // observer mutates, so no id scratch vector is needed.
-                let (nodes, observer) = (&self.nodes, &mut self.observer);
+                // observer and the reusable sample buffer mutate.
+                let Sim {
+                    nodes,
+                    observer,
+                    sample_scratch,
+                    ..
+                } = self;
                 for (n, node) in nodes.iter().enumerate() {
                     if let Node::Switch(sw) = node {
                         for p in 0..sw.ports.len() {
-                            let sample = sw.sample_port(p);
-                            observer.on_queue_sample(n, p, &sample, now);
+                            sw.sample_port_into(p, sample_scratch);
+                            observer.on_queue_sample(n, p, sample_scratch, now);
                         }
                     }
                 }
@@ -368,11 +436,12 @@ impl<O: NetObserver> Sim<O> {
         }
     }
 
-    fn arrive(&mut self, now: Time, node: NodeId, pkt: Packet) {
-        audit::wire_arrive(&pkt);
+    fn arrive(&mut self, now: Time, node: NodeId, pid: PacketId) {
+        audit::wire_arrive(self.arena.get(pid).expect("arriving id is live"));
         if let Some((p, rng)) = &mut self.loss {
             if matches!(self.nodes.get(node), Some(Node::Switch(_))) && rng.chance(*p) {
                 self.injected_losses += 1;
+                let pkt = self.arena.release(pid).expect("arriving id is live");
                 audit::flow_drop(&pkt);
                 trace::injected_loss(node, &pkt);
                 return;
@@ -380,7 +449,7 @@ impl<O: NetObserver> Sim<O> {
         }
         match self.nodes.get_mut(node).expect("arrival node id in range") {
             Node::Switch(sw) => {
-                let res = sw.receive(pkt);
+                let res = sw.receive(&mut self.arena, pid);
                 match res {
                     Ok(port_idx) => {
                         let idle = sw
@@ -397,7 +466,8 @@ impl<O: NetObserver> Sim<O> {
                             );
                         }
                     }
-                    Err((reason, pkt)) => {
+                    Err((reason, pid)) => {
+                        let pkt = self.arena.release(pid).expect("dropped id is live");
                         audit::flow_drop(&pkt);
                         trace::dropped(node, &pkt, reason);
                         self.observer.on_drop(&pkt, reason, node, now)
@@ -405,6 +475,10 @@ impl<O: NetObserver> Sim<O> {
                 }
             }
             Node::Host(h) => {
+                // Copy the packet out and retire its slot before the
+                // endpoint callback: the ctx holds `&mut arena` so the
+                // endpoint can stage replies into fresh slots.
+                let pkt = self.arena.release(pid).expect("arriving id is live");
                 debug_assert_eq!(h.host_id, pkt.dst, "misrouted packet");
                 audit::flow_rx(&pkt);
                 if pkt.is_data() {
@@ -412,7 +486,7 @@ impl<O: NetObserver> Sim<O> {
                 }
                 self.scratch.clear();
                 {
-                    let mut ctx = self.scratch.ctx(now);
+                    let mut ctx = self.scratch.ctx(now, &mut self.arena);
                     h.deliver(&pkt, &mut ctx);
                 }
                 self.flush(now, node);
@@ -443,17 +517,23 @@ impl<O: NetObserver> Sim<O> {
             }
         }
         p.busy_until = None;
-        match p.next_packet(now) {
-            Decision::Send(pkt) => {
-                let ser = p.serialize(pkt.wire);
+        match p.next_packet(&mut self.arena, now) {
+            Decision::Send(pid) => {
+                let wire = self.arena.get(pid).expect("sent id is live").wire;
+                let ser = p.serialize(wire);
                 let peer = p.peer;
                 let prop = p.prop;
                 p.busy_until = Some(now + ser);
-                audit::wire_depart(&pkt);
+                audit::wire_depart(self.arena.get(pid).expect("sent id is live"));
                 self.events
                     .schedule(now + ser, Event::PortReady { node, port });
-                self.events
-                    .schedule(now + ser + prop, Event::Arrive { node: peer, pkt });
+                self.events.schedule(
+                    now + ser + prop,
+                    Event::Arrive {
+                        node: peer,
+                        pkt: pid,
+                    },
+                );
             }
             Decision::WaitUntil(t) => {
                 if p.pending_wake.is_none_or(|w| t < w) {
@@ -487,7 +567,7 @@ impl<O: NetObserver> Sim<O> {
         let node = *self.hosts.get(host_id).expect("host id in range");
         self.scratch.clear();
         if let Some(Node::Host(h)) = self.nodes.get_mut(node) {
-            let mut ctx = self.scratch.ctx(now);
+            let mut ctx = self.scratch.ctx(now, &mut self.arena);
             h.register(flow, ep, &mut ctx);
         } else {
             // lint:allow(panic-path): topology construction pins host ids
@@ -500,10 +580,10 @@ impl<O: NetObserver> Sim<O> {
     /// through the NIC, schedule timers, surface app events.
     fn flush(&mut self, now: Time, node: NodeId) {
         let mut scratch = std::mem::take(&mut self.scratch);
-        for pkt in scratch.tx.drain(..) {
-            audit::flow_tx(&pkt);
+        for pid in scratch.tx.drain(..) {
+            audit::flow_tx(self.arena.get(pid).expect("staged tx id is live"));
             let res = match self.nodes.get_mut(node).expect("flush node id in range") {
-                Node::Host(h) => h.nic_enqueue(pkt),
+                Node::Host(h) => h.nic_enqueue(&mut self.arena, pid),
                 // lint:allow(panic-path): flush is only called for hosts
                 Node::Switch(_) => unreachable!("flush on a switch"),
             };
@@ -518,7 +598,8 @@ impl<O: NetObserver> Sim<O> {
                             .schedule(now, Event::PortReady { node, port: 0 });
                     }
                 }
-                Err((reason, pkt)) => {
+                Err((reason, pid)) => {
+                    let pkt = self.arena.release(pid).expect("dropped id is live");
                     audit::flow_drop(&pkt);
                     trace::dropped(node, &pkt, reason);
                     self.observer.on_drop(&pkt, reason, node, now)
@@ -547,7 +628,7 @@ impl<O: NetObserver> Sim<O> {
                         );
                     }
                     TimerCmd::Arm(at, token) => {
-                        if let Some(old) = h.armed_timers.remove(&token) {
+                        if let Some(old) = h.take_armed(token) {
                             self.events.cancel(old);
                         }
                         let hd = self.events.schedule_cancelable(
@@ -558,10 +639,10 @@ impl<O: NetObserver> Sim<O> {
                                 token,
                             },
                         );
-                        h.armed_timers.insert(token, hd);
+                        h.arm_timer(token, hd);
                     }
                     TimerCmd::Cancel(token) => {
-                        if let Some(old) = h.armed_timers.remove(&token) {
+                        if let Some(old) = h.take_armed(token) {
                             self.events.cancel(old);
                             trace::timer_cancel(token);
                         }
@@ -574,6 +655,15 @@ impl<O: NetObserver> Sim<O> {
                 self.completed += 1;
             }
             self.observer.on_app_event(&ev, now);
+        }
+        // Prove the scratch buffers are reused, not replaced: capacity may
+        // only grow (warm-up), never shrink.
+        if audit::is_active() {
+            let (tx, timers, app) = scratch.capacities();
+            let [tx_id, timers_id, app_id] = self.scratch_audit;
+            audit::scratch_capacity(tx_id, tx as u64);
+            audit::scratch_capacity(timers_id, timers as u64);
+            audit::scratch_capacity(app_id, app as u64);
         }
         self.scratch = scratch;
     }

@@ -3,6 +3,7 @@
 
 use flexpass_simcore::units::WireBytes;
 
+use crate::arena::{PacketArena, PacketId};
 use crate::audit;
 use crate::packet::{Packet, TrafficClass};
 use crate::port::{Port, PortConfig};
@@ -97,12 +98,29 @@ pub struct SwitchCounters {
 }
 
 /// A point-in-time view of one port's queue occupancy.
-#[derive(Clone, Debug)]
+///
+/// Reused as a scratch buffer across samples: [`Switch::sample_port_into`]
+/// clears and refills it, so the backing `Vec`s are allocated once per
+/// observer, not twice per telemetry sample.
+#[derive(Clone, Debug, Default)]
 pub struct QueueSample {
     /// Bytes per queue.
     pub bytes: Vec<WireBytes>,
     /// Red bytes per queue.
     pub red_bytes: Vec<WireBytes>,
+}
+
+impl QueueSample {
+    /// An empty sample, ready to be filled by [`Switch::sample_port_into`].
+    pub fn new() -> Self {
+        QueueSample::default()
+    }
+
+    /// Drops the previous sample's contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.red_bytes.clear();
+    }
 }
 
 /// An output-queued switch.
@@ -182,12 +200,19 @@ impl Switch {
             .sum()
     }
 
-    /// Attempts to enqueue `pkt` at the routed egress port. Returns the port
-    /// index on success so the caller can kick the port's service loop.
-    pub fn receive(&mut self, pkt: Packet) -> Result<usize, (DropReason, Packet)> {
-        let port_idx = self.route(&pkt);
-        let qidx = self.class_map.queue_for(&pkt);
-        let size = pkt.wire;
+    /// Attempts to enqueue the packet behind `id` at the routed egress
+    /// port. Returns the port index on success so the caller can kick the
+    /// port's service loop; on `Err` the caller keeps the id (and must
+    /// release it).
+    pub fn receive(
+        &mut self,
+        arena: &mut PacketArena,
+        id: PacketId,
+    ) -> Result<usize, (DropReason, PacketId)> {
+        let (port_idx, qidx, size) = {
+            let pkt = arena.get(id).expect("received id is live");
+            (self.route(pkt), self.class_map.queue_for(pkt), pkt.wire)
+        };
 
         // Dynamic shared-buffer admission (statically capped queues such as
         // the credit queue manage their own tiny buffer instead).
@@ -200,14 +225,14 @@ impl Switch {
                 let qbytes = port.queue(qidx).bytes();
                 if used + size > total || qbytes + size > threshold {
                     self.counters.dropped_buffer += 1;
-                    return Err((DropReason::Buffer, pkt));
+                    return Err((DropReason::Buffer, id));
                 }
                 audit::shared_buffer(self.audit_id, used + size, total);
             }
         }
 
         let port = self.ports.get_mut(port_idx).expect("routed port in range");
-        match port.enqueue(qidx, pkt) {
+        match port.enqueue(arena, qidx, id) {
             Ok(()) => {
                 self.counters.forwarded += 1;
                 Ok(port_idx)
@@ -218,19 +243,20 @@ impl Switch {
                     DropReason::SelectiveRed => self.counters.dropped_red += 1,
                     DropReason::Buffer => self.counters.dropped_buffer += 1,
                 }
-                Err((r, pkt))
+                Err((r, id))
             }
         }
     }
 
-    /// Snapshot of one port's queues.
-    pub fn sample_port(&self, port_idx: usize) -> QueueSample {
+    /// Snapshot of one port's queues, written into the caller's reusable
+    /// scratch buffer (cleared first) — the per-sample `collect` pair this
+    /// replaces was the hot path's last steady-state allocation site.
+    pub fn sample_port_into(&self, port_idx: usize, out: &mut QueueSample) {
         let p = self.ports.get(port_idx).expect("sampled port in range");
-        QueueSample {
-            bytes: (0..p.num_queues()).map(|q| p.queue(q).bytes()).collect(),
-            red_bytes: (0..p.num_queues())
-                .map(|q| p.queue(q).red_bytes())
-                .collect(),
+        out.clear();
+        for q in 0..p.num_queues() {
+            out.bytes.push(p.queue(q).bytes());
+            out.red_bytes.push(p.queue(q).red_bytes());
         }
     }
 }
@@ -305,6 +331,16 @@ mod tests {
         sw
     }
 
+    /// Receive a packet value, releasing the slot again on a drop (what
+    /// the simulator's arrive path does).
+    fn recv(sw: &mut Switch, a: &mut PacketArena, pkt: Packet) -> Result<usize, DropReason> {
+        let id = a.acquire(pkt);
+        sw.receive(a, id).map_err(|(r, id)| {
+            a.release(id);
+            r
+        })
+    }
+
     #[test]
     fn class_map_split() {
         let sw = wired_switch();
@@ -349,9 +385,8 @@ mod tests {
     #[test]
     fn routes_and_forwards() {
         let mut sw = wired_switch();
-        let port = sw
-            .receive(data_to(1, TrafficClass::NewData, false))
-            .unwrap();
+        let mut a = PacketArena::new();
+        let port = recv(&mut sw, &mut a, data_to(1, TrafficClass::NewData, false)).unwrap();
         assert_eq!(port, 1);
         assert_eq!(sw.counters().forwarded, 1);
         assert_eq!(sw.ports[1].backlog_bytes(), DATA_WIRE);
@@ -360,17 +395,18 @@ mod tests {
     #[test]
     fn selective_red_drop_at_switch() {
         let mut sw = wired_switch();
+        let mut a = PacketArena::new();
         // 150 kB red threshold: 97 full packets fit, the 98th red is dropped.
         let mut admitted = 0u64;
         for _ in 0..120 {
-            if sw.receive(data_to(1, TrafficClass::NewData, true)).is_ok() {
+            if recv(&mut sw, &mut a, data_to(1, TrafficClass::NewData, true)).is_ok() {
                 admitted += 1;
             }
         }
         assert_eq!(admitted, 150_000 / DATA_WIRE.get());
         assert!(sw.counters().dropped_red > 0);
         // Green packets still admitted past the red threshold.
-        assert!(sw.receive(data_to(1, TrafficClass::NewData, false)).is_ok());
+        assert!(recv(&mut sw, &mut a, data_to(1, TrafficClass::NewData, false)).is_ok());
     }
 
     #[test]
@@ -378,11 +414,12 @@ mod tests {
         // Alpha = 0.25, total 4.5 MB: an empty switch admits one queue up to
         // threshold alpha/(1+alpha) * total = 0.9 MB.
         let mut sw = wired_switch();
+        let mut a = PacketArena::new();
         let mut admitted_bytes = 0u64;
         for _ in 0..2000 {
-            match sw.receive(data_to(1, TrafficClass::Legacy, false)) {
+            match recv(&mut sw, &mut a, data_to(1, TrafficClass::Legacy, false)) {
                 Ok(_) => admitted_bytes += DATA_WIRE.get(),
-                Err((r, _)) => {
+                Err(r) => {
                     assert_eq!(r, DropReason::Buffer);
                     break;
                 }
@@ -398,8 +435,9 @@ mod tests {
     #[test]
     fn credit_queue_exempt_from_shared_buffer() {
         let mut sw = wired_switch();
+        let mut a = PacketArena::new();
         // Fill legacy queue to its dynamic limit.
-        while sw.receive(data_to(1, TrafficClass::Legacy, false)).is_ok() {}
+        while recv(&mut sw, &mut a, data_to(1, TrafficClass::Legacy, false)).is_ok() {}
         // Credits still admitted (own tiny buffer).
         let credit = Packet::new(
             5,
@@ -409,18 +447,24 @@ mod tests {
             TrafficClass::Credit,
             Payload::Credit(CreditInfo { idx: 0 }),
         );
-        assert!(sw.receive(credit).is_ok());
+        assert!(recv(&mut sw, &mut a, credit).is_ok());
     }
 
     #[test]
     fn sample_reports_occupancy() {
         let mut sw = wired_switch();
-        sw.receive(data_to(1, TrafficClass::NewData, true)).unwrap();
-        sw.receive(data_to(1, TrafficClass::Legacy, false)).unwrap();
-        let s = sw.sample_port(1);
+        let mut a = PacketArena::new();
+        recv(&mut sw, &mut a, data_to(1, TrafficClass::NewData, true)).unwrap();
+        recv(&mut sw, &mut a, data_to(1, TrafficClass::Legacy, false)).unwrap();
+        let mut s = QueueSample::new();
+        sw.sample_port_into(1, &mut s);
         assert_eq!(s.bytes[1], DATA_WIRE);
         assert_eq!(s.red_bytes[1], DATA_WIRE);
         assert_eq!(s.bytes[2], DATA_WIRE);
         assert_eq!(s.red_bytes[2], WireBytes::ZERO);
+        // Refill reuses the buffers: same shape, no stale entries.
+        sw.sample_port_into(0, &mut s);
+        assert_eq!(s.bytes.len(), 3);
+        assert_eq!(s.bytes[1], WireBytes::ZERO);
     }
 }

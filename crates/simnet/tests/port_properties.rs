@@ -4,10 +4,35 @@
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
 use flexpass_simcore::units::{Bytes, WireBytes};
 use flexpass_simnet::consts::{CTRL_WIRE, DATA_HEADER_WIRE, DATA_WIRE};
+use flexpass_simnet::arena::PacketArena;
 use flexpass_simnet::packet::{CreditInfo, DataInfo, Packet, Payload, Subflow, TrafficClass};
 use flexpass_simnet::port::{Decision, Port, PortConfig, QueueSched};
-use flexpass_simnet::queue::QueueConfig;
+use flexpass_simnet::queue::{DropReason, QueueConfig};
 use proptest::prelude::*;
+
+/// [`Decision`] with the served packet copied out of the arena, so
+/// assertions can inspect headers by value.
+#[derive(Debug)]
+enum Out {
+    Send(Packet),
+    WaitUntil(Time),
+    Idle,
+}
+
+fn enq(port: &mut Port, arena: &mut PacketArena, q: usize, pkt: Packet) -> Result<(), DropReason> {
+    let id = arena.acquire(pkt);
+    port.enqueue(arena, q, id).inspect_err(|_| {
+        arena.release(id);
+    })
+}
+
+fn next(port: &mut Port, arena: &mut PacketArena, now: Time) -> Out {
+    match port.next_packet(arena, now) {
+        Decision::Send(id) => Out::Send(arena.release(id).expect("sent id is live")),
+        Decision::WaitUntil(t) => Out::WaitUntil(t),
+        Decision::Idle => Out::Idle,
+    }
+}
 
 fn data(flow: u64, wire: WireBytes) -> Packet {
     Packet::new(
@@ -42,16 +67,17 @@ proptest! {
             ],
         };
         let mut port = Port::new(&cfg);
+        let mut a = PacketArena::new();
         // Distinguishable sizes within 1% so byte-fairness ~ packet-fairness.
         let n = 3000;
         for i in 0..n {
-            port.enqueue(0, data(i, WireBytes::new(1530))).unwrap();
-            port.enqueue(1, data(i, DATA_WIRE)).unwrap();
+            enq(&mut port, &mut a, 0, data(i, WireBytes::new(1530))).unwrap();
+            enq(&mut port, &mut a, 1, data(i, DATA_WIRE)).unwrap();
         }
         let mut bytes = [0f64; 2];
         for _ in 0..n {
-            match port.next_packet(Time::ZERO) {
-                Decision::Send(p) => {
+            match next(&mut port, &mut a, Time::ZERO) {
+                Out::Send(p) => {
                     let qi = if p.wire == WireBytes::new(1530) { 0 } else { 1 };
                     bytes[qi] += p.wire.as_f64();
                 }
@@ -84,16 +110,17 @@ proptest! {
                 .collect(),
         };
         let mut port = Port::new(&cfg);
+        let mut a = PacketArena::new();
         let mut rng = SimRng::new(seed);
         let mut in_bytes = 0u64;
         for (i, &wire) in sizes.iter().enumerate() {
             let q = rng.index(weights.len());
-            port.enqueue(q, data(i as u64, WireBytes::new(wire))).unwrap();
+            enq(&mut port, &mut a, q, data(i as u64, WireBytes::new(wire))).unwrap();
             in_bytes += wire;
         }
         let mut out = 0usize;
         let mut out_bytes = 0u64;
-        while let Decision::Send(p) = port.next_packet(Time::ZERO) {
+        while let Out::Send(p) = next(&mut port, &mut a, Time::ZERO) {
             out += 1;
             out_bytes += p.wire.get();
             prop_assert!(out <= sizes.len(), "served more packets than enqueued");
@@ -116,19 +143,20 @@ proptest! {
             ],
         };
         let mut port = Port::new(&cfg);
+        let mut a = PacketArena::new();
         let mut rng = SimRng::new(seed);
         let mut hi_backlog = 0u32;
         for _ in 0..200 {
             // Random enqueues.
             if rng.chance(0.5) {
-                port.enqueue(0, data(1, CTRL_WIRE)).unwrap();
+                enq(&mut port, &mut a, 0, data(1, CTRL_WIRE)).unwrap();
                 hi_backlog += 1;
             }
             if rng.chance(0.5) {
-                port.enqueue(1, data(2, DATA_WIRE)).unwrap();
+                enq(&mut port, &mut a, 1, data(2, DATA_WIRE)).unwrap();
             }
             // One service opportunity.
-            if let Decision::Send(p) = port.next_packet(Time::ZERO) {
+            if let Out::Send(p) = next(&mut port, &mut a, Time::ZERO) {
                 if hi_backlog > 0 {
                     prop_assert_eq!(
                         p.wire,
@@ -157,10 +185,10 @@ proptest! {
             )],
         };
         let mut port = Port::new(&cfg);
+        let mut a = PacketArena::new();
         let n = 400u64;
         for i in 0..n {
-            port.enqueue(
-                0,
+            enq(&mut port, &mut a, 0,
                 Packet::new(
                     i,
                     0,
@@ -176,13 +204,13 @@ proptest! {
         let mut sent = 0u64;
         let mut guard = 0;
         while sent < n {
-            match port.next_packet(now) {
-                Decision::Send(_) => sent += 1,
-                Decision::WaitUntil(t) => {
+            match next(&mut port, &mut a, now) {
+                Out::Send(_) => sent += 1,
+                Out::WaitUntil(t) => {
                     prop_assert!(t > now, "wake time must advance");
                     now = t;
                 }
-                Decision::Idle => break,
+                Out::Idle => break,
             }
             guard += 1;
             prop_assert!(guard < 10 * n, "scheduler livelock");
@@ -218,18 +246,18 @@ proptest! {
             ],
         };
         let mut port = Port::new(&cfg);
+        let mut a = PacketArena::new();
         let mut rng = SimRng::new(seed);
         let now = Time::from_millis(1);
         let mut backlog = 0u32;
         for _ in 0..300 {
             if rng.chance(0.6) {
                 let q = 1 + rng.index(2);
-                port.enqueue(q, data(3, DATA_WIRE)).unwrap();
+                enq(&mut port, &mut a, q, data(3, DATA_WIRE)).unwrap();
                 backlog += 1;
             }
             if rng.chance(0.3) {
-                let _ = port.enqueue(
-                    0,
+                let _ = enq(&mut port, &mut a, 0,
                     Packet::new(
                         9,
                         0,
@@ -241,8 +269,8 @@ proptest! {
                 );
             }
             if backlog > 0 {
-                match port.next_packet(now) {
-                    Decision::Send(p) => {
+                match next(&mut port, &mut a, now) {
+                    Out::Send(p) => {
                         if p.class == TrafficClass::NewData {
                             backlog -= 1;
                         }
@@ -275,10 +303,10 @@ fn flexpass_port_order() {
         ],
     };
     let mut port = Port::new(&cfg);
-    port.enqueue(1, data(1, DATA_WIRE)).unwrap();
-    port.enqueue(2, data(2, DATA_WIRE)).unwrap();
-    port.enqueue(
-        0,
+        let mut a = PacketArena::new();
+    enq(&mut port, &mut a, 1, data(1, DATA_WIRE)).unwrap();
+    enq(&mut port, &mut a, 2, data(2, DATA_WIRE)).unwrap();
+    enq(&mut port, &mut a, 0,
         Packet::new(
             3,
             0,
@@ -290,13 +318,13 @@ fn flexpass_port_order() {
     )
     .unwrap();
     let t = Time::from_millis(1);
-    match port.next_packet(t) {
-        Decision::Send(p) => assert_eq!(p.class, TrafficClass::Credit),
+    match next(&mut port, &mut a, t) {
+        Out::Send(p) => assert_eq!(p.class, TrafficClass::Credit),
         other => panic!("expected credit first, got {other:?}"),
     }
     let mut classes = Vec::new();
     for _ in 0..2 {
-        if let Decision::Send(p) = port.next_packet(t) {
+        if let Out::Send(p) = next(&mut port, &mut a, t) {
             classes.push(p.flow);
         }
     }

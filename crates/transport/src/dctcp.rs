@@ -819,6 +819,8 @@ mod tests {
         let cfg = DctcpConfig::default(); // init_cwnd = 10
         let spec = flow(7, 0, 1, 14_600, Time::ZERO); // n = 10 packets
         let mut tx = DctcpSender::new(spec, cfg, &env());
+        let mut arena = flexpass_simnet::arena::PacketArena::new();
+        let mut staged = Vec::new();
         let mut tx_v = Vec::new();
         let mut timers = Vec::new();
         let mut app = Vec::new();
@@ -831,19 +833,23 @@ mod tests {
                 .collect()
         };
         {
-            let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx_v, &mut timers, &mut app);
+            let mut ctx =
+                EndpointCtx::new(Time::ZERO, &mut arena, &mut staged, &mut timers, &mut app);
             tx.activate(&mut ctx);
         }
+        arena.drain_into(&mut staged, &mut tx_v);
         assert_eq!(tx_v.len(), 10, "initial window should cover the flow");
 
         // Packets 0 and 1 are lost; 2..=9 arrive, each generating a
         // duplicate cumulative ACK with a growing SACK block.
         {
-            let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx_v, &mut timers, &mut app);
+            let mut ctx =
+                EndpointCtx::new(Time::ZERO, &mut arena, &mut staged, &mut timers, &mut app);
             for k in 3..=10u32 {
                 tx.on_packet(&ack_pkt(0, &[(2, k)], k - 1, false), &mut ctx);
             }
         }
+        arena.drain_into(&mut staged, &mut tx_v);
         assert_eq!(
             retx_seqs(&tx_v),
             vec![0],
@@ -853,9 +859,11 @@ mod tests {
         // The retransmitted 0 arrives: a partial ACK (cum = 1 < recovery
         // point). The sender must expose and retransmit hole 1 immediately.
         {
-            let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx_v, &mut timers, &mut app);
+            let mut ctx =
+                EndpointCtx::new(Time::ZERO, &mut arena, &mut staged, &mut timers, &mut app);
             tx.on_packet(&ack_pkt(1, &[(2, 10)], 0, false), &mut ctx);
         }
+        arena.drain_into(&mut staged, &mut tx_v);
         assert_eq!(
             retx_seqs(&tx_v),
             vec![0, 1],
@@ -864,9 +872,11 @@ mod tests {
 
         // The retransmitted 1 completes the flow.
         {
-            let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx_v, &mut timers, &mut app);
+            let mut ctx =
+                EndpointCtx::new(Time::ZERO, &mut arena, &mut staged, &mut timers, &mut app);
             tx.on_packet(&ack_pkt(10, &[], 1, false), &mut ctx);
         }
+        arena.drain_into(&mut staged, &mut tx_v);
         assert_eq!(tx.stats().timeouts, 0, "recovery must not need the RTO");
         assert!(matches!(app[..], [AppEvent::SenderDone { .. }]));
     }
@@ -886,10 +896,11 @@ mod tests {
         };
         let spec = flow(7, 0, 1, 29_200, Time::ZERO); // n = 20 packets
         let mut tx = DctcpSender::new(spec, cfg, &env());
+        let mut arena = flexpass_simnet::arena::PacketArena::new();
         let mut tx_v = Vec::new();
         let mut timers = Vec::new();
         let mut app = Vec::new();
-        let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx_v, &mut timers, &mut app);
+        let mut ctx = EndpointCtx::new(Time::ZERO, &mut arena, &mut tx_v, &mut timers, &mut app);
         tx.activate(&mut ctx);
 
         // Three pure duplicate ACKs: one halving, recover_until = 8.
@@ -950,10 +961,11 @@ mod tests {
             n_hosts: 2,
         };
         let mut rx = DctcpReceiver::new(spec, cfg, &env);
+        let mut arena = flexpass_simnet::arena::PacketArena::new();
         let mut tx_v = Vec::new();
         let mut timers = Vec::new();
         let mut app = Vec::new();
-        let mut ctx = EndpointCtx::new(Time::ZERO, &mut tx_v, &mut timers, &mut app);
+        let mut ctx = EndpointCtx::new(Time::ZERO, &mut arena, &mut tx_v, &mut timers, &mut app);
         let mk = |seq: u32| {
             Packet::new(
                 9,
