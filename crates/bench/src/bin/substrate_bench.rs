@@ -61,7 +61,73 @@ fn measure_datapath_rate(iters: u32) -> (f64, u64) {
         events += e;
         ns_total += ns;
     }
-    (events as f64 * 1e9 / ns_total as f64, events / u64::from(iters))
+    (
+        events as f64 * 1e9 / ns_total as f64,
+        events / u64::from(iters),
+    )
+}
+
+/// Virtual-time window for the multipod (partitioned-engine) workload:
+/// 64-host two-pod Clos, long FlexPass flows, measured past warm-up.
+const MULTIPOD_WARM_US: u64 = 500;
+const MULTIPOD_END_US: u64 = 1_500;
+
+/// One multipod measurement at a given domain count: events/sec over the
+/// measured virtual window, the window's (serial-comparable) event count,
+/// and the per-domain raw event split (empty for the serial engine).
+fn measure_multipod(domains: usize, iters: u32) -> (f64, u64, Vec<u64>) {
+    use flexpass_simcore::time::Time;
+
+    let window = |record: bool| -> (u64, u128, Vec<u64>) {
+        if domains <= 1 {
+            let mut sim = flexpass_bench::multipod_sim();
+            sim.run_until(Time::from_micros(MULTIPOD_WARM_US));
+            let warm = sim.events_processed();
+            let start = Instant::now();
+            sim.run_until(Time::from_micros(MULTIPOD_END_US));
+            (
+                sim.events_processed() - warm,
+                start.elapsed().as_nanos(),
+                Vec::new(),
+            )
+        } else {
+            let mut sim = flexpass_bench::multipod_par_sim(domains);
+            sim.run_until(Time::from_micros(MULTIPOD_WARM_US));
+            let warm = sim.events_processed();
+            let warm_per: Vec<u64> = sim.events_per_domain();
+            let start = Instant::now();
+            sim.run_until(Time::from_micros(MULTIPOD_END_US));
+            let ns = start.elapsed().as_nanos();
+            let per = if record {
+                sim.events_per_domain()
+                    .iter()
+                    .zip(&warm_per)
+                    .map(|(a, w)| a - w)
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (sim.events_processed() - warm, ns, per)
+        }
+    };
+    let (warm_events, _, _) = window(false);
+    assert!(warm_events > 0, "empty multipod measurement window");
+    let mut events = 0u64;
+    let mut ns_total = 0u128;
+    let mut per_domain = Vec::new();
+    for it in 0..iters {
+        let (e, ns, per) = window(it == 0);
+        events += e;
+        ns_total += ns;
+        if it == 0 {
+            per_domain = per;
+        }
+    }
+    (
+        events as f64 * 1e9 / ns_total as f64,
+        events / u64::from(iters),
+        per_domain,
+    )
 }
 
 /// Steady-state datapath allocation measurement (`alloc-count` feature):
@@ -137,6 +203,7 @@ fn main() {
     let mut smoke = false;
     let mut out: Option<String> = None;
     let mut gate_alloc: Option<f64> = None;
+    let mut gate_multipod: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -146,9 +213,16 @@ fn main() {
                 let v = args.next().expect("--gate-alloc requires a number");
                 gate_alloc = Some(v.parse().expect("--gate-alloc requires a number"));
             }
+            "--gate-multipod" => {
+                let v = args.next().expect("--gate-multipod requires a number");
+                gate_multipod = Some(v.parse().expect("--gate-multipod requires a number"));
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: substrate_bench [--smoke] [--out PATH] [--gate-alloc N]");
+                eprintln!(
+                    "usage: substrate_bench [--smoke] [--out PATH] [--gate-alloc N] \
+                     [--gate-multipod EPS]"
+                );
                 std::process::exit(2);
             }
         }
@@ -189,6 +263,34 @@ fn main() {
          ({datapath_events} events per measured window)"
     );
 
+    // Partitioned-engine scaling on the 64-host two-pod workload: the
+    // serial engine and `--par-sim {2,4}` cuts of the same fabric.
+    let multipod_iters = if smoke { 1 } else { 3 };
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut multipod: Vec<(usize, f64, u64, Vec<u64>)> = Vec::new();
+    for domains in [1usize, 2, 4] {
+        let (eps, events, per_domain) = measure_multipod(domains, multipod_iters);
+        eprintln!(
+            "substrate_bench: multipod par={domains} {eps:.0} events/sec \
+             ({events} events per measured window{})",
+            if per_domain.is_empty() {
+                String::new()
+            } else {
+                format!(", per-domain {per_domain:?}")
+            }
+        );
+        multipod.push((domains, eps, events, per_domain));
+    }
+    let multipod_rate = |d: usize| -> f64 {
+        multipod
+            .iter()
+            .find(|(dom, ..)| *dom == d)
+            .expect("domain count measured")
+            .1
+    };
+    let speedup_2 = multipod_rate(2) / multipod_rate(1);
+    let speedup_4 = multipod_rate(4) / multipod_rate(1);
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"flexpass-bench-substrate/v1\",\n");
@@ -216,6 +318,23 @@ fn main() {
     json.push_str(&format!(
         "  \"datapath\": {{\"hosts\": {DATAPATH_HOSTS}, \"window_events\": {datapath_events}, \
          \"events_per_sec\": {datapath_eps:.0}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"multipod\": {{\"hosts\": {}, \"pods\": 2, \"host_parallelism\": {host_cores}, \
+         \"runs\": [\n",
+        flexpass_bench::MULTIPOD_HOSTS
+    ));
+    for (i, (domains, eps, events, per_domain)) in multipod.iter().enumerate() {
+        let per: Vec<String> = per_domain.iter().map(u64::to_string).collect();
+        json.push_str(&format!(
+            "    {{\"domains\": {domains}, \"events_per_sec\": {eps:.0}, \
+             \"window_events\": {events}, \"events_per_domain\": [{}]}}{}\n",
+            per.join(", "),
+            if i + 1 < multipod.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ], \"speedup_2\": {speedup_2:.3}, \"speedup_4\": {speedup_4:.3}}},\n"
     ));
 
     // Datapath allocation sanitizer (alloc-count feature only).
@@ -300,5 +419,40 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    // Multipod gates. `--gate-multipod` carries the committed serial
+    // (par-1) rate: the partitioned-engine refactor must not slow the
+    // serial engine down (20% tolerance for machine noise). The speedup
+    // gate needs real cores — a 1-core CI runner timeslices the domain
+    // threads and measures scheduling, not scaling — so the ≥2x par-4
+    // target applies on full runs with at least 4 hardware threads.
+    if let Some(committed) = gate_multipod {
+        let measured = multipod_rate(1);
+        if measured < committed * 0.8 {
+            eprintln!(
+                "FAIL: multipod serial rate {measured:.0} events/sec regressed below the \
+                 committed {committed:.0} (-20% tolerance)"
+            );
+            std::process::exit(1);
+        }
+    }
+    if !smoke && host_cores >= 4 {
+        if speedup_4 < 2.0 {
+            eprintln!(
+                "FAIL: multipod par-4 speedup {speedup_4:.2}x is below the 2.0x floor \
+                 ({host_cores} hardware threads available)"
+            );
+            std::process::exit(1);
+        }
+    } else {
+        eprintln!(
+            "substrate_bench: multipod speedups par-2 {speedup_2:.2}x, par-4 {speedup_4:.2}x \
+             ({host_cores} hardware threads; 2.0x gate {})",
+            if smoke {
+                "skipped in smoke mode"
+            } else {
+                "needs >= 4 threads"
+            }
+        );
     }
 }

@@ -339,8 +339,7 @@ mod tests {
         let mut tm = Vec::new();
         let mut app = Vec::new();
         {
-            let mut ctx =
-                EndpointCtx::new(Time::ZERO, &mut arena, &mut tx_ids, &mut tm, &mut app);
+            let mut ctx = EndpointCtx::new(Time::ZERO, &mut arena, &mut tx_ids, &mut tm, &mut app);
             s.activate(&mut ctx);
             // Initial window is 10: the 11th credit is wasted.
             for i in 0..12 {

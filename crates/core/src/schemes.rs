@@ -228,6 +228,19 @@ impl TransportFactory for SchemeFactory {
             Scheme::FlexPass => Box::new(FlexPassReceiver::new(*flow, self.fp, env)),
         }
     }
+
+    fn try_clone(&self) -> Option<Box<dyn TransportFactory>> {
+        // Scheme dispatch reads only immutable configuration and the
+        // deployment map: endpoint construction is a pure function of
+        // (flow, env), so per-domain clones never diverge.
+        Some(Box::new(SchemeFactory {
+            scheme: self.scheme,
+            deployment: self.deployment.clone(),
+            dctcp: self.dctcp,
+            ep: self.ep,
+            fp: self.fp,
+        }))
+    }
 }
 
 #[cfg(test)]

@@ -3,10 +3,10 @@
 
 use flexpass::config::FlexPassConfig;
 use flexpass::FlexPassSender;
-use flexpass_simnet::arena::PacketArena;
 use flexpass_simcore::rng::SimRng;
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
 use flexpass_simcore::units::Bytes;
+use flexpass_simnet::arena::PacketArena;
 use flexpass_simnet::consts::CTRL_WIRE;
 use flexpass_simnet::endpoint::{AppEvent, Endpoint, EndpointCtx, TimerCmd};
 use flexpass_simnet::packet::{

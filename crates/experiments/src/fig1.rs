@@ -26,6 +26,7 @@ pub struct TagFactory {
     upgraded: UpgradedKind,
 }
 
+#[derive(Clone, Copy)]
 enum UpgradedKind {
     Ep(EpConfig),
     Homa(HomaConfig),
@@ -67,6 +68,12 @@ impl TransportFactory for TagFactory {
             UpgradedKind::Ep(c) => Box::new(EpReceiver::new(*flow, *c, env)),
             UpgradedKind::Homa(c) => Box::new(HomaReceiver::new(*flow, *c, env)),
         }
+    }
+    fn try_clone(&self) -> Option<Box<dyn TransportFactory>> {
+        Some(Box::new(TagFactory {
+            legacy: self.legacy,
+            upgraded: self.upgraded,
+        }))
     }
 }
 

@@ -20,6 +20,12 @@
 //! list, default all). Summarize with `cargo xtask trace-report`. Tracing
 //! is observation-only: CSVs stay byte-identical with it on or off.
 //!
+//! `--par-sim N` partitions each simulation into `N` parallel domains
+//! (rack-granular fabric cut, conservative windowed synchronization; see
+//! DESIGN.md §14). `--par-sim 1` (the default) is the serial engine,
+//! byte-identical to previous releases; topologies too small to cut
+//! (e.g. single-rack stars) silently fall back to serial.
+//!
 //! `--jobs N` sets the worker-thread count for the experiment pool
 //! (default: available parallelism; `--jobs 1` runs serially). Output is
 //! byte-identical for every value — each simulation point is its own
@@ -101,13 +107,25 @@ fn main() {
                 orchestrate::set_jobs(n);
                 i += 2;
             }
+            "--par-sim" => {
+                let n: usize = args[i + 1].parse().unwrap_or_else(|_| {
+                    eprintln!("--par-sim takes a positive integer, got {}", args[i + 1]);
+                    std::process::exit(2);
+                });
+                if n == 0 {
+                    eprintln!("--par-sim must be >= 1");
+                    std::process::exit(2);
+                }
+                orchestrate::set_par_sim(n);
+                i += 2;
+            }
             "--inject-panic" => {
                 orchestrate::inject_panic(Some(args[i + 1].clone()));
                 i += 2;
             }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!("usage: flexpass-experiments [--fig NAME|all] [--out DIR] [--scale smoke|default|full] [--jobs N] [--trace[=FILTER]] [--inject-panic LABEL]");
+                eprintln!("usage: flexpass-experiments [--fig NAME|all] [--out DIR] [--scale smoke|default|full] [--jobs N] [--par-sim N] [--trace[=FILTER]] [--inject-panic LABEL]");
                 std::process::exit(2);
             }
         }

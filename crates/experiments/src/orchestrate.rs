@@ -44,6 +44,9 @@ const HEARTBEAT: std::time::Duration = std::time::Duration::from_secs(5);
 /// Requested worker count; 0 = use available parallelism.
 static JOBS: AtomicUsize = AtomicUsize::new(0);
 
+/// Requested intra-simulation partition domains; 1 = the serial engine.
+static PAR_SIM: AtomicUsize = AtomicUsize::new(1);
+
 /// Process-wide record of every task that panicked, drained by the binary
 /// to report failed cells and choose its exit code. Tests use the
 /// per-call return value of [`run_tasks`] instead, so they never race on
@@ -68,6 +71,20 @@ pub fn jobs() -> usize {
         0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
         n => n,
     }
+}
+
+/// Sets the intra-simulation partition-domain count used by the runner
+/// helpers. `1` (the default) keeps the serial engine; `n > 1` asks
+/// [`crate::runner`] to cut each fabric into `n` domains and run them on
+/// the partitioned engine ([`flexpass_simnet::ParSim`]). Topologies the
+/// partitioner rejects (single rack, too few racks) fall back to serial.
+pub fn set_par_sim(n: usize) {
+    PAR_SIM.store(n, Ordering::SeqCst);
+}
+
+/// The effective partition-domain count (never 0).
+pub fn par_sim() -> usize {
+    PAR_SIM.load(Ordering::SeqCst).max(1)
 }
 
 /// Arms the fault-injection hook: the next task whose qualified
@@ -356,7 +373,7 @@ fn heartbeat(state: &PoolState, stop: &AtomicBool) {
         let active = state.active.lock().expect("active registry poisoned");
         let names: Vec<&str> = active.iter().take(4).map(|(l, _)| l.as_str()).collect();
         eprintln!(
-            "  [{}] {}/{} points done | {:.1}M events | vt {:.3}s | {:.2}M ev/s | running: {}{}",
+            "  [{}] {}/{} points done | {:.1}M events | vt {:.3}s | {:.2}M ev/s | running: {}{}{}",
             state.group,
             done,
             state.total,
@@ -369,8 +386,47 @@ fn heartbeat(state: &PoolState, stop: &AtomicBool) {
             } else {
                 ""
             },
+            partition_segment(&active),
         );
     }
+}
+
+/// Renders the partitioned-engine suffix of a heartbeat line: per-domain
+/// load balance (worst max/min ratio over the active probes that publish
+/// domain counters) and summed packet-arena growth statistics. Empty when
+/// no active task runs partitioned and the arenas report nothing.
+fn partition_segment(active: &[(String, Arc<ProgressProbe>)]) -> String {
+    let mut worst: Option<(u64, u64)> = None;
+    let mut grows = 0u64;
+    let mut high_water = 0u64;
+    for (_, probe) in active {
+        if let Some((max, min)) = probe.domain_balance() {
+            let beats = match worst {
+                // Compare max/min ratios without dividing: a/b > c/d
+                // iff a*d > c*b for non-negative operands.
+                Some((wmax, wmin)) => max.saturating_mul(wmin) > wmax.saturating_mul(min),
+                None => true,
+            };
+            if beats {
+                worst = Some((max, min));
+            }
+        }
+        grows += probe.arena_grows();
+        high_water = high_water.max(probe.arena_high_water());
+    }
+    let mut out = String::new();
+    if let Some((max, min)) = worst {
+        let ratio = if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        };
+        out.push_str(&format!(" | domains max/min {ratio:.2}"));
+    }
+    if grows > 0 || high_water > 0 {
+        out.push_str(&format!(" | arena grows {grows} hw {high_water}"));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -430,5 +486,29 @@ mod tests {
     #[test]
     fn jobs_default_is_positive() {
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn par_sim_never_reports_zero() {
+        assert!(par_sim() >= 1);
+    }
+
+    /// The heartbeat's partition suffix reports the worst balance ratio
+    /// across active probes and the summed arena stats — and stays empty
+    /// for purely serial pools.
+    #[test]
+    fn partition_segment_formats() {
+        let quiet = Arc::new(ProgressProbe::new());
+        assert_eq!(partition_segment(&[("a".to_string(), quiet)]), "");
+
+        let balanced = Arc::new(ProgressProbe::new());
+        balanced.publish_domain_events(0, 100);
+        balanced.publish_domain_events(1, 50);
+        let skewed = Arc::new(ProgressProbe::new());
+        skewed.publish_domain_events(0, 300);
+        skewed.publish_domain_events(1, 100);
+        skewed.publish_arena(2, 512);
+        let seg = partition_segment(&[("b".to_string(), balanced), ("s".to_string(), skewed)]);
+        assert_eq!(seg, " | domains max/min 3.00 | arena grows 2 hw 512");
     }
 }

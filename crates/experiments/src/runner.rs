@@ -9,8 +9,10 @@ use flexpass_simnet::packet::FlowSpec;
 use flexpass_simnet::sim::{Sim, TransportFactory};
 use flexpass_simnet::switch::SwitchProfile;
 use flexpass_simnet::topology::{ClosParams, Topology};
+use flexpass_simnet::{partition, ParSim};
 
 use crate::csvout::Csv;
+use crate::orchestrate;
 
 /// How large to run a scenario.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,6 +99,22 @@ pub fn run_flows_probed(
     grace: TimeDelta,
     probe: Option<Arc<ProgressProbe>>,
 ) -> Recorder {
+    let (topo, factory) = match build_par(orchestrate::par_sim(), topo, factory, &recorder, flows) {
+        Ok(mut par) => {
+            if let Some(p) = probe {
+                par.attach_progress(p);
+            }
+            if let Some(every) = sampling {
+                par.enable_sampling(every);
+            }
+            for f in flows {
+                par.schedule_flow(*f);
+            }
+            par.run_to_completion(grace);
+            return merge_domains(recorder, par);
+        }
+        Err(back) => back,
+    };
     let mut sim = Sim::with_flow_capacity(topo, factory, recorder, flows.len());
     if let Some(p) = probe {
         sim.attach_progress(p);
@@ -134,6 +152,19 @@ pub fn run_window_probed(
     until: Time,
     probe: Option<Arc<ProgressProbe>>,
 ) -> Recorder {
+    let (topo, factory) = match build_par(orchestrate::par_sim(), topo, factory, &recorder, flows) {
+        Ok(mut par) => {
+            if let Some(p) = probe {
+                par.attach_progress(p);
+            }
+            for f in flows {
+                par.schedule_flow(*f);
+            }
+            par.run_until(until);
+            return merge_domains(recorder, par);
+        }
+        Err(back) => back,
+    };
     let mut sim = Sim::with_flow_capacity(topo, factory, recorder, flows.len());
     if let Some(p) = probe {
         sim.attach_progress(p);
@@ -143,6 +174,53 @@ pub fn run_window_probed(
     }
     sim.run_until(until);
     sim.observer
+}
+
+/// Builds the partitioned engine when `--par-sim` asks for more than one
+/// domain, the factory supports per-domain cloning, and the topology cuts
+/// usefully. Otherwise hands the topology and factory back (`Err`) so the
+/// caller runs the serial engine — byte-identically to a build without
+/// this branch.
+fn build_par(
+    n: usize,
+    topo: Topology,
+    factory: Box<dyn TransportFactory>,
+    recorder: &Recorder,
+    flows: &[FlowSpec],
+) -> Result<ParSim<Recorder>, (Topology, Box<dyn TransportFactory>)> {
+    if n < 2 {
+        return Err((topo, factory));
+    }
+    let mut factories = Vec::with_capacity(n);
+    for _ in 0..n {
+        match factory.try_clone() {
+            Some(f) => factories.push(f),
+            None => return Err((topo, factory)),
+        }
+    }
+    match partition(topo, n) {
+        Ok(part) => {
+            // The partitioner may produce fewer domains than requested
+            // (fewer racks than `n`); drop the surplus clones.
+            factories.truncate(part.n_domains());
+            let observers: Vec<Recorder> = (0..part.n_domains())
+                .map(|_| recorder.fresh_like())
+                .collect();
+            Ok(ParSim::new(part, factories, observers, flows.len()))
+        }
+        Err(topo) => Err((topo, factory)),
+    }
+}
+
+/// Folds the per-domain recorders back into `base` in domain order
+/// (deterministic merge; split-flow specs dedup inside
+/// [`Recorder::absorb`]).
+fn merge_domains(base: Recorder, par: ParSim<Recorder>) -> Recorder {
+    let mut merged = base;
+    for obs in par.into_observers() {
+        merged.absorb(obs);
+    }
+    merged
 }
 
 /// Star testbed topology helper (§6.1: hosts behind one switch). Host NICs

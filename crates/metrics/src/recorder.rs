@@ -252,6 +252,55 @@ impl Recorder {
     pub fn completed(&self) -> usize {
         self.flows.len()
     }
+
+    /// An empty recorder with this one's configuration (throughput bin,
+    /// queue watch). The parallel engine hands one to each partition
+    /// domain, then folds them back with [`Recorder::absorb`].
+    pub fn fresh_like(&self) -> Recorder {
+        let mut r = Recorder::new();
+        r.throughput_bin = self.throughput_bin;
+        r.queue_watch = self.queue_watch;
+        r
+    }
+
+    /// Folds a domain recorder into this one. Call in ascending domain
+    /// order so merged flow lists are deterministic. A flow split across a
+    /// domain cut starts in both domains; the spec map dedups it (both
+    /// observations carry the same spec and start instant), while every
+    /// other aggregate is strictly per-domain and sums.
+    pub fn absorb(&mut self, other: Recorder) {
+        for (id, v) in other.specs {
+            self.specs.entry(id).or_insert(v);
+        }
+        self.flows.extend(other.flows);
+        for (tag, s) in other.tx_by_tag {
+            let agg = self.tx_by_tag.entry(tag).or_default();
+            agg.data_pkts += s.data_pkts;
+            agg.data_bytes += s.data_bytes;
+            agg.retx_pkts += s.retx_pkts;
+            agg.proactive_retx_pkts += s.proactive_retx_pkts;
+            agg.redundant_bytes += s.redundant_bytes;
+            agg.timeouts += s.timeouts;
+            agg.credits_received += s.credits_received;
+            agg.credits_wasted += s.credits_wasted;
+        }
+        for (reason, n) in other.drops {
+            *self.drops.entry(reason).or_insert(0) += n;
+        }
+        self.red_drops += other.red_drops;
+        for (key, s) in other.series {
+            match self.series.entry(key) {
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(&s),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(s);
+                }
+            }
+        }
+        self.q_bytes.merge(&other.q_bytes);
+        self.q_busy_bytes.merge(&other.q_busy_bytes);
+        self.q_red_bytes.merge(&other.q_red_bytes);
+        self.q_peak = self.q_peak.max(other.q_peak);
+    }
 }
 
 impl NetObserver for Recorder {
@@ -500,6 +549,57 @@ mod tests {
         assert!(r.q_red_bytes.mean() > 0.0);
         // Busy samples exclude the single zero-occupancy sample.
         assert_eq!(r.q_busy_bytes.count(), 99);
+    }
+
+    #[test]
+    fn absorb_merges_domains_and_dedups_split_flow_specs() {
+        use flexpass_simnet::consts::data_wire_bytes;
+        use flexpass_simnet::packet::{DataInfo, Payload, TrafficClass};
+
+        let parent = Recorder::new().with_throughput(TimeDelta::millis(1));
+        let mut d0 = parent.fresh_like();
+        let mut d1 = parent.fresh_like();
+
+        // Flow 1 crosses the cut: its FlowStart fires in both domains,
+        // it completes (receiver side) only in d1.
+        d0.on_flow_start(&spec(1, 50_000, 1), Time::ZERO);
+        d1.on_flow_start(&spec(1, 50_000, 1), Time::ZERO);
+        d1.on_app_event(
+            &AppEvent::FlowCompleted {
+                flow: 1,
+                stats: RxStats::default(),
+            },
+            Time::from_micros(120),
+        );
+        // Flow 2 is intra-domain in d0.
+        complete(&mut d0, 2, 80_000, 0, 300);
+        // Deliveries land in different domains; both series must sum.
+        let pkt = Packet::new(
+            1,
+            0,
+            1,
+            data_wire_bytes(Bytes::new(1460)),
+            TrafficClass::NewData,
+            Payload::Data(DataInfo {
+                flow_seq: 0,
+                sub_seq: 0,
+                sub: Subflow::Proactive,
+                payload: Bytes::new(1460),
+                retx: false,
+            }),
+        );
+        d0.on_delivered(&pkt, Time::from_micros(500));
+        d1.on_delivered(&pkt, Time::from_micros(500));
+
+        let mut merged = parent;
+        merged.absorb(d0);
+        merged.absorb(d1);
+        assert_eq!(merged.completed(), 2);
+        assert_eq!(merged.fct_stats(|f| f.flow == 1).count, 1);
+        assert!((merged.fct_stats(|f| f.flow == 1).avg - 120e-6).abs() < 1e-12);
+        // Both deliveries counted once each: 2 * 1460 B in bin 0.
+        let tp = merged.throughput_gbps(1);
+        assert!((tp[0] - 2.0 * 1460.0 * 8.0 / 1e6).abs() < 1e-9, "tp {tp:?}");
     }
 
     #[test]

@@ -289,6 +289,29 @@ pub fn finish() -> AuditReport {
     }
 }
 
+/// One domain thread's auditor state, detached without running the final
+/// conservation checks. A partitioned run splits one logical simulation
+/// across threads; a packet mid-handoff between domains is in flight in
+/// *neither* thread's ledger, so per-thread final checks would report
+/// phantom conservation failures. Instead each domain thread detaches its
+/// state with [`take_partial`], the parent absorbs all of them with
+/// [`absorb_partial`] (restoring global ledgers in which every byte is
+/// accounted for), and the parent's own `finish()` runs the checks once.
+pub struct PartialAudit(Auditor);
+
+/// Uninstalls this thread's auditor *without* final checks and returns its
+/// raw state for merging on another thread, or `None` when no auditor is
+/// installed here.
+pub fn take_partial() -> Option<PartialAudit> {
+    AUDITOR.with(|a| a.borrow_mut().take()).map(PartialAudit)
+}
+
+/// Merges a domain thread's partial state into this thread's auditor.
+/// A no-op when no auditor is installed.
+pub fn absorb_partial(p: PartialAudit) {
+    with_auditor(|a| a.merge(p.0));
+}
+
 fn with_auditor(f: impl FnOnce(&mut Auditor)) {
     AUDITOR.with(|a| {
         if let Some(aud) = a.borrow_mut().as_mut() {
@@ -315,6 +338,50 @@ impl Auditor {
                 detail,
             });
         }
+    }
+
+    /// Folds another auditor's ledgers into this one. Queue and flow
+    /// ledgers sum fieldwise (they are disjoint in practice — component
+    /// ids are unique and a split flow's two halves touch different
+    /// ledger fields — but summing is correct either way). Violations
+    /// concatenate up to the recording cap; virtual time takes the max;
+    /// the event-order cursor (`last_seq`/`any_pop`) keeps this
+    /// auditor's own view, since merged pops were ordered per-thread.
+    fn merge(&mut self, other: Auditor) {
+        for (qid, l) in other.queues {
+            let e = self.queues.entry(qid).or_default();
+            e.wire_occ += l.wire_occ;
+            e.enq_bytes += l.enq_bytes;
+            e.deq_bytes += l.deq_bytes;
+            e.enq_pkts += l.enq_pkts;
+            e.deq_pkts += l.deq_pkts;
+        }
+        for (fid, l) in other.flows {
+            let e = self.flows.entry(fid).or_default();
+            e.tx_bytes += l.tx_bytes;
+            e.rx_bytes += l.rx_bytes;
+            e.dropped_bytes += l.dropped_bytes;
+            e.inflight_bytes += l.inflight_bytes;
+        }
+        for (cid, cap) in other.scratch_caps {
+            let e = self.scratch_caps.entry(cid).or_default();
+            *e = (*e).max(cap);
+        }
+        for v in other.violations {
+            if self.violations.len() < MAX_RECORDED {
+                self.violations.push(v);
+            }
+        }
+        self.total_violations += other.total_violations;
+        self.counters.events += other.counters.events;
+        self.counters.enqueues += other.counters.enqueues;
+        self.counters.dequeues += other.counters.dequeues;
+        self.counters.flow_tx_bytes += other.counters.flow_tx_bytes;
+        self.counters.flow_rx_bytes += other.counters.flow_rx_bytes;
+        self.counters.flow_dropped_bytes += other.counters.flow_dropped_bytes;
+        self.counters.schedule_clamps += other.counters.schedule_clamps;
+        self.counters.scratch_grows += other.counters.scratch_grows;
+        self.now_ns = self.now_ns.max(other.now_ns);
     }
 
     fn final_checks(&mut self) {
@@ -689,6 +756,50 @@ mod tests {
         let report = finish();
         assert!(!report.is_clean());
         assert_eq!(report.violations[0].invariant, Invariant::ScratchReuse);
+    }
+
+    #[test]
+    fn split_flow_conserves_after_partial_merge() {
+        // Sender half audited on one "thread state", receiver half on
+        // another; each alone would fail conservation, the merge is clean.
+        install();
+        let p = data_pkt(9, 0, 1460, 1538);
+        on_flow_tx(p);
+        on_wire_depart(p);
+        let sender_half = take_partial().expect("installed");
+
+        install();
+        on_wire_arrive(p);
+        on_flow_rx(p);
+        let receiver_half = take_partial().expect("installed");
+
+        install();
+        absorb_partial(sender_half);
+        absorb_partial(receiver_half);
+        let report = finish();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.counters.flow_tx_bytes, 1460);
+        assert_eq!(report.counters.flow_rx_bytes, 1460);
+    }
+
+    #[test]
+    fn partial_merge_carries_violations_and_counters() {
+        install();
+        on_event_pop(100, 0);
+        on_event_pop(50, 0); // time went backwards: one violation
+        let bad = take_partial().expect("installed");
+
+        install();
+        on_event_pop(10, 0);
+        absorb_partial(bad);
+        let report = finish();
+        assert_eq!(report.total_violations, 1);
+        assert_eq!(report.counters.events, 3);
+    }
+
+    #[test]
+    fn take_partial_without_install_is_none() {
+        assert!(take_partial().is_none());
     }
 
     #[test]

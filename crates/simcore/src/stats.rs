@@ -197,6 +197,15 @@ impl Percentiles {
         *self.samples.last().expect("non-empty")
     }
 
+    /// Appends every sample of `other`. Quantiles, mean, and max over the
+    /// merged set are identical to pooling the raw samples (the set is
+    /// re-sorted on demand), so per-domain sample sets from a partitioned
+    /// run merge without approximation.
+    pub fn merge(&mut self, other: &Percentiles) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// Population standard deviation (0 when empty).
     pub fn stddev(&self) -> f64 {
         let n = self.samples.len();
@@ -265,6 +274,24 @@ impl TimeSeries {
             .iter()
             .enumerate()
             .map(move |(i, &v)| (Time::from_nanos(i as u64 * w), v))
+    }
+
+    /// Adds `other`'s bins elementwise, extending this series if `other`
+    /// is longer. Exact for the integral payload-byte values recorded per
+    /// bin, so per-domain series from a partitioned run sum to the serial
+    /// series bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin widths differ.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(self.bin, other.bin, "time-series bin width mismatch");
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), 0.0);
+        }
+        for (dst, src) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *dst += src;
+        }
     }
 
     /// Fraction of bins in `[from, to)` whose value is below `threshold`.
@@ -368,6 +395,38 @@ mod tests {
         ts.add(Time::from_millis(3), 1.0);
         let pts: Vec<_> = ts.iter().collect();
         assert_eq!(pts[1], (Time::from_millis(2), 1.0));
+    }
+
+    #[test]
+    fn percentiles_merge_matches_pooled() {
+        let mut whole = Percentiles::new();
+        let mut a = Percentiles::new();
+        let mut b = Percentiles::new();
+        for i in 1..=100 {
+            let x = ((i * 37) % 101) as f64;
+            whole.push(x);
+            if i % 2 == 0 {
+                a.push(x)
+            } else {
+                b.push(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.p50(), whole.p50());
+        assert_eq!(a.p99(), whole.p99());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn timeseries_merge_sums_elementwise() {
+        let mut a = TimeSeries::new(TimeDelta::millis(1));
+        let mut b = TimeSeries::new(TimeDelta::millis(1));
+        a.add(Time::from_micros(100), 5.0);
+        b.add(Time::from_micros(200), 2.0);
+        b.add(Time::from_micros(1500), 4.0);
+        a.merge(&b);
+        assert_eq!(a.bins(), &[7.0, 4.0]);
     }
 
     #[test]

@@ -132,10 +132,7 @@ impl PacketArena {
         if self.live > self.high_water {
             self.high_water = self.live;
         }
-        PacketId {
-            idx,
-            gen: slot.gen,
-        }
+        PacketId { idx, gen: slot.gen }
     }
 
     /// Free the slot behind `id`, returning the packet it held. `None` if

@@ -21,8 +21,8 @@ use crate::packet::{Packet, Payload};
 
 #[cfg(feature = "audit")]
 pub use flexpass_simaudit::{
-    finish, install, is_active, new_component_id, AuditCounters, AuditReport, ComponentId,
-    Invariant, PktInfo, Violation,
+    absorb_partial, finish, install, is_active, new_component_id, take_partial, AuditCounters,
+    AuditReport, ComponentId, Invariant, PartialAudit, PktInfo, Violation,
 };
 
 #[cfg(feature = "audit")]
@@ -170,7 +170,21 @@ mod stub {
     pub fn finish() -> AuditReport {
         AuditReport
     }
+
+    /// Zero-sized stand-in for a domain thread's detached audit state.
+    pub struct PartialAudit;
+
+    /// Always `None`: auditing is compiled out.
+    pub fn take_partial() -> Option<PartialAudit> {
+        None
+    }
+
+    /// No-op: auditing is compiled out.
+    pub fn absorb_partial(_p: PartialAudit) {}
 }
 
 #[cfg(not(feature = "audit"))]
-pub use stub::{finish, install, is_active, new_component_id, AuditReport, ComponentId};
+pub use stub::{
+    absorb_partial, finish, install, is_active, new_component_id, take_partial, AuditReport,
+    ComponentId, PartialAudit,
+};

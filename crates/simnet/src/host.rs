@@ -147,7 +147,11 @@ impl Host {
         }
         match self.flow_pos(pkt.flow) {
             Ok(pos) => {
-                let ep = &mut self.flows.get_mut(pos).expect("binary_search hit in range").1;
+                let ep = &mut self
+                    .flows
+                    .get_mut(pos)
+                    .expect("binary_search hit in range")
+                    .1;
                 ep.on_packet(pkt, ctx);
                 if ep.finished() {
                     self.flows.remove(pos);
@@ -164,7 +168,11 @@ impl Host {
     /// Fires a timer for `flow`; stale timers for departed flows are no-ops.
     pub fn fire_timer(&mut self, flow: FlowId, token: u64, ctx: &mut EndpointCtx) {
         if let Ok(pos) = self.flow_pos(flow) {
-            let ep = &mut self.flows.get_mut(pos).expect("binary_search hit in range").1;
+            let ep = &mut self
+                .flows
+                .get_mut(pos)
+                .expect("binary_search hit in range")
+                .1;
             ep.on_timer(token, ctx);
             if ep.finished() {
                 self.flows.remove(pos);

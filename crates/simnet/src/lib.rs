@@ -21,6 +21,10 @@
 //!   paper's 3-tier Clos (8 core / 16 agg / 32 ToR / 192 hosts, 3:1
 //!   oversubscribed).
 //! * [`sim`] — the deterministic event-driven driver tying it together.
+//! * [`partition`] / [`parsim`] — the partitioned parallel engine: the
+//!   fabric cut into per-thread domains at rack granularity, advanced in
+//!   conservative lock-step windows bounded by the cut's minimum link
+//!   propagation (`--par-sim N` on the experiments binary).
 //! * [`audit`] — invariant-audit hooks (byte conservation ledgers, buffer
 //!   and shaper bounds), active under the default `audit` feature.
 //! * [`trace`] — packet-lifecycle trace hooks (enqueue/dequeue/mark/drop,
@@ -37,6 +41,8 @@ pub mod consts;
 pub mod endpoint;
 pub mod host;
 pub mod packet;
+pub mod parsim;
+pub mod partition;
 pub mod port;
 pub mod queue;
 pub mod sim;
@@ -51,8 +57,12 @@ pub use packet::{
     AckInfo, Color, CreditInfo, DataInfo, FlowId, FlowSpec, GrantInfo, HostId, Packet, Payload,
     Subflow, TrafficClass,
 };
+pub use parsim::ParSim;
+pub use partition::{partition, Partition};
 pub use port::{Port, PortConfig, QueueSched};
 pub use queue::{DropReason, QueueConfig};
-pub use sim::{Event, NetEnv, NetObserver, NodeId, NullObserver, Sim, TransportFactory};
+pub use sim::{
+    Event, FlowRole, NetEnv, NetObserver, NodeId, NullObserver, PartitionCtx, Sim, TransportFactory,
+};
 pub use switch::{QueueSample, Switch, SwitchProfile};
 pub use topology::{ClosParams, Topology};

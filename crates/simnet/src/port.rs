@@ -502,7 +502,12 @@ mod tests {
         Idle,
     }
 
-    fn enq(port: &mut Port, a: &mut PacketArena, qidx: usize, pkt: Packet) -> Result<(), DropReason> {
+    fn enq(
+        port: &mut Port,
+        a: &mut PacketArena,
+        qidx: usize,
+        pkt: Packet,
+    ) -> Result<(), DropReason> {
         let id = a.acquire(pkt);
         port.enqueue(a, qidx, id).inspect_err(|_| {
             a.release(id);

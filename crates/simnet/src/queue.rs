@@ -336,9 +336,15 @@ mod tests {
         assert_eq!(q.bytes(), WireBytes::new(300));
         assert_eq!(q.red_bytes(), WireBytes::new(200));
         assert_eq!(q.head_bytes(&a), Some(WireBytes::new(100)));
-        assert_eq!(dequeue_pkt(&mut q, &mut a).unwrap().wire, WireBytes::new(100));
+        assert_eq!(
+            dequeue_pkt(&mut q, &mut a).unwrap().wire,
+            WireBytes::new(100)
+        );
         assert_eq!(q.bytes(), WireBytes::new(200));
-        assert_eq!(dequeue_pkt(&mut q, &mut a).unwrap().wire, WireBytes::new(200));
+        assert_eq!(
+            dequeue_pkt(&mut q, &mut a).unwrap().wire,
+            WireBytes::new(200)
+        );
         assert_eq!(q.bytes(), WireBytes::ZERO);
         assert_eq!(q.red_bytes(), WireBytes::ZERO);
         assert!(dequeue_pkt(&mut q, &mut a).is_none());
@@ -366,14 +372,20 @@ mod tests {
     fn selective_drop_hits_only_red() {
         let mut a = PacketArena::new();
         let mut q = PacketQueue::new(QueueConfig::plain().with_red_threshold(WireBytes::new(500)));
-        assert_eq!(offer_pkt(&mut q, &mut a, mk(400, true, false)), Enqueue::Admitted);
+        assert_eq!(
+            offer_pkt(&mut q, &mut a, mk(400, true, false)),
+            Enqueue::Admitted
+        );
         // Red bytes would reach 800 > 500 -> dropped.
         assert_eq!(
             offer_pkt(&mut q, &mut a, mk(400, true, false)),
             Enqueue::Dropped(DropReason::SelectiveRed)
         );
         // Green packets are unaffected.
-        assert_eq!(offer_pkt(&mut q, &mut a, mk(400, false, false)), Enqueue::Admitted);
+        assert_eq!(
+            offer_pkt(&mut q, &mut a, mk(400, false, false)),
+            Enqueue::Admitted
+        );
         assert_eq!(q.counters().dropped_red, 1);
         assert_eq!(q.counters().dropped_red_bytes, WireBytes::new(400));
         assert_eq!(q.bytes(), WireBytes::new(800));

@@ -86,6 +86,32 @@ pub struct NullObserver;
 
 impl NetObserver for NullObserver {}
 
+/// Which endpoint halves of a flow this simulator instance owns. A serial
+/// run owns both; a partitioned run whose flow crosses a domain cut splits
+/// the flow, registering the sender half in the source host's domain and
+/// the receiver half in the destination host's domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowRole {
+    /// Both endpoint halves (serial runs and intra-domain flows).
+    Both,
+    /// Sender half only (source host is local, destination is foreign).
+    Sender,
+    /// Receiver half only (destination host is local, source is foreign).
+    Receiver,
+}
+
+/// Partition membership shared by every domain of a partitioned run: which
+/// domain each global node id belongs to, and which domain this simulator
+/// instance is. Installed by the parallel engine; `None` (the serial case)
+/// keeps every datapath branch on its pre-partition path.
+#[derive(Clone, Debug)]
+pub struct PartitionCtx {
+    /// Domain owning each node, indexed by global [`NodeId`].
+    pub domain_of: std::sync::Arc<Vec<u32>>,
+    /// The domain this simulator instance runs.
+    pub me: u32,
+}
+
 /// Creates the two endpoint halves of each flow. Scheme layers (oWF, Naïve,
 /// FlexPass, ...) implement this to mix transports across hosts.
 ///
@@ -98,6 +124,15 @@ pub trait TransportFactory: Send {
     fn sender(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint>;
     /// Builds the receiver endpoint.
     fn receiver(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint>;
+    /// An independent copy for a partition domain, or `None` if the
+    /// factory carries per-run state that cannot be duplicated. Returning
+    /// `Some` asserts that endpoint construction is a pure function of
+    /// `(flow, env)` — the clones never compare notes, so any shared
+    /// mutable state would diverge between domains. `None` (the default)
+    /// makes the parallel engine fall back to the serial path.
+    fn try_clone(&self) -> Option<Box<dyn TransportFactory>> {
+        None
+    }
 }
 
 /// Simulation events.
@@ -164,6 +199,19 @@ pub struct Sim<O: NetObserver> {
     loss: Option<(f64, SimRng)>,
     /// Packets dropped by loss injection.
     injected_losses: u64,
+    /// Partition membership (`None` in a serial run).
+    partition: Option<PartitionCtx>,
+    /// Endpoint halves owned per flow, parallel to `flows`.
+    roles: Vec<FlowRole>,
+    /// Packets that crossed a domain cut this window: `(arrival instant,
+    /// destination node, packet)`, drained by the parallel engine into the
+    /// owning domain's channel. Always empty in a serial run.
+    pub(crate) outbox: Vec<(Time, NodeId, Packet)>,
+    /// Instant the most recent flow completed (receiver side).
+    last_completion: Time,
+    /// Progress probe for arena statistics (the calendar holds its own
+    /// clone for event counts).
+    progress: Option<std::sync::Arc<flexpass_simcore::ProgressProbe>>,
 }
 
 impl<O: NetObserver> Sim<O> {
@@ -250,6 +298,32 @@ impl<O: NetObserver> Sim<O> {
             sample_every: None,
             loss: None,
             injected_losses: 0,
+            partition: None,
+            roles: Vec::with_capacity(expected_flows),
+            outbox: Vec::with_capacity(64),
+            last_completion: Time::ZERO,
+            progress: None,
+        }
+    }
+
+    /// Installs partition membership (parallel engine only). From here on
+    /// packets transmitted towards foreign nodes are diverted to the
+    /// outbox instead of the local calendar, and periodic sampling keeps
+    /// rescheduling until [`Sim::stop_sampling`] — the local flow table no
+    /// longer knows when the *global* run is done.
+    pub(crate) fn set_partition(&mut self, ctx: PartitionCtx) {
+        self.partition = Some(ctx);
+    }
+
+    /// True when `node` belongs to another partition domain. Always false
+    /// in a serial run — the whole cross-domain path is unreachable there.
+    fn is_foreign(&self, node: NodeId) -> bool {
+        match &self.partition {
+            Some(ctx) => match ctx.domain_of.get(node) {
+                Some(&d) => d != ctx.me,
+                None => false,
+            },
+            None => false,
         }
     }
 
@@ -311,7 +385,8 @@ impl<O: NetObserver> Sim<O> {
     /// the simulation runs (see [`flexpass_simcore::progress`]). Purely
     /// observational — cannot change any simulated outcome.
     pub fn attach_progress(&mut self, probe: std::sync::Arc<flexpass_simcore::ProgressProbe>) {
-        self.events.attach_probe(probe);
+        self.events.attach_probe(std::sync::Arc::clone(&probe));
+        self.progress = Some(probe);
     }
 
     /// Number of flows that have completed (receiver side).
@@ -343,11 +418,22 @@ impl<O: NetObserver> Sim<O> {
     ///
     /// Panics if source and destination hosts coincide or are out of range.
     pub fn schedule_flow(&mut self, spec: FlowSpec) {
+        self.schedule_flow_role(spec, FlowRole::Both);
+    }
+
+    /// Schedules a flow owning only the given endpoint halves (the
+    /// partitioned engine splits a cut-crossing flow across two domains).
+    ///
+    /// # Panics
+    ///
+    /// Panics if source and destination hosts coincide or are out of range.
+    pub fn schedule_flow_role(&mut self, spec: FlowSpec, role: FlowRole) {
         assert!(spec.src != spec.dst, "flow to self");
         assert!(spec.src < self.hosts.len() && spec.dst < self.hosts.len());
         let idx = self.flows.len();
         self.events.schedule(spec.start, Event::FlowStart { idx });
         self.flows.push(spec);
+        self.roles.push(role);
     }
 
     /// Runs until the calendar empties or virtual time would pass `deadline`.
@@ -358,6 +444,65 @@ impl<O: NetObserver> Sim<O> {
             }
             let (now, ev) = self.events.pop().expect("peeked");
             self.dispatch(now, ev);
+            self.maybe_publish_arena();
+        }
+    }
+
+    /// Runs every event strictly before `horizon` (the conservative-sync
+    /// window of the partitioned engine: the exclusive bound means two
+    /// domains can never both process an event at the horizon instant, so
+    /// a cross-cut arrival injected *at* the horizon is still in this
+    /// domain's future).
+    pub fn run_window(&mut self, horizon: Time) {
+        while let Some(t) = self.events.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            let (now, ev) = self.events.pop().expect("peeked");
+            self.dispatch(now, ev);
+            self.maybe_publish_arena();
+        }
+    }
+
+    /// Earliest pending event, or `None` when the calendar is empty. The
+    /// partitioned engine's per-window global minimum is computed over
+    /// these.
+    pub fn next_event_time(&mut self) -> Option<Time> {
+        self.events.peek_time()
+    }
+
+    /// Schedules the arrival of a packet handed over from another domain:
+    /// the packet value enters this domain's private arena and its Arrive
+    /// event joins the local calendar. `at` is never in this domain's past
+    /// — conservative synchronization guarantees cross-cut arrivals land
+    /// at or beyond the window horizon.
+    pub fn inject_arrival(&mut self, at: Time, node: NodeId, pkt: Packet) {
+        let pid = self.arena.acquire(pkt);
+        self.events.schedule(at, Event::Arrive { node, pkt: pid });
+    }
+
+    /// Instant the most recent flow completed locally (receiver side);
+    /// [`Time::ZERO`] if none has. The partitioned engine takes the max
+    /// across domains to anchor the post-completion grace window exactly
+    /// where the serial engine would.
+    pub fn last_completion(&self) -> Time {
+        self.last_completion
+    }
+
+    /// Stops periodic queue sampling (partitioned runs: the engine calls
+    /// this at the first window barrier after global completion, mirroring
+    /// the serial engine's "stop when the local flow table completes").
+    pub fn stop_sampling(&mut self) {
+        self.sample_every = None;
+    }
+
+    fn maybe_publish_arena(&mut self) {
+        if let Some(probe) = &self.progress {
+            // Piggyback on the calendar's publication cadence.
+            if self.events.popped() & (flexpass_simcore::progress::PUBLISH_EVERY - 1) == 0 {
+                // lint:allow(raw-cast): slot count widened for the probe
+                probe.publish_arena(self.arena.grows(), self.arena.high_water() as u64);
+            }
         }
     }
 
@@ -371,7 +516,10 @@ impl<O: NetObserver> Sim<O> {
     pub fn run_to_completion(&mut self, grace: TimeDelta) {
         while self.completed < self.flows.len() {
             match self.events.pop() {
-                Some((now, ev)) => self.dispatch(now, ev),
+                Some((now, ev)) => {
+                    self.dispatch(now, ev);
+                    self.maybe_publish_arena();
+                }
                 // lint:allow(panic-path): a drained calendar with incomplete
                 // flows means a transport lost its retransmission path.
                 None => panic!(
@@ -428,7 +576,10 @@ impl<O: NetObserver> Sim<O> {
                     }
                 }
                 if let Some(every) = self.sample_every {
-                    if self.completed < self.flows.len() {
+                    // Partitioned domains cannot see global completion, so
+                    // they resample until the engine calls stop_sampling
+                    // at the completion barrier.
+                    if self.partition.is_some() || self.completed < self.flows.len() {
                         self.events.schedule(now + every, Event::Sample);
                     }
                 }
@@ -527,13 +678,22 @@ impl<O: NetObserver> Sim<O> {
                 audit::wire_depart(self.arena.get(pid).expect("sent id is live"));
                 self.events
                     .schedule(now + ser, Event::PortReady { node, port });
-                self.events.schedule(
-                    now + ser + prop,
-                    Event::Arrive {
-                        node: peer,
-                        pkt: pid,
-                    },
-                );
+                if self.is_foreign(peer) {
+                    // The link crosses a domain cut: the packet leaves this
+                    // domain's arena (its id dies here — generation safety
+                    // survives the handoff) and rides the outbox to the
+                    // peer domain, where it re-enters that domain's arena.
+                    let pkt = self.arena.release(pid).expect("sent id is live");
+                    self.outbox.push((now + ser + prop, peer, pkt));
+                } else {
+                    self.events.schedule(
+                        now + ser + prop,
+                        Event::Arrive {
+                            node: peer,
+                            pkt: pid,
+                        },
+                    );
+                }
             }
             Decision::WaitUntil(t) => {
                 if p.pending_wake.is_none_or(|w| t < w) {
@@ -548,13 +708,21 @@ impl<O: NetObserver> Sim<O> {
     fn flow_start(&mut self, now: Time, idx: usize) {
         self.started += 1;
         let spec = *self.flows.get(idx).expect("flow index from schedule_flow");
+        let role = *self.roles.get(idx).expect("role recorded per flow");
         self.observer.on_flow_start(&spec, now);
 
-        // Receiver first so the sender's first packet finds it.
-        let receiver = self.factory.receiver(&spec, &self.env);
-        self.register_endpoint(now, spec.dst, spec.id, receiver);
-        let sender = self.factory.sender(&spec, &self.env);
-        self.register_endpoint(now, spec.src, spec.id, sender);
+        // Receiver first so the sender's first packet finds it (for a
+        // split flow the halves start in different domains; the cut's
+        // lookahead guarantees the first packet still arrives after the
+        // receiver's own FlowStart at the same instant has run).
+        if matches!(role, FlowRole::Both | FlowRole::Receiver) {
+            let receiver = self.factory.receiver(&spec, &self.env);
+            self.register_endpoint(now, spec.dst, spec.id, receiver);
+        }
+        if matches!(role, FlowRole::Both | FlowRole::Sender) {
+            let sender = self.factory.sender(&spec, &self.env);
+            self.register_endpoint(now, spec.src, spec.id, sender);
+        }
     }
 
     fn register_endpoint(
@@ -653,6 +821,7 @@ impl<O: NetObserver> Sim<O> {
         for ev in scratch.app.drain(..) {
             if matches!(ev, AppEvent::FlowCompleted { .. }) {
                 self.completed += 1;
+                self.last_completion = now;
             }
             self.observer.on_app_event(&ev, now);
         }
@@ -1206,6 +1375,78 @@ mod tests {
             backlog,
             WireBytes::ZERO,
             "shaped queue wedged with {backlog}"
+        );
+    }
+
+    #[test]
+    fn cross_cut_handoff_rejects_stale_ids() {
+        // Generation safety across the domain cut: a packet leaving on a
+        // cut link is released from the sender domain's arena (its id dies
+        // there) and re-acquired by the receiver domain's `inject_arrival`
+        // under a fresh generation. Ids minted before either transition
+        // must stay dead even after the slot is reused. Two full Sims
+        // stand in for the two domains of a star fabric split as
+        // {host 0, switch} / {host 1}.
+        let p = profile(Rate::from_gbps(10));
+        let mk = || Topology::star(2, Rate::from_gbps(10), TimeDelta::micros(5), &p, &p);
+        // Star node order: node 0 is the switch, hosts follow.
+        let domain_of = std::sync::Arc::new(vec![0u32, 0, 1]);
+        let mut a = Sim::new(mk(), Box::new(BlastFactory), NullObserver);
+        a.set_partition(PartitionCtx {
+            domain_of: domain_of.clone(),
+            me: 0,
+        });
+        let mut b = Sim::new(mk(), Box::new(BlastFactory), NullObserver);
+        b.set_partition(PartitionCtx { domain_of, me: 1 });
+        let spec = flow(7, 0, 1, 4_000, Time::ZERO);
+        a.schedule_flow_role(spec, FlowRole::Sender);
+        b.schedule_flow_role(spec, FlowRole::Receiver);
+
+        // Sender side: a probe id acquired and released before the run
+        // leaves its slot on top of the free list, so the engine's first
+        // data packet reuses it under a bumped generation. The stale probe
+        // must never alias the live packet, during the run or after the
+        // cut branch releases it into the outbox.
+        let probe_pkt = || {
+            Packet::new(
+                99,
+                0,
+                1,
+                CTRL_WIRE,
+                TrafficClass::Legacy,
+                Payload::CreditStop,
+            )
+        };
+        let probe_a = a.arena.acquire(probe_pkt());
+        assert!(a.arena.release(probe_a).is_some());
+        a.run_until(Time::from_micros(100));
+        assert!(
+            a.arena.get(probe_a).is_none(),
+            "stale id revived in domain 0"
+        );
+        let records: Vec<(Time, NodeId, Packet)> = a.outbox.drain(..).collect();
+        assert!(!records.is_empty(), "no packets crossed the cut");
+        assert_eq!(a.arena.live(), 0, "handoff must release the sender slot");
+
+        // Receiver side: the same probe trick on the peer arena, then the
+        // real handoff path. `inject_arrival` re-acquires the released
+        // slot, so the pre-handoff id must be rejected while the
+        // handed-off packet is live in that slot.
+        let probe_b = b.arena.acquire(probe_pkt());
+        assert!(b.arena.release(probe_b).is_some());
+        for (at, node, pkt) in records {
+            b.inject_arrival(at, node, pkt);
+        }
+        assert!(b.arena.live() > 0, "injected packets must be live");
+        assert!(
+            b.arena.get(probe_b).is_none(),
+            "stale id aliases a handed-off packet"
+        );
+        b.run_until(Time::from_micros(200));
+        assert_eq!(b.flows_completed(), 1, "receiver half must complete");
+        assert!(
+            b.arena.get(probe_b).is_none(),
+            "stale id revived in domain 1"
         );
     }
 }

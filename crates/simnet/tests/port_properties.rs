@@ -3,8 +3,8 @@
 
 use flexpass_simcore::time::{Rate, Time, TimeDelta};
 use flexpass_simcore::units::{Bytes, WireBytes};
-use flexpass_simnet::consts::{CTRL_WIRE, DATA_HEADER_WIRE, DATA_WIRE};
 use flexpass_simnet::arena::PacketArena;
+use flexpass_simnet::consts::{CTRL_WIRE, DATA_HEADER_WIRE, DATA_WIRE};
 use flexpass_simnet::packet::{CreditInfo, DataInfo, Packet, Payload, Subflow, TrafficClass};
 use flexpass_simnet::port::{Decision, Port, PortConfig, QueueSched};
 use flexpass_simnet::queue::{DropReason, QueueConfig};
@@ -303,10 +303,13 @@ fn flexpass_port_order() {
         ],
     };
     let mut port = Port::new(&cfg);
-        let mut a = PacketArena::new();
+    let mut a = PacketArena::new();
     enq(&mut port, &mut a, 1, data(1, DATA_WIRE)).unwrap();
     enq(&mut port, &mut a, 2, data(2, DATA_WIRE)).unwrap();
-    enq(&mut port, &mut a, 0,
+    enq(
+        &mut port,
+        &mut a,
+        0,
         Packet::new(
             3,
             0,

@@ -499,6 +499,9 @@ impl TransportFactory for DctcpFactory {
     fn receiver(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
         Box::new(DctcpReceiver::new(*flow, self.cfg, env))
     }
+    fn try_clone(&self) -> Option<Box<dyn TransportFactory>> {
+        Some(Box::new(DctcpFactory { cfg: self.cfg }))
+    }
 }
 
 #[cfg(test)]

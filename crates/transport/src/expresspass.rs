@@ -678,6 +678,9 @@ impl TransportFactory for ExpressPassFactory {
     fn receiver(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
         Box::new(EpReceiver::new(*flow, self.cfg, env))
     }
+    fn try_clone(&self) -> Option<Box<dyn TransportFactory>> {
+        Some(Box::new(ExpressPassFactory { cfg: self.cfg }))
+    }
 }
 
 #[cfg(test)]

@@ -401,6 +401,9 @@ impl TransportFactory for HomaFactory {
     fn receiver(&mut self, flow: &FlowSpec, env: &NetEnv) -> Box<dyn Endpoint> {
         Box::new(HomaReceiver::new(*flow, self.cfg, env))
     }
+    fn try_clone(&self) -> Option<Box<dyn TransportFactory>> {
+        Some(Box::new(HomaFactory { cfg: self.cfg }))
+    }
 }
 
 #[cfg(test)]

@@ -47,6 +47,17 @@ pub struct LintConfig {
     /// Fns (qname `Owner::name` or bare name) the call graph treats as
     /// infallible and never traverses into.
     pub known_infallible: Vec<String>,
+    /// Files (workspace-relative) that are blessed thread homes: the
+    /// `thread-spawn` rule does not apply inside them (the experiment
+    /// pool uses per-site `lint:allow`; the parallel engine's domain
+    /// runners are structural and live here instead).
+    pub thread_homes: Vec<String>,
+    /// Files (workspace-relative) where `std::sync::Mutex`/`RwLock` are
+    /// banned (`sync-locks`): the parallel engine synchronizes with
+    /// channels and barriers only, so a lock in these modules is either a
+    /// hot-path serialization point or a deadlock risk at the window
+    /// barriers.
+    pub lock_free_modules: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -100,6 +111,18 @@ impl Default for LintConfig {
             ],
             entry_points: Vec::new(),
             known_infallible: Vec::new(),
+            thread_homes: vec!["crates/simnet/src/parsim.rs".to_string()],
+            lock_free_modules: vec![
+                "crates/simnet/src/arena.rs".to_string(),
+                "crates/simnet/src/queue.rs".to_string(),
+                "crates/simnet/src/port.rs".to_string(),
+                "crates/simnet/src/sim.rs".to_string(),
+                "crates/simnet/src/packet.rs".to_string(),
+                "crates/simcore/src/wheel.rs".to_string(),
+                "crates/simcore/src/event.rs".to_string(),
+                "crates/simnet/src/parsim.rs".to_string(),
+                "crates/simnet/src/partition.rs".to_string(),
+            ],
         }
     }
 }
@@ -219,6 +242,11 @@ fn apply_kv(
         "callgraph" => match key {
             "entry-points" => cfg.entry_points = parse_string_array(value)?,
             "known-infallible" => cfg.known_infallible = parse_string_array(value)?,
+            _ => {}
+        },
+        "determinism" => match key {
+            "thread-homes" => cfg.thread_homes = parse_string_array(value)?,
+            "lock-free-modules" => cfg.lock_free_modules = parse_string_array(value)?,
             _ => {}
         },
         "trace" => {
@@ -365,6 +393,30 @@ mod tests {
         assert_eq!(cfg.known_infallible, ["Wheel::place", "saturating_gap"]);
         // Untouched by default.
         assert!(LintConfig::default().entry_points.is_empty());
+    }
+
+    #[test]
+    fn determinism_table_parses() {
+        let cfg = LintConfig::from_toml(
+            "[determinism]\n\
+             thread-homes = [\"crates/simnet/src/parsim.rs\"]\n\
+             lock-free-modules = [\"crates/simnet/src/sim.rs\", \"crates/simnet/src/parsim.rs\"]\n",
+        )
+        .expect("parse");
+        assert_eq!(cfg.thread_homes, ["crates/simnet/src/parsim.rs"]);
+        assert_eq!(
+            cfg.lock_free_modules,
+            ["crates/simnet/src/sim.rs", "crates/simnet/src/parsim.rs"]
+        );
+        // Defaults bless the parallel engine and ban locks across the hot
+        // modules plus the engine files.
+        let d = LintConfig::default();
+        assert!(d.thread_homes.iter().any(|f| f.ends_with("parsim.rs")));
+        assert!(d.lock_free_modules.iter().any(|f| f.ends_with("parsim.rs")));
+        assert!(d
+            .lock_free_modules
+            .iter()
+            .any(|f| f.ends_with("partition.rs")));
     }
 
     #[test]

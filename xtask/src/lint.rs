@@ -36,8 +36,16 @@
 //!   expression. The only blessed domain crossing is `simnet::consts`.
 //! * `thread-spawn` — `std::thread` (spawn/scope/sleep/…). A simulation
 //!   is a single-threaded event loop; parallelism belongs to the
-//!   experiment orchestrator, which runs whole simulations on worker
-//!   threads but never threads *inside* one.
+//!   experiment orchestrator (per-site `lint:allow`) and the partitioned
+//!   engine's domain runners (`lint.toml [determinism] thread-homes`),
+//!   which run whole simulations or domains on worker threads but never
+//!   thread *inside* one.
+//! * `sync-locks` — `std::sync::Mutex` / `RwLock` in the lock-free
+//!   modules (`lint.toml [determinism] lock-free-modules`: the hot
+//!   datapath plus the parallel engine). A blocking lock there is either
+//!   a per-event serialization point or a deadlock risk at the engine's
+//!   window barriers; cross-domain state moves over channels and
+//!   barriers only.
 //! * `raw-header-size` — the numeric literals `78`, `84` and `1538`
 //!   (any spelling: `1_538`, `1538u64`, `1538.0`) outside the unit homes.
 //!   Unlike every other rule this one applies to `#[cfg(test)]` code too,
@@ -129,6 +137,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("panic-path", rules::WHY_PANIC),
     ("unit-mixing", rules::WHY_MIXING),
     ("thread-spawn", rules::WHY_THREAD),
+    ("sync-locks", rules::WHY_LOCKS),
     ("raw-header-size", rules::WHY_HEADER_SIZE),
     ("alloc-in-datapath", rules::WHY_ALLOC),
     ("unordered-iteration", rules::WHY_ITER),

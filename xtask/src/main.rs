@@ -195,6 +195,12 @@ fn run_bench(args: &[String]) -> ExitCode {
     if let Some(g) = gate {
         cmd.args(["--gate-alloc", &format!("{g}")]);
     }
+    // Gate the serial (par-1) multipod rate against the committed report
+    // (read before the run overwrites the file): the partitioned engine
+    // must not slow the serial engine down.
+    if let Some(g) = committed_multipod_serial(&root) {
+        cmd.args(["--gate-multipod", &format!("{g}")]);
+    }
     cmd.args(["--out", &out]);
     match cmd.status() {
         Ok(st) if st.success() => ExitCode::SUCCESS,
@@ -212,6 +218,20 @@ fn committed_allocs_per_event(root: &std::path::Path) -> Option<f64> {
     let src = std::fs::read_to_string(root.join("BENCH_substrate.json")).ok()?;
     let doc = xtask::json::parse(&src).ok()?;
     doc.get("alloc")?.get("datapath_allocs_per_event")?.as_f64()
+}
+
+/// Reads the committed serial (domains == 1) multipod rate from
+/// BENCH_substrate.json, if present.
+fn committed_multipod_serial(root: &std::path::Path) -> Option<f64> {
+    let src = std::fs::read_to_string(root.join("BENCH_substrate.json")).ok()?;
+    let doc = xtask::json::parse(&src).ok()?;
+    doc.get("multipod")?
+        .get("runs")?
+        .as_arr()?
+        .iter()
+        .find(|r| r.get("domains").and_then(xtask::json::Json::as_u64) == Some(1))?
+        .get("events_per_sec")?
+        .as_f64()
 }
 
 fn run_lint(la: LintArgs) -> ExitCode {

@@ -10,7 +10,9 @@
 //! Rule families:
 //!
 //! * [`determinism`] — `hash-collections`, `wall-clock`, `ambient-rng`,
-//!   `thread-spawn`: nondeterminism sources banned from simulation code.
+//!   `thread-spawn`, `sync-locks`: nondeterminism sources banned from
+//!   simulation code, and blocking locks banned from the lock-free
+//!   modules (the parallel engine synchronizes with channels + barriers).
 //! * [`units`] — `float-time`, `raw-cast`, `unit-mixing`,
 //!   `raw-header-size`: byte/time unit-discipline checks.
 //! * [`panics`] — `panic-path`: panics, `.unwrap()`, empty `.expect("")`
@@ -53,6 +55,8 @@ pub const WHY_MIXING: &str =
     "arithmetic mixing wire bytes and payload bytes; cross domains in simnet::consts only";
 pub const WHY_THREAD: &str =
     "threads in simulation logic; only the experiment orchestrator may spawn/sleep threads";
+pub const WHY_LOCKS: &str =
+    "blocking lock in a lock-free module; synchronize with channels and barriers only";
 pub const WHY_HEADER_SIZE: &str =
     "raw header/frame-size literal; use simnet::consts (DATA_HEADER_WIRE / CTRL_WIRE / DATA_WIRE)";
 pub const WHY_ALLOC: &str =
@@ -128,6 +132,10 @@ pub struct FileCtx<'a> {
     pub fns: Vec<FnScope<'a>>,
     /// File matches the configured hot-module list.
     pub hot_module: bool,
+    /// File is a blessed thread home (`thread-spawn` does not apply).
+    pub thread_home: bool,
+    /// File matches the lock-free-module list (`sync-locks` applies).
+    pub lock_free: bool,
     pub float_home: bool,
     pub unit_home: bool,
 }
@@ -193,6 +201,11 @@ impl<'a> FileCtx<'a> {
             bodies,
             fns,
             hot_module: cfg.hot_modules.iter().any(|m| file.ends_with(m.as_str())),
+            thread_home: cfg.thread_homes.iter().any(|m| file.ends_with(m.as_str())),
+            lock_free: cfg
+                .lock_free_modules
+                .iter()
+                .any(|m| file.ends_with(m.as_str())),
             float_home: file.ends_with(FLOAT_TIME_HOME),
             unit_home: UNIT_HOMES.iter().any(|h| file.ends_with(h)),
         }

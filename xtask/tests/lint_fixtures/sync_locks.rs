@@ -1,0 +1,25 @@
+//@ file: crates/simnet/src/parsim.rs
+// The parallel engine is a lock-free module AND a blessed thread home:
+// Mutex/RwLock are banned (sync-locks), while std::thread and the
+// channel/barrier toolkit are allowed.
+use std::sync::mpsc::channel;
+use std::sync::{Barrier, Mutex, OnceLock};
+
+static CACHED: Mutex<u64> = Mutex::new(0);
+
+fn run(k: usize) {
+    let lock: std::sync::RwLock<u64> = std::sync::RwLock::new(0);
+    let _ = lock.read();
+    let barrier = Barrier::new(k);
+    let once: OnceLock<u64> = OnceLock::new();
+    let (tx, rx) = channel::<u64>();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            tx.send(1).ok();
+            barrier.wait();
+        });
+        let _ = rx.recv();
+        once.set(2).ok();
+        barrier.wait();
+    });
+}
