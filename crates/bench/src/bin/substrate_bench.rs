@@ -1,9 +1,11 @@
 //! Standalone substrate benchmark runner: times the shared calendar
 //! workloads (`flexpass_bench`) on both the timing-wheel and the legacy
 //! binary-heap backend, plus the end-to-end warm-datapath workload
-//! (8-host FlexPass star), and emits a machine-readable JSON report
-//! (events/sec, ns/event, wheel-over-heap speedups, datapath
-//! allocs/event under `--alloc-count`).
+//! (8-host FlexPass star), the partitioned-engine multipod workload, and
+//! the streaming-recorder scale point (multi-pod Clos run to completion
+//! with bounded metrics memory), and emits a machine-readable JSON
+//! report (events/sec, ns/event, wheel-over-heap speedups, peak RSS,
+//! datapath allocs/event under `--alloc-count`).
 //!
 //! Invoked as `cargo xtask bench [--smoke] [--out PATH]`; the committed
 //! `BENCH_substrate.json` at the workspace root is this program's output
@@ -130,6 +132,104 @@ fn measure_multipod(domains: usize, iters: u32) -> (f64, u64, Vec<u64>) {
     )
 }
 
+/// Virtual-time warm-up for the scale (streaming-recorder) workload:
+/// flow arrivals, endpoint construction, and arena ramp-up happen in the
+/// first simulated moments; growth after this point means the
+/// preallocation hints were short. The smoke point is much shorter in
+/// virtual time, so its warm-up is too.
+const SCALE_WARM_US: u64 = 500;
+const SCALE_WARM_SMOKE_US: u64 = 100;
+
+/// Committed peak-RSS ceiling (MiB) for the scale point, per mode. The
+/// full point drives the 10,240-host fabric; the ceiling is what the
+/// streaming recorder exists to guarantee — O(live flows) metrics memory
+/// on top of the fixed fabric state. Values carry ~2x headroom over the
+/// reference-machine measurement.
+const SCALE_RSS_CEILING_MB: u64 = 1024;
+const SCALE_RSS_CEILING_SMOKE_MB: u64 = 512;
+
+/// One scale measurement: the result of driving a multi-pod Clos with
+/// the streaming bounded-memory recorder to completion.
+struct ScaleReport {
+    hosts: usize,
+    flows: usize,
+    window_events: u64,
+    events_per_sec: f64,
+    /// Peak process RSS in MiB (`None` where /proc is unavailable).
+    peak_rss_mb: Option<u64>,
+    /// Arena growths observed after the warm-up window — must be zero.
+    grows_post_warmup: u64,
+}
+
+/// Runs the scale scenario's own simulation (same builder as `--fig
+/// scale`) with a streaming recorder: warm past arrival ramp-up, time
+/// the run to completion, and capture post-warm-up arena growth plus
+/// peak process RSS. Asserts the streaming recorder's memory contract —
+/// zero retained per-flow samples and zero live entries at the end.
+fn measure_scale(smoke: bool) -> ScaleReport {
+    use flexpass_experiments::scale::{build_point, ScaleSpec};
+    use flexpass_metrics::Recorder;
+    use flexpass_simcore::time::{Time, TimeDelta};
+    use flexpass_simnet::sim::Sim;
+
+    // Smoke stays CI-sized (two pods); full drives the 10k-host fabric.
+    // The size cap bounds the run length, not the memory claim.
+    let spec = if smoke {
+        ScaleSpec {
+            hosts: 640,
+            n_flows: 1_000,
+            size_cap: 50_000.0,
+            load: 0.1,
+            seed: 1,
+        }
+    } else {
+        ScaleSpec {
+            hosts: 10_240,
+            n_flows: 10_000,
+            size_cap: 100_000.0,
+            load: 0.1,
+            seed: 1,
+        }
+    };
+    let (topo, factory, flows) = build_point(&spec);
+    let hosts = topo.hosts.len();
+    let mut sim =
+        Sim::with_flow_capacity(topo, factory, Recorder::new().with_streaming(), flows.len());
+    for fl in &flows {
+        sim.schedule_flow(*fl);
+    }
+    let warm_us = if smoke {
+        SCALE_WARM_SMOKE_US
+    } else {
+        SCALE_WARM_US
+    };
+    sim.run_until(Time::from_micros(warm_us));
+    let warm_events = sim.events_processed();
+    let grows_warm = sim.arena_stats().3;
+    let start = Instant::now();
+    sim.run_to_completion(TimeDelta::millis(20));
+    let ns = start.elapsed().as_nanos();
+    let window_events = sim.events_processed() - warm_events;
+    assert!(window_events > 0, "empty scale measurement window");
+    let grows_post_warmup = sim.arena_stats().3 - grows_warm;
+    let rec = &sim.observer;
+    assert!(rec.completed() > 0, "scale point completed no flows");
+    assert_eq!(
+        rec.retained_samples(),
+        0,
+        "streaming recorder retained per-flow samples"
+    );
+    assert_eq!(rec.live_flows(), 0, "live flows left after completion");
+    ScaleReport {
+        hosts,
+        flows: rec.completed(),
+        window_events,
+        events_per_sec: window_events as f64 * 1e9 / ns as f64,
+        peak_rss_mb: flexpass_simcore::mem::peak_rss_bytes().map(|b| b / (1024 * 1024)),
+        grows_post_warmup,
+    }
+}
+
 /// Steady-state datapath allocation measurement (`alloc-count` feature):
 /// warm the full-stack FlexPass workload past start-up, then count
 /// allocator acquisitions across a measured window and divide by the
@@ -204,6 +304,7 @@ fn main() {
     let mut out: Option<String> = None;
     let mut gate_alloc: Option<f64> = None;
     let mut gate_multipod: Option<f64> = None;
+    let mut gate_scale_rss: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -217,11 +318,15 @@ fn main() {
                 let v = args.next().expect("--gate-multipod requires a number");
                 gate_multipod = Some(v.parse().expect("--gate-multipod requires a number"));
             }
+            "--gate-scale-rss" => {
+                let v = args.next().expect("--gate-scale-rss requires a MiB count");
+                gate_scale_rss = Some(v.parse().expect("--gate-scale-rss requires a MiB count"));
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: substrate_bench [--smoke] [--out PATH] [--gate-alloc N] \
-                     [--gate-multipod EPS]"
+                     [--gate-multipod EPS] [--gate-scale-rss MB]"
                 );
                 std::process::exit(2);
             }
@@ -291,6 +396,29 @@ fn main() {
     let speedup_2 = multipod_rate(2) / multipod_rate(1);
     let speedup_4 = multipod_rate(4) / multipod_rate(1);
 
+    // Scale point: multi-pod Clos with the streaming recorder, run to
+    // completion. Measured last so peak RSS reflects it (the earlier
+    // workloads are far smaller).
+    let scale = measure_scale(smoke);
+    let scale_ceiling = if smoke {
+        SCALE_RSS_CEILING_SMOKE_MB
+    } else {
+        SCALE_RSS_CEILING_MB
+    };
+    eprintln!(
+        "substrate_bench: scale {} hosts / {} flows: {:.0} events/sec \
+         ({} events), peak rss {}, arena grows post-warmup {}",
+        scale.hosts,
+        scale.flows,
+        scale.events_per_sec,
+        scale.window_events,
+        scale
+            .peak_rss_mb
+            .map(|m| format!("{m} MiB"))
+            .unwrap_or_else(|| "n/a".to_string()),
+        scale.grows_post_warmup,
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"flexpass-bench-substrate/v1\",\n");
@@ -335,6 +463,17 @@ fn main() {
     }
     json.push_str(&format!(
         "  ], \"speedup_2\": {speedup_2:.3}, \"speedup_4\": {speedup_4:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"scale\": {{\"hosts\": {}, \"flows\": {}, \"window_events\": {}, \
+         \"events_per_sec\": {:.0}, \"peak_rss_mb\": {}, \"rss_ceiling_mb\": {scale_ceiling}, \
+         \"arena_grows_post_warmup\": {}}},\n",
+        scale.hosts,
+        scale.flows,
+        scale.window_events,
+        scale.events_per_sec,
+        scale.peak_rss_mb.unwrap_or(0),
+        scale.grows_post_warmup,
     ));
 
     // Datapath allocation sanitizer (alloc-count feature only).
@@ -434,6 +573,36 @@ fn main() {
                  committed {committed:.0} (-20% tolerance)"
             );
             std::process::exit(1);
+        }
+    }
+    // Scale gates. Post-warm-up arena growth must be zero unconditionally:
+    // growth there means `with_flow_capacity`'s preallocation hints were
+    // short and the datapath fell back to allocating mid-run.
+    // `--gate-scale-rss` carries the committed ceiling (MiB): the
+    // streaming recorder's whole point is that peak memory stays bounded
+    // by fabric size + live flows, not completed-flow count.
+    if scale.grows_post_warmup > 0 {
+        eprintln!(
+            "FAIL: {} arena grow(s) after the scale warm-up window \
+             (preallocation hints are undersized)",
+            scale.grows_post_warmup
+        );
+        std::process::exit(1);
+    }
+    if let Some(ceiling) = gate_scale_rss {
+        match scale.peak_rss_mb {
+            Some(measured) if measured > ceiling => {
+                eprintln!(
+                    "FAIL: scale peak RSS {measured} MiB exceeds the committed \
+                     {ceiling} MiB ceiling"
+                );
+                std::process::exit(1);
+            }
+            Some(_) => {}
+            None => eprintln!(
+                "substrate_bench: RSS not measurable on this platform; \
+                 --gate-scale-rss skipped"
+            ),
         }
     }
     if !smoke && host_cores >= 4 {

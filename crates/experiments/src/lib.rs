@@ -18,6 +18,7 @@
 //! | [`fig18`] | Fig. 18 | queue weight (w_q) trade-off |
 //! | [`queue_study`] | §6.2 text | bounded-queue occupancy and redundancy fraction |
 //! | [`ablation`] | (extension) | design-choice ablations: proactive retx, first-RTT reactive, credit policy |
+//! | [`scale`] | (extension) | O(10k)-host Clos with streaming (bounded-memory) FCT sketches |
 
 pub mod ablation;
 pub mod csvout;
@@ -33,6 +34,7 @@ pub mod orchestrate;
 pub mod plot;
 pub mod queue_study;
 pub mod runner;
+pub mod scale;
 pub mod sweep;
 pub mod tracecfg;
 

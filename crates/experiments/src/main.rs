@@ -12,7 +12,11 @@
 //! fig15 fig17 fig18 queue ablation  (fig10 also produces the per-type
 //! data of figs 12–13; fig15 covers fig16's average-FCT series; ablation
 //! is this reproduction's design-choice study). `--fig custom --trace F`
-//! replays a user flow trace (`src,dst,size_bytes,start_us`).
+//! replays a user flow trace (`src,dst,size_bytes,start_us`). `--fig
+//! scale` (explicit-only, never part of `all`) drives an O(10k)-host
+//! Clos with the streaming bounded-memory recorder; combine with
+//! `--par-sim N` for the partitioned engine and watch the heartbeat for
+//! events/sec, arena growth, and process RSS.
 //!
 //! `--trace[=FILTER]` (no file argument) arms packet-lifecycle tracing:
 //! every simulation point writes `<out>/traces/<group>-<label>.jsonl`
@@ -184,6 +188,16 @@ fn main() {
     run!("fig18", vec![fig18::fig18(scale)]);
     run!("queue", vec![queue_study::queue_study(scale)]);
     run!("ablation", vec![ablation::ablation(scale)]);
+    // Explicit-only (not part of `all`): the default point simulates a
+    // 10,240-host fabric.
+    if fig == "scale" {
+        // lint:allow(wall-clock): figure wall-time banner.
+        let t = Instant::now();
+        eprintln!("== scale ==");
+        emit(flexpass_experiments::scale::scenario(scale));
+        eprintln!("== scale done in {:.1?} ==", t.elapsed());
+        ran += 1;
+    }
     if fig == "custom" {
         let path = trace.unwrap_or_else(|| {
             eprintln!("--fig custom requires --trace FILE (src,dst,size_bytes,start_us)");

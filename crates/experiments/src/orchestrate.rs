@@ -373,7 +373,7 @@ fn heartbeat(state: &PoolState, stop: &AtomicBool) {
         let active = state.active.lock().expect("active registry poisoned");
         let names: Vec<&str> = active.iter().take(4).map(|(l, _)| l.as_str()).collect();
         eprintln!(
-            "  [{}] {}/{} points done | {:.1}M events | vt {:.3}s | {:.2}M ev/s | running: {}{}{}",
+            "  [{}] {}/{} points done | {:.1}M events | vt {:.3}s | {:.2}M ev/s | running: {}{}{}{}",
             state.group,
             done,
             state.total,
@@ -387,6 +387,7 @@ fn heartbeat(state: &PoolState, stop: &AtomicBool) {
                 ""
             },
             partition_segment(&active),
+            rss_segment(),
         );
     }
 }
@@ -426,7 +427,29 @@ fn partition_segment(active: &[(String, Arc<ProgressProbe>)]) -> String {
     if grows > 0 || high_water > 0 {
         out.push_str(&format!(" | arena grows {grows} hw {high_water}"));
     }
+    // Any growth after construction means the preallocation sizing was
+    // wrong for this workload — the exact failure the hinted-cap fix
+    // addresses — so make it impossible to miss in the log.
+    if grows > 0 {
+        out.push_str(" (WARN: arena preallocation undersized)");
+    }
     out
+}
+
+/// Renders the process-RSS suffix of a heartbeat line (current and peak,
+/// MiB). Empty where `/proc/self/status` is unavailable.
+fn rss_segment() -> String {
+    match (
+        flexpass_simcore::mem::current_rss_bytes(),
+        flexpass_simcore::mem::peak_rss_bytes(),
+    ) {
+        (Some(cur), Some(peak)) => format!(
+            " | rss {}M peak {}M",
+            cur / (1024 * 1024),
+            peak / (1024 * 1024)
+        ),
+        _ => String::new(),
+    }
 }
 
 #[cfg(test)]
@@ -509,6 +532,30 @@ mod tests {
         skewed.publish_domain_events(1, 100);
         skewed.publish_arena(2, 512);
         let seg = partition_segment(&[("b".to_string(), balanced), ("s".to_string(), skewed)]);
-        assert_eq!(seg, " | domains max/min 3.00 | arena grows 2 hw 512");
+        assert_eq!(
+            seg,
+            " | domains max/min 3.00 | arena grows 2 hw 512 \
+             (WARN: arena preallocation undersized)"
+        );
+
+        // High-water alone (a healthy preallocated run) reports without
+        // the warning.
+        let healthy = Arc::new(ProgressProbe::new());
+        healthy.publish_arena(0, 256);
+        let seg = partition_segment(&[("h".to_string(), healthy)]);
+        assert_eq!(seg, " | arena grows 0 hw 256");
+    }
+
+    /// RSS reporting is best-effort but must be well-formed where
+    /// available (linux: always).
+    #[test]
+    fn rss_segment_is_well_formed() {
+        let seg = rss_segment();
+        if cfg!(target_os = "linux") {
+            assert!(seg.starts_with(" | rss "), "{seg}");
+            assert!(seg.contains("M peak "), "{seg}");
+        } else {
+            assert!(seg.is_empty());
+        }
     }
 }

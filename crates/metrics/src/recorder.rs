@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use flexpass_simcore::stats::{bytes_to_gbps, Percentiles, TimeSeries};
+use flexpass_simcore::stats::{bytes_to_gbps, FctSketch, Percentiles, TimeSeries};
 use flexpass_simcore::time::{Time, TimeDelta};
 use flexpass_simnet::endpoint::{AppEvent, TxStats};
 use flexpass_simnet::packet::{FlowSpec, Packet, Payload, Subflow};
@@ -32,6 +32,46 @@ pub struct FlowRecord {
 /// Key of a throughput time series: `(flow tag, sub-flow)`.
 pub type SeriesKey = (u32, Subflow);
 
+/// Key of a streaming FCT sketch: `(flow tag, size decade)`.
+pub type SketchKey = (u32, u8);
+
+/// Decimal size bucket of a flow: `floor(log10(size))`, 0 for sizes
+/// under 10 bytes. The paper's small-flow cut (`size < 100 kB`) is
+/// exactly `decade <= SMALL_DECADE_MAX`.
+pub fn size_decade(size: u64) -> u8 {
+    let mut d = 0u8;
+    let mut s = size / 10;
+    while s > 0 {
+        d += 1;
+        s /= 10;
+    }
+    d
+}
+
+/// Largest decade still inside the paper's small-flow cut (< 100 kB).
+pub const SMALL_DECADE_MAX: u8 = 4;
+
+/// Receiver saw the last byte (`FlowCompleted`).
+const RX_DONE: u8 = 1;
+/// Sender retired its state (`SenderDone`).
+const TX_DONE: u8 = 2;
+const BOTH_DONE: u8 = RX_DONE | TX_DONE;
+
+/// Compact per-live-flow bookkeeping — only what the figure queries
+/// need, not the whole [`FlowSpec`] (src/dst routing fields are the
+/// simulator's business, not the recorder's).
+#[derive(Clone, Copy, Debug)]
+struct LiveFlow {
+    size: u64,
+    start: Time,
+    tag: u32,
+    fg: bool,
+    /// `RX_DONE | TX_DONE` bits; in streaming mode the entry is dropped
+    /// once both endpoints have retired the flow, keeping the map
+    /// O(live flows).
+    done: u8,
+}
+
 /// Derived FCT statistics.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FctStats {
@@ -51,8 +91,17 @@ pub struct FctStats {
 
 /// A [`NetObserver`] recording everything the paper's figures need.
 pub struct Recorder {
-    specs: BTreeMap<u64, (FlowSpec, Time)>,
-    /// Completed flows.
+    live: BTreeMap<u64, LiveFlow>,
+    /// Streaming mode: fold completions into [`FctSketch`]es and drop
+    /// retired live entries instead of retaining [`FlowRecord`]s, so
+    /// memory is O(live flows), not O(flows). Exact mode (the default)
+    /// keeps the full per-flow record for the paper's figures.
+    streaming: bool,
+    /// Streaming mode: one bounded-memory sketch per (tag, size decade).
+    sketches: BTreeMap<SketchKey, FctSketch>,
+    /// Streaming mode: completions folded into `sketches`.
+    streamed: u64,
+    /// Completed flows (exact mode only; empty in streaming mode).
     pub flows: Vec<FlowRecord>,
     /// Sender stats summed per tag.
     pub tx_by_tag: BTreeMap<u32, TxStats>,
@@ -86,7 +135,10 @@ impl Recorder {
     /// A recorder with FCT + drop accounting only.
     pub fn new() -> Self {
         Recorder {
-            specs: BTreeMap::new(),
+            live: BTreeMap::new(),
+            streaming: false,
+            sketches: BTreeMap::new(),
+            streamed: 0,
             flows: Vec::new(),
             tx_by_tag: BTreeMap::new(),
             drops: BTreeMap::new(),
@@ -114,6 +166,42 @@ impl Recorder {
         self
     }
 
+    /// Switches to streaming mode: completions fold into per-(tag, size
+    /// decade) [`FctSketch`]es and per-flow state is dropped once both
+    /// endpoints retire the flow, so recorder memory stays O(live flows)
+    /// at any scale. Quantiles then carry the sketch's documented
+    /// [`FctSketch::RELATIVE_ERROR`]; count/mean/min/max stay exact.
+    /// Per-flow records ([`Recorder::flows`], [`Recorder::fct_stats`])
+    /// are unavailable in this mode.
+    pub fn with_streaming(mut self) -> Self {
+        self.streaming = true;
+        self
+    }
+
+    /// True when this recorder folds completions into sketches.
+    pub fn is_streaming(&self) -> bool {
+        self.streaming
+    }
+
+    /// Number of retained per-flow FCT samples (0 in streaming mode —
+    /// the memory-regression contract).
+    pub fn retained_samples(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Number of flows currently tracked as live (started but not yet
+    /// fully retired). In streaming mode this is the recorder's only
+    /// per-flow state.
+    pub fn live_flows(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The streaming sketches, keyed by (tag, size decade). Empty unless
+    /// streaming mode recorded completions.
+    pub fn sketches(&self) -> &BTreeMap<SketchKey, FctSketch> {
+        &self.sketches
+    }
+
     /// FCT statistics over flows matching `filt`.
     pub fn fct_stats(&self, filt: impl Fn(&FlowRecord) -> bool) -> FctStats {
         let mut p = Percentiles::new();
@@ -130,19 +218,66 @@ impl Recorder {
         }
     }
 
+    /// Pools the streaming sketches matching `tag` (and optionally only
+    /// small-flow decades) into one. Bin counts add exactly, so pooled
+    /// quantiles carry the same error bound as a single sketch.
+    fn merged_sketch(&self, tag: Option<u32>, small_only: bool) -> FctSketch {
+        let mut out = FctSketch::new();
+        for ((t, decade), s) in &self.sketches {
+            if tag.is_some_and(|want| *t != want) {
+                continue;
+            }
+            if small_only && *decade > SMALL_DECADE_MAX {
+                continue;
+            }
+            out.merge(s);
+        }
+        out
+    }
+
+    /// FCT statistics from the streaming sketches: count/avg/max/stddev
+    /// exact, p50/p99 within [`FctSketch::RELATIVE_ERROR`]. All zeros
+    /// when nothing matched (or in exact mode, where the sketches are
+    /// never fed).
+    pub fn streaming_stats(&self, tag: Option<u32>, small_only: bool) -> FctStats {
+        let s = self.merged_sketch(tag, small_only);
+        FctStats {
+            // lint:allow(raw-cast): sample counts fit usize on 64-bit.
+            count: s.count() as usize,
+            avg: s.mean(),
+            p50: s.p50(),
+            p99: s.p99(),
+            max: s.max(),
+            stddev: s.stddev(),
+        }
+    }
+
     /// The paper's headline tail metric: p99 FCT of flows under 100 kB.
+    /// In streaming mode, answered from the sketches (within
+    /// [`FctSketch::RELATIVE_ERROR`]).
     pub fn p99_small(&self, tag: Option<u32>) -> f64 {
+        if self.streaming {
+            return self.streaming_stats(tag, true).p99;
+        }
         self.fct_stats(|r| r.size < 100_000 && tag.is_none_or(|t| r.tag == t))
             .p99
     }
 
-    /// Overall average FCT (all sizes), optionally by tag.
+    /// Overall average FCT (all sizes), optionally by tag. Exact in both
+    /// modes (sketches keep the exact mean).
     pub fn avg_fct(&self, tag: Option<u32>) -> f64 {
+        if self.streaming {
+            return self.streaming_stats(tag, false).avg;
+        }
         self.fct_stats(|r| tag.is_none_or(|t| r.tag == t)).avg
     }
 
-    /// Standard deviation of small-flow FCTs by tag (Figure 13).
+    /// Standard deviation of small-flow FCTs by tag (Figure 13). Exact
+    /// in both modes.
     pub fn stddev_small(&self, tag: Option<u32>) -> f64 {
+        if self.streaming {
+            return self.streaming_stats(tag, true).stddev;
+        }
         self.fct_stats(|r| r.size < 100_000 && tag.is_none_or(|t| r.tag == t))
             .stddev
     }
@@ -248,30 +383,56 @@ impl Recorder {
         }
     }
 
-    /// Number of flows recorded.
+    /// Number of flows recorded (retained records plus streamed
+    /// completions).
     pub fn completed(&self) -> usize {
-        self.flows.len()
+        // lint:allow(raw-cast): completion counts fit usize on 64-bit.
+        self.flows.len() + self.streamed as usize
     }
 
     /// An empty recorder with this one's configuration (throughput bin,
-    /// queue watch). The parallel engine hands one to each partition
-    /// domain, then folds them back with [`Recorder::absorb`].
+    /// queue watch, streaming mode). The parallel engine hands one to
+    /// each partition domain, then folds them back with
+    /// [`Recorder::absorb`].
     pub fn fresh_like(&self) -> Recorder {
         let mut r = Recorder::new();
         r.throughput_bin = self.throughput_bin;
         r.queue_watch = self.queue_watch;
+        r.streaming = self.streaming;
         r
     }
 
     /// Folds a domain recorder into this one. Call in ascending domain
     /// order so merged flow lists are deterministic. A flow split across a
-    /// domain cut starts in both domains; the spec map dedups it (both
-    /// observations carry the same spec and start instant), while every
-    /// other aggregate is strictly per-domain and sums.
+    /// domain cut starts in both domains; the live map dedups it (both
+    /// observations carry the same size/start/tag) and ORs the done bits
+    /// so a flow that completed RX-side in one domain and TX-side in the
+    /// other is recognized as retired. Every other aggregate is strictly
+    /// per-domain and sums; sketch merges are bit-deterministic in domain
+    /// order.
     pub fn absorb(&mut self, other: Recorder) {
-        for (id, v) in other.specs {
-            self.specs.entry(id).or_insert(v);
+        for (id, lf) in other.live {
+            match self.live.entry(id) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    e.get_mut().done |= lf.done;
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(lf);
+                }
+            }
         }
+        if self.streaming {
+            self.live.retain(|_, lf| lf.done != BOTH_DONE);
+        }
+        for (key, s) in other.sketches {
+            match self.sketches.entry(key) {
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(&s),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(s);
+                }
+            }
+        }
+        self.streamed += other.streamed;
         self.flows.extend(other.flows);
         for (tag, s) in other.tx_by_tag {
             let agg = self.tx_by_tag.entry(tag).or_default();
@@ -305,26 +466,49 @@ impl Recorder {
 
 impl NetObserver for Recorder {
     fn on_flow_start(&mut self, spec: &FlowSpec, now: Time) {
-        self.specs.insert(spec.id, (*spec, now));
+        self.live.insert(
+            spec.id,
+            LiveFlow {
+                size: spec.size.get(),
+                start: now,
+                tag: spec.tag,
+                fg: spec.fg,
+                done: 0,
+            },
+        );
     }
 
     fn on_app_event(&mut self, ev: &AppEvent, now: Time) {
         match ev {
             AppEvent::FlowCompleted { flow, stats } => {
-                if let Some((spec, start)) = self.specs.get(flow) {
-                    self.flows.push(FlowRecord {
-                        flow: *flow,
-                        size: spec.size.get(),
-                        fct: now.saturating_since(*start).as_secs_f64(),
-                        tag: spec.tag,
-                        fg: spec.fg,
-                        reorder_peak: stats.reorder_peak_bytes,
-                        dup_pkts: stats.dup_pkts,
-                    });
+                if let Some(lf) = self.live.get_mut(flow) {
+                    let fct = now.saturating_since(lf.start).as_secs_f64();
+                    if self.streaming {
+                        let (tag, size) = (lf.tag, lf.size);
+                        lf.done |= RX_DONE;
+                        if lf.done == BOTH_DONE {
+                            self.live.remove(flow);
+                        }
+                        self.sketches
+                            .entry((tag, size_decade(size)))
+                            .or_default()
+                            .push(fct);
+                        self.streamed += 1;
+                    } else {
+                        self.flows.push(FlowRecord {
+                            flow: *flow,
+                            size: lf.size,
+                            fct,
+                            tag: lf.tag,
+                            fg: lf.fg,
+                            reorder_peak: stats.reorder_peak_bytes,
+                            dup_pkts: stats.dup_pkts,
+                        });
+                    }
                 }
             }
             AppEvent::SenderDone { flow, stats } => {
-                let tag = self.specs.get(flow).map_or(0, |(s, _)| s.tag);
+                let tag = self.live.get(flow).map_or(0, |lf| lf.tag);
                 let agg = self.tx_by_tag.entry(tag).or_default();
                 agg.data_pkts += stats.data_pkts;
                 agg.data_bytes += stats.data_bytes;
@@ -334,6 +518,14 @@ impl NetObserver for Recorder {
                 agg.timeouts += stats.timeouts;
                 agg.credits_received += stats.credits_received;
                 agg.credits_wasted += stats.credits_wasted;
+                if self.streaming {
+                    if let Some(lf) = self.live.get_mut(flow) {
+                        lf.done |= TX_DONE;
+                        if lf.done == BOTH_DONE {
+                            self.live.remove(flow);
+                        }
+                    }
+                }
             }
         }
     }
@@ -341,7 +533,7 @@ impl NetObserver for Recorder {
     fn on_delivered(&mut self, pkt: &Packet, now: Time) {
         if let Some(bin) = self.throughput_bin {
             if let Payload::Data(d) = pkt.payload {
-                let tag = self.specs.get(&pkt.flow).map_or(0, |(s, _)| s.tag);
+                let tag = self.live.get(&pkt.flow).map_or(0, |lf| lf.tag);
                 self.series
                     .entry((tag, d.sub))
                     .or_insert_with(|| TimeSeries::new(bin))
@@ -600,6 +792,157 @@ mod tests {
         // Both deliveries counted once each: 2 * 1460 B in bin 0.
         let tp = merged.throughput_gbps(1);
         assert!((tp[0] - 2.0 * 1460.0 * 8.0 / 1e6).abs() < 1e-9, "tp {tp:?}");
+    }
+
+    #[test]
+    fn size_decade_buckets_match_small_flow_cut() {
+        assert_eq!(size_decade(0), 0);
+        assert_eq!(size_decade(9), 0);
+        assert_eq!(size_decade(10), 1);
+        assert_eq!(size_decade(99_999), SMALL_DECADE_MAX);
+        assert_eq!(size_decade(100_000), SMALL_DECADE_MAX + 1);
+        assert_eq!(size_decade(u64::MAX), 19);
+    }
+
+    /// Fully retires a flow: start, receiver completion at `fct_us`, and
+    /// sender retirement (what every transport emits in practice).
+    fn retire(r: &mut Recorder, id: u64, size: u64, tag: u32, fct_us: u64) {
+        complete(r, id, size, tag, fct_us);
+        r.on_app_event(
+            &AppEvent::SenderDone {
+                flow: id,
+                stats: TxStats::default(),
+            },
+            Time::from_micros(fct_us),
+        );
+    }
+
+    /// Deterministic pseudo-random (size, fct_us) pairs.
+    fn synth_flows(n: u64) -> Vec<(u64, u64)> {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let size = 100 + state % 10_000_000;
+                let fct_us = 20 + (state >> 32) % 200_000;
+                (size, fct_us)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_exact_within_sketch_error() {
+        let mut exact = Recorder::new();
+        let mut stream = Recorder::new().with_streaming();
+        for (i, &(size, fct_us)) in synth_flows(5_000).iter().enumerate() {
+            let tag = (i % 2) as u32;
+            retire(&mut exact, i as u64, size, tag, fct_us);
+            retire(&mut stream, i as u64, size, tag, fct_us);
+        }
+        assert_eq!(stream.completed(), exact.completed());
+        for tag in [None, Some(0), Some(1)] {
+            // Count/mean/stddev are carried exactly by the sketches.
+            let es = exact.fct_stats(|r| r.size < 100_000 && tag.is_none_or(|t| r.tag == t));
+            let ss = stream.streaming_stats(tag, true);
+            assert_eq!(ss.count, es.count);
+            assert!((stream.avg_fct(tag) - exact.avg_fct(tag)).abs() < 1e-12);
+            assert!((stream.stddev_small(tag) - exact.stddev_small(tag)).abs() < 1e-12);
+            assert!((ss.max - es.max).abs() < 1e-12);
+            // Quantiles within the documented sketch error.
+            let (sp, ep) = (stream.p99_small(tag), exact.p99_small(tag));
+            assert!(
+                (sp - ep).abs() <= FctSketch::RELATIVE_ERROR * ep,
+                "tag {tag:?}: streaming p99 {sp} vs exact {ep}"
+            );
+            let (sp, ep) = (ss.p50, es.p50);
+            assert!(
+                (sp - ep).abs() <= FctSketch::RELATIVE_ERROR * ep,
+                "tag {tag:?}: streaming p50 {sp} vs exact {ep}"
+            );
+        }
+    }
+
+    /// The memory-regression contract: a streaming recorder retains zero
+    /// per-flow samples and its live map empties as flows retire.
+    #[test]
+    fn streaming_recorder_retains_no_flow_state() {
+        let mut r = Recorder::new().with_streaming();
+        for (i, &(size, fct_us)) in synth_flows(1_000).iter().enumerate() {
+            retire(&mut r, i as u64, size, 0, fct_us);
+        }
+        assert_eq!(r.completed(), 1_000);
+        assert_eq!(r.retained_samples(), 0);
+        assert_eq!(r.live_flows(), 0);
+        // Exact mode keeps everything — the figures' contract.
+        let mut e = Recorder::new();
+        for (i, &(size, fct_us)) in synth_flows(100).iter().enumerate() {
+            retire(&mut e, i as u64, size, 0, fct_us);
+        }
+        assert_eq!(e.retained_samples(), 100);
+        assert_eq!(e.live_flows(), 100);
+    }
+
+    /// A flow split across a partition cut completes RX-side in one
+    /// domain and TX-side in the other; absorbing both must OR the done
+    /// bits and drop the entry, and repeated domain-order merges must be
+    /// bit-deterministic.
+    #[test]
+    fn streaming_absorb_drops_split_flows_and_is_deterministic() {
+        let parent = Recorder::new().with_streaming();
+        let build_domains = || {
+            let mut d0 = parent.fresh_like();
+            let mut d1 = parent.fresh_like();
+            assert!(d0.is_streaming());
+            // Flow 1 crosses the cut: starts in both, completes RX-side
+            // in d1, retires TX-side in d0.
+            d0.on_flow_start(&spec(1, 50_000, 1), Time::ZERO);
+            d1.on_flow_start(&spec(1, 50_000, 1), Time::ZERO);
+            d1.on_app_event(
+                &AppEvent::FlowCompleted {
+                    flow: 1,
+                    stats: RxStats::default(),
+                },
+                Time::from_micros(120),
+            );
+            d0.on_app_event(
+                &AppEvent::SenderDone {
+                    flow: 1,
+                    stats: TxStats::default(),
+                },
+                Time::from_micros(120),
+            );
+            // Plus intra-domain traffic on both sides.
+            for (i, &(size, fct_us)) in synth_flows(200).iter().enumerate() {
+                retire(
+                    if i % 2 == 0 { &mut d0 } else { &mut d1 },
+                    10 + i as u64,
+                    size,
+                    1,
+                    fct_us,
+                );
+            }
+            (d0, d1)
+        };
+        let merge = || {
+            let mut m = parent.fresh_like();
+            let (d0, d1) = build_domains();
+            m.absorb(d0);
+            m.absorb(d1);
+            m
+        };
+        let a = merge();
+        let b = merge();
+        assert_eq!(a.completed(), 201);
+        assert_eq!(a.live_flows(), 0, "split flow not dropped after absorb");
+        assert_eq!(a.retained_samples(), 0);
+        // Bit-identical across repeated merges.
+        assert_eq!(a.p99_small(Some(1)), b.p99_small(Some(1)));
+        assert_eq!(a.avg_fct(Some(1)), b.avg_fct(Some(1)));
+        let qa: Vec<f64> = a.sketches().values().map(|s| s.quantile(0.9)).collect();
+        let qb: Vec<f64> = b.sketches().values().map(|s| s.quantile(0.9)).collect();
+        assert_eq!(qa, qb);
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub struct Telemetry {
     pub timer_cancels: u64,
     /// Events folded in (the slice length).
     pub events: u64,
+    /// Wasted credits whose issue was observed in the trace (per flow,
+    /// each waste is matched against a still-outstanding observed issue).
+    matched_waste: u64,
+    /// Wasted credits with no observed matching issue — evidence the
+    /// trace ring evicted the issue side, i.e. the trace is truncated.
+    unmatched_waste: u64,
 }
 
 fn bump(series: &mut Vec<u64>, bin: usize) {
@@ -66,7 +72,14 @@ impl Telemetry {
             rtos: 0,
             timer_cancels: 0,
             events: events.len() as u64,
+            matched_waste: 0,
+            unmatched_waste: 0,
         };
+        // Outstanding observed credit issues per flow: a waste consumes
+        // one; a waste arriving with none outstanding had its issue
+        // evicted from the trace ring and must not count against the
+        // observed issue total.
+        let mut outstanding: BTreeMap<u64, u64> = BTreeMap::new();
         for ev in events {
             let b = (ev.t_ns() / w) as usize;
             match ev {
@@ -81,8 +94,20 @@ impl Telemetry {
                 } => t.note_depth(*queue, b, *bytes_after),
                 TraceEvent::EcnMark { .. } => bump(&mut t.ecn_marks, b),
                 TraceEvent::Drop { .. } => bump(&mut t.drops, b),
-                TraceEvent::CreditSent { .. } => bump(&mut t.credits_sent, b),
-                TraceEvent::CreditWasted { .. } => bump(&mut t.credits_wasted, b),
+                TraceEvent::CreditSent { flow, .. } => {
+                    bump(&mut t.credits_sent, b);
+                    *outstanding.entry(*flow).or_insert(0) += 1;
+                }
+                TraceEvent::CreditWasted { flow, .. } => {
+                    bump(&mut t.credits_wasted, b);
+                    match outstanding.get_mut(flow) {
+                        Some(n) if *n > 0 => {
+                            *n -= 1;
+                            t.matched_waste += 1;
+                        }
+                        _ => t.unmatched_waste += 1,
+                    }
+                }
                 TraceEvent::Retransmit { .. } => bump(&mut t.retransmits, b),
                 TraceEvent::Rto { .. } => t.rtos += 1,
                 TraceEvent::TimerCancel { .. } => t.timer_cancels += 1,
@@ -122,17 +147,30 @@ impl Telemetry {
     }
 
     /// Fraction of issued credits that were wasted (0.0 when none were
-    /// issued). Wasted credits observed without a matching issue (e.g. the
-    /// sends were evicted from the ring) still count against the issued
-    /// total, so the ratio can exceed 1.0 on a truncated trace.
+    /// issued). Only wastes whose matching issue was observed count, so
+    /// a ring-truncated trace (waste retained, issue evicted) can no
+    /// longer push the ratio above 1.0; check [`Telemetry::truncated`]
+    /// before trusting the figure on such a trace.
     pub fn credit_waste_fraction(&self) -> f64 {
         let sent: u64 = self.credits_sent.iter().sum();
-        let wasted: u64 = self.credits_wasted.iter().sum();
         if sent == 0 {
             0.0
         } else {
-            wasted as f64 / sent as f64
+            (self.matched_waste as f64 / sent as f64).min(1.0)
         }
+    }
+
+    /// True when the trace shows wasted credits whose issue was never
+    /// observed — the ring evicted part of the issue window, so
+    /// [`Telemetry::credit_waste_fraction`] undercounts waste.
+    pub fn truncated(&self) -> bool {
+        self.unmatched_waste > 0
+    }
+
+    /// Wasted credits with no observed matching issue (0 on a complete
+    /// trace).
+    pub fn unmatched_waste(&self) -> u64 {
+        self.unmatched_waste
     }
 
     /// Fraction of admitted packets that were CE-marked (0.0 when no
@@ -168,7 +206,8 @@ impl Telemetry {
              \"ecn_marks\":{},\"drops\":{},\"credits_sent\":{},\
              \"credits_wasted\":{},\"retransmits\":{},\"rtos\":{},\
              \"timer_cancels\":{},\"mark_fraction\":{:.6},\
-             \"credit_waste_fraction\":{:.6}}}",
+             \"credit_waste_fraction\":{:.6},\
+             \"credit_waste_truncated\":{}}}",
             self.bin.as_nanos(),
             self.bins(),
             self.events,
@@ -184,6 +223,7 @@ impl Telemetry {
             self.timer_cancels,
             self.mark_fraction(),
             self.credit_waste_fraction(),
+            self.truncated(),
         );
         out
     }
@@ -286,11 +326,42 @@ mod tests {
     fn fractions() {
         let t = Telemetry::from_events(&sample_events(), TimeDelta::micros(1));
         assert_eq!(t.credit_waste_fraction(), 0.5);
+        assert!(!t.truncated());
+        assert_eq!(t.unmatched_waste(), 0);
         assert_eq!(t.mark_fraction(), 0.5);
         let empty = Telemetry::from_events(&[], TimeDelta::micros(1));
         assert_eq!(empty.credit_waste_fraction(), 0.0);
         assert_eq!(empty.mark_fraction(), 0.0);
         assert_eq!(empty.bins(), 0);
+    }
+
+    /// Regression: a ring-truncated trace that kept wastes but lost their
+    /// issues used to report a waste ratio above 1.0. Unmatched wastes
+    /// must now be excluded (and flagged) instead.
+    #[test]
+    fn truncated_trace_waste_never_exceeds_one() {
+        // One observed issue for flow 3, but three wastes: two of them
+        // (flow 3's second, and flow 7's only one) lost their issues to
+        // ring eviction.
+        let events = vec![
+            TraceEvent::CreditWasted { t_ns: 100, flow: 7 },
+            TraceEvent::CreditSent {
+                t_ns: 200,
+                flow: 3,
+                idx: 5,
+            },
+            TraceEvent::CreditWasted { t_ns: 300, flow: 3 },
+            TraceEvent::CreditWasted { t_ns: 400, flow: 3 },
+        ];
+        let t = Telemetry::from_events(&events, TimeDelta::micros(1));
+        assert_eq!(t.credits_sent.iter().sum::<u64>(), 1);
+        assert_eq!(t.credits_wasted.iter().sum::<u64>(), 3);
+        assert_eq!(t.credit_waste_fraction(), 1.0);
+        assert!(t.truncated());
+        assert_eq!(t.unmatched_waste(), 2);
+        let s = t.summary_json();
+        assert!(s.contains("\"credit_waste_fraction\":1.000000"));
+        assert!(s.contains("\"credit_waste_truncated\":true"));
     }
 
     #[test]
@@ -303,6 +374,7 @@ mod tests {
         assert!(s.contains("\"enqueues\":2"));
         assert!(s.contains("\"credits_sent\":2"));
         assert!(s.contains("\"credit_waste_fraction\":0.500000"));
+        assert!(s.contains("\"credit_waste_truncated\":false"));
         assert!(s.contains("\"peak_depth_bytes\":3076"));
     }
 }

@@ -14,7 +14,10 @@
 //!   ECMP path selection.
 //! * [`progress`] — atomic progress counters ([`ProgressProbe`]) a running
 //!   calendar publishes into, for cross-thread heartbeat reporting.
-//! * [`stats`] — online mean/variance, exact percentiles, time-binned series.
+//! * [`stats`] — online mean/variance, exact percentiles, the bounded-memory
+//!   [`FctSketch`] quantile histogram, time-binned series.
+//! * [`mem`] — linux-gated process-RSS self-measurement for scale
+//!   reporting (`/proc/self/status`).
 //! * [`units`] — byte-accounting newtypes ([`Bytes`], [`WireBytes`],
 //!   [`PktCount`]) keeping payload and wire bytes apart at compile time.
 //!
@@ -33,6 +36,7 @@
 //! ```
 
 pub mod event;
+pub mod mem;
 pub mod progress;
 pub mod rng;
 pub mod stats;
@@ -43,6 +47,6 @@ pub mod wheel;
 pub use event::{EventQueue, TimerHandle};
 pub use progress::ProgressProbe;
 pub use rng::SimRng;
-pub use stats::{OnlineStats, Percentiles, TimeSeries};
+pub use stats::{FctSketch, OnlineStats, Percentiles, TimeSeries};
 pub use time::{Rate, Time, TimeDelta};
 pub use units::{Bytes, PktCount, WireBytes};

@@ -1,0 +1,48 @@
+//! Process-memory self-measurement for scale reporting.
+//!
+//! Linux-only (parses `/proc/self/status`); on other platforms the
+//! queries return `None` and callers simply omit the figure. Strictly
+//! observational — nothing in a simulation reads these back, so sampling
+//! RSS can never perturb a simulated outcome.
+
+/// Resident set size right now, in bytes (`VmRSS`), when measurable.
+pub fn current_rss_bytes() -> Option<u64> {
+    proc_status_kb("VmRSS:").map(|kb| kb * 1024)
+}
+
+/// Peak resident set size over the process lifetime, in bytes (`VmHWM`),
+/// when measurable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    proc_status_kb("VmHWM:").map(|kb| kb * 1024)
+}
+
+/// Reads one `kB`-valued field from `/proc/self/status`.
+#[cfg(target_os = "linux")]
+fn proc_status_kb(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    // Format: "VmRSS:\t  123456 kB".
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn proc_status_kb(_field: &str) -> Option<u64> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn rss_is_measurable_and_sane() {
+        let rss = current_rss_bytes().expect("VmRSS readable on linux");
+        let peak = peak_rss_bytes().expect("VmHWM readable on linux");
+        // A running test binary occupies at least a few hundred kB, and
+        // the high-water mark can never undercut the current value as of
+        // the same read... modulo paging races, so allow slack.
+        assert!(rss > 100 * 1024, "rss {rss}");
+        assert!(peak + 1024 * 1024 >= rss, "peak {peak} < rss {rss}");
+    }
+}

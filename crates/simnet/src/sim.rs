@@ -245,8 +245,13 @@ impl<O: NetObserver> Sim<O> {
         // (capacity_hint counts minimum-size frames), which is a ceiling on
         // the live-packet population, not a target — cap the hinted term so
         // a large Clos with deep buffers does not pre-reserve megabytes per
-        // run. Warm-up growth (tracked by the arena) absorbs any shortfall.
+        // run. The cap scales with host count: a fixed 65,536 was tuned for
+        // the paper's 192-host fabric and silently undersized 10k-host
+        // topologies, forcing warm-path arena growth. Warm-up growth
+        // (tracked by the arena) still absorbs any residual shortfall.
         const MAX_HINTED_SLOTS: usize = 65_536;
+        const HINT_SLOTS_PER_HOST: usize = 32;
+        let hinted_cap = MAX_HINTED_SLOTS.max(topo.hosts.len().saturating_mul(HINT_SLOTS_PER_HOST));
         let mut hinted: usize = 0;
         for node in &nodes {
             let ports: &[Port] = match node {
@@ -263,7 +268,7 @@ impl<O: NetObserver> Sim<O> {
         }
         let slots = expected_flows
             .saturating_mul(16)
-            .max(hinted.min(MAX_HINTED_SLOTS))
+            .max(hinted.min(hinted_cap))
             .max(256);
 
         // Per-host flow tables: each flow registers two endpoints; spread
@@ -1002,6 +1007,40 @@ mod tests {
         assert_send::<Sim<NullObserver>>();
         assert_send::<Box<dyn TransportFactory>>();
         assert_send::<Box<dyn Endpoint>>();
+    }
+
+    /// Regression: the hinted arena preallocation was capped at a fixed
+    /// 65,536 slots tuned for the paper's 192-host fabric, silently
+    /// undersizing 10k-host topologies (forcing warm-path growth). The
+    /// cap now scales with host count; small fabrics keep the old bound.
+    #[test]
+    fn arena_hint_cap_scales_with_host_count() {
+        let deep = SwitchProfile {
+            port: PortConfig {
+                rate: Rate::from_gbps(10),
+                queues: vec![(
+                    QueueConfig::capped(WireBytes::new(10_000_000)),
+                    QueueSched::strict(0),
+                )],
+            },
+            class_map: ClassMap::Single,
+            shared_buffer: None,
+        };
+        let mk = |hosts: usize| {
+            let topo = Topology::star(
+                hosts,
+                Rate::from_gbps(10),
+                TimeDelta::micros(5),
+                &deep,
+                &deep,
+            );
+            Sim::new(topo, Box::new(BlastFactory), NullObserver)
+        };
+        // Small fabric: the hinted sum exceeds every cap, so the old
+        // fixed bound still applies.
+        assert_eq!(mk(128).arena_stats().2, 65_536);
+        // Large fabric: the cap follows host count instead of clamping.
+        assert_eq!(mk(4_096).arena_stats().2, 4_096 * 32);
     }
 
     #[test]

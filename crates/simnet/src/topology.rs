@@ -84,6 +84,26 @@ impl ClosParams {
             ..ClosParams::default()
         }
     }
+
+    /// A scaled-out fabric with at least `hosts` hosts (rounded up to a
+    /// whole pod): dense 40-host racks, 8 ToRs and 2 aggs per pod, 8
+    /// cores — the shape the `scale` scenario drives to O(10k) hosts.
+    /// Keeps the paper's link rates and propagation delays.
+    pub fn with_hosts(hosts: usize) -> Self {
+        const HOSTS_PER_TOR: usize = 40;
+        const TORS_PER_POD: usize = 8;
+        const AGGS_PER_POD: usize = 2;
+        let per_pod = HOSTS_PER_TOR * TORS_PER_POD;
+        let pods = hosts.div_ceil(per_pod).max(1);
+        ClosParams {
+            n_core: 8,
+            n_agg: pods * AGGS_PER_POD,
+            n_tor: pods * TORS_PER_POD,
+            hosts_per_tor: HOSTS_PER_TOR,
+            aggs_per_pod: AGGS_PER_POD,
+            ..ClosParams::default()
+        }
+    }
 }
 
 /// Intermediate graph description used by all builders.
@@ -390,6 +410,35 @@ mod tests {
         // Racks are assigned 6 hosts each.
         assert_eq!(t.rack_of.len(), 192);
         assert_eq!(t.rack_of.iter().filter(|&&r| r == 0).count(), 6);
+    }
+
+    /// `with_hosts` must round up to whole pods and always satisfy the
+    /// divisibility invariants `Topology::clos` asserts.
+    #[test]
+    fn with_hosts_rounds_to_whole_pods() {
+        let p = ClosParams::with_hosts(10_240);
+        assert_eq!(p.n_hosts(), 10_240);
+        assert_eq!(p.n_tor, 256);
+        assert_eq!(p.n_agg, 64);
+        assert_eq!(p.n_core, 8);
+        // Partial pod rounds up.
+        let p = ClosParams::with_hosts(321);
+        assert_eq!(p.n_hosts(), 640);
+        // Degenerate request still builds one pod.
+        let p = ClosParams::with_hosts(0);
+        assert_eq!(p.n_hosts(), 320);
+        // The invariants clos() asserts hold for a sweep of sizes (build
+        // the smallest one for real to exercise the wiring).
+        for hosts in [1, 320, 2_560, 10_240] {
+            let p = ClosParams::with_hosts(hosts);
+            assert!(p.n_agg.is_multiple_of(p.aggs_per_pod));
+            let pods = p.n_agg / p.aggs_per_pod;
+            assert!(p.n_tor.is_multiple_of(pods));
+            assert!(p.n_core.is_multiple_of(p.aggs_per_pod));
+        }
+        let t = Topology::clos(ClosParams::with_hosts(1), &profile(), &profile());
+        assert_eq!(t.hosts.len(), 320);
+        assert_eq!(t.rack_of.iter().filter(|&&r| r == 0).count(), 40);
     }
 
     #[test]

@@ -201,6 +201,11 @@ fn run_bench(args: &[String]) -> ExitCode {
     if let Some(g) = committed_multipod_serial(&root) {
         cmd.args(["--gate-multipod", &format!("{g}")]);
     }
+    // Gate the scale point's peak RSS against the committed ceiling: the
+    // streaming recorder must keep metrics memory O(live flows).
+    if let Some(g) = committed_scale_rss_ceiling(&root) {
+        cmd.args(["--gate-scale-rss", &format!("{g}")]);
+    }
     cmd.args(["--out", &out]);
     match cmd.status() {
         Ok(st) if st.success() => ExitCode::SUCCESS,
@@ -232,6 +237,14 @@ fn committed_multipod_serial(root: &std::path::Path) -> Option<f64> {
         .find(|r| r.get("domains").and_then(xtask::json::Json::as_u64) == Some(1))?
         .get("events_per_sec")?
         .as_f64()
+}
+
+/// Reads the committed scale peak-RSS ceiling (MiB) from
+/// BENCH_substrate.json, if present.
+fn committed_scale_rss_ceiling(root: &std::path::Path) -> Option<u64> {
+    let src = std::fs::read_to_string(root.join("BENCH_substrate.json")).ok()?;
+    let doc = xtask::json::parse(&src).ok()?;
+    doc.get("scale")?.get("rss_ceiling_mb")?.as_u64()
 }
 
 fn run_lint(la: LintArgs) -> ExitCode {

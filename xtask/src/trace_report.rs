@@ -31,6 +31,14 @@ struct Report {
     ecn_marks: u64,
     credits_sent: u64,
     credits_wasted: u64,
+    /// Wasted credits matched against a still-outstanding observed issue
+    /// for the same flow — the reliable numerator for the waste ratio.
+    matched_waste: u64,
+    /// Wasted credits whose issue was never observed (ring-evicted):
+    /// evidence the trace is truncated and the ratio undercounts.
+    unmatched_waste: u64,
+    /// flow → observed issues not yet consumed by a waste.
+    credit_outstanding: BTreeMap<u64, u64>,
     rtos: u64,
     timer_cancels: u64,
     /// flow → retransmit (t_ns, seq) timeline, in file order.
@@ -47,8 +55,20 @@ impl Report {
             TraceEvent::Drop { node, cause, .. } => {
                 *self.drop_sites.entry((*node, cause.name())).or_insert(0) += 1;
             }
-            TraceEvent::CreditSent { .. } => self.credits_sent += 1,
-            TraceEvent::CreditWasted { .. } => self.credits_wasted += 1,
+            TraceEvent::CreditSent { flow, .. } => {
+                self.credits_sent += 1;
+                *self.credit_outstanding.entry(*flow).or_insert(0) += 1;
+            }
+            TraceEvent::CreditWasted { flow, .. } => {
+                self.credits_wasted += 1;
+                match self.credit_outstanding.get_mut(flow) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        self.matched_waste += 1;
+                    }
+                    _ => self.unmatched_waste += 1,
+                }
+            }
             TraceEvent::Retransmit { t_ns, flow, seq } => {
                 self.retx.entry(*flow).or_default().push((*t_ns, *seq));
             }
@@ -113,10 +133,20 @@ impl Report {
             "  ecn mark rate      {}",
             ratio(self.ecn_marks, self.enqueues)
         );
+        // Only wastes with an observed matching issue count, so a
+        // ring-truncated log can no longer render a >100 % waste rate.
+        let truncated = if self.unmatched_waste > 0 {
+            format!(
+                " [TRUNCATED: {} waste(s) without observed issue]",
+                self.unmatched_waste
+            )
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
-            "  credit waste       {}",
-            ratio(self.credits_wasted, self.credits_sent)
+            "  credit waste       {}{truncated}",
+            ratio(self.matched_waste, self.credits_sent)
         );
         let _ = writeln!(out, "  rto fires          {}", self.rtos);
         let _ = writeln!(out, "  timer cancels      {}", self.timer_cancels);
@@ -271,7 +301,40 @@ mod tests {
         assert!(text.contains("node 4"), "{text}");
         assert!(text.contains("ecn mark rate      1.0000 (1/1)"), "{text}");
         assert!(text.contains("credit waste       1.0000 (1/1)"), "{text}");
+        assert!(!text.contains("TRUNCATED"), "{text}");
         assert!(text.contains("flow 7"), "{text}");
+    }
+
+    /// Regression: wastes whose issues were evicted from the trace ring
+    /// used to push the rendered waste rate above 100 %; they must be
+    /// excluded from the ratio and flagged instead.
+    #[test]
+    fn truncated_trace_flags_unreliable_waste_ratio() {
+        let evs = [
+            TraceEvent::CreditWasted { t_ns: 100, flow: 2 },
+            TraceEvent::CreditSent {
+                t_ns: 200,
+                flow: 9,
+                idx: 0,
+            },
+            TraceEvent::CreditWasted { t_ns: 300, flow: 9 },
+            TraceEvent::CreditWasted { t_ns: 400, flow: 9 },
+        ];
+        let text: String = evs.iter().map(|e| e.to_json_line() + "\n").collect();
+        let mut r = Report::default();
+        r.fold_text(&text);
+        assert_eq!(r.credits_wasted, 3);
+        assert_eq!(r.matched_waste, 1);
+        assert_eq!(r.unmatched_waste, 2);
+        let rendered = r.render();
+        assert!(
+            rendered.contains("credit waste       1.0000 (1/1)"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("[TRUNCATED: 2 waste(s) without observed issue]"),
+            "{rendered}"
+        );
     }
 
     #[test]
